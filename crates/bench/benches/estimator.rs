@@ -1,0 +1,60 @@
+//! Criterion benchmark for the end-to-end estimation loop: one full
+//! converged maximum-power estimate on a pre-simulated population (the
+//! statistical overhead excluding fresh simulation) and one hyper-sample
+//! through the live simulator (the paper's real deployment path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maxpower::{
+    generate_hyper_sample, EstimationConfig, MaxPowerEstimator, PopulationSource, SimulatorSource,
+};
+use mpe_netlist::{generate, Iscas85};
+use mpe_sim::{DelayModel, PowerConfig};
+use mpe_vectors::{PairGenerator, Population};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_estimation(c: &mut Criterion) {
+    let circuit = generate(Iscas85::C432, 1).expect("generation succeeds");
+    let population = Population::build(
+        &circuit,
+        &PairGenerator::HighActivity { min_activity: 0.3 },
+        8_000,
+        DelayModel::Unit,
+        PowerConfig::default(),
+        1,
+        0,
+    )
+    .expect("population builds");
+
+    c.bench_function("full_estimate_population_c432", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let mut source = PopulationSource::new(&population);
+            let estimator = MaxPowerEstimator::new(EstimationConfig::default());
+            let mut rng = SmallRng::seed_from_u64(seed);
+            // Either outcome exercises the full loop; NotConverged still
+            // performs all the work.
+            let _ = estimator.run(&mut source, &mut rng);
+        })
+    });
+
+    c.bench_function("hyper_sample_live_sim_c432", |b| {
+        let mut seed = 100u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let mut source = SimulatorSource::new(
+                &circuit,
+                PairGenerator::Uniform,
+                DelayModel::Unit,
+                PowerConfig::default(),
+            );
+            let config = EstimationConfig::default();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            generate_hyper_sample(&mut source, &config, &mut rng).expect("hyper-sample succeeds")
+        })
+    });
+}
+
+criterion_group!{name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8)); targets = bench_estimation}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion micro-benchmarks for the Weibull MLE — the per-hyper-sample
+//! fitting cost (profile likelihood over μ with the inner shape equation),
+//! at the paper's m = 10 and the larger m = 50 of Figure 2, plus the
+//! least-squares alternative.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpe_evt::ReversedWeibull;
+use mpe_mle::{fit_reversed_weibull, lsq_fit_reversed_weibull};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_fits(c: &mut Criterion) {
+    let truth = ReversedWeibull::new(4.0, 1.0, 10.0).expect("valid parameters");
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("weibull_fit");
+    for m in [10usize, 50, 200] {
+        let data = truth.sample_n(&mut rng, m);
+        group.bench_with_input(BenchmarkId::new("profile_mle", m), &data, |b, data| {
+            b.iter(|| fit_reversed_weibull(data).expect("fit succeeds"))
+        });
+        group.bench_with_input(BenchmarkId::new("lsq", m), &data, |b, data| {
+            b.iter(|| lsq_fit_reversed_weibull(data).expect("fit succeeds"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{name = benches; config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(5)); targets = bench_fits}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks for the power simulator: per-vector-pair
+//! cycle power across circuits and delay models. These are the per-unit
+//! costs that every entry of Tables 1–4 multiplies by its unit count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpe_netlist::{generate, Iscas85};
+use mpe_sim::{DelayModel, PowerConfig, PowerSimulator};
+use mpe_vectors::PairGenerator;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_cycle_power(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cycle_power");
+    for which in [Iscas85::C432, Iscas85::C880, Iscas85::C3540, Iscas85::C6288] {
+        let circuit = generate(which, 1).expect("generation succeeds");
+        let mut rng = SmallRng::seed_from_u64(7);
+        let pairs: Vec<_> = PairGenerator::Uniform.generate_many(&mut rng, circuit.num_inputs(), 64);
+        for model in [DelayModel::Zero, DelayModel::Unit] {
+            let sim = PowerSimulator::new(&circuit, model, PowerConfig::default());
+            let mut i = 0usize;
+            group.bench_with_input(
+                BenchmarkId::new(format!("{model}"), which.to_string()),
+                &pairs,
+                |b, pairs| {
+                    b.iter(|| {
+                        let p = &pairs[i % pairs.len()];
+                        i = i.wrapping_add(1);
+                        sim.cycle_power(&p.v1, &p.v2).expect("valid widths")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!{name = benches; config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)); targets = bench_cycle_power}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! **Ablation B** — limiting-law choice: fits both the (reversed) Weibull
+//! and the Gumbel law to the sample maxima of every circuit and compares
+//! goodness of fit, plus the moment tail-index estimate.
+//!
+//! This makes §3.1's argument ("power is bounded, hence `G_{2,α}`, not
+//! `G₃`") an empirical statement instead of an assumption.
+//!
+//! Usage: `cargo run -p mpe-bench --release --bin ablation_limit_law`
+
+use mpe_bench::{experiment_circuit, experiment_population, ExperimentArgs, TextTable};
+use mpe_evt::domain::moment_tail_index;
+use mpe_evt::Gumbel;
+use mpe_mle::{fit_gumbel, lsq_fit_reversed_weibull};
+use mpe_stats::dist::ContinuousDistribution;
+use mpe_stats::ks_test;
+use mpe_vectors::PairGenerator;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const NUM_MAXIMA: usize = 500;
+const BLOCK: usize = 30;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = ExperimentArgs::from_env();
+    let size = args.scale.unconstrained_population();
+    println!("Ablation B — Weibull vs Gumbel fit of sample maxima (n = {BLOCK}, {NUM_MAXIMA} maxima)\n");
+    let mut table = TextTable::new([
+        "Circuit",
+        "tail index ξ̂",
+        "Weibull KS",
+        "Gumbel KS",
+        "better law",
+    ]);
+    for which in args.circuits() {
+        let circuit = experiment_circuit(which, args.seed);
+        let population = experiment_population(
+            &circuit,
+            &PairGenerator::HighActivity { min_activity: 0.3 },
+            size,
+            args.seed,
+        )?;
+        let mut rng = SmallRng::seed_from_u64(args.seed ^ 0xb);
+        let maxima: Vec<f64> = (0..NUM_MAXIMA)
+            .map(|_| {
+                population
+                    .sample_powers(&mut rng, BLOCK)
+                    .into_iter()
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .collect();
+        let xi = moment_tail_index(population.powers())?;
+        let weibull = lsq_fit_reversed_weibull(&maxima)?.distribution;
+        let gumbel = fit_gumbel(&maxima).map(|f| f.distribution).unwrap_or(Gumbel::fit_moments(&maxima)?);
+        let ks_w = ks_test(&maxima, |x| weibull.cdf(x))?;
+        let ks_g = ks_test(&maxima, |x| gumbel.cdf(x))?;
+        table.row([
+            which.to_string(),
+            format!("{xi:+.3}"),
+            format!("{:.4}", ks_w.statistic),
+            format!("{:.4}", ks_g.statistic),
+            if ks_w.statistic <= ks_g.statistic {
+                "Weibull".to_string()
+            } else {
+                "Gumbel".to_string()
+            },
+        ]);
+    }
+    println!("{table}");
+    println!("(paper's §3.1: bounded power ⇒ Weibull domain; ξ̂ < 0 corroborates)");
+    Ok(())
+}

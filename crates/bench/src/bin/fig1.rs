@@ -1,0 +1,94 @@
+//! Reproduces **Figure 1** — comparison between the distribution of sample
+//! maxima and the least-squares-fitted Weibull for sample sizes
+//! n ∈ {2, 20, 30, 50} (default circuit: C3540, as in the paper).
+//!
+//! For each n: 1000 samples of size n are drawn from the population, each
+//! sample's maximum recorded, the empirical CDF compared against the
+//! best-fitting generalized Weibull. The paper's observation to verify:
+//! the fit is poor for n = 2 and becomes indistinguishable near the
+//! maximum for n ≥ 30.
+//!
+//! Usage: `cargo run -p mpe-bench --release --bin fig1 [--circuit C3540]`
+
+use mpe_bench::{experiment_circuit, experiment_population, ExperimentArgs, TextTable};
+use mpe_mle::lsq_fit_reversed_weibull;
+use mpe_netlist::Iscas85;
+use mpe_stats::dist::ContinuousDistribution;
+use mpe_stats::{ks_test, Ecdf};
+use mpe_vectors::PairGenerator;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const SAMPLE_SIZES: [usize; 4] = [2, 20, 30, 50];
+const NUM_SAMPLES: usize = 1000;
+const GRID_POINTS: usize = 13;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = ExperimentArgs::from_env();
+    let which = args.circuit.unwrap_or(Iscas85::C3540);
+    let size = args.scale.unconstrained_population();
+    println!(
+        "Figure 1 — sample maxima vs fitted Weibull ({which}, |V| = {size}, seed = {})\n",
+        args.seed
+    );
+    let circuit = experiment_circuit(which, args.seed);
+    let population = experiment_population(
+        &circuit,
+        &PairGenerator::HighActivity { min_activity: 0.3 },
+        size,
+        args.seed,
+    )?;
+    let mut rng = SmallRng::seed_from_u64(args.seed);
+
+    // Note: on near-Gumbel data the (α, μ) pair is a non-identifiable ridge
+    // (huge α with a distant μ fits as well as a moderate pair), so the
+    // fitted *tail quantile* is reported alongside — it is stable on the
+    // ridge and is what the estimator actually consumes.
+    let mut summary = TextTable::new([
+        "n",
+        "KS statistic",
+        "KS p-value",
+        "fitted α",
+        "fitted μ (mW)",
+        "G⁻¹(1−1/|V|) (mW)",
+    ]);
+    for n in SAMPLE_SIZES {
+        let maxima: Vec<f64> = (0..NUM_SAMPLES)
+            .map(|_| {
+                population
+                    .sample_powers(&mut rng, n)
+                    .into_iter()
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .collect();
+        let fit = lsq_fit_reversed_weibull(&maxima)?;
+        let dist = fit.distribution;
+        let ks = ks_test(&maxima, |x| dist.cdf(x))?;
+        let tail_q = dist.quantile(1.0 - 1.0 / population.size() as f64)?;
+        summary.row([
+            n.to_string(),
+            format!("{:.4}", ks.statistic),
+            format!("{:.3}", ks.p_value),
+            format!("{:.2}", dist.alpha()),
+            format!("{:.3}", dist.mu()),
+            format!("{tail_q:.3}"),
+        ]);
+
+        // CDF overlay series (the actual curves of Figure 1).
+        let ecdf = Ecdf::new(maxima)?;
+        println!("n = {n}: empirical vs fitted Weibull CDF");
+        let mut series = TextTable::new(["power (mW)", "empirical F", "Weibull G"]);
+        for (x, f_emp) in ecdf.grid(GRID_POINTS) {
+            series.row([
+                format!("{x:.4}"),
+                format!("{f_emp:.3}"),
+                format!("{:.3}", dist.cdf(x)),
+            ]);
+        }
+        println!("{series}");
+    }
+    println!("goodness of fit by sample size (paper: negligible difference for n >= 30):");
+    println!("{summary}");
+    println!("actual maximum power of the population: {:.3} mW", population.actual_max_power());
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! Reproduces **Table 1** — efficiency comparison for unconstrained input
+//! sequences (high-activity population, ε = 5 %, l = 90 %).
+//!
+//! Usage: `cargo run -p mpe-bench --release --bin table1 [--scale paper]`
+
+use mpe_bench::efficiency::{render_efficiency, run_efficiency};
+use mpe_bench::ExperimentArgs;
+use mpe_vectors::PairGenerator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = ExperimentArgs::from_env();
+    let size = args.scale.unconstrained_population();
+    println!(
+        "Table 1 — unconstrained efficiency (|V| = {size}, runs = {}, seed = {})",
+        args.effective_runs(),
+        args.seed
+    );
+    println!("population: uniform pairs filtered to switching activity > 0.3\n");
+    let rows = run_efficiency(
+        &args,
+        &PairGenerator::HighActivity { min_activity: 0.3 },
+        size,
+    )?;
+    println!("{}", render_efficiency(&rows));
+    let speedup: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.units_avg > 0.0 && r.srs_avg.is_finite())
+        .map(|r| r.srs_avg / r.units_avg)
+        .collect();
+    if !speedup.is_empty() {
+        let avg = speedup.iter().sum::<f64>() / speedup.len() as f64;
+        println!("average speedup over theoretical SRS: {avg:.1}x");
+    }
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! Reproduces **Table 2** — estimation quality comparison for unconstrained
+//! input sequences: our approach vs SRS with 2500/10k/20k units.
+//!
+//! Usage: `cargo run -p mpe-bench --release --bin table2 [--scale paper]`
+
+use mpe_bench::quality::{render_quality, run_quality};
+use mpe_bench::ExperimentArgs;
+use mpe_vectors::PairGenerator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = ExperimentArgs::from_env();
+    let size = args.scale.unconstrained_population();
+    println!(
+        "Table 2 — estimation quality (|V| = {size}, runs = {}, seed = {})",
+        args.effective_runs(),
+        args.seed
+    );
+    println!("population: uniform pairs filtered to switching activity > 0.3\n");
+    let rows = run_quality(
+        &args,
+        &PairGenerator::HighActivity { min_activity: 0.3 },
+        size,
+    )?;
+    println!("{}", render_quality(&rows));
+    Ok(())
+}

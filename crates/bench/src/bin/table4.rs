@@ -1,0 +1,21 @@
+//! Reproduces **Table 4** — constrained input sequences with per-line
+//! switching activity 0.3 (category I.2, low activity).
+//!
+//! Usage: `cargo run -p mpe-bench --release --bin table4 [--scale paper]`
+
+use mpe_bench::efficiency::{render_efficiency, run_efficiency};
+use mpe_bench::ExperimentArgs;
+use mpe_vectors::PairGenerator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = ExperimentArgs::from_env();
+    let size = args.scale.constrained_population();
+    println!(
+        "Table 4 — constrained inputs, activity 0.3 (|V| = {size}, runs = {}, seed = {})\n",
+        args.effective_runs(),
+        args.seed
+    );
+    let rows = run_efficiency(&args, &PairGenerator::Activity { activity: 0.3 }, size)?;
+    println!("{}", render_efficiency(&rows));
+    Ok(())
+}

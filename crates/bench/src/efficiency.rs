@@ -1,0 +1,161 @@
+//! Shared runner for the paper's efficiency tables (Tables 1, 3 and 4).
+//!
+//! All three tables share the same columns; they differ only in the
+//! population law:
+//!
+//! * Table 1 — high-activity filtered unconstrained pairs, |V| = 160k;
+//! * Table 3 — per-line activity 0.7, |V| = 80k;
+//! * Table 4 — per-line activity 0.3, |V| = 80k.
+
+use maxpower::{EstimationConfig, MaxPowerError, MaxPowerEstimator, PopulationSource};
+use mpe_vectors::PairGenerator;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::{experiment_circuit, experiment_population, pct, ExperimentArgs, TextTable};
+
+/// Result of the efficiency experiment for one circuit.
+#[derive(Debug, Clone)]
+pub struct EfficiencyRow {
+    /// Circuit name.
+    pub circuit: String,
+    /// Qualified-unit fraction `Y` at the 5 % band.
+    pub qualified_fraction: f64,
+    /// Max / min / mean units used by our approach over the runs.
+    pub units_max: usize,
+    /// Minimum units over the runs.
+    pub units_min: usize,
+    /// Mean units over the runs.
+    pub units_avg: f64,
+    /// Theoretical SRS units for the same error/confidence target.
+    pub srs_avg: f64,
+    /// Largest absolute relative error of our approach.
+    pub err_max: f64,
+    /// Smallest absolute relative error of our approach.
+    pub err_min: f64,
+    /// Runs that failed to converge within the hyper-sample cap.
+    pub non_converged: usize,
+}
+
+/// Runs the efficiency experiment over the requested circuits.
+///
+/// For each circuit: build the population (the ground truth), then repeat
+/// the full iterative estimation (`ε = 5 %`, `l = 90 %`) `runs` times with
+/// independent seeds, recording unit counts and errors against the
+/// population's actual maximum.
+///
+/// # Errors
+///
+/// Propagates population construction failures; individual non-converged
+/// runs are counted, not fatal.
+pub fn run_efficiency(
+    args: &ExperimentArgs,
+    generator: &PairGenerator,
+    population_size: usize,
+) -> Result<Vec<EfficiencyRow>, Box<dyn std::error::Error>> {
+    let runs = args.effective_runs();
+    let mut rows = Vec::new();
+    for which in args.circuits() {
+        let circuit = experiment_circuit(which, args.seed);
+        let population =
+            experiment_population(&circuit, generator, population_size, args.seed)?;
+        let actual_max = population.actual_max_power();
+
+        let mut units: Vec<usize> = Vec::with_capacity(runs);
+        let mut errs: Vec<f64> = Vec::with_capacity(runs);
+        let mut non_converged = 0usize;
+        for run in 0..runs {
+            let mut source = PopulationSource::new(&population);
+            let estimator = MaxPowerEstimator::new(EstimationConfig::default());
+            let mut rng = SmallRng::seed_from_u64(
+                args.seed
+                    .wrapping_mul(0x9e37_79b9)
+                    .wrapping_add(run as u64),
+            );
+            match estimator.run(&mut source, &mut rng) {
+                Ok(r) => {
+                    units.push(r.units_used);
+                    errs.push((r.estimate_mw - actual_max).abs() / actual_max);
+                }
+                Err(MaxPowerError::NotConverged { .. }) => non_converged += 1,
+                Err(e) => return Err(Box::new(e)),
+            }
+        }
+        if units.is_empty() {
+            // Degenerate: every run hit the cap. Record zeros so the row is
+            // visible rather than silently dropped.
+            units.push(0);
+            errs.push(f64::NAN);
+        }
+        let units_avg = units.iter().sum::<usize>() as f64 / units.len() as f64;
+        rows.push(EfficiencyRow {
+            circuit: which.to_string(),
+            qualified_fraction: population.qualified_fraction(0.05),
+            units_max: *units.iter().max().expect("non-empty"),
+            units_min: *units.iter().min().expect("non-empty"),
+            units_avg,
+            srs_avg: population.srs_theoretical_units(0.05, 0.90),
+            err_max: errs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            err_min: errs.iter().cloned().fold(f64::INFINITY, f64::min),
+            non_converged,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders efficiency rows in the paper's Table 1/3/4 layout.
+pub fn render_efficiency(rows: &[EfficiencyRow]) -> TextTable {
+    let mut table = TextTable::new([
+        "Circuit",
+        "Y (qualified)",
+        "Ours MAX",
+        "Ours MIN",
+        "Ours AVE",
+        "SRS AVE (theory)",
+        "Err MAX",
+        "Err MIN",
+        "Not conv.",
+    ]);
+    for r in rows {
+        table.row([
+            r.circuit.clone(),
+            format!("{:.6}", r.qualified_fraction),
+            r.units_max.to_string(),
+            r.units_min.to_string(),
+            format!("{:.0}", r.units_avg),
+            format!("{:.0}", r.srs_avg),
+            pct(r.err_max),
+            pct(r.err_min),
+            r.non_converged.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+    use mpe_netlist::Iscas85;
+
+    #[test]
+    fn smoke_run_single_circuit() {
+        let args = ExperimentArgs {
+            scale: Scale::Smoke,
+            runs: Some(3),
+            seed: 7,
+            circuit: Some(Iscas85::C432),
+        };
+        let rows = run_efficiency(&args, &PairGenerator::Uniform, 2_000).unwrap();
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.circuit, "C432");
+        assert!(r.qualified_fraction > 0.0);
+        assert!(r.units_min <= r.units_max);
+        assert!(r.units_avg > 0.0);
+        assert!(r.srs_avg.is_finite());
+        let rendered = render_efficiency(&rows).render();
+        assert!(rendered.contains("C432"));
+        assert!(rendered.contains("Ours AVE"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Shared runner for the paper's quality comparison (Table 2):
+//! largest estimation error and out-of-band rates of our approach versus
+//! simple random sampling with 2500 / 10k / 20k units.
+
+use maxpower::{
+    srs_max_estimate, EstimationConfig, MaxPowerError, MaxPowerEstimator, PopulationSource,
+};
+use mpe_vectors::PairGenerator;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::{experiment_circuit, experiment_population, pct, ExperimentArgs, TextTable};
+
+/// SRS budgets compared in the paper's Table 2.
+pub const SRS_BUDGETS: [usize; 3] = [2_500, 10_000, 20_000];
+
+/// Result of the quality experiment for one circuit.
+#[derive(Debug, Clone)]
+pub struct QualityRow {
+    /// Circuit name.
+    pub circuit: String,
+    /// Ground-truth maximum power of the population (mW).
+    pub actual_max_mw: f64,
+    /// Largest *signed* relative error of our approach (sign shows the
+    /// direction, as in the paper's Table 2).
+    pub ours_worst_err: f64,
+    /// Largest signed relative error of SRS per budget.
+    pub srs_worst_err: [f64; 3],
+    /// Fraction of our runs with |error| > 5 %.
+    pub ours_over_5pct: f64,
+    /// Fraction of SRS runs with |error| > 5 %, per budget.
+    pub srs_over_5pct: [f64; 3],
+}
+
+/// Runs the quality experiment over the requested circuits.
+///
+/// # Errors
+///
+/// Propagates population construction failures.
+pub fn run_quality(
+    args: &ExperimentArgs,
+    generator: &PairGenerator,
+    population_size: usize,
+) -> Result<Vec<QualityRow>, Box<dyn std::error::Error>> {
+    let runs = args.effective_runs();
+    let mut rows = Vec::new();
+    for which in args.circuits() {
+        let circuit = experiment_circuit(which, args.seed);
+        let population =
+            experiment_population(&circuit, generator, population_size, args.seed)?;
+        let actual = population.actual_max_power();
+        let signed_err = |estimate: f64| (estimate - actual) / actual;
+
+        // Our approach.
+        let mut ours: Vec<f64> = Vec::with_capacity(runs);
+        for run in 0..runs {
+            let mut source = PopulationSource::new(&population);
+            let estimator = MaxPowerEstimator::new(EstimationConfig::default());
+            let mut rng =
+                SmallRng::seed_from_u64(args.seed.wrapping_mul(31).wrapping_add(run as u64));
+            match estimator.run(&mut source, &mut rng) {
+                Ok(r) => ours.push(signed_err(r.estimate_mw)),
+                Err(MaxPowerError::NotConverged { estimate_mw, .. }) => {
+                    // Table 2 scores quality; a capped run still reports its
+                    // best estimate, as a practitioner would use it.
+                    ours.push(signed_err(estimate_mw));
+                }
+                Err(e) => return Err(Box::new(e)),
+            }
+        }
+
+        // SRS at each budget.
+        let mut srs_errs: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (slot, &budget) in SRS_BUDGETS.iter().enumerate() {
+            for run in 0..runs {
+                let mut source = PopulationSource::new(&population);
+                let mut rng = SmallRng::seed_from_u64(
+                    args.seed
+                        .wrapping_mul(97)
+                        .wrapping_add((slot * runs + run) as u64),
+                );
+                let r = srs_max_estimate(&mut source, budget, &mut rng)?;
+                srs_errs[slot].push(signed_err(r.estimate_mw));
+            }
+        }
+
+        let worst =
+            |errs: &[f64]| -> f64 {
+                errs.iter()
+                    .cloned()
+                    .max_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("finite errors"))
+                    .unwrap_or(f64::NAN)
+            };
+        let over5 = |errs: &[f64]| -> f64 {
+            errs.iter().filter(|e| e.abs() > 0.05).count() as f64 / errs.len() as f64
+        };
+        rows.push(QualityRow {
+            circuit: which.to_string(),
+            actual_max_mw: actual,
+            ours_worst_err: worst(&ours),
+            srs_worst_err: [
+                worst(&srs_errs[0]),
+                worst(&srs_errs[1]),
+                worst(&srs_errs[2]),
+            ],
+            ours_over_5pct: over5(&ours),
+            srs_over_5pct: [
+                over5(&srs_errs[0]),
+                over5(&srs_errs[1]),
+                over5(&srs_errs[2]),
+            ],
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders quality rows in the paper's Table 2 layout.
+pub fn render_quality(rows: &[QualityRow]) -> TextTable {
+    let mut table = TextTable::new([
+        "Circuit",
+        "Actual max (mW)",
+        "Ours worst",
+        "SRS-2500 worst",
+        "SRS-10k worst",
+        "SRS-20k worst",
+        "Ours >5%",
+        "SRS-2500 >5%",
+        "SRS-10k >5%",
+        "SRS-20k >5%",
+    ]);
+    for r in rows {
+        let signed_pct = |e: f64| format!("{:+.1}%", 100.0 * e);
+        table.row([
+            r.circuit.clone(),
+            format!("{:.3}", r.actual_max_mw),
+            signed_pct(r.ours_worst_err),
+            signed_pct(r.srs_worst_err[0]),
+            signed_pct(r.srs_worst_err[1]),
+            signed_pct(r.srs_worst_err[2]),
+            pct(r.ours_over_5pct),
+            pct(r.srs_over_5pct[0]),
+            pct(r.srs_over_5pct[1]),
+            pct(r.srs_over_5pct[2]),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+    use mpe_netlist::Iscas85;
+
+    #[test]
+    fn smoke_quality_single_circuit() {
+        let args = ExperimentArgs {
+            scale: Scale::Smoke,
+            runs: Some(3),
+            seed: 7,
+            circuit: Some(Iscas85::C432),
+        };
+        let rows = run_quality(&args, &PairGenerator::Uniform, 2_000).unwrap();
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.actual_max_mw > 0.0);
+        // SRS can never overestimate a population maximum.
+        for e in r.srs_worst_err {
+            assert!(e <= 0.0);
+        }
+        // Larger SRS budgets cannot be worse in the worst case here because
+        // budgets share the population; |err| should not increase much.
+        let rendered = render_quality(&rows).render();
+        assert!(rendered.contains("C432"));
+        assert!(rendered.contains("SRS-20k"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Average power estimation — the companion problem (and a baseline for
+//! intuition: the *mean* of the power distribution is easy, its *endpoint*
+//! is the hard part this crate exists for).
+//!
+//! A plain Monte-Carlo mean with a Student-t stopping rule, mirroring the
+//! maximum estimator's interface so the two read side by side. This is the
+//! classic McPower/Burch-style statistical average power estimation that
+//! reference \[10\] of the paper builds on.
+
+use rand::RngCore;
+
+use mpe_stats::dist::StudentT;
+
+use crate::error::MaxPowerError;
+use crate::source::PowerSource;
+
+/// Result of an average-power estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AveragePowerEstimate {
+    /// The estimated mean power (mW).
+    pub mean_mw: f64,
+    /// Confidence interval at the configured level (mW).
+    pub confidence_interval: (f64, f64),
+    /// Achieved relative half-width.
+    pub relative_error: f64,
+    /// Units sampled.
+    pub units_used: usize,
+}
+
+/// Estimates the *average* power to a relative error `epsilon` at the given
+/// confidence level, batching `batch` simulations between convergence
+/// checks.
+///
+/// # Errors
+///
+/// Returns [`MaxPowerError::InvalidConfig`] for invalid `epsilon`,
+/// `confidence`, or a zero `batch`; [`MaxPowerError::NotConverged`] if
+/// `max_units` is exhausted first; and propagates source failures.
+///
+/// # Example
+///
+/// ```
+/// use maxpower::average::estimate_average_power;
+/// use maxpower::FnSource;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), maxpower::MaxPowerError> {
+/// let mut source = FnSource::new(|rng: &mut dyn rand::RngCore| {
+///     let mut b = [0u8; 1];
+///     rng.fill_bytes(&mut b);
+///     2.0 + b[0] as f64 / 255.0
+/// });
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+/// let est = estimate_average_power(&mut source, 0.02, 0.95, 100, 1_000_000, &mut rng)?;
+/// assert!((est.mean_mw - 2.5).abs() < 0.1);
+/// assert!(est.relative_error <= 0.02);
+/// # Ok(())
+/// # }
+/// ```
+pub fn estimate_average_power(
+    source: &mut dyn PowerSource,
+    epsilon: f64,
+    confidence: f64,
+    batch: usize,
+    max_units: usize,
+    rng: &mut dyn RngCore,
+) -> Result<AveragePowerEstimate, MaxPowerError> {
+    if !(epsilon > 0.0 && epsilon < 1.0) {
+        return Err(MaxPowerError::InvalidConfig {
+            message: format!("epsilon must be in (0, 1), got {epsilon}"),
+        });
+    }
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(MaxPowerError::InvalidConfig {
+            message: format!("confidence must be in (0, 1), got {confidence}"),
+        });
+    }
+    if batch == 0 {
+        return Err(MaxPowerError::InvalidConfig {
+            message: "batch must be at least 1".to_string(),
+        });
+    }
+
+    let mut n = 0usize;
+    let mut mean = 0.0f64;
+    let mut m2 = 0.0f64; // Welford
+    loop {
+        for _ in 0..batch {
+            let x = source.sample(rng)?;
+            n += 1;
+            let delta = x - mean;
+            mean += delta / n as f64;
+            m2 += delta * (x - mean);
+        }
+        if n >= 2 && mean.abs() > 0.0 {
+            let var = m2 / (n as f64 - 1.0);
+            let t = StudentT::new((n - 1) as f64)?.two_sided_critical(confidence)?;
+            let half = t * (var / n as f64).sqrt();
+            let rel = half / mean.abs();
+            if rel <= epsilon {
+                return Ok(AveragePowerEstimate {
+                    mean_mw: mean,
+                    confidence_interval: (mean - half, mean + half),
+                    relative_error: rel,
+                    units_used: n,
+                });
+            }
+            if n >= max_units {
+                return Err(MaxPowerError::NotConverged {
+                    estimate_mw: mean,
+                    achieved_relative_error: rel,
+                    hyper_samples: n / batch,
+                });
+            }
+        } else if n >= max_units {
+            return Err(MaxPowerError::NotConverged {
+                estimate_mw: mean,
+                achieved_relative_error: f64::INFINITY,
+                hyper_samples: n / batch,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FnSource;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn estimates_uniform_mean() {
+        let mut source = FnSource::new(|rng: &mut dyn RngCore| {
+            let r = rng;
+            r.gen::<f64>() * 10.0
+        });
+        let mut rng = SmallRng::seed_from_u64(1);
+        let est =
+            estimate_average_power(&mut source, 0.01, 0.95, 200, 10_000_000, &mut rng).unwrap();
+        assert!((est.mean_mw - 5.0).abs() < 0.15, "{}", est.mean_mw);
+        assert!(est.relative_error <= 0.01);
+        assert!(est.confidence_interval.0 < 5.0 && est.confidence_interval.1 > 4.8);
+    }
+
+    #[test]
+    fn average_needs_far_fewer_units_than_maximum() {
+        // The motivating asymmetry: means are cheap, maxima are not.
+        let mut source = FnSource::new(|rng: &mut dyn RngCore| {
+            let r = rng;
+            5.0 + r.gen::<f64>()
+        });
+        let mut rng = SmallRng::seed_from_u64(2);
+        let est =
+            estimate_average_power(&mut source, 0.05, 0.90, 30, 1_000_000, &mut rng).unwrap();
+        assert!(est.units_used <= 60, "{} units", est.units_used);
+    }
+
+    #[test]
+    fn respects_unit_cap() {
+        let mut source = FnSource::new(|rng: &mut dyn RngCore| {
+            let r = rng;
+            r.gen::<f64>().powi(8) * 1e6 // wild variance
+        });
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(matches!(
+            estimate_average_power(&mut source, 1e-6, 0.99, 50, 500, &mut rng),
+            Err(MaxPowerError::NotConverged { .. })
+        ));
+    }
+
+    #[test]
+    fn validates_arguments() {
+        let mut source = FnSource::new(|_: &mut dyn RngCore| 1.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(estimate_average_power(&mut source, 0.0, 0.9, 10, 100, &mut rng).is_err());
+        assert!(estimate_average_power(&mut source, 0.05, 1.0, 10, 100, &mut rng).is_err());
+        assert!(estimate_average_power(&mut source, 0.05, 0.9, 0, 100, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,344 @@
+//! `mpe` — the maximum power estimation command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `estimate` — maximum power to a given error/confidence (the paper's
+//!   headline flow);
+//! * `average`  — average power (Monte-Carlo companion estimator);
+//! * `delay`    — maximum exercisable circuit delay (the paper's proposed
+//!   extension);
+//! * `info`     — circuit structure report;
+//! * `trace`    — capture one vector pair's waveform as a VCD on stdout;
+//! * `generate` — emit a synthetic ISCAS85 stand-in as `.bench` text.
+//!
+//! Circuits come from `--circuit <ISCAS85 name>` (deterministic synthetic
+//! stand-in) or `--bench <file>` (a real netlist). Run `mpe help` for all
+//! flags.
+
+use std::process::ExitCode;
+
+use maxpower::{
+    estimate_average_power, DelaySource, EstimateReport, EstimationConfig, MaxPowerEstimator,
+    SimulatorSource,
+};
+use mpe_netlist::{bench_format, generate, Circuit, Iscas85};
+use mpe_sim::{DelayModel, PowerConfig};
+use mpe_vectors::PairGenerator;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const HELP: &str = "\
+mpe — statistical maximum power estimation (Qiu/Wu/Pedram, DAC 1998)
+
+USAGE:
+    mpe <estimate|average|delay|info|trace|generate> [flags]
+
+CIRCUIT SELECTION (all subcommands):
+    --circuit NAME      ISCAS85 profile (C432, C880, ..., C7552), synthetic stand-in
+    --bench FILE        parse a real .bench netlist instead
+    --verilog FILE      parse a structural Verilog netlist instead
+    --gen-seed S        seed for the synthetic stand-in (default 7)
+
+ESTIMATION (estimate / delay):
+    --epsilon E         target relative error (default 0.05)
+    --confidence L      confidence level (default 0.90)
+    --population V      finite vector-pair space size (default 160000; 0 = infinite)
+    --seed S            estimation RNG seed (default 42)
+    --delay-model M     zero | unit | fanout (default unit)
+    --activity A        per-line input switching activity in [0,1] (default: uniform pairs)
+    --json              print the result as JSON instead of text
+
+AVERAGE (average):
+    same flags; --epsilon defaults to 0.02
+
+TRACE (trace):
+    --seed S            seed for the random vector pair (default 42)
+    --delay-model M     zero | unit | fanout (default unit)
+
+EXAMPLES:
+    mpe estimate --circuit C3540
+    mpe estimate --bench c880.bench --activity 0.3 --epsilon 0.03 --json
+    mpe delay --circuit C6288
+    mpe generate --circuit C432 > c432_standin.bench
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{HELP}");
+        return ExitCode::from(2);
+    };
+    let flags = match Flags::parse(&args[1..]) {
+        Ok(f) => f,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{HELP}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "estimate" => run_estimate(&flags, Metric::Power),
+        "delay" => run_estimate(&flags, Metric::Delay),
+        "average" => run_average(&flags),
+        "info" => run_info(&flags),
+        "trace" => run_trace(&flags),
+        "generate" => run_generate(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Metric {
+    Power,
+    Delay,
+}
+
+#[derive(Debug)]
+struct Flags {
+    circuit: Option<Iscas85>,
+    bench_path: Option<String>,
+    verilog_path: Option<String>,
+    gen_seed: u64,
+    epsilon: Option<f64>,
+    confidence: f64,
+    population: u64,
+    seed: u64,
+    delay_model: DelayModel,
+    activity: Option<f64>,
+    json: bool,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut flags = Flags {
+            circuit: None,
+            bench_path: None,
+            verilog_path: None,
+            gen_seed: 7,
+            epsilon: None,
+            confidence: 0.90,
+            population: 160_000,
+            seed: 42,
+            delay_model: DelayModel::Unit,
+            activity: None,
+            json: false,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .map(String::as_str)
+                    .ok_or_else(|| format!("missing value for {flag}"))
+            };
+            match flag.as_str() {
+                "--circuit" => {
+                    let name = value()?;
+                    flags.circuit = Some(
+                        Iscas85::from_name(name)
+                            .ok_or_else(|| format!("unknown circuit `{name}`"))?,
+                    );
+                }
+                "--bench" => flags.bench_path = Some(value()?.to_string()),
+                "--verilog" => flags.verilog_path = Some(value()?.to_string()),
+                "--gen-seed" => flags.gen_seed = parse_num(value()?, "--gen-seed")?,
+                "--epsilon" => flags.epsilon = Some(parse_num(value()?, "--epsilon")?),
+                "--confidence" => flags.confidence = parse_num(value()?, "--confidence")?,
+                "--population" => flags.population = parse_num(value()?, "--population")?,
+                "--seed" => flags.seed = parse_num(value()?, "--seed")?,
+                "--delay-model" => {
+                    flags.delay_model = match value()? {
+                        "zero" => DelayModel::Zero,
+                        "unit" => DelayModel::Unit,
+                        "fanout" => DelayModel::fanout_default(),
+                        other => return Err(format!("unknown delay model `{other}`")),
+                    }
+                }
+                "--activity" => flags.activity = Some(parse_num(value()?, "--activity")?),
+                "--json" => flags.json = true,
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(flags)
+    }
+
+    fn load_circuit(&self) -> Result<Circuit, Box<dyn std::error::Error>> {
+        if let Some(path) = &self.verilog_path {
+            let text = std::fs::read_to_string(path)?;
+            return Ok(mpe_netlist::verilog::parse(&text)?);
+        }
+        match (&self.bench_path, self.circuit) {
+            (Some(path), _) => {
+                let text = std::fs::read_to_string(path)?;
+                let name = std::path::Path::new(path)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("netlist");
+                Ok(bench_format::parse(&text, name)?)
+            }
+            (None, Some(which)) => Ok(generate(which, self.gen_seed)?),
+            (None, None) => {
+                Err("select a circuit with --circuit, --bench or --verilog".into())
+            }
+        }
+    }
+
+    fn generator(&self) -> Result<PairGenerator, Box<dyn std::error::Error>> {
+        match self.activity {
+            Some(a) => {
+                let g = PairGenerator::Activity { activity: a };
+                g.validate(1).map_err(|e| -> Box<dyn std::error::Error> {
+                    Box::new(e)
+                })?;
+                Ok(g)
+            }
+            None => Ok(PairGenerator::Uniform),
+        }
+    }
+
+    fn estimation_config(&self, default_eps: f64) -> EstimationConfig {
+        EstimationConfig {
+            relative_error: self.epsilon.unwrap_or(default_eps),
+            confidence: self.confidence,
+            finite_population: if self.population == 0 {
+                None
+            } else {
+                Some(self.population)
+            },
+            max_hyper_samples: 500,
+            ..EstimationConfig::default()
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{flag} expects a number, got `{s}`"))
+}
+
+fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = flags.load_circuit()?;
+    let generator = flags.generator()?;
+    let config = flags.estimation_config(0.05);
+    let mut rng = SmallRng::seed_from_u64(flags.seed);
+    let estimator = MaxPowerEstimator::new(config);
+
+    let (estimate, metric_name, unit) = match metric {
+        Metric::Power => {
+            let mut source = SimulatorSource::new(
+                &circuit,
+                generator,
+                flags.delay_model,
+                PowerConfig::default(),
+            );
+            (
+                estimator.run(&mut source, &mut rng)?,
+                "max_power_mw",
+                "mW",
+            )
+        }
+        Metric::Delay => {
+            let mut source = DelaySource::new(&circuit, generator, flags.delay_model);
+            (
+                estimator.run(&mut source, &mut rng)?,
+                "max_delay_units",
+                "delay units",
+            )
+        }
+    };
+
+    if flags.json {
+        let report = EstimateReport::new(circuit.name(), metric_name, &estimate);
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "{} {} ≈ {:.4} {unit} ±{:.1}% at {:.0}% confidence",
+            circuit.name(),
+            metric_name,
+            estimate.estimate_mw,
+            100.0 * estimate.relative_error,
+            100.0 * estimate.confidence,
+        );
+        println!(
+            "cost: {} vector pairs, {} hyper-samples; largest observation {:.4} {unit}",
+            estimate.units_used, estimate.hyper_samples, estimate.observed_max_mw,
+        );
+    }
+    Ok(())
+}
+
+fn run_average(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = flags.load_circuit()?;
+    let generator = flags.generator()?;
+    let mut source = SimulatorSource::new(
+        &circuit,
+        generator,
+        flags.delay_model,
+        PowerConfig::default(),
+    );
+    let mut rng = SmallRng::seed_from_u64(flags.seed);
+    let est = estimate_average_power(
+        &mut source,
+        flags.epsilon.unwrap_or(0.02),
+        flags.confidence,
+        100,
+        5_000_000,
+        &mut rng,
+    )?;
+    println!(
+        "{} average power ≈ {:.4} mW ±{:.1}% at {:.0}% confidence ({} simulations)",
+        circuit.name(),
+        est.mean_mw,
+        100.0 * est.relative_error,
+        100.0 * flags.confidence,
+        est.units_used,
+    );
+    Ok(())
+}
+
+fn run_info(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = flags.load_circuit()?;
+    let stats = circuit.stats();
+    println!("{}: {}", circuit.name(), stats);
+    let mut kinds: Vec<_> = stats.kind_histogram.iter().collect();
+    kinds.sort_by_key(|(k, _)| k.bench_keyword());
+    for (kind, count) in kinds {
+        println!("  {:<5} {count}", kind.bench_keyword());
+    }
+    let cap = mpe_netlist::CapacitanceModel::default().total_capacitance(&circuit);
+    println!("  total switched-capacitance bound: {cap:.0} fF");
+    Ok(())
+}
+
+fn run_trace(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = flags.load_circuit()?;
+    let generator = flags.generator()?;
+    let mut rng = SmallRng::seed_from_u64(flags.seed);
+    let p1 = generator.generate(&mut rng, circuit.num_inputs());
+    let wave = mpe_sim::Waveform::capture(&circuit, &p1.v1, &p1.v2, flags.delay_model)?;
+    eprintln!(
+        "traced 1 vector pair: {} transitions, settle time {} units; glitchiest nodes:",
+        wave.transitions().len(),
+        wave.settle_time()
+    );
+    for (node, count) in wave.glitchiest(5) {
+        eprintln!("  {:<10} {count} transitions", circuit.node_name(node));
+    }
+    print!("{}", wave.to_vcd(&circuit));
+    Ok(())
+}
+
+fn run_generate(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = flags.load_circuit()?;
+    print!("{}", bench_format::write(&circuit));
+    Ok(())
+}

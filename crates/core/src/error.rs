@@ -1,0 +1,116 @@
+//! Error type for the estimation engine.
+
+use std::fmt;
+
+use mpe_mle::MleError;
+use mpe_sim::SimError;
+use mpe_stats::StatsError;
+
+/// Error raised by the maximum-power estimation engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaxPowerError {
+    /// The configuration was internally inconsistent.
+    InvalidConfig {
+        /// Explanation.
+        message: String,
+    },
+    /// The iterative procedure hit its hyper-sample cap without meeting the
+    /// requested error/confidence target. The partial estimate is included
+    /// so callers can decide whether it is good enough.
+    NotConverged {
+        /// Best estimate at the cap (mW).
+        estimate_mw: f64,
+        /// Relative half-width achieved.
+        achieved_relative_error: f64,
+        /// Hyper-samples consumed.
+        hyper_samples: usize,
+    },
+    /// Repeated MLE failures while generating a hyper-sample (degenerate
+    /// power data, e.g. a constant-power circuit).
+    HyperSampleFailed {
+        /// The final MLE failure.
+        cause: MleError,
+        /// Retries attempted.
+        attempts: usize,
+    },
+    /// A simulation call inside a power source failed.
+    Sim(SimError),
+    /// A statistical routine failed.
+    Stats(StatsError),
+}
+
+impl fmt::Display for MaxPowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaxPowerError::InvalidConfig { message } => {
+                write!(f, "invalid estimation config: {message}")
+            }
+            MaxPowerError::NotConverged {
+                estimate_mw,
+                achieved_relative_error,
+                hyper_samples,
+            } => write!(
+                f,
+                "estimation did not converge after {hyper_samples} hyper-samples \
+                 (best {estimate_mw:.4} mW at ±{:.2}%)",
+                100.0 * achieved_relative_error
+            ),
+            MaxPowerError::HyperSampleFailed { cause, attempts } => {
+                write!(f, "hyper-sample generation failed after {attempts} attempts: {cause}")
+            }
+            MaxPowerError::Sim(e) => write!(f, "simulation failure: {e}"),
+            MaxPowerError::Stats(e) => write!(f, "statistics failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MaxPowerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MaxPowerError::HyperSampleFailed { cause, .. } => Some(cause),
+            MaxPowerError::Sim(e) => Some(e),
+            MaxPowerError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for MaxPowerError {
+    fn from(e: SimError) -> Self {
+        MaxPowerError::Sim(e)
+    }
+}
+
+impl From<StatsError> for MaxPowerError {
+    fn from(e: StatsError) -> Self {
+        MaxPowerError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = MaxPowerError::InvalidConfig {
+            message: "n too small".into(),
+        };
+        assert!(e.to_string().contains("n too small"));
+        let e = MaxPowerError::NotConverged {
+            estimate_mw: 5.0,
+            achieved_relative_error: 0.07,
+            hyper_samples: 30,
+        };
+        assert!(e.to_string().contains("30"));
+        assert!(e.to_string().contains("7.00%"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: MaxPowerError = SimError::WidthMismatch { expected: 3, got: 1 }.into();
+        assert!(matches!(e, MaxPowerError::Sim(_)));
+        let e: MaxPowerError = StatsError::invalid("p", "0<p<1", 2.0).into();
+        assert!(matches!(e, MaxPowerError::Stats(_)));
+    }
+}

@@ -1,0 +1,288 @@
+//! Hyper-sample generation — the paper's Figure 3.
+//!
+//! One hyper-sample is one full MLE-based estimate of the maximum power:
+//!
+//! 1. draw `m` samples of `n` units each from the power source;
+//! 2. take each sample's maximum `p_{i,MAX}` (Eqn 3.1);
+//! 3. fit the generalized reversed Weibull to the `m` maxima by profile
+//!    maximum likelihood;
+//! 4. the estimate is the fitted endpoint `μ̂` — or, for a finite
+//!    population `|V|`, the `(1 − 1/|V|)` quantile of the fitted Weibull
+//!    (the "finite population estimator" of §3.4).
+
+use rand::RngCore;
+
+use mpe_evt::tail::finite_population_maximum;
+use mpe_mle::profile::{fit_reversed_weibull, WeibullFit};
+use mpe_mle::MleError;
+
+use crate::config::{BiasCorrection, EstimationConfig};
+use crate::error::MaxPowerError;
+use crate::source::PowerSource;
+
+/// One hyper-sample: a single MLE-based maximum-power estimate
+/// (the paper's `P̂_{i,MAX}`).
+#[derive(Debug, Clone)]
+pub struct HyperSample {
+    /// The estimate (mW): `μ̂`, or the finite-population quantile when
+    /// [`EstimationConfig::finite_population`] is set.
+    pub estimate_mw: f64,
+    /// The underlying Weibull fit (shape, scale, endpoint, likelihood).
+    pub fit: WeibullFit,
+    /// The raw sample maxima the fit was computed from (`m` values).
+    pub sample_maxima: Vec<f64>,
+    /// Largest single unit power observed while building this hyper-sample
+    /// (a free lower bound on the maximum).
+    pub observed_max: f64,
+    /// Vector pairs consumed (`n × m`, plus any MLE retries).
+    pub units_used: usize,
+}
+
+/// How many times a degenerate MLE is retried with fresh draws before
+/// giving up. Degeneracy is rare (it needs near-identical sample maxima)
+/// but possible on tiny populations.
+const MLE_RETRIES: usize = 5;
+
+/// Generates one hyper-sample from the source (paper Figure 3).
+///
+/// # Errors
+///
+/// * propagates source/simulation failures;
+/// * [`MaxPowerError::HyperSampleFailed`] if the MLE stays degenerate after
+///   five fresh attempts.
+pub fn generate_hyper_sample(
+    source: &mut dyn PowerSource,
+    config: &EstimationConfig,
+    rng: &mut dyn RngCore,
+) -> Result<HyperSample, MaxPowerError> {
+    let n = config.sample_size;
+    let m = config.samples_per_hyper;
+    let mut units_used = 0usize;
+    let mut last_err: Option<MleError> = None;
+
+    for _attempt in 0..MLE_RETRIES {
+        // Draw m samples of size n; record each sample's maximum.
+        let mut maxima = Vec::with_capacity(m);
+        let mut observed_max = f64::NEG_INFINITY;
+        for _ in 0..m {
+            let mut sample_max = f64::NEG_INFINITY;
+            for _ in 0..n {
+                let p = source.sample(rng)?;
+                units_used += 1;
+                sample_max = sample_max.max(p);
+            }
+            observed_max = observed_max.max(sample_max);
+            maxima.push(sample_max);
+        }
+        match fit_reversed_weibull(&maxima) {
+            Ok(fit) => {
+                let plain = point_estimate(&fit, config);
+                let estimate_mw = match config.bias_correction {
+                    BiasCorrection::None => plain,
+                    BiasCorrection::Jackknife => jackknife(&maxima, plain, config),
+                };
+                // The observed maximum is a hard lower bound on ω(F); the
+                // estimator never reports below what it has already seen.
+                let estimate_mw = estimate_mw.max(observed_max);
+                return Ok(HyperSample {
+                    estimate_mw,
+                    fit,
+                    sample_maxima: maxima,
+                    observed_max,
+                    units_used,
+                });
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(MaxPowerError::HyperSampleFailed {
+        cause: last_err.expect("loop ran at least once"),
+        attempts: MLE_RETRIES,
+    })
+}
+
+/// The point estimate implied by a fit under the configuration's
+/// population model (paper §3.4 for finite populations; raw `μ̂` otherwise).
+fn point_estimate(fit: &WeibullFit, config: &EstimationConfig) -> f64 {
+    match config.finite_population {
+        // block_size = 1 is the paper's literal §3.4 estimator: the
+        // (1 − 1/|V|) quantile of the fitted Weibull. The block-aware level
+        // (1 − 1/|V|)^n is theoretically the exact image of the population
+        // maximum, but its shallower extrapolation inherits the fitted
+        // tail's downward bias; empirically (see the estimator ablation)
+        // the paper's variant is the better-centred estimator, exactly as
+        // the authors report.
+        Some(v) => finite_population_maximum(&fit.distribution, v, 1)
+            .expect("population size validated >= 2"),
+        None => fit.mu_hat(),
+    }
+}
+
+/// Delete-one jackknife: `θ_J = m·θ̂ − (m−1)·mean(θ̂₋ᵢ)`. Requires every
+/// leave-one-out refit to succeed; otherwise returns the plain estimate
+/// (jackknife with missing replicates would itself be biased).
+fn jackknife(maxima: &[f64], plain: f64, config: &EstimationConfig) -> f64 {
+    let m = maxima.len();
+    let mut loo_sum = 0.0;
+    let mut loo = Vec::with_capacity(m - 1);
+    for skip in 0..m {
+        loo.clear();
+        loo.extend(
+            maxima
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, &x)| x),
+        );
+        match fit_reversed_weibull(&loo) {
+            Ok(fit) => loo_sum += point_estimate(&fit, config),
+            Err(_) => return plain,
+        }
+    }
+    let m = m as f64;
+    m * plain - (m - 1.0) * (loo_sum / m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FnSource;
+    use mpe_evt::ReversedWeibull;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn weibull_source(alpha: f64, beta: f64, mu: f64) -> impl FnMut(&mut dyn RngCore) -> f64 {
+        move |rng: &mut dyn RngCore| {
+            let r = rng;
+            let u: f64 = r.gen_range(1e-12..1.0f64);
+            mu - (-u.ln() / beta).powf(1.0 / alpha)
+        }
+    }
+
+    #[test]
+    fn hyper_sample_estimates_endpoint() {
+        // Parent with endpoint 10 and smooth tail (alpha 3): maxima of 30
+        // concentrate near 10; the hyper-sample estimate should land close.
+        let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
+        let config = EstimationConfig::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut errs = Vec::new();
+        for _ in 0..20 {
+            let h = generate_hyper_sample(&mut source, &config, &mut rng).unwrap();
+            assert_eq!(h.units_used, 300);
+            assert_eq!(h.sample_maxima.len(), 10);
+            assert!(h.estimate_mw >= h.observed_max);
+            errs.push((h.estimate_mw - 10.0).abs());
+        }
+        errs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = errs[errs.len() / 2];
+        assert!(median < 0.5, "median endpoint error {median}");
+    }
+
+    #[test]
+    fn finite_population_estimate_below_mu_hat() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        // Build identical draws for two configs by re-seeding.
+        let mut run = |finite: Option<u64>| {
+            let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
+            let mut config = EstimationConfig::default();
+            config.finite_population = finite;
+            let mut local_rng = SmallRng::seed_from_u64(77);
+            let _ = &mut rng;
+            generate_hyper_sample(&mut source, &config, &mut local_rng).unwrap()
+        };
+        let infinite = run(None);
+        let finite = run(Some(10_000));
+        // Same draws, so same fit; the finite-population quantile is below
+        // the endpoint (unless clamped by the observed max).
+        assert!(finite.estimate_mw <= infinite.estimate_mw);
+    }
+
+    #[test]
+    fn degenerate_source_fails_cleanly() {
+        // Constant power: sample maxima are all identical; MLE must fail.
+        let mut source = FnSource::new(|_: &mut dyn RngCore| 5.0);
+        let config = EstimationConfig::default();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let err = generate_hyper_sample(&mut source, &config, &mut rng);
+        assert!(matches!(
+            err,
+            Err(MaxPowerError::HyperSampleFailed { attempts: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn units_used_accounts_retries() {
+        // A source that is degenerate at first, then becomes healthy: the
+        // retry loop should succeed and count all units drawn.
+        let truth = ReversedWeibull::new(3.0, 1.0, 10.0).unwrap();
+        let mut calls = 0usize;
+        let mut source = FnSource::new(move |rng: &mut dyn RngCore| {
+            calls += 1;
+            if calls <= 300 {
+                5.0 // first full hyper-sample worth of draws is constant
+            } else {
+                let r = rng;
+                let u: f64 = r.gen_range(1e-12..1.0f64);
+                truth.mu() - (-u.ln()).powf(1.0 / truth.alpha())
+            }
+        });
+        let config = EstimationConfig::default();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let h = generate_hyper_sample(&mut source, &config, &mut rng).unwrap();
+        assert_eq!(h.units_used, 600);
+    }
+
+    #[test]
+    fn jackknife_runs_and_stays_sane() {
+        // The jackknife's bias-variance tradeoff is data-dependent (it
+        // helps on the gate-level power populations of the estimator
+        // ablation, hurts on some synthetic parents), so the unit test
+        // checks the mechanical contract only: finite estimates that never
+        // fall below the observed maximum, on the same draws as the plain
+        // estimator.
+        use crate::config::BiasCorrection;
+        let run = |correction: BiasCorrection| -> Vec<HyperSample> {
+            let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
+            let mut config = EstimationConfig::default();
+            config.bias_correction = correction;
+            let mut rng = SmallRng::seed_from_u64(9);
+            (0..10)
+                .map(|_| generate_hyper_sample(&mut source, &config, &mut rng).unwrap())
+                .collect()
+        };
+        let plain = run(BiasCorrection::None);
+        let jack = run(BiasCorrection::Jackknife);
+        for (p, j) in plain.iter().zip(&jack) {
+            assert!(j.estimate_mw.is_finite());
+            assert!(j.estimate_mw >= j.observed_max);
+            // Same RNG stream, same draws: the underlying fits agree.
+            assert_eq!(p.sample_maxima, j.sample_maxima);
+        }
+        // The correction actually does something on at least one replicate.
+        assert!(plain
+            .iter()
+            .zip(&jack)
+            .any(|(p, j)| (p.estimate_mw - j.estimate_mw).abs() > 1e-9));
+    }
+
+    #[test]
+    fn estimate_never_below_observed_max() {
+        // Heavy-discrete source where MLE could undershoot: clamping to the
+        // observed max keeps the estimate sane.
+        let mut source = FnSource::new(|rng: &mut dyn RngCore| {
+            let r = rng;
+            let u: f64 = r.gen();
+            if u > 0.999 {
+                100.0
+            } else {
+                u
+            }
+        });
+        let config = EstimationConfig::default();
+        let mut rng = SmallRng::seed_from_u64(5);
+        if let Ok(h) = generate_hyper_sample(&mut source, &config, &mut rng) {
+            assert!(h.estimate_mw >= h.observed_max);
+        }
+    }
+}

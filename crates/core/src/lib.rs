@@ -1,0 +1,90 @@
+//! # maxpower — statistical maximum power estimation
+//!
+//! A Rust implementation of
+//! *"Maximum Power Estimation Using the Limiting Distributions of Extreme
+//! Order Statistics"* (Qinru Qiu, Qing Wu, Massoud Pedram — DAC 1998),
+//! together with every substrate it needs: a gate-level power simulator,
+//! circuit generators, extreme-value distributions and a non-regular
+//! Weibull MLE.
+//!
+//! ## The method in one paragraph
+//!
+//! Cycle power for a random input vector pair is a bounded random variable,
+//! so the maxima of power samples follow (asymptotically) a **reversed
+//! Weibull** law whose location parameter `μ` *is* the maximum power. Draw
+//! `m = 10` samples of `n = 30` simulated vector pairs, fit `(α, β, μ)` by
+//! maximum likelihood → one **hyper-sample** estimate (300 simulations).
+//! Hyper-samples are approximately normal around the true maximum, so a
+//! Student-t interval over `k` of them gives a confidence interval; keep
+//! adding hyper-samples until the interval half-width falls below the
+//! requested relative error `ε` at confidence `l`. Typical cost: ~2500
+//! vector pairs for ε = 5 %, l = 90 % — versus tens of thousands for naive
+//! random search.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mpe_netlist::{generate, Iscas85};
+//! use mpe_sim::{DelayModel, PowerConfig};
+//! use mpe_vectors::PairGenerator;
+//! use maxpower::{EstimationConfig, MaxPowerEstimator, SimulatorSource};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. The circuit under analysis (here: a generated ISCAS85 stand-in).
+//! let circuit = generate(Iscas85::C432, 7)?;
+//!
+//! // 2. A power source: fresh random vector pairs, simulated on demand.
+//! let mut source = SimulatorSource::new(
+//!     &circuit,
+//!     PairGenerator::Uniform,
+//!     DelayModel::Unit,
+//!     PowerConfig::default(),
+//! );
+//!
+//! // 3. Estimate to 5% error at 90% confidence (the paper's setting).
+//! //    Like the paper's experiments (§3.4), we target the maximum of a
+//! //    finite population of vector pairs; the estimator then reports the
+//! //    (1 − 1/|V|) quantile of the fitted Weibull, which is both what the
+//! //    ground truth means and substantially more stable than the raw
+//! //    endpoint estimate.
+//! let config = EstimationConfig {
+//!     finite_population: Some(160_000),
+//!     ..EstimationConfig::default()
+//! };
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+//! let estimate = MaxPowerEstimator::new(config).run(&mut source, &mut rng)?;
+//!
+//! println!(
+//!     "max power ≈ {:.3} mW ± {:.1}% ({} vector pairs simulated)",
+//!     estimate.estimate_mw,
+//!     100.0 * estimate.relative_error,
+//!     estimate.units_used
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod average;
+pub mod config;
+pub mod delay;
+pub mod error;
+pub mod estimator;
+pub mod hyper;
+pub mod quantile_baseline;
+pub mod report;
+pub mod source;
+pub mod srs;
+pub mod sweep;
+
+pub use average::{estimate_average_power, AveragePowerEstimate};
+pub use config::{BiasCorrection, EstimationConfig};
+pub use delay::DelaySource;
+pub use error::MaxPowerError;
+pub use estimator::{EstimateHistoryEntry, MaxPowerEstimate, MaxPowerEstimator};
+pub use hyper::{generate_hyper_sample, HyperSample};
+pub use quantile_baseline::{quantile_baseline_estimate, QuantileEstimate};
+pub use report::EstimateReport;
+pub use source::{FnSource, PopulationSource, PowerSource, SimulatorSource};
+pub use srs::{srs_max_estimate, srs_theoretical_units, SrsEstimate};
+pub use sweep::{sweep_activity, SweepPoint};

@@ -1,0 +1,146 @@
+//! Serializable estimation reports — stable JSON for downstream tooling
+//! (regression tracking, dashboards, flow integration).
+//!
+//! The in-memory result types borrow nothing but carry non-serializable
+//! internals (fit objects); [`EstimateReport`] is the flattened, versioned
+//! exchange format.
+
+use serde::{Deserialize, Serialize};
+
+use crate::estimator::MaxPowerEstimate;
+
+/// Format version written into every report, bumped on breaking changes.
+pub const REPORT_VERSION: u32 = 1;
+
+/// A flattened, JSON-serializable view of a [`MaxPowerEstimate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimateReport {
+    /// Format version ([`REPORT_VERSION`]).
+    pub version: u32,
+    /// What was estimated (free-form, e.g. the circuit name).
+    pub subject: String,
+    /// The metric estimated (`"max_power_mw"`, `"max_delay_units"`, …).
+    pub metric: String,
+    /// The point estimate.
+    pub estimate: f64,
+    /// Lower edge of the confidence interval.
+    pub ci_low: f64,
+    /// Upper edge of the confidence interval.
+    pub ci_high: f64,
+    /// Achieved relative half-width.
+    pub relative_error: f64,
+    /// Confidence level of the interval.
+    pub confidence: f64,
+    /// Hyper-samples consumed.
+    pub hyper_samples: usize,
+    /// Simulated units consumed.
+    pub units_used: usize,
+    /// Largest single observation (hard lower bound on the maximum).
+    pub observed_max: f64,
+    /// Per-hyper-sample estimates, for audit/debugging.
+    pub hyper_estimates: Vec<f64>,
+}
+
+impl EstimateReport {
+    /// Builds a report from an estimate.
+    pub fn new(subject: &str, metric: &str, estimate: &MaxPowerEstimate) -> Self {
+        EstimateReport {
+            version: REPORT_VERSION,
+            subject: subject.to_string(),
+            metric: metric.to_string(),
+            estimate: estimate.estimate_mw,
+            ci_low: estimate.confidence_interval.0,
+            ci_high: estimate.confidence_interval.1,
+            relative_error: estimate.relative_error,
+            confidence: estimate.confidence,
+            hyper_samples: estimate.hyper_samples,
+            units_used: estimate.units_used,
+            observed_max: estimate.observed_max_mw,
+            hyper_estimates: estimate.hyper_estimates.clone(),
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the type contains no non-serializable values
+    /// (`serde_json` only fails on maps with non-string keys and similar,
+    /// none of which appear here).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plain struct serializes")
+    }
+
+    /// Parses a report from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+impl From<&MaxPowerEstimate> for EstimateReport {
+    fn from(estimate: &MaxPowerEstimate) -> Self {
+        EstimateReport::new("unnamed", "max_power_mw", estimate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::EstimateHistoryEntry;
+
+    fn sample_estimate() -> MaxPowerEstimate {
+        MaxPowerEstimate {
+            estimate_mw: 10.5,
+            confidence_interval: (10.0, 11.0),
+            relative_error: 0.047,
+            confidence: 0.9,
+            hyper_samples: 8,
+            units_used: 2400,
+            observed_max_mw: 10.1,
+            history: vec![EstimateHistoryEntry {
+                k: 1,
+                mean_mw: 10.2,
+                relative_half_width: f64::INFINITY,
+                units_used: 300,
+            }],
+            hyper_estimates: vec![10.2, 10.8],
+        }
+    }
+
+    #[test]
+    fn roundtrip_json() {
+        let report = EstimateReport::new("C3540", "max_power_mw", &sample_estimate());
+        let json = report.to_json();
+        assert!(json.contains("\"subject\": \"C3540\""));
+        let back = EstimateReport::from_json(&json).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn version_stamped() {
+        let report: EstimateReport = (&sample_estimate()).into();
+        assert_eq!(report.version, REPORT_VERSION);
+        assert_eq!(report.metric, "max_power_mw");
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(EstimateReport::from_json("{not json").is_err());
+        assert!(EstimateReport::from_json("{}").is_err()); // missing fields
+    }
+
+    #[test]
+    fn fields_flattened_correctly() {
+        let est = sample_estimate();
+        let report = EstimateReport::new("x", "max_power_mw", &est);
+        assert_eq!(report.estimate, est.estimate_mw);
+        assert_eq!(report.ci_low, est.confidence_interval.0);
+        assert_eq!(report.ci_high, est.confidence_interval.1);
+        assert_eq!(report.units_used, 2400);
+        assert_eq!(report.hyper_estimates.len(), 2);
+    }
+}

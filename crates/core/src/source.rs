@@ -1,0 +1,221 @@
+//! Power sources: where unit powers come from.
+//!
+//! The estimation engine only needs "give me the power of one random unit
+//! of the population". Three providers cover the paper's setups and testing:
+//!
+//! * [`SimulatorSource`] — draws a fresh vector pair from a
+//!   [`PairGenerator`] and simulates it on demand. This is the *real*
+//!   deployment mode: no pre-simulation, the estimator drives the simulator
+//!   directly (the paper's Figure 4 flow).
+//! * [`PopulationSource`] — samples (with replacement) from a pre-simulated
+//!   [`Population`]; the paper's experimental setup, where the ground truth
+//!   is known and estimates can be scored.
+//! * [`FnSource`] — wraps a closure; used by tests to feed analytically
+//!   known distributions through the full pipeline.
+
+use rand::RngCore;
+
+use mpe_netlist::Circuit;
+use mpe_sim::{DelayModel, PowerConfig, PowerSimulator};
+use mpe_vectors::{PairGenerator, Population};
+
+use crate::error::MaxPowerError;
+
+/// A supplier of unit powers (mW) for the estimation engine.
+///
+/// Implementations must return *independent identically distributed* draws
+/// from the population law — the one statistical assumption the method
+/// rests on.
+pub trait PowerSource {
+    /// Draws the power of one random unit.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail on simulation errors.
+    fn sample(&mut self, rng: &mut dyn RngCore) -> Result<f64, MaxPowerError>;
+
+    /// The population size `|V|`, when the source represents a finite
+    /// population (used by the finite-population estimator, paper §3.4).
+    fn population_size(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// On-demand simulation source: generator + simulator, no pre-computation.
+pub struct SimulatorSource<'c> {
+    simulator: PowerSimulator<'c>,
+    generator: PairGenerator,
+    width: usize,
+    simulated: u64,
+}
+
+impl<'c> SimulatorSource<'c> {
+    /// Creates a source that simulates fresh pairs from `generator` on the
+    /// given circuit.
+    pub fn new(
+        circuit: &'c Circuit,
+        generator: PairGenerator,
+        delay: DelayModel,
+        config: PowerConfig,
+    ) -> Self {
+        SimulatorSource {
+            simulator: PowerSimulator::new(circuit, delay, config),
+            width: circuit.num_inputs(),
+            generator,
+            simulated: 0,
+        }
+    }
+
+    /// Vector pairs simulated so far (the paper's cost metric).
+    pub fn simulated(&self) -> u64 {
+        self.simulated
+    }
+}
+
+impl PowerSource for SimulatorSource<'_> {
+    fn sample(&mut self, rng: &mut dyn RngCore) -> Result<f64, MaxPowerError> {
+        let pair = self.generator.generate(rng, self.width);
+        self.simulated += 1;
+        self.simulator
+            .cycle_power(&pair.v1, &pair.v2)
+            .map_err(MaxPowerError::from)
+    }
+}
+
+/// Pre-simulated population source (the paper's experimental mode).
+pub struct PopulationSource<'p> {
+    population: &'p Population,
+}
+
+impl<'p> PopulationSource<'p> {
+    /// Wraps a population.
+    pub fn new(population: &'p Population) -> Self {
+        PopulationSource { population }
+    }
+
+    /// The wrapped population.
+    pub fn population(&self) -> &Population {
+        self.population
+    }
+}
+
+impl PowerSource for PopulationSource<'_> {
+    fn sample(&mut self, rng: &mut dyn RngCore) -> Result<f64, MaxPowerError> {
+        Ok(self.population.sample_power(rng))
+    }
+
+    fn population_size(&self) -> Option<u64> {
+        Some(self.population.size() as u64)
+    }
+}
+
+/// Closure-backed source for tests and synthetic studies.
+pub struct FnSource<F> {
+    f: F,
+    population_size: Option<u64>,
+}
+
+impl<F> FnSource<F>
+where
+    F: FnMut(&mut dyn RngCore) -> f64,
+{
+    /// Wraps a closure producing i.i.d. draws.
+    pub fn new(f: F) -> Self {
+        FnSource {
+            f,
+            population_size: None,
+        }
+    }
+
+    /// Declares a finite population size for the finite-population
+    /// estimator path.
+    pub fn with_population_size(mut self, size: u64) -> Self {
+        self.population_size = Some(size);
+        self
+    }
+}
+
+impl<F> PowerSource for FnSource<F>
+where
+    F: FnMut(&mut dyn RngCore) -> f64,
+{
+    fn sample(&mut self, rng: &mut dyn RngCore) -> Result<f64, MaxPowerError> {
+        Ok((self.f)(rng))
+    }
+
+    fn population_size(&self) -> Option<u64> {
+        self.population_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpe_netlist::{generate, Iscas85};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn simulator_source_counts_units() {
+        let c = generate(Iscas85::C432, 7).unwrap();
+        let mut s = SimulatorSource::new(
+            &c,
+            PairGenerator::Uniform,
+            DelayModel::Zero,
+            PowerConfig::default(),
+        );
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let p = s.sample(&mut rng).unwrap();
+            assert!(p >= 0.0);
+        }
+        assert_eq!(s.simulated(), 10);
+        assert_eq!(s.population_size(), None);
+    }
+
+    #[test]
+    fn population_source_reports_size() {
+        let c = generate(Iscas85::C432, 7).unwrap();
+        let pop = Population::build(
+            &c,
+            &PairGenerator::Uniform,
+            500,
+            DelayModel::Zero,
+            PowerConfig::default(),
+            3,
+            0,
+        )
+        .unwrap();
+        let mut s = PopulationSource::new(&pop);
+        assert_eq!(s.population_size(), Some(500));
+        let mut rng = SmallRng::seed_from_u64(2);
+        let p = s.sample(&mut rng).unwrap();
+        assert!(p <= pop.actual_max_power());
+        assert_eq!(s.population().size(), 500);
+    }
+
+    #[test]
+    fn fn_source_passes_through() {
+        let mut s = FnSource::new(|rng: &mut dyn RngCore| {
+            let mut buf = [0u8; 4];
+            rng.fill_bytes(&mut buf);
+            buf[0] as f64
+        })
+        .with_population_size(42);
+        assert_eq!(s.population_size(), Some(42));
+        let mut rng = SmallRng::seed_from_u64(3);
+        let v = s.sample(&mut rng).unwrap();
+        assert!((0.0..=255.0).contains(&v));
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut s = FnSource::new(|rng: &mut dyn RngCore| {
+            let rng = rng;
+            rng.gen::<f64>()
+        });
+        let src: &mut dyn PowerSource = &mut s;
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(src.sample(&mut rng).unwrap() <= 1.0);
+    }
+}

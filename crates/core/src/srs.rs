@@ -1,0 +1,183 @@
+//! Simple random sampling (SRS) — the baseline the paper compares against.
+//!
+//! SRS estimates the maximum power as the largest power among `x` randomly
+//! sampled units. It is unbiased *downward* (it can never exceed the true
+//! maximum) but gives no confidence statement, and its cost to reach a
+//! qualified unit grows like `log(1−confidence)/log(1−Y)` where `Y` is the
+//! tiny fraction of near-maximum units — the analysis in the paper's
+//! Section IV that motivates the whole EVT machinery.
+
+use rand::RngCore;
+
+use crate::error::MaxPowerError;
+use crate::source::PowerSource;
+
+/// Result of a simple-random-sampling run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SrsEstimate {
+    /// The SRS estimate: the largest sampled power (mW).
+    pub estimate_mw: f64,
+    /// Units sampled.
+    pub units_used: usize,
+}
+
+/// Estimates the maximum power by sampling `units` random units and taking
+/// the largest (the paper's SRS-2500/10K/20K baselines).
+///
+/// # Errors
+///
+/// Returns [`MaxPowerError::InvalidConfig`] for `units == 0` and propagates
+/// source failures.
+///
+/// # Example
+///
+/// ```
+/// use maxpower::{srs_max_estimate, FnSource};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), maxpower::MaxPowerError> {
+/// let mut source = FnSource::new(|rng: &mut dyn rand::RngCore| {
+///     let mut buf = [0u8; 1];
+///     rng.fill_bytes(&mut buf);
+///     buf[0] as f64 / 255.0
+/// });
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let r = srs_max_estimate(&mut source, 2_500, &mut rng)?;
+/// assert!(r.estimate_mw <= 1.0);
+/// assert_eq!(r.units_used, 2_500);
+/// # Ok(())
+/// # }
+/// ```
+pub fn srs_max_estimate(
+    source: &mut dyn PowerSource,
+    units: usize,
+    rng: &mut dyn RngCore,
+) -> Result<SrsEstimate, MaxPowerError> {
+    if units == 0 {
+        return Err(MaxPowerError::InvalidConfig {
+            message: "SRS needs at least one unit".to_string(),
+        });
+    }
+    let mut best = f64::NEG_INFINITY;
+    for _ in 0..units {
+        best = best.max(source.sample(rng)?);
+    }
+    Ok(SrsEstimate {
+        estimate_mw: best,
+        units_used: units,
+    })
+}
+
+/// The paper's theoretical SRS cost: the number of units needed so that at
+/// least one "qualified unit" (power within the error band of the maximum)
+/// is sampled with probability `confidence`, given the qualified fraction
+/// `y`:
+///
+/// `x = ln(1 − confidence) / ln(1 − y)`
+///
+/// Returns `f64::INFINITY` when `y ≤ 0` and `1.0` when `y ≥ 1`.
+///
+/// # Errors
+///
+/// Returns [`MaxPowerError::InvalidConfig`] unless `confidence ∈ (0, 1)`.
+pub fn srs_theoretical_units(y: f64, confidence: f64) -> Result<f64, MaxPowerError> {
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(MaxPowerError::InvalidConfig {
+            message: format!("confidence must be in (0, 1), got {confidence}"),
+        });
+    }
+    if y <= 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    if y >= 1.0 {
+        return Ok(1.0);
+    }
+    Ok((1.0 - confidence).ln() / (1.0 - y).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FnSource;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn srs_underestimates_bounded_source() {
+        let mut source = FnSource::new(|rng: &mut dyn RngCore| {
+            let r = rng;
+            r.gen::<f64>() * 10.0
+        });
+        let mut rng = SmallRng::seed_from_u64(1);
+        let r = srs_max_estimate(&mut source, 1000, &mut rng).unwrap();
+        assert!(r.estimate_mw < 10.0);
+        assert!(r.estimate_mw > 9.5); // 1000 uniforms get close
+    }
+
+    #[test]
+    fn more_units_do_not_decrease_estimate_in_expectation() {
+        let run = |units: usize, seed: u64| {
+            let mut source = FnSource::new(|rng: &mut dyn RngCore| {
+                let r = rng;
+                r.gen::<f64>()
+            });
+            let mut rng = SmallRng::seed_from_u64(seed);
+            srs_max_estimate(&mut source, units, &mut rng)
+                .unwrap()
+                .estimate_mw
+        };
+        let small: f64 = (0..30).map(|s| run(10, s)).sum::<f64>() / 30.0;
+        let large: f64 = (0..30).map(|s| run(1000, s)).sum::<f64>() / 30.0;
+        assert!(large > small);
+    }
+
+    #[test]
+    fn zero_units_rejected() {
+        let mut source = FnSource::new(|_: &mut dyn RngCore| 1.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(srs_max_estimate(&mut source, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn theoretical_units_matches_paper_example() {
+        // Paper: Y < 0.0001 leads to x > 23,000 at 90% confidence.
+        let x = srs_theoretical_units(0.0001, 0.9).unwrap();
+        assert!(x > 23_000.0, "{x}");
+        // And the specific Table 1 row for C1355: Y = 0.0001 -> 23024.
+        assert!((x - 23_025.0).abs() < 5.0, "{x}");
+    }
+
+    #[test]
+    fn theoretical_units_edge_cases() {
+        assert_eq!(srs_theoretical_units(0.0, 0.9).unwrap(), f64::INFINITY);
+        assert_eq!(srs_theoretical_units(1.0, 0.9).unwrap(), 1.0);
+        assert!(srs_theoretical_units(0.5, 0.0).is_err());
+        assert!(srs_theoretical_units(0.5, 1.0).is_err());
+    }
+
+    #[test]
+    fn empirical_hit_rate_matches_theory() {
+        // Sample x units from a population with qualified fraction y; the
+        // hit probability should be ~confidence.
+        let y = 0.01;
+        let confidence = 0.9;
+        let x = srs_theoretical_units(y, confidence).unwrap().ceil() as usize;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let trials = 2000;
+        let mut hits = 0;
+        for _ in 0..trials {
+            let mut found = false;
+            for _ in 0..x {
+                if rng.gen::<f64>() < y {
+                    found = true;
+                    break;
+                }
+            }
+            if found {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - confidence).abs() < 0.03, "hit rate {rate}");
+    }
+}

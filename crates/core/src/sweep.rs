@@ -1,0 +1,159 @@
+//! Input-activity sweeps: maximum power as a function of the input
+//! switching activity — the what-if curve a power-integrity engineer draws
+//! before signing off a power grid.
+//!
+//! Each sweep point runs the full category-I.2 estimation (paper §I.2) at
+//! one per-line activity; the resulting curve shows how the worst case
+//! scales between a quiet bus (activity → 0) and a pathological one
+//! (activity → 1).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use mpe_netlist::Circuit;
+use mpe_sim::{DelayModel, PowerConfig};
+use mpe_vectors::PairGenerator;
+
+use crate::config::EstimationConfig;
+use crate::error::MaxPowerError;
+use crate::estimator::{MaxPowerEstimate, MaxPowerEstimator};
+use crate::source::SimulatorSource;
+
+/// One point of an activity sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The per-line input switching activity of this point.
+    pub activity: f64,
+    /// The full estimate at this activity, or the reason it failed
+    /// (individual non-convergence does not abort the sweep).
+    pub result: Result<MaxPowerEstimate, MaxPowerError>,
+}
+
+/// Runs a maximum-power estimation at each activity in `activities`.
+///
+/// Deterministic per point: point `i` uses seed `seed + i`, so refining a
+/// sweep (adding points) never changes existing ones.
+///
+/// # Errors
+///
+/// Returns [`MaxPowerError::InvalidConfig`] for an empty activity list or
+/// activities outside `[0, 1]`; per-point failures are carried inside
+/// [`SweepPoint::result`].
+///
+/// # Example
+///
+/// ```
+/// use maxpower::{sweep::sweep_activity, EstimationConfig};
+/// use mpe_netlist::{generate, Iscas85};
+/// use mpe_sim::DelayModel;
+///
+/// # fn main() -> Result<(), maxpower::MaxPowerError> {
+/// let circuit = generate(Iscas85::C432, 7).expect("profile generates");
+/// let config = EstimationConfig {
+///     relative_error: 0.10, // coarse curve, fast points
+///     finite_population: Some(50_000),
+///     max_hyper_samples: 400,
+///     ..EstimationConfig::default()
+/// };
+/// let points = sweep_activity(&circuit, &[0.2, 0.8], DelayModel::Zero, &config, 1)?;
+/// assert_eq!(points.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sweep_activity(
+    circuit: &Circuit,
+    activities: &[f64],
+    delay: DelayModel,
+    config: &EstimationConfig,
+    seed: u64,
+) -> Result<Vec<SweepPoint>, MaxPowerError> {
+    if activities.is_empty() {
+        return Err(MaxPowerError::InvalidConfig {
+            message: "activity sweep needs at least one point".to_string(),
+        });
+    }
+    for &a in activities {
+        if !(0.0..=1.0).contains(&a) || a.is_nan() {
+            return Err(MaxPowerError::InvalidConfig {
+                message: format!("activity {a} outside [0, 1]"),
+            });
+        }
+    }
+    let estimator = MaxPowerEstimator::new(*config);
+    let mut points = Vec::with_capacity(activities.len());
+    for (i, &activity) in activities.iter().enumerate() {
+        let mut source = SimulatorSource::new(
+            circuit,
+            PairGenerator::Activity { activity },
+            delay,
+            PowerConfig::default(),
+        );
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(i as u64));
+        points.push(SweepPoint {
+            activity,
+            result: estimator.run(&mut source, &mut rng),
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpe_netlist::{generate, Iscas85};
+
+    fn sweep_config() -> EstimationConfig {
+        EstimationConfig {
+            relative_error: 0.10,
+            finite_population: Some(50_000),
+            max_hyper_samples: 400,
+            ..EstimationConfig::default()
+        }
+    }
+
+    #[test]
+    fn higher_activity_higher_max_power() {
+        let circuit = generate(Iscas85::C432, 3).unwrap();
+        let points = sweep_activity(
+            &circuit,
+            &[0.1, 0.9],
+            DelayModel::Zero,
+            &sweep_config(),
+            7,
+        )
+        .unwrap();
+        let est = |p: &SweepPoint| match &p.result {
+            Ok(e) => e.estimate_mw,
+            Err(MaxPowerError::NotConverged { estimate_mw, .. }) => *estimate_mw,
+            Err(e) => panic!("sweep point failed hard: {e}"),
+        };
+        assert!(
+            est(&points[1]) > est(&points[0]),
+            "activity 0.9 ({}) should out-power 0.1 ({})",
+            est(&points[1]),
+            est(&points[0])
+        );
+    }
+
+    #[test]
+    fn points_are_independent_of_sweep_composition() {
+        let circuit = generate(Iscas85::C432, 3).unwrap();
+        let solo = sweep_activity(&circuit, &[0.5], DelayModel::Zero, &sweep_config(), 9)
+            .unwrap();
+        let multi =
+            sweep_activity(&circuit, &[0.5, 0.7], DelayModel::Zero, &sweep_config(), 9)
+                .unwrap();
+        let a = solo[0].result.as_ref().map(|e| e.estimate_mw).ok();
+        let b = multi[0].result.as_ref().map(|e| e.estimate_mw).ok();
+        assert_eq!(a, b, "prefix points must not depend on later points");
+    }
+
+    #[test]
+    fn validation() {
+        let circuit = generate(Iscas85::C432, 3).unwrap();
+        assert!(sweep_activity(&circuit, &[], DelayModel::Zero, &sweep_config(), 1).is_err());
+        assert!(
+            sweep_activity(&circuit, &[1.5], DelayModel::Zero, &sweep_config(), 1).is_err()
+        );
+    }
+}

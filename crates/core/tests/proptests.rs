@@ -1,0 +1,100 @@
+//! Property-based tests for the estimation engine's invariants.
+
+use maxpower::{
+    generate_hyper_sample, srs_max_estimate, srs_theoretical_units, EstimationConfig, FnSource,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+fn bounded_source(mu: f64) -> impl FnMut(&mut dyn RngCore) -> f64 {
+    move |rng: &mut dyn RngCore| {
+        let r = rng;
+        let u: f64 = r.gen_range(1e-12..1.0f64);
+        mu - (-u.ln()).powf(1.0 / 3.0)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Hyper-samples never report below their own observed maximum and
+    /// always consume exactly n·m units on clean sources.
+    #[test]
+    fn hyper_sample_invariants(mu in -100.0f64..100.0, seed in 0u64..500) {
+        let mut source = FnSource::new(bounded_source(mu));
+        let config = EstimationConfig::default();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let h = generate_hyper_sample(&mut source, &config, &mut rng).unwrap();
+        prop_assert!(h.estimate_mw >= h.observed_max);
+        prop_assert_eq!(h.units_used, 300);
+        prop_assert_eq!(h.sample_maxima.len(), 10);
+        prop_assert!(h.fit.distribution.mu() > h.fit.sample_max);
+        // Shift equivariance of the whole pipeline: the estimate tracks mu.
+        prop_assert!((h.estimate_mw - mu).abs() < 3.0);
+    }
+
+    /// The finite-population estimate never exceeds the infinite-population
+    /// estimate for the same draws.
+    #[test]
+    fn finite_population_never_higher(seed in 0u64..300, v in 100u64..1_000_000) {
+        let run = |finite: Option<u64>| {
+            let mut source = FnSource::new(bounded_source(10.0));
+            let mut config = EstimationConfig::default();
+            config.finite_population = finite;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            generate_hyper_sample(&mut source, &config, &mut rng)
+                .unwrap()
+                .estimate_mw
+        };
+        prop_assert!(run(Some(v)) <= run(None) + 1e-9);
+    }
+
+    /// SRS estimates never exceed the source's true bound and are monotone
+    /// (in distribution) in budget; spot check per-draw bound here.
+    #[test]
+    fn srs_bounded_by_endpoint(mu in -50.0f64..50.0, units in 1usize..500, seed in 0u64..200) {
+        let mut source = FnSource::new(bounded_source(mu));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let r = srs_max_estimate(&mut source, units, &mut rng).unwrap();
+        prop_assert!(r.estimate_mw <= mu);
+        prop_assert_eq!(r.units_used, units);
+    }
+
+    /// The theoretical SRS cost formula is monotone: rarer qualified units
+    /// or higher confidence always cost more.
+    #[test]
+    fn srs_cost_monotonicity(y in 1e-6f64..0.5, conf in 0.5f64..0.99) {
+        let base = srs_theoretical_units(y, conf).unwrap();
+        let rarer = srs_theoretical_units(y / 2.0, conf).unwrap();
+        let surer = srs_theoretical_units(y, conf + 0.005).unwrap();
+        prop_assert!(rarer > base);
+        prop_assert!(surer > base);
+        prop_assert!(base >= 1.0);
+    }
+
+    /// Config validation accepts exactly the documented domain.
+    #[test]
+    fn config_validation_total(
+        n in 0usize..100,
+        m in 0usize..100,
+        conf in -0.5f64..1.5,
+        eps in -0.5f64..1.5,
+    ) {
+        let config = EstimationConfig {
+            sample_size: n,
+            samples_per_hyper: m,
+            confidence: conf,
+            relative_error: eps,
+            ..EstimationConfig::default()
+        };
+        let ok = config.validate().is_ok();
+        let expect = n >= 2
+            && m >= 5
+            && conf > 0.0
+            && conf < 1.0
+            && eps > 0.0
+            && eps < 1.0;
+        prop_assert_eq!(ok, expect);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for extreme-value routines.
+
+use std::fmt;
+
+use mpe_stats::StatsError;
+
+/// Error raised by extreme-value-theory routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvtError {
+    /// A distribution parameter was outside its domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// Constraint that was violated.
+        constraint: &'static str,
+        /// The value passed.
+        value: f64,
+    },
+    /// The input sample was empty or too small.
+    InsufficientData {
+        /// Observations required.
+        needed: usize,
+        /// Observations provided.
+        got: usize,
+    },
+    /// A numerical routine from the stats substrate failed.
+    Numeric(StatsError),
+}
+
+impl EvtError {
+    /// Convenience constructor for [`EvtError::InvalidParameter`].
+    pub fn invalid(what: &'static str, constraint: &'static str, value: f64) -> Self {
+        EvtError::InvalidParameter {
+            what,
+            constraint,
+            value,
+        }
+    }
+}
+
+impl fmt::Display for EvtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvtError::InvalidParameter {
+                what,
+                constraint,
+                value,
+            } => write!(f, "invalid parameter {what}={value}: must satisfy {constraint}"),
+            EvtError::InsufficientData { needed, got } => {
+                write!(f, "insufficient data: needed {needed} observations, got {got}")
+            }
+            EvtError::Numeric(e) => write!(f, "numeric failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvtError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for EvtError {
+    fn from(e: StatsError) -> Self {
+        EvtError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = EvtError::invalid("alpha", "alpha > 0", -1.0);
+        assert!(e.to_string().contains("alpha"));
+        let e = EvtError::InsufficientData { needed: 30, got: 3 };
+        assert!(e.to_string().contains("30"));
+        let e: EvtError = StatsError::invalid("p", "0<=p<=1", 2.0).into();
+        assert!(e.to_string().contains("numeric failure"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        let e: EvtError = StatsError::invalid("p", "0<=p<=1", 2.0).into();
+        assert!(e.source().is_some());
+        assert!(EvtError::invalid("a", "a>0", 0.0).source().is_none());
+    }
+}

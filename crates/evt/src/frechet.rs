@@ -1,0 +1,208 @@
+//! The Fréchet (type-I in the paper's numbering, `G_{1,α}`) distribution.
+
+use crate::error::EvtError;
+use mpe_stats::dist::ContinuousDistribution;
+use mpe_stats::StatsError;
+use rand::Rng;
+
+/// The Fréchet distribution
+/// `G_{1,α}((x − μ)/σ) = exp(−((x−μ)/σ)^{−α})` for `x > μ`, `0` otherwise.
+///
+/// The limiting law of sample maxima for *heavy-tailed, unbounded* parents.
+/// The paper rules it out for power data (power is finite, Eqn 2.9 requires
+/// `ω(F) = ∞`); it is provided so the domain-of-attraction classification in
+/// [`crate::domain`] covers all three laws, and as a negative control in
+/// fit-quality ablations.
+///
+/// # Example
+///
+/// ```
+/// use mpe_evt::Frechet;
+/// use mpe_stats::dist::ContinuousDistribution;
+///
+/// # fn main() -> Result<(), mpe_evt::EvtError> {
+/// let f = Frechet::new(2.0, 0.0, 1.0)?;
+/// assert_eq!(f.cdf(0.0), 0.0);          // support starts at μ
+/// assert!((f.cdf(1.0) - (-1.0f64).exp()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Frechet {
+    alpha: f64,
+    mu: f64,
+    sigma: f64,
+}
+
+impl Frechet {
+    /// Creates a Fréchet distribution with shape `alpha`, location `mu` and
+    /// scale `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvtError::InvalidParameter`] if `alpha <= 0`, `sigma <= 0`
+    /// or any parameter is not finite.
+    pub fn new(alpha: f64, mu: f64, sigma: f64) -> Result<Self, EvtError> {
+        if !(alpha > 0.0 && alpha.is_finite()) {
+            return Err(EvtError::invalid("alpha", "alpha > 0 and finite", alpha));
+        }
+        if !mu.is_finite() {
+            return Err(EvtError::invalid("mu", "finite", mu));
+        }
+        if !(sigma > 0.0 && sigma.is_finite()) {
+            return Err(EvtError::invalid("sigma", "sigma > 0 and finite", sigma));
+        }
+        Ok(Frechet { alpha, mu, sigma })
+    }
+
+    /// Shape parameter `α` (tail index).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Location parameter `μ` (left endpoint of the support).
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter `σ`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Quantile function `μ + σ·(−ln q)^{−1/α}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvtError::InvalidParameter`] if `q ∉ (0, 1)`.
+    pub fn quantile(&self, q: f64) -> Result<f64, EvtError> {
+        if !(q > 0.0 && q < 1.0) {
+            return Err(EvtError::invalid("q", "0 < q < 1", q));
+        }
+        Ok(self.mu + self.sigma * (-q.ln()).powf(-1.0 / self.alpha))
+    }
+
+    /// Draws one variate by inversion.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = loop {
+            let u: f64 = rng.gen();
+            if u > 0.0 && u < 1.0 {
+                break u;
+            }
+        };
+        self.mu + self.sigma * (-u.ln()).powf(-1.0 / self.alpha)
+    }
+}
+
+impl std::fmt::Display for Frechet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Fréchet(α={}, μ={}, σ={})", self.alpha, self.mu, self.sigma)
+    }
+}
+
+impl ContinuousDistribution for Frechet {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= self.mu {
+            return 0.0;
+        }
+        let z = (x - self.mu) / self.sigma;
+        (self.alpha / self.sigma) * z.powf(-self.alpha - 1.0) * (-z.powf(-self.alpha)).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.mu {
+            return 0.0;
+        }
+        let z = (x - self.mu) / self.sigma;
+        (-z.powf(-self.alpha)).exp()
+    }
+
+    fn inverse_cdf(&self, p: f64) -> Result<f64, StatsError> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(StatsError::invalid("p", "0 < p < 1", p));
+        }
+        Ok(self.mu + self.sigma * (-p.ln()).powf(-1.0 / self.alpha))
+    }
+
+    fn mean(&self) -> Option<f64> {
+        if self.alpha > 1.0 {
+            let g = mpe_stats::special::ln_gamma(1.0 - 1.0 / self.alpha).exp();
+            Some(self.mu + self.sigma * g)
+        } else {
+            None
+        }
+    }
+
+    fn variance(&self) -> Option<f64> {
+        if self.alpha > 2.0 {
+            let g1 = mpe_stats::special::ln_gamma(1.0 - 1.0 / self.alpha).exp();
+            let g2 = mpe_stats::special::ln_gamma(1.0 - 2.0 / self.alpha).exp();
+            Some(self.sigma * self.sigma * (g2 - g1 * g1))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn support_starts_at_mu() {
+        let f = Frechet::new(2.0, 1.0, 1.0).unwrap();
+        assert_eq!(f.cdf(1.0), 0.0);
+        assert_eq!(f.cdf(0.0), 0.0);
+        assert_eq!(f.pdf(1.0), 0.0);
+        assert!(f.cdf(2.0) > 0.0);
+    }
+
+    #[test]
+    fn standard_value() {
+        let f = Frechet::new(1.0, 0.0, 1.0).unwrap();
+        close(f.cdf(1.0), (-1.0f64).exp(), 1e-14);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        let f = Frechet::new(3.0, 2.0, 0.5).unwrap();
+        for &q in &[0.05, 0.5, 0.95] {
+            close(f.cdf(f.quantile(q).unwrap()), q, 1e-12);
+        }
+    }
+
+    #[test]
+    fn moments_existence() {
+        assert!(Frechet::new(0.5, 0.0, 1.0).unwrap().mean().is_none());
+        assert!(Frechet::new(1.5, 0.0, 1.0).unwrap().mean().is_some());
+        assert!(Frechet::new(1.5, 0.0, 1.0).unwrap().variance().is_none());
+        assert!(Frechet::new(2.5, 0.0, 1.0).unwrap().variance().is_some());
+    }
+
+    #[test]
+    fn sample_above_mu_and_heavy_tail() {
+        let f = Frechet::new(2.0, 3.0, 1.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let xs: Vec<f64> = (0..20_000).map(|_| f.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| x > 3.0));
+        // empirical CDF check
+        let x0 = 4.0;
+        let emp = xs.iter().filter(|&&x| x <= x0).count() as f64 / xs.len() as f64;
+        close(emp, f.cdf(x0), 0.02);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Frechet::new(0.0, 0.0, 1.0).is_err());
+        assert!(Frechet::new(1.0, 0.0, 0.0).is_err());
+        assert!(Frechet::new(1.0, f64::NAN, 1.0).is_err());
+        let f = Frechet::new(1.0, 0.0, 1.0).unwrap();
+        assert!(f.quantile(1.0).is_err());
+    }
+}

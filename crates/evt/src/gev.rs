@@ -1,0 +1,309 @@
+//! The unified Generalized Extreme Value (GEV) parameterization.
+
+use crate::error::EvtError;
+use crate::{Frechet, Gumbel, ReversedWeibull};
+use mpe_stats::dist::ContinuousDistribution;
+use mpe_stats::StatsError;
+
+/// The GEV distribution with shape `ξ`, location `μ` and scale `σ`:
+///
+/// `G(x) = exp(−[1 + ξ(x−μ)/σ]^{−1/ξ})` on `1 + ξ(x−μ)/σ > 0`
+/// (and the Gumbel limit `exp(−e^{−(x−μ)/σ})` at `ξ = 0`).
+///
+/// The sign of `ξ` selects the classical family:
+///
+/// * `ξ > 0` — Fréchet (`α = 1/ξ`), heavy upper tail, unbounded;
+/// * `ξ = 0` — Gumbel, light unbounded tail;
+/// * `ξ < 0` — reversed Weibull (`α = −1/ξ`), **bounded above** by
+///   `μ − σ/ξ` — the case relevant to maximum power.
+///
+/// # Example
+///
+/// ```
+/// use mpe_evt::Gev;
+/// use mpe_stats::dist::ContinuousDistribution;
+///
+/// # fn main() -> Result<(), mpe_evt::EvtError> {
+/// // Bounded (Weibull-domain) GEV: right endpoint μ − σ/ξ = 0 + 1/0.5 = 2
+/// let g = Gev::new(-0.5, 0.0, 1.0)?;
+/// assert_eq!(g.right_endpoint(), Some(2.0));
+/// assert_eq!(g.cdf(3.0), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gev {
+    xi: f64,
+    mu: f64,
+    sigma: f64,
+}
+
+impl Gev {
+    /// Creates a GEV distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvtError::InvalidParameter`] if `sigma <= 0` or any
+    /// parameter is not finite.
+    pub fn new(xi: f64, mu: f64, sigma: f64) -> Result<Self, EvtError> {
+        if !xi.is_finite() {
+            return Err(EvtError::invalid("xi", "finite", xi));
+        }
+        if !mu.is_finite() {
+            return Err(EvtError::invalid("mu", "finite", mu));
+        }
+        if !(sigma > 0.0 && sigma.is_finite()) {
+            return Err(EvtError::invalid("sigma", "sigma > 0 and finite", sigma));
+        }
+        Ok(Gev { xi, mu, sigma })
+    }
+
+    /// Shape parameter `ξ`.
+    pub fn xi(&self) -> f64 {
+        self.xi
+    }
+
+    /// Location parameter `μ`.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter `σ`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The right endpoint of the support, `μ − σ/ξ`, when it is finite
+    /// (`ξ < 0`), otherwise `None`.
+    pub fn right_endpoint(&self) -> Option<f64> {
+        if self.xi < 0.0 {
+            Some(self.mu - self.sigma / self.xi)
+        } else {
+            None
+        }
+    }
+
+    /// Converts a bounded GEV (`ξ < 0`) into the paper's generalized
+    /// reversed Weibull parameterization `(α, β, μ_w)`:
+    /// `α = −1/ξ`, `μ_w = μ − σ/ξ`, `β = (−ξ/σ)^α`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvtError::InvalidParameter`] if `ξ >= 0` (no finite
+    /// endpoint to convert to).
+    pub fn to_reversed_weibull(&self) -> Result<ReversedWeibull, EvtError> {
+        if self.xi >= 0.0 {
+            return Err(EvtError::invalid("xi", "xi < 0 for Weibull domain", self.xi));
+        }
+        let alpha = -1.0 / self.xi;
+        let endpoint = self.mu - self.sigma / self.xi;
+        let beta = (-self.xi / self.sigma).powf(alpha);
+        ReversedWeibull::new(alpha, beta, endpoint)
+    }
+
+    /// Converts an unbounded heavy-tail GEV (`ξ > 0`) into a [`Frechet`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvtError::InvalidParameter`] if `ξ <= 0`.
+    pub fn to_frechet(&self) -> Result<Frechet, EvtError> {
+        if self.xi <= 0.0 {
+            return Err(EvtError::invalid("xi", "xi > 0 for Fréchet domain", self.xi));
+        }
+        let alpha = 1.0 / self.xi;
+        // GEV(ξ,μ,σ) with ξ>0 equals Fréchet(α, μ − σ/ξ, σ/ξ)
+        Frechet::new(alpha, self.mu - self.sigma / self.xi, self.sigma / self.xi)
+    }
+
+    /// Converts a `ξ = 0` GEV into a [`Gumbel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvtError::InvalidParameter`] if `ξ != 0`.
+    pub fn to_gumbel(&self) -> Result<Gumbel, EvtError> {
+        if self.xi != 0.0 {
+            return Err(EvtError::invalid("xi", "xi == 0 for Gumbel", self.xi));
+        }
+        Gumbel::new(self.mu, self.sigma)
+    }
+}
+
+impl From<ReversedWeibull> for Gev {
+    /// Embeds the paper's `(α, β, μ)` Weibull into GEV coordinates:
+    /// `ξ = −1/α`, `σ = β^{-1/α}/α`, `μ_gev = μ_w + ξ·σ·... `
+    /// (derived from matching endpoints and scale).
+    fn from(w: ReversedWeibull) -> Self {
+        let xi = -1.0 / w.alpha();
+        let sigma = w.beta().powf(-1.0 / w.alpha()) / w.alpha();
+        // endpoint = mu_gev - sigma/xi  =>  mu_gev = endpoint + sigma/xi
+        let mu = w.mu() + sigma / xi;
+        Gev { xi, mu, sigma }
+    }
+}
+
+impl std::fmt::Display for Gev {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GEV(ξ={}, μ={}, σ={})", self.xi, self.mu, self.sigma)
+    }
+}
+
+impl ContinuousDistribution for Gev {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        if self.xi == 0.0 {
+            return ((-z - (-z).exp()).exp()) / self.sigma;
+        }
+        let t = 1.0 + self.xi * z;
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let tp = t.powf(-1.0 / self.xi);
+        tp.powf(self.xi + 1.0) * (-tp).exp() / self.sigma
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        if self.xi == 0.0 {
+            return (-(-z).exp()).exp();
+        }
+        let t = 1.0 + self.xi * z;
+        if t <= 0.0 {
+            // Left of support for ξ > 0 → 0; right of support for ξ < 0 → 1.
+            return if self.xi > 0.0 { 0.0 } else { 1.0 };
+        }
+        (-t.powf(-1.0 / self.xi)).exp()
+    }
+
+    fn inverse_cdf(&self, p: f64) -> Result<f64, StatsError> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(StatsError::invalid("p", "0 < p < 1", p));
+        }
+        let y = -p.ln();
+        if self.xi == 0.0 {
+            Ok(self.mu - self.sigma * y.ln())
+        } else {
+            Ok(self.mu + self.sigma * (y.powf(-self.xi) - 1.0) / self.xi)
+        }
+    }
+
+    fn mean(&self) -> Option<f64> {
+        if self.xi >= 1.0 {
+            return None;
+        }
+        if self.xi == 0.0 {
+            return Some(self.mu + self.sigma * 0.577_215_664_901_532_9);
+        }
+        let g1 = mpe_stats::special::ln_gamma(1.0 - self.xi).exp();
+        Some(self.mu + self.sigma * (g1 - 1.0) / self.xi)
+    }
+
+    fn variance(&self) -> Option<f64> {
+        if self.xi >= 0.5 {
+            return None;
+        }
+        if self.xi == 0.0 {
+            return Some(self.sigma * self.sigma * std::f64::consts::PI.powi(2) / 6.0);
+        }
+        let g1 = mpe_stats::special::ln_gamma(1.0 - self.xi).exp();
+        let g2 = mpe_stats::special::ln_gamma(1.0 - 2.0 * self.xi).exp();
+        Some(self.sigma * self.sigma * (g2 - g1 * g1) / (self.xi * self.xi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn gumbel_limit_matches_gumbel_type() {
+        let gev = Gev::new(0.0, 1.0, 2.0).unwrap();
+        let gum = Gumbel::new(1.0, 2.0).unwrap();
+        for &x in &[-3.0, 0.0, 1.0, 5.0] {
+            close(gev.cdf(x), gum.cdf(x), 1e-14);
+            close(gev.pdf(x), gum.pdf(x), 1e-14);
+        }
+    }
+
+    #[test]
+    fn weibull_domain_matches_reversed_weibull() {
+        let gev = Gev::new(-0.4, 0.0, 1.0).unwrap();
+        let w = gev.to_reversed_weibull().unwrap();
+        for &x in &[-3.0, 0.0, 1.0, 2.0] {
+            close(gev.cdf(x), w.cdf(x), 1e-12);
+        }
+        close(
+            gev.right_endpoint().unwrap(),
+            w.right_endpoint(),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn frechet_domain_matches_frechet() {
+        let gev = Gev::new(0.5, 1.0, 2.0).unwrap();
+        let fr = gev.to_frechet().unwrap();
+        for &x in &[-2.0, 0.0, 1.0, 4.0, 10.0] {
+            close(gev.cdf(x), fr.cdf(x), 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip_weibull_to_gev() {
+        let w = ReversedWeibull::new(3.0, 2.0, 5.0).unwrap();
+        let gev: Gev = w.into();
+        for &x in &[0.0, 3.0, 4.9] {
+            close(gev.cdf(x), w.cdf(x), 1e-12);
+        }
+        let back = gev.to_reversed_weibull().unwrap();
+        close(back.alpha(), 3.0, 1e-10);
+        close(back.beta(), 2.0, 1e-10);
+        close(back.mu(), 5.0, 1e-10);
+    }
+
+    #[test]
+    fn quantile_roundtrip_all_domains() {
+        for &xi in &[-0.5, 0.0, 0.5] {
+            let g = Gev::new(xi, 1.0, 1.5).unwrap();
+            for &p in &[0.05, 0.5, 0.95] {
+                let x = g.inverse_cdf(p).unwrap();
+                close(g.cdf(x), p, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn endpoint_only_for_negative_xi() {
+        assert!(Gev::new(0.2, 0.0, 1.0).unwrap().right_endpoint().is_none());
+        assert!(Gev::new(0.0, 0.0, 1.0).unwrap().right_endpoint().is_none());
+        assert_eq!(
+            Gev::new(-1.0, 0.0, 2.0).unwrap().right_endpoint(),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn conversion_domain_errors() {
+        let g = Gev::new(0.3, 0.0, 1.0).unwrap();
+        assert!(g.to_reversed_weibull().is_err());
+        assert!(g.to_gumbel().is_err());
+        let g = Gev::new(-0.3, 0.0, 1.0).unwrap();
+        assert!(g.to_frechet().is_err());
+    }
+
+    #[test]
+    fn moment_existence_thresholds() {
+        assert!(Gev::new(1.2, 0.0, 1.0).unwrap().mean().is_none());
+        assert!(Gev::new(0.7, 0.0, 1.0).unwrap().variance().is_none());
+        assert!(Gev::new(0.3, 0.0, 1.0).unwrap().variance().is_some());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Gev::new(f64::NAN, 0.0, 1.0).is_err());
+        assert!(Gev::new(0.0, 0.0, 0.0).is_err());
+    }
+}

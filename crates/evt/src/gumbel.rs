@@ -1,0 +1,210 @@
+//! The Gumbel (type-III in the paper's numbering, `G₃`) distribution.
+
+use crate::error::EvtError;
+use mpe_stats::dist::ContinuousDistribution;
+use mpe_stats::StatsError;
+use rand::Rng;
+
+/// Euler–Mascheroni constant.
+const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// The Gumbel distribution `G₃((x − μ)/σ) = exp(−e^{−(x−μ)/σ})`.
+///
+/// The limiting law of sample maxima for light-tailed, *unbounded* parents
+/// (exponential, normal, …). The paper argues circuit power is bounded, so
+/// the Weibull law is the right choice — this type exists to make that an
+/// *empirically checkable* claim (see the `ablation_limit_law` experiment)
+/// rather than an article of faith.
+///
+/// # Example
+///
+/// ```
+/// use mpe_evt::Gumbel;
+/// use mpe_stats::dist::ContinuousDistribution;
+///
+/// # fn main() -> Result<(), mpe_evt::EvtError> {
+/// let g = Gumbel::new(0.0, 1.0)?;
+/// // standard Gumbel CDF at 0 is exp(-1)
+/// assert!((g.cdf(0.0) - (-1.0f64).exp()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gumbel {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Gumbel {
+    /// Creates a Gumbel distribution with location `mu` and scale `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvtError::InvalidParameter`] if `sigma <= 0` or either
+    /// parameter is not finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, EvtError> {
+        if !mu.is_finite() {
+            return Err(EvtError::invalid("mu", "finite", mu));
+        }
+        if !(sigma > 0.0 && sigma.is_finite()) {
+            return Err(EvtError::invalid("sigma", "sigma > 0 and finite", sigma));
+        }
+        Ok(Gumbel { mu, sigma })
+    }
+
+    /// Location parameter `μ` (the mode).
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter `σ`.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Quantile function `μ − σ·ln(−ln q)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvtError::InvalidParameter`] if `q ∉ (0, 1)`.
+    pub fn quantile(&self, q: f64) -> Result<f64, EvtError> {
+        if !(q > 0.0 && q < 1.0) {
+            return Err(EvtError::invalid("q", "0 < q < 1", q));
+        }
+        Ok(self.mu - self.sigma * (-q.ln()).ln())
+    }
+
+    /// Fits a Gumbel by the method of moments:
+    /// `σ̂ = s·√6/π`, `μ̂ = x̄ − γ·σ̂`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvtError::InsufficientData`] for fewer than two points.
+    pub fn fit_moments(data: &[f64]) -> Result<Self, EvtError> {
+        if data.len() < 2 {
+            return Err(EvtError::InsufficientData {
+                needed: 2,
+                got: data.len(),
+            });
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        let sigma = (6.0 * var).sqrt() / std::f64::consts::PI;
+        if sigma <= 0.0 {
+            return Err(EvtError::invalid("sample sd", "> 0", sigma));
+        }
+        Gumbel::new(mean - EULER_GAMMA * sigma, sigma)
+    }
+
+    /// Draws one variate by inversion.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = loop {
+            let u: f64 = rng.gen();
+            if u > 0.0 && u < 1.0 {
+                break u;
+            }
+        };
+        self.mu - self.sigma * (-u.ln()).ln()
+    }
+}
+
+impl std::fmt::Display for Gumbel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gumbel(μ={}, σ={})", self.mu, self.sigma)
+    }
+}
+
+impl ContinuousDistribution for Gumbel {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        ((-z - (-z).exp()).exp()) / self.sigma
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-(-z).exp()).exp()
+    }
+
+    fn inverse_cdf(&self, p: f64) -> Result<f64, StatsError> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(StatsError::invalid("p", "0 < p < 1", p));
+        }
+        Ok(self.mu - self.sigma * (-p.ln()).ln())
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.mu + self.sigma * EULER_GAMMA)
+    }
+
+    fn variance(&self) -> Option<f64> {
+        Some(self.sigma * self.sigma * std::f64::consts::PI.powi(2) / 6.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn standard_cdf() {
+        let g = Gumbel::new(0.0, 1.0).unwrap();
+        close(g.cdf(0.0), (-1.0f64).exp(), 1e-14);
+        assert!(g.cdf(-10.0) < 1e-10);
+        assert!(g.cdf(10.0) > 0.9999);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        let g = Gumbel::new(3.0, 2.0).unwrap();
+        for &q in &[0.01, 0.3, 0.5, 0.9, 0.99] {
+            close(g.cdf(g.quantile(q).unwrap()), q, 1e-12);
+        }
+    }
+
+    #[test]
+    fn moments() {
+        let g = Gumbel::new(1.0, 2.0).unwrap();
+        close(g.mean().unwrap(), 1.0 + 2.0 * EULER_GAMMA, 1e-14);
+        close(
+            g.variance().unwrap(),
+            4.0 * std::f64::consts::PI.powi(2) / 6.0,
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn fit_moments_recovers() {
+        let truth = Gumbel::new(5.0, 1.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let data: Vec<f64> = (0..100_000).map(|_| truth.sample(&mut rng)).collect();
+        let fit = Gumbel::fit_moments(&data).unwrap();
+        close(fit.mu(), 5.0, 0.05);
+        close(fit.sigma(), 1.5, 0.05);
+    }
+
+    #[test]
+    fn sampling_mean() {
+        let g = Gumbel::new(0.0, 1.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 100_000;
+        let m: f64 = (0..n).map(|_| g.sample(&mut rng)).sum::<f64>() / n as f64;
+        close(m, EULER_GAMMA, 0.02);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Gumbel::new(0.0, 0.0).is_err());
+        assert!(Gumbel::new(f64::INFINITY, 1.0).is_err());
+        assert!(Gumbel::fit_moments(&[1.0]).is_err());
+        let g = Gumbel::new(0.0, 1.0).unwrap();
+        assert!(g.quantile(0.0).is_err());
+        assert!(g.quantile(1.0).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! Order statistics and block-maxima utilities (paper §2.1 and §3.1).
+
+use crate::error::EvtError;
+use mpe_stats::special::reg_inc_beta;
+
+/// Splits `data` into consecutive blocks of `block_size` and returns the
+/// maximum of each complete block — the `p_{i,MAX}` of the paper's Eqn (3.1).
+///
+/// A trailing partial block is discarded (it would bias the maxima low).
+///
+/// # Errors
+///
+/// Returns [`EvtError::InvalidParameter`] if `block_size == 0` and
+/// [`EvtError::InsufficientData`] if there is not at least one full block.
+///
+/// # Example
+///
+/// ```
+/// use mpe_evt::order_stats::block_maxima;
+/// # fn main() -> Result<(), mpe_evt::EvtError> {
+/// let maxima = block_maxima(&[1.0, 5.0, 2.0, 9.0, 0.0], 2)?;
+/// assert_eq!(maxima, vec![5.0, 9.0]); // trailing 0.0 discarded
+/// # Ok(())
+/// # }
+/// ```
+pub fn block_maxima(data: &[f64], block_size: usize) -> Result<Vec<f64>, EvtError> {
+    if block_size == 0 {
+        return Err(EvtError::invalid("block_size", ">= 1", 0.0));
+    }
+    if data.len() < block_size {
+        return Err(EvtError::InsufficientData {
+            needed: block_size,
+            got: data.len(),
+        });
+    }
+    Ok(data
+        .chunks_exact(block_size)
+        .map(|chunk| chunk.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+        .collect())
+}
+
+/// The sample maximum — the `n`-th order statistic `X_{n:n}`.
+///
+/// # Errors
+///
+/// Returns [`EvtError::InsufficientData`] for an empty slice.
+pub fn sample_maximum(data: &[f64]) -> Result<f64, EvtError> {
+    if data.is_empty() {
+        return Err(EvtError::InsufficientData { needed: 1, got: 0 });
+    }
+    Ok(data.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+}
+
+/// The sample minimum — the first order statistic `X_{1:n}`.
+///
+/// # Errors
+///
+/// Returns [`EvtError::InsufficientData`] for an empty slice.
+pub fn sample_minimum(data: &[f64]) -> Result<f64, EvtError> {
+    if data.is_empty() {
+        return Err(EvtError::InsufficientData { needed: 1, got: 0 });
+    }
+    Ok(data.iter().cloned().fold(f64::INFINITY, f64::min))
+}
+
+/// The `r`-th order statistic `X_{r:n}` of a sample (1-indexed:
+/// `r = 1` is the minimum, `r = n` the maximum).
+///
+/// # Errors
+///
+/// Returns [`EvtError::InvalidParameter`] unless `1 ≤ r ≤ n`, and
+/// [`EvtError::InsufficientData`] for an empty slice.
+pub fn order_statistic(data: &[f64], r: usize) -> Result<f64, EvtError> {
+    if data.is_empty() {
+        return Err(EvtError::InsufficientData { needed: 1, got: 0 });
+    }
+    if r == 0 || r > data.len() {
+        return Err(EvtError::invalid("r", "1 <= r <= n", r as f64));
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in order statistic input"));
+    Ok(sorted[r - 1])
+}
+
+/// Exact distribution of the `r`-th order statistic of `n` i.i.d. draws
+/// with parent CDF value `f = F(t)`:
+///
+/// `P{X_{r:n} ≤ t} = Σ_{j=r}^{n} C(n,j) f^j (1−f)^{n−j} = I_f(r, n−r+1)`
+///
+/// evaluated through the regularized incomplete beta function. For
+/// `r = n` this reduces to the paper's Eqn (2.3), `F(t)ⁿ`.
+///
+/// # Errors
+///
+/// Returns [`EvtError::InvalidParameter`] unless `1 ≤ r ≤ n` and
+/// `f ∈ [0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use mpe_evt::order_stats::order_statistic_cdf;
+/// # fn main() -> Result<(), mpe_evt::EvtError> {
+/// // maximum of 30 draws: F^30
+/// let p = order_statistic_cdf(30, 30, 0.9)?;
+/// assert!((p - 0.9f64.powi(30)).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn order_statistic_cdf(r: usize, n: usize, f: f64) -> Result<f64, EvtError> {
+    if r == 0 || r > n {
+        return Err(EvtError::invalid("r", "1 <= r <= n", r as f64));
+    }
+    if !(0.0..=1.0).contains(&f) {
+        return Err(EvtError::invalid("f", "0 <= f <= 1", f));
+    }
+    Ok(reg_inc_beta(r as f64, (n - r + 1) as f64, f)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_maxima_basic() {
+        let m = block_maxima(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3).unwrap();
+        assert_eq!(m, vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn block_maxima_discards_partial() {
+        let m = block_maxima(&[1.0, 2.0, 3.0, 99.0], 3).unwrap();
+        assert_eq!(m, vec![3.0]);
+    }
+
+    #[test]
+    fn block_maxima_errors() {
+        assert!(block_maxima(&[1.0], 0).is_err());
+        assert!(block_maxima(&[1.0, 2.0], 3).is_err());
+    }
+
+    #[test]
+    fn extremes() {
+        let data = [3.0, -1.0, 4.0, 1.0, 5.0];
+        assert_eq!(sample_maximum(&data).unwrap(), 5.0);
+        assert_eq!(sample_minimum(&data).unwrap(), -1.0);
+        assert!(sample_maximum(&[]).is_err());
+        assert!(sample_minimum(&[]).is_err());
+    }
+
+    #[test]
+    fn order_statistic_selects() {
+        let data = [3.0, 1.0, 4.0, 1.5, 5.0];
+        assert_eq!(order_statistic(&data, 1).unwrap(), 1.0);
+        assert_eq!(order_statistic(&data, 3).unwrap(), 3.0);
+        assert_eq!(order_statistic(&data, 5).unwrap(), 5.0);
+        assert!(order_statistic(&data, 0).is_err());
+        assert!(order_statistic(&data, 6).is_err());
+        assert!(order_statistic(&[], 1).is_err());
+    }
+
+    #[test]
+    fn maximum_cdf_is_power_of_f() {
+        // Eqn (2.3): P{X_{n:n} <= t} = F(t)^n
+        for &(n, f) in &[(2usize, 0.5f64), (10, 0.9), (30, 0.99)] {
+            let p = order_statistic_cdf(n, n, f).unwrap();
+            assert!((p - f.powi(n as i32)).abs() < 1e-10, "n={n} f={f}");
+        }
+    }
+
+    #[test]
+    fn minimum_cdf_complement() {
+        // P{X_{1:n} <= t} = 1 - (1-F)^n
+        for &(n, f) in &[(5usize, 0.3f64), (20, 0.1)] {
+            let p = order_statistic_cdf(1, n, f).unwrap();
+            assert!((p - (1.0 - (1.0 - f).powi(n as i32))).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn median_order_statistic_at_half() {
+        // For odd n and f = 0.5, the median order statistic CDF is 0.5
+        let p = order_statistic_cdf(3, 5, 0.5).unwrap();
+        assert!((p - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn order_statistic_cdf_validation() {
+        assert!(order_statistic_cdf(0, 5, 0.5).is_err());
+        assert!(order_statistic_cdf(6, 5, 0.5).is_err());
+        assert!(order_statistic_cdf(2, 5, 1.5).is_err());
+    }
+
+    #[test]
+    fn endpoints() {
+        assert_eq!(order_statistic_cdf(3, 10, 0.0).unwrap(), 0.0);
+        assert_eq!(order_statistic_cdf(3, 10, 1.0).unwrap(), 1.0);
+    }
+}

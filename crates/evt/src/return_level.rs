@@ -1,0 +1,130 @@
+//! Return levels and return periods — the classical EVT vocabulary,
+//! mapped onto the power-estimation problem.
+//!
+//! In hydrology one asks "the 100-year flood"; in power integrity the same
+//! question is "the worst cycle expected in `T` cycles of operation". If
+//! block maxima of size `n` follow the fitted law `G`, the `T`-cycle return
+//! level solves `G(x)^{T/n} = 1 − 1/e ≈` … — conventionally approximated by
+//! the `1 − n/T` quantile of `G`. These helpers make that workflow a
+//! two-liner on top of a [`ReversedWeibull`] fit.
+
+use crate::error::EvtError;
+use crate::weibull::ReversedWeibull;
+use mpe_stats::dist::ContinuousDistribution;
+
+/// The level exceeded on average once every `period` observations, given
+/// that `fitted` is the law of **block maxima of size `block_size`**.
+///
+/// Computed as the `1 − block_size/period` quantile of the fitted law —
+/// the standard block-maxima return-level formula.
+///
+/// # Errors
+///
+/// Returns [`EvtError::InvalidParameter`] unless
+/// `period > block_size >= 1`.
+///
+/// # Example
+///
+/// ```
+/// use mpe_evt::{return_level::return_level, ReversedWeibull};
+/// # fn main() -> Result<(), mpe_evt::EvtError> {
+/// let fitted = ReversedWeibull::new(3.0, 1.0, 10.0)?; // from block maxima, n = 30
+/// // Worst cycle expected in a million cycles of operation:
+/// let worst = return_level(&fitted, 30, 1_000_000)?;
+/// assert!(worst < 10.0);           // below the absolute endpoint ...
+/// let sooner = return_level(&fitted, 30, 10_000)?;
+/// assert!(sooner < worst);          // ... and rarer events are larger
+/// # Ok(())
+/// # }
+/// ```
+pub fn return_level(
+    fitted: &ReversedWeibull,
+    block_size: usize,
+    period: u64,
+) -> Result<f64, EvtError> {
+    if block_size == 0 {
+        return Err(EvtError::invalid("block_size", ">= 1", 0.0));
+    }
+    if period <= block_size as u64 {
+        return Err(EvtError::invalid(
+            "period",
+            "> block_size",
+            period as f64,
+        ));
+    }
+    let q = 1.0 - block_size as f64 / period as f64;
+    fitted.quantile(q)
+}
+
+/// The expected number of observations between exceedances of `level`,
+/// the inverse of [`return_level`]: `period = block_size / (1 − G(level))`.
+///
+/// Returns `f64::INFINITY` for levels at or above the endpoint.
+///
+/// # Errors
+///
+/// Returns [`EvtError::InvalidParameter`] if `block_size == 0`.
+pub fn return_period(
+    fitted: &ReversedWeibull,
+    block_size: usize,
+    level: f64,
+) -> Result<f64, EvtError> {
+    if block_size == 0 {
+        return Err(EvtError::invalid("block_size", ">= 1", 0.0));
+    }
+    let g = fitted.cdf(level);
+    if g >= 1.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(block_size as f64 / (1.0 - g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fitted() -> ReversedWeibull {
+        ReversedWeibull::new(3.0, 1.0, 10.0).unwrap()
+    }
+
+    #[test]
+    fn longer_periods_give_higher_levels() {
+        let f = fitted();
+        let mut prev = f64::NEG_INFINITY;
+        for period in [100u64, 10_000, 1_000_000, 100_000_000] {
+            let level = return_level(&f, 30, period).unwrap();
+            assert!(level > prev);
+            assert!(level < 10.0);
+            prev = level;
+        }
+    }
+
+    #[test]
+    fn roundtrip_level_period() {
+        let f = fitted();
+        for period in [1_000u64, 50_000, 2_000_000] {
+            let level = return_level(&f, 30, period).unwrap();
+            let back = return_period(&f, 30, level).unwrap();
+            assert!(
+                (back - period as f64).abs() / (period as f64) < 1e-9,
+                "{back} vs {period}"
+            );
+        }
+    }
+
+    #[test]
+    fn endpoint_has_infinite_period() {
+        let f = fitted();
+        assert_eq!(return_period(&f, 30, 10.0).unwrap(), f64::INFINITY);
+        assert_eq!(return_period(&f, 30, 11.0).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn validation() {
+        let f = fitted();
+        assert!(return_level(&f, 0, 100).is_err());
+        assert!(return_level(&f, 30, 30).is_err());
+        assert!(return_level(&f, 30, 10).is_err());
+        assert!(return_period(&f, 0, 5.0).is_err());
+    }
+}

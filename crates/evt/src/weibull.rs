@@ -1,0 +1,370 @@
+//! The generalized (reversed) Weibull extreme-value distribution —
+//! the paper's Eqn (2.16) and the heart of the whole method.
+
+use crate::error::EvtError;
+use mpe_stats::dist::ContinuousDistribution;
+use mpe_stats::StatsError;
+use rand::Rng;
+
+/// The generalized reversed Weibull distribution
+/// `G(x; α, β, μ) = exp(−β(μ−x)^α)` for `x ≤ μ`, `1` for `x > μ`.
+///
+/// This is the limiting law of sample maxima drawn from any distribution
+/// with a *finite right endpoint* (the paper's argument in §3.1: circuit
+/// power is bounded, so the Fréchet law is excluded, and the bounded support
+/// makes Weibull overwhelmingly more plausible than Gumbel). Its parameters
+/// are:
+///
+/// * `μ` — the **location** = right endpoint = *the maximum power itself*;
+/// * `β > 0` — the scale (the paper identifies `β = (1/a_n)^α`);
+/// * `α > 0` — the shape (`α > 2` for the MLE regularity of Smith's theorem).
+///
+/// The standard extreme-value form `G_{2,α}(x) = exp(−(−x)^α)` for `x ≤ 0`
+/// is the special case `β = 1, μ = 0` (see [`ReversedWeibull::standard`]).
+///
+/// # Example
+///
+/// ```
+/// use mpe_evt::ReversedWeibull;
+/// use mpe_stats::dist::ContinuousDistribution;
+///
+/// # fn main() -> Result<(), mpe_evt::EvtError> {
+/// let g = ReversedWeibull::new(3.0, 2.0, 5.0)?;
+/// assert_eq!(g.right_endpoint(), 5.0);
+/// assert_eq!(g.cdf(5.0), 1.0);
+/// assert!(g.cdf(4.0) < 1.0);
+/// // Quantile inverts the CDF:
+/// let x = g.quantile(0.9)?;
+/// assert!((g.cdf(x) - 0.9).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReversedWeibull {
+    alpha: f64,
+    beta: f64,
+    mu: f64,
+}
+
+impl ReversedWeibull {
+    /// Creates a generalized reversed Weibull with shape `alpha`, scale
+    /// `beta` and location (right endpoint) `mu`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvtError::InvalidParameter`] if `alpha <= 0`, `beta <= 0`
+    /// or `mu` is not finite.
+    pub fn new(alpha: f64, beta: f64, mu: f64) -> Result<Self, EvtError> {
+        if !(alpha > 0.0 && alpha.is_finite()) {
+            return Err(EvtError::invalid("alpha", "alpha > 0 and finite", alpha));
+        }
+        if !(beta > 0.0 && beta.is_finite()) {
+            return Err(EvtError::invalid("beta", "beta > 0 and finite", beta));
+        }
+        if !mu.is_finite() {
+            return Err(EvtError::invalid("mu", "finite", mu));
+        }
+        Ok(ReversedWeibull { alpha, beta, mu })
+    }
+
+    /// The standard extreme-value form `G_{2,α}` (β = 1, μ = 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvtError::InvalidParameter`] if `alpha <= 0`.
+    pub fn standard(alpha: f64) -> Result<Self, EvtError> {
+        ReversedWeibull::new(alpha, 1.0, 0.0)
+    }
+
+    /// Shape parameter `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Scale parameter `β`.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Location parameter `μ` — the right endpoint of the support, i.e. the
+    /// maximum of the quantity being modelled.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The right endpoint `ω(G) = μ` (paper Eqn 2.8: `sup{x : G(x) < 1}`).
+    pub fn right_endpoint(&self) -> f64 {
+        self.mu
+    }
+
+    /// Quantile function `G⁻¹(q) = μ − (−ln q / β)^{1/α}` for `q ∈ (0, 1]`.
+    ///
+    /// `G⁻¹(1) = μ`: the 100 % quantile is the endpoint itself. This is the
+    /// formula behind the finite-population estimator (paper §3.4), which
+    /// evaluates it at `q = 1 − 1/|V|`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvtError::InvalidParameter`] if `q ∉ (0, 1]`.
+    pub fn quantile(&self, q: f64) -> Result<f64, EvtError> {
+        if !(q > 0.0 && q <= 1.0) {
+            return Err(EvtError::invalid("q", "0 < q <= 1", q));
+        }
+        Ok(self.mu - (-q.ln() / self.beta).powf(1.0 / self.alpha))
+    }
+
+    /// Log-density `ln g(x)` for `x < μ`; `−∞` elsewhere.
+    ///
+    /// `g(x) = αβ(μ−x)^{α−1} · exp(−β(μ−x)^α)`.
+    pub fn ln_pdf(&self, x: f64) -> f64 {
+        if x >= self.mu {
+            return f64::NEG_INFINITY;
+        }
+        let y = self.mu - x;
+        self.alpha.ln() + self.beta.ln() + (self.alpha - 1.0) * y.ln()
+            - self.beta * y.powf(self.alpha)
+    }
+
+    /// Mean log-likelihood `L_m` of a sample (the paper's Eqn 2.17 uses the
+    /// log of the *density*; the likelihood of observing the data).
+    ///
+    /// Returns `−∞` if any observation lies at or above `μ`.
+    pub fn mean_log_likelihood(&self, data: &[f64]) -> f64 {
+        if data.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        let mut acc = 0.0;
+        for &x in data {
+            let l = self.ln_pdf(x);
+            if l == f64::NEG_INFINITY {
+                return f64::NEG_INFINITY;
+            }
+            acc += l;
+        }
+        acc / data.len() as f64
+    }
+
+    /// Draws one variate by inversion.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        mpe_stats::sample::reversed_weibull(rng, self.alpha, self.beta, self.mu)
+    }
+
+    /// Draws `n` variates.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// The distribution of the maximum of `n` i.i.d. draws from this
+    /// distribution, which is again reversed Weibull (max-stability):
+    /// `G^n(x) = exp(−nβ(μ−x)^α)`.
+    pub fn maximum_of(&self, n: usize) -> ReversedWeibull {
+        ReversedWeibull {
+            alpha: self.alpha,
+            beta: self.beta * n as f64,
+            mu: self.mu,
+        }
+    }
+}
+
+impl std::fmt::Display for ReversedWeibull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "RevWeibull(α={}, β={}, μ={})",
+            self.alpha, self.beta, self.mu
+        )
+    }
+}
+
+impl ContinuousDistribution for ReversedWeibull {
+    fn pdf(&self, x: f64) -> f64 {
+        let l = self.ln_pdf(x);
+        if l == f64::NEG_INFINITY {
+            0.0
+        } else {
+            l.exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x >= self.mu {
+            1.0
+        } else {
+            (-self.beta * (self.mu - x).powf(self.alpha)).exp()
+        }
+    }
+
+    fn inverse_cdf(&self, p: f64) -> Result<f64, StatsError> {
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(StatsError::invalid("p", "0 < p <= 1", p));
+        }
+        Ok(self.mu - (-p.ln() / self.beta).powf(1.0 / self.alpha))
+    }
+
+    fn mean(&self) -> Option<f64> {
+        // E[X] = μ − β^{-1/α} Γ(1 + 1/α)
+        let g = mpe_stats::special::ln_gamma(1.0 + 1.0 / self.alpha).exp();
+        Some(self.mu - self.beta.powf(-1.0 / self.alpha) * g)
+    }
+
+    fn variance(&self) -> Option<f64> {
+        // Var = β^{-2/α} (Γ(1+2/α) − Γ(1+1/α)²)
+        let g1 = mpe_stats::special::ln_gamma(1.0 + 1.0 / self.alpha).exp();
+        let g2 = mpe_stats::special::ln_gamma(1.0 + 2.0 / self.alpha).exp();
+        Some(self.beta.powf(-2.0 / self.alpha) * (g2 - g1 * g1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn cdf_endpoint_behaviour() {
+        let g = ReversedWeibull::new(2.0, 1.0, 3.0).unwrap();
+        assert_eq!(g.cdf(3.0), 1.0);
+        assert_eq!(g.cdf(100.0), 1.0);
+        assert!(g.cdf(2.9) < 1.0);
+        assert!(g.cdf(-100.0) < 1e-10);
+    }
+
+    #[test]
+    fn standard_form_matches_g2alpha() {
+        // G_{2,α}(x) = exp(−(−x)^α) for x ≤ 0
+        let g = ReversedWeibull::standard(2.5).unwrap();
+        for &x in &[-3.0, -1.0, -0.5, -0.1] {
+            close(g.cdf(x), (-(-x as f64).powf(2.5)).exp(), 1e-14);
+        }
+        assert_eq!(g.cdf(0.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let g = ReversedWeibull::new(3.3, 0.7, 12.0).unwrap();
+        for &q in &[0.001, 0.1, 0.5, 0.9, 0.999, 1.0] {
+            let x = g.quantile(q).unwrap();
+            close(g.cdf(x), q, 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantile_one_is_endpoint() {
+        let g = ReversedWeibull::new(4.0, 2.0, 7.5).unwrap();
+        assert_eq!(g.quantile(1.0).unwrap(), 7.5);
+        assert_eq!(g.right_endpoint(), 7.5);
+    }
+
+    #[test]
+    fn finite_population_quantile_is_below_mu() {
+        let g = ReversedWeibull::new(3.0, 1.0, 10.0).unwrap();
+        let v = 160_000.0_f64;
+        let q = g.quantile(1.0 - 1.0 / v).unwrap();
+        assert!(q < 10.0);
+        assert!(q > 9.0); // close but strictly below
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let g = ReversedWeibull::new(2.0, 1.5, 4.0).unwrap();
+        // integrate pdf over [-6, 4] with midpoint rule
+        let (a, b) = (-6.0, 4.0);
+        let steps = 100_000;
+        let h = (b - a) / steps as f64;
+        let mut acc = 0.0;
+        for i in 0..steps {
+            acc += g.pdf(a + (i as f64 + 0.5) * h) * h;
+        }
+        close(acc, 1.0, 1e-4);
+    }
+
+    #[test]
+    fn pdf_zero_beyond_endpoint() {
+        let g = ReversedWeibull::new(2.0, 1.0, 0.0).unwrap();
+        assert_eq!(g.pdf(0.0), 0.0);
+        assert_eq!(g.pdf(1.0), 0.0);
+        assert_eq!(g.ln_pdf(0.5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn max_stability() {
+        // max of n draws ~ RevWeibull(α, nβ, μ): CDFs must match G^n
+        let g = ReversedWeibull::new(2.5, 0.8, 5.0).unwrap();
+        let gn = g.maximum_of(30);
+        for &x in &[2.0, 4.0, 4.9] {
+            close(gn.cdf(x), g.cdf(x).powi(30), 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_respects_bound_and_cdf() {
+        let g = ReversedWeibull::new(3.0, 2.0, 1.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let xs = g.sample_n(&mut rng, 50_000);
+        assert!(xs.iter().all(|&x| x <= 1.0));
+        // empirical CDF at a point
+        let x0 = 0.5;
+        let emp = xs.iter().filter(|&&x| x <= x0).count() as f64 / xs.len() as f64;
+        close(emp, g.cdf(x0), 0.01);
+    }
+
+    #[test]
+    fn mean_and_variance_against_monte_carlo() {
+        let g = ReversedWeibull::new(2.2, 1.3, 6.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(17);
+        let xs = g.sample_n(&mut rng, 200_000);
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        close(m, g.mean().unwrap(), 0.01);
+        close(v, g.variance().unwrap(), 0.01);
+    }
+
+    #[test]
+    fn log_likelihood_peaks_near_truth() {
+        let truth = ReversedWeibull::new(3.0, 1.0, 5.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(23);
+        let xs = truth.sample_n(&mut rng, 5_000);
+        let ll_true = truth.mean_log_likelihood(&xs);
+        let ll_wrong_mu = ReversedWeibull::new(3.0, 1.0, 7.0)
+            .unwrap()
+            .mean_log_likelihood(&xs);
+        let ll_wrong_alpha = ReversedWeibull::new(6.0, 1.0, 5.0)
+            .unwrap()
+            .mean_log_likelihood(&xs);
+        assert!(ll_true > ll_wrong_mu);
+        assert!(ll_true > ll_wrong_alpha);
+    }
+
+    #[test]
+    fn log_likelihood_neg_inf_for_data_above_mu() {
+        let g = ReversedWeibull::new(2.0, 1.0, 1.0).unwrap();
+        assert_eq!(g.mean_log_likelihood(&[0.5, 1.5]), f64::NEG_INFINITY);
+        assert_eq!(g.mean_log_likelihood(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(ReversedWeibull::new(0.0, 1.0, 0.0).is_err());
+        assert!(ReversedWeibull::new(1.0, 0.0, 0.0).is_err());
+        assert!(ReversedWeibull::new(1.0, 1.0, f64::NAN).is_err());
+        assert!(ReversedWeibull::new(-1.0, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn quantile_validation() {
+        let g = ReversedWeibull::new(2.0, 1.0, 0.0).unwrap();
+        assert!(g.quantile(0.0).is_err());
+        assert!(g.quantile(1.1).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let g = ReversedWeibull::new(2.0, 1.0, 3.0).unwrap();
+        assert_eq!(g.to_string(), "RevWeibull(α=2, β=1, μ=3)");
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the extreme-value distributions.
+
+use mpe_evt::order_stats::{block_maxima, order_statistic_cdf, sample_maximum};
+use mpe_evt::{Frechet, Gev, Gumbel, ReversedWeibull};
+use mpe_stats::dist::ContinuousDistribution;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn weibull_cdf_bounded_and_monotone(
+        alpha in 0.2f64..20.0, beta in 0.01f64..100.0, mu in -100.0f64..100.0,
+        x in -1000.0f64..1000.0,
+    ) {
+        let g = ReversedWeibull::new(alpha, beta, mu).unwrap();
+        let c = g.cdf(x);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!(g.cdf(x + 0.5) >= c - 1e-12);
+        prop_assert!(g.cdf(mu) == 1.0);
+    }
+
+    #[test]
+    fn weibull_quantile_roundtrip(
+        alpha in 0.5f64..10.0, beta in 0.05f64..20.0, mu in -10.0f64..10.0,
+        q in 0.001f64..1.0,
+    ) {
+        let g = ReversedWeibull::new(alpha, beta, mu).unwrap();
+        let x = g.quantile(q).unwrap();
+        prop_assert!(x <= mu);
+        prop_assert!((g.cdf(x) - q).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weibull_max_stability(
+        alpha in 0.5f64..10.0, beta in 0.05f64..20.0, mu in -10.0f64..10.0,
+        n in 2usize..100, x in -20.0f64..9.99,
+    ) {
+        let g = ReversedWeibull::new(alpha, beta, mu).unwrap();
+        let gn = g.maximum_of(n);
+        let lhs = gn.cdf(x);
+        let rhs = g.cdf(x).powi(n as i32);
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gumbel_quantile_roundtrip(mu in -50.0f64..50.0, sigma in 0.1f64..20.0, q in 0.001f64..0.999) {
+        let g = Gumbel::new(mu, sigma).unwrap();
+        prop_assert!((g.cdf(g.quantile(q).unwrap()) - q).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frechet_support(alpha in 0.3f64..10.0, mu in -10.0f64..10.0, sigma in 0.1f64..10.0, x in -30.0f64..30.0) {
+        let f = Frechet::new(alpha, mu, sigma).unwrap();
+        if x <= mu {
+            prop_assert_eq!(f.cdf(x), 0.0);
+        } else {
+            // Analytically positive; may underflow to 0 just above μ.
+            prop_assert!(f.cdf(x) >= 0.0);
+        }
+        // Far above the location the CDF is comfortably positive.
+        prop_assert!(f.cdf(mu + 10.0 * sigma) > 0.0);
+    }
+
+    #[test]
+    fn gev_weibull_conversion_consistent(
+        alpha in 2.1f64..10.0, beta in 0.1f64..10.0, mu in -5.0f64..5.0, x in -20.0f64..5.0,
+    ) {
+        let w = ReversedWeibull::new(alpha, beta, mu).unwrap();
+        let gev: Gev = w.into();
+        prop_assert!((gev.cdf(x) - w.cdf(x)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn block_maxima_dominate_blocks(data in prop::collection::vec(-1e3f64..1e3, 8..200), bs in 1usize..8) {
+        if data.len() >= bs {
+            let maxima = block_maxima(&data, bs).unwrap();
+            let overall = sample_maximum(&data).unwrap();
+            for m in &maxima {
+                prop_assert!(*m <= overall);
+            }
+            // max of block maxima == max over the covered prefix
+            let covered = &data[..maxima.len() * bs];
+            prop_assert_eq!(
+                sample_maximum(&maxima).unwrap(),
+                sample_maximum(covered).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn order_statistic_cdf_monotone_in_f(r in 1usize..30, extra in 0usize..30, f in 0.0f64..0.99) {
+        let n = r + extra;
+        let a = order_statistic_cdf(r, n, f).unwrap();
+        let b = order_statistic_cdf(r, n, f + 0.01).unwrap();
+        prop_assert!(b >= a - 1e-12);
+    }
+
+    #[test]
+    fn order_statistic_cdf_decreasing_in_r(r in 1usize..29, n in 30usize..60, f in 0.01f64..0.99) {
+        // Higher order statistics are stochastically larger: P{X_{r+1:n} <= t} <= P{X_{r:n} <= t}
+        let a = order_statistic_cdf(r, n, f).unwrap();
+        let b = order_statistic_cdf(r + 1, n, f).unwrap();
+        prop_assert!(b <= a + 1e-12);
+    }
+}
+
+proptest! {
+    /// GPD: CDF bounded/monotone, quantile roundtrip, endpoint semantics.
+    #[test]
+    fn gpd_cdf_properties(xi in -2.0f64..2.0, sigma in 0.05f64..20.0, y in 0.0f64..100.0) {
+        let g = mpe_evt::GeneralizedPareto::new(xi, sigma).unwrap();
+        let c = g.cdf(y);
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!(g.cdf(y + 0.5) >= c - 1e-12);
+        if xi < 0.0 {
+            let endpoint = g.excess_endpoint().unwrap();
+            prop_assert!((g.cdf(endpoint) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gpd_quantile_roundtrip(xi in -1.5f64..1.5, sigma in 0.1f64..10.0, p in 0.0f64..0.999) {
+        let g = mpe_evt::GeneralizedPareto::new(xi, sigma).unwrap();
+        let y = g.inverse_cdf(p).unwrap();
+        prop_assert!(y >= 0.0);
+        prop_assert!((g.cdf(y) - p).abs() < 1e-8);
+    }
+
+    /// Return levels are monotone in period and always below the endpoint.
+    #[test]
+    fn return_levels_monotone(
+        alpha in 0.5f64..10.0, beta in 0.1f64..10.0, mu in -10.0f64..10.0,
+        p1 in 100u64..100_000, factor in 2u64..100,
+    ) {
+        use mpe_evt::return_level::return_level;
+        let w = ReversedWeibull::new(alpha, beta, mu).unwrap();
+        let l1 = return_level(&w, 30, p1.max(31)).unwrap();
+        let l2 = return_level(&w, 30, p1.max(31) * factor).unwrap();
+        prop_assert!(l2 >= l1);
+        prop_assert!(l2 < mu);
+    }
+}

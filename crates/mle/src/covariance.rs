@@ -1,0 +1,315 @@
+//! Asymptotic covariance of the MLE — the paper's `VAR` matrix (Eqn 3.4).
+//!
+//! Theorem 3 states that `(α̂_m, β̂_m, μ̂_m)` is asymptotically normal with
+//! covariance `VAR = I⁻¹/m` where `I` is the Fisher information per
+//! observation. We estimate `I` by the **observed information**: the
+//! negative Hessian of the mean log-likelihood at the fitted parameters,
+//! computed with central finite differences (the likelihood is smooth in the
+//! interior, and Smith's `α > 2` condition puts the MLE in the interior).
+
+use crate::error::MleError;
+use crate::profile::WeibullFit;
+use mpe_evt::ReversedWeibull;
+
+/// The 3×3 covariance matrix of `(α̂, β̂, μ̂)`, ordered `[alpha, beta, mu]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CovarianceMatrix {
+    entries: [[f64; 3]; 3],
+    sample_size: usize,
+}
+
+impl CovarianceMatrix {
+    /// Raw matrix entries, ordered `[alpha, beta, mu]` on both axes.
+    pub fn entries(&self) -> &[[f64; 3]; 3] {
+        &self.entries
+    }
+
+    /// Variance of the shape estimator `α̂`.
+    pub fn var_alpha(&self) -> f64 {
+        self.entries[0][0]
+    }
+
+    /// Variance of the scale estimator `β̂`.
+    pub fn var_beta(&self) -> f64 {
+        self.entries[1][1]
+    }
+
+    /// Variance of the endpoint estimator `μ̂` — the paper's `σ_μ²/m`,
+    /// which sizes the Theorem-4 confidence interval.
+    pub fn var_mu(&self) -> f64 {
+        self.entries[2][2]
+    }
+
+    /// Standard error of the maximum-power estimate, `√var_mu`.
+    pub fn se_mu(&self) -> f64 {
+        self.var_mu().sqrt()
+    }
+
+    /// Number of observations behind the estimate.
+    pub fn sample_size(&self) -> usize {
+        self.sample_size
+    }
+}
+
+/// Estimates the covariance of the fitted parameters from the observed
+/// Fisher information at `fit`, using the `data` the fit was computed from.
+///
+/// # Errors
+///
+/// Returns [`MleError::DegenerateSample`] if the observed information is
+/// not positive definite (the fit sits on a likelihood ridge — typically a
+/// sign that more data is needed, or that the true shape violates `α > 2`).
+///
+/// # Example
+///
+/// ```
+/// use mpe_evt::ReversedWeibull;
+/// use mpe_mle::{fisher_covariance, profile::fit_reversed_weibull};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), mpe_mle::MleError> {
+/// let truth = ReversedWeibull::new(4.0, 1.0, 10.0).unwrap();
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+/// let data = truth.sample_n(&mut rng, 500);
+/// let fit = fit_reversed_weibull(&data)?;
+/// let cov = fisher_covariance(&fit, &data)?;
+/// assert!(cov.var_mu() > 0.0);
+/// assert!(cov.se_mu() < 0.2); // tight at 500 observations
+/// # Ok(())
+/// # }
+/// ```
+pub fn fisher_covariance(fit: &WeibullFit, data: &[f64]) -> Result<CovarianceMatrix, MleError> {
+    let d = &fit.distribution;
+    let theta = [d.alpha(), d.beta(), d.mu()];
+    let m = data.len();
+    if m < 5 {
+        return Err(MleError::InsufficientData { needed: 5, got: m });
+    }
+
+    // Total log-likelihood as a function of the parameter vector; -inf
+    // outside the feasible region.
+    let x_max = fit.sample_max;
+    let ll = |p: &[f64; 3]| -> f64 {
+        if p[0] <= 0.0 || p[1] <= 0.0 || p[2] <= x_max {
+            return f64::NEG_INFINITY;
+        }
+        match ReversedWeibull::new(p[0], p[1], p[2]) {
+            Ok(dist) => dist.mean_log_likelihood(data) * m as f64,
+            Err(_) => f64::NEG_INFINITY,
+        }
+    };
+
+    // Central-difference Hessian with per-parameter steps that respect the
+    // feasibility boundary μ > x_max.
+    let mut h = [0.0_f64; 3];
+    for (i, hi) in h.iter_mut().enumerate() {
+        let scale = theta[i].abs().max(1e-8);
+        let mut step = 1e-4 * scale;
+        if i == 2 {
+            // Keep μ ± step strictly above the sample maximum.
+            let room = (theta[2] - x_max) / 4.0;
+            step = step.min(room);
+        }
+        *hi = step.max(1e-12);
+    }
+
+    let mut hess = [[0.0_f64; 3]; 3];
+    let f0 = ll(&theta);
+    if !f0.is_finite() {
+        return Err(MleError::DegenerateSample {
+            reason: "log-likelihood not finite at the fitted parameters",
+        });
+    }
+    for i in 0..3 {
+        for j in i..3 {
+            let v = if i == j {
+                let mut tp = theta;
+                tp[i] += h[i];
+                let mut tm = theta;
+                tm[i] -= h[i];
+                (ll(&tp) - 2.0 * f0 + ll(&tm)) / (h[i] * h[i])
+            } else {
+                let mut tpp = theta;
+                tpp[i] += h[i];
+                tpp[j] += h[j];
+                let mut tpm = theta;
+                tpm[i] += h[i];
+                tpm[j] -= h[j];
+                let mut tmp = theta;
+                tmp[i] -= h[i];
+                tmp[j] += h[j];
+                let mut tmm = theta;
+                tmm[i] -= h[i];
+                tmm[j] -= h[j];
+                (ll(&tpp) - ll(&tpm) - ll(&tmp) + ll(&tmm)) / (4.0 * h[i] * h[j])
+            };
+            if !v.is_finite() {
+                return Err(MleError::DegenerateSample {
+                    reason: "Hessian evaluation left the feasible region",
+                });
+            }
+            hess[i][j] = v;
+            hess[j][i] = v;
+        }
+    }
+
+    // Observed information = -Hessian; covariance = its inverse.
+    let mut info = [[0.0_f64; 3]; 3];
+    for i in 0..3 {
+        for j in 0..3 {
+            info[i][j] = -hess[i][j];
+        }
+    }
+    let cov = invert3(&info).ok_or(MleError::DegenerateSample {
+        reason: "observed information is singular",
+    })?;
+    // Positive-definiteness sanity: variances must be positive.
+    if cov[0][0] <= 0.0 || cov[1][1] <= 0.0 || cov[2][2] <= 0.0 {
+        return Err(MleError::DegenerateSample {
+            reason: "observed information is not positive definite",
+        });
+    }
+    Ok(CovarianceMatrix {
+        entries: cov,
+        sample_size: m,
+    })
+}
+
+/// Inverts a 3×3 matrix by adjugate; `None` if (numerically) singular.
+fn invert3(m: &[[f64; 3]; 3]) -> Option<[[f64; 3]; 3]> {
+    let det = m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+        - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+        + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+    if det.abs() < 1e-300 || !det.is_finite() {
+        return None;
+    }
+    let inv_det = 1.0 / det;
+    let mut out = [[0.0_f64; 3]; 3];
+    out[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv_det;
+    out[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv_det;
+    out[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv_det;
+    out[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv_det;
+    out[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv_det;
+    out[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv_det;
+    out[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv_det;
+    out[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv_det;
+    out[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv_det;
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::fit_reversed_weibull;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invert3_identity() {
+        let i = [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]];
+        assert_eq!(invert3(&i), Some(i));
+    }
+
+    #[test]
+    fn invert3_known_matrix() {
+        let m = [[2.0, 0.0, 0.0], [0.0, 4.0, 0.0], [0.0, 0.0, 8.0]];
+        let inv = invert3(&m).unwrap();
+        assert!((inv[0][0] - 0.5).abs() < 1e-14);
+        assert!((inv[1][1] - 0.25).abs() < 1e-14);
+        assert!((inv[2][2] - 0.125).abs() < 1e-14);
+    }
+
+    #[test]
+    fn invert3_roundtrip() {
+        let m = [[3.0, 1.0, 0.5], [1.0, 4.0, 1.5], [0.5, 1.5, 5.0]];
+        let inv = invert3(&m).unwrap();
+        // m * inv ~ I
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut acc = 0.0;
+                for k in 0..3 {
+                    acc += m[i][k] * inv[k][j];
+                }
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((acc - expect).abs() < 1e-12, "({i},{j}) = {acc}");
+            }
+        }
+    }
+
+    #[test]
+    fn invert3_singular_none() {
+        let m = [[1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.0, 0.0, 1.0]];
+        assert!(invert3(&m).is_none());
+    }
+
+    #[test]
+    fn covariance_shrinks_with_sample_size() {
+        let truth = ReversedWeibull::new(4.0, 1.0, 10.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let small = truth.sample_n(&mut rng, 100);
+        let large = truth.sample_n(&mut rng, 4_000);
+        let fit_s = fit_reversed_weibull(&small).unwrap();
+        let fit_l = fit_reversed_weibull(&large).unwrap();
+        let cov_s = fisher_covariance(&fit_s, &small).unwrap();
+        let cov_l = fisher_covariance(&fit_l, &large).unwrap();
+        assert!(cov_l.var_mu() < cov_s.var_mu());
+        assert!(cov_l.var_alpha() < cov_s.var_alpha());
+    }
+
+    #[test]
+    fn se_mu_calibrated_against_monte_carlo() {
+        // The claimed standard error should match the spread of μ̂ across
+        // replicated fits within a factor ~2.
+        let truth = ReversedWeibull::new(4.0, 1.0, 10.0).unwrap();
+        let m = 400;
+        let mut mu_hats = Vec::new();
+        let mut se_claims = Vec::new();
+        for seed in 0..40 {
+            let mut rng = SmallRng::seed_from_u64(1000 + seed);
+            let data = truth.sample_n(&mut rng, m);
+            let fit = fit_reversed_weibull(&data).unwrap();
+            mu_hats.push(fit.mu_hat());
+            if let Ok(cov) = fisher_covariance(&fit, &data) {
+                se_claims.push(cov.se_mu());
+            }
+        }
+        let mean = mu_hats.iter().sum::<f64>() / mu_hats.len() as f64;
+        let sd = (mu_hats.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (mu_hats.len() - 1) as f64)
+            .sqrt();
+        let median_se = {
+            let mut s = se_claims.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s[s.len() / 2]
+        };
+        assert!(
+            median_se > sd / 3.0 && median_se < sd * 3.0,
+            "claimed se {median_se}, observed sd {sd}"
+        );
+    }
+
+    #[test]
+    fn rejects_insufficient_data() {
+        let truth = ReversedWeibull::new(4.0, 1.0, 10.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let data = truth.sample_n(&mut rng, 200);
+        let fit = fit_reversed_weibull(&data).unwrap();
+        assert!(fisher_covariance(&fit, &data[..3]).is_err());
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let truth = ReversedWeibull::new(3.5, 2.0, 5.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let data = truth.sample_n(&mut rng, 800);
+        let fit = fit_reversed_weibull(&data).unwrap();
+        let cov = fisher_covariance(&fit, &data).unwrap();
+        let e = cov.entries();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((e[i][j] - e[j][i]).abs() < 1e-9);
+            }
+        }
+        assert_eq!(cov.sample_size(), 800);
+    }
+}

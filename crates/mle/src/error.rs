@@ -1,0 +1,104 @@
+//! Error type for maximum-likelihood routines.
+
+use std::fmt;
+
+use mpe_evt::EvtError;
+use mpe_stats::StatsError;
+
+/// Error raised by the MLE layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MleError {
+    /// The input sample was empty or too small for a stable fit.
+    InsufficientData {
+        /// Observations required.
+        needed: usize,
+        /// Observations provided.
+        got: usize,
+    },
+    /// The sample is degenerate (e.g. all observations identical), so the
+    /// likelihood has no interior maximum.
+    DegenerateSample {
+        /// Human-readable diagnosis.
+        reason: &'static str,
+    },
+    /// The optimizer failed to locate a maximum.
+    NoConvergence {
+        /// Which stage failed.
+        stage: &'static str,
+    },
+    /// A numerical routine from a lower layer failed.
+    Numeric(StatsError),
+    /// A distribution construction failed (invalid fitted parameters).
+    Evt(EvtError),
+}
+
+impl fmt::Display for MleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MleError::InsufficientData { needed, got } => {
+                write!(f, "insufficient data: needed {needed} observations, got {got}")
+            }
+            MleError::DegenerateSample { reason } => {
+                write!(f, "degenerate sample: {reason}")
+            }
+            MleError::NoConvergence { stage } => {
+                write!(f, "maximum-likelihood fit failed to converge at stage: {stage}")
+            }
+            MleError::Numeric(e) => write!(f, "numeric failure: {e}"),
+            MleError::Evt(e) => write!(f, "distribution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MleError::Numeric(e) => Some(e),
+            MleError::Evt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for MleError {
+    fn from(e: StatsError) -> Self {
+        MleError::Numeric(e)
+    }
+}
+
+impl From<EvtError> for MleError {
+    fn from(e: EvtError) -> Self {
+        MleError::Evt(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        assert!(MleError::InsufficientData { needed: 10, got: 2 }
+            .to_string()
+            .contains("10"));
+        assert!(MleError::DegenerateSample {
+            reason: "all identical"
+        }
+        .to_string()
+        .contains("identical"));
+        assert!(MleError::NoConvergence { stage: "profile" }
+            .to_string()
+            .contains("profile"));
+        let e: MleError = StatsError::invalid("x", "x>0", -1.0).into();
+        assert!(e.to_string().contains("numeric"));
+        let e: MleError = EvtError::invalid("alpha", "alpha>0", 0.0).into();
+        assert!(e.to_string().contains("distribution"));
+    }
+
+    #[test]
+    fn source_propagates() {
+        use std::error::Error;
+        let e: MleError = StatsError::invalid("x", "x>0", -1.0).into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,179 @@
+//! Unified GEV maximum-likelihood fit — one estimator across all three
+//! domains of attraction.
+//!
+//! Where [`crate::profile`] *assumes* the Weibull domain (the paper's §3.1
+//! argument), the GEV fit lets the data choose the sign of `ξ`. Agreement
+//! between the two (fitted `ξ < 0` with `−1/ξ ≈ α̂`) is a further
+//! model-validation check; disagreement flags populations where the
+//! bounded-tail assumption deserves scrutiny.
+
+use crate::error::MleError;
+use mpe_evt::Gev;
+use mpe_stats::optimize::{nelder_mead, NelderMeadOptions};
+
+/// Result of a GEV maximum-likelihood fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GevFit {
+    /// The fitted distribution.
+    pub distribution: Gev,
+    /// Mean log-likelihood at the optimum.
+    pub mean_log_likelihood: f64,
+}
+
+/// Mean GEV log-density of a sample; `−∞` outside the support.
+fn mean_ll(xi: f64, mu: f64, sigma: f64, data: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in data {
+        let z = (x - mu) / sigma;
+        let ll = if xi.abs() < 1e-10 {
+            -sigma.ln() - z - (-z).exp()
+        } else {
+            let t = 1.0 + xi * z;
+            if t <= 0.0 {
+                return f64::NEG_INFINITY;
+            }
+            -sigma.ln() - (1.0 + 1.0 / xi) * t.ln() - t.powf(-1.0 / xi)
+        };
+        acc += ll;
+    }
+    acc / data.len() as f64
+}
+
+/// Fits a GEV distribution by maximum likelihood (Nelder–Mead over
+/// `(ξ, μ, ln σ)`, seeded from Gumbel moments).
+///
+/// # Errors
+///
+/// * [`MleError::InsufficientData`] — fewer than 10 observations;
+/// * [`MleError::DegenerateSample`] — zero spread or non-finite data;
+/// * [`MleError::NoConvergence`] — no finite optimum found.
+///
+/// # Example
+///
+/// ```
+/// use mpe_evt::ReversedWeibull;
+/// use mpe_mle::gev::fit_gev;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), mpe_mle::MleError> {
+/// // Bounded data: the fitted GEV shape must come out negative.
+/// let truth = ReversedWeibull::new(4.0, 1.0, 10.0).unwrap();
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let data = truth.sample_n(&mut rng, 2000);
+/// let fit = fit_gev(&data)?;
+/// assert!(fit.distribution.xi() < 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit_gev(data: &[f64]) -> Result<GevFit, MleError> {
+    let m = data.len();
+    if m < 10 {
+        return Err(MleError::InsufficientData { needed: 10, got: m });
+    }
+    if data.iter().any(|v| !v.is_finite()) {
+        return Err(MleError::DegenerateSample {
+            reason: "data must be finite",
+        });
+    }
+    let mean = data.iter().sum::<f64>() / m as f64;
+    let sd = (data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / m as f64).sqrt();
+    if sd <= 0.0 {
+        return Err(MleError::DegenerateSample {
+            reason: "zero sample spread",
+        });
+    }
+    // Gumbel moment seed.
+    let sigma0 = sd * 6.0f64.sqrt() / std::f64::consts::PI;
+    let mu0 = mean - 0.577_215_664_901_532_9 * sigma0;
+
+    let objective = |p: &[f64]| -> f64 {
+        let (xi, mu, sigma) = (p[0], p[1], p[2].exp());
+        let ll = mean_ll(xi, mu, sigma, data);
+        if ll.is_finite() {
+            -ll
+        } else {
+            f64::INFINITY
+        }
+    };
+    // Multi-start over shape guesses: the likelihood surface has distinct
+    // basins per domain, and a single Gumbel-seeded start can stall.
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    for xi0 in [-0.4, -0.1, 0.0, 0.2] {
+        let initial = [xi0, mu0, sigma0.max(1e-12).ln()];
+        if let Ok(res) = nelder_mead(&objective, &initial, &NelderMeadOptions::default()) {
+            if res.f.is_finite() && best.as_ref().map(|(f, _)| res.f < *f).unwrap_or(true) {
+                best = Some((res.f, res.x));
+            }
+        }
+    }
+    let (neg_ll, x) = best.ok_or(MleError::NoConvergence { stage: "gev simplex" })?;
+    let distribution = Gev::new(x[0], x[1], x[2].exp())?;
+    Ok(GevFit {
+        distribution,
+        mean_log_likelihood: -neg_ll,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpe_evt::{Frechet, Gumbel, ReversedWeibull};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_weibull_domain() {
+        let truth = ReversedWeibull::new(4.0, 1.0, 10.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let data = truth.sample_n(&mut rng, 5_000);
+        let fit = fit_gev(&data).unwrap();
+        // ξ = −1/α = −0.25
+        assert!((fit.distribution.xi() + 0.25).abs() < 0.06, "{:?}", fit.distribution);
+        let endpoint = fit.distribution.right_endpoint().unwrap();
+        assert!((endpoint - 10.0).abs() < 0.3, "endpoint {endpoint}");
+    }
+
+    #[test]
+    fn recovers_gumbel_domain() {
+        let truth = Gumbel::new(3.0, 1.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let data: Vec<f64> = (0..5_000).map(|_| truth.sample(&mut rng)).collect();
+        let fit = fit_gev(&data).unwrap();
+        assert!(fit.distribution.xi().abs() < 0.06, "{:?}", fit.distribution);
+        assert!((fit.distribution.mu() - 3.0).abs() < 0.1);
+        assert!((fit.distribution.sigma() - 1.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn recovers_frechet_domain() {
+        let truth = Frechet::new(3.0, 0.0, 2.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let data: Vec<f64> = (0..5_000).map(|_| truth.sample(&mut rng)).collect();
+        let fit = fit_gev(&data).unwrap();
+        // ξ = 1/α = 1/3
+        assert!((fit.distribution.xi() - 1.0 / 3.0).abs() < 0.06, "{:?}", fit.distribution);
+    }
+
+    #[test]
+    fn agrees_with_weibull_profile_fit() {
+        use crate::profile::fit_reversed_weibull;
+        let truth = ReversedWeibull::new(3.0, 1.0, 5.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let data = truth.sample_n(&mut rng, 2_000);
+        let gev = fit_gev(&data).unwrap();
+        let weib = fit_reversed_weibull(&data).unwrap();
+        let gev_endpoint = gev.distribution.right_endpoint().unwrap();
+        assert!(
+            (gev_endpoint - weib.mu_hat()).abs() < 0.2,
+            "GEV endpoint {gev_endpoint} vs profile μ̂ {}",
+            weib.mu_hat()
+        );
+    }
+
+    #[test]
+    fn validation() {
+        assert!(fit_gev(&[1.0; 5]).is_err());
+        assert!(fit_gev(&vec![2.0; 50]).is_err());
+        assert!(fit_gev(&[1.0, f64::NAN, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]).is_err());
+    }
+}

@@ -1,0 +1,234 @@
+//! Two-parameter Weibull MLE on positive data — the inner problem of the
+//! profile-likelihood fit.
+//!
+//! For `y_1, …, y_m > 0` with density
+//! `f(y) = α β y^{α−1} exp(−β y^α)` (so `β = λ^{−α}` against the usual
+//! scale-`λ` convention), the log-likelihood is
+//!
+//! `ℓ(α, β) = m ln α + m ln β + (α−1) Σ ln y_i − β Σ y_i^α`.
+//!
+//! Setting `∂ℓ/∂β = 0` gives the closed form `β̂(α) = m / Σ y_i^α`;
+//! substituting back leaves the classic **shape equation**
+//!
+//! `g(α) = Σ y_i^α ln y_i / Σ y_i^α − 1/α − (1/m) Σ ln y_i = 0`,
+//!
+//! whose left side is strictly increasing in `α`, so a bracketed
+//! Newton/bisection solve is globally convergent.
+
+use crate::error::MleError;
+use mpe_stats::optimize::bisect_newton;
+
+/// Result of a two-parameter Weibull maximum-likelihood fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull2Fit {
+    /// Shape `α̂`.
+    pub alpha: f64,
+    /// Rate-style scale `β̂` (density `αβ y^{α−1} e^{−β y^α}`).
+    pub beta: f64,
+    /// Mean log-likelihood at the optimum.
+    pub mean_log_likelihood: f64,
+}
+
+/// Numerically safe `ln` for strictly positive data (guards the optimizer
+/// against denormal `y` produced when the profile search probes `μ` just
+/// above the sample maximum).
+fn safe_ln(y: f64) -> f64 {
+    y.max(1e-300).ln()
+}
+
+/// Fits a two-parameter Weibull to strictly positive data by maximum
+/// likelihood.
+///
+/// # Errors
+///
+/// * [`MleError::InsufficientData`] — fewer than 3 observations;
+/// * [`MleError::DegenerateSample`] — any `y ≤ 0`, or all values identical
+///   (the shape equation then has no finite root);
+/// * [`MleError::NoConvergence`] — the root solve failed (pathological data).
+///
+/// # Example
+///
+/// ```
+/// use mpe_mle::weibull2::fit_weibull2;
+/// # fn main() -> Result<(), mpe_mle::MleError> {
+/// // Exponential data (Weibull with α = 1, β = rate)
+/// let y: Vec<f64> = (1..200).map(|i| -f64::ln(i as f64 / 200.0)).collect();
+/// let fit = fit_weibull2(&y)?;
+/// assert!((fit.alpha - 1.0).abs() < 0.1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit_weibull2(y: &[f64]) -> Result<Weibull2Fit, MleError> {
+    let m = y.len();
+    if m < 3 {
+        return Err(MleError::InsufficientData { needed: 3, got: m });
+    }
+    if y.iter().any(|&v| !(v > 0.0) || !v.is_finite()) {
+        return Err(MleError::DegenerateSample {
+            reason: "all observations must be strictly positive and finite",
+        });
+    }
+    let mean_ln: f64 = y.iter().map(|&v| safe_ln(v)).sum::<f64>() / m as f64;
+    let spread = y
+        .iter()
+        .map(|&v| (safe_ln(v) - mean_ln).abs())
+        .fold(0.0, f64::max);
+    if spread < 1e-12 {
+        return Err(MleError::DegenerateSample {
+            reason: "all observations identical; shape is unbounded",
+        });
+    }
+
+    // Shape equation residual g(α) and derivative g'(α).
+    let g = |alpha: f64| -> f64 {
+        let mut s = 0.0;
+        let mut sl = 0.0;
+        for &v in y {
+            let p = v.powf(alpha);
+            s += p;
+            sl += p * safe_ln(v);
+        }
+        sl / s - 1.0 / alpha - mean_ln
+    };
+    let dg = |alpha: f64| -> f64 {
+        let mut s = 0.0;
+        let mut sl = 0.0;
+        let mut sll = 0.0;
+        for &v in y {
+            let l = safe_ln(v);
+            let p = v.powf(alpha);
+            s += p;
+            sl += p * l;
+            sll += p * l * l;
+        }
+        // d/dα [Σp·l/Σp] = (Σp·l² · Σp − (Σp·l)²)/ (Σp)² ; plus 1/α²
+        (sll * s - sl * sl) / (s * s) + 1.0 / (alpha * alpha)
+    };
+
+    // Bracket the root: g is increasing; g(α→0⁺) → −∞ is guaranteed, and for
+    // large α, g → max ln y − mean ln y > 0. Grow the upper bound until the
+    // sign flips.
+    let mut lo = 1e-3;
+    while g(lo) > 0.0 && lo > 1e-12 {
+        lo /= 10.0;
+    }
+    let mut hi = 10.0;
+    let mut grow = 0;
+    while g(hi) < 0.0 {
+        hi *= 4.0;
+        grow += 1;
+        if grow > 40 {
+            return Err(MleError::NoConvergence {
+                stage: "weibull2 shape bracket",
+            });
+        }
+    }
+    let root = bisect_newton(g, dg, lo, hi, 1e-12).map_err(|_| MleError::NoConvergence {
+        stage: "weibull2 shape equation",
+    })?;
+    let alpha = root.x;
+    let sum_pow: f64 = y.iter().map(|&v| v.powf(alpha)).sum();
+    let beta = m as f64 / sum_pow;
+    let mll = alpha.ln() + beta.ln() + (alpha - 1.0) * mean_ln - beta * sum_pow / m as f64;
+    Ok(Weibull2Fit {
+        alpha,
+        beta,
+        mean_log_likelihood: mll,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Inverse-CDF sampler for the (α, β) parameterization used here:
+    /// `Y = (−ln U / β)^{1/α}`.
+    fn sample_weibull(rng: &mut SmallRng, alpha: f64, beta: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                (-u.ln() / beta).powf(1.0 / alpha)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_exponential() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let y = sample_weibull(&mut rng, 1.0, 2.0, 20_000);
+        let fit = fit_weibull2(&y).unwrap();
+        assert!((fit.alpha - 1.0).abs() < 0.03, "alpha {}", fit.alpha);
+        assert!((fit.beta - 2.0).abs() < 0.1, "beta {}", fit.beta);
+    }
+
+    #[test]
+    fn recovers_steep_shape() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let y = sample_weibull(&mut rng, 5.0, 0.7, 20_000);
+        let fit = fit_weibull2(&y).unwrap();
+        assert!((fit.alpha - 5.0).abs() < 0.15, "alpha {}", fit.alpha);
+        assert!((fit.beta - 0.7).abs() < 0.1, "beta {}", fit.beta);
+    }
+
+    #[test]
+    fn recovers_shallow_shape() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let y = sample_weibull(&mut rng, 0.5, 1.0, 20_000);
+        let fit = fit_weibull2(&y).unwrap();
+        assert!((fit.alpha - 0.5).abs() < 0.02, "alpha {}", fit.alpha);
+    }
+
+    #[test]
+    fn small_sample_still_fits() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let y = sample_weibull(&mut rng, 3.0, 1.0, 10);
+        let fit = fit_weibull2(&y).unwrap();
+        assert!(fit.alpha > 0.5 && fit.alpha < 20.0);
+        assert!(fit.beta > 0.0);
+    }
+
+    #[test]
+    fn likelihood_is_maximal_at_fit() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let y = sample_weibull(&mut rng, 2.0, 1.0, 1000);
+        let fit = fit_weibull2(&y).unwrap();
+        let mll = |alpha: f64, beta: f64| {
+            let m = y.len() as f64;
+            let sum_ln: f64 = y.iter().map(|v| v.ln()).sum();
+            let sum_pow: f64 = y.iter().map(|v| v.powf(alpha)).sum();
+            alpha.ln() + beta.ln() + (alpha - 1.0) * sum_ln / m - beta * sum_pow / m
+        };
+        let at_fit = mll(fit.alpha, fit.beta);
+        assert!((at_fit - fit.mean_log_likelihood).abs() < 1e-10);
+        for (da, db) in [(0.1, 0.0), (-0.1, 0.0), (0.0, 0.1), (0.0, -0.05)] {
+            assert!(at_fit >= mll(fit.alpha + da, fit.beta + db));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(fit_weibull2(&[1.0, 2.0]).is_err());
+        assert!(fit_weibull2(&[1.0, -1.0, 2.0]).is_err());
+        assert!(fit_weibull2(&[1.0, 0.0, 2.0]).is_err());
+        assert!(fit_weibull2(&[2.0, 2.0, 2.0, 2.0]).is_err());
+        assert!(fit_weibull2(&[1.0, f64::INFINITY, 2.0]).is_err());
+    }
+
+    #[test]
+    fn handles_tiny_values() {
+        // Values near denormal range must not produce NaN
+        let y = vec![1e-200, 2e-200, 3e-200, 5e-200, 8e-200];
+        let fit = fit_weibull2(&y).unwrap();
+        assert!(fit.alpha.is_finite());
+        assert!(fit.beta.is_finite() || fit.beta > 0.0);
+    }
+
+    #[test]
+    fn handles_mixed_scales() {
+        let y = vec![1e-6, 1e-3, 1.0, 10.0, 100.0, 1000.0];
+        let fit = fit_weibull2(&y).unwrap();
+        assert!(fit.alpha > 0.0 && fit.alpha < 1.0); // huge spread => small shape
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the Weibull MLE layer.
+
+use mpe_evt::ReversedWeibull;
+use mpe_mle::profile::fit_reversed_weibull;
+use mpe_mle::weibull2::fit_weibull2;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn weibull_sample(alpha: f64, beta: f64, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            (-u.ln() / beta).powf(1.0 / alpha)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The inner 2-parameter fit always returns positive parameters and a
+    /// finite likelihood on valid Weibull data.
+    #[test]
+    fn weibull2_fit_well_formed(
+        alpha in 0.4f64..8.0,
+        beta in 0.05f64..10.0,
+        seed in 0u64..1000,
+    ) {
+        let y = weibull_sample(alpha, beta, 200, seed);
+        let fit = fit_weibull2(&y).unwrap();
+        prop_assert!(fit.alpha > 0.0 && fit.alpha.is_finite());
+        prop_assert!(fit.beta > 0.0 && fit.beta.is_finite());
+        prop_assert!(fit.mean_log_likelihood.is_finite());
+    }
+
+    /// The fitted shape is consistent: within a factor band of the truth
+    /// at n = 400 (the shape equation is the easy part of the problem).
+    #[test]
+    fn weibull2_shape_consistent(
+        alpha in 0.5f64..6.0,
+        seed in 0u64..500,
+    ) {
+        let y = weibull_sample(alpha, 1.0, 400, seed);
+        let fit = fit_weibull2(&y).unwrap();
+        prop_assert!(fit.alpha > alpha * 0.6 && fit.alpha < alpha * 1.6,
+            "alpha {} fitted {}", alpha, fit.alpha);
+    }
+
+    /// Scale invariance: multiplying the data by c maps the fit predictably
+    /// (alpha unchanged, beta -> beta / c^alpha).
+    #[test]
+    fn weibull2_scale_equivariance(
+        seed in 0u64..300,
+        c in 0.1f64..10.0,
+    ) {
+        let y = weibull_sample(2.0, 1.0, 300, seed);
+        let scaled: Vec<f64> = y.iter().map(|v| v * c).collect();
+        let f1 = fit_weibull2(&y).unwrap();
+        let f2 = fit_weibull2(&scaled).unwrap();
+        prop_assert!((f1.alpha - f2.alpha).abs() < 0.05 * f1.alpha.max(1.0));
+        let expected_beta = f1.beta / c.powf(f1.alpha);
+        prop_assert!((f2.beta - expected_beta).abs() < 0.1 * expected_beta.max(1e-12),
+            "beta {} expected {}", f2.beta, expected_beta);
+    }
+
+    /// The 3-parameter profile fit never places the endpoint at or below
+    /// the sample maximum, and its likelihood is finite.
+    #[test]
+    fn profile_fit_endpoint_above_max(
+        alpha in 2.2f64..8.0,
+        mu in -5.0f64..5.0,
+        seed in 0u64..300,
+    ) {
+        let truth = ReversedWeibull::new(alpha, 1.0, mu).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data = truth.sample_n(&mut rng, 50);
+        let fit = fit_reversed_weibull(&data).unwrap();
+        prop_assert!(fit.mu_hat() > fit.sample_max);
+        prop_assert!(fit.mean_log_likelihood.is_finite());
+        prop_assert_eq!(fit.sample_size, 50);
+    }
+
+    /// Shift equivariance of the profile fit: adding a constant to the data
+    /// shifts the endpoint estimate by (approximately) that constant.
+    #[test]
+    fn profile_fit_shift_equivariance(
+        seed in 0u64..200,
+        shift in -10.0f64..10.0,
+    ) {
+        let truth = ReversedWeibull::new(3.0, 1.0, 0.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data = truth.sample_n(&mut rng, 60);
+        let shifted: Vec<f64> = data.iter().map(|x| x + shift).collect();
+        let f1 = fit_reversed_weibull(&data).unwrap();
+        let f2 = fit_reversed_weibull(&shifted).unwrap();
+        let d = (f2.mu_hat() - f1.mu_hat()) - shift;
+        // The grid search quantizes slightly; allow a small tolerance
+        // relative to the sample spread.
+        prop_assert!(d.abs() < 0.05, "shift mismatch {d}");
+    }
+}

@@ -1,0 +1,386 @@
+//! ISCAS85 `.bench` format parser and writer.
+//!
+//! The `.bench` grammar is line-oriented:
+//!
+//! ```text
+//! # comment
+//! INPUT(G1)
+//! OUTPUT(G17)
+//! G10 = NAND(G1, G3)
+//! G11 = NOT(G10)
+//! ```
+//!
+//! Declaration order is arbitrary; the parser resolves forward references
+//! and emits nodes to [`CircuitBuilder`] in topological order. With real
+//! ISCAS85 files on disk, the paper's original benchmark suite drops into
+//! every experiment unchanged.
+
+use std::collections::HashMap;
+
+use crate::circuit::{Circuit, CircuitBuilder, NodeId};
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+
+/// One raw gate statement before topological resolution.
+#[derive(Debug)]
+struct RawGate {
+    name: String,
+    kind: GateKind,
+    fanin_names: Vec<String>,
+    line: usize,
+}
+
+/// Parses `.bench` text into a validated [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with a line number for malformed lines,
+/// plus the usual construction errors (undefined/duplicate signals, arity
+/// mismatches, cycles).
+///
+/// # Example
+///
+/// ```
+/// let src = "\
+/// ## tiny circuit
+/// INPUT(a)
+/// INPUT(b)
+/// OUTPUT(y)
+/// y = NAND(a, b)
+/// ";
+/// let c = mpe_netlist::bench_format::parse(src, "tiny")?;
+/// assert_eq!(c.num_gates(), 1);
+/// # Ok::<(), mpe_netlist::NetlistError>(())
+/// ```
+pub fn parse(text: &str, name: &str) -> Result<Circuit, NetlistError> {
+    let mut inputs: Vec<(String, usize)> = Vec::new();
+    let mut outputs: Vec<(String, usize)> = Vec::new();
+    let mut gates: Vec<RawGate> = Vec::new();
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = strip_directive(line, "INPUT") {
+            inputs.push((rest.to_string(), line_no));
+        } else if let Some(rest) = strip_directive(line, "OUTPUT") {
+            outputs.push((rest.to_string(), line_no));
+        } else if let Some(eq) = line.find('=') {
+            let name_part = line[..eq].trim();
+            if name_part.is_empty() {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: "missing signal name before `=`".to_string(),
+                });
+            }
+            let rhs = line[eq + 1..].trim();
+            let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
+                line: line_no,
+                message: "expected `KIND(args)` after `=`".to_string(),
+            })?;
+            if !rhs.ends_with(')') {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: "missing closing parenthesis".to_string(),
+                });
+            }
+            let keyword = rhs[..open].trim();
+            let kind = GateKind::from_bench_keyword(keyword).ok_or_else(|| {
+                NetlistError::Parse {
+                    line: line_no,
+                    message: format!("unknown gate kind `{keyword}`"),
+                }
+            })?;
+            if kind == GateKind::Input {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: "INPUT is a directive, not a gate kind".to_string(),
+                });
+            }
+            let args: Vec<String> = rhs[open + 1..rhs.len() - 1]
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect();
+            if args.is_empty() {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: "gate with no inputs".to_string(),
+                });
+            }
+            gates.push(RawGate {
+                name: name_part.to_string(),
+                kind,
+                fanin_names: args,
+                line: line_no,
+            });
+        } else {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: format!("unrecognized statement `{line}`"),
+            });
+        }
+    }
+
+    // Topologically order the raw gates (Kahn's algorithm over names).
+    let mut builder = CircuitBuilder::new();
+    builder.name(name);
+    let mut resolved: HashMap<String, NodeId> = HashMap::new();
+    for (input_name, _line) in &inputs {
+        let id = builder
+            .try_input(input_name)
+            .map_err(|e| annotate_line(e, *_line))?;
+        resolved.insert(input_name.clone(), id);
+    }
+
+    let mut remaining: Vec<RawGate> = gates;
+    while !remaining.is_empty() {
+        let mut progressed = false;
+        let mut next_round = Vec::with_capacity(remaining.len());
+        for raw in remaining {
+            if raw
+                .fanin_names
+                .iter()
+                .all(|f| resolved.contains_key(f.as_str()))
+            {
+                let fanin: Vec<NodeId> =
+                    raw.fanin_names.iter().map(|f| resolved[f.as_str()]).collect();
+                let id = builder
+                    .gate(&raw.name, raw.kind, &fanin)
+                    .map_err(|e| annotate_line(e, raw.line))?;
+                resolved.insert(raw.name, id);
+                progressed = true;
+            } else {
+                next_round.push(raw);
+            }
+        }
+        if !progressed {
+            // Either a cycle or an undefined signal.
+            let witness = next_round
+                .first()
+                .expect("non-empty when no progress made");
+            for f in &witness.fanin_names {
+                let defined_later = next_round.iter().any(|g| &g.name == f);
+                if !resolved.contains_key(f.as_str()) && !defined_later {
+                    return Err(NetlistError::UndefinedSignal { name: f.clone() });
+                }
+            }
+            return Err(NetlistError::Cyclic {
+                witness: witness.name.clone(),
+            });
+        }
+        remaining = next_round;
+    }
+
+    for (output_name, line) in &outputs {
+        let id = resolved
+            .get(output_name.as_str())
+            .copied()
+            .ok_or_else(|| NetlistError::Parse {
+                line: *line,
+                message: format!("OUTPUT references undefined signal `{output_name}`"),
+            })?;
+        builder.mark_output(id);
+    }
+    builder.build()
+}
+
+/// Serializes a [`Circuit`] back to `.bench` text (parse → write → parse is
+/// an identity on the logical structure).
+pub fn write(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", circuit.name()));
+    out.push_str(&format!(
+        "# {} inputs, {} outputs, {} gates\n",
+        circuit.num_inputs(),
+        circuit.num_outputs(),
+        circuit.num_gates()
+    ));
+    for &id in circuit.inputs() {
+        out.push_str(&format!("INPUT({})\n", circuit.node_name(id)));
+    }
+    for &id in circuit.outputs() {
+        out.push_str(&format!("OUTPUT({})\n", circuit.node_name(id)));
+    }
+    for id in circuit.node_ids() {
+        let kind = circuit.kind(id);
+        if kind == GateKind::Input {
+            continue;
+        }
+        let fanin: Vec<&str> = circuit
+            .fanin(id)
+            .iter()
+            .map(|f| circuit.node_name(*f))
+            .collect();
+        out.push_str(&format!(
+            "{} = {}({})\n",
+            circuit.node_name(id),
+            kind.bench_keyword(),
+            fanin.join(", ")
+        ));
+    }
+    out
+}
+
+/// Re-tags builder errors with the `.bench` line they originated from,
+/// preserving already-located parse errors.
+fn annotate_line(e: NetlistError, line: usize) -> NetlistError {
+    match e {
+        NetlistError::Parse { .. } => e,
+        other => NetlistError::Parse {
+            line,
+            message: other.to_string(),
+        },
+    }
+}
+
+/// Extracts the argument of `KEYWORD(arg)`, tolerating whitespace.
+fn strip_directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(keyword)?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let rest = rest.strip_suffix(')')?;
+    let arg = rest.trim();
+    if arg.is_empty() {
+        None
+    } else {
+        Some(arg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17: &str = "\
+# c17 — the smallest ISCAS85 benchmark
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+    #[test]
+    fn parses_c17() {
+        let c = parse(C17, "c17").unwrap();
+        assert_eq!(c.num_inputs(), 5);
+        assert_eq!(c.num_outputs(), 2);
+        assert_eq!(c.num_gates(), 6);
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn c17_functional_check() {
+        // With all inputs 0, every NAND of zeros is 1; trace through:
+        let c = parse(C17, "c17").unwrap();
+        let vals = c.evaluate(&[false; 5]);
+        // 10 = NAND(0,0)=1; 11=1; 16=NAND(0,1)=1; 19=NAND(1,0)=1;
+        // 22=NAND(1,1)=0; 23=NAND(1,1)=0
+        assert_eq!(c.output_values(&vals), vec![false, false]);
+        // All ones: 10=NAND(1,1)=0; 11=0; 16=NAND(1,0)=1; 19=NAND(0,1)=1;
+        // 22=NAND(0,1)=1; 23=NAND(1,1)=0
+        let vals = c.evaluate(&[true; 5]);
+        assert_eq!(c.output_values(&vals), vec![true, false]);
+    }
+
+    #[test]
+    fn forward_references_resolved() {
+        let src = "\
+INPUT(a)
+OUTPUT(z)
+z = NOT(y)
+y = NOT(a)
+";
+        let c = parse(src, "fwd").unwrap();
+        assert_eq!(c.num_gates(), 2);
+        let vals = c.evaluate(&[true]);
+        assert_eq!(c.output_values(&vals), vec![true]); // double inversion
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let c1 = parse(C17, "c17").unwrap();
+        let text = write(&c1);
+        let c2 = parse(&text, "c17").unwrap();
+        assert_eq!(c1.num_gates(), c2.num_gates());
+        assert_eq!(c1.num_inputs(), c2.num_inputs());
+        assert_eq!(c1.num_outputs(), c2.num_outputs());
+        // functional equivalence on a few vectors
+        for pattern in 0u32..32 {
+            let assignment: Vec<bool> = (0..5).map(|b| pattern & (1 << b) != 0).collect();
+            let v1 = c1.evaluate(&assignment);
+            let v2 = c2.evaluate(&assignment);
+            assert_eq!(c1.output_values(&v1), c2.output_values(&v2));
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "\n\n# hi\nINPUT(a)\n\nOUTPUT(b)\nb = NOT(a)\n# bye\n";
+        assert!(parse(src, "x").is_ok());
+    }
+
+    #[test]
+    fn error_unknown_kind() {
+        let src = "INPUT(a)\nb = FROB(a)\n";
+        match parse(src, "x") {
+            Err(NetlistError::Parse { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("FROB"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_undefined_fanin() {
+        let src = "INPUT(a)\nOUTPUT(b)\nb = NOT(ghost)\n";
+        assert!(matches!(
+            parse(src, "x"),
+            Err(NetlistError::UndefinedSignal { .. })
+        ));
+    }
+
+    #[test]
+    fn error_cycle_detected() {
+        let src = "INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = NOT(x)\n";
+        assert!(matches!(parse(src, "x"), Err(NetlistError::Cyclic { .. })));
+    }
+
+    #[test]
+    fn error_undefined_output() {
+        let src = "INPUT(a)\nOUTPUT(ghost)\nb = NOT(a)\n";
+        assert!(parse(src, "x").is_err());
+    }
+
+    #[test]
+    fn error_malformed_lines() {
+        for bad in [
+            "INPUT(a)\nzzz\n",
+            "INPUT(a)\nb = NOT(a\n",
+            "INPUT(a)\n= NOT(a)\n",
+            "INPUT(a)\nb = (a)\n",
+            "INPUT(a)\nb = NOT()\n",
+            "INPUT(a)\nb = INPUT(a)\n",
+        ] {
+            assert!(parse(bad, "x").is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn numeric_names_and_spacing_tolerated() {
+        let src = "INPUT( 1 )\nOUTPUT( 3 )\n3 = NOT( 1 )\n";
+        let c = parse(src, "x").unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+}

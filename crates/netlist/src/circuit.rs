@@ -1,0 +1,583 @@
+//! The validated, topologically ordered combinational circuit.
+
+use std::collections::HashMap;
+
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+
+/// Index of a node (primary input or gate) in a [`Circuit`].
+///
+/// Node ids are *topologically ordered*: every node's fan-ins have smaller
+/// ids, so a single forward pass evaluates the whole circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a `NodeId` from a raw index.
+    ///
+    /// Intended for engines (like the simulator's event queue) that need a
+    /// compact integer key; indices from [`Circuit::node_ids`] round-trip
+    /// exactly. Using an index that is out of range for the circuit it is
+    /// applied to will panic at the point of use.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index as u32)
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One node of the circuit: a gate kind plus fan-in node ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Node {
+    pub kind: GateKind,
+    pub fanin: Vec<NodeId>,
+}
+
+/// An immutable, validated combinational circuit.
+///
+/// Construct with [`CircuitBuilder`], the `.bench` parser
+/// ([`crate::bench_format::parse`]) or the synthetic generators in
+/// [`crate::generator`]. Invariants guaranteed after construction:
+///
+/// * acyclic, with node ids in topological order;
+/// * every gate's fan-in arity matches its [`GateKind`];
+/// * at least one primary input and one primary output;
+/// * every non-output node has at least one fanout (no dangling logic) —
+///   dangling gates are promoted to outputs during `build()` with a
+///   diagnostic available via [`CircuitStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    name: String,
+    nodes: Vec<Node>,
+    names: Vec<String>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+    fanout_count: Vec<u32>,
+    fanouts: Vec<Vec<NodeId>>,
+    level: Vec<u32>,
+}
+
+impl Circuit {
+    /// The circuit's name (e.g. `"C3540"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total node count (primary inputs + gates).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of logic gates (nodes that are not primary inputs).
+    pub fn num_gates(&self) -> usize {
+        self.nodes.len() - self.inputs.len()
+    }
+
+    /// Primary input node ids (in declaration order).
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary output node ids (in declaration order).
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// The gate kind of a node.
+    pub fn kind(&self, id: NodeId) -> GateKind {
+        self.nodes[id.index()].kind
+    }
+
+    /// The fan-in node ids of a node.
+    pub fn fanin(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].fanin
+    }
+
+    /// The fanout node ids of a node.
+    pub fn fanouts(&self, id: NodeId) -> &[NodeId] {
+        &self.fanouts[id.index()]
+    }
+
+    /// Number of gates driven by this node.
+    pub fn fanout_count(&self, id: NodeId) -> usize {
+        self.fanout_count[id.index()] as usize
+    }
+
+    /// The logic level of a node (primary inputs are level 0; a gate is one
+    /// more than its deepest fan-in).
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.level[id.index()]
+    }
+
+    /// The circuit depth: the maximum level over all nodes.
+    pub fn depth(&self) -> u32 {
+        self.level.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The signal name of a node.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Looks up a node id by signal name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Iterates node ids in topological order (inputs first).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Evaluates the circuit on an input assignment, returning the value of
+    /// every node (indexed by `NodeId`). Zero-delay steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != num_inputs()`.
+    pub fn evaluate(&self, assignment: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            assignment.len(),
+            self.inputs.len(),
+            "assignment width must equal the number of primary inputs"
+        );
+        let mut values = vec![false; self.nodes.len()];
+        self.evaluate_into(assignment, &mut values);
+        values
+    }
+
+    /// [`Circuit::evaluate`] writing into a caller-provided buffer (resized
+    /// as needed) — lets hot simulation loops avoid reallocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != num_inputs()`.
+    pub fn evaluate_into(&self, assignment: &[bool], values: &mut Vec<bool>) {
+        assert_eq!(
+            assignment.len(),
+            self.inputs.len(),
+            "assignment width must equal the number of primary inputs"
+        );
+        values.clear();
+        values.resize(self.nodes.len(), false);
+        for (id, &v) in self.inputs.iter().zip(assignment) {
+            values[id.index()] = v;
+        }
+        let mut fanin_vals: Vec<bool> = Vec::with_capacity(8);
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.kind == GateKind::Input {
+                continue;
+            }
+            fanin_vals.clear();
+            fanin_vals.extend(node.fanin.iter().map(|f| values[f.index()]));
+            values[i] = node.kind.eval(&fanin_vals);
+        }
+    }
+
+    /// Values of the primary outputs extracted from a full node-value vector
+    /// (as produced by [`Circuit::evaluate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != num_nodes()`.
+    pub fn output_values(&self, values: &[bool]) -> Vec<bool> {
+        assert_eq!(values.len(), self.nodes.len());
+        self.outputs.iter().map(|o| values[o.index()]).collect()
+    }
+
+    /// Structural statistics, for reports and generator validation.
+    pub fn stats(&self) -> CircuitStats {
+        let mut kind_histogram = HashMap::new();
+        let mut total_fanin = 0usize;
+        let mut max_fanin = 0usize;
+        let mut max_fanout = 0usize;
+        for node in &self.nodes {
+            if node.kind != GateKind::Input {
+                *kind_histogram.entry(node.kind).or_insert(0usize) += 1;
+                total_fanin += node.fanin.len();
+                max_fanin = max_fanin.max(node.fanin.len());
+            }
+        }
+        for &c in &self.fanout_count {
+            max_fanout = max_fanout.max(c as usize);
+        }
+        CircuitStats {
+            inputs: self.num_inputs(),
+            outputs: self.num_outputs(),
+            gates: self.num_gates(),
+            depth: self.depth(),
+            max_fanin,
+            max_fanout,
+            avg_fanin: if self.num_gates() > 0 {
+                total_fanin as f64 / self.num_gates() as f64
+            } else {
+                0.0
+            },
+            kind_histogram,
+        }
+    }
+}
+
+/// Structural summary of a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitStats {
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Logic gate count.
+    pub gates: usize,
+    /// Logic depth (levels).
+    pub depth: u32,
+    /// Largest gate fan-in.
+    pub max_fanin: usize,
+    /// Largest node fanout.
+    pub max_fanout: usize,
+    /// Mean gate fan-in.
+    pub avg_fanin: f64,
+    /// Gate count per kind.
+    pub kind_histogram: HashMap<GateKind, usize>,
+}
+
+impl std::fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} inputs, {} outputs, {} gates, depth {}, max fanin {}, max fanout {}",
+            self.inputs, self.outputs, self.gates, self.depth, self.max_fanin, self.max_fanout
+        )
+    }
+}
+
+/// Incremental builder for [`Circuit`].
+///
+/// Nodes must be added before they are referenced (which forces the caller
+/// to present the netlist in topological order); the `.bench` parser
+/// resolves arbitrary declaration order before delegating here.
+#[derive(Debug, Default)]
+pub struct CircuitBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    names: Vec<String>,
+    by_name: HashMap<String, NodeId>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder with the default name `"circuit"`.
+    pub fn new() -> Self {
+        CircuitBuilder {
+            name: "circuit".to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the circuit name.
+    pub fn name(&mut self, name: &str) -> &mut Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Adds a primary input and returns its node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names (use [`CircuitBuilder::try_input`] for a
+    /// fallible variant).
+    pub fn input(&mut self, name: &str) -> NodeId {
+        self.try_input(name).expect("duplicate input name")
+    }
+
+    /// Adds a primary input, failing on duplicate names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateSignal`] if `name` already exists.
+    pub fn try_input(&mut self, name: &str) -> Result<NodeId, NetlistError> {
+        self.add_node(name, GateKind::Input, Vec::new())
+    }
+
+    /// Adds a gate and returns its node id.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::DuplicateSignal`] on a name clash;
+    /// * [`NetlistError::ArityMismatch`] if the fan-in count is invalid for
+    ///   `kind`;
+    /// * [`NetlistError::UndefinedSignal`] if a fan-in id is out of range.
+    pub fn gate(
+        &mut self,
+        name: &str,
+        kind: GateKind,
+        fanin: &[NodeId],
+    ) -> Result<NodeId, NetlistError> {
+        if kind == GateKind::Input {
+            return Err(NetlistError::InvalidArgument {
+                message: "use input() for primary inputs".to_string(),
+            });
+        }
+        let (lo, hi) = kind.arity();
+        if fanin.len() < lo || fanin.len() > hi {
+            return Err(NetlistError::ArityMismatch {
+                kind: kind.bench_keyword(),
+                expected: (lo, hi),
+                got: fanin.len(),
+            });
+        }
+        for f in fanin {
+            if f.index() >= self.nodes.len() {
+                return Err(NetlistError::UndefinedSignal {
+                    name: format!("{f}"),
+                });
+            }
+        }
+        self.add_node(name, kind, fanin.to_vec())
+    }
+
+    /// Marks a node as a primary output (idempotent).
+    pub fn mark_output(&mut self, id: NodeId) {
+        if !self.outputs.contains(&id) {
+            self.outputs.push(id);
+        }
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no nodes have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn add_node(
+        &mut self,
+        name: &str,
+        kind: GateKind,
+        fanin: Vec<NodeId>,
+    ) -> Result<NodeId, NetlistError> {
+        if self.by_name.contains_key(name) {
+            return Err(NetlistError::DuplicateSignal {
+                name: name.to_string(),
+            });
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.by_name.insert(name.to_string(), id);
+        self.names.push(name.to_string());
+        self.nodes.push(Node { kind, fanin });
+        if kind == GateKind::Input {
+            self.inputs.push(id);
+        }
+        Ok(id)
+    }
+
+    /// Finalizes and validates the circuit.
+    ///
+    /// Dangling gates (no fanout, not marked as outputs) are promoted to
+    /// primary outputs — matching how ISCAS85 benchmarks treat them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MissingIo`] if there are no inputs or no
+    /// outputs (after dangling-gate promotion).
+    pub fn build(mut self) -> Result<Circuit, NetlistError> {
+        if self.inputs.is_empty() {
+            return Err(NetlistError::MissingIo { side: "inputs" });
+        }
+        // Fanout counts.
+        let n = self.nodes.len();
+        let mut fanout_count = vec![0u32; n];
+        let mut fanouts: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for f in &node.fanin {
+                fanout_count[f.index()] += 1;
+                fanouts[f.index()].push(NodeId(i as u32));
+            }
+        }
+        // Promote dangling gates to outputs.
+        for (i, node) in self.nodes.iter().enumerate() {
+            let id = NodeId(i as u32);
+            if node.kind != GateKind::Input
+                && fanout_count[i] == 0
+                && !self.outputs.contains(&id)
+            {
+                self.outputs.push(id);
+            }
+        }
+        if self.outputs.is_empty() {
+            return Err(NetlistError::MissingIo { side: "outputs" });
+        }
+        // Levelization (ids are topological by construction).
+        let mut level = vec![0u32; n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.kind == GateKind::Input {
+                continue;
+            }
+            level[i] = node
+                .fanin
+                .iter()
+                .map(|f| level[f.index()])
+                .max()
+                .unwrap_or(0)
+                + 1;
+        }
+        Ok(Circuit {
+            name: self.name,
+            nodes: self.nodes,
+            names: self.names,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            fanout_count,
+            fanouts,
+            level,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_via_nands() -> Circuit {
+        // XOR(a,b) out of four NANDs — a classic.
+        let mut b = CircuitBuilder::new();
+        b.name("xor4nand");
+        let a = b.input("a");
+        let bb = b.input("b");
+        let n1 = b.gate("n1", GateKind::Nand, &[a, bb]).unwrap();
+        let n2 = b.gate("n2", GateKind::Nand, &[a, n1]).unwrap();
+        let n3 = b.gate("n3", GateKind::Nand, &[bb, n1]).unwrap();
+        let n4 = b.gate("n4", GateKind::Nand, &[n2, n3]).unwrap();
+        b.mark_output(n4);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn evaluates_xor_truth_table() {
+        let c = xor_via_nands();
+        for (a, b, expect) in [
+            (false, false, false),
+            (false, true, true),
+            (true, false, true),
+            (true, true, false),
+        ] {
+            let vals = c.evaluate(&[a, b]);
+            assert_eq!(c.output_values(&vals), vec![expect], "({a},{b})");
+        }
+    }
+
+    #[test]
+    fn structure_accessors() {
+        let c = xor_via_nands();
+        assert_eq!(c.name(), "xor4nand");
+        assert_eq!(c.num_inputs(), 2);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.num_gates(), 4);
+        assert_eq!(c.num_nodes(), 6);
+        assert_eq!(c.depth(), 3);
+        let n1 = c.find("n1").unwrap();
+        assert_eq!(c.fanout_count(n1), 2);
+        assert_eq!(c.kind(n1), GateKind::Nand);
+        assert_eq!(c.node_name(n1), "n1");
+        assert_eq!(c.fanin(n1).len(), 2);
+        assert_eq!(c.fanouts(n1).len(), 2);
+        assert!(c.find("nope").is_none());
+    }
+
+    #[test]
+    fn levels_monotone_along_edges() {
+        let c = xor_via_nands();
+        for id in c.node_ids() {
+            for f in c.fanin(id) {
+                assert!(c.level(*f) < c.level(id));
+            }
+        }
+    }
+
+    #[test]
+    fn dangling_gates_promoted_to_outputs() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let x = b.gate("x", GateKind::Not, &[a]).unwrap();
+        let _y = b.gate("y", GateKind::Not, &[x]).unwrap(); // dangling
+        let c = b.build().unwrap();
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.node_name(c.outputs()[0]), "y");
+    }
+
+    #[test]
+    fn builder_errors() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        assert!(b.try_input("a").is_err()); // duplicate
+        assert!(b.gate("g", GateKind::Input, &[]).is_err()); // wrong API
+        assert!(b.gate("g", GateKind::Not, &[a, a]).is_err()); // arity
+        assert!(b.gate("g", GateKind::And, &[a]).is_err()); // arity
+        assert!(b
+            .gate("g", GateKind::And, &[a, NodeId(99)])
+            .is_err()); // undefined
+        assert!(b.gate("a", GateKind::Not, &[a]).is_err()); // name clash
+    }
+
+    #[test]
+    fn missing_io_rejected() {
+        let b = CircuitBuilder::new();
+        assert!(b.build().is_err()); // no inputs
+        let mut b = CircuitBuilder::new();
+        b.input("a");
+        assert!(b.build().is_err()); // no outputs (input alone is not an output)
+    }
+
+    #[test]
+    fn evaluate_into_reuses_buffer() {
+        let c = xor_via_nands();
+        let mut buf = Vec::new();
+        c.evaluate_into(&[true, false], &mut buf);
+        assert_eq!(c.output_values(&buf), vec![true]);
+        c.evaluate_into(&[true, true], &mut buf);
+        assert_eq!(c.output_values(&buf), vec![false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment width")]
+    fn evaluate_checks_width() {
+        xor_via_nands().evaluate(&[true]);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let c = xor_via_nands();
+        let s = c.stats();
+        assert_eq!(s.gates, 4);
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.kind_histogram[&GateKind::Nand], 4);
+        assert_eq!(s.max_fanin, 2);
+        assert!(s.avg_fanin > 1.9 && s.avg_fanin < 2.1);
+        assert!(s.to_string().contains("4 gates"));
+    }
+}

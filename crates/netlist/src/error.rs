@@ -1,0 +1,103 @@
+//! Error type for netlist construction and parsing.
+
+use std::fmt;
+
+/// Error raised while building, validating or parsing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate refers to an undefined signal name.
+    UndefinedSignal {
+        /// The unresolved name.
+        name: String,
+    },
+    /// A signal name was defined twice.
+    DuplicateSignal {
+        /// The redefined name.
+        name: String,
+    },
+    /// A gate has the wrong number of inputs for its kind.
+    ArityMismatch {
+        /// Gate kind as text.
+        kind: &'static str,
+        /// Inputs the kind requires (min, max).
+        expected: (usize, usize),
+        /// Inputs provided.
+        got: usize,
+    },
+    /// The netlist contains a combinational cycle.
+    Cyclic {
+        /// Name of a node on the cycle.
+        witness: String,
+    },
+    /// The circuit has no primary inputs or no primary outputs.
+    MissingIo {
+        /// Which side is missing.
+        side: &'static str,
+    },
+    /// A `.bench` line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A structural argument was out of range (e.g. generator sizes).
+    InvalidArgument {
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UndefinedSignal { name } => write!(f, "undefined signal `{name}`"),
+            NetlistError::DuplicateSignal { name } => write!(f, "duplicate signal `{name}`"),
+            NetlistError::ArityMismatch {
+                kind,
+                expected,
+                got,
+            } => write!(
+                f,
+                "gate {kind} expects between {} and {} inputs, got {got}",
+                expected.0, expected.1
+            ),
+            NetlistError::Cyclic { witness } => {
+                write!(f, "combinational cycle through `{witness}`")
+            }
+            NetlistError::MissingIo { side } => write!(f, "circuit has no primary {side}"),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::InvalidArgument { message } => write!(f, "invalid argument: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            NetlistError::UndefinedSignal { name: "x1".into() }.to_string(),
+            "undefined signal `x1`"
+        );
+        assert!(NetlistError::ArityMismatch {
+            kind: "NOT",
+            expected: (1, 1),
+            got: 2
+        }
+        .to_string()
+        .contains("NOT"));
+        assert!(NetlistError::Parse {
+            line: 7,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("line 7"));
+    }
+}

@@ -1,0 +1,49 @@
+//! # mpe-netlist — combinational circuit representation and generation
+//!
+//! The circuit substrate underneath the power simulator:
+//!
+//! * a compact, validated, topologically ordered combinational
+//!   [`Circuit`] representation with typed [`GateKind`]s;
+//! * an ISCAS85 `.bench` [parser and writer](bench_format), so the *real*
+//!   benchmark netlists the paper evaluates (C432 … C7552) can be dropped in
+//!   verbatim when available;
+//! * a deterministic [synthetic generator](generator) that reproduces each
+//!   ISCAS85 circuit's published I/O and gate counts — including a genuine
+//!   16×16 carry-save array multiplier standing in for C6288 — for fully
+//!   offline reproduction (see DESIGN.md, "Substitutions");
+//! * a [capacitance model](capacitance) mapping gates and fanout to switched
+//!   capacitance, the quantity the power model integrates.
+//!
+//! ## Example
+//!
+//! ```
+//! use mpe_netlist::{CircuitBuilder, GateKind};
+//!
+//! # fn main() -> Result<(), mpe_netlist::NetlistError> {
+//! let mut b = CircuitBuilder::new();
+//! let a = b.input("a");
+//! let bb = b.input("b");
+//! let g = b.gate("g", GateKind::Nand, &[a, bb])?;
+//! b.mark_output(g);
+//! let circuit = b.build()?;
+//! assert_eq!(circuit.num_inputs(), 2);
+//! assert_eq!(circuit.num_gates(), 1); // NAND (inputs not counted)
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bench_format;
+pub mod capacitance;
+pub mod circuit;
+pub mod error;
+pub mod gate;
+pub mod generator;
+pub mod profiles;
+pub mod verilog;
+
+pub use capacitance::CapacitanceModel;
+pub use circuit::{Circuit, CircuitBuilder, CircuitStats, NodeId};
+pub use error::NetlistError;
+pub use gate::GateKind;
+pub use generator::{generate, multiplier};
+pub use profiles::{CircuitProfile, Iscas85};

@@ -1,0 +1,224 @@
+//! Published structural profiles of the ISCAS85 benchmark suite.
+//!
+//! The paper evaluates on nine ISCAS85 circuits (C432 … C7552). We do not
+//! ship the original netlists; instead each profile records the published
+//! interface and size, and [`crate::generator::generate`] synthesizes a
+//! deterministic circuit with that interface (see DESIGN.md,
+//! "Substitutions"). Real `.bench` files, when available, can be loaded with
+//! [`crate::bench_format::parse`] and used everywhere a generated circuit
+//! can.
+
+/// Structural profile of a benchmark circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitProfile {
+    /// Canonical name, e.g. `"C3540"`.
+    pub name: &'static str,
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Approximate gate count of the original netlist (the synthetic
+    /// generator matches this within its structural constraints).
+    pub gates: usize,
+    /// Logic depth (levels) of the original netlist; the synthetic
+    /// generator builds a layered network with this depth, which is the
+    /// structural property that controls glitch multiplication and hence
+    /// the realism of the power distribution.
+    pub depth: usize,
+    /// What the original implements, for documentation.
+    pub function: &'static str,
+    /// The actual maximum power (mW) the paper reports in Table 2 for its
+    /// 160k-vector population — recorded for EXPERIMENTS.md comparisons,
+    /// *not* used by any algorithm.
+    pub paper_max_power_mw: Option<f64>,
+}
+
+/// The ISCAS85 benchmark suite as used in the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Iscas85 {
+    C432,
+    C499,
+    C880,
+    C1355,
+    C1908,
+    C2670,
+    C3540,
+    C5315,
+    C6288,
+    C7552,
+}
+
+impl Iscas85 {
+    /// Every circuit in the suite.
+    pub fn all() -> [Iscas85; 10] {
+        use Iscas85::*;
+        [C432, C499, C880, C1355, C1908, C2670, C3540, C5315, C6288, C7552]
+    }
+
+    /// The nine circuits appearing in the paper's Tables 1–4
+    /// (all of the suite except C499).
+    pub fn table_circuits() -> [Iscas85; 9] {
+        use Iscas85::*;
+        [C1355, C1908, C2670, C3540, C432, C5315, C6288, C7552, C880]
+    }
+
+    /// The published structural profile.
+    pub fn profile(self) -> CircuitProfile {
+        use Iscas85::*;
+        match self {
+            C432 => CircuitProfile {
+                name: "C432",
+                depth: 17,
+                inputs: 36,
+                outputs: 7,
+                gates: 160,
+                function: "27-channel interrupt controller",
+                paper_max_power_mw: Some(1.818),
+            },
+            C499 => CircuitProfile {
+                name: "C499",
+                depth: 11,
+                inputs: 41,
+                outputs: 32,
+                gates: 202,
+                function: "32-bit SEC circuit",
+                paper_max_power_mw: None,
+            },
+            C880 => CircuitProfile {
+                name: "C880",
+                depth: 24,
+                inputs: 60,
+                outputs: 26,
+                gates: 383,
+                function: "8-bit ALU",
+                paper_max_power_mw: Some(4.312),
+            },
+            C1355 => CircuitProfile {
+                name: "C1355",
+                depth: 24,
+                inputs: 41,
+                outputs: 32,
+                gates: 546,
+                function: "32-bit SEC circuit (NAND mapping)",
+                paper_max_power_mw: Some(2.145),
+            },
+            C1908 => CircuitProfile {
+                name: "C1908",
+                depth: 40,
+                inputs: 33,
+                outputs: 25,
+                gates: 880,
+                function: "16-bit SEC/DED circuit",
+                paper_max_power_mw: Some(2.745),
+            },
+            C2670 => CircuitProfile {
+                name: "C2670",
+                depth: 32,
+                inputs: 233,
+                outputs: 140,
+                gates: 1193,
+                function: "12-bit ALU and controller",
+                paper_max_power_mw: Some(6.529),
+            },
+            C3540 => CircuitProfile {
+                name: "C3540",
+                depth: 47,
+                inputs: 50,
+                outputs: 22,
+                gates: 1669,
+                function: "8-bit ALU",
+                paper_max_power_mw: Some(10.732),
+            },
+            C5315 => CircuitProfile {
+                name: "C5315",
+                depth: 49,
+                inputs: 178,
+                outputs: 123,
+                gates: 2307,
+                function: "9-bit ALU",
+                paper_max_power_mw: Some(14.372),
+            },
+            C6288 => CircuitProfile {
+                name: "C6288",
+                depth: 124,
+                inputs: 32,
+                outputs: 32,
+                gates: 2406,
+                function: "16×16 array multiplier",
+                paper_max_power_mw: Some(126.62),
+            },
+            C7552 => CircuitProfile {
+                name: "C7552",
+                depth: 43,
+                inputs: 207,
+                outputs: 108,
+                gates: 3512,
+                function: "32-bit adder/comparator",
+                paper_max_power_mw: Some(31.237),
+            },
+        }
+    }
+
+    /// Parses a circuit name (case-insensitive, with or without the `C`).
+    pub fn from_name(name: &str) -> Option<Iscas85> {
+        let trimmed = name.trim().trim_start_matches(['c', 'C']);
+        let number: u32 = trimmed.parse().ok()?;
+        Iscas85::all()
+            .into_iter()
+            .find(|c| c.profile().name[1..].parse::<u32>() == Ok(number))
+    }
+}
+
+impl std::fmt::Display for Iscas85 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.profile().name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_well_formed() {
+        for c in Iscas85::all() {
+            let p = c.profile();
+            assert!(p.inputs > 0);
+            assert!(p.outputs > 0);
+            assert!(p.gates > p.outputs, "{}", p.name);
+            assert!(p.name.starts_with('C'));
+        }
+    }
+
+    #[test]
+    fn table_circuits_excludes_c499() {
+        let t = Iscas85::table_circuits();
+        assert_eq!(t.len(), 9);
+        assert!(!t.contains(&Iscas85::C499));
+        for c in t {
+            assert!(c.profile().paper_max_power_mw.is_some());
+        }
+    }
+
+    #[test]
+    fn from_name_parsing() {
+        assert_eq!(Iscas85::from_name("C3540"), Some(Iscas85::C3540));
+        assert_eq!(Iscas85::from_name("c6288"), Some(Iscas85::C6288));
+        assert_eq!(Iscas85::from_name("6288"), Some(Iscas85::C6288));
+        assert_eq!(Iscas85::from_name(" C432 "), Some(Iscas85::C432));
+        assert_eq!(Iscas85::from_name("C9999"), None);
+        assert_eq!(Iscas85::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn display_matches_profile_name() {
+        assert_eq!(Iscas85::C880.to_string(), "C880");
+    }
+
+    #[test]
+    fn paper_power_values_recorded() {
+        assert_eq!(Iscas85::C6288.profile().paper_max_power_mw, Some(126.62));
+        assert_eq!(Iscas85::C499.profile().paper_max_power_mw, None);
+    }
+}

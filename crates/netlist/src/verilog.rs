@@ -1,0 +1,507 @@
+//! Structural Verilog (gate-primitive subset) parser and writer.
+//!
+//! The ISCAS85 benchmarks circulate in two formats: `.bench` (see
+//! [`crate::bench_format`]) and gate-level structural Verilog using the
+//! built-in primitives:
+//!
+//! ```verilog
+//! module c17 (N1, N2, N3, N6, N7, N22, N23);
+//!   input N1, N2, N3, N6, N7;
+//!   output N22, N23;
+//!   wire N10, N11, N16, N19;
+//!   nand NAND2_1 (N10, N1, N3);
+//!   nand NAND2_2 (N11, N3, N6);
+//!   nand NAND2_3 (N16, N2, N11);
+//!   nand NAND2_4 (N19, N11, N7);
+//!   nand NAND2_5 (N22, N10, N16);
+//!   nand NAND2_6 (N23, N16, N19);
+//! endmodule
+//! ```
+//!
+//! Supported subset: one module; `input`/`output`/`wire` declarations
+//! (comma lists, repeated declarations allowed); gate instantiations of the
+//! Verilog primitives `and`, `nand`, `or`, `nor`, `xor`, `xnor`, `not`,
+//! `buf` with the standard first-port-is-output convention; `//` and
+//! `/* */` comments. Vectors/parameters/assign are out of scope — ISCAS85
+//! netlists use none of them.
+
+use std::collections::HashMap;
+
+use crate::circuit::{Circuit, CircuitBuilder, NodeId};
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+
+/// Maps Verilog primitive names to gate kinds.
+fn primitive_kind(word: &str) -> Option<GateKind> {
+    match word {
+        "and" => Some(GateKind::And),
+        "nand" => Some(GateKind::Nand),
+        "or" => Some(GateKind::Or),
+        "nor" => Some(GateKind::Nor),
+        "xor" => Some(GateKind::Xor),
+        "xnor" => Some(GateKind::Xnor),
+        "not" => Some(GateKind::Not),
+        "buf" => Some(GateKind::Buf),
+        _ => None,
+    }
+}
+
+/// One raw gate instantiation before topological resolution.
+#[derive(Debug)]
+struct RawInstance {
+    kind: GateKind,
+    output: String,
+    inputs: Vec<String>,
+    line: usize,
+}
+
+/// Strips `//` and `/* */` comments, preserving line structure so error
+/// messages keep meaningful line numbers.
+fn strip_comments(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars().peekable();
+    let mut in_block = false;
+    let mut in_line = false;
+    while let Some(c) = chars.next() {
+        if in_block {
+            if c == '*' && chars.peek() == Some(&'/') {
+                chars.next();
+                in_block = false;
+            } else if c == '\n' {
+                out.push('\n');
+            }
+            continue;
+        }
+        if in_line {
+            if c == '\n' {
+                in_line = false;
+                out.push('\n');
+            }
+            continue;
+        }
+        match c {
+            '/' if chars.peek() == Some(&'/') => {
+                chars.next();
+                in_line = true;
+            }
+            '/' if chars.peek() == Some(&'*') => {
+                chars.next();
+                in_block = true;
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses structural Verilog text into a validated [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with line numbers for malformed input,
+/// plus the usual construction errors (undefined signals, cycles, missing
+/// I/O).
+///
+/// # Example
+///
+/// ```
+/// let src = "
+/// module tiny (a, b, y);
+///   input a, b;
+///   output y;
+///   nand g1 (y, a, b);
+/// endmodule
+/// ";
+/// let c = mpe_netlist::verilog::parse(src)?;
+/// assert_eq!(c.name(), "tiny");
+/// assert_eq!(c.num_gates(), 1);
+/// # Ok::<(), mpe_netlist::NetlistError>(())
+/// ```
+pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
+    let clean = strip_comments(text);
+
+    // Build (line_number, statement) pairs by splitting on ';' while
+    // tracking newlines; `module ... );` header ends with ';' too.
+    let mut statements: Vec<(usize, String)> = Vec::new();
+    let mut current = String::new();
+    let mut line = 1usize;
+    let mut stmt_line = 1usize;
+    for c in clean.chars() {
+        if c == '\n' {
+            line += 1;
+        }
+        if c == ';' {
+            statements.push((stmt_line, current.trim().to_string()));
+            current.clear();
+            stmt_line = line;
+        } else {
+            if current.trim().is_empty() {
+                stmt_line = line;
+            }
+            current.push(c);
+        }
+    }
+    let tail = current.trim().to_string();
+    if !tail.is_empty() {
+        statements.push((stmt_line, tail));
+    }
+
+    let mut module_name = String::new();
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut instances: Vec<RawInstance> = Vec::new();
+    let mut seen_endmodule = false;
+
+    for (line_no, stmt) in &statements {
+        let stmt = stmt.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        // `endmodule` may be glued to the last statement chunk.
+        let stmt = if let Some(prefix) = stmt.strip_suffix("endmodule") {
+            seen_endmodule = true;
+            let prefix = prefix.trim();
+            if prefix.is_empty() {
+                continue;
+            }
+            prefix
+        } else {
+            stmt
+        };
+        let mut words = stmt.split_whitespace();
+        let keyword = words.next().unwrap_or("");
+        match keyword {
+            "module" => {
+                let rest = stmt["module".len()..].trim();
+                let name_end = rest
+                    .find(|c: char| c == '(' || c.is_whitespace())
+                    .unwrap_or(rest.len());
+                module_name = rest[..name_end].to_string();
+                if module_name.is_empty() {
+                    return Err(NetlistError::Parse {
+                        line: *line_no,
+                        message: "module with no name".to_string(),
+                    });
+                }
+                // Port list is redundant with input/output declarations.
+            }
+            "input" | "output" | "wire" => {
+                let rest = stmt[keyword.len()..].trim();
+                for name in rest.split(',') {
+                    let name = name.trim();
+                    if name.is_empty() {
+                        return Err(NetlistError::Parse {
+                            line: *line_no,
+                            message: format!("empty name in {keyword} declaration"),
+                        });
+                    }
+                    if name.contains(['[', ']']) {
+                        return Err(NetlistError::Parse {
+                            line: *line_no,
+                            message: "vector declarations are not supported".to_string(),
+                        });
+                    }
+                    match keyword {
+                        "input" => inputs.push(name.to_string()),
+                        "output" => outputs.push(name.to_string()),
+                        _ => {} // wires are implied by use
+                    }
+                }
+            }
+            word => {
+                let Some(kind) = primitive_kind(word) else {
+                    return Err(NetlistError::Parse {
+                        line: *line_no,
+                        message: format!("unsupported statement or primitive `{word}`"),
+                    });
+                };
+                let open = stmt.find('(').ok_or_else(|| NetlistError::Parse {
+                    line: *line_no,
+                    message: "gate instance missing port list".to_string(),
+                })?;
+                let close = stmt.rfind(')').ok_or_else(|| NetlistError::Parse {
+                    line: *line_no,
+                    message: "gate instance missing closing parenthesis".to_string(),
+                })?;
+                let ports: Vec<String> = stmt[open + 1..close]
+                    .split(',')
+                    .map(|p| p.trim().to_string())
+                    .filter(|p| !p.is_empty())
+                    .collect();
+                if ports.len() < 2 {
+                    return Err(NetlistError::Parse {
+                        line: *line_no,
+                        message: "gate instance needs an output and at least one input"
+                            .to_string(),
+                    });
+                }
+                instances.push(RawInstance {
+                    kind,
+                    output: ports[0].clone(),
+                    inputs: ports[1..].to_vec(),
+                    line: *line_no,
+                });
+            }
+        }
+    }
+    if module_name.is_empty() {
+        return Err(NetlistError::Parse {
+            line: 1,
+            message: "no module declaration found".to_string(),
+        });
+    }
+    if !seen_endmodule {
+        return Err(NetlistError::Parse {
+            line: statements.last().map(|(l, _)| *l).unwrap_or(1),
+            message: "missing endmodule".to_string(),
+        });
+    }
+
+    // Topological resolution, mirroring the .bench parser.
+    let mut builder = CircuitBuilder::new();
+    builder.name(&module_name);
+    let mut resolved: HashMap<String, NodeId> = HashMap::new();
+    for name in &inputs {
+        let id = builder.try_input(name)?;
+        resolved.insert(name.clone(), id);
+    }
+    let mut remaining = instances;
+    while !remaining.is_empty() {
+        let mut progressed = false;
+        let mut next_round = Vec::with_capacity(remaining.len());
+        for inst in remaining {
+            if inst.inputs.iter().all(|n| resolved.contains_key(n.as_str())) {
+                let fanin: Vec<NodeId> =
+                    inst.inputs.iter().map(|n| resolved[n.as_str()]).collect();
+                let id = builder.gate(&inst.output, inst.kind, &fanin)?;
+                resolved.insert(inst.output, id);
+                progressed = true;
+            } else {
+                next_round.push(inst);
+            }
+        }
+        if !progressed {
+            let witness = next_round.first().expect("non-empty without progress");
+            for n in &witness.inputs {
+                let defined_later = next_round.iter().any(|g| &g.output == n);
+                if !resolved.contains_key(n.as_str()) && !defined_later {
+                    return Err(NetlistError::Parse {
+                        line: witness.line,
+                        message: format!("undefined signal `{n}`"),
+                    });
+                }
+            }
+            return Err(NetlistError::Cyclic {
+                witness: witness.output.clone(),
+            });
+        }
+        remaining = next_round;
+    }
+    for name in &outputs {
+        let id = resolved
+            .get(name.as_str())
+            .copied()
+            .ok_or_else(|| NetlistError::UndefinedSignal { name: name.clone() })?;
+        builder.mark_output(id);
+    }
+    builder.build()
+}
+
+/// Serializes a [`Circuit`] as structural Verilog using gate primitives.
+pub fn write(circuit: &Circuit) -> String {
+    let mut ports: Vec<&str> = circuit
+        .inputs()
+        .iter()
+        .map(|&id| circuit.node_name(id))
+        .collect();
+    ports.extend(circuit.outputs().iter().map(|&id| circuit.node_name(id)));
+    let mut out = format!("module {} ({});\n", circuit.name(), ports.join(", "));
+    let decl = |names: Vec<&str>| names.join(", ");
+    out.push_str(&format!(
+        "  input {};\n",
+        decl(circuit.inputs().iter().map(|&i| circuit.node_name(i)).collect())
+    ));
+    out.push_str(&format!(
+        "  output {};\n",
+        decl(circuit.outputs().iter().map(|&o| circuit.node_name(o)).collect())
+    ));
+    let wires: Vec<&str> = circuit
+        .node_ids()
+        .filter(|&id| {
+            circuit.kind(id) != GateKind::Input && !circuit.outputs().contains(&id)
+        })
+        .map(|id| circuit.node_name(id))
+        .collect();
+    if !wires.is_empty() {
+        out.push_str(&format!("  wire {};\n", wires.join(", ")));
+    }
+    for (idx, id) in circuit.node_ids().enumerate() {
+        let kind = circuit.kind(id);
+        if kind == GateKind::Input {
+            continue;
+        }
+        let primitive = match kind {
+            GateKind::And => "and",
+            GateKind::Nand => "nand",
+            GateKind::Or => "or",
+            GateKind::Nor => "nor",
+            GateKind::Xor => "xor",
+            GateKind::Xnor => "xnor",
+            GateKind::Not => "not",
+            GateKind::Buf => "buf",
+            GateKind::Input => unreachable!("inputs skipped above"),
+        };
+        let mut port_names = vec![circuit.node_name(id)];
+        port_names.extend(circuit.fanin(id).iter().map(|f| circuit.node_name(*f)));
+        out.push_str(&format!(
+            "  {primitive} g{idx} ({});\n",
+            port_names.join(", ")
+        ));
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17_VERILOG: &str = "
+// c17 in structural Verilog
+module c17 (N1, N2, N3, N6, N7, N22, N23);
+  input N1, N2, N3, N6, N7;
+  output N22, N23;
+  wire N10, N11, N16, N19;
+  nand NAND2_1 (N10, N1, N3);
+  nand NAND2_2 (N11, N3, N6);
+  nand NAND2_3 (N16, N2, N11);
+  nand NAND2_4 (N19, N11, N7);
+  nand NAND2_5 (N22, N10, N16);
+  nand NAND2_6 (N23, N16, N19);
+endmodule
+";
+
+    #[test]
+    fn parses_c17() {
+        let c = parse(C17_VERILOG).unwrap();
+        assert_eq!(c.name(), "c17");
+        assert_eq!(c.num_inputs(), 5);
+        assert_eq!(c.num_outputs(), 2);
+        assert_eq!(c.num_gates(), 6);
+    }
+
+    #[test]
+    fn agrees_with_bench_version() {
+        // The same circuit in both formats must be functionally identical.
+        let bench = "\
+INPUT(N1)\nINPUT(N2)\nINPUT(N3)\nINPUT(N6)\nINPUT(N7)\n\
+OUTPUT(N22)\nOUTPUT(N23)\n\
+N10 = NAND(N1, N3)\nN11 = NAND(N3, N6)\nN16 = NAND(N2, N11)\n\
+N19 = NAND(N11, N7)\nN22 = NAND(N10, N16)\nN23 = NAND(N16, N19)\n";
+        let cv = parse(C17_VERILOG).unwrap();
+        let cb = crate::bench_format::parse(bench, "c17").unwrap();
+        for pattern in 0u32..32 {
+            let bits: Vec<bool> = (0..5).map(|b| pattern >> b & 1 == 1).collect();
+            let vv = cv.evaluate(&bits);
+            let vb = cb.evaluate(&bits);
+            assert_eq!(cv.output_values(&vv), cb.output_values(&vb), "{pattern}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let c1 = parse(C17_VERILOG).unwrap();
+        let text = write(&c1);
+        let c2 = parse(&text).unwrap();
+        assert_eq!(c1.num_gates(), c2.num_gates());
+        for pattern in 0u32..32 {
+            let bits: Vec<bool> = (0..5).map(|b| pattern >> b & 1 == 1).collect();
+            assert_eq!(
+                c1.output_values(&c1.evaluate(&bits)),
+                c2.output_values(&c2.evaluate(&bits))
+            );
+        }
+    }
+
+    #[test]
+    fn block_comments_stripped() {
+        let src = "
+module t (a, y); /* ports
+   span lines */
+  input a;
+  output y;
+  not /* inline */ g (y, a);
+endmodule";
+        let c = parse(src).unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn forward_references_resolved() {
+        let src = "
+module t (a, y);
+  input a;
+  output y;
+  not g2 (y, w);
+  not g1 (w, a);
+endmodule";
+        let c = parse(src).unwrap();
+        let vals = c.evaluate(&[true]);
+        assert_eq!(c.output_values(&vals), vec![true]);
+    }
+
+    #[test]
+    fn multi_input_primitives() {
+        let src = "
+module t (a, b, c, y);
+  input a, b, c;
+  output y;
+  and g (y, a, b, c);
+endmodule";
+        let c = parse(src).unwrap();
+        assert_eq!(c.output_values(&c.evaluate(&[true, true, true])), vec![true]);
+        assert_eq!(c.output_values(&c.evaluate(&[true, false, true])), vec![false]);
+    }
+
+    #[test]
+    fn error_cases() {
+        // no module
+        assert!(parse("input a;").is_err());
+        // missing endmodule
+        assert!(parse("module t (a, y); input a; output y; not g (y, a);").is_err());
+        // unsupported statement
+        assert!(parse("module t (y); output y; assign y = 1; endmodule").is_err());
+        // vectors unsupported
+        assert!(parse("module t (a, y); input [3:0] a; output y; endmodule").is_err());
+        // undefined signal
+        let src = "module t (a, y); input a; output y; not g (y, ghost); endmodule";
+        assert!(parse(src).is_err());
+        // combinational cycle
+        let src = "module t (a, y); input a; output y; not g1 (y, w); not g2 (w, y); endmodule";
+        assert!(matches!(parse(src), Err(NetlistError::Cyclic { .. })));
+        // missing port list
+        assert!(parse("module t (a, y); input a; output y; not g; endmodule").is_err());
+    }
+
+    #[test]
+    fn line_numbers_in_errors() {
+        let src = "module t (a, y);\ninput a;\noutput y;\nfrob g (y, a);\nendmodule";
+        match parse(src) {
+            Err(NetlistError::Parse { line, message }) => {
+                assert_eq!(line, 4, "{message}");
+                assert!(message.contains("frob"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generated_circuit_roundtrips() {
+        let c1 = crate::generator::random_dag("vtest", 8, 3, 40, 8, 5).unwrap();
+        let text = write(&c1);
+        let c2 = parse(&text).unwrap();
+        assert_eq!(c1.num_gates(), c2.num_gates());
+        assert_eq!(c1.num_inputs(), c2.num_inputs());
+        assert_eq!(c1.num_outputs(), c2.num_outputs());
+    }
+}

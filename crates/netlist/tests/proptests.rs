@@ -1,0 +1,89 @@
+//! Property-based tests for circuit construction, generation and the
+//! `.bench` round trip.
+
+use mpe_netlist::{bench_format, generator::random_dag, CapacitanceModel, GateKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any generated DAG satisfies the structural invariants: exact
+    /// interface, topological fan-in, all inputs used, levels consistent.
+    #[test]
+    fn random_dag_invariants(
+        inputs in 2usize..40,
+        outputs in 1usize..10,
+        extra_gates in 0usize..150,
+        depth in 1usize..30,
+        seed in 0u64..500,
+    ) {
+        let gates = outputs + extra_gates;
+        let c = random_dag("p", inputs, outputs, gates, depth, seed).unwrap();
+        prop_assert_eq!(c.num_inputs(), inputs);
+        prop_assert_eq!(c.num_outputs(), outputs);
+        prop_assert_eq!(c.num_gates(), gates);
+        // Topological fan-in and level consistency.
+        for id in c.node_ids() {
+            for f in c.fanin(id) {
+                prop_assert!(f.index() < id.index());
+                prop_assert!(c.level(*f) < c.level(id));
+            }
+        }
+        // All inputs drive something.
+        for &i in c.inputs() {
+            prop_assert!(c.fanout_count(i) > 0);
+        }
+        // Realized depth never exceeds the request.
+        prop_assert!(c.depth() as usize <= depth.max(2));
+    }
+
+    /// The `.bench` round trip is a functional identity on random DAGs.
+    #[test]
+    fn bench_roundtrip_functional_identity(
+        seed in 0u64..200,
+        pattern in 0u64..u64::MAX,
+    ) {
+        let c1 = random_dag("rt", 10, 3, 40, 8, seed).unwrap();
+        let text = bench_format::write(&c1);
+        let c2 = bench_format::parse(&text, "rt").unwrap();
+        prop_assert_eq!(c1.num_gates(), c2.num_gates());
+        let assignment: Vec<bool> = (0..10).map(|b| pattern >> b & 1 == 1).collect();
+        let v1 = c1.evaluate(&assignment);
+        let v2 = c2.evaluate(&assignment);
+        prop_assert_eq!(c1.output_values(&v1), c2.output_values(&v2));
+    }
+
+    /// Gate evaluation De Morgan dualities hold for arbitrary input widths.
+    #[test]
+    fn gate_de_morgan(bits in prop::collection::vec(any::<bool>(), 2..8)) {
+        prop_assert_eq!(
+            GateKind::Nand.eval(&bits),
+            !GateKind::And.eval(&bits)
+        );
+        prop_assert_eq!(
+            GateKind::Nor.eval(&bits),
+            !GateKind::Or.eval(&bits)
+        );
+        prop_assert_eq!(
+            GateKind::Xnor.eval(&bits),
+            !GateKind::Xor.eval(&bits)
+        );
+        // De Morgan proper: NAND(x) == OR(!x)
+        let negated: Vec<bool> = bits.iter().map(|b| !b).collect();
+        prop_assert_eq!(GateKind::Nand.eval(&bits), GateKind::Or.eval(&negated));
+    }
+
+    /// Capacitances are positive and total capacitance matches the sum.
+    #[test]
+    fn capacitances_positive(seed in 0u64..100) {
+        let c = random_dag("cap", 6, 2, 30, 6, seed).unwrap();
+        let model = CapacitanceModel::default();
+        let caps = model.node_capacitances(&c);
+        prop_assert_eq!(caps.len(), c.num_nodes());
+        for cap in &caps {
+            prop_assert!(*cap > 0.0);
+        }
+        let total: f64 = caps.iter().sum();
+        prop_assert!((model.total_capacitance(&c) - total).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,353 @@
+//! The per-vector-pair simulation engine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mpe_netlist::{CapacitanceModel, Circuit, GateKind, NodeId};
+
+use crate::delay::DelayModel;
+use crate::error::SimError;
+use crate::power::PowerConfig;
+
+/// Detailed result of simulating one vector pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleReport {
+    /// Cycle-based power in milliwatts — the paper's random variable `p`.
+    pub power_mw: f64,
+    /// Total switched capacitance in femtofarads.
+    pub switched_cap_ff: f64,
+    /// Total output transitions summed over all nodes (glitches included).
+    pub toggles: u64,
+    /// Events processed by the event-driven kernel (0 in zero-delay mode).
+    pub events: u64,
+    /// Simulated settling time of the second vector, in delay units.
+    pub settle_time: u64,
+}
+
+/// A reusable power simulator bound to one circuit.
+///
+/// Construction precomputes node capacitances and per-gate delays; each
+/// [`PowerSimulator::cycle_power`] call is then allocation-light, making
+/// whole-population sweeps cheap.
+///
+/// The simulation semantics per vector pair `(v1, v2)`:
+///
+/// 1. settle the circuit at `v1` (steady state);
+/// 2. at `t = 0` apply `v2` to the primary inputs;
+/// 3. propagate changes event-driven under the [`DelayModel`], counting
+///    **every** output transition (so reconvergent glitches contribute,
+///    exactly the effect zero-delay techniques miss);
+/// 4. power = `½·Vdd²·f·Σ C_node · toggles_node`.
+pub struct PowerSimulator<'c> {
+    circuit: &'c Circuit,
+    delay: DelayModel,
+    config: PowerConfig,
+    caps: Vec<f64>,
+    delays: Vec<u64>,
+}
+
+impl<'c> PowerSimulator<'c> {
+    /// Creates a simulator with the default [`CapacitanceModel`].
+    pub fn new(circuit: &'c Circuit, delay: DelayModel, config: PowerConfig) -> Self {
+        Self::with_capacitance(circuit, delay, config, &CapacitanceModel::default())
+    }
+
+    /// Creates a simulator with an explicit capacitance model.
+    pub fn with_capacitance(
+        circuit: &'c Circuit,
+        delay: DelayModel,
+        config: PowerConfig,
+        cap_model: &CapacitanceModel,
+    ) -> Self {
+        let caps = cap_model.node_capacitances(circuit);
+        let delays = circuit
+            .node_ids()
+            .map(|id| delay.gate_delay(circuit, id).max(1))
+            .collect();
+        PowerSimulator {
+            circuit,
+            delay,
+            config,
+            caps,
+            delays,
+        }
+    }
+
+    /// The circuit being simulated.
+    pub fn circuit(&self) -> &Circuit {
+        self.circuit
+    }
+
+    /// The configured delay model.
+    pub fn delay_model(&self) -> DelayModel {
+        self.delay
+    }
+
+    /// The electrical configuration.
+    pub fn config(&self) -> PowerConfig {
+        self.config
+    }
+
+    /// Cycle-based power (mW) for the vector pair — the quantity the
+    /// estimation method samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WidthMismatch`] if either vector's width differs
+    /// from the circuit's primary input count.
+    pub fn cycle_power(&self, v1: &[bool], v2: &[bool]) -> Result<f64, SimError> {
+        Ok(self.cycle_report(v1, v2)?.power_mw)
+    }
+
+    /// Full per-pair report: power, switched capacitance, toggle and event
+    /// counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WidthMismatch`] on wrong vector widths, and
+    /// [`SimError::EventBudgetExhausted`] if the event kernel exceeds its
+    /// internal budget (impossible for well-formed DAGs; a defensive bound).
+    pub fn cycle_report(&self, v1: &[bool], v2: &[bool]) -> Result<CycleReport, SimError> {
+        let width = self.circuit.num_inputs();
+        if v1.len() != width {
+            return Err(SimError::WidthMismatch {
+                expected: width,
+                got: v1.len(),
+            });
+        }
+        if v2.len() != width {
+            return Err(SimError::WidthMismatch {
+                expected: width,
+                got: v2.len(),
+            });
+        }
+        match self.delay {
+            DelayModel::Zero => Ok(self.zero_delay_report(v1, v2)),
+            _ => self.event_driven_report(v1, v2),
+        }
+    }
+
+    /// Zero-delay: one toggle per node whose steady-state value changes.
+    fn zero_delay_report(&self, v1: &[bool], v2: &[bool]) -> CycleReport {
+        let mut before = Vec::new();
+        let mut after = Vec::new();
+        self.circuit.evaluate_into(v1, &mut before);
+        self.circuit.evaluate_into(v2, &mut after);
+        let mut cap = 0.0;
+        let mut toggles = 0u64;
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            if b != a {
+                cap += self.caps[i];
+                toggles += 1;
+            }
+        }
+        CycleReport {
+            power_mw: self.config.power_mw(cap),
+            switched_cap_ff: cap,
+            toggles,
+            events: 0,
+            settle_time: 0,
+        }
+    }
+
+    /// Event-driven simulation with re-evaluation semantics: an event is a
+    /// scheduled *re-evaluation* of a gate; if its recomputed output differs
+    /// from the stored value, the change is applied (counted as a toggle)
+    /// and the gate's fanouts are scheduled after their own delays. Pulses
+    /// narrower than a gate's delay are naturally filtered (inertial-like),
+    /// while reconvergent glitches wider than the delay are counted.
+    fn event_driven_report(&self, v1: &[bool], v2: &[bool]) -> Result<CycleReport, SimError> {
+        let circuit = self.circuit;
+        let n = circuit.num_nodes();
+        let mut values = Vec::with_capacity(n);
+        circuit.evaluate_into(v1, &mut values);
+
+        // (Reverse(time), node) min-heap; u32 node id keeps keys small.
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        let mut cap = 0.0;
+        let mut toggles = 0u64;
+        let mut events = 0u64;
+        let mut settle_time = 0u64;
+
+        // Apply the second vector at t = 0: input flips toggle immediately
+        // and schedule their fanouts.
+        for (&id, &bit) in circuit.inputs().iter().zip(v2) {
+            if values[id.index()] != bit {
+                values[id.index()] = bit;
+                cap += self.caps[id.index()];
+                toggles += 1;
+                for &f in circuit.fanouts(id) {
+                    heap.push(Reverse((self.delays[f.index()], f.index() as u32)));
+                }
+            }
+        }
+
+        // Defensive budget: a DAG with d-bounded delays processes at most
+        // O(paths) events; 10_000 × nodes is far beyond anything legal.
+        let budget = 10_000usize.saturating_mul(n).max(1_000_000);
+        let mut fanin_vals: Vec<bool> = Vec::with_capacity(8);
+        while let Some(Reverse((time, node))) = heap.pop() {
+            events += 1;
+            if events as usize > budget {
+                return Err(SimError::EventBudgetExhausted { budget });
+            }
+            let id = NodeId::from_index(node as usize);
+            let kind = circuit.kind(id);
+            if kind == GateKind::Input {
+                continue;
+            }
+            fanin_vals.clear();
+            fanin_vals.extend(circuit.fanin(id).iter().map(|f| values[f.index()]));
+            let new_val = kind.eval(&fanin_vals);
+            if new_val != values[id.index()] {
+                values[id.index()] = new_val;
+                cap += self.caps[id.index()];
+                toggles += 1;
+                settle_time = settle_time.max(time);
+                for &f in circuit.fanouts(id) {
+                    heap.push(Reverse((time + self.delays[f.index()], f.index() as u32)));
+                }
+            }
+        }
+
+        Ok(CycleReport {
+            power_mw: self.config.power_mw(cap),
+            switched_cap_ff: cap,
+            toggles,
+            events,
+            settle_time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpe_netlist::{generate, CircuitBuilder, Iscas85};
+
+    fn xor_reconvergent() -> Circuit {
+        // a fans out to an inverter and directly to an AND — classic
+        // glitch-producing reconvergence under unequal path delays.
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let s = b.input("s");
+        let na = b.gate("na", GateKind::Not, &[a]).unwrap();
+        let x1 = b.gate("x1", GateKind::And, &[a, s]).unwrap();
+        let x2 = b.gate("x2", GateKind::And, &[na, s]).unwrap();
+        let y = b.gate("y", GateKind::Or, &[x1, x2]).unwrap();
+        b.mark_output(y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn zero_delay_counts_steady_changes_only() {
+        let c = xor_reconvergent();
+        let sim = PowerSimulator::new(&c, DelayModel::Zero, PowerConfig::default());
+        // With s=1, toggling a keeps y=1 steady but flips na, x1, x2, a.
+        let r = sim
+            .cycle_report(&[false, true], &[true, true])
+            .unwrap();
+        assert_eq!(r.toggles, 4); // a, na, x1, x2 — but not y
+        assert_eq!(r.events, 0);
+        assert!(r.power_mw > 0.0);
+    }
+
+    #[test]
+    fn unit_delay_sees_glitches() {
+        let c = xor_reconvergent();
+        let zero = PowerSimulator::new(&c, DelayModel::Zero, PowerConfig::default());
+        let unit = PowerSimulator::new(&c, DelayModel::Unit, PowerConfig::default());
+        let rz = zero.cycle_report(&[false, true], &[true, true]).unwrap();
+        let ru = unit.cycle_report(&[false, true], &[true, true]).unwrap();
+        // Under unit delay, x1 rises at t=1 while x2 falls at t=2: y may
+        // glitch. Event-driven toggles must be >= steady-state toggles.
+        assert!(ru.toggles >= rz.toggles, "{ru:?} vs {rz:?}");
+        assert!(ru.events > 0);
+        assert!(ru.settle_time >= 1);
+    }
+
+    #[test]
+    fn no_input_change_no_power() {
+        let c = xor_reconvergent();
+        for model in [DelayModel::Zero, DelayModel::Unit, DelayModel::fanout_default()] {
+            let sim = PowerSimulator::new(&c, model, PowerConfig::default());
+            let r = sim.cycle_report(&[true, false], &[true, false]).unwrap();
+            assert_eq!(r.power_mw, 0.0, "{model}");
+            assert_eq!(r.toggles, 0);
+        }
+    }
+
+    #[test]
+    fn event_driven_final_state_matches_steady_state() {
+        // After all events drain, node values must equal the zero-delay
+        // steady state of v2 — delay models change the path, not the result.
+        let c = generate(Iscas85::C432, 5).unwrap();
+        let width = c.num_inputs();
+        let v1: Vec<bool> = (0..width).map(|i| i % 3 == 0).collect();
+        let v2: Vec<bool> = (0..width).map(|i| i % 2 == 0).collect();
+        for model in [DelayModel::Unit, DelayModel::fanout_default()] {
+            let sim = PowerSimulator::new(&c, model, PowerConfig::default());
+            // Power parity with functional equivalence: outputs of the event
+            // sim are implied equal because toggles are value changes; here
+            // we assert energy is at least the steady-state disagreement.
+            let zero = PowerSimulator::new(&c, DelayModel::Zero, PowerConfig::default());
+            let rz = zero.cycle_report(&v1, &v2).unwrap();
+            let re = sim.cycle_report(&v1, &v2).unwrap();
+            assert!(re.switched_cap_ff >= rz.switched_cap_ff - 1e-9);
+        }
+    }
+
+    #[test]
+    fn width_validation() {
+        let c = xor_reconvergent();
+        let sim = PowerSimulator::new(&c, DelayModel::Unit, PowerConfig::default());
+        assert!(matches!(
+            sim.cycle_power(&[true], &[true, false]),
+            Err(SimError::WidthMismatch { .. })
+        ));
+        assert!(matches!(
+            sim.cycle_power(&[true, false], &[true]),
+            Err(SimError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn power_monotone_in_hamming_distance_on_average() {
+        // Flipping more inputs should, on average, switch more capacitance.
+        let c = generate(Iscas85::C880, 3).unwrap();
+        let width = c.num_inputs();
+        let sim = PowerSimulator::new(&c, DelayModel::Unit, PowerConfig::default());
+        let v1 = vec![false; width];
+        let mut one_flip = v1.clone();
+        one_flip[0] = true;
+        let all_flip = vec![true; width];
+        let p1 = sim.cycle_power(&v1, &one_flip).unwrap();
+        let pn = sim.cycle_power(&v1, &all_flip).unwrap();
+        assert!(pn > p1);
+    }
+
+    #[test]
+    fn accessors() {
+        let c = xor_reconvergent();
+        let sim = PowerSimulator::new(&c, DelayModel::Unit, PowerConfig::default());
+        assert_eq!(sim.delay_model(), DelayModel::Unit);
+        assert_eq!(sim.config(), PowerConfig::default());
+        assert_eq!(sim.circuit().num_inputs(), 2);
+    }
+
+    #[test]
+    fn multiplier_power_is_large() {
+        // C6288's deep carry chains should dissipate far more than C432.
+        let small = generate(Iscas85::C432, 1).unwrap();
+        let big = generate(Iscas85::C6288, 1).unwrap();
+        let sim_s = PowerSimulator::new(&small, DelayModel::Unit, PowerConfig::default());
+        let sim_b = PowerSimulator::new(&big, DelayModel::Unit, PowerConfig::default());
+        let vs1 = vec![false; small.num_inputs()];
+        let vs2 = vec![true; small.num_inputs()];
+        let vb1 = vec![false; big.num_inputs()];
+        let vb2 = vec![true; big.num_inputs()];
+        let ps = sim_s.cycle_power(&vs1, &vs2).unwrap();
+        let pb = sim_b.cycle_power(&vb1, &vb2).unwrap();
+        assert!(pb > ps * 3.0, "C6288 {pb} mW vs C432 {ps} mW");
+    }
+}

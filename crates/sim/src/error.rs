@@ -1,0 +1,53 @@
+//! Error type for simulation.
+
+use std::fmt;
+
+/// Error raised by the simulation engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An input vector had the wrong width.
+    WidthMismatch {
+        /// Primary inputs the circuit has.
+        expected: usize,
+        /// Bits provided.
+        got: usize,
+    },
+    /// The event budget was exhausted (combinational oscillation cannot
+    /// happen in a DAG, so this indicates an internal bug or an absurd
+    /// delay configuration).
+    EventBudgetExhausted {
+        /// Events processed before giving up.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::WidthMismatch { expected, got } => {
+                write!(f, "input vector width {got} does not match {expected} primary inputs")
+            }
+            SimError::EventBudgetExhausted { budget } => {
+                write!(f, "event budget of {budget} exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SimError::WidthMismatch {
+            expected: 5,
+            got: 3,
+        };
+        assert!(e.to_string().contains('5'));
+        let e = SimError::EventBudgetExhausted { budget: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+}

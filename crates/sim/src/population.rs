@@ -1,0 +1,206 @@
+//! Whole-population batch simulation — the "pre-simulate everything"
+//! step of the paper's experimental setup.
+//!
+//! The paper builds finite populations of 160,000 (Tables 1–2) or 80,000
+//! (Tables 3–4) vector pairs and simulates *all* of them with PowerMill to
+//! obtain the ground-truth maximum. This module is that step, multithreaded
+//! with crossbeam's scoped threads: each worker owns a [`PowerSimulator`]
+//! over the shared circuit and fills a disjoint chunk of the output.
+
+use mpe_netlist::{CapacitanceModel, Circuit};
+
+use crate::delay::DelayModel;
+use crate::engine::PowerSimulator;
+use crate::error::SimError;
+use crate::power::PowerConfig;
+
+/// Simulates the cycle power of every vector pair, in parallel.
+///
+/// `pairs` is a slice of `(v1, v2)` tuples; the result is indexed
+/// identically. `threads = 0` selects the available parallelism.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] encountered (wrong vector widths).
+///
+/// # Example
+///
+/// ```
+/// use mpe_netlist::{generate, Iscas85};
+/// use mpe_sim::{simulate_population, DelayModel, PowerConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let circuit = generate(Iscas85::C432, 7)?;
+/// let w = circuit.num_inputs();
+/// let pairs: Vec<(Vec<bool>, Vec<bool>)> = (0..100)
+///     .map(|i| {
+///         let v1: Vec<bool> = (0..w).map(|b| (i + b) % 2 == 0).collect();
+///         let v2: Vec<bool> = (0..w).map(|b| (i + b) % 3 == 0).collect();
+///         (v1, v2)
+///     })
+///     .collect();
+/// let powers = simulate_population(&circuit, &pairs, DelayModel::Unit, PowerConfig::default(), 0)?;
+/// assert_eq!(powers.len(), 100);
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate_population(
+    circuit: &Circuit,
+    pairs: &[(Vec<bool>, Vec<bool>)],
+    delay: DelayModel,
+    config: PowerConfig,
+    threads: usize,
+) -> Result<Vec<f64>, SimError> {
+    simulate_population_with(
+        circuit,
+        pairs,
+        delay,
+        config,
+        &CapacitanceModel::default(),
+        threads,
+    )
+}
+
+/// [`simulate_population`] with an explicit capacitance model.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] encountered.
+pub fn simulate_population_with(
+    circuit: &Circuit,
+    pairs: &[(Vec<bool>, Vec<bool>)],
+    delay: DelayModel,
+    config: PowerConfig,
+    cap_model: &CapacitanceModel,
+    threads: usize,
+) -> Result<Vec<f64>, SimError> {
+    if pairs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(pairs.len());
+
+    let mut powers = vec![0.0f64; pairs.len()];
+    if threads <= 1 {
+        let sim = PowerSimulator::with_capacitance(circuit, delay, config, cap_model);
+        for (slot, (v1, v2)) in powers.iter_mut().zip(pairs) {
+            *slot = sim.cycle_power(v1, v2)?;
+        }
+        return Ok(powers);
+    }
+
+    let chunk_size = pairs.len().div_ceil(threads);
+    let mut first_error: Option<SimError> = None;
+    {
+        let error_slot = std::sync::Mutex::new(&mut first_error);
+        crossbeam::thread::scope(|scope| {
+            for (out_chunk, in_chunk) in powers
+                .chunks_mut(chunk_size)
+                .zip(pairs.chunks(chunk_size))
+            {
+                let error_slot = &error_slot;
+                let cap_model = &*cap_model;
+                scope.spawn(move |_| {
+                    let sim =
+                        PowerSimulator::with_capacitance(circuit, delay, config, cap_model);
+                    for (slot, (v1, v2)) in out_chunk.iter_mut().zip(in_chunk) {
+                        match sim.cycle_power(v1, v2) {
+                            Ok(p) => *slot = p,
+                            Err(e) => {
+                                let mut guard =
+                                    error_slot.lock().expect("error mutex poisoned");
+                                if guard.is_none() {
+                                    **guard = Some(e);
+                                }
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("population simulation worker panicked");
+    }
+    match first_error {
+        Some(e) => Err(e),
+        None => Ok(powers),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpe_netlist::{generate, Iscas85};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_pairs(width: usize, count: usize, seed: u64) -> Vec<(Vec<bool>, Vec<bool>)> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                let v1: Vec<bool> = (0..width).map(|_| rng.gen()).collect();
+                let v2: Vec<bool> = (0..width).map(|_| rng.gen()).collect();
+                (v1, v2)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let c = generate(Iscas85::C432, 11).unwrap();
+        let pairs = random_pairs(c.num_inputs(), 500, 1);
+        let seq =
+            simulate_population(&c, &pairs, DelayModel::Unit, PowerConfig::default(), 1).unwrap();
+        let par =
+            simulate_population(&c, &pairs, DelayModel::Unit, PowerConfig::default(), 4).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_population_ok() {
+        let c = generate(Iscas85::C432, 11).unwrap();
+        let powers =
+            simulate_population(&c, &[], DelayModel::Zero, PowerConfig::default(), 0).unwrap();
+        assert!(powers.is_empty());
+    }
+
+    #[test]
+    fn width_error_propagates_from_worker() {
+        let c = generate(Iscas85::C432, 11).unwrap();
+        let mut pairs = random_pairs(c.num_inputs(), 50, 2);
+        pairs[25].0.pop(); // corrupt one pair
+        let err = simulate_population(&c, &pairs, DelayModel::Unit, PowerConfig::default(), 4);
+        assert!(matches!(err, Err(SimError::WidthMismatch { .. })));
+    }
+
+    #[test]
+    fn power_distribution_is_bounded_and_positive() {
+        let c = generate(Iscas85::C880, 5).unwrap();
+        let pairs = random_pairs(c.num_inputs(), 300, 3);
+        let powers =
+            simulate_population(&c, &pairs, DelayModel::fanout_default(), PowerConfig::default(), 0)
+                .unwrap();
+        let max = powers.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = powers.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(min >= 0.0);
+        assert!(max > min); // non-degenerate distribution
+        // Bounded by total capacitance switching twice.
+        let cap_bound = mpe_netlist::CapacitanceModel::default().total_capacitance(&c);
+        assert!(max <= PowerConfig::default().power_mw(4.0 * cap_bound));
+    }
+
+    #[test]
+    fn zero_threads_auto_selects() {
+        let c = generate(Iscas85::C432, 11).unwrap();
+        let pairs = random_pairs(c.num_inputs(), 64, 4);
+        let p =
+            simulate_population(&c, &pairs, DelayModel::Zero, PowerConfig::default(), 0).unwrap();
+        assert_eq!(p.len(), 64);
+    }
+}

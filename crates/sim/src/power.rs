@@ -1,0 +1,88 @@
+//! Electrical configuration: converting switched capacitance to power.
+
+/// Supply/clock configuration for the power computation.
+///
+/// Cycle energy is `½·Vdd²·C_switched`; the cycle-based power the paper
+/// estimates is that energy times the clock frequency. Defaults are chosen
+/// for the paper's mid-90s context (5 V, 20 MHz); changing them rescales
+/// every power number identically and does not affect the statistics.
+///
+/// # Example
+///
+/// ```
+/// use mpe_sim::PowerConfig;
+/// let cfg = PowerConfig::default();
+/// // 10_000 fF switched in one cycle at 5 V, 20 MHz:
+/// let mw = cfg.power_mw(10_000.0);
+/// assert!((mw - 2.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerConfig {
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Clock frequency in hertz.
+    pub clock_hz: f64,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig {
+            vdd: 5.0,
+            clock_hz: 20.0e6,
+        }
+    }
+}
+
+impl PowerConfig {
+    /// Converts switched capacitance (femtofarads, summed over all toggles
+    /// in the cycle) to cycle-based average power in milliwatts:
+    /// `P = ½·Vdd²·C·f`.
+    pub fn power_mw(&self, switched_cap_ff: f64) -> f64 {
+        // fF → F is 1e-15; W → mW is 1e3.
+        0.5 * self.vdd * self.vdd * switched_cap_ff * 1e-15 * self.clock_hz * 1e3
+    }
+
+    /// Cycle energy in picojoules for the given switched capacitance (fF).
+    pub fn energy_pj(&self, switched_cap_ff: f64) -> f64 {
+        // ½·V²·C: fF·V² = fJ; fJ → pJ is 1e-3.
+        0.5 * self.vdd * self.vdd * switched_cap_ff * 1e-3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_values() {
+        let c = PowerConfig::default();
+        assert_eq!(c.vdd, 5.0);
+        assert_eq!(c.clock_hz, 20.0e6);
+    }
+
+    #[test]
+    fn power_formula() {
+        let c = PowerConfig {
+            vdd: 2.0,
+            clock_hz: 1.0e9,
+        };
+        // ½·4·1000fF·1GHz = 2·1000e-15·1e9 W = 2e-3 W = 2 mW
+        assert!((c.power_mw(1000.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_formula() {
+        let c = PowerConfig {
+            vdd: 1.0,
+            clock_hz: 1.0,
+        };
+        // ½·1·2000 fF·V² = 1000 fJ = 1 pJ
+        assert!((c.energy_pj(2000.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_scales_linearly_with_cap() {
+        let c = PowerConfig::default();
+        assert!((c.power_mw(200.0) - 2.0 * c.power_mw(100.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the simulation engine.
+
+use mpe_netlist::generator::random_dag;
+use mpe_sim::{DelayModel, PowerConfig, PowerSimulator};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn random_vector(rng: &mut SmallRng, width: usize) -> Vec<bool> {
+    (0..width).map(|_| rng.gen()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Power is non-negative, zero for identical vectors, and symmetric in
+    /// switched capacitance for (v1, v2) vs (v2, v1) under zero delay
+    /// (steady-state differences are symmetric).
+    #[test]
+    fn zero_delay_symmetry(seed in 0u64..300, vec_seed in 0u64..1000) {
+        let c = random_dag("s", 8, 3, 40, 8, seed).unwrap();
+        let sim = PowerSimulator::new(&c, DelayModel::Zero, PowerConfig::default());
+        let mut rng = SmallRng::seed_from_u64(vec_seed);
+        let v1 = random_vector(&mut rng, 8);
+        let v2 = random_vector(&mut rng, 8);
+        let fwd = sim.cycle_power(&v1, &v2).unwrap();
+        let back = sim.cycle_power(&v2, &v1).unwrap();
+        prop_assert!(fwd >= 0.0);
+        prop_assert!((fwd - back).abs() < 1e-12);
+        prop_assert_eq!(sim.cycle_power(&v1, &v1).unwrap(), 0.0);
+    }
+
+    /// Under every delay model the event-driven switched capacitance is at
+    /// least the zero-delay value (glitches only add transitions) and the
+    /// report is internally consistent.
+    #[test]
+    fn event_driven_dominates_zero_delay(seed in 0u64..200, vec_seed in 0u64..500) {
+        let c = random_dag("d", 10, 3, 60, 10, seed).unwrap();
+        let mut rng = SmallRng::seed_from_u64(vec_seed);
+        let v1 = random_vector(&mut rng, 10);
+        let v2 = random_vector(&mut rng, 10);
+        let zero = PowerSimulator::new(&c, DelayModel::Zero, PowerConfig::default());
+        let rz = zero.cycle_report(&v1, &v2).unwrap();
+        for model in [DelayModel::Unit, DelayModel::fanout_default()] {
+            let sim = PowerSimulator::new(&c, model, PowerConfig::default());
+            let re = sim.cycle_report(&v1, &v2).unwrap();
+            prop_assert!(re.switched_cap_ff >= rz.switched_cap_ff - 1e-9);
+            prop_assert!(re.toggles >= rz.toggles);
+            prop_assert!(re.power_mw >= 0.0);
+            // Power and capacitance are consistent through the config.
+            let expect = PowerConfig::default().power_mw(re.switched_cap_ff);
+            prop_assert!((re.power_mw - expect).abs() < 1e-9);
+        }
+    }
+
+    /// Determinism: the same pair yields the same report every time.
+    #[test]
+    fn simulation_deterministic(seed in 0u64..200) {
+        let c = random_dag("det", 6, 2, 30, 6, seed).unwrap();
+        let sim = PowerSimulator::new(&c, DelayModel::fanout_default(), PowerConfig::default());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let v1 = random_vector(&mut rng, 6);
+        let v2 = random_vector(&mut rng, 6);
+        let a = sim.cycle_report(&v1, &v2).unwrap();
+        let b = sim.cycle_report(&v1, &v2).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Voltage/frequency scaling acts exactly quadratically/linearly.
+    #[test]
+    fn electrical_scaling(seed in 0u64..100, vdd in 0.5f64..5.0, f in 1.0e6f64..1.0e9) {
+        let c = random_dag("e", 6, 2, 25, 5, seed).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let v1 = random_vector(&mut rng, 6);
+        let v2 = random_vector(&mut rng, 6);
+        let base = PowerSimulator::new(
+            &c,
+            DelayModel::Unit,
+            PowerConfig { vdd: 1.0, clock_hz: 1.0e6 },
+        );
+        let scaled = PowerSimulator::new(
+            &c,
+            DelayModel::Unit,
+            PowerConfig { vdd, clock_hz: f },
+        );
+        let p0 = base.cycle_power(&v1, &v2).unwrap();
+        let p1 = scaled.cycle_power(&v1, &v2).unwrap();
+        let expect = p0 * vdd * vdd * (f / 1.0e6);
+        prop_assert!((p1 - expect).abs() < 1e-9 * expect.max(1.0), "{p1} vs {expect}");
+    }
+}

@@ -1,0 +1,290 @@
+//! Descriptive statistics over `f64` samples.
+
+use crate::error::StatsError;
+
+/// A one-pass numeric summary of a sample.
+///
+/// Computed by [`Summary::from_slice`]; holds the moments and extremes most
+/// experiment code needs, so the sample itself can be dropped.
+///
+/// # Example
+///
+/// ```
+/// use mpe_stats::Summary;
+/// # fn main() -> Result<(), mpe_stats::StatsError> {
+/// let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0])?;
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.max(), 4.0);
+/// assert!((s.variance() - 5.0/3.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    n: usize,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Builds a summary from a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InsufficientData`] on an empty slice and
+    /// [`StatsError::InvalidArgument`] if any value is NaN.
+    pub fn from_slice(data: &[f64]) -> Result<Self, StatsError> {
+        if data.is_empty() {
+            return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+        }
+        let mut s = Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            m4: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        };
+        for &x in data {
+            if x.is_nan() {
+                return Err(StatsError::invalid("data", "no NaN values", x));
+            }
+            s.push(x);
+        }
+        Ok(s)
+    }
+
+    /// Incrementally adds one observation (Welford / Terriberry update).
+    fn push(&mut self, x: f64) {
+        let n1 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n1;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0)
+            + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the summary holds no observations (cannot happen for a value
+    /// built via [`Summary::from_slice`], provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (divides by `n − 1`).
+    ///
+    /// Returns `0.0` for a single observation.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n as f64 - 1.0)
+        }
+    }
+
+    /// Sample standard deviation (square root of [`Summary::variance`]).
+    pub fn sd(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Sample skewness (Fisher, biased denominator).
+    pub fn skewness(&self) -> f64 {
+        if self.m2 == 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        n.sqrt() * self.m3 / self.m2.powf(1.5)
+    }
+
+    /// Excess kurtosis (biased denominator; `0` for a normal sample).
+    pub fn kurtosis(&self) -> f64 {
+        if self.m2 == 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        n * self.m4 / (self.m2 * self.m2) - 3.0
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// `max − min`.
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// Returns the `q`-th sample quantile (linear interpolation, type-7 like R).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] on an empty slice and
+/// [`StatsError::InvalidArgument`] for `q ∉ [0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use mpe_stats::descriptive::quantile;
+/// # fn main() -> Result<(), mpe_stats::StatsError> {
+/// let data = [4.0, 1.0, 3.0, 2.0];
+/// assert_eq!(quantile(&data, 0.5)?, 2.5);
+/// assert_eq!(quantile(&data, 1.0)?, 4.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn quantile(data: &[f64], q: f64) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::invalid("q", "0 <= q <= 1", q));
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    let h = q * (sorted.len() as f64 - 1.0);
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    Ok(sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo]))
+}
+
+/// Sample mean of a slice.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] on an empty slice.
+pub fn mean(data: &[f64]) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+    }
+    Ok(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Unbiased sample variance of a slice.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for fewer than two observations.
+pub fn variance(data: &[f64]) -> Result<f64, StatsError> {
+    if data.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            needed: 2,
+            got: data.len(),
+        });
+    }
+    let m = mean(data)?;
+    Ok(data.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (data.len() as f64 - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        close(s.mean(), 5.0, 1e-12);
+        // population variance is 4; sample variance = 32/7
+        close(s.variance(), 32.0 / 7.0, 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.range(), 7.0);
+        assert_eq!(s.len(), 8);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn summary_rejects_empty_and_nan() {
+        assert!(Summary::from_slice(&[]).is_err());
+        assert!(Summary::from_slice(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::from_slice(&[3.5]).unwrap();
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.sd(), 0.0);
+    }
+
+    #[test]
+    fn skewness_sign() {
+        // Right tail -> positive skewness
+        let right = Summary::from_slice(&[1.0, 1.0, 1.0, 1.0, 10.0]).unwrap();
+        assert!(right.skewness() > 0.0);
+        let left = Summary::from_slice(&[-10.0, 1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!(left.skewness() < 0.0);
+    }
+
+    #[test]
+    fn kurtosis_of_constantish_sample() {
+        // Two-point symmetric distribution has kurtosis -2 (excess)
+        let s = Summary::from_slice(&[-1.0, 1.0, -1.0, 1.0, -1.0, 1.0]).unwrap();
+        close(s.kurtosis(), -2.0, 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        close(quantile(&data, 0.0).unwrap(), 1.0, 1e-15);
+        close(quantile(&data, 0.25).unwrap(), 2.0, 1e-15);
+        close(quantile(&data, 0.5).unwrap(), 3.0, 1e-15);
+        close(quantile(&data, 0.625).unwrap(), 3.5, 1e-15);
+        close(quantile(&data, 1.0).unwrap(), 5.0, 1e-15);
+    }
+
+    #[test]
+    fn quantile_validation() {
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&[1.0], 1.5).is_err());
+    }
+
+    #[test]
+    fn mean_variance_free_functions() {
+        close(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0, 1e-15);
+        close(variance(&[1.0, 2.0, 3.0]).unwrap(), 1.0, 1e-15);
+        assert!(mean(&[]).is_err());
+        assert!(variance(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64 * 0.13).collect();
+        let s = Summary::from_slice(&data).unwrap();
+        close(s.mean(), mean(&data).unwrap(), 1e-10);
+        close(s.variance(), variance(&data).unwrap(), 1e-8);
+    }
+}

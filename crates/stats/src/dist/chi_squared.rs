@@ -1,0 +1,169 @@
+//! The chi-squared distribution.
+
+use super::ContinuousDistribution;
+use crate::error::StatsError;
+use crate::special::{ln_gamma, reg_gamma_p};
+
+/// A chi-squared distribution with `k` degrees of freedom.
+///
+/// Used by goodness-of-fit diagnostics (e.g. binned chi-square tests of the
+/// Weibull fit quality in the experiment harness) and available to users who
+/// want variance confidence intervals around the paper's `s²` statistic.
+///
+/// # Example
+///
+/// ```
+/// use mpe_stats::dist::{ChiSquared, ContinuousDistribution};
+/// # fn main() -> Result<(), mpe_stats::StatsError> {
+/// let c = ChiSquared::new(2.0)?;
+/// // chi²(2) is Exp(1/2): CDF(x) = 1 - exp(-x/2)
+/// assert!((c.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquared {
+    df: f64,
+}
+
+impl ChiSquared {
+    /// Creates a chi-squared distribution with `df` degrees of freedom.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] if `df <= 0` or not finite.
+    pub fn new(df: f64) -> Result<Self, StatsError> {
+        if !(df > 0.0 && df.is_finite()) {
+            return Err(StatsError::invalid("df", "df > 0 and finite", df));
+        }
+        Ok(ChiSquared { df })
+    }
+
+    /// Degrees of freedom `k`.
+    pub fn df(&self) -> f64 {
+        self.df
+    }
+}
+
+impl std::fmt::Display for ChiSquared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "χ²(k={})", self.df)
+    }
+}
+
+impl ContinuousDistribution for ChiSquared {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let k2 = self.df / 2.0;
+        (-(k2 * 2f64.ln() + ln_gamma(k2)) + (k2 - 1.0) * x.ln() - x / 2.0).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        reg_gamma_p(self.df / 2.0, x / 2.0)
+            .expect("incomplete gamma with valid internal arguments")
+    }
+
+    fn inverse_cdf(&self, p: f64) -> Result<f64, StatsError> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(StatsError::invalid("p", "0 <= p < 1", p));
+        }
+        if p == 0.0 {
+            return Ok(0.0);
+        }
+        // Bisection on a bracket grown geometrically; CDF is monotone.
+        let mut hi = self.df.max(1.0);
+        while self.cdf(hi) < p {
+            hi *= 2.0;
+            if hi > 1e12 {
+                return Err(StatsError::NoConvergence {
+                    routine: "chi-squared inverse_cdf bracket",
+                    iterations: 0,
+                });
+            }
+        }
+        let mut lo = 0.0;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-12 * (1.0 + hi) {
+                break;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.df)
+    }
+
+    fn variance(&self) -> Option<f64> {
+        Some(2.0 * self.df)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn chi2_with_2df_is_exponential() {
+        let c = ChiSquared::new(2.0).unwrap();
+        for &x in &[0.1, 1.0, 3.0, 8.0] {
+            close(c.cdf(x), 1.0 - (-x / 2.0f64).exp(), 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_critical_values() {
+        // chi2 upper 5% points from standard tables
+        let c1 = ChiSquared::new(1.0).unwrap();
+        close(c1.inverse_cdf(0.95).unwrap(), 3.841459, 1e-5);
+        let c10 = ChiSquared::new(10.0).unwrap();
+        close(c10.inverse_cdf(0.95).unwrap(), 18.307038, 1e-4);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for &df in &[1.0, 3.0, 7.0, 20.0] {
+            let c = ChiSquared::new(df).unwrap();
+            for &p in &[0.05, 0.3, 0.5, 0.9, 0.99] {
+                let x = c.inverse_cdf(p).unwrap();
+                close(c.cdf(x), p, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pdf_zero_left_of_support() {
+        let c = ChiSquared::new(4.0).unwrap();
+        assert_eq!(c.pdf(-1.0), 0.0);
+        assert_eq!(c.cdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn moments() {
+        let c = ChiSquared::new(6.0).unwrap();
+        assert_eq!(c.mean(), Some(6.0));
+        assert_eq!(c.variance(), Some(12.0));
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(ChiSquared::new(0.0).is_err());
+        assert!(ChiSquared::new(-1.0).is_err());
+        assert!(ChiSquared::new(f64::INFINITY).is_err());
+    }
+}

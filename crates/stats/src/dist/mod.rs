@@ -1,0 +1,66 @@
+//! Classic continuous distributions with CDFs and inverse CDFs.
+//!
+//! The estimation method of the paper needs exactly three of them:
+//!
+//! * [`Normal`] — the limiting law of the maximum-likelihood estimator
+//!   (Theorems 3–4) and the source of the `u_l` critical points (Eqn 3.6);
+//! * [`StudentT`] — the `t_{l,k−1}` critical points of the iterative
+//!   convergence test (Theorem 6, Eqn 3.8);
+//! * [`ChiSquared`] — used by goodness-of-fit diagnostics.
+//!
+//! All three implement [`ContinuousDistribution`], a small object-safe trait
+//! so higher layers can fit and compare distributions generically.
+
+mod chi_squared;
+mod normal;
+mod student_t;
+
+pub use chi_squared::ChiSquared;
+pub use normal::Normal;
+pub use student_t::StudentT;
+
+use crate::error::StatsError;
+
+/// A continuous univariate distribution.
+///
+/// Object-safe: used as `&dyn ContinuousDistribution` by goodness-of-fit
+/// tests and plotting/reporting code.
+pub trait ContinuousDistribution {
+    /// Probability density function at `x`.
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Cumulative distribution function `P{X ≤ x}`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Quantile function: smallest `x` with `cdf(x) ≥ p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] if `p ∉ [0, 1]` (or an open
+    /// subinterval when the distribution is unbounded on that side).
+    fn inverse_cdf(&self, p: f64) -> Result<f64, StatsError>;
+
+    /// Mean of the distribution, if it exists.
+    fn mean(&self) -> Option<f64>;
+
+    /// Variance of the distribution, if it exists.
+    fn variance(&self) -> Option<f64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        let dists: Vec<Box<dyn ContinuousDistribution>> = vec![
+            Box::new(Normal::standard()),
+            Box::new(StudentT::new(5.0).unwrap()),
+            Box::new(ChiSquared::new(3.0).unwrap()),
+        ];
+        for d in &dists {
+            let p = d.cdf(1.0);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! The normal (Gaussian) distribution.
+
+use super::ContinuousDistribution;
+use crate::error::StatsError;
+use crate::special::erfc;
+
+/// A normal distribution `N(μ, σ²)`.
+///
+/// The paper's Theorems 3–5 state that the maximum-likelihood estimator of
+/// the maximum power is asymptotically `N(ω(F), σ_μ²/m)`; this type provides
+/// the CDF/quantiles needed to exploit that (Eqn 3.5–3.6) and a pair of
+/// fitting constructors used to reproduce Figure 2.
+///
+/// # Example
+///
+/// ```
+/// use mpe_stats::dist::{ContinuousDistribution, Normal};
+/// # fn main() -> Result<(), mpe_stats::StatsError> {
+/// let n = Normal::new(10.0, 2.0)?;
+/// assert!((n.cdf(10.0) - 0.5).abs() < 1e-12);
+/// let x = n.inverse_cdf(0.975)?;
+/// assert!((x - (10.0 + 1.959964 * 2.0)).abs() < 1e-4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] if `sd <= 0` or either
+    /// parameter is not finite.
+    pub fn new(mean: f64, sd: f64) -> Result<Self, StatsError> {
+        if !mean.is_finite() {
+            return Err(StatsError::invalid("mean", "finite", mean));
+        }
+        if !(sd > 0.0 && sd.is_finite()) {
+            return Err(StatsError::invalid("sd", "sd > 0 and finite", sd));
+        }
+        Ok(Normal { mean, sd })
+    }
+
+    /// The standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Normal { mean: 0.0, sd: 1.0 }
+    }
+
+    /// Fits a normal by the method of moments (sample mean / sample sd).
+    ///
+    /// This is the "nearest normal distribution" fit the paper uses to
+    /// overlay Figure 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InsufficientData`] for fewer than two
+    /// observations and [`StatsError::InvalidArgument`] if the sample has
+    /// zero variance.
+    pub fn fit_moments(data: &[f64]) -> Result<Self, StatsError> {
+        if data.len() < 2 {
+            return Err(StatsError::InsufficientData {
+                needed: 2,
+                got: data.len(),
+            });
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        if var <= 0.0 {
+            return Err(StatsError::invalid("sample variance", "> 0", var));
+        }
+        Normal::new(mean, var.sqrt())
+    }
+
+    /// The mean `μ`.
+    pub fn mu(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation `σ`.
+    pub fn sigma(&self) -> f64 {
+        self.sd
+    }
+
+    /// Two-sided critical point `u_l` of the *standard* normal such that
+    /// `P{−u_l ≤ Z ≤ u_l} = level` (the paper's Eqn 3.6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] unless `0 < level < 1`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mpe_stats::dist::Normal;
+    /// # fn main() -> Result<(), mpe_stats::StatsError> {
+    /// let u90 = Normal::two_sided_critical(0.90)?;
+    /// assert!((u90 - 1.6448536).abs() < 1e-5);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn two_sided_critical(level: f64) -> Result<f64, StatsError> {
+        if !(level > 0.0 && level < 1.0) {
+            return Err(StatsError::invalid("level", "0 < level < 1", level));
+        }
+        Normal::standard().inverse_cdf(0.5 + level / 2.0)
+    }
+}
+
+impl Default for Normal {
+    fn default() -> Self {
+        Normal::standard()
+    }
+}
+
+impl std::fmt::Display for Normal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "N({}, {}²)", self.mean, self.sd)
+    }
+}
+
+impl ContinuousDistribution for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.sd;
+        (-0.5 * z * z).exp() / (self.sd * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.sd;
+        0.5 * erfc(-z / std::f64::consts::SQRT_2)
+    }
+
+    fn inverse_cdf(&self, p: f64) -> Result<f64, StatsError> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(StatsError::invalid("p", "0 < p < 1", p));
+        }
+        Ok(self.mean + self.sd * std_normal_quantile(p))
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.mean)
+    }
+
+    fn variance(&self) -> Option<f64> {
+        Some(self.sd * self.sd)
+    }
+}
+
+/// Acklam's rational approximation to the standard normal quantile,
+/// refined by one Halley step to ~1e-12 accuracy.
+fn std_normal_quantile(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One step of Halley's method against the high-accuracy erfc-based CDF.
+    let e = 0.5 * erfc(-x / std::f64::consts::SQRT_2) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn standard_cdf_values() {
+        let n = Normal::standard();
+        close(n.cdf(0.0), 0.5, 1e-14);
+        close(n.cdf(1.0), 0.8413447460685429, 1e-7);
+        close(n.cdf(-1.0), 0.15865525393145707, 1e-7);
+        close(n.cdf(1.959963985), 0.975, 1e-7);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        let n = Normal::new(3.0, 0.7).unwrap();
+        for &p in &[1e-6, 0.001, 0.1, 0.5, 0.9, 0.999, 1.0 - 1e-6] {
+            let x = n.inverse_cdf(p).unwrap();
+            close(n.cdf(x), p, 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantile_known_points() {
+        let n = Normal::standard();
+        close(n.inverse_cdf(0.975).unwrap(), 1.959963985, 1e-8);
+        close(n.inverse_cdf(0.95).unwrap(), 1.644853627, 1e-8);
+        close(n.inverse_cdf(0.5).unwrap(), 0.0, 1e-12);
+        close(n.inverse_cdf(0.05).unwrap(), -1.644853627, 1e-8);
+    }
+
+    #[test]
+    fn two_sided_critical_matches_paper_levels() {
+        // 90% confidence -> u = 1.645 (paper's experiments)
+        close(Normal::two_sided_critical(0.90).unwrap(), 1.6448536, 1e-6);
+        close(Normal::two_sided_critical(0.95).unwrap(), 1.9599640, 1e-6);
+        close(Normal::two_sided_critical(0.99).unwrap(), 2.5758293, 1e-6);
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf_increment() {
+        // Midpoint-rule integral of pdf over [a,b] ~ cdf(b)-cdf(a)
+        let n = Normal::new(-1.0, 2.5).unwrap();
+        let (a, b) = (-4.0, 3.0);
+        let steps = 20_000;
+        let h = (b - a) / steps as f64;
+        let mut acc = 0.0;
+        for i in 0..steps {
+            acc += n.pdf(a + (i as f64 + 0.5) * h) * h;
+        }
+        close(acc, n.cdf(b) - n.cdf(a), 1e-8);
+    }
+
+    #[test]
+    fn fit_moments_recovers_parameters() {
+        // Deterministic pseudo-sample with known mean/sd
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64) / 999.0).collect();
+        let n = Normal::fit_moments(&data).unwrap();
+        close(n.mu(), 0.5, 1e-12);
+        // sd of uniform grid on [0,1] ~ sqrt(1/12)
+        close(n.sigma(), (1.0f64 / 12.0).sqrt(), 1e-3);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn inverse_cdf_rejects_bounds() {
+        let n = Normal::standard();
+        assert!(n.inverse_cdf(0.0).is_err());
+        assert!(n.inverse_cdf(1.0).is_err());
+        assert!(n.inverse_cdf(-0.5).is_err());
+    }
+
+    #[test]
+    fn mean_variance_accessors() {
+        let n = Normal::new(2.0, 3.0).unwrap();
+        assert_eq!(n.mean(), Some(2.0));
+        assert_eq!(n.variance(), Some(9.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Normal::new(1.0, 2.0).unwrap().to_string(), "N(1, 2²)");
+    }
+}

@@ -1,0 +1,227 @@
+//! Student's t distribution.
+
+use super::ContinuousDistribution;
+use crate::error::StatsError;
+use crate::special::{inv_reg_inc_beta, ln_gamma, reg_inc_beta};
+
+/// Student's t distribution with `ν` degrees of freedom.
+///
+/// Supplies the `t_{l,k−1}` critical points of the paper's Theorem 6
+/// confidence interval
+/// `[P̄ − t·s/√k, P̄ + t·s/√k]` that drives the iterative estimation loop
+/// (Figure 4).
+///
+/// # Example
+///
+/// ```
+/// use mpe_stats::dist::StudentT;
+/// # fn main() -> Result<(), mpe_stats::StatsError> {
+/// // 90% two-sided critical point with 9 degrees of freedom
+/// let t = StudentT::new(9.0)?.two_sided_critical(0.90)?;
+/// assert!((t - 1.833113).abs() < 1e-5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    df: f64,
+}
+
+impl StudentT {
+    /// Creates a t distribution with `df` degrees of freedom.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] if `df <= 0` or not finite.
+    pub fn new(df: f64) -> Result<Self, StatsError> {
+        if !(df > 0.0 && df.is_finite()) {
+            return Err(StatsError::invalid("df", "df > 0 and finite", df));
+        }
+        Ok(StudentT { df })
+    }
+
+    /// Degrees of freedom `ν`.
+    pub fn df(&self) -> f64 {
+        self.df
+    }
+
+    /// Two-sided critical point `t` such that `P{−t ≤ T ≤ t} = level`.
+    ///
+    /// This is exactly the `t_{l,k−1}` of the paper's Eqn (3.8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidArgument`] unless `0 < level < 1`.
+    pub fn two_sided_critical(&self, level: f64) -> Result<f64, StatsError> {
+        if !(level > 0.0 && level < 1.0) {
+            return Err(StatsError::invalid("level", "0 < level < 1", level));
+        }
+        self.inverse_cdf(0.5 + level / 2.0)
+    }
+}
+
+impl std::fmt::Display for StudentT {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t(ν={})", self.df)
+    }
+}
+
+impl ContinuousDistribution for StudentT {
+    fn pdf(&self, x: f64) -> f64 {
+        let v = self.df;
+        let ln_c = ln_gamma((v + 1.0) / 2.0)
+            - ln_gamma(v / 2.0)
+            - 0.5 * (v * std::f64::consts::PI).ln();
+        (ln_c - (v + 1.0) / 2.0 * (1.0 + x * x / v).ln()).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let v = self.df;
+        if x == 0.0 {
+            return 0.5;
+        }
+        // I_{v/(v+x^2)}(v/2, 1/2) is the two-tail probability.
+        let ib = reg_inc_beta(v / 2.0, 0.5, v / (v + x * x))
+            .expect("incomplete beta with valid internal arguments");
+        if x > 0.0 {
+            1.0 - 0.5 * ib
+        } else {
+            0.5 * ib
+        }
+    }
+
+    fn inverse_cdf(&self, p: f64) -> Result<f64, StatsError> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(StatsError::invalid("p", "0 < p < 1", p));
+        }
+        if (p - 0.5).abs() < 1e-16 {
+            return Ok(0.0);
+        }
+        let v = self.df;
+        // Invert the two-tail incomplete-beta identity.
+        let tail = if p > 0.5 { 2.0 * (1.0 - p) } else { 2.0 * p };
+        let z = inv_reg_inc_beta(v / 2.0, 0.5, tail)?;
+        // z = v/(v+t^2)  =>  t = sqrt(v(1-z)/z)
+        let t = (v * (1.0 - z) / z).sqrt();
+        Ok(if p > 0.5 { t } else { -t })
+    }
+
+    fn mean(&self) -> Option<f64> {
+        if self.df > 1.0 {
+            Some(0.0)
+        } else {
+            None
+        }
+    }
+
+    fn variance(&self) -> Option<f64> {
+        if self.df > 2.0 {
+            Some(self.df / (self.df - 2.0))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Normal;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn cdf_symmetry() {
+        let t = StudentT::new(7.0).unwrap();
+        for &x in &[0.1, 0.5, 1.0, 2.5, 5.0] {
+            close(t.cdf(x) + t.cdf(-x), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        // t(1) is Cauchy: CDF(1) = 3/4
+        let t1 = StudentT::new(1.0).unwrap();
+        close(t1.cdf(1.0), 0.75, 1e-10);
+        // t(2): CDF(x) = 1/2 + x / (2*sqrt(2+x^2))
+        let t2 = StudentT::new(2.0).unwrap();
+        for &x in &[-2.0, -0.5, 0.7, 3.0] {
+            close(t2.cdf(x), 0.5 + x / (2.0 * (2.0 + x * x).sqrt()), 1e-10);
+        }
+    }
+
+    #[test]
+    fn critical_points_match_tables() {
+        // Classic t-table values (two-sided)
+        close(
+            StudentT::new(1.0).unwrap().two_sided_critical(0.90).unwrap(),
+            6.313752,
+            1e-5,
+        );
+        close(
+            StudentT::new(9.0).unwrap().two_sided_critical(0.90).unwrap(),
+            1.833113,
+            1e-5,
+        );
+        close(
+            StudentT::new(9.0).unwrap().two_sided_critical(0.95).unwrap(),
+            2.262157,
+            1e-5,
+        );
+        close(
+            StudentT::new(30.0).unwrap().two_sided_critical(0.99).unwrap(),
+            2.749996,
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for &df in &[1.0, 2.0, 5.0, 10.0, 50.0] {
+            let t = StudentT::new(df).unwrap();
+            for &p in &[0.01, 0.2, 0.5, 0.8, 0.99] {
+                let x = t.inverse_cdf(p).unwrap();
+                close(t.cdf(x), p, 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn converges_to_normal_for_large_df() {
+        let t = StudentT::new(10_000.0).unwrap();
+        let n = Normal::standard();
+        for &p in &[0.05, 0.5, 0.95] {
+            close(
+                t.inverse_cdf(p).unwrap(),
+                n.inverse_cdf(p).unwrap(),
+                5e-4,
+            );
+        }
+    }
+
+    #[test]
+    fn pdf_is_symmetric_and_positive() {
+        let t = StudentT::new(4.0).unwrap();
+        for &x in &[0.0, 0.5, 2.0, 10.0] {
+            assert!(t.pdf(x) > 0.0);
+            close(t.pdf(x), t.pdf(-x), 1e-14);
+        }
+    }
+
+    #[test]
+    fn moments() {
+        assert_eq!(StudentT::new(0.5).unwrap().mean(), None);
+        assert_eq!(StudentT::new(3.0).unwrap().mean(), Some(0.0));
+        assert_eq!(StudentT::new(2.0).unwrap().variance(), None);
+        assert_eq!(StudentT::new(4.0).unwrap().variance(), Some(2.0));
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(StudentT::new(0.0).is_err());
+        assert!(StudentT::new(-3.0).is_err());
+        assert!(StudentT::new(f64::NAN).is_err());
+    }
+}

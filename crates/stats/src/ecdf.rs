@@ -1,0 +1,157 @@
+//! Empirical cumulative distribution functions.
+
+use crate::error::StatsError;
+
+/// An empirical CDF built from a finite sample.
+///
+/// This is the object compared against fitted Weibull CDFs when reproducing
+/// the paper's Figure 1, and the input to the Kolmogorov–Smirnov test in
+/// [`crate::ks`].
+///
+/// # Example
+///
+/// ```
+/// use mpe_stats::Ecdf;
+/// # fn main() -> Result<(), mpe_stats::StatsError> {
+/// let e = Ecdf::new(vec![3.0, 1.0, 2.0])?;
+/// assert_eq!(e.eval(0.5), 0.0);
+/// assert_eq!(e.eval(1.0), 1.0 / 3.0);
+/// assert_eq!(e.eval(2.5), 2.0 / 3.0);
+/// assert_eq!(e.eval(9.0), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an empirical CDF, taking ownership of (and sorting) the sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InsufficientData`] on an empty sample and
+    /// [`StatsError::InvalidArgument`] if any value is NaN.
+    pub fn new(mut data: Vec<f64>) -> Result<Self, StatsError> {
+        if data.is_empty() {
+            return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+        }
+        if data.iter().any(|x| x.is_nan()) {
+            return Err(StatsError::invalid("data", "no NaN values", f64::NAN));
+        }
+        data.sort_by(|a, b| a.partial_cmp(b).expect("NaN ruled out above"));
+        Ok(Ecdf { sorted: data })
+    }
+
+    /// `F̂(x)` — the fraction of observations `≤ x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of elements <= x via strict > test
+        let cnt = self.sorted.partition_point(|&v| v <= x);
+        cnt as f64 / self.sorted.len() as f64
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the ECDF holds no observations (cannot occur for a
+    /// successfully constructed value; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted sample underlying this ECDF.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Evaluates the ECDF on an evenly spaced grid of `points` x-values
+    /// spanning `[min, max]`, returning `(x, F̂(x))` pairs — convenient for
+    /// plotting Figure-1 style overlays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    pub fn grid(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "grid needs at least 2 points");
+        let (lo, hi) = (self.min(), self.max());
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_function_semantics() {
+        let e = Ecdf::new(vec![1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(e.eval(0.999), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(1.5), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert!(Ecdf::new(vec![]).is_err());
+        assert!(Ecdf::new(vec![1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn min_max_len() {
+        let e = Ecdf::new(vec![5.0, -1.0, 3.0]).unwrap();
+        assert_eq!(e.min(), -1.0);
+        assert_eq!(e.max(), 5.0);
+        assert_eq!(e.len(), 3);
+        assert!(!e.is_empty());
+        assert_eq!(e.sorted_values(), &[-1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn grid_spans_range() {
+        let e = Ecdf::new(vec![0.0, 10.0]).unwrap();
+        let g = e.grid(11);
+        assert_eq!(g.len(), 11);
+        assert_eq!(g[0].0, 0.0);
+        assert_eq!(g[10].0, 10.0);
+        assert_eq!(g[10].1, 1.0);
+    }
+
+    #[test]
+    fn monotone_nondecreasing() {
+        let e = Ecdf::new(vec![2.0, 7.0, 3.0, 3.0, 9.0, 1.0]).unwrap();
+        let mut prev = -1.0;
+        for i in 0..100 {
+            let x = -1.0 + i as f64 * 0.12;
+            let f = e.eval(x);
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 points")]
+    fn grid_rejects_one_point() {
+        Ecdf::new(vec![1.0, 2.0]).unwrap().grid(1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type shared by every fallible routine in this crate.
+
+use std::fmt;
+
+/// Error raised by statistical routines.
+///
+/// The variants separate *caller* mistakes (bad arguments, empty data) from
+/// *numerical* failures (an iteration that did not converge), so callers can
+/// decide whether retrying with different inputs makes sense.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// An argument was outside its mathematical domain
+    /// (e.g. a probability not in `[0, 1]`, a non-positive degrees of freedom).
+    InvalidArgument {
+        /// Name of the offending parameter.
+        what: &'static str,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+        /// The value that was passed.
+        value: f64,
+    },
+    /// The input sample was empty or too small for the requested statistic.
+    InsufficientData {
+        /// Number of observations required.
+        needed: usize,
+        /// Number of observations provided.
+        got: usize,
+    },
+    /// An iterative numerical method failed to converge.
+    NoConvergence {
+        /// Which routine failed.
+        routine: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl StatsError {
+    /// Convenience constructor for [`StatsError::InvalidArgument`].
+    pub fn invalid(what: &'static str, constraint: &'static str, value: f64) -> Self {
+        StatsError::InvalidArgument {
+            what,
+            constraint,
+            value,
+        }
+    }
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidArgument {
+                what,
+                constraint,
+                value,
+            } => write!(f, "invalid argument {what}={value}: must satisfy {constraint}"),
+            StatsError::InsufficientData { needed, got } => {
+                write!(f, "insufficient data: needed {needed} observations, got {got}")
+            }
+            StatsError::NoConvergence {
+                routine,
+                iterations,
+            } => write!(f, "{routine} did not converge after {iterations} iterations"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_argument() {
+        let e = StatsError::invalid("p", "0 <= p <= 1", 1.5);
+        assert_eq!(
+            e.to_string(),
+            "invalid argument p=1.5: must satisfy 0 <= p <= 1"
+        );
+    }
+
+    #[test]
+    fn display_insufficient_data() {
+        let e = StatsError::InsufficientData { needed: 2, got: 0 };
+        assert_eq!(e.to_string(), "insufficient data: needed 2 observations, got 0");
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let e = StatsError::NoConvergence {
+            routine: "newton",
+            iterations: 100,
+        };
+        assert_eq!(e.to_string(), "newton did not converge after 100 iterations");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

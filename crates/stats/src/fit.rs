@@ -1,0 +1,173 @@
+//! Curve fitting: linear least squares and generic nonlinear least squares.
+//!
+//! The paper fits Weibull CDFs to empirical sample-maxima distributions by
+//! "least mean squared error fit" (Figure 1) and normal curves to estimator
+//! histograms (Figure 2). [`least_squares`] provides the generic machinery,
+//! delegating the search to the Nelder–Mead simplex in [`crate::optimize`].
+
+use crate::error::StatsError;
+use crate::optimize::{nelder_mead, NelderMeadOptions};
+
+/// Ordinary least squares for the simple line `y = a + b·x`.
+///
+/// Returns `(intercept, slope)`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] for fewer than two points and
+/// [`StatsError::InvalidArgument`] if all `x` are identical.
+///
+/// # Example
+///
+/// ```
+/// use mpe_stats::fit::linear_fit;
+/// # fn main() -> Result<(), mpe_stats::StatsError> {
+/// let x = [0.0, 1.0, 2.0, 3.0];
+/// let y = [1.0, 3.0, 5.0, 7.0];
+/// let (a, b) = linear_fit(&x, &y)?;
+/// assert!((a - 1.0).abs() < 1e-12 && (b - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Result<(f64, f64), StatsError> {
+    if x.len() != y.len() || x.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            needed: 2,
+            got: x.len().min(y.len()),
+        });
+    }
+    let n = x.len() as f64;
+    let sx: f64 = x.iter().sum();
+    let sy: f64 = y.iter().sum();
+    let sxx: f64 = x.iter().map(|v| v * v).sum();
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| a * b).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-300 {
+        return Err(StatsError::invalid("x", "not all identical", sx / n));
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    Ok((intercept, slope))
+}
+
+/// Result of a nonlinear least-squares fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeastSquaresFit {
+    /// Best-fit parameter vector.
+    pub params: Vec<f64>,
+    /// Sum of squared residuals at the optimum.
+    pub sse: f64,
+    /// Number of objective evaluations used.
+    pub evaluations: usize,
+}
+
+/// Fits `model(params, x) ≈ y` in the least-squares sense with Nelder–Mead,
+/// starting from `initial`.
+///
+/// This is the paper's "least mean squared error fit" used in Figures 1–2.
+/// The model is arbitrary — no derivatives needed — so it serves equally for
+/// Weibull CDFs, normal PDFs, or anything a bench harness dreams up.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if there are fewer observations
+/// than parameters, and propagates optimizer failures.
+pub fn least_squares<M>(
+    x: &[f64],
+    y: &[f64],
+    initial: &[f64],
+    model: M,
+) -> Result<LeastSquaresFit, StatsError>
+where
+    M: Fn(&[f64], f64) -> f64,
+{
+    if x.len() != y.len() || x.len() < initial.len() {
+        return Err(StatsError::InsufficientData {
+            needed: initial.len(),
+            got: x.len().min(y.len()),
+        });
+    }
+    let objective = |p: &[f64]| -> f64 {
+        let mut sse = 0.0;
+        for (&xi, &yi) in x.iter().zip(y) {
+            let r = model(p, xi) - yi;
+            sse += r * r;
+        }
+        if sse.is_nan() {
+            f64::INFINITY
+        } else {
+            sse
+        }
+    };
+    let result = nelder_mead(&objective, initial, &NelderMeadOptions::default())?;
+    Ok(LeastSquaresFit {
+        params: result.x,
+        sse: result.f,
+        evaluations: result.evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| -2.0 + 0.5 * v).collect();
+        let (a, b) = linear_fit(&x, &y).unwrap();
+        assert!((a + 2.0).abs() < 1e-12);
+        assert!((b - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_noisy_line() {
+        // Deterministic "noise" summing to ~0
+        let x: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| 3.0 + 2.0 * v + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let (a, b) = linear_fit(&x, &y).unwrap();
+        assert!((a - 3.0).abs() < 0.05);
+        assert!((b - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn linear_fit_errors() {
+        assert!(linear_fit(&[1.0], &[1.0]).is_err());
+        assert!(linear_fit(&[1.0, 1.0], &[1.0, 2.0]).is_err()); // vertical
+        assert!(linear_fit(&[1.0, 2.0], &[1.0]).is_err()); // length mismatch
+    }
+
+    #[test]
+    fn least_squares_recovers_exponential() {
+        // y = p0 * exp(p1 * x)
+        let x: Vec<f64> = (0..50).map(|i| i as f64 / 10.0).collect();
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * (0.3 * v).exp()).collect();
+        let fit = least_squares(&x, &y, &[1.0, 0.1], |p, xi| p[0] * (p[1] * xi).exp()).unwrap();
+        assert!((fit.params[0] - 2.0).abs() < 1e-3, "{:?}", fit.params);
+        assert!((fit.params[1] - 0.3).abs() < 1e-3, "{:?}", fit.params);
+        assert!(fit.sse < 1e-6);
+    }
+
+    #[test]
+    fn least_squares_gaussian_bump() {
+        // y = exp(-(x-c)^2 / (2 s^2))
+        let x: Vec<f64> = (0..80).map(|i| i as f64 / 10.0).collect();
+        let truth = |xi: f64| (-(xi - 4.0f64).powi(2) / (2.0 * 1.5f64.powi(2))).exp();
+        let y: Vec<f64> = x.iter().map(|&v| truth(v)).collect();
+        let fit = least_squares(&x, &y, &[3.0, 1.0], |p, xi| {
+            (-(xi - p[0]).powi(2) / (2.0 * p[1] * p[1])).exp()
+        })
+        .unwrap();
+        assert!((fit.params[0] - 4.0).abs() < 1e-3);
+        assert!((fit.params[1].abs() - 1.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn least_squares_insufficient_data() {
+        assert!(least_squares(&[1.0], &[1.0], &[0.0, 0.0], |p, x| p[0] + p[1] * x).is_err());
+    }
+}

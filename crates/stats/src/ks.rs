@@ -1,0 +1,150 @@
+//! One-sample Kolmogorov–Smirnov goodness-of-fit test.
+//!
+//! Used to quantify the paper's Figure-1 claim — that the distribution of
+//! sample maxima is indistinguishable from a Weibull once the sample size
+//! reaches `n ≈ 30` — and by the limiting-law ablation (Weibull vs Gumbel).
+
+use crate::ecdf::Ecdf;
+use crate::error::StatsError;
+
+/// Result of a one-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `D_n = sup_x |F̂(x) − F(x)|`.
+    pub statistic: f64,
+    /// Asymptotic p-value of observing a deviation at least this large under
+    /// the null hypothesis that the data come from `F`.
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+/// Computes the KS statistic `D_n` between a sample and a model CDF.
+///
+/// `cdf` must be a valid CDF (non-decreasing, into `[0, 1]`).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] on an empty sample and
+/// [`StatsError::InvalidArgument`] if the sample contains NaN.
+///
+/// # Example
+///
+/// ```
+/// use mpe_stats::ks_statistic;
+/// # fn main() -> Result<(), mpe_stats::StatsError> {
+/// // Uniform sample vs uniform CDF — small deviation
+/// let data: Vec<f64> = (0..100).map(|i| (i as f64 + 0.5) / 100.0).collect();
+/// let d = ks_statistic(&data, |x| x.clamp(0.0, 1.0))?;
+/// assert!(d < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ks_statistic<F: Fn(f64) -> f64>(data: &[f64], cdf: F) -> Result<f64, StatsError> {
+    let ecdf = Ecdf::new(data.to_vec())?;
+    let n = ecdf.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in ecdf.sorted_values().iter().enumerate() {
+        let fx = cdf(x);
+        // ECDF jumps from i/n to (i+1)/n at x; both sides matter.
+        let upper = ((i + 1) as f64 / n - fx).abs();
+        let lower = (fx - i as f64 / n).abs();
+        d = d.max(upper).max(lower);
+    }
+    Ok(d)
+}
+
+/// Runs the one-sample KS test and returns statistic + asymptotic p-value.
+///
+/// The p-value uses the Kolmogorov distribution
+/// `Q(λ) = 2 Σ_{j≥1} (−1)^{j−1} e^{−2 j² λ²}` with the Stephens small-sample
+/// correction `λ = (√n + 0.12 + 0.11/√n)·D`.
+///
+/// # Errors
+///
+/// Same conditions as [`ks_statistic`].
+pub fn ks_test<F: Fn(f64) -> f64>(data: &[f64], cdf: F) -> Result<KsResult, StatsError> {
+    let statistic = ks_statistic(data, cdf)?;
+    let n = data.len();
+    let sqrt_n = (n as f64).sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * statistic;
+    Ok(KsResult {
+        statistic,
+        p_value: kolmogorov_q(lambda),
+        n,
+    })
+}
+
+/// Kolmogorov's limiting tail function `Q(λ)`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda < 1e-8 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_fit_small_statistic() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        let r = ks_test(&data, |x| x.clamp(0.0, 1.0)).unwrap();
+        assert!(r.statistic < 0.001);
+        assert!(r.p_value > 0.99);
+        assert_eq!(r.n, 1000);
+    }
+
+    #[test]
+    fn gross_misfit_rejected() {
+        // Uniform data tested against a point-mass-at-10 CDF
+        let data: Vec<f64> = (0..200).map(|i| i as f64 / 200.0).collect();
+        let r = ks_test(&data, |x| if x < 10.0 { 0.0 } else { 1.0 }).unwrap();
+        assert!(r.statistic > 0.99);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn statistic_bounded_by_one() {
+        let data = vec![1.0, 2.0, 3.0];
+        let d = ks_statistic(&data, |_| 0.5).unwrap();
+        assert!(d <= 1.0 && d >= 0.0);
+    }
+
+    #[test]
+    fn handles_duplicates() {
+        let data = vec![1.0, 1.0, 1.0, 2.0];
+        let d = ks_statistic(&data, |x| (x / 3.0).clamp(0.0, 1.0)).unwrap();
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn empty_sample_rejected() {
+        assert!(ks_statistic(&[], |x| x).is_err());
+    }
+
+    #[test]
+    fn kolmogorov_q_limits() {
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert!(kolmogorov_q(5.0) < 1e-10);
+        // Known value: Q(1.0) ~= 0.27
+        assert!((kolmogorov_q(1.0) - 0.27).abs() < 0.01);
+    }
+
+    #[test]
+    fn known_critical_level() {
+        // For alpha=0.05, the asymptotic critical lambda is ~1.358
+        assert!((kolmogorov_q(1.358) - 0.05).abs() < 0.002);
+    }
+}

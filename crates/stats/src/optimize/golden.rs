@@ -1,0 +1,121 @@
+//! Golden-section search for 1-D minimization.
+
+use crate::error::StatsError;
+
+/// Result of a [`golden_section`] minimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoldenResult {
+    /// Abscissa of the minimum found.
+    pub x: f64,
+    /// Objective value at `x`.
+    pub f: f64,
+    /// Number of objective evaluations.
+    pub evaluations: usize,
+}
+
+/// Minimizes a unimodal `f` on `[a, b]` by golden-section search.
+///
+/// Converges unconditionally for unimodal objectives; for multimodal ones it
+/// returns *a* local minimum inside the bracket. Runs until the bracket
+/// shrinks below `tol·(1 + |x|)` or 500 iterations.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidArgument`] if `a >= b`, either bound is not
+/// finite, or `tol <= 0`.
+///
+/// # Example
+///
+/// ```
+/// use mpe_stats::optimize::golden_section;
+/// # fn main() -> Result<(), mpe_stats::StatsError> {
+/// let r = golden_section(|x| (x - 2.0) * (x - 2.0), 0.0, 5.0, 1e-10)?;
+/// assert!((r.x - 2.0).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn golden_section<F: Fn(f64) -> f64>(
+    f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+) -> Result<GoldenResult, StatsError> {
+    if !(a.is_finite() && b.is_finite() && a < b) {
+        return Err(StatsError::invalid("a/b", "finite and a < b", b - a));
+    }
+    if tol <= 0.0 {
+        return Err(StatsError::invalid("tol", "tol > 0", tol));
+    }
+    const INV_PHI: f64 = 0.618_033_988_749_894_9; // (√5 − 1) / 2
+    let (mut a, mut b) = (a, b);
+    let mut x1 = b - INV_PHI * (b - a);
+    let mut x2 = a + INV_PHI * (b - a);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    let mut evals = 2;
+    for _ in 0..500 {
+        if (b - a).abs() <= tol * (1.0 + x1.abs().max(x2.abs())) {
+            break;
+        }
+        if f1 <= f2 {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - INV_PHI * (b - a);
+            f1 = f(x1);
+        } else {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + INV_PHI * (b - a);
+            f2 = f(x2);
+        }
+        evals += 1;
+    }
+    let (x, fx) = if f1 <= f2 { (x1, f1) } else { (x2, f2) };
+    Ok(GoldenResult {
+        x,
+        f: fx,
+        evaluations: evals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_minimum() {
+        let r = golden_section(|x| (x - 3.5) * (x - 3.5) + 1.0, -10.0, 10.0, 1e-12).unwrap();
+        assert!((r.x - 3.5).abs() < 1e-7);
+        assert!((r.f - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_objective() {
+        // min of x - ln(x) at x = 1
+        let r = golden_section(|x| x - x.ln(), 0.01, 10.0, 1e-12).unwrap();
+        assert!((r.x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn boundary_minimum() {
+        // Monotone increasing: min at left edge
+        let r = golden_section(|x| x, 2.0, 5.0, 1e-12).unwrap();
+        assert!((r.x - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_bracket() {
+        assert!(golden_section(|x| x, 5.0, 2.0, 1e-6).is_err());
+        assert!(golden_section(|x| x, 0.0, 1.0, -1.0).is_err());
+        assert!(golden_section(|x| x, f64::NEG_INFINITY, 1.0, 1e-6).is_err());
+    }
+
+    #[test]
+    fn evaluation_count_reported() {
+        let r = golden_section(|x| x * x, -1.0, 1.0, 1e-10).unwrap();
+        assert!(r.evaluations >= 2);
+        assert!(r.evaluations < 200);
+    }
+}

@@ -1,0 +1,286 @@
+//! Nelder–Mead downhill simplex minimization.
+
+use crate::error::StatsError;
+
+/// Tuning knobs for [`nelder_mead`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadOptions {
+    /// Maximum objective evaluations before giving up.
+    pub max_evaluations: usize,
+    /// Stop when the simplex function-value spread drops below this.
+    pub f_tolerance: f64,
+    /// Stop when the simplex diameter drops below this.
+    pub x_tolerance: f64,
+    /// Relative size of the initial simplex around the starting point.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            max_evaluations: 20_000,
+            f_tolerance: 1e-12,
+            x_tolerance: 1e-10,
+            initial_step: 0.1,
+        }
+    }
+}
+
+/// Result of a [`nelder_mead`] minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMeadResult {
+    /// Best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub f: f64,
+    /// Number of objective evaluations used.
+    pub evaluations: usize,
+    /// Whether a tolerance was met (vs. hitting the evaluation budget).
+    pub converged: bool,
+}
+
+/// Minimizes `f` from `initial` with the Nelder–Mead simplex
+/// (standard coefficients: reflection 1, expansion 2, contraction ½,
+/// shrink ½).
+///
+/// Derivative-free and tolerant of noisy or kinked objectives — exactly
+/// what the least-squares CDF fits need. The objective may return
+/// `f64::INFINITY` to mark infeasible points.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidArgument`] if `initial` is empty or contains
+/// non-finite values.
+///
+/// # Example
+///
+/// ```
+/// use mpe_stats::optimize::{nelder_mead, NelderMeadOptions};
+/// # fn main() -> Result<(), mpe_stats::StatsError> {
+/// // Rosenbrock, the classic torture test
+/// let rosen = |p: &[f64]| {
+///     (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2)
+/// };
+/// let r = nelder_mead(&rosen, &[-1.2, 1.0], &NelderMeadOptions::default())?;
+/// assert!((r.x[0] - 1.0).abs() < 1e-4 && (r.x[1] - 1.0).abs() < 1e-4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn nelder_mead<F>(
+    f: &F,
+    initial: &[f64],
+    opts: &NelderMeadOptions,
+) -> Result<NelderMeadResult, StatsError>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    let n = initial.len();
+    if n == 0 {
+        return Err(StatsError::InsufficientData { needed: 1, got: 0 });
+    }
+    if initial.iter().any(|v| !v.is_finite()) {
+        return Err(StatsError::invalid("initial", "finite", f64::NAN));
+    }
+
+    // Build initial simplex: start point plus one perturbed vertex per axis.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    simplex.push(initial.to_vec());
+    for i in 0..n {
+        let mut v = initial.to_vec();
+        let step = if v[i].abs() > 1e-12 {
+            opts.initial_step * v[i].abs()
+        } else {
+            opts.initial_step
+        };
+        v[i] += step;
+        simplex.push(v);
+    }
+    let mut fv: Vec<f64> = simplex.iter().map(|v| f(v)).collect();
+    let mut evals = n + 1;
+    let mut converged = false;
+
+    while evals < opts.max_evaluations {
+        // Order vertices by objective value.
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&a, &b| fv[a].partial_cmp(&fv[b]).unwrap_or(std::cmp::Ordering::Equal));
+        let best = order[0];
+        let worst = order[n];
+        let second_worst = order[n - 1];
+
+        // Convergence checks.
+        let f_spread = fv[worst] - fv[best];
+        let x_spread = simplex
+            .iter()
+            .map(|v| {
+                v.iter()
+                    .zip(&simplex[best])
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max)
+            })
+            .fold(0.0, f64::max);
+        // Require BOTH spreads to be tight: a kinked objective like |x − c|
+        // can straddle its minimum with a tiny f-spread while the simplex is
+        // still wide.
+        if f_spread.abs() < opts.f_tolerance && x_spread < opts.x_tolerance {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst.
+        let mut centroid = vec![0.0; n];
+        for (i, v) in simplex.iter().enumerate() {
+            if i == worst {
+                continue;
+            }
+            for (c, &vi) in centroid.iter_mut().zip(v) {
+                *c += vi;
+            }
+        }
+        for c in &mut centroid {
+            *c /= n as f64;
+        }
+
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(&simplex[worst])
+            .map(|(c, w)| c + (c - w))
+            .collect();
+        let fr = f(&reflect);
+        evals += 1;
+
+        if fr < fv[best] {
+            // Try expanding further.
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(&simplex[worst])
+                .map(|(c, w)| c + 2.0 * (c - w))
+                .collect();
+            let fe = f(&expand);
+            evals += 1;
+            if fe < fr {
+                simplex[worst] = expand;
+                fv[worst] = fe;
+            } else {
+                simplex[worst] = reflect;
+                fv[worst] = fr;
+            }
+        } else if fr < fv[second_worst] {
+            simplex[worst] = reflect;
+            fv[worst] = fr;
+        } else {
+            // Contract toward the centroid.
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(&simplex[worst])
+                .map(|(c, w)| c + 0.5 * (w - c))
+                .collect();
+            let fc = f(&contract);
+            evals += 1;
+            if fc < fv[worst] {
+                simplex[worst] = contract;
+                fv[worst] = fc;
+            } else {
+                // Shrink everything toward the best vertex.
+                let best_v = simplex[best].clone();
+                for (i, v) in simplex.iter_mut().enumerate() {
+                    if i == best {
+                        continue;
+                    }
+                    for (vi, bi) in v.iter_mut().zip(&best_v) {
+                        *vi = bi + 0.5 * (*vi - bi);
+                    }
+                    fv[i] = f(v);
+                    evals += 1;
+                }
+            }
+        }
+    }
+
+    let (best_idx, &best_f) = fv
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("simplex is non-empty");
+    Ok(NelderMeadResult {
+        x: simplex[best_idx].clone(),
+        f: best_f,
+        evaluations: evals,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sphere_function() {
+        let r = nelder_mead(
+            &|p: &[f64]| p.iter().map(|v| v * v).sum(),
+            &[3.0, -4.0, 5.0],
+            &NelderMeadOptions::default(),
+        )
+        .unwrap();
+        for v in &r.x {
+            assert!(v.abs() < 1e-4, "{:?}", r.x);
+        }
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn rosenbrock_2d() {
+        let rosen =
+            |p: &[f64]| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2);
+        let r = nelder_mead(&rosen, &[-1.2, 1.0], &NelderMeadOptions::default()).unwrap();
+        assert!((r.x[0] - 1.0).abs() < 1e-3);
+        assert!((r.x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn handles_infinite_regions() {
+        // Objective infinite for x < 0, minimum at x = 1
+        let f = |p: &[f64]| {
+            if p[0] < 0.0 {
+                f64::INFINITY
+            } else {
+                (p[0] - 1.0) * (p[0] - 1.0)
+            }
+        };
+        let r = nelder_mead(&f, &[5.0], &NelderMeadOptions::default()).unwrap();
+        assert!((r.x[0] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn respects_evaluation_budget() {
+        let opts = NelderMeadOptions {
+            max_evaluations: 50,
+            ..Default::default()
+        };
+        let r = nelder_mead(
+            &|p: &[f64]| p.iter().map(|v| v * v).sum(),
+            &[100.0; 10],
+            &opts,
+        )
+        .unwrap();
+        assert!(r.evaluations <= 50 + 11); // budget + one final shrink round
+    }
+
+    #[test]
+    fn one_dimensional_works() {
+        let r = nelder_mead(
+            &|p: &[f64]| (p[0] - 7.0).abs(),
+            &[0.0],
+            &NelderMeadOptions::default(),
+        )
+        .unwrap();
+        assert!((r.x[0] - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(nelder_mead(&|_: &[f64]| 0.0, &[], &NelderMeadOptions::default()).is_err());
+        assert!(
+            nelder_mead(&|_: &[f64]| 0.0, &[f64::NAN], &NelderMeadOptions::default()).is_err()
+        );
+    }
+}

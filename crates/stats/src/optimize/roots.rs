@@ -1,0 +1,165 @@
+//! Safeguarded scalar root finding.
+
+use crate::error::StatsError;
+
+/// Result of a [`bisect_newton`] root solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootResult {
+    /// The root found.
+    pub x: f64,
+    /// Residual `f(x)` at the root.
+    pub residual: f64,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+/// Finds a root of `f` on the bracket `[a, b]` using Newton steps (with the
+/// supplied derivative) safeguarded by bisection: any Newton step leaving
+/// the bracket, or shrinking it too slowly, falls back to a bisection step.
+///
+/// This is the textbook-reliable combination used for the Weibull shape
+/// equation in `mpe-mle`, whose residual is smooth and monotone but whose
+/// derivative can be tiny for large shapes.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidArgument`] if the bracket is invalid or
+/// `f(a)` and `f(b)` have the same sign, and [`StatsError::NoConvergence`]
+/// if 200 iterations pass without meeting `tol`.
+///
+/// # Example
+///
+/// ```
+/// use mpe_stats::optimize::bisect_newton;
+/// # fn main() -> Result<(), mpe_stats::StatsError> {
+/// // root of x² − 2
+/// let r = bisect_newton(|x| x * x - 2.0, |x| 2.0 * x, 0.0, 2.0, 1e-14)?;
+/// assert!((r.x - 2f64.sqrt()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bisect_newton<F, D>(f: F, df: D, a: f64, b: f64, tol: f64) -> Result<RootResult, StatsError>
+where
+    F: Fn(f64) -> f64,
+    D: Fn(f64) -> f64,
+{
+    if !(a.is_finite() && b.is_finite() && a < b) {
+        return Err(StatsError::invalid("a/b", "finite and a < b", b - a));
+    }
+    if tol <= 0.0 {
+        return Err(StatsError::invalid("tol", "tol > 0", tol));
+    }
+    let fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(RootResult {
+            x: a,
+            residual: 0.0,
+            iterations: 0,
+        });
+    }
+    if fb == 0.0 {
+        return Ok(RootResult {
+            x: b,
+            residual: 0.0,
+            iterations: 0,
+        });
+    }
+    if fa.signum() == fb.signum() {
+        return Err(StatsError::invalid(
+            "bracket",
+            "f(a) and f(b) must have opposite signs",
+            fa * fb,
+        ));
+    }
+
+    let (mut lo, mut hi) = (a, b);
+    let (mut flo, _fhi) = (fa, fb);
+    let mut x = 0.5 * (lo + hi);
+    for it in 1..=200 {
+        let fx = f(x);
+        if fx.abs() < tol || (hi - lo) < tol * (1.0 + x.abs()) {
+            return Ok(RootResult {
+                x,
+                residual: fx,
+                iterations: it,
+            });
+        }
+        // Maintain the bracket.
+        if fx.signum() == flo.signum() {
+            lo = x;
+            flo = fx;
+        } else {
+            hi = x;
+        }
+        // Attempt a Newton step; fall back to bisection when unusable.
+        let d = df(x);
+        let newton = x - fx / d;
+        x = if d.is_finite() && d != 0.0 && newton > lo && newton < hi {
+            newton
+        } else {
+            0.5 * (lo + hi)
+        };
+    }
+    Err(StatsError::NoConvergence {
+        routine: "bisect_newton",
+        iterations: 200,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sqrt_two() {
+        let r = bisect_newton(|x| x * x - 2.0, |x| 2.0 * x, 0.0, 2.0, 1e-14).unwrap();
+        assert!((r.x - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transcendental_root() {
+        // x = cos(x) near 0.739
+        let r = bisect_newton(|x| x - x.cos(), |x| 1.0 + x.sin(), 0.0, 1.0, 1e-14).unwrap();
+        assert!((r.x - 0.7390851332151607).abs() < 1e-10);
+    }
+
+    #[test]
+    fn endpoint_root_detected() {
+        let r = bisect_newton(|x| x, |_| 1.0, 0.0, 1.0, 1e-12).unwrap();
+        assert_eq!(r.x, 0.0);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn bad_derivative_still_converges() {
+        // Supply a garbage derivative; bisection fallback must still work.
+        let r = bisect_newton(|x| x * x * x - 8.0, |_| 0.0, 0.0, 10.0, 1e-10).unwrap();
+        assert!((r.x - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn same_sign_bracket_rejected() {
+        assert!(bisect_newton(|x| x * x + 1.0, |x| 2.0 * x, -1.0, 1.0, 1e-10).is_err());
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(bisect_newton(|x| x, |_| 1.0, 1.0, 0.0, 1e-10).is_err());
+        assert!(bisect_newton(|x| x, |_| 1.0, -1.0, 1.0, -1e-10).is_err());
+    }
+
+    #[test]
+    fn steep_function() {
+        // f(x) = tanh(50(x-0.3)) has a very steep root at 0.3
+        let r = bisect_newton(
+            |x| (50.0 * (x - 0.3)).tanh(),
+            |x| 50.0 / (50.0 * (x - 0.3)).cosh().powi(2),
+            0.0,
+            1.0,
+            1e-12,
+        )
+        .unwrap();
+        assert!((r.x - 0.3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the mpe-stats numerical substrate.
+
+use mpe_stats::descriptive::{mean, quantile, variance};
+use mpe_stats::dist::{ChiSquared, ContinuousDistribution, Normal, StudentT};
+use mpe_stats::special::{ln_gamma, reg_gamma_p, reg_inc_beta};
+use mpe_stats::{Ecdf, Summary};
+use proptest::prelude::*;
+
+fn finite_sample(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn summary_mean_within_min_max(data in finite_sample(200)) {
+        let s = Summary::from_slice(&data).unwrap();
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+    }
+
+    #[test]
+    fn summary_variance_nonnegative(data in finite_sample(200)) {
+        let s = Summary::from_slice(&data).unwrap();
+        prop_assert!(s.variance() >= -1e-9);
+    }
+
+    #[test]
+    fn summary_matches_naive(data in finite_sample(100)) {
+        let s = Summary::from_slice(&data).unwrap();
+        let m = mean(&data).unwrap();
+        prop_assert!((s.mean() - m).abs() < 1e-6 * (1.0 + m.abs()));
+        if data.len() >= 2 {
+            let v = variance(&data).unwrap();
+            prop_assert!((s.variance() - v).abs() < 1e-4 * (1.0 + v.abs()));
+        }
+    }
+
+    #[test]
+    fn quantile_monotone(data in finite_sample(100), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&data, lo).unwrap();
+        let b = quantile(&data, hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+    }
+
+    #[test]
+    fn ecdf_is_cdf(data in finite_sample(100), x in -1e6f64..1e6) {
+        let e = Ecdf::new(data).unwrap();
+        let f = e.eval(x);
+        prop_assert!((0.0..=1.0).contains(&f));
+        // monotone in x against a shifted probe
+        prop_assert!(e.eval(x + 1.0) >= f);
+    }
+
+    #[test]
+    fn normal_cdf_in_unit_interval(mu in -100.0f64..100.0, sd in 0.01f64..100.0, x in -1e4f64..1e4) {
+        let n = Normal::new(mu, sd).unwrap();
+        let p = n.cdf(x);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn normal_quantile_roundtrip(mu in -10.0f64..10.0, sd in 0.1f64..10.0, p in 0.001f64..0.999) {
+        let n = Normal::new(mu, sd).unwrap();
+        let x = n.inverse_cdf(p).unwrap();
+        prop_assert!((n.cdf(x) - p).abs() < 1e-8);
+    }
+
+    #[test]
+    fn student_t_cdf_monotone(df in 0.5f64..100.0, x in -50.0f64..50.0) {
+        let t = StudentT::new(df).unwrap();
+        prop_assert!(t.cdf(x + 0.5) >= t.cdf(x) - 1e-12);
+    }
+
+    #[test]
+    fn student_t_symmetric(df in 0.5f64..100.0, x in 0.0f64..50.0) {
+        let t = StudentT::new(df).unwrap();
+        prop_assert!((t.cdf(x) + t.cdf(-x) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chi2_quantile_roundtrip(df in 0.5f64..50.0, p in 0.01f64..0.99) {
+        let c = ChiSquared::new(df).unwrap();
+        let x = c.inverse_cdf(p).unwrap();
+        prop_assert!((c.cdf(x) - p).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence(x in 0.05f64..500.0) {
+        // ln Γ(x + 1) = ln Γ(x) + ln x
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = ln_gamma(x) + x.ln();
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn inc_gamma_bounded_monotone(a in 0.1f64..50.0, x in 0.0f64..200.0) {
+        let p = reg_gamma_p(a, x).unwrap();
+        prop_assert!((0.0..=1.0).contains(&p));
+        let p2 = reg_gamma_p(a, x + 0.1).unwrap();
+        prop_assert!(p2 >= p - 1e-12);
+    }
+
+    #[test]
+    fn inc_beta_bounded_monotone(a in 0.1f64..20.0, b in 0.1f64..20.0, x in 0.0f64..1.0) {
+        let i = reg_inc_beta(a, b, x).unwrap();
+        prop_assert!((0.0..=1.0).contains(&i));
+        let x2 = (x + 0.01).min(1.0);
+        prop_assert!(reg_inc_beta(a, b, x2).unwrap() >= i - 1e-12);
+    }
+}

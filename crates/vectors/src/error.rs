@@ -1,0 +1,96 @@
+//! Error type for vector generation and population construction.
+
+use std::fmt;
+
+use mpe_sim::SimError;
+
+/// Error raised while generating vectors or building populations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VectorsError {
+    /// A probability parameter was outside `[0, 1]`.
+    InvalidProbability {
+        /// Which parameter.
+        what: &'static str,
+        /// The value passed.
+        value: f64,
+    },
+    /// A specification did not match the circuit's input width.
+    WidthMismatch {
+        /// Width expected (circuit inputs).
+        expected: usize,
+        /// Width provided.
+        got: usize,
+    },
+    /// A joint-constraint group referenced an input line out of range.
+    LineOutOfRange {
+        /// The offending line index.
+        line: usize,
+        /// The circuit width.
+        width: usize,
+    },
+    /// A population size of zero was requested.
+    EmptyPopulation,
+    /// Simulation of the population failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for VectorsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VectorsError::InvalidProbability { what, value } => {
+                write!(f, "invalid probability {what}={value}: must be in [0, 1]")
+            }
+            VectorsError::WidthMismatch { expected, got } => {
+                write!(f, "specification width {got} does not match circuit width {expected}")
+            }
+            VectorsError::LineOutOfRange { line, width } => {
+                write!(f, "input line {line} out of range for width {width}")
+            }
+            VectorsError::EmptyPopulation => write!(f, "population size must be at least 1"),
+            VectorsError::Sim(e) => write!(f, "simulation failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VectorsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VectorsError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for VectorsError {
+    fn from(e: SimError) -> Self {
+        VectorsError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(VectorsError::InvalidProbability {
+            what: "activity",
+            value: 1.5
+        }
+        .to_string()
+        .contains("activity"));
+        assert!(VectorsError::WidthMismatch {
+            expected: 4,
+            got: 2
+        }
+        .to_string()
+        .contains('4'));
+        assert!(VectorsError::EmptyPopulation.to_string().contains("at least 1"));
+        let e: VectorsError = SimError::WidthMismatch {
+            expected: 3,
+            got: 1,
+        }
+        .into();
+        assert!(e.to_string().contains("simulation"));
+    }
+}

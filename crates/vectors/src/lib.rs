@@ -1,0 +1,54 @@
+//! # mpe-vectors — vector-pair spaces and finite populations
+//!
+//! The sampling substrate of the estimation method. A *unit* of the paper's
+//! population is an input **vector pair** `(v1, v2)`: the circuit settles at
+//! `v1`, then `v2` is applied and the cycle power of the transition is the
+//! random variable of interest.
+//!
+//! * [`VectorPair`] — one unit, with its switching activity;
+//! * [`PairGenerator`] — the population *laws*:
+//!   unconstrained uniform pairs (category I.1), high-activity filtered
+//!   pairs (the paper's Table 1–2 setup), fixed per-line transition
+//!   probability (Tables 3–4, category I.2), full per-line
+//!   [`TransitionSpec`]s and joint/correlated group constraints;
+//! * [`Population`] — a finite, fully pre-simulated population with its
+//!   ground-truth maximum and "qualified unit" fraction `Y`
+//!   (the paper's efficiency metric).
+//!
+//! ## Example
+//!
+//! ```
+//! use mpe_netlist::{generate, Iscas85};
+//! use mpe_sim::{DelayModel, PowerConfig};
+//! use mpe_vectors::{PairGenerator, Population};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = generate(Iscas85::C432, 7)?;
+//! let population = Population::build(
+//!     &circuit,
+//!     &PairGenerator::HighActivity { min_activity: 0.3 },
+//!     2_000,                       // paper uses 160k; scaled for the example
+//!     DelayModel::Unit,
+//!     PowerConfig::default(),
+//!     42,                          // seed
+//!     0,                           // auto threads
+//! )?;
+//! assert_eq!(population.size(), 2_000);
+//! assert!(population.actual_max_power() > 0.0);
+//! let y = population.qualified_fraction(0.05);
+//! assert!(y > 0.0 && y <= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod generate;
+pub mod pair;
+pub mod population;
+pub mod sequence;
+
+pub use error::VectorsError;
+pub use generate::{PairGenerator, TransitionSpec};
+pub use pair::VectorPair;
+pub use population::Population;
+pub use sequence::MarkovStream;

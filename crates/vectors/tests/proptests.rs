@@ -1,0 +1,84 @@
+//! Property-based tests for vector-pair generation and populations.
+
+use mpe_vectors::{PairGenerator, TransitionSpec};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generator produces pairs of the requested width.
+    #[test]
+    fn generators_respect_width(width in 2usize..128, seed in 0u64..500) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let gens = [
+            PairGenerator::Uniform,
+            PairGenerator::HighActivity { min_activity: 0.3 },
+            PairGenerator::Activity { activity: 0.5 },
+        ];
+        for g in gens {
+            let p = g.generate(&mut rng, width);
+            prop_assert_eq!(p.width(), width);
+            prop_assert!((0.0..=1.0).contains(&p.switching_activity()));
+        }
+    }
+
+    /// High-activity pairs always clear the configured floor.
+    #[test]
+    fn high_activity_floor_holds(
+        width in 4usize..100,
+        floor in 0.0f64..0.8,
+        seed in 0u64..300,
+    ) {
+        let g = PairGenerator::HighActivity { min_activity: floor };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..10 {
+            let p = g.generate(&mut rng, width);
+            prop_assert!(
+                p.switching_activity() >= floor - 1e-12,
+                "activity {} < floor {floor}", p.switching_activity()
+            );
+        }
+    }
+
+    /// Activity extremes behave exactly: 0 never flips, 1 always flips.
+    #[test]
+    fn activity_extremes(width in 1usize..64, seed in 0u64..200) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let frozen = PairGenerator::Activity { activity: 0.0 }.generate(&mut rng, width);
+        prop_assert_eq!(frozen.hamming_distance(), 0);
+        let flipped = PairGenerator::Activity { activity: 1.0 }.generate(&mut rng, width);
+        prop_assert_eq!(flipped.hamming_distance(), width);
+    }
+
+    /// Joint groups flip atomically regardless of configuration.
+    #[test]
+    fn joint_groups_atomic(
+        width in 8usize..40,
+        group_len in 2usize..8,
+        prob in 0.0f64..1.0,
+        seed in 0u64..200,
+    ) {
+        let group: Vec<usize> = (0..group_len.min(width)).collect();
+        let mut spec = TransitionSpec::uniform(width, 0.3).unwrap();
+        spec.joint_groups.push((group.clone(), prob));
+        spec.validate(width).unwrap();
+        let g = PairGenerator::Spec(spec);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..10 {
+            let p = g.generate(&mut rng, width);
+            let first_flips = p.v1[group[0]] != p.v2[group[0]];
+            for &line in &group {
+                prop_assert_eq!(p.v1[line] != p.v2[line], first_flips);
+            }
+        }
+    }
+
+    /// Expected activity of a uniform spec equals its parameter.
+    #[test]
+    fn expected_activity_matches(width in 1usize..100, a in 0.0f64..1.0) {
+        let spec = TransitionSpec::uniform(width, a).unwrap();
+        prop_assert!((spec.expected_activity() - a).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,84 @@
+//! Population anatomy: build a fully simulated vector-pair population (the
+//! paper's experimental substrate), inspect its power distribution, and
+//! race the EVT estimator against simple random sampling at equal budget —
+//! the comparison behind the paper's Tables 1 and 2.
+//!
+//! Run with: `cargo run --release --example population_study`
+
+use maxpower::{
+    srs_max_estimate, EstimationConfig, MaxPowerError, MaxPowerEstimator, PopulationSource,
+};
+use mpe_netlist::{generate, Iscas85};
+use mpe_sim::{DelayModel, PowerConfig};
+use mpe_stats::descriptive::quantile;
+use mpe_stats::Summary;
+use mpe_vectors::{PairGenerator, Population};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = generate(Iscas85::C880, 7)?;
+    println!("building population for {} ...", circuit.name());
+    let population = Population::build(
+        &circuit,
+        &PairGenerator::HighActivity { min_activity: 0.3 },
+        20_000,
+        DelayModel::Unit,
+        PowerConfig::default(),
+        1,
+        0, // auto threads
+    )?;
+
+    let s = Summary::from_slice(population.powers())?;
+    println!(
+        "power distribution over {} pairs: mean {:.3} mW, sd {:.3}, skew {:+.2}",
+        population.size(),
+        s.mean(),
+        s.sd(),
+        s.skewness()
+    );
+    for q in [0.5, 0.9, 0.99, 0.999] {
+        println!("  {:>5.1}% quantile: {:.3} mW", 100.0 * q, quantile(population.powers(), q)?);
+    }
+    println!("  actual maximum: {:.3} mW", population.actual_max_power());
+    let y = population.qualified_fraction(0.05);
+    println!(
+        "qualified units (within 5% of max): Y = {:.5} → theoretical SRS cost {:.0} units",
+        y,
+        population.srs_theoretical_units(0.05, 0.90)
+    );
+
+    // Run the EVT estimator once; then give SRS exactly the same budget.
+    let mut source = PopulationSource::new(&population);
+    let estimator = MaxPowerEstimator::new(EstimationConfig::default());
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+    let actual = population.actual_max_power();
+    match estimator.run(&mut source, &mut rng) {
+        Ok(est) => {
+            println!(
+                "\nEVT estimator : {:.3} mW ({:+.1}% error) using {} units",
+                est.estimate_mw,
+                100.0 * (est.estimate_mw - actual) / actual,
+                est.units_used
+            );
+            let mut srs_source = PopulationSource::new(&population);
+            let srs = srs_max_estimate(&mut srs_source, est.units_used, &mut rng)?;
+            println!(
+                "SRS same budget: {:.3} mW ({:+.1}% error) using {} units",
+                srs.estimate_mw,
+                100.0 * (srs.estimate_mw - actual) / actual,
+                srs.units_used
+            );
+        }
+        Err(MaxPowerError::NotConverged {
+            estimate_mw,
+            hyper_samples,
+            ..
+        }) => {
+            println!(
+                "estimator hit its cap at {hyper_samples} hyper-samples (best {estimate_mw:.3} mW)"
+            );
+        }
+        Err(e) => return Err(Box::new(e)),
+    }
+    Ok(())
+}

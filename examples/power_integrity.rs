@@ -1,0 +1,117 @@
+//! A power-integrity sign-off story combining the whole toolbox:
+//!
+//! 1. estimate the absolute maximum power (the paper's problem);
+//! 2. translate the fitted extreme-value law into **return levels** — the
+//!    worst cycle expected per 10⁴/10⁶/10⁹ cycles of operation — which is
+//!    what a decoupling-network designer actually budgets for;
+//! 3. sweep the input activity to see how the worst case scales;
+//! 4. profile per-node switched capacitance to locate the hot spots.
+//!
+//! Run with: `cargo run --release --example power_integrity`
+
+use maxpower::{generate_hyper_sample, EstimationConfig, PopulationSource, SimulatorSource};
+use maxpower::{sweep_activity, MaxPowerEstimator};
+use mpe_evt::return_level::return_level;
+use mpe_netlist::{generate, Iscas85};
+use mpe_sim::{ActivityProfile, DelayModel, PowerConfig};
+use mpe_vectors::{MarkovStream, PairGenerator, Population};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = generate(Iscas85::C880, 7)?;
+    println!("power integrity study: {} ({})\n", circuit.name(), circuit.stats());
+
+    // --- 1. the headline number -----------------------------------------
+    let config = EstimationConfig {
+        finite_population: Some(100_000),
+        max_hyper_samples: 500,
+        ..EstimationConfig::default()
+    };
+    let mut source = SimulatorSource::new(
+        &circuit,
+        PairGenerator::Uniform,
+        DelayModel::Unit,
+        PowerConfig::default(),
+    );
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+    let estimate = MaxPowerEstimator::new(config).run(&mut source, &mut rng)?;
+    println!(
+        "1. maximum power: {:.3} mW ±{:.1}% ({} vector pairs)",
+        estimate.estimate_mw,
+        100.0 * estimate.relative_error,
+        estimate.units_used
+    );
+
+    // --- 2. return levels from one fitted hyper-sample -------------------
+    // The fitted Weibull of a hyper-sample is the law of 30-cycle maxima;
+    // return levels read worst-per-T-cycles straight off it.
+    let population = Population::build(
+        &circuit,
+        &PairGenerator::Uniform,
+        20_000,
+        DelayModel::Unit,
+        PowerConfig::default(),
+        7,
+        0,
+    )?;
+    let mut pop_source = PopulationSource::new(&population);
+    let hyper = generate_hyper_sample(&mut pop_source, &config, &mut rng)?;
+    println!("\n2. return levels (worst cycle expected per T cycles of operation):");
+    for period in [10_000u64, 1_000_000, 1_000_000_000] {
+        let level = return_level(&hyper.fit.distribution, 30, period)?;
+        println!("   T = {period:>13}: {level:.3} mW");
+    }
+    println!(
+        "   (population ground truth over 20k cycles: {:.3} mW)",
+        population.actual_max_power()
+    );
+
+    // --- 3. activity sweep ------------------------------------------------
+    let sweep_config = EstimationConfig {
+        relative_error: 0.10,
+        finite_population: Some(100_000),
+        max_hyper_samples: 400,
+        ..EstimationConfig::default()
+    };
+    println!("\n3. worst case vs input activity:");
+    for point in sweep_activity(
+        &circuit,
+        &[0.1, 0.3, 0.5, 0.7, 0.9],
+        DelayModel::Unit,
+        &sweep_config,
+        11,
+    )? {
+        match point.result {
+            Ok(e) => println!(
+                "   activity {:.1}: {:>7.3} mW ±{:.0}%",
+                point.activity,
+                e.estimate_mw,
+                100.0 * e.relative_error
+            ),
+            Err(e) => println!("   activity {:.1}: {e}", point.activity),
+        }
+    }
+
+    // --- 4. hot spots under a realistic (Markov) workload ----------------
+    let mut stream = MarkovStream::uniform(&mut rng, circuit.num_inputs(), 0.4)?;
+    let workload: Vec<(Vec<bool>, Vec<bool>)> = stream
+        .pairs(&mut rng, 2_000)
+        .into_iter()
+        .map(|p| (p.v1, p.v2))
+        .collect();
+    let profile =
+        ActivityProfile::collect(&circuit, &workload, DelayModel::Unit, PowerConfig::default())?;
+    println!(
+        "\n4. hot spots under a lag-1 Markov workload (mean power {:.3} mW):",
+        profile.mean_power_mw()
+    );
+    for (node, cap_rate) in profile.hot_spots(5) {
+        println!(
+            "   {:<8} {:.1} fF switched/cycle (toggle rate {:.2})",
+            circuit.node_name(node),
+            cap_rate,
+            profile.toggle_rate(node)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! End-to-end tests of the `mpe` command-line tool, driving the real
+//! binary through `std::process`.
+
+use std::process::Command;
+
+fn mpe() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mpe"))
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = mpe().args(args).output().expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_lists_subcommands() {
+    let (ok, stdout, _) = run(&["help"]);
+    assert!(ok);
+    for word in ["estimate", "average", "delay", "trace", "generate", "--epsilon"] {
+        assert!(stdout.contains(word), "help missing `{word}`");
+    }
+}
+
+#[test]
+fn no_args_fails_with_usage() {
+    let out = mpe().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn unknown_flags_and_commands_rejected() {
+    let (ok, _, stderr) = run(&["estimate", "--frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("--frobnicate"));
+    let (ok, _, stderr) = run(&["frob"]);
+    assert!(!ok);
+    assert!(stderr.contains("frob"));
+    let (ok, _, stderr) = run(&["estimate"]);
+    assert!(!ok);
+    assert!(stderr.contains("--circuit"));
+}
+
+#[test]
+fn info_reports_structure() {
+    let (ok, stdout, _) = run(&["info", "--circuit", "C432"]);
+    assert!(ok);
+    assert!(stdout.contains("36 inputs"));
+    assert!(stdout.contains("160 gates"));
+}
+
+#[test]
+fn generate_output_reparses() {
+    let (ok, stdout, _) = run(&["generate", "--circuit", "C432"]);
+    assert!(ok);
+    let circuit = mpe_netlist::bench_format::parse(&stdout, "C432").expect("own output parses");
+    assert_eq!(circuit.num_inputs(), 36);
+    assert_eq!(circuit.num_gates(), 160);
+}
+
+#[test]
+fn estimate_json_is_valid_report() {
+    let (ok, stdout, _) = run(&[
+        "estimate",
+        "--circuit",
+        "C432",
+        "--epsilon",
+        "0.15",
+        "--json",
+    ]);
+    assert!(ok);
+    let report = maxpower::EstimateReport::from_json(&stdout).expect("valid JSON report");
+    assert_eq!(report.subject, "C432");
+    assert_eq!(report.metric, "max_power_mw");
+    assert!(report.estimate > 0.0);
+    assert!(report.units_used >= 600);
+}
+
+#[test]
+fn bench_file_loading_works() {
+    let dir = std::env::temp_dir().join("mpe_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("tiny.bench");
+    std::fs::write(
+        &path,
+        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n",
+    )
+    .expect("write netlist");
+    let (ok, stdout, _) = run(&["info", "--bench", path.to_str().expect("utf8 path")]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("2 inputs"));
+    assert!(stdout.contains("1 gates"));
+}
+
+#[test]
+fn verilog_loading_works() {
+    let dir = std::env::temp_dir().join("mpe_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("tiny.v");
+    std::fs::write(
+        &path,
+        "module tiny (a, b, y);\n input a, b;\n output y;\n nand g (y, a, b);\nendmodule\n",
+    )
+    .expect("write netlist");
+    let (ok, stdout, _) = run(&["info", "--verilog", path.to_str().expect("utf8 path")]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("2 inputs"));
+}
+
+#[test]
+fn trace_emits_vcd() {
+    let (ok, stdout, stderr) = run(&["trace", "--circuit", "C432"]);
+    assert!(ok);
+    assert!(stdout.contains("$enddefinitions $end"));
+    assert!(stdout.contains("$dumpvars"));
+    assert!(stderr.contains("transitions"));
+}

@@ -1,0 +1,207 @@
+//! End-to-end statistical validation on analytically known ground truth:
+//! the estimator must recover the right endpoint of synthetic bounded
+//! distributions across shapes, and its machinery must degrade gracefully.
+
+use maxpower::{EstimationConfig, FnSource, MaxPowerError, MaxPowerEstimator};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+fn weibull_closure(alpha: f64, beta: f64, mu: f64) -> impl FnMut(&mut dyn RngCore) -> f64 {
+    move |rng: &mut dyn RngCore| {
+        let r = rng;
+        let u: f64 = r.gen_range(1e-12..1.0f64);
+        mu - (-u.ln() / beta).powf(1.0 / alpha)
+    }
+}
+
+/// Across shapes in Smith's regular regime (α > 2), the converged estimate
+/// lands within a small band of the true endpoint most of the time.
+#[test]
+fn recovers_endpoint_across_shapes() {
+    for (alpha, seed) in [(2.5, 10u64), (4.0, 20), (8.0, 30)] {
+        let mut within = 0;
+        let runs = 10;
+        for r in 0..runs {
+            let mut source = FnSource::new(weibull_closure(alpha, 1.0, 10.0));
+            let estimator = MaxPowerEstimator::new(EstimationConfig::default());
+            let mut rng = SmallRng::seed_from_u64(seed + r);
+            let est = estimator
+                .run(&mut source, &mut rng)
+                .expect("smooth bounded source converges");
+            if (est.estimate_mw - 10.0).abs() / 10.0 <= 0.08 {
+                within += 1;
+            }
+        }
+        assert!(
+            within >= 7,
+            "alpha {alpha}: only {within}/{runs} runs within 8%"
+        );
+    }
+}
+
+/// A mixture with a detached spike near the endpoint — the adversarial
+/// shape for extrapolation — must not crash; the estimate stays bounded by
+/// physical sanity (never below the observed maximum).
+#[test]
+fn survives_spiked_distribution() {
+    let mut source = FnSource::new(|rng: &mut dyn RngCore| {
+        let r = rng;
+        let u: f64 = r.gen();
+        if u > 0.995 {
+            9.5 + 0.5 * r.gen::<f64>()
+        } else {
+            5.0 * r.gen::<f64>()
+        }
+    });
+    let mut config = EstimationConfig::default();
+    config.max_hyper_samples = 50;
+    let estimator = MaxPowerEstimator::new(config);
+    let mut rng = SmallRng::seed_from_u64(77);
+    match estimator.run(&mut source, &mut rng) {
+        Ok(est) => {
+            assert!(est.estimate_mw >= est.observed_max_mw);
+            assert!(est.estimate_mw < 100.0);
+        }
+        Err(MaxPowerError::NotConverged { estimate_mw, .. }) => {
+            assert!(estimate_mw > 0.0);
+        }
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+}
+
+/// The confidence machinery is calibrated: over many full runs at 90%
+/// confidence, the final CI contains the truth well more than half the
+/// time (the nominal rate is approximate at small k).
+#[test]
+fn interval_coverage_reasonable() {
+    let truth = 10.0;
+    let mut covered = 0;
+    let runs = 30;
+    for seed in 0..runs {
+        let mut source = FnSource::new(weibull_closure(3.0, 1.0, truth));
+        let estimator = MaxPowerEstimator::new(EstimationConfig::default());
+        let mut rng = SmallRng::seed_from_u64(1000 + seed);
+        let est = estimator
+            .run(&mut source, &mut rng)
+            .expect("converges");
+        let (lo, hi) = est.confidence_interval;
+        if lo <= truth && truth <= hi {
+            covered += 1;
+        }
+    }
+    assert!(covered >= runs * 6 / 10, "coverage {covered}/{runs}");
+}
+
+/// Tighter targets must not be reported as met when they were not: every
+/// converged run satisfies its own stopping rule.
+#[test]
+fn stopping_rule_honored() {
+    for eps in [0.10, 0.05, 0.02] {
+        let mut source = FnSource::new(weibull_closure(4.0, 1.0, 10.0));
+        let mut config = EstimationConfig::default();
+        config.relative_error = eps;
+        config.max_hyper_samples = 2_000;
+        let estimator = MaxPowerEstimator::new(config);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let est = estimator.run(&mut source, &mut rng).expect("converges");
+        assert!(est.relative_error <= eps, "eps {eps}: {}", est.relative_error);
+        let half = (est.confidence_interval.1 - est.confidence_interval.0) / 2.0;
+        assert!((half / est.estimate_mw - est.relative_error).abs() < 1e-9);
+    }
+}
+
+/// The finite-population estimator is ordered sensibly: for the same draws
+/// it reports less than or equal to the infinite-population endpoint.
+#[test]
+fn finite_population_ordering() {
+    let mut diffs = Vec::new();
+    for seed in 0..10 {
+        let run = |pop: Option<u64>| {
+            let mut source = FnSource::new(weibull_closure(3.0, 1.0, 10.0));
+            let mut config = EstimationConfig::default();
+            config.finite_population = pop;
+            let estimator = MaxPowerEstimator::new(config);
+            let mut rng = SmallRng::seed_from_u64(3000 + seed);
+            estimator
+                .run(&mut source, &mut rng)
+                .expect("converges")
+                .estimate_mw
+        };
+        diffs.push(run(None) - run(Some(10_000)));
+    }
+    let mean_diff = diffs.iter().sum::<f64>() / diffs.len() as f64;
+    assert!(mean_diff >= 0.0, "finite-pop estimates should average lower");
+}
+
+/// Validation failures arrive as typed errors before any sampling happens.
+#[test]
+fn config_errors_are_typed() {
+    let mut source = FnSource::new(|_: &mut dyn RngCore| 1.0);
+    let mut config = EstimationConfig::default();
+    config.sample_size = 0;
+    let estimator = MaxPowerEstimator::new(config);
+    let mut rng = SmallRng::seed_from_u64(1);
+    assert!(matches!(
+        estimator.run(&mut source, &mut rng),
+        Err(MaxPowerError::InvalidConfig { .. })
+    ));
+}
+
+/// Failure injection: a power source that errors mid-run must surface the
+/// typed error without panicking, after any number of successful draws.
+#[test]
+fn source_failure_propagates() {
+    use maxpower::PowerSource;
+
+    struct FlakySource {
+        remaining: usize,
+    }
+    impl PowerSource for FlakySource {
+        fn sample(
+            &mut self,
+            rng: &mut dyn RngCore,
+        ) -> Result<f64, MaxPowerError> {
+            if self.remaining == 0 {
+                return Err(MaxPowerError::Sim(mpe_sim::SimError::WidthMismatch {
+                    expected: 1,
+                    got: 0,
+                }));
+            }
+            self.remaining -= 1;
+            let r = rng;
+            let u: f64 = r.gen_range(1e-12..1.0f64);
+            Ok(10.0 - (-u.ln()).powf(1.0 / 3.0))
+        }
+    }
+
+    // Fail at various depths: before the first fit, mid-hyper-sample, and
+    // after several successful hyper-samples.
+    for budget in [5usize, 150, 900] {
+        let mut source = FlakySource { remaining: budget };
+        let estimator = MaxPowerEstimator::new(EstimationConfig::default());
+        let mut rng = SmallRng::seed_from_u64(4242);
+        match estimator.run(&mut source, &mut rng) {
+            Err(MaxPowerError::Sim(_)) => {} // expected path
+            Ok(est) => {
+                // Only possible if convergence beat the failure budget.
+                assert!(est.units_used <= budget, "budget {budget}");
+            }
+            Err(other) => panic!("budget {budget}: unexpected error {other}"),
+        }
+    }
+}
+
+/// The report type flattens a real estimate losslessly through JSON.
+#[test]
+fn estimate_report_roundtrip() {
+    use maxpower::EstimateReport;
+    let mut source = FnSource::new(weibull_closure(3.0, 1.0, 10.0));
+    let estimator = MaxPowerEstimator::new(EstimationConfig::default());
+    let mut rng = SmallRng::seed_from_u64(4);
+    let est = estimator.run(&mut source, &mut rng).expect("converges");
+    let report = EstimateReport::new("synthetic", "max_power_mw", &est);
+    let back = EstimateReport::from_json(&report.to_json()).expect("roundtrips");
+    assert_eq!(report, back);
+    assert_eq!(back.estimate, est.estimate_mw);
+    assert_eq!(back.units_used, est.units_used);
+}

@@ -1,0 +1,185 @@
+//! Cross-crate integration tests: the full pipeline from netlist through
+//! simulation, population construction, and statistical estimation.
+
+use maxpower::{
+    srs_max_estimate, EstimationConfig, MaxPowerEstimator, PopulationSource, SimulatorSource,
+};
+use mpe_netlist::{bench_format, generate, CircuitBuilder, GateKind, Iscas85};
+use mpe_sim::{DelayModel, PowerConfig, PowerSimulator};
+use mpe_vectors::{PairGenerator, Population, TransitionSpec};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A population builds on a generated circuit and the estimator converges
+/// to within a sane band of its ground-truth maximum.
+#[test]
+fn full_pipeline_population_estimate() {
+    let circuit = generate(Iscas85::C432, 3).expect("generation succeeds");
+    let population = Population::build(
+        &circuit,
+        &PairGenerator::HighActivity { min_activity: 0.3 },
+        6_000,
+        DelayModel::Unit,
+        PowerConfig::default(),
+        5,
+        0,
+    )
+    .expect("population builds");
+    let actual = population.actual_max_power();
+    assert!(actual > 0.0);
+
+    let mut source = PopulationSource::new(&population);
+    let estimator = MaxPowerEstimator::new(EstimationConfig::default());
+    let mut rng = SmallRng::seed_from_u64(1);
+    let estimate = estimator
+        .run(&mut source, &mut rng)
+        .expect("estimation converges on this population");
+    // Converged at 5%/90%: accept a generous 25% sanity band (the CI is a
+    // statistical statement, not a hard bound).
+    let rel = (estimate.estimate_mw - actual).abs() / actual;
+    assert!(rel < 0.25, "estimate {} vs actual {actual}", estimate.estimate_mw);
+    assert!(estimate.units_used >= 600);
+    assert!(estimate.relative_error <= 0.05);
+}
+
+/// Live-simulation mode: the estimator drives the simulator directly with
+/// no pre-built population (the paper's deployment flow, Figure 4).
+#[test]
+fn full_pipeline_live_simulation() {
+    let circuit = generate(Iscas85::C880, 3).expect("generation succeeds");
+    let mut source = SimulatorSource::new(
+        &circuit,
+        PairGenerator::Uniform,
+        DelayModel::Zero,
+        PowerConfig::default(),
+    );
+    let config = EstimationConfig {
+        finite_population: Some(50_000),
+        max_hyper_samples: 400,
+        ..EstimationConfig::default()
+    };
+    let mut rng = SmallRng::seed_from_u64(2);
+    let estimate = MaxPowerEstimator::new(config)
+        .run(&mut source, &mut rng)
+        .expect("live estimation converges");
+    assert!(estimate.estimate_mw > 0.0);
+    assert_eq!(estimate.units_used as u64, source.simulated());
+}
+
+/// The .bench round trip feeds the simulator identically to the builder
+/// path: parse(write(circuit)) produces the same cycle powers.
+#[test]
+fn bench_roundtrip_preserves_power() {
+    let circuit = generate(Iscas85::C432, 9).expect("generation succeeds");
+    let text = bench_format::write(&circuit);
+    let reparsed = bench_format::parse(&text, circuit.name()).expect("own output parses");
+    let w = circuit.num_inputs();
+    let mut rng = SmallRng::seed_from_u64(3);
+    let pairs = PairGenerator::Uniform.generate_many(&mut rng, w, 50);
+    let sim_a = PowerSimulator::new(&circuit, DelayModel::Unit, PowerConfig::default());
+    let sim_b = PowerSimulator::new(&reparsed, DelayModel::Unit, PowerConfig::default());
+    for p in &pairs {
+        let a = sim_a.cycle_power(&p.v1, &p.v2).expect("widths match");
+        let b = sim_b.cycle_power(&p.v1, &p.v2).expect("widths match");
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+}
+
+/// Constrained generation (category I.2) respects joint-group semantics all
+/// the way through population construction.
+#[test]
+fn constrained_population_respects_spec() {
+    let circuit = generate(Iscas85::C432, 4).expect("generation succeeds");
+    let w = circuit.num_inputs();
+    let mut spec = TransitionSpec::uniform(w, 0.0).expect("valid spec");
+    spec.joint_groups.push(((0..8).collect(), 1.0)); // 8 lines always flip
+    let population = Population::build(
+        &circuit,
+        &PairGenerator::Spec(spec),
+        500,
+        DelayModel::Zero,
+        PowerConfig::default(),
+        6,
+        0,
+    )
+    .expect("population builds");
+    for pair in population.pairs() {
+        // Exactly the joint group flips, nothing else.
+        assert_eq!(pair.hamming_distance(), 8);
+        for i in 0..8 {
+            assert_ne!(pair.v1[i], pair.v2[i]);
+        }
+    }
+}
+
+/// SRS on a population never exceeds the true maximum, and the EVT
+/// estimator's observed max is a valid lower bound.
+#[test]
+fn srs_and_observed_max_bounds() {
+    let circuit = generate(Iscas85::C1355, 5).expect("generation succeeds");
+    let population = Population::build(
+        &circuit,
+        &PairGenerator::Uniform,
+        4_000,
+        DelayModel::Unit,
+        PowerConfig::default(),
+        7,
+        0,
+    )
+    .expect("population builds");
+    let actual = population.actual_max_power();
+    let mut rng = SmallRng::seed_from_u64(8);
+    let mut source = PopulationSource::new(&population);
+    let srs = srs_max_estimate(&mut source, 2_500, &mut rng).expect("srs runs");
+    assert!(srs.estimate_mw <= actual);
+
+    let estimator = MaxPowerEstimator::new(EstimationConfig::default());
+    match estimator.run(&mut source, &mut rng) {
+        Ok(est) => assert!(est.observed_max_mw <= actual),
+        Err(maxpower::MaxPowerError::NotConverged { .. }) => {} // acceptable
+        Err(e) => panic!("unexpected failure: {e}"),
+    }
+}
+
+/// A hand-built circuit flows through the same machinery as generated ones.
+#[test]
+fn hand_built_circuit_pipeline() {
+    let mut b = CircuitBuilder::new();
+    b.name("handmade");
+    let inputs: Vec<_> = (0..8).map(|i| b.input(&format!("i{i}"))).collect();
+    let mut prev = inputs.clone();
+    for layer in 0..4 {
+        let mut next = Vec::new();
+        for (j, pair) in prev.chunks(2).enumerate() {
+            let kind = if layer % 2 == 0 {
+                GateKind::Nand
+            } else {
+                GateKind::Xor
+            };
+            let id = if pair.len() == 2 {
+                b.gate(&format!("g{layer}_{j}"), kind, &[pair[0], pair[1]])
+                    .expect("valid gate")
+            } else {
+                b.gate(&format!("g{layer}_{j}"), GateKind::Not, &[pair[0]])
+                    .expect("valid gate")
+            };
+            next.push(id);
+        }
+        prev = next;
+    }
+    for id in &prev {
+        b.mark_output(*id);
+    }
+    let circuit = b.build().expect("valid circuit");
+    let population = Population::build(
+        &circuit,
+        &PairGenerator::Uniform,
+        1_000,
+        DelayModel::fanout_default(),
+        PowerConfig::default(),
+        9,
+        0,
+    )
+    .expect("population builds");
+    assert!(population.actual_max_power() > 0.0);
+}
