@@ -56,5 +56,5 @@ fn bench_estimation(c: &mut Criterion) {
     });
 }
 
-criterion_group!{name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8)); targets = bench_estimation}
+criterion_group! {name = benches; config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8)); targets = bench_estimation}
 criterion_main!(benches);

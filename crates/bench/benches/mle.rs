@@ -25,5 +25,5 @@ fn bench_fits(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{name = benches; config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(5)); targets = bench_fits}
+criterion_group! {name = benches; config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(5)); targets = bench_fits}
 criterion_main!(benches);

@@ -14,7 +14,8 @@ fn bench_cycle_power(c: &mut Criterion) {
     for which in [Iscas85::C432, Iscas85::C880, Iscas85::C3540, Iscas85::C6288] {
         let circuit = generate(which, 1).expect("generation succeeds");
         let mut rng = SmallRng::seed_from_u64(7);
-        let pairs: Vec<_> = PairGenerator::Uniform.generate_many(&mut rng, circuit.num_inputs(), 64);
+        let pairs: Vec<_> =
+            PairGenerator::Uniform.generate_many(&mut rng, circuit.num_inputs(), 64);
         for model in [DelayModel::Zero, DelayModel::Unit] {
             let sim = PowerSimulator::new(&circuit, model, PowerConfig::default());
             let mut i = 0usize;
@@ -34,5 +35,5 @@ fn bench_cycle_power(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{name = benches; config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)); targets = bench_cycle_power}
+criterion_group! {name = benches; config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(3)); targets = bench_cycle_power}
 criterion_main!(benches);

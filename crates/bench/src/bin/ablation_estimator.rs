@@ -53,18 +53,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // PopulationSource reports |V|; force the raw-μ̂ path by taking the
         // fit out of the hyper-sample instead of its estimate field.
         let hyper = generate_hyper_sample(&mut source, &config, &mut rng)?;
-        let dist = &hyper.fit.distribution;
+        let Some(fit) = &hyper.fit else {
+            // A fallback estimator carries no Weibull fit to ablate.
+            continue;
+        };
+        let dist = &fit.distribution;
         mu_hat.push(dist.mu().max(hyper.observed_max));
-        paper.push(
-            finite_population_maximum(dist, v, 1)?.max(hyper.observed_max),
-        );
-        block_aware.push(
-            finite_population_maximum(dist, v, config.sample_size)?.max(hyper.observed_max),
-        );
+        paper.push(finite_population_maximum(dist, v, 1)?.max(hyper.observed_max));
+        block_aware
+            .push(finite_population_maximum(dist, v, config.sample_size)?.max(hyper.observed_max));
         if let Ok(fit) = lsq_fit_reversed_weibull(&hyper.sample_maxima) {
-            lsq.push(
-                finite_population_maximum(&fit.distribution, v, 1)?.max(hyper.observed_max),
-            );
+            lsq.push(finite_population_maximum(&fit.distribution, v, 1)?.max(hyper.observed_max));
         }
         // Delete-one jackknife over the same maxima (BiasCorrection::Jackknife).
         {
@@ -83,9 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .map(|(_, &x)| x)
                     .collect();
                 match fit_reversed_weibull(&loo) {
-                    Ok(fit) => {
-                        loo_sum += finite_population_maximum(&fit.distribution, v, 1)?
-                    }
+                    Ok(fit) => loo_sum += finite_population_maximum(&fit.distribution, v, 1)?,
                     Err(_) => {
                         ok = false;
                         break;
@@ -95,8 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if ok {
                 let plain = finite_population_maximum(dist, v, 1)?;
                 let mf = m as f64;
-                jackknife
-                    .push((mf * plain - (mf - 1.0) * loo_sum / mf).max(hyper.observed_max));
+                jackknife.push((mf * plain - (mf - 1.0) * loo_sum / mf).max(hyper.observed_max));
             }
         }
     }
@@ -110,7 +106,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("jackknife + quantile", &jackknife),
     ] {
         if values.len() < 2 {
-            table.row([name.into(), "-".to_string(), "-".into(), "-".into(), "0".into()]);
+            table.row([
+                name.into(),
+                "-".to_string(),
+                "-".into(),
+                "-".into(),
+                "0".into(),
+            ]);
             continue;
         }
         let (mean, sd) = mean_sd(values);

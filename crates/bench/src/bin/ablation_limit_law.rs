@@ -23,7 +23,9 @@ const BLOCK: usize = 30;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = ExperimentArgs::from_env();
     let size = args.scale.unconstrained_population();
-    println!("Ablation B — Weibull vs Gumbel fit of sample maxima (n = {BLOCK}, {NUM_MAXIMA} maxima)\n");
+    println!(
+        "Ablation B — Weibull vs Gumbel fit of sample maxima (n = {BLOCK}, {NUM_MAXIMA} maxima)\n"
+    );
     let mut table = TextTable::new([
         "Circuit",
         "tail index ξ̂",
@@ -50,7 +52,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect();
         let xi = moment_tail_index(population.powers())?;
         let weibull = lsq_fit_reversed_weibull(&maxima)?.distribution;
-        let gumbel = fit_gumbel(&maxima).map(|f| f.distribution).unwrap_or(Gumbel::fit_moments(&maxima)?);
+        let gumbel = fit_gumbel(&maxima)
+            .map(|f| f.distribution)
+            .unwrap_or(Gumbel::fit_moments(&maxima)?);
         let ks_w = ks_test(&maxima, |x| weibull.cdf(x))?;
         let ks_g = ks_test(&maxima, |x| gumbel.cdf(x))?;
         table.row([

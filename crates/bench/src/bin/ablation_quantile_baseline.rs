@@ -67,8 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut quant_errs = Vec::new();
     for (run, &budget) in budgets.iter().enumerate() {
         let mut source = PopulationSource::new(&population);
-        let mut rng =
-            SmallRng::seed_from_u64(args.seed.wrapping_mul(3).wrapping_add(run as u64));
+        let mut rng = SmallRng::seed_from_u64(args.seed.wrapping_mul(3).wrapping_add(run as u64));
         let est = quantile_baseline_estimate(&mut source, q, 0.9, budget, &mut rng)?;
         quant_errs.push((est.estimate_mw - actual) / actual);
     }
@@ -86,7 +85,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let mean_budget = budgets.iter().sum::<usize>() as f64 / budgets.len() as f64;
     table.row(fmt_row("EVT (paper)", &evt_errs, mean_budget));
-    table.row(fmt_row("quantile baseline [9][10]", &quant_errs, mean_budget));
+    table.row(fmt_row(
+        "quantile baseline [9][10]",
+        &quant_errs,
+        mean_budget,
+    ));
     println!("{table}");
     println!("actual maximum power: {actual:.3} mW  (target quantile q = {q:.6})");
     println!(

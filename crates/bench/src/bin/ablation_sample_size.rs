@@ -41,9 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "MLE failures",
     ]);
     for n in N_VALUES {
-        let mut config = EstimationConfig::default();
-        config.sample_size = n;
-        config.finite_population = Some(population.size() as u64);
+        let config = EstimationConfig {
+            sample_size: n,
+            finite_population: Some(population.size() as u64),
+            ..EstimationConfig::default()
+        };
         let mut estimates = Vec::new();
         let mut failures = 0usize;
         for _ in 0..REPETITIONS {

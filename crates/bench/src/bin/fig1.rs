@@ -89,6 +89,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("goodness of fit by sample size (paper: negligible difference for n >= 30):");
     println!("{summary}");
-    println!("actual maximum power of the population: {:.3} mW", population.actual_max_power());
+    println!(
+        "actual maximum power of the population: {:.3} mW",
+        population.actual_max_power()
+    );
     Ok(())
 }

@@ -48,9 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "KS p-value",
     ]);
     for m in M_VALUES {
-        let mut config = EstimationConfig::default();
-        config.samples_per_hyper = m;
-        config.finite_population = Some(population.size() as u64);
+        let config = EstimationConfig {
+            samples_per_hyper: m,
+            finite_population: Some(population.size() as u64),
+            ..EstimationConfig::default()
+        };
         let mut estimates = Vec::with_capacity(REPETITIONS);
         for _ in 0..REPETITIONS {
             let mut source = PopulationSource::new(&population);

@@ -57,8 +57,7 @@ pub fn run_efficiency(
     let mut rows = Vec::new();
     for which in args.circuits() {
         let circuit = experiment_circuit(which, args.seed);
-        let population =
-            experiment_population(&circuit, generator, population_size, args.seed)?;
+        let population = experiment_population(&circuit, generator, population_size, args.seed)?;
         let actual_max = population.actual_max_power();
 
         let mut units: Vec<usize> = Vec::with_capacity(runs);
@@ -68,9 +67,7 @@ pub fn run_efficiency(
             let mut source = PopulationSource::new(&population);
             let estimator = MaxPowerEstimator::new(EstimationConfig::default());
             let mut rng = SmallRng::seed_from_u64(
-                args.seed
-                    .wrapping_mul(0x9e37_79b9)
-                    .wrapping_add(run as u64),
+                args.seed.wrapping_mul(0x9e37_79b9).wrapping_add(run as u64),
             );
             match estimator.run(&mut source, &mut rng) {
                 Ok(r) => {

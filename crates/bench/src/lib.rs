@@ -323,7 +323,14 @@ mod tests {
     #[test]
     fn parse_all_flags() {
         let a = ExperimentArgs::parse(argv(&[
-            "--scale", "paper", "--runs", "7", "--seed", "5", "--circuit", "c3540",
+            "--scale",
+            "paper",
+            "--runs",
+            "7",
+            "--seed",
+            "5",
+            "--circuit",
+            "c3540",
         ]));
         assert_eq!(a.scale, Scale::Paper);
         assert_eq!(a.effective_runs(), 7);
@@ -336,7 +343,9 @@ mod tests {
         assert_eq!(Scale::Paper.unconstrained_population(), 160_000);
         assert_eq!(Scale::Paper.constrained_population(), 80_000);
         assert_eq!(Scale::Paper.runs(), 100);
-        assert!(Scale::Smoke.unconstrained_population() < Scale::Default.unconstrained_population());
+        assert!(
+            Scale::Smoke.unconstrained_population() < Scale::Default.unconstrained_population()
+        );
     }
 
     #[test]

@@ -46,8 +46,7 @@ pub fn run_quality(
     let mut rows = Vec::new();
     for which in args.circuits() {
         let circuit = experiment_circuit(which, args.seed);
-        let population =
-            experiment_population(&circuit, generator, population_size, args.seed)?;
+        let population = experiment_population(&circuit, generator, population_size, args.seed)?;
         let actual = population.actual_max_power();
         let signed_err = |estimate: f64| (estimate - actual) / actual;
 
@@ -84,13 +83,12 @@ pub fn run_quality(
             }
         }
 
-        let worst =
-            |errs: &[f64]| -> f64 {
-                errs.iter()
-                    .cloned()
-                    .max_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("finite errors"))
-                    .unwrap_or(f64::NAN)
-            };
+        let worst = |errs: &[f64]| -> f64 {
+            errs.iter()
+                .cloned()
+                .max_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("finite errors"))
+                .unwrap_or(f64::NAN)
+        };
         let over5 = |errs: &[f64]| -> f64 {
             errs.iter().filter(|e| e.abs() > 0.05).count() as f64 / errs.len() as f64
         };

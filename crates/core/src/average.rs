@@ -12,6 +12,7 @@ use rand::RngCore;
 use mpe_stats::dist::StudentT;
 
 use crate::error::MaxPowerError;
+use crate::estimator::EstimateHistoryEntry;
 use crate::source::PowerSource;
 
 /// Result of an average-power estimation.
@@ -84,15 +85,18 @@ pub fn estimate_average_power(
     let mut n = 0usize;
     let mut mean = 0.0f64;
     let mut m2 = 0.0f64; // Welford
+    let mut observed_max = f64::NEG_INFINITY;
+    let mut history: Vec<EstimateHistoryEntry> = Vec::new();
     loop {
         for _ in 0..batch {
             let x = source.sample(rng)?;
             n += 1;
+            observed_max = observed_max.max(x);
             let delta = x - mean;
             mean += delta / n as f64;
             m2 += delta * (x - mean);
         }
-        if n >= 2 && mean.abs() > 0.0 {
+        let rel = if n >= 2 && mean.abs() > 0.0 {
             let var = m2 / (n as f64 - 1.0);
             let t = StudentT::new((n - 1) as f64)?.two_sided_critical(confidence)?;
             let half = t * (var / n as f64).sqrt();
@@ -105,18 +109,24 @@ pub fn estimate_average_power(
                     units_used: n,
                 });
             }
-            if n >= max_units {
-                return Err(MaxPowerError::NotConverged {
-                    estimate_mw: mean,
-                    achieved_relative_error: rel,
-                    hyper_samples: n / batch,
-                });
-            }
-        } else if n >= max_units {
+            rel
+        } else {
+            f64::INFINITY
+        };
+        history.push(EstimateHistoryEntry {
+            k: n / batch,
+            mean_mw: mean,
+            relative_half_width: rel,
+            units_used: n,
+        });
+        if n >= max_units {
             return Err(MaxPowerError::NotConverged {
                 estimate_mw: mean,
-                achieved_relative_error: f64::INFINITY,
+                achieved_relative_error: rel,
                 hyper_samples: n / batch,
+                observed_max_mw: observed_max,
+                units_used: n,
+                history,
             });
         }
     }
@@ -151,8 +161,7 @@ mod tests {
             5.0 + r.gen::<f64>()
         });
         let mut rng = SmallRng::seed_from_u64(2);
-        let est =
-            estimate_average_power(&mut source, 0.05, 0.90, 30, 1_000_000, &mut rng).unwrap();
+        let est = estimate_average_power(&mut source, 0.05, 0.90, 30, 1_000_000, &mut rng).unwrap();
         assert!(est.units_used <= 60, "{} units", est.units_used);
     }
 

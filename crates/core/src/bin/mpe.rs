@@ -18,8 +18,8 @@
 use std::process::ExitCode;
 
 use maxpower::{
-    estimate_average_power, DelaySource, EstimateReport, EstimationConfig, MaxPowerEstimator,
-    SimulatorSource,
+    estimate_average_power, Checkpoint, DelaySource, EstimateReport, EstimationConfig,
+    MaxPowerEstimate, MaxPowerEstimator, PowerSource, RunStatus, SamplePolicy, SimulatorSource,
 };
 use mpe_netlist::{bench_format, generate, Circuit, Iscas85};
 use mpe_sim::{DelayModel, PowerConfig};
@@ -48,6 +48,12 @@ ESTIMATION (estimate / delay):
     --activity A        per-line input switching activity in [0,1] (default: uniform pairs)
     --json              print the result as JSON instead of text
 
+RESILIENCE (estimate / delay):
+    --sample-policy P   fail | skip[:CAP] | retry[:N] — reaction to source errors and
+                        invalid readings (default fail; skip cap 1000, retry cap 8)
+    --checkpoint FILE   save estimator state after every hyper-sample and resume
+                        from FILE if it exists (same seed + config required)
+
 AVERAGE (average):
     same flags; --epsilon defaults to 0.02
 
@@ -58,6 +64,7 @@ TRACE (trace):
 EXAMPLES:
     mpe estimate --circuit C3540
     mpe estimate --bench c880.bench --activity 0.3 --epsilon 0.03 --json
+    mpe estimate --circuit C7552 --checkpoint c7552.ckpt --sample-policy skip
     mpe delay --circuit C6288
     mpe generate --circuit C432 > c432_standin.bench
 ";
@@ -116,6 +123,8 @@ struct Flags {
     delay_model: DelayModel,
     activity: Option<f64>,
     json: bool,
+    sample_policy: SamplePolicy,
+    checkpoint: Option<String>,
 }
 
 impl Flags {
@@ -132,6 +141,8 @@ impl Flags {
             delay_model: DelayModel::Unit,
             activity: None,
             json: false,
+            sample_policy: SamplePolicy::Fail,
+            checkpoint: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -165,6 +176,8 @@ impl Flags {
                 }
                 "--activity" => flags.activity = Some(parse_num(value()?, "--activity")?),
                 "--json" => flags.json = true,
+                "--sample-policy" => flags.sample_policy = parse_sample_policy(value()?)?,
+                "--checkpoint" => flags.checkpoint = Some(value()?.to_string()),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -186,9 +199,7 @@ impl Flags {
                 Ok(bench_format::parse(&text, name)?)
             }
             (None, Some(which)) => Ok(generate(which, self.gen_seed)?),
-            (None, None) => {
-                Err("select a circuit with --circuit, --bench or --verilog".into())
-            }
+            (None, None) => Err("select a circuit with --circuit, --bench or --verilog".into()),
         }
     }
 
@@ -196,9 +207,8 @@ impl Flags {
         match self.activity {
             Some(a) => {
                 let g = PairGenerator::Activity { activity: a };
-                g.validate(1).map_err(|e| -> Box<dyn std::error::Error> {
-                    Box::new(e)
-                })?;
+                g.validate(1)
+                    .map_err(|e| -> Box<dyn std::error::Error> { Box::new(e) })?;
                 Ok(g)
             }
             None => Ok(PairGenerator::Uniform),
@@ -215,9 +225,74 @@ impl Flags {
                 Some(self.population)
             },
             max_hyper_samples: 500,
+            sample_policy: self.sample_policy,
+            // Power and delay are physically non-negative; a negative
+            // reading is always garbage here.
+            min_reading_mw: 0.0,
             ..EstimationConfig::default()
         }
     }
+}
+
+fn parse_sample_policy(v: &str) -> Result<SamplePolicy, String> {
+    match v.split_once(':') {
+        None => match v {
+            "fail" => Ok(SamplePolicy::Fail),
+            "skip" => Ok(SamplePolicy::Skip {
+                max_discarded: 1000,
+            }),
+            "retry" => Ok(SamplePolicy::Retry { max_attempts: 8 }),
+            other => Err(format!("unknown sample policy `{other}`")),
+        },
+        Some(("skip", n)) => Ok(SamplePolicy::Skip {
+            max_discarded: parse_num(n, "--sample-policy skip")?,
+        }),
+        Some(("retry", n)) => Ok(SamplePolicy::Retry {
+            max_attempts: parse_num(n, "--sample-policy retry")?,
+        }),
+        Some((other, _)) => Err(format!("unknown sample policy `{other}`")),
+    }
+}
+
+/// Atomically persists a checkpoint (write-to-temp, then rename).
+fn save_checkpoint(path: &str, cp: &Checkpoint) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, cp.to_json())?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Runs the estimator, with checkpoint/resume when `--checkpoint` is set.
+fn run_to_completion(
+    estimator: &MaxPowerEstimator,
+    source: &mut dyn PowerSource,
+    flags: &Flags,
+) -> Result<MaxPowerEstimate, Box<dyn std::error::Error>> {
+    let Some(path) = &flags.checkpoint else {
+        let mut rng = SmallRng::seed_from_u64(flags.seed);
+        return Ok(estimator.run(source, &mut rng)?);
+    };
+    let resume = match std::fs::read_to_string(path) {
+        Ok(text) => Some(Checkpoint::from_json(&text)?),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(e.into()),
+    };
+    if let Some(cp) = &resume {
+        eprintln!(
+            "resuming from checkpoint `{path}` at {} hyper-samples",
+            cp.hyper_samples()
+        );
+    }
+    let mut save_err: Option<std::io::Error> = None;
+    let estimate =
+        estimator.run_with_checkpoint(source, flags.seed, resume.as_ref(), &mut |cp| {
+            if let Err(e) = save_checkpoint(path, cp) {
+                save_err = Some(e);
+            }
+        })?;
+    if let Some(e) = save_err {
+        eprintln!("warning: failed to persist checkpoint to `{path}`: {e}");
+    }
+    Ok(estimate)
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
@@ -229,7 +304,6 @@ fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error:
     let circuit = flags.load_circuit()?;
     let generator = flags.generator()?;
     let config = flags.estimation_config(0.05);
-    let mut rng = SmallRng::seed_from_u64(flags.seed);
     let estimator = MaxPowerEstimator::new(config);
 
     let (estimate, metric_name, unit) = match metric {
@@ -241,7 +315,7 @@ fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error:
                 PowerConfig::default(),
             );
             (
-                estimator.run(&mut source, &mut rng)?,
+                run_to_completion(&estimator, &mut source, flags)?,
                 "max_power_mw",
                 "mW",
             )
@@ -249,7 +323,7 @@ fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error:
         Metric::Delay => {
             let mut source = DelaySource::new(&circuit, generator, flags.delay_model);
             (
-                estimator.run(&mut source, &mut rng)?,
+                run_to_completion(&estimator, &mut source, flags)?,
                 "max_delay_units",
                 "delay units",
             )
@@ -272,6 +346,36 @@ fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error:
             "cost: {} vector pairs, {} hyper-samples; largest observation {:.4} {unit}",
             estimate.units_used, estimate.hyper_samples, estimate.observed_max_mw,
         );
+        match estimate.status {
+            RunStatus::Converged => println!("status: converged"),
+            RunStatus::BudgetExhausted => {
+                println!("status: BUDGET EXHAUSTED — partial result, target error not met")
+            }
+            RunStatus::Degraded { fallback } => println!(
+                "status: degraded — deepest fallback estimator: {}",
+                fallback.label()
+            ),
+        }
+        let h = estimate.health;
+        if !h.is_clean() {
+            println!(
+                "health: {} source errors survived, {} readings discarded, \
+                 {} sample retries, {} MLE retries, {} degenerate bailouts, \
+                 {} POT fallbacks, {} quantile fallbacks{}",
+                h.source_errors,
+                h.samples_discarded,
+                h.sample_retries,
+                h.mle_retries,
+                h.degenerate_bailouts,
+                h.pot_fallbacks,
+                h.quantile_fallbacks,
+                if h.zero_mean_guard {
+                    "; zero-mean guard active"
+                } else {
+                    ""
+                },
+            );
+        }
     }
     Ok(())
 }

@@ -1,0 +1,271 @@
+//! Checkpoint/resume for long estimation runs.
+//!
+//! A gate-level run can spend hours inside the simulator; losing the whole
+//! run to a crash at hyper-sample 180 of 200 is unacceptable in a CI or
+//! overnight setting. A [`Checkpoint`] serializes the *estimator* state —
+//! the accumulated hyper-sample estimates, their provenance, the
+//! convergence history, the unit ledger and the [`RunHealth`] counters —
+//! after every hyper-sample, so a killed run resumes from the last
+//! completed iteration instead of from scratch.
+//!
+//! Determinism contract: resumed runs reproduce the uninterrupted run
+//! *exactly* when driven through
+//! [`MaxPowerEstimator::run_with_checkpoint`](crate::MaxPowerEstimator::run_with_checkpoint),
+//! because that entry point derives an independent RNG stream per
+//! hyper-sample index from the master seed (the underlying generator's
+//! internal state never needs to be serialized). The checkpoint pins the
+//! master seed and a fingerprint of the effective configuration; resuming
+//! against a different seed or config is refused with
+//! [`MaxPowerError::CheckpointMismatch`].
+//!
+//! Non-finite values (`±∞` relative half-widths before `k = 2`, the
+//! `-∞` initial observed maximum) cannot survive a JSON round-trip, so the
+//! serialized form stores them as `None` and the engine restores the
+//! sentinels on load.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::EstimationConfig;
+use crate::error::MaxPowerError;
+use crate::estimator::EstimateHistoryEntry;
+use crate::health::{EstimatorKind, RunHealth};
+
+/// Version of the checkpoint schema; bumped on incompatible change.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// One serialized row of the convergence history.
+///
+/// `relative_half_width` is `None` where the live value is non-finite
+/// (before `k = 2`, or under the zero-mean guard).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointHistoryEntry {
+    /// Hyper-samples accumulated (`k`).
+    pub k: usize,
+    /// Running mean estimate (mW).
+    pub mean_mw: f64,
+    /// Relative half-width; `None` encodes "undefined/infinite".
+    pub relative_half_width: Option<f64>,
+    /// Cumulative units consumed.
+    pub units_used: usize,
+}
+
+impl From<&EstimateHistoryEntry> for CheckpointHistoryEntry {
+    fn from(e: &EstimateHistoryEntry) -> Self {
+        CheckpointHistoryEntry {
+            k: e.k,
+            mean_mw: e.mean_mw,
+            relative_half_width: e
+                .relative_half_width
+                .is_finite()
+                .then_some(e.relative_half_width),
+            units_used: e.units_used,
+        }
+    }
+}
+
+impl From<&CheckpointHistoryEntry> for EstimateHistoryEntry {
+    fn from(e: &CheckpointHistoryEntry) -> Self {
+        EstimateHistoryEntry {
+            k: e.k,
+            mean_mw: e.mean_mw,
+            relative_half_width: e.relative_half_width.unwrap_or(f64::INFINITY),
+            units_used: e.units_used,
+        }
+    }
+}
+
+/// Serialized estimator state after a completed hyper-sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Schema version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Fingerprint of the *effective* configuration (after the source's
+    /// population size is folded in); resuming under a different
+    /// configuration is refused.
+    pub config_fingerprint: u64,
+    /// The master seed the per-hyper-sample RNG streams derive from.
+    pub master_seed: u64,
+    /// Completed hyper-sample estimates (mW).
+    pub hyper_estimates: Vec<f64>,
+    /// Which estimator produced each hyper-sample.
+    pub hyper_estimators: Vec<EstimatorKind>,
+    /// Convergence history, one row per completed hyper-sample.
+    pub history: Vec<CheckpointHistoryEntry>,
+    /// Units consumed so far.
+    pub units_used: usize,
+    /// Largest reading observed so far (mW); `None` encodes "none yet".
+    pub observed_max_mw: Option<f64>,
+    /// Aggregated fault counters so far.
+    pub health: RunHealth,
+}
+
+impl Checkpoint {
+    /// Completed hyper-samples in this checkpoint.
+    pub fn hyper_samples(&self) -> usize {
+        self.hyper_estimates.len()
+    }
+
+    /// Serializes to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("checkpoint is always serializable")
+    }
+
+    /// Parses a checkpoint from JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`MaxPowerError::CheckpointMismatch`] on malformed input.
+    pub fn from_json(s: &str) -> Result<Checkpoint, MaxPowerError> {
+        serde_json::from_str(s).map_err(|e| MaxPowerError::CheckpointMismatch {
+            message: format!("malformed checkpoint JSON: {e}"),
+        })
+    }
+
+    /// Checks that this checkpoint can resume a run with the given
+    /// effective-config fingerprint and master seed, and that it is
+    /// internally consistent.
+    ///
+    /// # Errors
+    ///
+    /// [`MaxPowerError::CheckpointMismatch`] naming the first violation.
+    pub fn verify(&self, config_fingerprint: u64, master_seed: u64) -> Result<(), MaxPowerError> {
+        let fail = |message: String| Err(MaxPowerError::CheckpointMismatch { message });
+        if self.version != CHECKPOINT_VERSION {
+            return fail(format!(
+                "checkpoint version {} != supported {CHECKPOINT_VERSION}",
+                self.version
+            ));
+        }
+        if self.config_fingerprint != config_fingerprint {
+            return fail(format!(
+                "config fingerprint {:#018x} != current {:#018x} \
+                 (the run was checkpointed under a different configuration)",
+                self.config_fingerprint, config_fingerprint
+            ));
+        }
+        if self.master_seed != master_seed {
+            return fail(format!(
+                "master seed {} != requested {master_seed} \
+                 (resuming under a different seed would break determinism)",
+                self.master_seed
+            ));
+        }
+        let k = self.hyper_estimates.len();
+        if self.hyper_estimators.len() != k || self.history.len() != k {
+            return fail(format!(
+                "inconsistent lengths: {k} estimates, {} estimators, {} history rows",
+                self.hyper_estimators.len(),
+                self.history.len()
+            ));
+        }
+        if self.hyper_estimates.iter().any(|e| !e.is_finite()) {
+            return fail("non-finite hyper-sample estimate".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a fingerprint of a configuration's canonical (`Debug`) rendering.
+/// Stable for a given build of the library; any field change — including
+/// policy or budget changes that alter the draw sequence — changes it.
+pub fn config_fingerprint(config: &EstimationConfig) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in format!("{config:?}").bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_checkpoint() -> Checkpoint {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            config_fingerprint: 42,
+            master_seed: 7,
+            hyper_estimates: vec![10.1, 10.3],
+            hyper_estimators: vec![EstimatorKind::Mle, EstimatorKind::Mle],
+            history: vec![
+                CheckpointHistoryEntry {
+                    k: 1,
+                    mean_mw: 10.1,
+                    relative_half_width: None,
+                    units_used: 300,
+                },
+                CheckpointHistoryEntry {
+                    k: 2,
+                    mean_mw: 10.2,
+                    relative_half_width: Some(0.06),
+                    units_used: 600,
+                },
+            ],
+            units_used: 600,
+            observed_max_mw: Some(9.9),
+            health: RunHealth::default(),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let cp = sample_checkpoint();
+        let back = Checkpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(cp, back);
+    }
+
+    #[test]
+    fn malformed_json_is_a_mismatch() {
+        assert!(matches!(
+            Checkpoint::from_json("{not json"),
+            Err(MaxPowerError::CheckpointMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn verify_accepts_matching_state() {
+        let cp = sample_checkpoint();
+        assert!(cp.verify(42, 7).is_ok());
+    }
+
+    #[test]
+    fn verify_rejects_mismatches() {
+        let cp = sample_checkpoint();
+        assert!(cp.verify(43, 7).is_err());
+        assert!(cp.verify(42, 8).is_err());
+        let mut bad = sample_checkpoint();
+        bad.version = CHECKPOINT_VERSION + 1;
+        assert!(bad.verify(42, 7).is_err());
+        let mut bad = sample_checkpoint();
+        bad.hyper_estimators.pop();
+        assert!(bad.verify(42, 7).is_err());
+        let mut bad = sample_checkpoint();
+        bad.hyper_estimates[0] = f64::NAN;
+        assert!(bad.verify(42, 7).is_err());
+    }
+
+    #[test]
+    fn history_entries_roundtrip_infinities() {
+        let live = EstimateHistoryEntry {
+            k: 1,
+            mean_mw: 5.0,
+            relative_half_width: f64::INFINITY,
+            units_used: 300,
+        };
+        let stored = CheckpointHistoryEntry::from(&live);
+        assert_eq!(stored.relative_half_width, None);
+        let restored = EstimateHistoryEntry::from(&stored);
+        assert_eq!(restored.relative_half_width, f64::INFINITY);
+        assert_eq!(restored.k, live.k);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let a = EstimationConfig::default();
+        let mut b = a;
+        b.relative_error = 0.01;
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&a));
+    }
+}

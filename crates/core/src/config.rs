@@ -47,6 +47,79 @@ pub struct EstimationConfig {
     /// estimator variance (see the `ablation_estimator` experiment before
     /// enabling).
     pub bias_correction: BiasCorrection,
+    /// How a hyper-sample reacts to a failing or garbage-emitting power
+    /// source (transient errors, NaN/±∞ readings, readings below
+    /// [`min_reading_mw`](Self::min_reading_mw)). The paper assumes every
+    /// simulation succeeds; deployments against flaky oracles should pick
+    /// [`SamplePolicy::Skip`] or [`SamplePolicy::Retry`].
+    pub sample_policy: SamplePolicy,
+    /// What to do when the reversed-Weibull MLE stays degenerate after its
+    /// retry budget: error out (the paper's implicit behaviour) or degrade
+    /// down the estimator ladder (POT endpoint, then empirical quantile).
+    pub fallback: FallbackPolicy,
+    /// Retry budget for degenerate MLEs, in units of one hyper-sample's
+    /// cost (`n·m` draws). Each failed attempt is charged double the
+    /// previous one (1, 2, 4, … hyper-samples), so retries stop after
+    /// `⌊log₂(budget+1)⌋` attempts instead of burning a fixed count — the
+    /// default of 15 allows 4 attempts. A provably constant source bails
+    /// out after the first attempt regardless of budget.
+    pub mle_retry_budget: usize,
+    /// Smallest physically plausible reading: finite readings below this
+    /// are handled per [`sample_policy`](Self::sample_policy). The default
+    /// `-∞` accepts any finite reading (preserving the estimator's shift
+    /// equivariance for synthetic parents); power deployments set `0.0`.
+    pub min_reading_mw: f64,
+    /// Zero-mean guard: when `|P̄|` is at or below this floor the relative
+    /// half-width `t·s/(√k·|P̄|)` is meaningless (division by ≈0) and the
+    /// stopping rule switches to the absolute criterion
+    /// [`absolute_error_mw`](Self::absolute_error_mw). Surfaced in
+    /// [`RunHealth::zero_mean_guard`](crate::RunHealth).
+    pub mean_floor_mw: f64,
+    /// Absolute half-width (mW) accepted by the stopping rule while the
+    /// zero-mean guard is active.
+    pub absolute_error_mw: f64,
+}
+
+/// Reaction of hyper-sample generation to source failures and invalid
+/// readings (NaN, ±∞, or below [`EstimationConfig::min_reading_mw`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SamplePolicy {
+    /// Propagate the first failure / invalid reading as an error (the
+    /// seed behaviour for source errors; invalid readings previously
+    /// leaked into the maxima silently).
+    #[default]
+    Fail,
+    /// Discard the offending draw and draw again, up to a per-hyper-sample
+    /// cap on discarded draws plus survived errors; exceeding the cap
+    /// raises [`MaxPowerError::SamplePolicyExhausted`](crate::MaxPowerError).
+    Skip {
+        /// Maximum discarded readings + survived source errors per
+        /// hyper-sample.
+        max_discarded: usize,
+    },
+    /// Retry the draw immediately, tolerating up to `max_attempts`
+    /// *consecutive* failures before propagating the last error.
+    Retry {
+        /// Consecutive failures tolerated before giving up.
+        max_attempts: usize,
+    },
+}
+
+/// What to do when the primary reversed-Weibull MLE cannot produce a
+/// hyper-sample estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FallbackPolicy {
+    /// Degrade down the estimator ladder: peaks-over-threshold GPD
+    /// endpoint over the raw draws, then the distribution-free empirical
+    /// quantile. The run keeps going and reports
+    /// [`RunStatus::Degraded`](crate::RunStatus) with per-sample
+    /// provenance instead of aborting.
+    #[default]
+    Degrade,
+    /// Raise [`MaxPowerError::HyperSampleFailed`](crate::MaxPowerError)
+    /// after the retry budget, discarding nothing but estimating nothing
+    /// either (the seed behaviour).
+    ErrorOut,
 }
 
 /// Bias-correction strategies for the hyper-sample estimator.
@@ -73,6 +146,12 @@ impl Default for EstimationConfig {
             max_hyper_samples: 200,
             finite_population: None,
             bias_correction: BiasCorrection::None,
+            sample_policy: SamplePolicy::Fail,
+            fallback: FallbackPolicy::Degrade,
+            mle_retry_budget: 15,
+            min_reading_mw: f64::NEG_INFINITY,
+            mean_floor_mw: 1e-9,
+            absolute_error_mw: 1e-6,
         }
     }
 }
@@ -117,6 +196,31 @@ impl EstimationConfig {
             if v < 2 {
                 return fail("finite_population must be at least 2");
             }
+        }
+        match self.sample_policy {
+            SamplePolicy::Fail => {}
+            SamplePolicy::Skip { max_discarded } => {
+                if max_discarded == 0 {
+                    return fail("SamplePolicy::Skip requires max_discarded >= 1");
+                }
+            }
+            SamplePolicy::Retry { max_attempts } => {
+                if max_attempts == 0 {
+                    return fail("SamplePolicy::Retry requires max_attempts >= 1");
+                }
+            }
+        }
+        if self.mle_retry_budget == 0 {
+            return fail("mle_retry_budget must allow at least one attempt");
+        }
+        if self.min_reading_mw.is_nan() {
+            return fail("min_reading_mw must not be NaN");
+        }
+        if !(self.mean_floor_mw >= 0.0 && self.mean_floor_mw.is_finite()) {
+            return fail("mean_floor_mw must be finite and non-negative");
+        }
+        if !(self.absolute_error_mw > 0.0 && self.absolute_error_mw.is_finite()) {
+            return fail("absolute_error_mw must be finite and positive");
         }
         Ok(())
     }
@@ -163,6 +267,33 @@ mod tests {
         assert!(c.validate().is_err());
         let mut c = base;
         c.finite_population = Some(160_000);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_resilience_fields() {
+        let base = EstimationConfig::default();
+        let mut c = base;
+        c.sample_policy = SamplePolicy::Skip { max_discarded: 0 };
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.sample_policy = SamplePolicy::Retry { max_attempts: 0 };
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.mle_retry_budget = 0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.min_reading_mw = f64::NAN;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.mean_floor_mw = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.absolute_error_mw = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.sample_policy = SamplePolicy::Retry { max_attempts: 8 };
+        c.min_reading_mw = 0.0;
         assert!(c.validate().is_ok());
     }
 }

@@ -6,6 +6,8 @@ use mpe_mle::MleError;
 use mpe_sim::SimError;
 use mpe_stats::StatsError;
 
+use crate::estimator::EstimateHistoryEntry;
+
 /// Error raised by the maximum-power estimation engine.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MaxPowerError {
@@ -15,8 +17,16 @@ pub enum MaxPowerError {
         message: String,
     },
     /// The iterative procedure hit its hyper-sample cap without meeting the
-    /// requested error/confidence target. The partial estimate is included
-    /// so callers can decide whether it is good enough.
+    /// requested error/confidence target. The partial result is included so
+    /// callers can decide whether it is good enough — not just the point
+    /// estimate but the observed maximum (a hard lower bound on the true
+    /// maximum), the units spent, and the full convergence history.
+    ///
+    /// Note that [`MaxPowerEstimator::run`](crate::MaxPowerEstimator::run)
+    /// no longer *raises* this for a capped run (it returns the partial
+    /// estimate with [`RunStatus::BudgetExhausted`](crate::RunStatus)); the
+    /// variant remains for callers that require convergence, e.g. the
+    /// average-power estimator.
     NotConverged {
         /// Best estimate at the cap (mW).
         estimate_mw: f64,
@@ -24,14 +34,52 @@ pub enum MaxPowerError {
         achieved_relative_error: f64,
         /// Hyper-samples consumed.
         hyper_samples: usize,
+        /// Largest reading observed before giving up (mW) — a certain
+        /// lower bound on the quantity being estimated.
+        observed_max_mw: f64,
+        /// Vector pairs (or samples) consumed before giving up.
+        units_used: usize,
+        /// Per-iteration convergence trace, for diagnosing *why* the run
+        /// stalled (oscillating mean, slowly shrinking interval, …).
+        history: Vec<EstimateHistoryEntry>,
     },
     /// Repeated MLE failures while generating a hyper-sample (degenerate
-    /// power data, e.g. a constant-power circuit).
+    /// power data, e.g. a constant-power circuit) under
+    /// [`FallbackPolicy::ErrorOut`](crate::FallbackPolicy).
     HyperSampleFailed {
         /// The final MLE failure.
         cause: MleError,
-        /// Retries attempted.
+        /// Fit attempts made (including the first).
         attempts: usize,
+    },
+    /// A power source failed transiently (an injected fault, a crashed
+    /// simulator process, a stalled measurement past its deadline).
+    Source {
+        /// Explanation from the source.
+        message: String,
+    },
+    /// The source returned a reading the engine cannot use — NaN, ±∞, or
+    /// below [`EstimationConfig::min_reading_mw`](crate::EstimationConfig)
+    /// — while [`SamplePolicy::Fail`](crate::SamplePolicy) was in force.
+    InvalidReading {
+        /// The offending reading (mW).
+        value_mw: f64,
+    },
+    /// A [`SamplePolicy`](crate::SamplePolicy) ran out of tolerance while
+    /// generating a single hyper-sample.
+    SamplePolicyExhausted {
+        /// The policy that gave up (`"skip"` or `"retry"`).
+        policy: &'static str,
+        /// Failures/discards counted when the cap was exceeded.
+        count: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// A checkpoint could not be resumed (version, config or seed
+    /// mismatch, or corrupt contents).
+    CheckpointMismatch {
+        /// Explanation.
+        message: String,
     },
     /// A simulation call inside a power source failed.
     Sim(SimError),
@@ -49,14 +97,42 @@ impl fmt::Display for MaxPowerError {
                 estimate_mw,
                 achieved_relative_error,
                 hyper_samples,
+                observed_max_mw,
+                units_used,
+                ..
             } => write!(
                 f,
                 "estimation did not converge after {hyper_samples} hyper-samples \
-                 (best {estimate_mw:.4} mW at ±{:.2}%)",
+                 (best {estimate_mw:.4} mW at ±{:.2}%; observed max {observed_max_mw:.4} mW \
+                 after {units_used} units)",
                 100.0 * achieved_relative_error
             ),
             MaxPowerError::HyperSampleFailed { cause, attempts } => {
-                write!(f, "hyper-sample generation failed after {attempts} attempts: {cause}")
+                write!(
+                    f,
+                    "hyper-sample generation failed after {attempts} attempts: {cause}"
+                )
+            }
+            MaxPowerError::Source { message } => {
+                write!(f, "power source failure: {message}")
+            }
+            MaxPowerError::InvalidReading { value_mw } => {
+                write!(
+                    f,
+                    "power source returned an unusable reading: {value_mw} mW"
+                )
+            }
+            MaxPowerError::SamplePolicyExhausted {
+                policy,
+                count,
+                limit,
+            } => write!(
+                f,
+                "sample policy '{policy}' exhausted: {count} failures against a cap of {limit} \
+                 in one hyper-sample"
+            ),
+            MaxPowerError::CheckpointMismatch { message } => {
+                write!(f, "checkpoint cannot be resumed: {message}")
             }
             MaxPowerError::Sim(e) => write!(f, "simulation failure: {e}"),
             MaxPowerError::Stats(e) => write!(f, "statistics failure: {e}"),
@@ -101,14 +177,40 @@ mod tests {
             estimate_mw: 5.0,
             achieved_relative_error: 0.07,
             hyper_samples: 30,
+            observed_max_mw: 4.2,
+            units_used: 9000,
+            history: Vec::new(),
         };
         assert!(e.to_string().contains("30"));
         assert!(e.to_string().contains("7.00%"));
+        assert!(e.to_string().contains("4.2"));
+        assert!(e.to_string().contains("9000"));
+        let e = MaxPowerError::Source {
+            message: "injected transient fault".into(),
+        };
+        assert!(e.to_string().contains("injected transient fault"));
+        let e = MaxPowerError::InvalidReading { value_mw: f64::NAN };
+        assert!(e.to_string().contains("NaN"));
+        let e = MaxPowerError::SamplePolicyExhausted {
+            policy: "skip",
+            count: 11,
+            limit: 10,
+        };
+        assert!(e.to_string().contains("skip"));
+        assert!(e.to_string().contains("11"));
+        let e = MaxPowerError::CheckpointMismatch {
+            message: "seed differs".into(),
+        };
+        assert!(e.to_string().contains("seed differs"));
     }
 
     #[test]
     fn conversions() {
-        let e: MaxPowerError = SimError::WidthMismatch { expected: 3, got: 1 }.into();
+        let e: MaxPowerError = SimError::WidthMismatch {
+            expected: 3,
+            got: 1,
+        }
+        .into();
         assert!(matches!(e, MaxPowerError::Sim(_)));
         let e: MaxPowerError = StatsError::invalid("p", "0<p<1", 2.0).into();
         assert!(matches!(e, MaxPowerError::Stats(_)));

@@ -8,13 +8,31 @@
 //! `t·s/(√k·P̄)` falls below the requested `ε` — delivering, for the first
 //! time among maximum-power estimators, *any* user-specified error and
 //! confidence level.
+//!
+//! Two robustness departures from the idealized loop:
+//!
+//! * Hitting the hyper-sample cap is **not an error**: the run returns its
+//!   best partial estimate tagged [`RunStatus::BudgetExhausted`]. Callers
+//!   that require convergence use
+//!   [`MaxPowerEstimate::into_converged`].
+//! * When the running mean is within
+//!   [`mean_floor_mw`](EstimationConfig::mean_floor_mw) of zero the
+//!   relative criterion divides by ≈0 and can never fire; the stopping
+//!   rule switches to the absolute criterion
+//!   [`absolute_error_mw`](EstimationConfig::absolute_error_mw) and flags
+//!   [`RunHealth::zero_mean_guard`].
 
-use rand::RngCore;
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
 
 use mpe_stats::dist::StudentT;
 
+use crate::checkpoint::{
+    config_fingerprint, Checkpoint, CheckpointHistoryEntry, CHECKPOINT_VERSION,
+};
 use crate::config::EstimationConfig;
 use crate::error::MaxPowerError;
+use crate::health::{EstimatorKind, RunHealth, RunStatus};
 use crate::hyper::{generate_hyper_sample, HyperSample};
 use crate::source::PowerSource;
 
@@ -25,21 +43,22 @@ pub struct EstimateHistoryEntry {
     pub k: usize,
     /// Running mean estimate `P̄` (mW).
     pub mean_mw: f64,
-    /// Relative half-width of the t-interval (undefined before `k = 2`;
-    /// reported as infinity for `k < 2`).
+    /// Relative half-width of the t-interval (undefined before `k = 2` and
+    /// under the zero-mean guard; reported as infinity there).
     pub relative_half_width: f64,
     /// Cumulative vector pairs consumed.
     pub units_used: usize,
 }
 
-/// The final estimate with its confidence statement.
+/// The final estimate with its confidence statement and health record.
 #[derive(Debug, Clone)]
 pub struct MaxPowerEstimate {
     /// The maximum-power estimate `P̄` (mW).
     pub estimate_mw: f64,
     /// The confidence interval at the configured level (mW).
     pub confidence_interval: (f64, f64),
-    /// Achieved relative half-width (`≤ ε` when converged).
+    /// Achieved relative half-width (`≤ ε` when converged; infinite under
+    /// the zero-mean guard).
     pub relative_error: f64,
     /// The configured confidence level.
     pub confidence: f64,
@@ -50,10 +69,118 @@ pub struct MaxPowerEstimate {
     /// Largest single unit power observed anywhere in the run (a hard
     /// lower bound on the true maximum).
     pub observed_max_mw: f64,
+    /// How the run ended: converged, degraded-but-converged, or capped.
+    pub status: RunStatus,
+    /// Aggregated fault/fallback/guard counters for the whole run.
+    pub health: RunHealth,
     /// Per-iteration convergence history.
     pub history: Vec<EstimateHistoryEntry>,
     /// The individual hyper-sample estimates.
     pub hyper_estimates: Vec<f64>,
+    /// Which estimator produced each hyper-sample (parallel to
+    /// [`hyper_estimates`](Self::hyper_estimates)).
+    pub hyper_estimators: Vec<EstimatorKind>,
+}
+
+impl MaxPowerEstimate {
+    /// Converts a capped run into the classic [`MaxPowerError::NotConverged`]
+    /// error, for callers that require the error/confidence contract to
+    /// have been met. Converged and degraded-but-converged runs pass
+    /// through unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`MaxPowerError::NotConverged`] carrying the full partial result
+    /// when the run ended [`RunStatus::BudgetExhausted`].
+    pub fn into_converged(self) -> Result<MaxPowerEstimate, MaxPowerError> {
+        if self.status.met_target() {
+            Ok(self)
+        } else {
+            Err(MaxPowerError::NotConverged {
+                estimate_mw: self.estimate_mw,
+                achieved_relative_error: self.relative_error,
+                hyper_samples: self.hyper_samples,
+                observed_max_mw: self.observed_max_mw,
+                units_used: self.units_used,
+                history: self.history,
+            })
+        }
+    }
+}
+
+/// Live (deserialized) estimator state shared by fresh and resumed runs.
+struct RunState {
+    estimates: Vec<f64>,
+    estimators: Vec<EstimatorKind>,
+    history: Vec<EstimateHistoryEntry>,
+    units_used: usize,
+    observed_max: f64,
+    health: RunHealth,
+}
+
+impl RunState {
+    fn new() -> Self {
+        RunState {
+            estimates: Vec::new(),
+            estimators: Vec::new(),
+            history: Vec::new(),
+            units_used: 0,
+            observed_max: f64::NEG_INFINITY,
+            health: RunHealth::default(),
+        }
+    }
+
+    fn from_checkpoint(cp: &Checkpoint) -> Self {
+        RunState {
+            estimates: cp.hyper_estimates.clone(),
+            estimators: cp.hyper_estimators.clone(),
+            history: cp.history.iter().map(EstimateHistoryEntry::from).collect(),
+            units_used: cp.units_used,
+            observed_max: cp.observed_max_mw.unwrap_or(f64::NEG_INFINITY),
+            health: cp.health,
+        }
+    }
+
+    fn to_checkpoint(&self, fingerprint: u64, master_seed: u64) -> Checkpoint {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            config_fingerprint: fingerprint,
+            master_seed,
+            hyper_estimates: self.estimates.clone(),
+            hyper_estimators: self.estimators.clone(),
+            history: self
+                .history
+                .iter()
+                .map(CheckpointHistoryEntry::from)
+                .collect(),
+            units_used: self.units_used,
+            observed_max_mw: self.observed_max.is_finite().then_some(self.observed_max),
+            health: self.health,
+        }
+    }
+}
+
+/// The t-interval around the running mean, evaluated against both stopping
+/// criteria.
+struct IntervalStats {
+    mean: f64,
+    half: f64,
+    relative: f64,
+    met: bool,
+}
+
+/// How hyper-sample RNGs are produced: a caller-supplied stream (classic
+/// mode), or per-index streams derived from a master seed (checkpoint
+/// mode, where iteration `k` is reproducible in isolation).
+enum RngDriver<'a> {
+    Stream(&'a mut dyn RngCore),
+    Derived(u64),
+}
+
+/// Derives the seed of hyper-sample `k`'s private RNG stream from the
+/// master seed (splitmix-style odd multiplier keeps the streams distinct).
+fn derive_seed(master_seed: u64, k: usize) -> u64 {
+    master_seed ^ (k as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 /// The iterative maximum-power estimator (paper Figure 4).
@@ -81,81 +208,177 @@ impl MaxPowerEstimator {
     /// does not override it, the finite-population estimator (§3.4) is used
     /// automatically.
     ///
+    /// A run that reaches the hyper-sample cap returns its partial
+    /// estimate with [`RunStatus::BudgetExhausted`] rather than an error;
+    /// use [`MaxPowerEstimate::into_converged`] for the strict contract.
+    ///
     /// # Errors
     ///
     /// * [`MaxPowerError::InvalidConfig`] — bad configuration;
-    /// * [`MaxPowerError::NotConverged`] — hyper-sample cap reached before
-    ///   the target error; the message carries the best estimate;
-    /// * hyper-sample and simulation failures.
+    /// * hyper-sample and simulation failures, as filtered by the
+    ///   configured [`SamplePolicy`](crate::SamplePolicy) and
+    ///   [`FallbackPolicy`](crate::FallbackPolicy).
     pub fn run(
         &self,
         source: &mut dyn PowerSource,
         rng: &mut dyn RngCore,
+    ) -> Result<MaxPowerEstimate, MaxPowerError> {
+        self.run_inner(source, RngDriver::Stream(rng), None, &mut |_| {})
+    }
+
+    /// Runs the procedure with checkpoint/resume support.
+    ///
+    /// Hyper-sample `k` draws from a private RNG stream derived from
+    /// `master_seed` and `k`, so a run resumed from any checkpoint
+    /// produces *bit-identical* results to the uninterrupted run with the
+    /// same seed. `save` is invoked with a fresh [`Checkpoint`] after
+    /// every completed hyper-sample; persist it wherever is convenient
+    /// (the `mpe` CLI writes it to the `--checkpoint` path atomically).
+    ///
+    /// # Errors
+    ///
+    /// * [`MaxPowerError::CheckpointMismatch`] — `resume` was produced
+    ///   under a different configuration, seed or schema version;
+    /// * everything [`run`](Self::run) can raise.
+    pub fn run_with_checkpoint(
+        &self,
+        source: &mut dyn PowerSource,
+        master_seed: u64,
+        resume: Option<&Checkpoint>,
+        save: &mut dyn FnMut(&Checkpoint),
+    ) -> Result<MaxPowerEstimate, MaxPowerError> {
+        self.run_inner(source, RngDriver::Derived(master_seed), resume, save)
+    }
+
+    fn run_inner(
+        &self,
+        source: &mut dyn PowerSource,
+        mut driver: RngDriver<'_>,
+        resume: Option<&Checkpoint>,
+        save: &mut dyn FnMut(&Checkpoint),
     ) -> Result<MaxPowerEstimate, MaxPowerError> {
         self.config.validate()?;
         let mut config = self.config;
         if config.finite_population.is_none() {
             config.finite_population = source.population_size();
         }
+        let fingerprint = config_fingerprint(&config);
+        let (master_seed, checkpointing) = match driver {
+            RngDriver::Stream(_) => (0, false),
+            RngDriver::Derived(seed) => (seed, true),
+        };
 
-        let mut estimates: Vec<f64> = Vec::new();
-        let mut history: Vec<EstimateHistoryEntry> = Vec::new();
-        let mut units_used = 0usize;
-        let mut observed_max = f64::NEG_INFINITY;
+        let mut st = match resume {
+            Some(cp) => {
+                if !checkpointing {
+                    return Err(MaxPowerError::CheckpointMismatch {
+                        message: "resume requires the derived-RNG (master seed) mode".to_string(),
+                    });
+                }
+                cp.verify(fingerprint, master_seed)?;
+                RunState::from_checkpoint(cp)
+            }
+            None => RunState::new(),
+        };
 
         loop {
-            let hyper: HyperSample = generate_hyper_sample(source, &config, rng)?;
-            units_used += hyper.units_used;
-            observed_max = observed_max.max(hyper.observed_max);
-            estimates.push(hyper.estimate_mw);
-            let k = estimates.len();
-            let mean = estimates.iter().sum::<f64>() / k as f64;
-
-            let relative_half_width = if k >= 2 {
-                let s2 = estimates
-                    .iter()
-                    .map(|e| (e - mean).powi(2))
-                    .sum::<f64>()
-                    / (k as f64 - 1.0);
-                let t = StudentT::new((k - 1) as f64)?
-                    .two_sided_critical(config.confidence)?;
-                let half = t * s2.sqrt() / (k as f64).sqrt();
-                if mean.abs() > 0.0 {
-                    half / mean.abs()
-                } else {
-                    f64::INFINITY
+            let k = st.estimates.len();
+            // Stopping decision on the *current* state, so a resumed run
+            // that already satisfies its target returns without drawing.
+            let stats = self.interval(&config, &st.estimates, &mut st.health)?;
+            if let Some(s) = &stats {
+                if k >= config.min_hyper_samples && s.met {
+                    return Ok(Self::finish(&config, st, s, true));
                 }
-            } else {
-                f64::INFINITY
+                if k >= config.max_hyper_samples {
+                    return Ok(Self::finish(&config, st, s, false));
+                }
+            }
+
+            let hyper: HyperSample = match &mut driver {
+                RngDriver::Stream(rng) => generate_hyper_sample(source, &config, *rng)?,
+                RngDriver::Derived(seed) => {
+                    let mut hyper_rng = SmallRng::seed_from_u64(derive_seed(*seed, k));
+                    generate_hyper_sample(source, &config, &mut hyper_rng)?
+                }
             };
-            history.push(EstimateHistoryEntry {
+            st.units_used += hyper.units_used;
+            st.observed_max = st.observed_max.max(hyper.observed_max);
+            st.health.absorb(&hyper.health, hyper.estimator);
+            st.estimates.push(hyper.estimate_mw);
+            st.estimators.push(hyper.estimator);
+
+            let k = st.estimates.len();
+            let stats = self.interval(&config, &st.estimates, &mut st.health)?;
+            let (mean, relative_half_width) = match &stats {
+                Some(s) => (s.mean, s.relative),
+                None => (st.estimates.iter().sum::<f64>() / k as f64, f64::INFINITY),
+            };
+            st.history.push(EstimateHistoryEntry {
                 k,
                 mean_mw: mean,
                 relative_half_width,
-                units_used,
+                units_used: st.units_used,
             });
+            if checkpointing {
+                save(&st.to_checkpoint(fingerprint, master_seed));
+            }
+        }
+    }
 
-            if k >= config.min_hyper_samples && relative_half_width <= config.relative_error {
-                let half = relative_half_width * mean.abs();
-                return Ok(MaxPowerEstimate {
-                    estimate_mw: mean,
-                    confidence_interval: (mean - half, mean + half),
-                    relative_error: relative_half_width,
-                    confidence: config.confidence,
-                    hyper_samples: k,
-                    units_used,
-                    observed_max_mw: observed_max,
-                    history,
-                    hyper_estimates: estimates,
-                });
-            }
-            if k >= config.max_hyper_samples {
-                return Err(MaxPowerError::NotConverged {
-                    estimate_mw: mean,
-                    achieved_relative_error: relative_half_width,
-                    hyper_samples: k,
-                });
-            }
+    /// Computes the t-interval for the current estimates (`None` before
+    /// `k = 2`, where the sample variance is undefined), deciding the
+    /// stopping criterion and flagging the zero-mean guard.
+    fn interval(
+        &self,
+        config: &EstimationConfig,
+        estimates: &[f64],
+        health: &mut RunHealth,
+    ) -> Result<Option<IntervalStats>, MaxPowerError> {
+        let k = estimates.len();
+        if k < 2 {
+            return Ok(None);
+        }
+        let mean = estimates.iter().sum::<f64>() / k as f64;
+        let s2 = estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (k as f64 - 1.0);
+        let t = StudentT::new((k - 1) as f64)?.two_sided_critical(config.confidence)?;
+        let half = t * s2.sqrt() / (k as f64).sqrt();
+        let (relative, met) = if mean.abs() <= config.mean_floor_mw {
+            // Relative width is undefined at a (near-)zero mean; fall back
+            // to the absolute criterion and record that we did.
+            health.zero_mean_guard = true;
+            (f64::INFINITY, half <= config.absolute_error_mw)
+        } else {
+            let relative = half / mean.abs();
+            (relative, relative <= config.relative_error)
+        };
+        Ok(Some(IntervalStats {
+            mean,
+            half,
+            relative,
+            met,
+        }))
+    }
+
+    fn finish(
+        config: &EstimationConfig,
+        st: RunState,
+        s: &IntervalStats,
+        met_target: bool,
+    ) -> MaxPowerEstimate {
+        MaxPowerEstimate {
+            estimate_mw: s.mean,
+            confidence_interval: (s.mean - s.half, s.mean + s.half),
+            relative_error: s.relative,
+            confidence: config.confidence,
+            hyper_samples: st.estimates.len(),
+            units_used: st.units_used,
+            observed_max_mw: st.observed_max,
+            status: st.health.status(met_target),
+            health: st.health,
+            history: st.history,
+            hyper_estimates: st.estimates,
+            hyper_estimators: st.estimators,
         }
     }
 }
@@ -181,12 +404,20 @@ mod tests {
         let est = MaxPowerEstimator::new(EstimationConfig::default());
         let mut rng = SmallRng::seed_from_u64(1);
         let r = est.run(&mut source, &mut rng).unwrap();
+        assert_eq!(r.status, RunStatus::Converged);
+        assert!(r.health.is_clean());
         assert!(r.relative_error <= 0.05);
-        assert!((r.estimate_mw - 10.0).abs() / 10.0 < 0.10, "{}", r.estimate_mw);
+        assert!(
+            (r.estimate_mw - 10.0).abs() / 10.0 < 0.10,
+            "{}",
+            r.estimate_mw
+        );
         assert!(r.hyper_samples >= 2);
         assert_eq!(r.units_used, 300 * r.hyper_samples);
         assert_eq!(r.history.len(), r.hyper_samples);
         assert_eq!(r.hyper_estimates.len(), r.hyper_samples);
+        assert_eq!(r.hyper_estimators.len(), r.hyper_samples);
+        assert!(r.hyper_estimators.iter().all(|&e| e == EstimatorKind::Mle));
         assert!(r.confidence_interval.0 <= r.estimate_mw);
         assert!(r.confidence_interval.1 >= r.estimate_mw);
         assert!(r.observed_max_mw <= 10.0);
@@ -232,19 +463,36 @@ mod tests {
     #[test]
     fn respects_max_hyper_samples() {
         // An extremely noisy source that cannot converge at 0.1% error with
-        // a tiny cap must return NotConverged.
+        // a tiny cap: the partial estimate comes back BudgetExhausted, and
+        // into_converged recovers the strict NotConverged contract with the
+        // full partial result attached.
         let mut source = FnSource::new(|rng: &mut dyn RngCore| {
             let r = rng;
             r.gen::<f64>().powf(0.2) * 100.0
         });
-        let mut config = EstimationConfig::default();
-        config.relative_error = 0.001;
-        config.max_hyper_samples = 3;
+        let config = EstimationConfig {
+            relative_error: 0.001,
+            max_hyper_samples: 3,
+            ..EstimationConfig::default()
+        };
         let est = MaxPowerEstimator::new(config);
         let mut rng = SmallRng::seed_from_u64(3);
-        match est.run(&mut source, &mut rng) {
-            Err(MaxPowerError::NotConverged { hyper_samples, .. }) => {
-                assert_eq!(hyper_samples, 3)
+        let r = est.run(&mut source, &mut rng).unwrap();
+        assert_eq!(r.status, RunStatus::BudgetExhausted);
+        assert!(!r.status.met_target());
+        assert_eq!(r.hyper_samples, 3);
+        match r.into_converged() {
+            Err(MaxPowerError::NotConverged {
+                hyper_samples,
+                observed_max_mw,
+                units_used,
+                history,
+                ..
+            }) => {
+                assert_eq!(hyper_samples, 3);
+                assert!(observed_max_mw > 0.0);
+                assert_eq!(units_used, 900);
+                assert_eq!(history.len(), 3);
             }
             other => panic!("expected NotConverged, got {other:?}"),
         }
@@ -252,8 +500,10 @@ mod tests {
 
     #[test]
     fn invalid_config_rejected_before_sampling() {
-        let mut config = EstimationConfig::default();
-        config.confidence = 2.0;
+        let config = EstimationConfig {
+            confidence: 2.0,
+            ..EstimationConfig::default()
+        };
         let est = MaxPowerEstimator::new(config);
         let mut source = FnSource::new(|_: &mut dyn RngCore| 1.0);
         let mut rng = SmallRng::seed_from_u64(4);
@@ -286,9 +536,11 @@ mod tests {
     fn tighter_epsilon_costs_more_units() {
         let run = |eps: f64| {
             let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
-            let mut config = EstimationConfig::default();
-            config.relative_error = eps;
-            config.max_hyper_samples = 2_000;
+            let config = EstimationConfig {
+                relative_error: eps,
+                max_hyper_samples: 2_000,
+                ..EstimationConfig::default()
+            };
             let est = MaxPowerEstimator::new(config);
             let mut rng = SmallRng::seed_from_u64(9);
             est.run(&mut source, &mut rng).unwrap().units_used
@@ -296,5 +548,118 @@ mod tests {
         let loose = run(0.10);
         let tight = run(0.005);
         assert!(tight > loose, "tight {tight} vs loose {loose}");
+    }
+
+    #[test]
+    fn zero_mean_guard_switches_to_absolute_criterion() {
+        // A source symmetric around 0: the running mean hovers at ~0 where
+        // the relative criterion divides by ≈0 and can never fire. The
+        // guard switches to the absolute criterion so the run still ends,
+        // and the switch is recorded in the health record.
+        let mut source = FnSource::new(|rng: &mut dyn RngCore| {
+            let r = rng;
+            r.gen::<f64>() * 2e-10 - 1e-10
+        });
+        let config = EstimationConfig {
+            absolute_error_mw: 1e-6,
+            max_hyper_samples: 50,
+            ..EstimationConfig::default()
+        };
+        let est = MaxPowerEstimator::new(config);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let r = est.run(&mut source, &mut rng).unwrap();
+        assert!(r.health.zero_mean_guard);
+        assert!(
+            r.status.met_target(),
+            "guard should let the run stop: {r:?}"
+        );
+        let width = r.confidence_interval.1 - r.confidence_interval.0;
+        assert!(width <= 2e-6, "width {width}");
+    }
+
+    #[test]
+    fn derived_rng_mode_matches_itself_and_derives_distinct_streams() {
+        let run = |seed: u64| {
+            let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
+            let est = MaxPowerEstimator::new(EstimationConfig::default());
+            let mut saves = 0usize;
+            let r = est
+                .run_with_checkpoint(&mut source, seed, None, &mut |_| saves += 1)
+                .unwrap();
+            (r.estimate_mw, r.hyper_samples, saves)
+        };
+        let (a_est, a_k, a_saves) = run(7);
+        let (b_est, b_k, b_saves) = run(7);
+        assert_eq!(a_est, b_est);
+        assert_eq!(a_k, b_k);
+        assert_eq!(a_saves, a_k, "one checkpoint per hyper-sample");
+        assert_eq!(b_saves, b_k);
+        let (c_est, _, _) = run(8);
+        assert_ne!(a_est, c_est, "different master seeds give different runs");
+        assert_ne!(derive_seed(7, 0), derive_seed(7, 1));
+        assert_ne!(derive_seed(7, 0), derive_seed(8, 0));
+    }
+
+    #[test]
+    fn resume_from_any_checkpoint_matches_uninterrupted_run() {
+        let make_source = || FnSource::new(weibull_source(3.0, 1.0, 10.0));
+        let est = MaxPowerEstimator::new(EstimationConfig::default());
+        // Uninterrupted run, recording every checkpoint.
+        let mut checkpoints = Vec::new();
+        let mut source = make_source();
+        let full = est
+            .run_with_checkpoint(&mut source, 21, None, &mut |cp| {
+                checkpoints.push(cp.clone())
+            })
+            .unwrap();
+        assert!(full.hyper_samples >= 2);
+        // "Kill" the run after each prefix and resume: identical results.
+        for cp in &checkpoints {
+            let mut source = make_source();
+            let resumed = est
+                .run_with_checkpoint(&mut source, 21, Some(cp), &mut |_| {})
+                .unwrap();
+            assert_eq!(resumed.estimate_mw, full.estimate_mw);
+            assert_eq!(resumed.hyper_samples, full.hyper_samples);
+            assert_eq!(resumed.units_used, full.units_used);
+            assert_eq!(resumed.hyper_estimates, full.hyper_estimates);
+            assert_eq!(resumed.status, full.status);
+        }
+        // Resuming from the final checkpoint returns without new draws.
+        let last = checkpoints.last().unwrap();
+        let mut source = make_source();
+        let mut extra_saves = 0usize;
+        let resumed = est
+            .run_with_checkpoint(&mut source, 21, Some(last), &mut |_| extra_saves += 1)
+            .unwrap();
+        assert_eq!(extra_saves, 0);
+        assert_eq!(resumed.estimate_mw, full.estimate_mw);
+    }
+
+    #[test]
+    fn resume_rejects_wrong_seed_or_config() {
+        let est = MaxPowerEstimator::new(EstimationConfig::default());
+        let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
+        let mut checkpoints = Vec::new();
+        est.run_with_checkpoint(&mut source, 5, None, &mut |cp| checkpoints.push(cp.clone()))
+            .unwrap();
+        let cp = checkpoints.first().unwrap();
+        // Wrong seed.
+        let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
+        assert!(matches!(
+            est.run_with_checkpoint(&mut source, 6, Some(cp), &mut |_| {}),
+            Err(MaxPowerError::CheckpointMismatch { .. })
+        ));
+        // Wrong config.
+        let config = EstimationConfig {
+            relative_error: 0.01,
+            ..EstimationConfig::default()
+        };
+        let strict = MaxPowerEstimator::new(config);
+        let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
+        assert!(matches!(
+            strict.run_with_checkpoint(&mut source, 5, Some(cp), &mut |_| {}),
+            Err(MaxPowerError::CheckpointMismatch { .. })
+        ));
     }
 }

@@ -1,0 +1,254 @@
+//! Run-health vocabulary: which estimator produced each number, how the
+//! run ended, and what the engine had to survive to get there.
+//!
+//! The paper's Figure 4 loop assumes every simulation succeeds and every
+//! MLE converges. In deployment neither holds: power oracles fail
+//! transiently, return garbage (NaN, ±∞, negative "power"), and
+//! pathological circuits produce near-degenerate sample maxima on which
+//! the reversed-Weibull likelihood has no interior maximum. The types in
+//! this module make those events *observable* instead of fatal: every
+//! [`MaxPowerEstimate`](crate::MaxPowerEstimate) carries a [`RunStatus`]
+//! and a [`RunHealth`] so callers can distinguish a pristine converged run
+//! from one that limped home on fallback estimators.
+
+use serde::{Deserialize, Serialize};
+
+/// Which estimator produced a hyper-sample estimate.
+///
+/// The engine degrades along a fixed ladder, from the paper's estimator to
+/// progressively weaker but more robust ones:
+///
+/// 1. [`Mle`](EstimatorKind::Mle) — profile maximum likelihood on the
+///    reversed Weibull (the paper's §3.2; unbiased in the limit, needs a
+///    non-degenerate spread of sample maxima);
+/// 2. [`Pot`](EstimatorKind::Pot) — peaks-over-threshold GPD endpoint over
+///    the raw unit draws (robust to tied maxima, still tail-parametric);
+/// 3. [`Quantile`](EstimatorKind::Quantile) — the distribution-free
+///    empirical quantile of the raw draws (always defined; no
+///    extrapolation beyond the observed maximum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EstimatorKind {
+    /// Reversed-Weibull profile MLE (the paper's estimator).
+    Mle,
+    /// Peaks-over-threshold GPD endpoint fallback.
+    Pot,
+    /// Empirical-quantile fallback (last rung of the ladder).
+    Quantile,
+}
+
+impl EstimatorKind {
+    /// Short lowercase label for reports and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            EstimatorKind::Mle => "mle",
+            EstimatorKind::Pot => "pot",
+            EstimatorKind::Quantile => "quantile",
+        }
+    }
+}
+
+/// How an estimation run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunStatus {
+    /// The stopping rule fired: the confidence interval met the requested
+    /// relative (or, under the zero-mean guard, absolute) error, and every
+    /// hyper-sample came from the primary MLE estimator.
+    Converged,
+    /// The hyper-sample cap was reached before the stopping rule fired.
+    /// The estimate is the best available partial result; its achieved
+    /// error is in [`MaxPowerEstimate::relative_error`](crate::MaxPowerEstimate).
+    BudgetExhausted,
+    /// At least one hyper-sample came from a fallback estimator. The
+    /// stopping rule may still have fired — check
+    /// [`RunHealth`] for how much of the run degraded.
+    Degraded {
+        /// The *weakest* estimator that contributed (the deepest rung of
+        /// the ladder reached anywhere in the run).
+        fallback: EstimatorKind,
+    },
+}
+
+impl RunStatus {
+    /// Whether the stopping rule's error target was met (regardless of
+    /// which estimators contributed).
+    pub fn met_target(self) -> bool {
+        !matches!(self, RunStatus::BudgetExhausted)
+    }
+}
+
+/// Fault/robustness counters for a single hyper-sample.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HyperHealth {
+    /// Readings the source *returned* but the policy discarded
+    /// (NaN, ±∞, negative power).
+    pub samples_discarded: usize,
+    /// Source calls that returned an error and were survived
+    /// (skipped or retried per the [`SamplePolicy`](crate::SamplePolicy)).
+    pub source_errors: usize,
+    /// Immediate redraws performed under
+    /// [`SamplePolicy::Retry`](crate::SamplePolicy::Retry).
+    pub sample_retries: usize,
+    /// Fresh-draw retries of a degenerate MLE.
+    pub mle_retries: usize,
+    /// Whether the degeneracy pre-check (all sample maxima identical, or
+    /// the source provably constant) cut the retry loop short.
+    pub degenerate_bailout: bool,
+}
+
+/// Aggregated fault/robustness counters for a whole estimation run,
+/// attached to every [`MaxPowerEstimate`](crate::MaxPowerEstimate).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunHealth {
+    /// Total readings discarded across all hyper-samples.
+    pub samples_discarded: usize,
+    /// Total source errors survived.
+    pub source_errors: usize,
+    /// Total immediate sample retries.
+    pub sample_retries: usize,
+    /// Total degenerate-MLE retries.
+    pub mle_retries: usize,
+    /// Hyper-samples whose retry loop was cut short by the degeneracy
+    /// pre-check.
+    pub degenerate_bailouts: usize,
+    /// Hyper-samples estimated by the POT fallback.
+    pub pot_fallbacks: usize,
+    /// Hyper-samples estimated by the empirical-quantile fallback.
+    pub quantile_fallbacks: usize,
+    /// Whether the stopping rule ever switched to the absolute-width
+    /// criterion because the running mean was indistinguishable from zero
+    /// (the relative half-width is undefined there).
+    pub zero_mean_guard: bool,
+}
+
+impl RunHealth {
+    /// Folds one hyper-sample's health (and the estimator that produced
+    /// it) into the run-level aggregate.
+    pub fn absorb(&mut self, hyper: &HyperHealth, estimator: EstimatorKind) {
+        self.samples_discarded += hyper.samples_discarded;
+        self.source_errors += hyper.source_errors;
+        self.sample_retries += hyper.sample_retries;
+        self.mle_retries += hyper.mle_retries;
+        if hyper.degenerate_bailout {
+            self.degenerate_bailouts += 1;
+        }
+        match estimator {
+            EstimatorKind::Mle => {}
+            EstimatorKind::Pot => self.pot_fallbacks += 1,
+            EstimatorKind::Quantile => self.quantile_fallbacks += 1,
+        }
+    }
+
+    /// Whether the run saw no faults, no fallbacks and no guard switches —
+    /// i.e. it behaved exactly like the paper's idealized procedure.
+    pub fn is_clean(&self) -> bool {
+        *self == RunHealth::default()
+    }
+
+    /// The weakest (deepest-ladder) estimator that contributed, if any
+    /// fallback was taken.
+    pub fn deepest_fallback(&self) -> Option<EstimatorKind> {
+        if self.quantile_fallbacks > 0 {
+            Some(EstimatorKind::Quantile)
+        } else if self.pot_fallbacks > 0 {
+            Some(EstimatorKind::Pot)
+        } else {
+            None
+        }
+    }
+
+    /// The [`RunStatus`] implied by this health record and whether the
+    /// stopping rule fired. Missing the error target outranks degradation:
+    /// a capped run reports [`RunStatus::BudgetExhausted`] even if
+    /// fallbacks also fired (the fallback counts stay visible here).
+    pub fn status(&self, met_target: bool) -> RunStatus {
+        if !met_target {
+            return RunStatus::BudgetExhausted;
+        }
+        match self.deepest_fallback() {
+            Some(fallback) => RunStatus::Degraded { fallback },
+            None => RunStatus::Converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_health_is_clean() {
+        let h = RunHealth::default();
+        assert!(h.is_clean());
+        assert_eq!(h.deepest_fallback(), None);
+        assert_eq!(h.status(true), RunStatus::Converged);
+        assert_eq!(h.status(false), RunStatus::BudgetExhausted);
+    }
+
+    #[test]
+    fn absorb_accumulates_and_ranks_fallbacks() {
+        let mut run = RunHealth::default();
+        let hyper = HyperHealth {
+            samples_discarded: 3,
+            source_errors: 2,
+            sample_retries: 1,
+            mle_retries: 4,
+            degenerate_bailout: true,
+        };
+        run.absorb(&hyper, EstimatorKind::Mle);
+        run.absorb(&hyper, EstimatorKind::Pot);
+        run.absorb(&hyper, EstimatorKind::Quantile);
+        assert_eq!(run.samples_discarded, 9);
+        assert_eq!(run.source_errors, 6);
+        assert_eq!(run.sample_retries, 3);
+        assert_eq!(run.mle_retries, 12);
+        assert_eq!(run.degenerate_bailouts, 3);
+        assert_eq!(run.pot_fallbacks, 1);
+        assert_eq!(run.quantile_fallbacks, 1);
+        assert!(!run.is_clean());
+        // Quantile outranks POT as the deeper degradation.
+        assert_eq!(run.deepest_fallback(), Some(EstimatorKind::Quantile));
+        assert_eq!(
+            run.status(true),
+            RunStatus::Degraded {
+                fallback: EstimatorKind::Quantile
+            }
+        );
+        // A capped run is BudgetExhausted even when fallbacks fired.
+        assert_eq!(run.status(false), RunStatus::BudgetExhausted);
+    }
+
+    #[test]
+    fn status_met_target() {
+        assert!(RunStatus::Converged.met_target());
+        assert!(!RunStatus::BudgetExhausted.met_target());
+        assert!(RunStatus::Degraded {
+            fallback: EstimatorKind::Pot
+        }
+        .met_target());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let status = RunStatus::Degraded {
+            fallback: EstimatorKind::Quantile,
+        };
+        let json = serde_json::to_string(&status).unwrap();
+        let back: RunStatus = serde_json::from_str(&json).unwrap();
+        assert_eq!(status, back);
+        let health = RunHealth {
+            samples_discarded: 1,
+            zero_mean_guard: true,
+            ..RunHealth::default()
+        };
+        let json = serde_json::to_string(&health).unwrap();
+        let back: RunHealth = serde_json::from_str(&json).unwrap();
+        assert_eq!(health, back);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(EstimatorKind::Mle.label(), "mle");
+        assert_eq!(EstimatorKind::Pot.label(), "pot");
+        assert_eq!(EstimatorKind::Quantile.label(), "quantile");
+    }
+}

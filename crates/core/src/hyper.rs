@@ -1,4 +1,5 @@
-//! Hyper-sample generation — the paper's Figure 3.
+//! Hyper-sample generation — the paper's Figure 3, hardened for
+//! deployment.
 //!
 //! One hyper-sample is one full MLE-based estimate of the maximum power:
 //!
@@ -9,47 +10,161 @@
 //! 4. the estimate is the fitted endpoint `μ̂` — or, for a finite
 //!    population `|V|`, the `(1 − 1/|V|)` quantile of the fitted Weibull
 //!    (the "finite population estimator" of §3.4).
+//!
+//! Around that idealized loop this module adds the resilience layer:
+//!
+//! * every draw goes through the configured
+//!   [`SamplePolicy`](crate::SamplePolicy), which decides what a source
+//!   error or an invalid reading (NaN, ±∞, below
+//!   [`min_reading_mw`](crate::EstimationConfig::min_reading_mw)) does —
+//!   fail fast, skip, or retry;
+//! * a degenerate set of sample maxima is detected *before* the MLE is
+//!   attempted, and a provably constant source (every raw draw identical)
+//!   bails out after a single sample instead of burning the full retry
+//!   budget on fits that cannot succeed;
+//! * retries of a degenerate MLE charge an exponentially growing share of
+//!   [`mle_retry_budget`](crate::EstimationConfig::mle_retry_budget) so the
+//!   engine gives up in logarithmically many attempts;
+//! * when the MLE never converges, [`FallbackPolicy::Degrade`] walks the
+//!   estimator ladder — POT/GPD endpoint over the raw draws, then the
+//!   distribution-free empirical quantile — and records which rung
+//!   produced the estimate in [`HyperSample::estimator`].
 
 use rand::RngCore;
 
 use mpe_evt::tail::finite_population_maximum;
+use mpe_mle::pot::fit_pot;
 use mpe_mle::profile::{fit_reversed_weibull, WeibullFit};
 use mpe_mle::MleError;
 
-use crate::config::{BiasCorrection, EstimationConfig};
+use crate::config::{BiasCorrection, EstimationConfig, FallbackPolicy, SamplePolicy};
 use crate::error::MaxPowerError;
+use crate::health::{EstimatorKind, HyperHealth};
 use crate::source::PowerSource;
 
-/// One hyper-sample: a single MLE-based maximum-power estimate
+/// Empirical quantile above which the POT fallback fits its GPD
+/// (it keeps the top 10 % of the raw draws as excesses).
+const POT_FALLBACK_QUANTILE: f64 = 0.9;
+
+/// One hyper-sample: a single maximum-power estimate
 /// (the paper's `P̂_{i,MAX}`).
 #[derive(Debug, Clone)]
 pub struct HyperSample {
     /// The estimate (mW): `μ̂`, or the finite-population quantile when
-    /// [`EstimationConfig::finite_population`] is set.
+    /// [`EstimationConfig::finite_population`] is set; for fallback
+    /// estimators, the POT endpoint or the empirical quantile. Never below
+    /// [`observed_max`](Self::observed_max).
     pub estimate_mw: f64,
+    /// Which rung of the estimator ladder produced
+    /// [`estimate_mw`](Self::estimate_mw).
+    pub estimator: EstimatorKind,
     /// The underlying Weibull fit (shape, scale, endpoint, likelihood).
-    pub fit: WeibullFit,
-    /// The raw sample maxima the fit was computed from (`m` values).
+    /// `None` when a fallback estimator produced the estimate.
+    pub fit: Option<WeibullFit>,
+    /// The sample maxima of the last attempt (`m` values).
     pub sample_maxima: Vec<f64>,
     /// Largest single unit power observed while building this hyper-sample
     /// (a free lower bound on the maximum).
     pub observed_max: f64,
-    /// Vector pairs consumed (`n × m`, plus any MLE retries).
+    /// Valid readings consumed (`n × m` per attempt, plus any discarded
+    /// readings under [`SamplePolicy::Skip`]/[`SamplePolicy::Retry`]).
     pub units_used: usize,
+    /// Fault counters for this hyper-sample.
+    pub health: HyperHealth,
 }
 
-/// How many times a degenerate MLE is retried with fresh draws before
-/// giving up. Degeneracy is rare (it needs near-identical sample maxima)
-/// but possible on tiny populations.
-const MLE_RETRIES: usize = 5;
+/// Draws one *usable* reading from the source, applying the configured
+/// [`SamplePolicy`] to errors and invalid readings.
+///
+/// Accounting contract: `units_used` counts every `Ok` reading the source
+/// produced — including invalid ones a policy discards — because each cost
+/// a simulation. Errored calls consume no unit; they are tallied in
+/// `health.source_errors` when survived.
+fn draw_reading(
+    source: &mut dyn PowerSource,
+    config: &EstimationConfig,
+    rng: &mut dyn RngCore,
+    health: &mut HyperHealth,
+    units_used: &mut usize,
+) -> Result<f64, MaxPowerError> {
+    let mut consecutive = 0usize;
+    loop {
+        match source.sample(rng) {
+            Ok(p) => {
+                *units_used += 1;
+                if p.is_finite() && p >= config.min_reading_mw {
+                    return Ok(p);
+                }
+                match config.sample_policy {
+                    SamplePolicy::Fail => {
+                        return Err(MaxPowerError::InvalidReading { value_mw: p })
+                    }
+                    SamplePolicy::Skip { max_discarded } => {
+                        health.samples_discarded += 1;
+                        let count = health.samples_discarded + health.source_errors;
+                        if count > max_discarded {
+                            return Err(MaxPowerError::SamplePolicyExhausted {
+                                policy: "skip",
+                                count,
+                                limit: max_discarded,
+                            });
+                        }
+                    }
+                    SamplePolicy::Retry { max_attempts } => {
+                        health.samples_discarded += 1;
+                        health.sample_retries += 1;
+                        consecutive += 1;
+                        if consecutive > max_attempts {
+                            return Err(MaxPowerError::SamplePolicyExhausted {
+                                policy: "retry",
+                                count: consecutive,
+                                limit: max_attempts,
+                            });
+                        }
+                    }
+                }
+            }
+            Err(e) => match config.sample_policy {
+                SamplePolicy::Fail => return Err(e),
+                SamplePolicy::Skip { max_discarded } => {
+                    health.source_errors += 1;
+                    let count = health.samples_discarded + health.source_errors;
+                    if count > max_discarded {
+                        return Err(MaxPowerError::SamplePolicyExhausted {
+                            policy: "skip",
+                            count,
+                            limit: max_discarded,
+                        });
+                    }
+                }
+                SamplePolicy::Retry { max_attempts } => {
+                    health.source_errors += 1;
+                    health.sample_retries += 1;
+                    consecutive += 1;
+                    if consecutive > max_attempts {
+                        // Propagate the source's own error: the caller sees
+                        // *why* the source kept failing, not just that the
+                        // policy gave up.
+                        return Err(e);
+                    }
+                }
+            },
+        }
+    }
+}
 
-/// Generates one hyper-sample from the source (paper Figure 3).
+/// Generates one hyper-sample from the source (paper Figure 3), degrading
+/// gracefully per the configured policies.
 ///
 /// # Errors
 ///
-/// * propagates source/simulation failures;
-/// * [`MaxPowerError::HyperSampleFailed`] if the MLE stays degenerate after
-///   five fresh attempts.
+/// * propagates source/simulation failures per
+///   [`EstimationConfig::sample_policy`] (immediately under
+///   [`SamplePolicy::Fail`], after the tolerance is exhausted otherwise);
+/// * [`MaxPowerError::HyperSampleFailed`] if the MLE stays degenerate
+///   through the retry budget *and*
+///   [`FallbackPolicy::ErrorOut`] is configured — under the default
+///   [`FallbackPolicy::Degrade`] a fallback estimate is returned instead.
 pub fn generate_hyper_sample(
     source: &mut dyn PowerSource,
     config: &EstimationConfig,
@@ -58,47 +173,157 @@ pub fn generate_hyper_sample(
     let n = config.sample_size;
     let m = config.samples_per_hyper;
     let mut units_used = 0usize;
-    let mut last_err: Option<MleError> = None;
+    let mut health = HyperHealth::default();
+    // All valid readings across attempts, pooled for the fallback ladder.
+    let mut all_draws: Vec<f64> = Vec::with_capacity(n * m);
+    let mut observed_max = f64::NEG_INFINITY;
+    let mut attempts = 0usize;
+    // Retry charge in units of one hyper-sample's cost; attempt k costs
+    // 2^(k-1), so the budget is exhausted after ~log2(budget) attempts.
+    let mut charged = 0usize;
 
-    for _attempt in 0..MLE_RETRIES {
+    let (cause, last_maxima) = loop {
         // Draw m samples of size n; record each sample's maximum.
         let mut maxima = Vec::with_capacity(m);
-        let mut observed_max = f64::NEG_INFINITY;
+        let mut first_draw: Option<f64> = None;
+        let mut constant = true;
         for _ in 0..m {
             let mut sample_max = f64::NEG_INFINITY;
             for _ in 0..n {
-                let p = source.sample(rng)?;
-                units_used += 1;
+                let p = draw_reading(source, config, rng, &mut health, &mut units_used)?;
+                match first_draw {
+                    None => first_draw = Some(p),
+                    Some(f0) => {
+                        if p != f0 {
+                            constant = false;
+                        }
+                    }
+                }
+                all_draws.push(p);
                 sample_max = sample_max.max(p);
             }
             observed_max = observed_max.max(sample_max);
             maxima.push(sample_max);
         }
-        match fit_reversed_weibull(&maxima) {
-            Ok(fit) => {
-                let plain = point_estimate(&fit, config);
-                let estimate_mw = match config.bias_correction {
-                    BiasCorrection::None => plain,
-                    BiasCorrection::Jackknife => jackknife(&maxima, plain, config),
-                };
-                // The observed maximum is a hard lower bound on ω(F); the
-                // estimator never reports below what it has already seen.
-                let estimate_mw = estimate_mw.max(observed_max);
-                return Ok(HyperSample {
-                    estimate_mw,
-                    fit,
-                    sample_maxima: maxima,
+        attempts += 1;
+        charged = charged.saturating_add(1usize << (attempts - 1).min(63));
+
+        // Degeneracy pre-check: identical sample maxima give the reversed-
+        // Weibull likelihood no interior maximum, so don't pay for a fit
+        // that must fail.
+        let degenerate = maxima.windows(2).all(|w| w[0] == w[1]);
+        let failure: MleError = if degenerate {
+            health.degenerate_bailout = true;
+            MleError::DegenerateSample {
+                reason: "all sample maxima identical",
+            }
+        } else {
+            match fit_reversed_weibull(&maxima) {
+                Ok(fit) => {
+                    health.mle_retries = attempts - 1;
+                    let plain = point_estimate(&fit, config);
+                    let estimate_mw = match config.bias_correction {
+                        BiasCorrection::None => plain,
+                        BiasCorrection::Jackknife => jackknife(&maxima, plain, config),
+                    };
+                    // The observed maximum is a hard lower bound on ω(F);
+                    // the estimator never reports below what it has seen.
+                    let estimate_mw = estimate_mw.max(observed_max);
+                    return Ok(HyperSample {
+                        estimate_mw,
+                        estimator: EstimatorKind::Mle,
+                        fit: Some(fit),
+                        sample_maxima: maxima,
+                        observed_max,
+                        units_used,
+                        health,
+                    });
+                }
+                Err(e) => e,
+            }
+        };
+        if constant {
+            // Every raw draw identical: fresh draws cannot un-degenerate
+            // the maxima, so retrying would only burn the budget.
+            health.degenerate_bailout = true;
+            break (failure, maxima);
+        }
+        if charged >= config.mle_retry_budget {
+            break (failure, maxima);
+        }
+    };
+    health.mle_retries = attempts - 1;
+    match config.fallback {
+        FallbackPolicy::ErrorOut => Err(MaxPowerError::HyperSampleFailed { cause, attempts }),
+        FallbackPolicy::Degrade => Ok(degraded_hyper_sample(
+            all_draws,
+            last_maxima,
+            observed_max,
+            units_used,
+            health,
+            config,
+        )),
+    }
+}
+
+/// Walks the fallback ladder over the pooled raw draws: POT/GPD endpoint,
+/// then the distribution-free empirical quantile. Always succeeds — the
+/// quantile rung is defined for any non-empty draw set.
+fn degraded_hyper_sample(
+    all_draws: Vec<f64>,
+    sample_maxima: Vec<f64>,
+    observed_max: f64,
+    units_used: usize,
+    health: HyperHealth,
+    config: &EstimationConfig,
+) -> HyperSample {
+    // Rung 2: peaks-over-threshold. Tied *maxima* don't imply tied
+    // excesses, so the GPD often still fits where the Weibull could not.
+    // The endpoint is accepted only when it is finite and consistent with
+    // the data (at or above the observed maximum).
+    if let Ok(pot) = fit_pot(&all_draws, POT_FALLBACK_QUANTILE) {
+        if let Some(endpoint) = pot.endpoint() {
+            if endpoint.is_finite() && endpoint >= observed_max {
+                return HyperSample {
+                    estimate_mw: endpoint,
+                    estimator: EstimatorKind::Pot,
+                    fit: None,
+                    sample_maxima,
                     observed_max,
                     units_used,
-                });
+                    health,
+                };
             }
-            Err(e) => last_err = Some(e),
         }
     }
-    Err(MaxPowerError::HyperSampleFailed {
-        cause: last_err.expect("loop ran at least once"),
-        attempts: MLE_RETRIES,
-    })
+    // Rung 3: empirical quantile at the finite-population level (or the
+    // sample maximum for an infinite population). No extrapolation beyond
+    // the data — a pure lower bound, but always defined.
+    let q = match config.finite_population {
+        Some(v) => 1.0 - 1.0 / v as f64,
+        None => 1.0,
+    };
+    let estimate_mw = empirical_quantile(&all_draws, q).max(observed_max);
+    HyperSample {
+        estimate_mw,
+        estimator: EstimatorKind::Quantile,
+        fit: None,
+        sample_maxima,
+        observed_max,
+        units_used,
+        health,
+    }
+}
+
+/// Type-7 interpolated empirical quantile (the same convention as the
+/// quantile-baseline estimator). `data` must be non-empty and finite.
+fn empirical_quantile(data: &[f64], q: f64) -> f64 {
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("valid readings are finite"));
+    let h = q.clamp(0.0, 1.0) * (sorted.len() as f64 - 1.0);
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
 }
 
 /// The point estimate implied by a fit under the configuration's
@@ -171,6 +396,9 @@ mod tests {
             let h = generate_hyper_sample(&mut source, &config, &mut rng).unwrap();
             assert_eq!(h.units_used, 300);
             assert_eq!(h.sample_maxima.len(), 10);
+            assert_eq!(h.estimator, EstimatorKind::Mle);
+            assert!(h.fit.is_some());
+            assert_eq!(h.health, HyperHealth::default());
             assert!(h.estimate_mw >= h.observed_max);
             errs.push((h.estimate_mw - 10.0).abs());
         }
@@ -185,8 +413,10 @@ mod tests {
         // Build identical draws for two configs by re-seeding.
         let mut run = |finite: Option<u64>| {
             let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
-            let mut config = EstimationConfig::default();
-            config.finite_population = finite;
+            let config = EstimationConfig {
+                finite_population: finite,
+                ..EstimationConfig::default()
+            };
             let mut local_rng = SmallRng::seed_from_u64(77);
             let _ = &mut rng;
             generate_hyper_sample(&mut source, &config, &mut local_rng).unwrap()
@@ -199,28 +429,56 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_source_fails_cleanly() {
-        // Constant power: sample maxima are all identical; MLE must fail.
+    fn constant_source_bails_after_one_attempt_under_error_out() {
+        // Constant power: every draw identical, so the pre-check proves no
+        // amount of retrying can help — exactly one attempt is spent
+        // (the seed burned MLE_RETRIES × n × m = 1500 draws here).
         let mut source = FnSource::new(|_: &mut dyn RngCore| 5.0);
-        let config = EstimationConfig::default();
+        let config = EstimationConfig {
+            fallback: FallbackPolicy::ErrorOut,
+            ..EstimationConfig::default()
+        };
         let mut rng = SmallRng::seed_from_u64(3);
         let err = generate_hyper_sample(&mut source, &config, &mut rng);
         assert!(matches!(
             err,
-            Err(MaxPowerError::HyperSampleFailed { attempts: 5, .. })
+            Err(MaxPowerError::HyperSampleFailed { attempts: 1, .. })
         ));
     }
 
     #[test]
+    fn constant_source_degrades_to_quantile() {
+        // Under the default Degrade policy the same source yields the
+        // empirical-quantile fallback: estimate = the constant itself,
+        // after a single attempt's worth of draws.
+        let mut source = FnSource::new(|_: &mut dyn RngCore| 5.0);
+        let config = EstimationConfig::default();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let h = generate_hyper_sample(&mut source, &config, &mut rng).unwrap();
+        assert_eq!(h.estimate_mw, 5.0);
+        assert_eq!(h.estimator, EstimatorKind::Quantile);
+        assert!(h.fit.is_none());
+        assert_eq!(h.units_used, 300);
+        assert!(h.health.degenerate_bailout);
+        assert_eq!(h.health.mle_retries, 0);
+    }
+
+    #[test]
     fn units_used_accounts_retries() {
-        // A source that is degenerate at first, then becomes healthy: the
-        // retry loop should succeed and count all units drawn.
+        // Degenerate-but-not-constant first attempt (every sample of 30
+        // contains a 5.0, so all maxima tie, but raw draws vary): the
+        // pre-check skips the doomed fit, the retry loop draws again, and
+        // the second attempt succeeds with all units counted.
         let truth = ReversedWeibull::new(3.0, 1.0, 10.0).unwrap();
         let mut calls = 0usize;
         let mut source = FnSource::new(move |rng: &mut dyn RngCore| {
             calls += 1;
             if calls <= 300 {
-                5.0 // first full hyper-sample worth of draws is constant
+                if calls.is_multiple_of(2) {
+                    5.0
+                } else {
+                    1.0
+                }
             } else {
                 let r = rng;
                 let u: f64 = r.gen_range(1e-12..1.0f64);
@@ -231,6 +489,134 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(4);
         let h = generate_hyper_sample(&mut source, &config, &mut rng).unwrap();
         assert_eq!(h.units_used, 600);
+        assert_eq!(h.estimator, EstimatorKind::Mle);
+        assert_eq!(h.health.mle_retries, 1);
+        assert!(h.health.degenerate_bailout);
+    }
+
+    #[test]
+    fn retry_budget_is_exponential() {
+        // Maxima degenerate forever but draws vary: the exponential charge
+        // (1+2+4+8 = 15) stops the loop after 4 attempts under the default
+        // budget of 15 hyper-sample costs.
+        let run = |budget: usize| {
+            let mut toggle = false;
+            let mut source = FnSource::new(move |_: &mut dyn RngCore| {
+                toggle = !toggle;
+                if toggle {
+                    1.0
+                } else {
+                    5.0
+                }
+            });
+            let config = EstimationConfig {
+                fallback: FallbackPolicy::ErrorOut,
+                mle_retry_budget: budget,
+                ..EstimationConfig::default()
+            };
+            let mut rng = SmallRng::seed_from_u64(5);
+            generate_hyper_sample(&mut source, &config, &mut rng)
+        };
+        match run(15) {
+            Err(MaxPowerError::HyperSampleFailed { attempts, .. }) => assert_eq!(attempts, 4),
+            other => panic!("expected HyperSampleFailed, got {other:?}"),
+        }
+        match run(1) {
+            Err(MaxPowerError::HyperSampleFailed { attempts, .. }) => assert_eq!(attempts, 1),
+            other => panic!("expected HyperSampleFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_reading_fails_fast_under_fail_policy() {
+        let mut calls = 0usize;
+        let mut source = FnSource::new(move |rng: &mut dyn RngCore| {
+            calls += 1;
+            if calls == 10 {
+                f64::NAN
+            } else {
+                let r = rng;
+                r.gen::<f64>()
+            }
+        });
+        let config = EstimationConfig::default();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let err = generate_hyper_sample(&mut source, &config, &mut rng);
+        match err {
+            Err(MaxPowerError::InvalidReading { value_mw }) => assert!(value_mw.is_nan()),
+            other => panic!("expected InvalidReading, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skip_policy_discards_and_accounts() {
+        // Every 7th reading is NaN; Skip discards them, draws replacements,
+        // and counts each discarded reading as a consumed unit.
+        let mut calls = 0usize;
+        let mut source = FnSource::new(move |rng: &mut dyn RngCore| {
+            calls += 1;
+            if calls.is_multiple_of(7) {
+                f64::NAN
+            } else {
+                let r = rng;
+                5.0 + r.gen::<f64>()
+            }
+        });
+        let config = EstimationConfig {
+            sample_policy: SamplePolicy::Skip {
+                max_discarded: 1000,
+            },
+            ..EstimationConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(7);
+        let h = generate_hyper_sample(&mut source, &config, &mut rng).unwrap();
+        assert!(h.health.samples_discarded > 0);
+        assert_eq!(h.units_used, 300 + h.health.samples_discarded);
+        assert!(h.sample_maxima.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn skip_policy_exhausts_at_cap() {
+        let mut source = FnSource::new(|_: &mut dyn RngCore| f64::NAN);
+        let config = EstimationConfig {
+            sample_policy: SamplePolicy::Skip { max_discarded: 5 },
+            ..EstimationConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(8);
+        let err = generate_hyper_sample(&mut source, &config, &mut rng);
+        assert!(matches!(
+            err,
+            Err(MaxPowerError::SamplePolicyExhausted {
+                policy: "skip",
+                count: 6,
+                limit: 5,
+            })
+        ));
+    }
+
+    #[test]
+    fn min_reading_floor_rejects_negatives() {
+        let mut calls = 0usize;
+        let mut source = FnSource::new(move |rng: &mut dyn RngCore| {
+            calls += 1;
+            if calls.is_multiple_of(11) {
+                -3.0
+            } else {
+                let r = rng;
+                5.0 + r.gen::<f64>()
+            }
+        });
+        let config = EstimationConfig {
+            min_reading_mw: 0.0,
+            sample_policy: SamplePolicy::Retry { max_attempts: 3 },
+            ..EstimationConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(9);
+        let h = generate_hyper_sample(&mut source, &config, &mut rng).unwrap();
+        assert!(h.health.samples_discarded > 0);
+        assert_eq!(h.health.sample_retries, h.health.samples_discarded);
+        assert!(h.sample_maxima.iter().all(|&x| x >= 0.0));
+        assert_eq!(h.units_used, 300 + h.health.samples_discarded);
     }
 
     #[test]
@@ -244,8 +630,10 @@ mod tests {
         use crate::config::BiasCorrection;
         let run = |correction: BiasCorrection| -> Vec<HyperSample> {
             let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
-            let mut config = EstimationConfig::default();
-            config.bias_correction = correction;
+            let config = EstimationConfig {
+                bias_correction: correction,
+                ..EstimationConfig::default()
+            };
             let mut rng = SmallRng::seed_from_u64(9);
             (0..10)
                 .map(|_| generate_hyper_sample(&mut source, &config, &mut rng).unwrap())
@@ -284,5 +672,14 @@ mod tests {
         if let Ok(h) = generate_hyper_sample(&mut source, &config, &mut rng) {
             assert!(h.estimate_mw >= h.observed_max);
         }
+    }
+
+    #[test]
+    fn empirical_quantile_matches_convention() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(empirical_quantile(&data, 0.0), 1.0);
+        assert_eq!(empirical_quantile(&data, 0.5), 3.0);
+        assert_eq!(empirical_quantile(&data, 1.0), 5.0);
+        assert_eq!(empirical_quantile(&data, 0.25), 2.0);
     }
 }

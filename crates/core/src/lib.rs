@@ -66,10 +66,13 @@
 //! ```
 
 pub mod average;
+pub mod checkpoint;
 pub mod config;
 pub mod delay;
 pub mod error;
 pub mod estimator;
+pub mod fault;
+pub mod health;
 pub mod hyper;
 pub mod quantile_baseline;
 pub mod report;
@@ -78,10 +81,13 @@ pub mod srs;
 pub mod sweep;
 
 pub use average::{estimate_average_power, AveragePowerEstimate};
-pub use config::{BiasCorrection, EstimationConfig};
+pub use checkpoint::{config_fingerprint, Checkpoint, CheckpointHistoryEntry, CHECKPOINT_VERSION};
+pub use config::{BiasCorrection, EstimationConfig, FallbackPolicy, SamplePolicy};
 pub use delay::DelaySource;
 pub use error::MaxPowerError;
 pub use estimator::{EstimateHistoryEntry, MaxPowerEstimate, MaxPowerEstimator};
+pub use fault::{FaultConfig, FaultInjectingSource, FaultStats};
+pub use health::{EstimatorKind, HyperHealth, RunHealth, RunStatus};
 pub use hyper::{generate_hyper_sample, HyperSample};
 pub use quantile_baseline::{quantile_baseline_estimate, QuantileEstimate};
 pub use report::EstimateReport;

@@ -114,8 +114,7 @@ mod tests {
         let mut source = uniform_source();
         let mut rng = SmallRng::seed_from_u64(1);
         for (q, truth) in [(0.5, 5.0), (0.9, 9.0), (0.99, 9.9)] {
-            let est =
-                quantile_baseline_estimate(&mut source, q, 0.9, 20_000, &mut rng).unwrap();
+            let est = quantile_baseline_estimate(&mut source, q, 0.9, 20_000, &mut rng).unwrap();
             assert!(
                 (est.estimate_mw - truth).abs() < 0.15,
                 "q={q}: {} vs {truth}",
@@ -133,8 +132,7 @@ mod tests {
         for seed in 0..runs {
             let mut source = uniform_source();
             let mut rng = SmallRng::seed_from_u64(100 + seed);
-            let est =
-                quantile_baseline_estimate(&mut source, 0.9, 0.9, 500, &mut rng).unwrap();
+            let est = quantile_baseline_estimate(&mut source, 0.9, 0.9, 500, &mut rng).unwrap();
             if est.confidence_interval.0 <= 9.0 && 9.0 <= est.confidence_interval.1 {
                 hits += 1;
             }
@@ -149,14 +147,9 @@ mod tests {
         // the method degenerates to random search.
         let mut source = uniform_source();
         let mut rng = SmallRng::seed_from_u64(7);
-        let est = quantile_baseline_estimate(
-            &mut source,
-            1.0 - 1.0 / 160_000.0,
-            0.9,
-            2_500,
-            &mut rng,
-        )
-        .unwrap();
+        let est =
+            quantile_baseline_estimate(&mut source, 1.0 - 1.0 / 160_000.0, 0.9, 2_500, &mut rng)
+                .unwrap();
         // With n·(1−q) ≈ 0.016 expected exceedances, the point estimate and
         // upper bound sit at the extreme order statistics.
         assert!(est.estimate_mw > 9.95);

@@ -8,9 +8,13 @@
 use serde::{Deserialize, Serialize};
 
 use crate::estimator::MaxPowerEstimate;
+use crate::health::{EstimatorKind, RunHealth, RunStatus};
 
 /// Format version written into every report, bumped on breaking changes.
-pub const REPORT_VERSION: u32 = 1;
+///
+/// v2 added the resilience fields: `status`, `health` and
+/// `hyper_estimators`.
+pub const REPORT_VERSION: u32 = 2;
 
 /// A flattened, JSON-serializable view of a [`MaxPowerEstimate`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,8 +41,15 @@ pub struct EstimateReport {
     pub units_used: usize,
     /// Largest single observation (hard lower bound on the maximum).
     pub observed_max: f64,
+    /// How the run ended (converged / degraded / budget-exhausted).
+    pub status: RunStatus,
+    /// Fault, fallback and guard counters for the whole run.
+    pub health: RunHealth,
     /// Per-hyper-sample estimates, for audit/debugging.
     pub hyper_estimates: Vec<f64>,
+    /// Which estimator produced each hyper-sample (parallel to
+    /// `hyper_estimates`).
+    pub hyper_estimators: Vec<EstimatorKind>,
 }
 
 impl EstimateReport {
@@ -56,7 +67,10 @@ impl EstimateReport {
             hyper_samples: estimate.hyper_samples,
             units_used: estimate.units_used,
             observed_max: estimate.observed_max_mw,
+            status: estimate.status,
+            health: estimate.health,
             hyper_estimates: estimate.hyper_estimates.clone(),
+            hyper_estimators: estimate.hyper_estimators.clone(),
         }
     }
 
@@ -101,6 +115,14 @@ mod tests {
             hyper_samples: 8,
             units_used: 2400,
             observed_max_mw: 10.1,
+            status: RunStatus::Degraded {
+                fallback: EstimatorKind::Pot,
+            },
+            health: RunHealth {
+                pot_fallbacks: 1,
+                source_errors: 3,
+                ..RunHealth::default()
+            },
             history: vec![EstimateHistoryEntry {
                 k: 1,
                 mean_mw: 10.2,
@@ -108,6 +130,7 @@ mod tests {
                 units_used: 300,
             }],
             hyper_estimates: vec![10.2, 10.8],
+            hyper_estimators: vec![EstimatorKind::Mle, EstimatorKind::Pot],
         }
     }
 
@@ -142,5 +165,13 @@ mod tests {
         assert_eq!(report.ci_high, est.confidence_interval.1);
         assert_eq!(report.units_used, 2400);
         assert_eq!(report.hyper_estimates.len(), 2);
+        assert_eq!(report.hyper_estimators.len(), 2);
+        assert_eq!(
+            report.status,
+            RunStatus::Degraded {
+                fallback: EstimatorKind::Pot
+            }
+        );
+        assert_eq!(report.health.source_errors, 3);
     }
 }

@@ -210,10 +210,7 @@ mod tests {
 
     #[test]
     fn trait_object_usable() {
-        let mut s = FnSource::new(|rng: &mut dyn RngCore| {
-            let rng = rng;
-            rng.gen::<f64>()
-        });
+        let mut s = FnSource::new(|rng: &mut dyn RngCore| rng.gen::<f64>());
         let src: &mut dyn PowerSource = &mut s;
         let mut rng = SmallRng::seed_from_u64(4);
         assert!(src.sample(&mut rng).unwrap() <= 1.0);

@@ -114,14 +114,8 @@ mod tests {
     #[test]
     fn higher_activity_higher_max_power() {
         let circuit = generate(Iscas85::C432, 3).unwrap();
-        let points = sweep_activity(
-            &circuit,
-            &[0.1, 0.9],
-            DelayModel::Zero,
-            &sweep_config(),
-            7,
-        )
-        .unwrap();
+        let points =
+            sweep_activity(&circuit, &[0.1, 0.9], DelayModel::Zero, &sweep_config(), 7).unwrap();
         let est = |p: &SweepPoint| match &p.result {
             Ok(e) => e.estimate_mw,
             Err(MaxPowerError::NotConverged { estimate_mw, .. }) => *estimate_mw,
@@ -138,11 +132,9 @@ mod tests {
     #[test]
     fn points_are_independent_of_sweep_composition() {
         let circuit = generate(Iscas85::C432, 3).unwrap();
-        let solo = sweep_activity(&circuit, &[0.5], DelayModel::Zero, &sweep_config(), 9)
-            .unwrap();
+        let solo = sweep_activity(&circuit, &[0.5], DelayModel::Zero, &sweep_config(), 9).unwrap();
         let multi =
-            sweep_activity(&circuit, &[0.5, 0.7], DelayModel::Zero, &sweep_config(), 9)
-                .unwrap();
+            sweep_activity(&circuit, &[0.5, 0.7], DelayModel::Zero, &sweep_config(), 9).unwrap();
         let a = solo[0].result.as_ref().map(|e| e.estimate_mw).ok();
         let b = multi[0].result.as_ref().map(|e| e.estimate_mw).ok();
         assert_eq!(a, b, "prefix points must not depend on later points");
@@ -152,8 +144,6 @@ mod tests {
     fn validation() {
         let circuit = generate(Iscas85::C432, 3).unwrap();
         assert!(sweep_activity(&circuit, &[], DelayModel::Zero, &sweep_config(), 1).is_err());
-        assert!(
-            sweep_activity(&circuit, &[1.5], DelayModel::Zero, &sweep_config(), 1).is_err()
-        );
+        assert!(sweep_activity(&circuit, &[1.5], DelayModel::Zero, &sweep_config(), 1).is_err());
     }
 }

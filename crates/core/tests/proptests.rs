@@ -40,8 +40,10 @@ proptest! {
     fn finite_population_never_higher(seed in 0u64..300, v in 100u64..1_000_000) {
         let run = |finite: Option<u64>| {
             let mut source = FnSource::new(bounded_source(10.0));
-            let mut config = EstimationConfig::default();
-            config.finite_population = finite;
+            let config = EstimationConfig {
+                finite_population: finite,
+                ..EstimationConfig::default()
+            };
             let mut rng = SmallRng::seed_from_u64(seed);
             generate_hyper_sample(&mut source, &config, &mut rng)
                 .unwrap()

@@ -257,7 +257,10 @@ pub fn pickands_tail_index(data: &[f64], k: usize) -> Result<f64, EvtError> {
     let n = sorted.len();
     let k = k.max(1);
     if 4 * k > n {
-        return Err(EvtError::InsufficientData { needed: 4 * k, got: n });
+        return Err(EvtError::InsufficientData {
+            needed: 4 * k,
+            got: n,
+        });
     }
     let x1 = sorted[n - k];
     let x2 = sorted[n - 2 * k];
@@ -292,13 +295,8 @@ mod tests {
     #[test]
     fn frechet_constants_for_pareto() {
         // Pareto(α=2): F(x) = 1 - x^{-2}, F^{-1}(q) = (1-q)^{-1/2}
-        let c = normalizing_constants(
-            LimitingLaw::Frechet,
-            100,
-            |q| (1.0 - q as f64).powf(-0.5),
-            None,
-        )
-        .unwrap();
+        let c = normalizing_constants(LimitingLaw::Frechet, 100, |q| (1.0 - q).powf(-0.5), None)
+            .unwrap();
         assert_eq!(c.b_n, 0.0);
         assert!((c.a_n - 10.0).abs() < 1e-9);
     }
@@ -306,13 +304,8 @@ mod tests {
     #[test]
     fn gumbel_constants_for_exponential() {
         // Exp(1): F^{-1}(q) = -ln(1-q); b_n = ln n, a_n -> 1
-        let c = normalizing_constants(
-            LimitingLaw::Gumbel,
-            1000,
-            |q| -(1.0 - q as f64).ln(),
-            None,
-        )
-        .unwrap();
+        let c =
+            normalizing_constants(LimitingLaw::Gumbel, 1000, |q| -(1.0 - q).ln(), None).unwrap();
         assert!((c.b_n - 1000f64.ln()).abs() < 1e-9);
         assert!((c.a_n - 1.0).abs() < 1e-9);
     }
@@ -367,10 +360,7 @@ mod tests {
         let f = Frechet::new(1.0, 0.0, 1.0).unwrap();
         let mut rng = SmallRng::seed_from_u64(3);
         let data: Vec<f64> = (0..20_000).map(|_| f.sample(&mut rng)).collect();
-        assert_eq!(
-            classify_domain(&data, false).unwrap(),
-            LimitingLaw::Frechet
-        );
+        assert_eq!(classify_domain(&data, false).unwrap(), LimitingLaw::Frechet);
     }
 
     #[test]
@@ -378,10 +368,7 @@ mod tests {
         let w = ReversedWeibull::new(1.0, 1.0, 5.0).unwrap();
         let mut rng = SmallRng::seed_from_u64(4);
         let data: Vec<f64> = w.sample_n(&mut rng, 20_000);
-        assert_eq!(
-            classify_domain(&data, false).unwrap(),
-            LimitingLaw::Weibull
-        );
+        assert_eq!(classify_domain(&data, false).unwrap(), LimitingLaw::Weibull);
     }
 
     #[test]

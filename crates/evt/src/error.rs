@@ -45,9 +45,15 @@ impl fmt::Display for EvtError {
                 what,
                 constraint,
                 value,
-            } => write!(f, "invalid parameter {what}={value}: must satisfy {constraint}"),
+            } => write!(
+                f,
+                "invalid parameter {what}={value}: must satisfy {constraint}"
+            ),
             EvtError::InsufficientData { needed, got } => {
-                write!(f, "insufficient data: needed {needed} observations, got {got}")
+                write!(
+                    f,
+                    "insufficient data: needed {needed} observations, got {got}"
+                )
             }
             EvtError::Numeric(e) => write!(f, "numeric failure: {e}"),
         }

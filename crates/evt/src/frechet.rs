@@ -96,7 +96,11 @@ impl Frechet {
 
 impl std::fmt::Display for Frechet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Fréchet(α={}, μ={}, σ={})", self.alpha, self.mu, self.sigma)
+        write!(
+            f,
+            "Fréchet(α={}, μ={}, σ={})",
+            self.alpha, self.mu, self.sigma
+        )
     }
 }
 

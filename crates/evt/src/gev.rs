@@ -93,7 +93,11 @@ impl Gev {
     /// endpoint to convert to).
     pub fn to_reversed_weibull(&self) -> Result<ReversedWeibull, EvtError> {
         if self.xi >= 0.0 {
-            return Err(EvtError::invalid("xi", "xi < 0 for Weibull domain", self.xi));
+            return Err(EvtError::invalid(
+                "xi",
+                "xi < 0 for Weibull domain",
+                self.xi,
+            ));
         }
         let alpha = -1.0 / self.xi;
         let endpoint = self.mu - self.sigma / self.xi;
@@ -108,7 +112,11 @@ impl Gev {
     /// Returns [`EvtError::InvalidParameter`] if `ξ <= 0`.
     pub fn to_frechet(&self) -> Result<Frechet, EvtError> {
         if self.xi <= 0.0 {
-            return Err(EvtError::invalid("xi", "xi > 0 for Fréchet domain", self.xi));
+            return Err(EvtError::invalid(
+                "xi",
+                "xi > 0 for Fréchet domain",
+                self.xi,
+            ));
         }
         let alpha = 1.0 / self.xi;
         // GEV(ξ,μ,σ) with ξ>0 equals Fréchet(α, μ − σ/ξ, σ/ξ)
@@ -235,11 +243,7 @@ mod tests {
         for &x in &[-3.0, 0.0, 1.0, 2.0] {
             close(gev.cdf(x), w.cdf(x), 1e-12);
         }
-        close(
-            gev.right_endpoint().unwrap(),
-            w.right_endpoint(),
-            1e-12,
-        );
+        close(gev.right_endpoint().unwrap(), w.right_endpoint(), 1e-12);
     }
 
     #[test]

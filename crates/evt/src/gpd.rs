@@ -136,7 +136,7 @@ impl ContinuousDistribution for GeneralizedPareto {
     }
 
     fn inverse_cdf(&self, p: f64) -> Result<f64, StatsError> {
-        if !(p >= 0.0 && p < 1.0) {
+        if !(0.0..1.0).contains(&p) {
             return Err(StatsError::invalid("p", "0 <= p < 1", p));
         }
         if p == 0.0 {
@@ -221,7 +221,10 @@ mod tests {
         let g = GeneralizedPareto::new(0.25, 1.0).unwrap();
         close(g.mean().unwrap(), 1.0 / 0.75, 1e-12);
         assert!(GeneralizedPareto::new(1.5, 1.0).unwrap().mean().is_none());
-        assert!(GeneralizedPareto::new(0.6, 1.0).unwrap().variance().is_none());
+        assert!(GeneralizedPareto::new(0.6, 1.0)
+            .unwrap()
+            .variance()
+            .is_none());
     }
 
     #[test]

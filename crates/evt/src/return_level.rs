@@ -46,11 +46,7 @@ pub fn return_level(
         return Err(EvtError::invalid("block_size", ">= 1", 0.0));
     }
     if period <= block_size as u64 {
-        return Err(EvtError::invalid(
-            "period",
-            "> block_size",
-            period as f64,
-        ));
+        return Err(EvtError::invalid("period", "> block_size", period as f64));
     }
     let q = 1.0 - block_size as f64 / period as f64;
     fitted.quantile(q)

@@ -87,7 +87,8 @@ where
     F: Fn(f64) -> f64,
     G: Fn(f64) -> f64,
 {
-    if !(endpoint > lo) {
+    // `partial_cmp` so a NaN endpoint or bound is rejected, not let through.
+    if endpoint.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
         return Err(EvtError::invalid("endpoint", "> lo", endpoint - lo));
     }
     if !(fraction > 0.0 && fraction <= 1.0) {

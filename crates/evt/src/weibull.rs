@@ -239,7 +239,7 @@ mod tests {
         // G_{2,α}(x) = exp(−(−x)^α) for x ≤ 0
         let g = ReversedWeibull::standard(2.5).unwrap();
         for &x in &[-3.0, -1.0, -0.5, -0.1] {
-            close(g.cdf(x), (-(-x as f64).powf(2.5)).exp(), 1e-14);
+            close(g.cdf(x), (-(-x).powf(2.5)).exp(), 1e-14);
         }
         assert_eq!(g.cdf(0.0), 1.0);
     }

@@ -223,7 +223,8 @@ mod tests {
     fn invert3_roundtrip() {
         let m = [[3.0, 1.0, 0.5], [1.0, 4.0, 1.5], [0.5, 1.5, 5.0]];
         let inv = invert3(&m).unwrap();
-        // m * inv ~ I
+        // m * inv ~ I (indexing keeps the triple product readable)
+        #[allow(clippy::needless_range_loop)]
         for i in 0..3 {
             for j in 0..3 {
                 let mut acc = 0.0;
@@ -305,6 +306,8 @@ mod tests {
         let fit = fit_reversed_weibull(&data).unwrap();
         let cov = fisher_covariance(&fit, &data).unwrap();
         let e = cov.entries();
+        // Indexing spells out the (i,j)/(j,i) symmetry being asserted.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..3 {
             for j in 0..3 {
                 assert!((e[i][j] - e[j][i]).abs() < 1e-9);

@@ -36,13 +36,19 @@ impl fmt::Display for MleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MleError::InsufficientData { needed, got } => {
-                write!(f, "insufficient data: needed {needed} observations, got {got}")
+                write!(
+                    f,
+                    "insufficient data: needed {needed} observations, got {got}"
+                )
             }
             MleError::DegenerateSample { reason } => {
                 write!(f, "degenerate sample: {reason}")
             }
             MleError::NoConvergence { stage } => {
-                write!(f, "maximum-likelihood fit failed to converge at stage: {stage}")
+                write!(
+                    f,
+                    "maximum-likelihood fit failed to converge at stage: {stage}"
+                )
             }
             MleError::Numeric(e) => write!(f, "numeric failure: {e}"),
             MleError::Evt(e) => write!(f, "distribution error: {e}"),

@@ -106,7 +106,9 @@ pub fn fit_gev(data: &[f64]) -> Result<GevFit, MleError> {
             }
         }
     }
-    let (neg_ll, x) = best.ok_or(MleError::NoConvergence { stage: "gev simplex" })?;
+    let (neg_ll, x) = best.ok_or(MleError::NoConvergence {
+        stage: "gev simplex",
+    })?;
     let distribution = Gev::new(x[0], x[1], x[2].exp())?;
     Ok(GevFit {
         distribution,
@@ -128,7 +130,11 @@ mod tests {
         let data = truth.sample_n(&mut rng, 5_000);
         let fit = fit_gev(&data).unwrap();
         // ξ = −1/α = −0.25
-        assert!((fit.distribution.xi() + 0.25).abs() < 0.06, "{:?}", fit.distribution);
+        assert!(
+            (fit.distribution.xi() + 0.25).abs() < 0.06,
+            "{:?}",
+            fit.distribution
+        );
         let endpoint = fit.distribution.right_endpoint().unwrap();
         assert!((endpoint - 10.0).abs() < 0.3, "endpoint {endpoint}");
     }
@@ -151,7 +157,11 @@ mod tests {
         let data: Vec<f64> = (0..5_000).map(|_| truth.sample(&mut rng)).collect();
         let fit = fit_gev(&data).unwrap();
         // ξ = 1/α = 1/3
-        assert!((fit.distribution.xi() - 1.0 / 3.0).abs() < 0.06, "{:?}", fit.distribution);
+        assert!(
+            (fit.distribution.xi() - 1.0 / 3.0).abs() < 0.06,
+            "{:?}",
+            fit.distribution
+        );
     }
 
     #[test]

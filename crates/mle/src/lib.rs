@@ -45,9 +45,9 @@
 //! ```
 
 pub mod covariance;
+pub mod error;
 pub mod gev;
 pub mod gumbel;
-pub mod error;
 pub mod lsq;
 pub mod pot;
 pub mod profile;

@@ -106,9 +106,12 @@ pub fn lsq_fit_reversed_weibull(data: &[f64]) -> Result<LsqWeibullFit, MleError>
     };
     let res = nelder_mead(&objective, &initial, &opts)?;
     if !res.f.is_finite() {
-        return Err(MleError::NoConvergence { stage: "lsq simplex" });
+        return Err(MleError::NoConvergence {
+            stage: "lsq simplex",
+        });
     }
-    let distribution = ReversedWeibull::new(res.x[0].exp(), res.x[1].exp(), x_max + res.x[2].exp())?;
+    let distribution =
+        ReversedWeibull::new(res.x[0].exp(), res.x[1].exp(), x_max + res.x[2].exp())?;
     Ok(LsqWeibullFit {
         distribution,
         sse: res.f,

@@ -94,10 +94,7 @@ pub fn fit_pot(data: &[f64], threshold_quantile: f64) -> Result<PotFit, MleError
             got: excesses.len(),
         });
     }
-    let spread = excesses
-        .iter()
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max)
+    let spread = excesses.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - excesses.iter().cloned().fold(f64::INFINITY, f64::min);
     if spread <= 0.0 {
         return Err(MleError::DegenerateSample {
@@ -125,7 +122,9 @@ pub fn fit_pot(data: &[f64], threshold_quantile: f64) -> Result<PotFit, MleError
     let initial = [-0.1, mean_excess.max(1e-12).ln()];
     let res = nelder_mead(&objective, &initial, &NelderMeadOptions::default())?;
     if !res.f.is_finite() {
-        return Err(MleError::NoConvergence { stage: "pot simplex" });
+        return Err(MleError::NoConvergence {
+            stage: "pot simplex",
+        });
     }
     let gpd = GeneralizedPareto::new(res.x[0], res.x[1].exp())?;
     Ok(PotFit {

@@ -100,10 +100,7 @@ pub fn fit_reversed_weibull(data: &[f64]) -> Result<WeibullFit, MleError> {
 ///
 /// Same as [`fit_reversed_weibull`], plus
 /// [`MleError::DegenerateSample`] for inconsistent options.
-pub fn fit_reversed_weibull_with(
-    data: &[f64],
-    opts: &FitOptions,
-) -> Result<WeibullFit, MleError> {
+pub fn fit_reversed_weibull_with(data: &[f64], opts: &FitOptions) -> Result<WeibullFit, MleError> {
     let m = data.len();
     if m < 5 {
         return Err(MleError::InsufficientData { needed: 5, got: m });
@@ -306,11 +303,15 @@ mod tests {
     #[test]
     fn invalid_options_rejected() {
         let data: Vec<f64> = (0..20).map(|i| i as f64).collect();
-        let mut opts = FitOptions::default();
-        opts.mu_lower_fraction = 0.0;
+        let opts = FitOptions {
+            mu_lower_fraction: 0.0,
+            ..FitOptions::default()
+        };
         assert!(fit_reversed_weibull_with(&data, &opts).is_err());
-        let mut opts = FitOptions::default();
-        opts.grid_points = 2;
+        let opts = FitOptions {
+            grid_points: 2,
+            ..FitOptions::default()
+        };
         assert!(fit_reversed_weibull_with(&data, &opts).is_err());
     }
 

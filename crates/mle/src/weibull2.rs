@@ -63,7 +63,7 @@ pub fn fit_weibull2(y: &[f64]) -> Result<Weibull2Fit, MleError> {
     if m < 3 {
         return Err(MleError::InsufficientData { needed: 3, got: m });
     }
-    if y.iter().any(|&v| !(v > 0.0) || !v.is_finite()) {
+    if y.iter().any(|&v| !(v.is_finite() && v > 0.0)) {
         return Err(MleError::DegenerateSample {
             reason: "all observations must be strictly positive and finite",
         });

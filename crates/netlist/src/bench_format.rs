@@ -87,12 +87,11 @@ pub fn parse(text: &str, name: &str) -> Result<Circuit, NetlistError> {
                 });
             }
             let keyword = rhs[..open].trim();
-            let kind = GateKind::from_bench_keyword(keyword).ok_or_else(|| {
-                NetlistError::Parse {
+            let kind =
+                GateKind::from_bench_keyword(keyword).ok_or_else(|| NetlistError::Parse {
                     line: line_no,
                     message: format!("unknown gate kind `{keyword}`"),
-                }
-            })?;
+                })?;
             if kind == GateKind::Input {
                 return Err(NetlistError::Parse {
                     line: line_no,
@@ -145,8 +144,11 @@ pub fn parse(text: &str, name: &str) -> Result<Circuit, NetlistError> {
                 .iter()
                 .all(|f| resolved.contains_key(f.as_str()))
             {
-                let fanin: Vec<NodeId> =
-                    raw.fanin_names.iter().map(|f| resolved[f.as_str()]).collect();
+                let fanin: Vec<NodeId> = raw
+                    .fanin_names
+                    .iter()
+                    .map(|f| resolved[f.as_str()])
+                    .collect();
                 let id = builder
                     .gate(&raw.name, raw.kind, &fanin)
                     .map_err(|e| annotate_line(e, raw.line))?;
@@ -158,9 +160,7 @@ pub fn parse(text: &str, name: &str) -> Result<Circuit, NetlistError> {
         }
         if !progressed {
             // Either a cycle or an undefined signal.
-            let witness = next_round
-                .first()
-                .expect("non-empty when no progress made");
+            let witness = next_round.first().expect("non-empty when no progress made");
             for f in &witness.fanin_names {
                 let defined_later = next_round.iter().any(|g| &g.name == f);
                 if !resolved.contains_key(f.as_str()) && !defined_later {
@@ -175,13 +175,14 @@ pub fn parse(text: &str, name: &str) -> Result<Circuit, NetlistError> {
     }
 
     for (output_name, line) in &outputs {
-        let id = resolved
-            .get(output_name.as_str())
-            .copied()
-            .ok_or_else(|| NetlistError::Parse {
-                line: *line,
-                message: format!("OUTPUT references undefined signal `{output_name}`"),
-            })?;
+        let id =
+            resolved
+                .get(output_name.as_str())
+                .copied()
+                .ok_or_else(|| NetlistError::Parse {
+                    line: *line,
+                    message: format!("OUTPUT references undefined signal `{output_name}`"),
+                })?;
         builder.mark_output(id);
     }
     builder.build()

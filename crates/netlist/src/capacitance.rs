@@ -116,9 +116,15 @@ mod tests {
         // input: only fanout load
         assert_eq!(caps[a], m.per_fanout_cap);
         // x: intrinsic + 1 fanin + 1 fanout
-        assert_eq!(caps[x], m.unit_gate_cap + m.per_fanin_cap + m.per_fanout_cap);
+        assert_eq!(
+            caps[x],
+            m.unit_gate_cap + m.per_fanin_cap + m.per_fanout_cap
+        );
         // y: intrinsic + fanin + output pin, no fanout
-        assert_eq!(caps[y], m.unit_gate_cap + m.per_fanin_cap + m.output_pin_cap);
+        assert_eq!(
+            caps[y],
+            m.unit_gate_cap + m.per_fanin_cap + m.output_pin_cap
+        );
     }
 
     #[test]

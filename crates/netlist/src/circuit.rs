@@ -421,10 +421,7 @@ impl CircuitBuilder {
         // Promote dangling gates to outputs.
         for (i, node) in self.nodes.iter().enumerate() {
             let id = NodeId(i as u32);
-            if node.kind != GateKind::Input
-                && fanout_count[i] == 0
-                && !self.outputs.contains(&id)
-            {
+            if node.kind != GateKind::Input && fanout_count[i] == 0 && !self.outputs.contains(&id) {
                 self.outputs.push(id);
             }
         }
@@ -537,9 +534,7 @@ mod tests {
         assert!(b.gate("g", GateKind::Input, &[]).is_err()); // wrong API
         assert!(b.gate("g", GateKind::Not, &[a, a]).is_err()); // arity
         assert!(b.gate("g", GateKind::And, &[a]).is_err()); // arity
-        assert!(b
-            .gate("g", GateKind::And, &[a, NodeId(99)])
-            .is_err()); // undefined
+        assert!(b.gate("g", GateKind::And, &[a, NodeId(99)]).is_err()); // undefined
         assert!(b.gate("a", GateKind::Not, &[a]).is_err()); // name clash
     }
 

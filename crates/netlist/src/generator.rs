@@ -73,7 +73,12 @@ fn random_kind(rng: &mut SmallRng) -> GateKind {
 fn spliceable(kind: GateKind) -> bool {
     matches!(
         kind,
-        GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor | GateKind::Xor | GateKind::Xnor
+        GateKind::And
+            | GateKind::Nand
+            | GateKind::Or
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor
     )
 }
 
@@ -141,8 +146,7 @@ pub fn random_dag(
     let depth = pre_layers + 1; // realized depth
     let mut layer_start: Vec<usize> = Vec::with_capacity(depth + 1);
     let mut next = inputs;
-    if pre_layers > 0 {
-        let base = pre_gates / pre_layers;
+    if let Some(base) = pre_gates.checked_div(pre_layers) {
         let extra = pre_gates % pre_layers;
         for l in 0..pre_layers {
             layer_start.push(next);
@@ -219,6 +223,8 @@ pub fn random_dag(
     for f in fanins.iter().flatten() {
         used[*f] = true;
     }
+    // Indexing is deliberate: the loop both reads and writes `used`.
+    #[allow(clippy::needless_range_loop)]
     for input_id in 0..inputs {
         if used[input_id] {
             continue;
@@ -249,15 +255,11 @@ pub fn random_dag(
         for f in fanins.iter().flatten() {
             has_fanout[*f] = true;
         }
-        (inputs..total_nodes)
-            .filter(|&n| !has_fanout[n])
-            .collect()
+        (inputs..total_nodes).filter(|&n| !has_fanout[n]).collect()
     };
     // The layer of a gate node id; splice targets must sit in a strictly
     // later layer so intra-layer chains cannot exceed the requested depth.
-    let layer_of = |node: usize| -> usize {
-        layer_start.partition_point(|&s| s <= node) - 1
-    };
+    let layer_of = |node: usize| -> usize { layer_start.partition_point(|&s| s <= node) - 1 };
     let mut dangling = recompute_dangling(&fanins);
     let mut guard = 0;
     while dangling.len() > outputs && guard < 10 * gates {
@@ -362,9 +364,9 @@ pub fn multiplier(n: usize) -> Result<Circuit, NetlistError> {
 
     // Half adder: (sum, carry).
     let half_adder = |b: &mut CircuitBuilder,
-                          fresh: &mut dyn FnMut() -> String,
-                          x: NodeId,
-                          y: NodeId|
+                      fresh: &mut dyn FnMut() -> String,
+                      x: NodeId,
+                      y: NodeId|
      -> Result<(NodeId, NodeId), NetlistError> {
         let s = b.gate(&fresh(), GateKind::Xor, &[x, y])?;
         let c = b.gate(&fresh(), GateKind::And, &[x, y])?;
@@ -372,10 +374,10 @@ pub fn multiplier(n: usize) -> Result<Circuit, NetlistError> {
     };
     // Full adder: (sum, carry).
     let full_adder = |b: &mut CircuitBuilder,
-                          fresh: &mut dyn FnMut() -> String,
-                          x: NodeId,
-                          y: NodeId,
-                          z: NodeId|
+                      fresh: &mut dyn FnMut() -> String,
+                      x: NodeId,
+                      y: NodeId,
+                      z: NodeId|
      -> Result<(NodeId, NodeId), NetlistError> {
         let xy = b.gate(&fresh(), GateKind::Xor, &[x, y])?;
         let s = b.gate(&fresh(), GateKind::Xor, &[xy, z])?;

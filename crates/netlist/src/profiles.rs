@@ -53,7 +53,9 @@ impl Iscas85 {
     /// Every circuit in the suite.
     pub fn all() -> [Iscas85; 10] {
         use Iscas85::*;
-        [C432, C499, C880, C1355, C1908, C2670, C3540, C5315, C6288, C7552]
+        [
+            C432, C499, C880, C1355, C1908, C2670, C3540, C5315, C6288, C7552,
+        ]
     }
 
     /// The nine circuits appearing in the paper's Tables 1–4

@@ -231,8 +231,7 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
                 if ports.len() < 2 {
                     return Err(NetlistError::Parse {
                         line: *line_no,
-                        message: "gate instance needs an output and at least one input"
-                            .to_string(),
+                        message: "gate instance needs an output and at least one input".to_string(),
                     });
                 }
                 instances.push(RawInstance {
@@ -270,9 +269,12 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
         let mut progressed = false;
         let mut next_round = Vec::with_capacity(remaining.len());
         for inst in remaining {
-            if inst.inputs.iter().all(|n| resolved.contains_key(n.as_str())) {
-                let fanin: Vec<NodeId> =
-                    inst.inputs.iter().map(|n| resolved[n.as_str()]).collect();
+            if inst
+                .inputs
+                .iter()
+                .all(|n| resolved.contains_key(n.as_str()))
+            {
+                let fanin: Vec<NodeId> = inst.inputs.iter().map(|n| resolved[n.as_str()]).collect();
                 let id = builder.gate(&inst.output, inst.kind, &fanin)?;
                 resolved.insert(inst.output, id);
                 progressed = true;
@@ -319,17 +321,27 @@ pub fn write(circuit: &Circuit) -> String {
     let decl = |names: Vec<&str>| names.join(", ");
     out.push_str(&format!(
         "  input {};\n",
-        decl(circuit.inputs().iter().map(|&i| circuit.node_name(i)).collect())
+        decl(
+            circuit
+                .inputs()
+                .iter()
+                .map(|&i| circuit.node_name(i))
+                .collect()
+        )
     ));
     out.push_str(&format!(
         "  output {};\n",
-        decl(circuit.outputs().iter().map(|&o| circuit.node_name(o)).collect())
+        decl(
+            circuit
+                .outputs()
+                .iter()
+                .map(|&o| circuit.node_name(o))
+                .collect()
+        )
     ));
     let wires: Vec<&str> = circuit
         .node_ids()
-        .filter(|&id| {
-            circuit.kind(id) != GateKind::Input && !circuit.outputs().contains(&id)
-        })
+        .filter(|&id| circuit.kind(id) != GateKind::Input && !circuit.outputs().contains(&id))
         .map(|id| circuit.node_name(id))
         .collect();
     if !wires.is_empty() {
@@ -459,8 +471,14 @@ module t (a, b, c, y);
   and g (y, a, b, c);
 endmodule";
         let c = parse(src).unwrap();
-        assert_eq!(c.output_values(&c.evaluate(&[true, true, true])), vec![true]);
-        assert_eq!(c.output_values(&c.evaluate(&[true, false, true])), vec![false]);
+        assert_eq!(
+            c.output_values(&c.evaluate(&[true, true, true])),
+            vec![true]
+        );
+        assert_eq!(
+            c.output_values(&c.evaluate(&[true, false, true])),
+            vec![false]
+        );
     }
 
     #[test]

@@ -75,15 +75,8 @@ impl ActivityProfile {
             power_acc += sim.cycle_power(v1, v2)?;
         }
         let cycles = pairs.len();
-        let toggle_rate: Vec<f64> = toggles
-            .iter()
-            .map(|&t| t as f64 / cycles as f64)
-            .collect();
-        let cap_rate: Vec<f64> = toggle_rate
-            .iter()
-            .zip(&caps)
-            .map(|(r, c)| r * c)
-            .collect();
+        let toggle_rate: Vec<f64> = toggles.iter().map(|&t| t as f64 / cycles as f64).collect();
+        let cap_rate: Vec<f64> = toggle_rate.iter().zip(&caps).map(|(r, c)| r * c).collect();
         Ok(ActivityProfile {
             toggle_rate,
             cap_rate,
@@ -157,8 +150,7 @@ mod tests {
         let c = generate(Iscas85::C432, 3).unwrap();
         let pairs = workload(c.num_inputs(), 200, 1);
         let p =
-            ActivityProfile::collect(&c, &pairs, DelayModel::Zero, PowerConfig::default())
-                .unwrap();
+            ActivityProfile::collect(&c, &pairs, DelayModel::Zero, PowerConfig::default()).unwrap();
         for id in c.node_ids() {
             let r = p.toggle_rate(id);
             assert!((0.0..=1.0).contains(&r));
@@ -172,8 +164,7 @@ mod tests {
         let c = generate(Iscas85::C432, 3).unwrap();
         let pairs = workload(c.num_inputs(), 2_000, 2);
         let p =
-            ActivityProfile::collect(&c, &pairs, DelayModel::Zero, PowerConfig::default())
-                .unwrap();
+            ActivityProfile::collect(&c, &pairs, DelayModel::Zero, PowerConfig::default()).unwrap();
         for &i in c.inputs() {
             let r = p.toggle_rate(i);
             assert!((r - 0.5).abs() < 0.06, "input rate {r}");
@@ -185,8 +176,7 @@ mod tests {
         let c = generate(Iscas85::C880, 3).unwrap();
         let pairs = workload(c.num_inputs(), 300, 3);
         let p =
-            ActivityProfile::collect(&c, &pairs, DelayModel::Unit, PowerConfig::default())
-                .unwrap();
+            ActivityProfile::collect(&c, &pairs, DelayModel::Unit, PowerConfig::default()).unwrap();
         let hot = p.hot_spots(10);
         assert_eq!(hot.len(), 10);
         for w in hot.windows(2) {

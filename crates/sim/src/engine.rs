@@ -244,9 +244,7 @@ mod tests {
         let c = xor_reconvergent();
         let sim = PowerSimulator::new(&c, DelayModel::Zero, PowerConfig::default());
         // With s=1, toggling a keeps y=1 steady but flips na, x1, x2, a.
-        let r = sim
-            .cycle_report(&[false, true], &[true, true])
-            .unwrap();
+        let r = sim.cycle_report(&[false, true], &[true, true]).unwrap();
         assert_eq!(r.toggles, 4); // a, na, x1, x2 — but not y
         assert_eq!(r.events, 0);
         assert!(r.power_mw > 0.0);
@@ -269,7 +267,11 @@ mod tests {
     #[test]
     fn no_input_change_no_power() {
         let c = xor_reconvergent();
-        for model in [DelayModel::Zero, DelayModel::Unit, DelayModel::fanout_default()] {
+        for model in [
+            DelayModel::Zero,
+            DelayModel::Unit,
+            DelayModel::fanout_default(),
+        ] {
             let sim = PowerSimulator::new(&c, model, PowerConfig::default());
             let r = sim.cycle_report(&[true, false], &[true, false]).unwrap();
             assert_eq!(r.power_mw, 0.0, "{model}");

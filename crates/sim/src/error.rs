@@ -25,7 +25,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::WidthMismatch { expected, got } => {
-                write!(f, "input vector width {got} does not match {expected} primary inputs")
+                write!(
+                    f,
+                    "input vector width {got} does not match {expected} primary inputs"
+                )
             }
             SimError::EventBudgetExhausted { budget } => {
                 write!(f, "event budget of {budget} exhausted")

@@ -100,21 +100,17 @@ pub fn simulate_population_with(
     {
         let error_slot = std::sync::Mutex::new(&mut first_error);
         crossbeam::thread::scope(|scope| {
-            for (out_chunk, in_chunk) in powers
-                .chunks_mut(chunk_size)
-                .zip(pairs.chunks(chunk_size))
+            for (out_chunk, in_chunk) in powers.chunks_mut(chunk_size).zip(pairs.chunks(chunk_size))
             {
                 let error_slot = &error_slot;
                 let cap_model = &*cap_model;
                 scope.spawn(move |_| {
-                    let sim =
-                        PowerSimulator::with_capacitance(circuit, delay, config, cap_model);
+                    let sim = PowerSimulator::with_capacitance(circuit, delay, config, cap_model);
                     for (slot, (v1, v2)) in out_chunk.iter_mut().zip(in_chunk) {
                         match sim.cycle_power(v1, v2) {
                             Ok(p) => *slot = p,
                             Err(e) => {
-                                let mut guard =
-                                    error_slot.lock().expect("error mutex poisoned");
+                                let mut guard = error_slot.lock().expect("error mutex poisoned");
                                 if guard.is_none() {
                                     **guard = Some(e);
                                 }
@@ -183,14 +179,19 @@ mod tests {
     fn power_distribution_is_bounded_and_positive() {
         let c = generate(Iscas85::C880, 5).unwrap();
         let pairs = random_pairs(c.num_inputs(), 300, 3);
-        let powers =
-            simulate_population(&c, &pairs, DelayModel::fanout_default(), PowerConfig::default(), 0)
-                .unwrap();
+        let powers = simulate_population(
+            &c,
+            &pairs,
+            DelayModel::fanout_default(),
+            PowerConfig::default(),
+            0,
+        )
+        .unwrap();
         let max = powers.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let min = powers.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(min >= 0.0);
         assert!(max > min); // non-degenerate distribution
-        // Bounded by total capacitance switching twice.
+                            // Bounded by total capacitance switching twice.
         let cap_bound = mpe_netlist::CapacitanceModel::default().total_capacitance(&c);
         assert!(max <= PowerConfig::default().power_mw(4.0 * cap_bound));
     }

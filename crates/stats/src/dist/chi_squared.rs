@@ -64,8 +64,7 @@ impl ContinuousDistribution for ChiSquared {
         if x <= 0.0 {
             return 0.0;
         }
-        reg_gamma_p(self.df / 2.0, x / 2.0)
-            .expect("incomplete gamma with valid internal arguments")
+        reg_gamma_p(self.df / 2.0, x / 2.0).expect("incomplete gamma with valid internal arguments")
     }
 
     fn inverse_cdf(&self, p: f64) -> Result<f64, StatsError> {

@@ -69,9 +69,8 @@ impl std::fmt::Display for StudentT {
 impl ContinuousDistribution for StudentT {
     fn pdf(&self, x: f64) -> f64 {
         let v = self.df;
-        let ln_c = ln_gamma((v + 1.0) / 2.0)
-            - ln_gamma(v / 2.0)
-            - 0.5 * (v * std::f64::consts::PI).ln();
+        let ln_c =
+            ln_gamma((v + 1.0) / 2.0) - ln_gamma(v / 2.0) - 0.5 * (v * std::f64::consts::PI).ln();
         (ln_c - (v + 1.0) / 2.0 * (1.0 + x * x / v).ln()).exp()
     }
 
@@ -156,22 +155,34 @@ mod tests {
     fn critical_points_match_tables() {
         // Classic t-table values (two-sided)
         close(
-            StudentT::new(1.0).unwrap().two_sided_critical(0.90).unwrap(),
+            StudentT::new(1.0)
+                .unwrap()
+                .two_sided_critical(0.90)
+                .unwrap(),
             6.313752,
             1e-5,
         );
         close(
-            StudentT::new(9.0).unwrap().two_sided_critical(0.90).unwrap(),
+            StudentT::new(9.0)
+                .unwrap()
+                .two_sided_critical(0.90)
+                .unwrap(),
             1.833113,
             1e-5,
         );
         close(
-            StudentT::new(9.0).unwrap().two_sided_critical(0.95).unwrap(),
+            StudentT::new(9.0)
+                .unwrap()
+                .two_sided_critical(0.95)
+                .unwrap(),
             2.262157,
             1e-5,
         );
         close(
-            StudentT::new(30.0).unwrap().two_sided_critical(0.99).unwrap(),
+            StudentT::new(30.0)
+                .unwrap()
+                .two_sided_critical(0.99)
+                .unwrap(),
             2.749996,
             1e-5,
         );
@@ -193,11 +204,7 @@ mod tests {
         let t = StudentT::new(10_000.0).unwrap();
         let n = Normal::standard();
         for &p in &[0.05, 0.5, 0.95] {
-            close(
-                t.inverse_cdf(p).unwrap(),
-                n.inverse_cdf(p).unwrap(),
-                5e-4,
-            );
+            close(t.inverse_cdf(p).unwrap(), n.inverse_cdf(p).unwrap(), 5e-4);
         }
     }
 

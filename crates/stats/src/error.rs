@@ -53,14 +53,23 @@ impl fmt::Display for StatsError {
                 what,
                 constraint,
                 value,
-            } => write!(f, "invalid argument {what}={value}: must satisfy {constraint}"),
+            } => write!(
+                f,
+                "invalid argument {what}={value}: must satisfy {constraint}"
+            ),
             StatsError::InsufficientData { needed, got } => {
-                write!(f, "insufficient data: needed {needed} observations, got {got}")
+                write!(
+                    f,
+                    "insufficient data: needed {needed} observations, got {got}"
+                )
             }
             StatsError::NoConvergence {
                 routine,
                 iterations,
-            } => write!(f, "{routine} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{routine} did not converge after {iterations} iterations"
+            ),
         }
     }
 }
@@ -83,7 +92,10 @@ mod tests {
     #[test]
     fn display_insufficient_data() {
         let e = StatsError::InsufficientData { needed: 2, got: 0 };
-        assert_eq!(e.to_string(), "insufficient data: needed 2 observations, got 0");
+        assert_eq!(
+            e.to_string(),
+            "insufficient data: needed 2 observations, got 0"
+        );
     }
 
     #[test]
@@ -92,7 +104,10 @@ mod tests {
             routine: "newton",
             iterations: 100,
         };
-        assert_eq!(e.to_string(), "newton did not converge after 100 iterations");
+        assert_eq!(
+            e.to_string(),
+            "newton did not converge after 100 iterations"
+        );
     }
 
     #[test]

@@ -119,7 +119,7 @@ mod tests {
     fn statistic_bounded_by_one() {
         let data = vec![1.0, 2.0, 3.0];
         let d = ks_statistic(&data, |_| 0.5).unwrap();
-        assert!(d <= 1.0 && d >= 0.0);
+        assert!((0.0..=1.0).contains(&d));
     }
 
     #[test]

@@ -102,7 +102,11 @@ where
     while evals < opts.max_evaluations {
         // Order vertices by objective value.
         let mut order: Vec<usize> = (0..=n).collect();
-        order.sort_by(|&a, &b| fv[a].partial_cmp(&fv[b]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            fv[a]
+                .partial_cmp(&fv[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let best = order[0];
         let worst = order[n];
         let second_worst = order[n - 1];
@@ -229,8 +233,7 @@ mod tests {
 
     #[test]
     fn rosenbrock_2d() {
-        let rosen =
-            |p: &[f64]| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2);
+        let rosen = |p: &[f64]| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2);
         let r = nelder_mead(&rosen, &[-1.2, 1.0], &NelderMeadOptions::default()).unwrap();
         assert!((r.x[0] - 1.0).abs() < 1e-3);
         assert!((r.x[1] - 1.0).abs() < 1e-3);
@@ -279,8 +282,6 @@ mod tests {
     #[test]
     fn validation() {
         assert!(nelder_mead(&|_: &[f64]| 0.0, &[], &NelderMeadOptions::default()).is_err());
-        assert!(
-            nelder_mead(&|_: &[f64]| 0.0, &[f64::NAN], &NelderMeadOptions::default()).is_err()
-        );
+        assert!(nelder_mead(&|_: &[f64]| 0.0, &[f64::NAN], &NelderMeadOptions::default()).is_err());
     }
 }

@@ -41,7 +41,10 @@ impl fmt::Display for VectorsError {
                 write!(f, "invalid probability {what}={value}: must be in [0, 1]")
             }
             VectorsError::WidthMismatch { expected, got } => {
-                write!(f, "specification width {got} does not match circuit width {expected}")
+                write!(
+                    f,
+                    "specification width {got} does not match circuit width {expected}"
+                )
             }
             VectorsError::LineOutOfRange { line, width } => {
                 write!(f, "input line {line} out of range for width {width}")
@@ -85,7 +88,9 @@ mod tests {
         }
         .to_string()
         .contains('4'));
-        assert!(VectorsError::EmptyPopulation.to_string().contains("at least 1"));
+        assert!(VectorsError::EmptyPopulation
+            .to_string()
+            .contains("at least 1"));
         let e: VectorsError = SimError::WidthMismatch {
             expected: 3,
             got: 1,

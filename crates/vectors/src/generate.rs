@@ -206,11 +206,7 @@ impl PairGenerator {
 }
 
 /// Flips each line of `v1` with a per-line probability.
-fn flip_lines<R: Rng + ?Sized>(
-    rng: &mut R,
-    v1: &[bool],
-    prob: impl Fn(usize) -> f64,
-) -> Vec<bool> {
+fn flip_lines<R: Rng + ?Sized>(rng: &mut R, v1: &[bool], prob: impl Fn(usize) -> f64) -> Vec<bool> {
     v1.iter()
         .enumerate()
         .map(|(i, &b)| if rng.gen_bool(prob(i)) { !b } else { b })
@@ -291,12 +287,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         for _ in 0..200 {
             let p = gen.generate(&mut rng, 8);
-            let flips: Vec<bool> = p
-                .v1
-                .iter()
-                .zip(&p.v2)
-                .map(|(a, b)| a != b)
-                .collect();
+            let flips: Vec<bool> = p.v1.iter().zip(&p.v2).map(|(a, b)| a != b).collect();
             // lines 0..3 flip together; others never flip
             assert_eq!(flips[0], flips[1]);
             assert_eq!(flips[1], flips[2]);
@@ -324,7 +315,9 @@ mod tests {
         let mut bad = TransitionSpec::uniform(4, 0.5).unwrap();
         bad.joint_groups.push((vec![0], 2.0));
         assert!(bad.validate(4).is_err()); // bad probability
-        assert!(PairGenerator::Activity { activity: -0.1 }.validate(4).is_err());
+        assert!(PairGenerator::Activity { activity: -0.1 }
+            .validate(4)
+            .is_err());
         assert!(PairGenerator::HighActivity { min_activity: 1.1 }
             .validate(4)
             .is_err());

@@ -28,11 +28,7 @@ impl VectorPair {
 
     /// Number of input lines that change between `v1` and `v2`.
     pub fn hamming_distance(&self) -> usize {
-        self.v1
-            .iter()
-            .zip(&self.v2)
-            .filter(|(a, b)| a != b)
-            .count()
+        self.v1.iter().zip(&self.v2).filter(|(a, b)| a != b).count()
     }
 
     /// Average switching activity: the fraction of input lines that change,
@@ -64,7 +60,10 @@ mod tests {
 
     #[test]
     fn activity_computation() {
-        let p = VectorPair::new(vec![true, false, true, false], vec![true, true, false, false]);
+        let p = VectorPair::new(
+            vec![true, false, true, false],
+            vec![true, true, false, false],
+        );
         assert_eq!(p.hamming_distance(), 2);
         assert_eq!(p.switching_activity(), 0.5);
         assert_eq!(p.width(), 4);

@@ -60,10 +60,8 @@ impl Population {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
         use rand::SeedableRng;
         let pairs = generator.generate_many(&mut rng, width, size);
-        let raw: Vec<(Vec<bool>, Vec<bool>)> = pairs
-            .iter()
-            .map(|p| (p.v1.clone(), p.v2.clone()))
-            .collect();
+        let raw: Vec<(Vec<bool>, Vec<bool>)> =
+            pairs.iter().map(|p| (p.v1.clone(), p.v2.clone())).collect();
         let powers = simulate_population(circuit, &raw, delay, config, threads)?;
         let actual_max = powers.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         Ok(Population {
@@ -281,8 +279,16 @@ mod tests {
     fn high_activity_population_has_higher_max_than_low() {
         let c = generate(Iscas85::C880, 2).unwrap();
         let build = |gen: PairGenerator| {
-            Population::build(&c, &gen, 2_000, DelayModel::Unit, PowerConfig::default(), 9, 0)
-                .unwrap()
+            Population::build(
+                &c,
+                &gen,
+                2_000,
+                DelayModel::Unit,
+                PowerConfig::default(),
+                9,
+                0,
+            )
+            .unwrap()
         };
         let high = build(PairGenerator::Activity { activity: 0.7 });
         let low = build(PairGenerator::Activity { activity: 0.3 });

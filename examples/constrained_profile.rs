@@ -39,23 +39,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..EstimationConfig::default()
     };
 
-    let report = |label: &str, generator: PairGenerator| -> Result<f64, Box<dyn std::error::Error>> {
-        let mut source = SimulatorSource::new(
-            &circuit,
-            generator,
-            DelayModel::Unit,
-            PowerConfig::default(),
-        );
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
-        let estimate = MaxPowerEstimator::new(config).run(&mut source, &mut rng)?;
-        println!(
-            "{label:<28} max ≈ {:>7.3} mW ±{:.1}%  ({} vector pairs)",
-            estimate.estimate_mw,
-            100.0 * estimate.relative_error,
-            estimate.units_used
-        );
-        Ok(estimate.estimate_mw)
-    };
+    let report =
+        |label: &str, generator: PairGenerator| -> Result<f64, Box<dyn std::error::Error>> {
+            let mut source = SimulatorSource::new(
+                &circuit,
+                generator,
+                DelayModel::Unit,
+                PowerConfig::default(),
+            );
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+            let estimate = MaxPowerEstimator::new(config).run(&mut source, &mut rng)?;
+            println!(
+                "{label:<28} max ≈ {:>7.3} mW ±{:.1}%  ({} vector pairs)",
+                estimate.estimate_mw,
+                100.0 * estimate.relative_error,
+                estimate.units_used
+            );
+            Ok(estimate.estimate_mw)
+        };
 
     let constrained = report("constrained (datapath spec):", PairGenerator::Spec(spec))?;
     let unconstrained = report("unconstrained (all pairs):", PairGenerator::Uniform)?;

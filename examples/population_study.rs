@@ -37,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         s.skewness()
     );
     for q in [0.5, 0.9, 0.99, 0.999] {
-        println!("  {:>5.1}% quantile: {:.3} mW", 100.0 * q, quantile(population.powers(), q)?);
+        println!(
+            "  {:>5.1}% quantile: {:.3} mW",
+            100.0 * q,
+            quantile(population.powers(), q)?
+        );
     }
     println!("  actual maximum: {:.3} mW", population.actual_max_power());
     let y = population.qualified_fraction(0.05);

@@ -19,7 +19,11 @@ use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = generate(Iscas85::C880, 7)?;
-    println!("power integrity study: {} ({})\n", circuit.name(), circuit.stats());
+    println!(
+        "power integrity study: {} ({})\n",
+        circuit.name(),
+        circuit.stats()
+    );
 
     // --- 1. the headline number -----------------------------------------
     let config = EstimationConfig {
@@ -56,9 +60,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let mut pop_source = PopulationSource::new(&population);
     let hyper = generate_hyper_sample(&mut pop_source, &config, &mut rng)?;
+    let fit = hyper
+        .fit
+        .as_ref()
+        .expect("MLE hyper-sample carries a Weibull fit");
     println!("\n2. return levels (worst cycle expected per T cycles of operation):");
     for period in [10_000u64, 1_000_000, 1_000_000_000] {
-        let level = return_level(&hyper.fit.distribution, 30, period)?;
+        let level = return_level(&fit.distribution, 30, period)?;
         println!("   T = {period:>13}: {level:.3} mW");
     }
     println!(
@@ -99,8 +107,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into_iter()
         .map(|p| (p.v1, p.v2))
         .collect();
-    let profile =
-        ActivityProfile::collect(&circuit, &workload, DelayModel::Unit, PowerConfig::default())?;
+    let profile = ActivityProfile::collect(
+        &circuit,
+        &workload,
+        DelayModel::Unit,
+        PowerConfig::default(),
+    )?;
     println!(
         "\n4. hot spots under a lag-1 Markov workload (mean power {:.3} mW):",
         profile.mean_power_mw()

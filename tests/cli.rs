@@ -20,7 +20,14 @@ fn run(args: &[&str]) -> (bool, String, String) {
 fn help_lists_subcommands() {
     let (ok, stdout, _) = run(&["help"]);
     assert!(ok);
-    for word in ["estimate", "average", "delay", "trace", "generate", "--epsilon"] {
+    for word in [
+        "estimate",
+        "average",
+        "delay",
+        "trace",
+        "generate",
+        "--epsilon",
+    ] {
         assert!(stdout.contains(word), "help missing `{word}`");
     }
 }
@@ -81,15 +88,63 @@ fn estimate_json_is_valid_report() {
 }
 
 #[test]
+fn checkpointed_estimate_resumes_to_identical_result() {
+    let dir = std::env::temp_dir().join("mpe_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("c432.ckpt");
+    let _ = std::fs::remove_file(&path);
+    let args = [
+        "estimate",
+        "--circuit",
+        "C432",
+        "--epsilon",
+        "0.15",
+        "--json",
+        "--checkpoint",
+        path.to_str().expect("utf8 path"),
+    ];
+    // First run: converges and leaves its final checkpoint behind.
+    let (ok, first, stderr) = run(&args);
+    assert!(ok, "{stderr}");
+    assert!(path.exists(), "checkpoint file written");
+    // Second run: resumes from the completed checkpoint — no new
+    // simulation, identical result.
+    let (ok, second, stderr) = run(&args);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("resuming from checkpoint"), "{stderr}");
+    let a = maxpower::EstimateReport::from_json(&first).expect("valid report");
+    let b = maxpower::EstimateReport::from_json(&second).expect("valid report");
+    assert_eq!(a.estimate, b.estimate);
+    assert_eq!(a.units_used, b.units_used);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn sample_policy_flag_parses() {
+    let (ok, stdout, stderr) = run(&[
+        "estimate",
+        "--circuit",
+        "C432",
+        "--epsilon",
+        "0.15",
+        "--sample-policy",
+        "skip:500",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("max_power_mw"), "{stdout}");
+    assert!(stdout.contains("status:"), "{stdout}");
+    let (ok, _, stderr) = run(&["estimate", "--circuit", "C432", "--sample-policy", "bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("bogus"), "{stderr}");
+}
+
+#[test]
 fn bench_file_loading_works() {
     let dir = std::env::temp_dir().join("mpe_cli_test");
     std::fs::create_dir_all(&dir).expect("temp dir");
     let path = dir.join("tiny.bench");
-    std::fs::write(
-        &path,
-        "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n",
-    )
-    .expect("write netlist");
+    std::fs::write(&path, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n")
+        .expect("write netlist");
     let (ok, stdout, _) = run(&["info", "--bench", path.to_str().expect("utf8 path")]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("2 inputs"));

@@ -53,8 +53,10 @@ fn survives_spiked_distribution() {
             5.0 * r.gen::<f64>()
         }
     });
-    let mut config = EstimationConfig::default();
-    config.max_hyper_samples = 50;
+    let config = EstimationConfig {
+        max_hyper_samples: 50,
+        ..EstimationConfig::default()
+    };
     let estimator = MaxPowerEstimator::new(config);
     let mut rng = SmallRng::seed_from_u64(77);
     match estimator.run(&mut source, &mut rng) {
@@ -81,9 +83,7 @@ fn interval_coverage_reasonable() {
         let mut source = FnSource::new(weibull_closure(3.0, 1.0, truth));
         let estimator = MaxPowerEstimator::new(EstimationConfig::default());
         let mut rng = SmallRng::seed_from_u64(1000 + seed);
-        let est = estimator
-            .run(&mut source, &mut rng)
-            .expect("converges");
+        let est = estimator.run(&mut source, &mut rng).expect("converges");
         let (lo, hi) = est.confidence_interval;
         if lo <= truth && truth <= hi {
             covered += 1;
@@ -98,13 +98,19 @@ fn interval_coverage_reasonable() {
 fn stopping_rule_honored() {
     for eps in [0.10, 0.05, 0.02] {
         let mut source = FnSource::new(weibull_closure(4.0, 1.0, 10.0));
-        let mut config = EstimationConfig::default();
-        config.relative_error = eps;
-        config.max_hyper_samples = 2_000;
+        let config = EstimationConfig {
+            relative_error: eps,
+            max_hyper_samples: 2_000,
+            ..EstimationConfig::default()
+        };
         let estimator = MaxPowerEstimator::new(config);
         let mut rng = SmallRng::seed_from_u64(5);
         let est = estimator.run(&mut source, &mut rng).expect("converges");
-        assert!(est.relative_error <= eps, "eps {eps}: {}", est.relative_error);
+        assert!(
+            est.relative_error <= eps,
+            "eps {eps}: {}",
+            est.relative_error
+        );
         let half = (est.confidence_interval.1 - est.confidence_interval.0) / 2.0;
         assert!((half / est.estimate_mw - est.relative_error).abs() < 1e-9);
     }
@@ -118,8 +124,10 @@ fn finite_population_ordering() {
     for seed in 0..10 {
         let run = |pop: Option<u64>| {
             let mut source = FnSource::new(weibull_closure(3.0, 1.0, 10.0));
-            let mut config = EstimationConfig::default();
-            config.finite_population = pop;
+            let config = EstimationConfig {
+                finite_population: pop,
+                ..EstimationConfig::default()
+            };
             let estimator = MaxPowerEstimator::new(config);
             let mut rng = SmallRng::seed_from_u64(3000 + seed);
             estimator
@@ -130,15 +138,20 @@ fn finite_population_ordering() {
         diffs.push(run(None) - run(Some(10_000)));
     }
     let mean_diff = diffs.iter().sum::<f64>() / diffs.len() as f64;
-    assert!(mean_diff >= 0.0, "finite-pop estimates should average lower");
+    assert!(
+        mean_diff >= 0.0,
+        "finite-pop estimates should average lower"
+    );
 }
 
 /// Validation failures arrive as typed errors before any sampling happens.
 #[test]
 fn config_errors_are_typed() {
     let mut source = FnSource::new(|_: &mut dyn RngCore| 1.0);
-    let mut config = EstimationConfig::default();
-    config.sample_size = 0;
+    let config = EstimationConfig {
+        sample_size: 0,
+        ..EstimationConfig::default()
+    };
     let estimator = MaxPowerEstimator::new(config);
     let mut rng = SmallRng::seed_from_u64(1);
     assert!(matches!(
@@ -157,10 +170,7 @@ fn source_failure_propagates() {
         remaining: usize,
     }
     impl PowerSource for FlakySource {
-        fn sample(
-            &mut self,
-            rng: &mut dyn RngCore,
-        ) -> Result<f64, MaxPowerError> {
+        fn sample(&mut self, rng: &mut dyn RngCore) -> Result<f64, MaxPowerError> {
             if self.remaining == 0 {
                 return Err(MaxPowerError::Sim(mpe_sim::SimError::WidthMismatch {
                     expected: 1,

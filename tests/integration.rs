@@ -37,7 +37,11 @@ fn full_pipeline_population_estimate() {
     // Converged at 5%/90%: accept a generous 25% sanity band (the CI is a
     // statistical statement, not a hard bound).
     let rel = (estimate.estimate_mw - actual).abs() / actual;
-    assert!(rel < 0.25, "estimate {} vs actual {actual}", estimate.estimate_mw);
+    assert!(
+        rel < 0.25,
+        "estimate {} vs actual {actual}",
+        estimate.estimate_mw
+    );
     assert!(estimate.units_used >= 600);
     assert!(estimate.relative_error <= 0.05);
 }
