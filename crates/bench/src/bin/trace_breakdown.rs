@@ -1,0 +1,123 @@
+//! Replays a JSONL telemetry trace (from `mpe estimate --trace-file`)
+//! into a per-phase time breakdown — the profiling companion to the
+//! estimator benchmarks, attributing wall time to pipeline phases.
+//!
+//! Usage: `cargo run -p mpe-bench --release --bin trace_breakdown -- trace.jsonl`
+//!
+//! Validates the trace on the way through (schema version, monotone seq,
+//! LIFO span nesting) and exits non-zero on the first violation, so it
+//! doubles as the CI trace checker.
+
+use mpe_telemetry::{names, replay, SpanKind, TraceSummary};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        return Err("usage: trace_breakdown <trace.jsonl>".into());
+    };
+    let text = std::fs::read_to_string(path)?;
+    let summary = replay(text.lines())?;
+    print!("{}", render_breakdown(path, &summary));
+    Ok(())
+}
+
+fn render_breakdown(path: &str, summary: &TraceSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace {path}: {} events, max span depth {}\n\n",
+        summary.events, summary.max_depth
+    ));
+    out.push_str(&format!(
+        "{:<14} {:>8} {:>14} {:>14} {:>9}\n",
+        "phase", "spans", "total", "mean", "run-share"
+    ));
+    for (kind, share) in summary.phase_shares() {
+        let stat = summary.metrics.phase(kind);
+        out.push_str(&format!(
+            "{:<14} {:>8} {:>14} {:>14} {:>8.1}%\n",
+            kind.label(),
+            stat.count,
+            format_ns(stat.total_ns as f64),
+            format_ns(stat.mean_ns() as f64),
+            100.0 * share,
+        ));
+    }
+    let pairs = summary.metrics.counter(names::VECTOR_PAIRS_SIMULATED);
+    let hypers = summary.metrics.counter(names::HYPER_SAMPLES);
+    out.push_str(&format!(
+        "\ncost: {pairs} vector pairs across {hypers} hyper-samples"
+    ));
+    let sim_ns = summary.metrics.phase(SpanKind::Simulate).total_ns;
+    if pairs > 0 && sim_ns > 0 {
+        out.push_str(&format!(
+            " ({} simulate time per pair)",
+            format_ns(sim_ns as f64 / pairs as f64)
+        ));
+    }
+    out.push('\n');
+    let widths = summary.metrics.gauge_series(names::CI_RELATIVE_HALF_WIDTH);
+    if let Some(last) = widths.iter().rev().find(|w| w.is_finite()) {
+        out.push_str(&format!(
+            "convergence: relative CI half-width reached {:.3}% over {} iterations\n",
+            100.0 * last,
+            widths.len()
+        ));
+    }
+    out
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpe_telemetry::TRACE_SCHEMA_VERSION;
+
+    #[test]
+    fn breakdown_renders_phases_and_cost() {
+        let lines = [
+            format!(
+                "{{\"v\":{TRACE_SCHEMA_VERSION},\"seq\":0,\"t_ns\":0,\
+                 \"type\":\"span_start\",\"span\":\"run\",\"id\":0}}"
+            ),
+            format!(
+                "{{\"v\":{TRACE_SCHEMA_VERSION},\"seq\":1,\"t_ns\":1,\
+                 \"type\":\"counter\",\"name\":\"vector_pairs_simulated\",\"delta\":300}}"
+            ),
+            format!(
+                "{{\"v\":{TRACE_SCHEMA_VERSION},\"seq\":2,\"t_ns\":2,\
+                 \"type\":\"counter\",\"name\":\"hyper_samples\",\"delta\":1}}"
+            ),
+            format!(
+                "{{\"v\":{TRACE_SCHEMA_VERSION},\"seq\":3,\"t_ns\":3,\
+                 \"type\":\"span_end\",\"span\":\"run\",\"id\":0,\"elapsed_ns\":2000000}}"
+            ),
+        ];
+        let summary = replay(lines.iter().map(String::as_str)).unwrap();
+        let text = render_breakdown("t.jsonl", &summary);
+        assert!(text.contains("run"), "{text}");
+        assert!(text.contains("2.000 ms"), "{text}");
+        assert!(
+            text.contains("300 vector pairs across 1 hyper-samples"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert_eq!(format_ns(12.0), "12 ns");
+        assert_eq!(format_ns(12_500.0), "12.500 µs");
+        assert_eq!(format_ns(3_500_000.0), "3.500 ms");
+        assert_eq!(format_ns(2_000_000_000.0), "2.000 s");
+    }
+}

@@ -17,6 +17,7 @@
 
 use std::process::ExitCode;
 
+use maxpower::telemetry::{JsonlSink, ProgressSink, Telemetry};
 use maxpower::{
     estimate_average_power, Checkpoint, DelaySource, EstimateReport, EstimationConfig,
     MaxPowerEstimate, MaxPowerEstimator, PowerSource, RunStatus, SamplePolicy, SimulatorSource,
@@ -54,6 +55,12 @@ RESILIENCE (estimate / delay):
     --checkpoint FILE   save estimator state after every hyper-sample and resume
                         from FILE if it exists (same seed + config required)
 
+OBSERVABILITY (estimate / delay):
+    --trace-file FILE   write a structured JSONL event trace (schema v1) to FILE
+    --metrics           print Prometheus-style metrics after the run (on stdout,
+                        or stderr when --json so stdout stays machine-readable)
+    --progress          live convergence progress line on stderr
+
 AVERAGE (average):
     same flags; --epsilon defaults to 0.02
 
@@ -66,8 +73,19 @@ EXAMPLES:
     mpe estimate --bench c880.bench --activity 0.3 --epsilon 0.03 --json
     mpe estimate --circuit C7552 --checkpoint c7552.ckpt --sample-policy skip
     mpe delay --circuit C6288
+    mpe estimate --circuit C432 --trace-file c432.jsonl --metrics --progress
     mpe generate --circuit C432 > c432_standin.bench
 ";
+
+/// Every human-facing status, warning and diagnostic line goes through
+/// this one helper, onto **stderr** — stdout carries only machine output
+/// (`--json` reports, metrics expositions, VCD dumps, `.bench` text) and
+/// the headline result lines.
+macro_rules! status {
+    ($($arg:tt)*) => {
+        eprintln!($($arg)*)
+    };
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,7 +96,7 @@ fn main() -> ExitCode {
     let flags = match Flags::parse(&args[1..]) {
         Ok(f) => f,
         Err(msg) => {
-            eprintln!("error: {msg}\n\n{HELP}");
+            status!("error: {msg}\n\n{HELP}");
             return ExitCode::from(2);
         }
     };
@@ -98,7 +116,7 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            status!("error: {e}");
             ExitCode::FAILURE
         }
     }
@@ -125,6 +143,9 @@ struct Flags {
     json: bool,
     sample_policy: SamplePolicy,
     checkpoint: Option<String>,
+    trace_file: Option<String>,
+    metrics: bool,
+    progress: bool,
 }
 
 impl Flags {
@@ -143,6 +164,9 @@ impl Flags {
             json: false,
             sample_policy: SamplePolicy::Fail,
             checkpoint: None,
+            trace_file: None,
+            metrics: false,
+            progress: false,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -178,6 +202,9 @@ impl Flags {
                 "--json" => flags.json = true,
                 "--sample-policy" => flags.sample_policy = parse_sample_policy(value()?)?,
                 "--checkpoint" => flags.checkpoint = Some(value()?.to_string()),
+                "--trace-file" => flags.trace_file = Some(value()?.to_string()),
+                "--metrics" => flags.metrics = true,
+                "--progress" => flags.progress = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -213,6 +240,25 @@ impl Flags {
             }
             None => Ok(PairGenerator::Uniform),
         }
+    }
+
+    /// Builds the telemetry handle implied by the observability flags:
+    /// disabled (zero overhead, bit-identical estimates) unless at least
+    /// one of `--trace-file`, `--metrics`, `--progress` was given.
+    fn telemetry(&self) -> Result<Telemetry, Box<dyn std::error::Error>> {
+        if self.trace_file.is_none() && !self.metrics && !self.progress {
+            return Ok(Telemetry::disabled());
+        }
+        let telemetry = Telemetry::enabled();
+        if let Some(path) = &self.trace_file {
+            let sink = JsonlSink::create(path)
+                .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?;
+            telemetry.add_sink(Box::new(sink));
+        }
+        if self.progress {
+            telemetry.add_sink(Box::new(ProgressSink::stderr()));
+        }
+        Ok(telemetry)
     }
 
     fn estimation_config(&self, default_eps: f64) -> EstimationConfig {
@@ -277,7 +323,7 @@ fn run_to_completion(
         Err(e) => return Err(e.into()),
     };
     if let Some(cp) = &resume {
-        eprintln!(
+        status!(
             "resuming from checkpoint `{path}` at {} hyper-samples",
             cp.hyper_samples()
         );
@@ -290,7 +336,7 @@ fn run_to_completion(
             }
         })?;
     if let Some(e) = save_err {
-        eprintln!("warning: failed to persist checkpoint to `{path}`: {e}");
+        status!("warning: failed to persist checkpoint to `{path}`: {e}");
     }
     Ok(estimate)
 }
@@ -304,7 +350,8 @@ fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error:
     let circuit = flags.load_circuit()?;
     let generator = flags.generator()?;
     let config = flags.estimation_config(0.05);
-    let estimator = MaxPowerEstimator::new(config);
+    let telemetry = flags.telemetry()?;
+    let estimator = MaxPowerEstimator::new(config).with_telemetry(telemetry.clone());
 
     let (estimate, metric_name, unit) = match metric {
         Metric::Power => {
@@ -330,8 +377,16 @@ fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error:
         }
     };
 
+    // Make sure the trace file is complete (the run span's `span_end` is
+    // emitted as the estimator returns, after its internal flush) and the
+    // progress line, if any, is finished before other output.
+    telemetry.flush();
+
     if flags.json {
-        let report = EstimateReport::new(circuit.name(), metric_name, &estimate);
+        let mut report = EstimateReport::new(circuit.name(), metric_name, &estimate);
+        if telemetry.is_enabled() {
+            report = report.with_telemetry(&telemetry.snapshot());
+        }
         println!("{}", report.to_json());
     } else {
         println!(
@@ -347,18 +402,18 @@ fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error:
             estimate.units_used, estimate.hyper_samples, estimate.observed_max_mw,
         );
         match estimate.status {
-            RunStatus::Converged => println!("status: converged"),
+            RunStatus::Converged => status!("status: converged"),
             RunStatus::BudgetExhausted => {
-                println!("status: BUDGET EXHAUSTED — partial result, target error not met")
+                status!("status: BUDGET EXHAUSTED — partial result, target error not met")
             }
-            RunStatus::Degraded { fallback } => println!(
+            RunStatus::Degraded { fallback } => status!(
                 "status: degraded — deepest fallback estimator: {}",
                 fallback.label()
             ),
         }
         let h = estimate.health;
         if !h.is_clean() {
-            println!(
+            status!(
                 "health: {} source errors survived, {} readings discarded, \
                  {} sample retries, {} MLE retries, {} degenerate bailouts, \
                  {} POT fallbacks, {} quantile fallbacks{}",
@@ -375,6 +430,17 @@ fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error:
                     ""
                 },
             );
+        }
+    }
+
+    if flags.metrics {
+        status!("{}", telemetry.render_summary());
+        // The exposition is machine output: stdout normally, stderr when
+        // --json already owns stdout.
+        if flags.json {
+            eprint!("{}", telemetry.render_exposition());
+        } else {
+            print!("{}", telemetry.render_exposition());
         }
     }
     Ok(())
@@ -429,13 +495,13 @@ fn run_trace(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SmallRng::seed_from_u64(flags.seed);
     let p1 = generator.generate(&mut rng, circuit.num_inputs());
     let wave = mpe_sim::Waveform::capture(&circuit, &p1.v1, &p1.v2, flags.delay_model)?;
-    eprintln!(
+    status!(
         "traced 1 vector pair: {} transitions, settle time {} units; glitchiest nodes:",
         wave.transitions().len(),
         wave.settle_time()
     );
     for (node, count) in wave.glitchiest(5) {
-        eprintln!("  {:<10} {count} transitions", circuit.node_name(node));
+        status!("  {:<10} {count} transitions", circuit.node_name(node));
     }
     print!("{}", wave.to_vcd(&circuit));
     Ok(())

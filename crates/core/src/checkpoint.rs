@@ -29,9 +29,14 @@ use crate::config::EstimationConfig;
 use crate::error::MaxPowerError;
 use crate::estimator::EstimateHistoryEntry;
 use crate::health::{EstimatorKind, RunHealth};
+use crate::report::TelemetrySummary;
 
 /// Version of the checkpoint schema; bumped on incompatible change.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// v2 added the optional `telemetry` block (cumulative per-phase durations
+/// and work counters), so a resumed run's telemetry reflects total work
+/// across segments rather than just the final one.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// One serialized row of the convergence history.
 ///
@@ -97,6 +102,10 @@ pub struct Checkpoint {
     pub observed_max_mw: Option<f64>,
     /// Aggregated fault counters so far.
     pub health: RunHealth,
+    /// Cumulative telemetry (phase durations, work counters) across all
+    /// run segments so far; absent when the run had telemetry disabled.
+    #[serde(default)]
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl Checkpoint {
@@ -205,6 +214,7 @@ mod tests {
             units_used: 600,
             observed_max_mw: Some(9.9),
             health: RunHealth::default(),
+            telemetry: None,
         }
     }
 

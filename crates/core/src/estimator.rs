@@ -26,6 +26,7 @@ use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
 
 use mpe_stats::dist::StudentT;
+use mpe_telemetry::{names, SpanKind, Telemetry};
 
 use crate::checkpoint::{
     config_fingerprint, Checkpoint, CheckpointHistoryEntry, CHECKPOINT_VERSION,
@@ -33,7 +34,8 @@ use crate::checkpoint::{
 use crate::config::EstimationConfig;
 use crate::error::MaxPowerError;
 use crate::health::{EstimatorKind, RunHealth, RunStatus};
-use crate::hyper::{generate_hyper_sample, HyperSample};
+use crate::hyper::{generate_hyper_sample_traced, HyperSample};
+use crate::report::TelemetrySummary;
 use crate::source::PowerSource;
 
 /// One row of the convergence history: the state after each hyper-sample.
@@ -156,6 +158,7 @@ impl RunState {
             units_used: self.units_used,
             observed_max_mw: self.observed_max.is_finite().then_some(self.observed_max),
             health: self.health,
+            telemetry: None,
         }
     }
 }
@@ -189,12 +192,33 @@ fn derive_seed(master_seed: u64, k: usize) -> u64 {
 #[derive(Debug, Clone)]
 pub struct MaxPowerEstimator {
     config: EstimationConfig,
+    telemetry: Telemetry,
 }
 
 impl MaxPowerEstimator {
-    /// Creates an estimator with the given configuration.
+    /// Creates an estimator with the given configuration (telemetry
+    /// disabled — instrumentation costs nothing until opted into).
     pub fn new(config: EstimationConfig) -> Self {
-        MaxPowerEstimator { config }
+        MaxPowerEstimator {
+            config,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle: the run emits phase spans
+    /// (`run`/`hyper_sample`/`simulate`/`fit`/`fallback`/`checkpoint`),
+    /// work counters and convergence gauges through it. The handle never
+    /// touches the estimation RNG, so a fixed-seed run's results are
+    /// bit-identical with telemetry enabled or disabled.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry handle (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The configuration.
@@ -276,11 +300,17 @@ impl MaxPowerEstimator {
                     });
                 }
                 cp.verify(fingerprint, master_seed)?;
+                // Carry the earlier segments' phase durations and counters
+                // forward so post-resume telemetry reports the whole run.
+                if let Some(summary) = &cp.telemetry {
+                    summary.restore_into(&self.telemetry);
+                }
                 RunState::from_checkpoint(cp)
             }
             None => RunState::new(),
         };
 
+        let _run_span = self.telemetry.span(SpanKind::Run);
         loop {
             let k = st.estimates.len();
             // Stopping decision on the *current* state, so a resumed run
@@ -288,18 +318,30 @@ impl MaxPowerEstimator {
             let stats = self.interval(&config, &st.estimates, &mut st.health)?;
             if let Some(s) = &stats {
                 if k >= config.min_hyper_samples && s.met {
+                    self.telemetry.flush();
                     return Ok(Self::finish(&config, st, s, true));
                 }
                 if k >= config.max_hyper_samples {
+                    self.telemetry.flush();
                     return Ok(Self::finish(&config, st, s, false));
                 }
             }
 
-            let hyper: HyperSample = match &mut driver {
-                RngDriver::Stream(rng) => generate_hyper_sample(source, &config, *rng)?,
-                RngDriver::Derived(seed) => {
-                    let mut hyper_rng = SmallRng::seed_from_u64(derive_seed(*seed, k));
-                    generate_hyper_sample(source, &config, &mut hyper_rng)?
+            let hyper: HyperSample = {
+                let _hyper_span = self.telemetry.span(SpanKind::HyperSample);
+                match &mut driver {
+                    RngDriver::Stream(rng) => {
+                        generate_hyper_sample_traced(source, &config, *rng, &self.telemetry)?
+                    }
+                    RngDriver::Derived(seed) => {
+                        let mut hyper_rng = SmallRng::seed_from_u64(derive_seed(*seed, k));
+                        generate_hyper_sample_traced(
+                            source,
+                            &config,
+                            &mut hyper_rng,
+                            &self.telemetry,
+                        )?
+                    }
                 }
             };
             st.units_used += hyper.units_used;
@@ -307,6 +349,7 @@ impl MaxPowerEstimator {
             st.health.absorb(&hyper.health, hyper.estimator);
             st.estimates.push(hyper.estimate_mw);
             st.estimators.push(hyper.estimator);
+            self.telemetry.counter(names::HYPER_SAMPLES, 1);
 
             let k = st.estimates.len();
             let stats = self.interval(&config, &st.estimates, &mut st.health)?;
@@ -314,6 +357,15 @@ impl MaxPowerEstimator {
                 Some(s) => (s.mean, s.relative),
                 None => (st.estimates.iter().sum::<f64>() / k as f64, f64::INFINITY),
             };
+            self.telemetry.gauge(names::RUNNING_MEAN_MW, mean);
+            if let Some(s) = &stats {
+                self.telemetry.gauge(names::CI_HALF_WIDTH_MW, s.half);
+            }
+            // Emitted every iteration (infinite before k = 2) — the
+            // progress sink repaints on this gauge, the last one per
+            // iteration.
+            self.telemetry
+                .gauge(names::CI_RELATIVE_HALF_WIDTH, relative_half_width);
             st.history.push(EstimateHistoryEntry {
                 k,
                 mean_mw: mean,
@@ -321,7 +373,14 @@ impl MaxPowerEstimator {
                 units_used: st.units_used,
             });
             if checkpointing {
-                save(&st.to_checkpoint(fingerprint, master_seed));
+                let _cp_span = self.telemetry.span(SpanKind::Checkpoint);
+                let mut cp = st.to_checkpoint(fingerprint, master_seed);
+                if self.telemetry.is_enabled() {
+                    cp.telemetry =
+                        Some(TelemetrySummary::from_snapshot(&self.telemetry.snapshot()));
+                }
+                save(&cp);
+                self.telemetry.counter(names::CHECKPOINT_SAVES, 1);
             }
         }
     }

@@ -179,6 +179,7 @@ pub struct FaultInjectingSource<S> {
     config: FaultConfig,
     rng: SmallRng,
     stats: FaultStats,
+    telemetry: mpe_telemetry::Telemetry,
 }
 
 impl<S: PowerSource> FaultInjectingSource<S> {
@@ -194,7 +195,17 @@ impl<S: PowerSource> FaultInjectingSource<S> {
             rng: SmallRng::seed_from_u64(config.seed),
             config,
             stats: FaultStats::default(),
+            telemetry: mpe_telemetry::Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry handle: every injected fault is counted by
+    /// kind (`fault_errors`, `fault_stalls`, `fault_nans`, …) as it fires,
+    /// so a trace can be cross-checked against the [`FaultStats`] ledger.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: mpe_telemetry::Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The fault ledger so far.
@@ -230,6 +241,8 @@ impl<S: PowerSource> PowerSource for FaultInjectingSource<S> {
         let mut edge = c.error_rate;
         if roll < edge {
             self.stats.errors += 1;
+            self.telemetry
+                .counter(mpe_telemetry::names::FAULT_ERRORS, 1);
             return Err(MaxPowerError::Source {
                 message: "injected transient source error".to_string(),
             });
@@ -237,6 +250,8 @@ impl<S: PowerSource> PowerSource for FaultInjectingSource<S> {
         edge += c.stall_rate;
         if roll < edge {
             self.stats.stalls += 1;
+            self.telemetry
+                .counter(mpe_telemetry::names::FAULT_STALLS, 1);
             return Err(MaxPowerError::Source {
                 message: "injected stall: source exceeded its deadline".to_string(),
             });
@@ -247,21 +262,27 @@ impl<S: PowerSource> PowerSource for FaultInjectingSource<S> {
         edge += c.nan_rate;
         if roll < edge {
             self.stats.nans += 1;
+            self.telemetry.counter(mpe_telemetry::names::FAULT_NANS, 1);
             return Ok(f64::NAN);
         }
         edge += c.inf_rate;
         if roll < edge {
             self.stats.infs += 1;
+            self.telemetry.counter(mpe_telemetry::names::FAULT_INFS, 1);
             return Ok(f64::INFINITY);
         }
         edge += c.negative_rate;
         if roll < edge {
             self.stats.negatives += 1;
+            self.telemetry
+                .counter(mpe_telemetry::names::FAULT_NEGATIVES, 1);
             return Ok(-(p.abs() + 1.0));
         }
         edge += c.corrupt_rate;
         if roll < edge {
             self.stats.corruptions += 1;
+            self.telemetry
+                .counter(mpe_telemetry::names::FAULT_CORRUPTIONS, 1);
             return Ok(p * c.corrupt_scale);
         }
         self.stats.clean += 1;
@@ -380,6 +401,41 @@ mod tests {
         };
         // Same wrapper seed, different estimation seeds: identical faults.
         assert_eq!(run(1), run(999));
+    }
+
+    #[test]
+    fn telemetry_counters_match_the_ledger() {
+        let cfg = FaultConfig {
+            seed: 42,
+            error_rate: 0.1,
+            stall_rate: 0.05,
+            nan_rate: 0.05,
+            inf_rate: 0.05,
+            negative_rate: 0.05,
+            corrupt_rate: 0.05,
+            corrupt_scale: 100.0,
+        };
+        let telemetry = mpe_telemetry::Telemetry::enabled();
+        let mut s = FaultInjectingSource::new(constant_five(), cfg)
+            .unwrap()
+            .with_telemetry(telemetry.clone());
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let _ = s.sample(&mut rng);
+        }
+        let st = *s.stats();
+        assert!(st.total_injected() > 0);
+        let snap = telemetry.snapshot();
+        use mpe_telemetry::names;
+        assert_eq!(snap.counter(names::FAULT_ERRORS), st.errors as u64);
+        assert_eq!(snap.counter(names::FAULT_STALLS), st.stalls as u64);
+        assert_eq!(snap.counter(names::FAULT_NANS), st.nans as u64);
+        assert_eq!(snap.counter(names::FAULT_INFS), st.infs as u64);
+        assert_eq!(snap.counter(names::FAULT_NEGATIVES), st.negatives as u64);
+        assert_eq!(
+            snap.counter(names::FAULT_CORRUPTIONS),
+            st.corruptions as u64
+        );
     }
 
     #[test]

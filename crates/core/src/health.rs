@@ -218,6 +218,75 @@ mod tests {
     }
 
     #[test]
+    fn empty_run_health_stays_converged_regardless_of_absorb_count() {
+        // An "empty" run (no hyper-samples absorbed) and a run of clean
+        // MLE hyper-samples are indistinguishable: both clean, no
+        // fallback, converged when the target was met.
+        let mut run = RunHealth::default();
+        for _ in 0..5 {
+            run.absorb(&HyperHealth::default(), EstimatorKind::Mle);
+        }
+        assert!(run.is_clean());
+        assert_eq!(run.deepest_fallback(), None);
+        assert_eq!(run.status(true), RunStatus::Converged);
+    }
+
+    #[test]
+    fn all_degraded_run_reports_deepest_rung_only() {
+        // Every hyper-sample fell back to POT; no quantile rung reached.
+        let mut run = RunHealth::default();
+        for _ in 0..4 {
+            run.absorb(&HyperHealth::default(), EstimatorKind::Pot);
+        }
+        assert_eq!(run.pot_fallbacks, 4);
+        assert_eq!(run.quantile_fallbacks, 0);
+        assert_eq!(run.deepest_fallback(), Some(EstimatorKind::Pot));
+        assert_eq!(
+            run.status(true),
+            RunStatus::Degraded {
+                fallback: EstimatorKind::Pot
+            }
+        );
+        // Fallbacks alone don't make the run unhealthy-clean: the ledger
+        // records them, so the run is not "clean".
+        assert!(!run.is_clean());
+    }
+
+    #[test]
+    fn mixed_estimator_kinds_rank_quantile_over_pot_in_any_order() {
+        // Deepest-rung ranking must not depend on absorb order.
+        let mut a = RunHealth::default();
+        a.absorb(&HyperHealth::default(), EstimatorKind::Quantile);
+        a.absorb(&HyperHealth::default(), EstimatorKind::Pot);
+        a.absorb(&HyperHealth::default(), EstimatorKind::Mle);
+        let mut b = RunHealth::default();
+        b.absorb(&HyperHealth::default(), EstimatorKind::Mle);
+        b.absorb(&HyperHealth::default(), EstimatorKind::Pot);
+        b.absorb(&HyperHealth::default(), EstimatorKind::Quantile);
+        assert_eq!(a, b);
+        assert_eq!(a.deepest_fallback(), Some(EstimatorKind::Quantile));
+        assert_eq!(b.deepest_fallback(), Some(EstimatorKind::Quantile));
+    }
+
+    #[test]
+    fn faulty_but_mle_only_run_is_dirty_yet_not_degraded() {
+        // Survived faults mark the run unclean without implying a
+        // fallback: status stays Converged when every estimate was MLE.
+        let mut run = RunHealth::default();
+        run.absorb(
+            &HyperHealth {
+                source_errors: 7,
+                samples_discarded: 2,
+                ..HyperHealth::default()
+            },
+            EstimatorKind::Mle,
+        );
+        assert!(!run.is_clean());
+        assert_eq!(run.deepest_fallback(), None);
+        assert_eq!(run.status(true), RunStatus::Converged);
+    }
+
+    #[test]
     fn status_met_target() {
         assert!(RunStatus::Converged.met_target());
         assert!(!RunStatus::BudgetExhausted.met_target());

@@ -34,8 +34,9 @@ use rand::RngCore;
 
 use mpe_evt::tail::finite_population_maximum;
 use mpe_mle::pot::fit_pot;
-use mpe_mle::profile::{fit_reversed_weibull, WeibullFit};
+use mpe_mle::profile::{fit_reversed_weibull, fit_reversed_weibull_traced, WeibullFit};
 use mpe_mle::MleError;
+use mpe_telemetry::{names, SpanKind, Telemetry};
 
 use crate::config::{BiasCorrection, EstimationConfig, FallbackPolicy, SamplePolicy};
 use crate::error::MaxPowerError;
@@ -170,6 +171,52 @@ pub fn generate_hyper_sample(
     config: &EstimationConfig,
     rng: &mut dyn RngCore,
 ) -> Result<HyperSample, MaxPowerError> {
+    generate_hyper_sample_traced(source, config, rng, &Telemetry::disabled())
+}
+
+/// Emits the telemetry deltas accumulated in `health` since the given
+/// baseline. Called once per attempt so counters land near the work that
+/// caused them, without threading the handle through [`draw_reading`].
+fn emit_health_deltas(telemetry: &Telemetry, health: &HyperHealth, baseline: &HyperHealth) {
+    telemetry.counter(
+        names::SAMPLES_DISCARDED,
+        (health.samples_discarded - baseline.samples_discarded) as u64,
+    );
+    telemetry.counter(
+        names::SOURCE_ERRORS,
+        (health.source_errors - baseline.source_errors) as u64,
+    );
+    telemetry.counter(
+        names::SAMPLE_RETRIES,
+        (health.sample_retries - baseline.sample_retries) as u64,
+    );
+}
+
+/// [`generate_hyper_sample`] instrumented with telemetry:
+///
+/// * each attempt's `m × n` draw loop runs inside a `simulate` span, and
+///   the units it consumed are counted into
+///   [`names::VECTOR_PAIRS_SIMULATED`] as one exact delta — the counter's
+///   total always equals the run's `units_used`;
+/// * MLE fits run inside `fit` spans (with grid-probe counts) via
+///   [`fit_reversed_weibull_traced`];
+/// * a successful fit publishes the `hyper_mu_mw` / `hyper_alpha` /
+///   `hyper_beta` gauges; the fallback ladder runs inside a `fallback`
+///   span and counts which rung caught the estimate.
+///
+/// With a disabled handle this is exactly [`generate_hyper_sample`]; the
+/// handle never touches `rng`, so enabling telemetry cannot change the
+/// estimate.
+///
+/// # Errors
+///
+/// Same as [`generate_hyper_sample`].
+pub fn generate_hyper_sample_traced(
+    source: &mut dyn PowerSource,
+    config: &EstimationConfig,
+    rng: &mut dyn RngCore,
+    telemetry: &Telemetry,
+) -> Result<HyperSample, MaxPowerError> {
     let n = config.sample_size;
     let m = config.samples_per_hyper;
     let mut units_used = 0usize;
@@ -187,25 +234,45 @@ pub fn generate_hyper_sample(
         let mut maxima = Vec::with_capacity(m);
         let mut first_draw: Option<f64> = None;
         let mut constant = true;
-        for _ in 0..m {
-            let mut sample_max = f64::NEG_INFINITY;
-            for _ in 0..n {
-                let p = draw_reading(source, config, rng, &mut health, &mut units_used)?;
-                match first_draw {
-                    None => first_draw = Some(p),
-                    Some(f0) => {
-                        if p != f0 {
-                            constant = false;
+        let units_before = units_used;
+        let health_before = health;
+        {
+            let _simulate = telemetry.span(SpanKind::Simulate);
+            for _ in 0..m {
+                let mut sample_max = f64::NEG_INFINITY;
+                for _ in 0..n {
+                    let p = draw_reading(source, config, rng, &mut health, &mut units_used)
+                        .inspect_err(|_| {
+                            // Units drawn before the failure are still spent.
+                            telemetry.counter(
+                                names::VECTOR_PAIRS_SIMULATED,
+                                (units_used - units_before) as u64,
+                            );
+                        })?;
+                    match first_draw {
+                        None => first_draw = Some(p),
+                        Some(f0) => {
+                            if p != f0 {
+                                constant = false;
+                            }
                         }
                     }
+                    all_draws.push(p);
+                    sample_max = sample_max.max(p);
                 }
-                all_draws.push(p);
-                sample_max = sample_max.max(p);
+                observed_max = observed_max.max(sample_max);
+                maxima.push(sample_max);
             }
-            observed_max = observed_max.max(sample_max);
-            maxima.push(sample_max);
         }
+        telemetry.counter(
+            names::VECTOR_PAIRS_SIMULATED,
+            (units_used - units_before) as u64,
+        );
+        emit_health_deltas(telemetry, &health, &health_before);
         attempts += 1;
+        if attempts > 1 {
+            telemetry.counter(names::MLE_RETRIES, 1);
+        }
         charged = charged.saturating_add(1usize << (attempts - 1).min(63));
 
         // Degeneracy pre-check: identical sample maxima give the reversed-
@@ -214,13 +281,17 @@ pub fn generate_hyper_sample(
         let degenerate = maxima.windows(2).all(|w| w[0] == w[1]);
         let failure: MleError = if degenerate {
             health.degenerate_bailout = true;
+            telemetry.counter(names::DEGENERATE_BAILOUTS, 1);
             MleError::DegenerateSample {
                 reason: "all sample maxima identical",
             }
         } else {
-            match fit_reversed_weibull(&maxima) {
+            match fit_reversed_weibull_traced(&maxima, telemetry) {
                 Ok(fit) => {
                     health.mle_retries = attempts - 1;
+                    telemetry.gauge(names::HYPER_MU, fit.distribution.mu());
+                    telemetry.gauge(names::HYPER_ALPHA, fit.distribution.alpha());
+                    telemetry.gauge(names::HYPER_BETA, fit.distribution.beta());
                     let plain = point_estimate(&fit, config);
                     let estimate_mw = match config.bias_correction {
                         BiasCorrection::None => plain,
@@ -255,14 +326,25 @@ pub fn generate_hyper_sample(
     health.mle_retries = attempts - 1;
     match config.fallback {
         FallbackPolicy::ErrorOut => Err(MaxPowerError::HyperSampleFailed { cause, attempts }),
-        FallbackPolicy::Degrade => Ok(degraded_hyper_sample(
-            all_draws,
-            last_maxima,
-            observed_max,
-            units_used,
-            health,
-            config,
-        )),
+        FallbackPolicy::Degrade => {
+            let _fallback = telemetry.span(SpanKind::Fallback);
+            let degraded = degraded_hyper_sample(
+                all_draws,
+                last_maxima,
+                observed_max,
+                units_used,
+                health,
+                config,
+            );
+            telemetry.counter(
+                match degraded.estimator {
+                    EstimatorKind::Pot => names::FALLBACK_POT,
+                    _ => names::FALLBACK_QUANTILE,
+                },
+                1,
+            );
+            Ok(degraded)
+        }
     }
 }
 

@@ -88,9 +88,13 @@ pub use error::MaxPowerError;
 pub use estimator::{EstimateHistoryEntry, MaxPowerEstimate, MaxPowerEstimator};
 pub use fault::{FaultConfig, FaultInjectingSource, FaultStats};
 pub use health::{EstimatorKind, HyperHealth, RunHealth, RunStatus};
-pub use hyper::{generate_hyper_sample, HyperSample};
+pub use hyper::{generate_hyper_sample, generate_hyper_sample_traced, HyperSample};
 pub use quantile_baseline::{quantile_baseline_estimate, QuantileEstimate};
-pub use report::EstimateReport;
+pub use report::{CounterValue, EstimateReport, PhaseTiming, TelemetrySummary};
+
+// Re-exported so downstream users can drive telemetry without naming the
+// `mpe-telemetry` crate directly.
+pub use mpe_telemetry as telemetry;
 pub use source::{FnSource, PopulationSource, PowerSource, SimulatorSource};
 pub use srs::{srs_max_estimate, srs_theoretical_units, SrsEstimate};
 pub use sweep::{sweep_activity, SweepPoint};

@@ -9,12 +9,92 @@ use serde::{Deserialize, Serialize};
 
 use crate::estimator::MaxPowerEstimate;
 use crate::health::{EstimatorKind, RunHealth, RunStatus};
+use mpe_telemetry::{MetricsSnapshot, SpanKind};
 
 /// Format version written into every report, bumped on breaking changes.
 ///
 /// v2 added the resilience fields: `status`, `health` and
-/// `hyper_estimators`.
-pub const REPORT_VERSION: u32 = 2;
+/// `hyper_estimators`. v3 added the optional `telemetry` block (phase
+/// timings and work counters); v2 reports still parse (the block reads as
+/// absent).
+pub const REPORT_VERSION: u32 = 3;
+
+/// Wall-clock attribution for one pipeline phase.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTiming {
+    /// Phase label (a [`SpanKind`] wire label: `"run"`, `"simulate"`, …).
+    pub phase: String,
+    /// Completed spans of this phase.
+    pub count: u64,
+    /// Total time spent inside the phase, nanoseconds (monotonic clock).
+    pub total_ns: u64,
+}
+
+/// One named work counter's end-of-run total.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterValue {
+    /// Counter name (see `mpe_telemetry::names`).
+    pub name: String,
+    /// Cumulative total.
+    pub value: u64,
+}
+
+/// The telemetry block embedded in reports (and checkpoints): where the
+/// run spent its time and how much work each stage performed. Gauges are
+/// point-in-time values and deliberately excluded — the report's own
+/// estimate fields carry the final ones.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetrySummary {
+    /// Per-phase wall-clock totals, in pipeline order.
+    pub phases: Vec<PhaseTiming>,
+    /// Counter totals, sorted by name.
+    pub counters: Vec<CounterValue>,
+}
+
+impl TelemetrySummary {
+    /// Extracts the durable parts of a metrics snapshot.
+    pub fn from_snapshot(snapshot: &MetricsSnapshot) -> Self {
+        TelemetrySummary {
+            phases: SpanKind::ALL
+                .iter()
+                .map(|&kind| (kind, snapshot.phase(kind)))
+                .filter(|(_, stat)| stat.count > 0)
+                .map(|(kind, stat)| PhaseTiming {
+                    phase: kind.label().to_string(),
+                    count: stat.count,
+                    total_ns: stat.total_ns,
+                })
+                .collect(),
+            counters: snapshot
+                .counters
+                .iter()
+                .map(|(name, value)| CounterValue {
+                    name: name.clone(),
+                    value: *value,
+                })
+                .collect(),
+        }
+    }
+
+    /// The total of one counter, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Re-seeds a telemetry handle with these totals so a resumed run's
+    /// summaries accumulate on top of the checkpointed work.
+    pub fn restore_into(&self, telemetry: &mpe_telemetry::Telemetry) {
+        telemetry.restore_baseline(
+            self.counters.iter().map(|c| (c.name.clone(), c.value)),
+            self.phases.iter().filter_map(|p| {
+                SpanKind::from_label(&p.phase).map(|kind| (kind, p.count, p.total_ns))
+            }),
+        );
+    }
+}
 
 /// A flattened, JSON-serializable view of a [`MaxPowerEstimate`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -50,6 +130,11 @@ pub struct EstimateReport {
     /// Which estimator produced each hyper-sample (parallel to
     /// `hyper_estimates`).
     pub hyper_estimators: Vec<EstimatorKind>,
+    /// Phase timings and work counters for the run, when telemetry was
+    /// enabled. Absent (`null`/missing) otherwise; v2 reports parse with
+    /// the block absent.
+    #[serde(default)]
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl EstimateReport {
@@ -71,7 +156,15 @@ impl EstimateReport {
             health: estimate.health,
             hyper_estimates: estimate.hyper_estimates.clone(),
             hyper_estimators: estimate.hyper_estimators.clone(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches the telemetry block from an enabled handle's snapshot.
+    #[must_use]
+    pub fn with_telemetry(mut self, snapshot: &MetricsSnapshot) -> Self {
+        self.telemetry = Some(TelemetrySummary::from_snapshot(snapshot));
+        self
     }
 
     /// Serializes to pretty JSON.
@@ -136,11 +229,43 @@ mod tests {
 
     #[test]
     fn roundtrip_json() {
-        let report = EstimateReport::new("C3540", "max_power_mw", &sample_estimate());
+        let telemetry = mpe_telemetry::Telemetry::enabled();
+        telemetry.counter(mpe_telemetry::names::VECTOR_PAIRS_SIMULATED, 2400);
+        let report = EstimateReport::new("C3540", "max_power_mw", &sample_estimate())
+            .with_telemetry(&telemetry.snapshot());
         let json = report.to_json();
         assert!(json.contains("\"subject\": \"C3540\""));
         let back = EstimateReport::from_json(&json).unwrap();
         assert_eq!(report, back);
+    }
+
+    #[test]
+    fn telemetry_summary_captures_phases_and_counters() {
+        let telemetry = mpe_telemetry::Telemetry::enabled();
+        {
+            let _run = telemetry.span(SpanKind::Run);
+            telemetry.counter(mpe_telemetry::names::VECTOR_PAIRS_SIMULATED, 300);
+        }
+        let summary = TelemetrySummary::from_snapshot(&telemetry.snapshot());
+        assert_eq!(
+            summary.counter(mpe_telemetry::names::VECTOR_PAIRS_SIMULATED),
+            300
+        );
+        assert_eq!(summary.counter("missing"), 0);
+        assert_eq!(summary.phases.len(), 1);
+        assert_eq!(summary.phases[0].phase, "run");
+        assert_eq!(summary.phases[0].count, 1);
+
+        // Restoring into a fresh handle carries the totals forward.
+        let resumed = mpe_telemetry::Telemetry::enabled();
+        summary.restore_into(&resumed);
+        resumed.counter(mpe_telemetry::names::VECTOR_PAIRS_SIMULATED, 100);
+        let snap = resumed.snapshot();
+        assert_eq!(
+            snap.counter(mpe_telemetry::names::VECTOR_PAIRS_SIMULATED),
+            400
+        );
+        assert_eq!(snap.phase(SpanKind::Run).count, 1);
     }
 
     #[test]

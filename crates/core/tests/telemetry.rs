@@ -1,0 +1,200 @@
+//! Telemetry integration: the instrumented pipeline against the
+//! acceptance contract — trace validity, exact unit accounting, monotone
+//! convergence gauges, bit-identical estimates with telemetry on or off,
+//! and cumulative metrics across checkpoint/resume.
+
+use maxpower::telemetry::{names, replay, JsonlSink, SharedBuffer, SpanKind, Telemetry};
+use maxpower::{Checkpoint, EstimationConfig, FnSource, MaxPowerEstimator, RunStatus};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+fn weibull_source(alpha: f64, beta: f64, mu: f64) -> impl FnMut(&mut dyn RngCore) -> f64 {
+    move |rng: &mut dyn RngCore| {
+        let u: f64 = rng.gen_range(1e-12..1.0f64);
+        mu - (-u.ln() / beta).powf(1.0 / alpha)
+    }
+}
+
+fn traced_run(seed: u64) -> (maxpower::MaxPowerEstimate, Telemetry, SharedBuffer) {
+    let telemetry = Telemetry::enabled();
+    let buf = SharedBuffer::new();
+    telemetry.add_sink(Box::new(JsonlSink::new(buf.clone())));
+    let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
+    let estimator =
+        MaxPowerEstimator::new(EstimationConfig::default()).with_telemetry(telemetry.clone());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let estimate = estimator.run(&mut source, &mut rng).expect("run converges");
+    telemetry.flush();
+    (estimate, telemetry, buf)
+}
+
+/// The emitted JSONL trace must be schema-valid with correctly nested
+/// spans, and its per-phase counts must match the estimate's own account
+/// of the run.
+#[test]
+fn trace_is_schema_valid_with_correctly_nested_spans() {
+    let (estimate, _telemetry, buf) = traced_run(42);
+    assert_eq!(estimate.status, RunStatus::Converged);
+
+    let text = buf.contents();
+    let summary = replay(text.lines()).expect("trace must replay cleanly");
+    assert!(summary.events > 0);
+    // run > hyper_sample > simulate/fit.
+    assert!(summary.max_depth >= 3, "depth {}", summary.max_depth);
+    assert_eq!(summary.metrics.phase(SpanKind::Run).count, 1);
+    assert_eq!(
+        summary.metrics.phase(SpanKind::HyperSample).count,
+        estimate.hyper_samples as u64
+    );
+    // One simulate + at least one fit span per hyper-sample attempt.
+    let attempts = (estimate.hyper_samples + estimate.health.mle_retries) as u64;
+    assert_eq!(summary.metrics.phase(SpanKind::Simulate).count, attempts);
+    assert!(summary.metrics.phase(SpanKind::Fit).count >= estimate.hyper_samples as u64);
+    // The trace and the in-memory registry agree event for event.
+    let live = _telemetry.snapshot();
+    assert_eq!(
+        summary.metrics.counter(names::VECTOR_PAIRS_SIMULATED),
+        live.counter(names::VECTOR_PAIRS_SIMULATED)
+    );
+}
+
+/// Acceptance: the `vector_pairs_simulated` counter equals the
+/// estimator's reported unit cost exactly — not approximately.
+#[test]
+fn vector_pairs_counter_equals_units_used_exactly() {
+    for seed in [1u64, 7, 42, 1234] {
+        let (estimate, telemetry, _buf) = traced_run(seed);
+        let snap = telemetry.snapshot();
+        assert_eq!(
+            snap.counter(names::VECTOR_PAIRS_SIMULATED),
+            estimate.units_used as u64,
+            "seed {seed}: counter must equal units_used"
+        );
+        assert_eq!(
+            snap.counter(names::HYPER_SAMPLES),
+            estimate.hyper_samples as u64
+        );
+    }
+}
+
+/// Acceptance: for a fixed-seed run the CI half-width gauge series is
+/// monotone non-increasing in k — the convergence signal the progress
+/// line and the paper's stopping rule are built on.
+#[test]
+fn ci_half_width_series_is_monotone_for_fixed_seed() {
+    let (estimate, telemetry, _buf) = traced_run(42);
+    let snap = telemetry.snapshot();
+    let widths = snap.gauge_series(names::CI_HALF_WIDTH_MW);
+    // Emitted once per iteration from k = 2 on.
+    assert_eq!(widths.len(), estimate.hyper_samples - 1);
+    assert!(
+        widths.windows(2).all(|w| w[1] <= w[0]),
+        "half-width series must shrink monotonically: {widths:?}"
+    );
+    // The relative series ends below the configured target.
+    let rel = snap.gauge_series(names::CI_RELATIVE_HALF_WIDTH);
+    let last = rel.last().copied().expect("series non-empty");
+    assert!(last <= EstimationConfig::default().relative_error);
+}
+
+/// Acceptance: telemetry must never perturb the estimation — a fixed-seed
+/// run yields bit-identical results with telemetry enabled or disabled.
+#[test]
+fn telemetry_does_not_perturb_the_estimate() {
+    let run = |telemetry: Telemetry| {
+        let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
+        let estimator =
+            MaxPowerEstimator::new(EstimationConfig::default()).with_telemetry(telemetry);
+        let mut rng = SmallRng::seed_from_u64(42);
+        estimator.run(&mut source, &mut rng).expect("run converges")
+    };
+    let silent = run(Telemetry::disabled());
+    let traced = run(Telemetry::enabled());
+    assert_eq!(silent.estimate_mw.to_bits(), traced.estimate_mw.to_bits());
+    assert_eq!(silent.units_used, traced.units_used);
+    assert_eq!(silent.hyper_samples, traced.hyper_samples);
+    assert_eq!(
+        silent.relative_error.to_bits(),
+        traced.relative_error.to_bits()
+    );
+}
+
+/// Satellite: a run interrupted at a checkpoint and resumed with a fresh
+/// telemetry handle must report *cumulative* counters and phase counts —
+/// identical in total to the uninterrupted run's.
+#[test]
+fn resumed_run_telemetry_accumulates_across_segments() {
+    let config = EstimationConfig::default();
+    let master_seed = 21;
+
+    // Uninterrupted reference run.
+    let full_telemetry = Telemetry::enabled();
+    let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
+    let full = MaxPowerEstimator::new(config)
+        .with_telemetry(full_telemetry.clone())
+        .run_with_checkpoint(&mut source, master_seed, None, &mut |_| {})
+        .expect("reference run converges");
+
+    // Interrupted run: capture the checkpoint written after k = 2.
+    let first_telemetry = Telemetry::enabled();
+    let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
+    let mut at_two: Option<Checkpoint> = None;
+    MaxPowerEstimator::new(config)
+        .with_telemetry(first_telemetry.clone())
+        .run_with_checkpoint(&mut source, master_seed, None, &mut |cp| {
+            if cp.hyper_samples() == 2 {
+                at_two = Some(cp.clone());
+            }
+        })
+        .expect("first segment converges");
+    let cp = at_two.expect("checkpoint at k = 2 captured");
+    let summary = cp.telemetry.as_ref().expect("checkpoint carries telemetry");
+    assert!(summary.counter(names::VECTOR_PAIRS_SIMULATED) > 0);
+
+    // Resumed segment with a *fresh* telemetry handle.
+    let resumed_telemetry = Telemetry::enabled();
+    let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
+    let resumed = MaxPowerEstimator::new(config)
+        .with_telemetry(resumed_telemetry.clone())
+        .run_with_checkpoint(&mut source, master_seed, Some(&cp), &mut |_| {})
+        .expect("resumed run converges");
+
+    // The estimate itself is bit-identical (existing contract) …
+    assert_eq!(full.estimate_mw.to_bits(), resumed.estimate_mw.to_bits());
+    assert_eq!(full.units_used, resumed.units_used);
+
+    // … and so is the cumulative telemetry: baseline (segment one, via the
+    // checkpoint) plus the resumed segment equals the uninterrupted run.
+    let full_snap = full_telemetry.snapshot();
+    let resumed_snap = resumed_telemetry.snapshot();
+    for name in [
+        names::VECTOR_PAIRS_SIMULATED,
+        names::HYPER_SAMPLES,
+        names::MLE_RETRIES,
+    ] {
+        assert_eq!(
+            resumed_snap.counter(name),
+            full_snap.counter(name),
+            "counter `{name}` must accumulate across resume"
+        );
+    }
+    assert_eq!(
+        resumed_snap.counter(names::VECTOR_PAIRS_SIMULATED),
+        resumed.units_used as u64
+    );
+    assert_eq!(
+        resumed_snap.phase(SpanKind::HyperSample).count,
+        full_snap.phase(SpanKind::HyperSample).count,
+        "hyper-sample span counts must accumulate across resume"
+    );
+    // Phase *durations* carry over too: the resumed registry already held
+    // segment one's simulate time before the new segment added its own.
+    assert!(
+        resumed_snap.phase(SpanKind::Simulate).total_ns
+            >= summary
+                .phases
+                .iter()
+                .find(|p| p.phase == SpanKind::Simulate.label())
+                .map_or(0, |p| p.total_ns),
+    );
+}

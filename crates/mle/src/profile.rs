@@ -94,6 +94,26 @@ pub fn fit_reversed_weibull(data: &[f64]) -> Result<WeibullFit, MleError> {
     fit_reversed_weibull_with(data, &FitOptions::default())
 }
 
+/// [`fit_reversed_weibull`] instrumented with telemetry: wraps the fit in
+/// a `fit` span and counts every profile-likelihood evaluation (grid scan
+/// plus golden-section refinement) into
+/// [`mpe_telemetry::names::MLE_GRID_PROBES`]. With a disabled handle this
+/// is exactly [`fit_reversed_weibull`].
+///
+/// # Errors
+///
+/// Same as [`fit_reversed_weibull`].
+pub fn fit_reversed_weibull_traced(
+    data: &[f64],
+    telemetry: &mpe_telemetry::Telemetry,
+) -> Result<WeibullFit, MleError> {
+    let _span = telemetry.span(mpe_telemetry::SpanKind::Fit);
+    let probes = std::cell::Cell::new(0u64);
+    let result = fit_inner(data, &FitOptions::default(), &probes);
+    telemetry.counter(mpe_telemetry::names::MLE_GRID_PROBES, probes.get());
+    result
+}
+
 /// [`fit_reversed_weibull`] with explicit [`FitOptions`].
 ///
 /// # Errors
@@ -101,6 +121,14 @@ pub fn fit_reversed_weibull(data: &[f64]) -> Result<WeibullFit, MleError> {
 /// Same as [`fit_reversed_weibull`], plus
 /// [`MleError::DegenerateSample`] for inconsistent options.
 pub fn fit_reversed_weibull_with(data: &[f64], opts: &FitOptions) -> Result<WeibullFit, MleError> {
+    fit_inner(data, opts, &std::cell::Cell::new(0))
+}
+
+fn fit_inner(
+    data: &[f64],
+    opts: &FitOptions,
+    probes: &std::cell::Cell<u64>,
+) -> Result<WeibullFit, MleError> {
     let m = data.len();
     if m < 5 {
         return Err(MleError::InsufficientData { needed: 5, got: m });
@@ -143,6 +171,7 @@ pub fn fit_reversed_weibull_with(data: &[f64], opts: &FitOptions) -> Result<Weib
         })
         .collect();
     for (j, &off) in offsets.iter().enumerate() {
+        probes.set(probes.get() + 1);
         let ll = profile_mll(data, x_max + off, &mut scratch);
         if ll > best_ll {
             best_ll = ll;
@@ -161,7 +190,10 @@ pub fn fit_reversed_weibull_with(data: &[f64], opts: &FitOptions) -> Result<Weib
     let hi = x_max + offsets[(best_j + 1).min(offsets.len() - 1)];
     let mu_hat = if hi > lo {
         let res = golden_section(
-            |mu| -profile_mll(data, mu, &mut Vec::with_capacity(m)),
+            |mu| {
+                probes.set(probes.get() + 1);
+                -profile_mll(data, mu, &mut Vec::with_capacity(m))
+            },
             lo,
             hi,
             opts.tolerance,
@@ -313,6 +345,28 @@ mod tests {
             ..FitOptions::default()
         };
         assert!(fit_reversed_weibull_with(&data, &opts).is_err());
+    }
+
+    #[test]
+    fn traced_fit_matches_plain_and_counts_probes() {
+        let truth = ReversedWeibull::new(3.0, 1.0, 2.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(31);
+        let data = truth.sample_n(&mut rng, 100);
+        let plain = fit_reversed_weibull(&data).unwrap();
+        let telemetry = mpe_telemetry::Telemetry::enabled();
+        let traced = fit_reversed_weibull_traced(&data, &telemetry).unwrap();
+        assert_eq!(plain.distribution, traced.distribution);
+        let snap = telemetry.snapshot();
+        assert!(
+            snap.counter(mpe_telemetry::names::MLE_GRID_PROBES)
+                >= FitOptions::default().grid_points as u64,
+            "at least the grid scan must be counted"
+        );
+        assert_eq!(snap.phase(mpe_telemetry::SpanKind::Fit).count, 1);
+        // A disabled handle changes nothing and records nothing.
+        let disabled = mpe_telemetry::Telemetry::disabled();
+        let quiet = fit_reversed_weibull_traced(&data, &disabled).unwrap();
+        assert_eq!(quiet.distribution, plain.distribution);
     }
 
     #[test]

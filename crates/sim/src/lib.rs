@@ -53,6 +53,6 @@ pub use activity::ActivityProfile;
 pub use delay::DelayModel;
 pub use engine::{CycleReport, PowerSimulator};
 pub use error::SimError;
-pub use population::simulate_population;
+pub use population::{simulate_population, simulate_population_traced};
 pub use power::PowerConfig;
 pub use trace::{Transition, Waveform};

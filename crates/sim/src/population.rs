@@ -61,6 +61,33 @@ pub fn simulate_population(
     )
 }
 
+/// [`simulate_population`] instrumented with telemetry: the whole batch
+/// runs inside a `simulate` span and the number of pairs evaluated is
+/// counted into [`mpe_telemetry::names::POPULATION_PAIRS_SIMULATED`]
+/// (distinct from the estimation-path counter, so a ground-truth build
+/// never inflates an estimate's unit accounting). With a disabled handle
+/// this is exactly [`simulate_population`].
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] encountered.
+pub fn simulate_population_traced(
+    circuit: &Circuit,
+    pairs: &[(Vec<bool>, Vec<bool>)],
+    delay: DelayModel,
+    config: PowerConfig,
+    threads: usize,
+    telemetry: &mpe_telemetry::Telemetry,
+) -> Result<Vec<f64>, SimError> {
+    let _span = telemetry.span(mpe_telemetry::SpanKind::Simulate);
+    let powers = simulate_population(circuit, pairs, delay, config, threads)?;
+    telemetry.counter(
+        mpe_telemetry::names::POPULATION_PAIRS_SIMULATED,
+        powers.len() as u64,
+    );
+    Ok(powers)
+}
+
 /// [`simulate_population`] with an explicit capacitance model.
 ///
 /// # Errors
@@ -194,6 +221,31 @@ mod tests {
                             // Bounded by total capacitance switching twice.
         let cap_bound = mpe_netlist::CapacitanceModel::default().total_capacitance(&c);
         assert!(max <= PowerConfig::default().power_mw(4.0 * cap_bound));
+    }
+
+    #[test]
+    fn traced_population_matches_plain_and_counts_pairs() {
+        let c = generate(Iscas85::C432, 11).unwrap();
+        let pairs = random_pairs(c.num_inputs(), 40, 5);
+        let plain =
+            simulate_population(&c, &pairs, DelayModel::Unit, PowerConfig::default(), 2).unwrap();
+        let telemetry = mpe_telemetry::Telemetry::enabled();
+        let traced = simulate_population_traced(
+            &c,
+            &pairs,
+            DelayModel::Unit,
+            PowerConfig::default(),
+            2,
+            &telemetry,
+        )
+        .unwrap();
+        assert_eq!(plain, traced);
+        let snap = telemetry.snapshot();
+        assert_eq!(
+            snap.counter(mpe_telemetry::names::POPULATION_PAIRS_SIMULATED),
+            40
+        );
+        assert_eq!(snap.phase(mpe_telemetry::SpanKind::Simulate).count, 1);
     }
 
     #[test]

@@ -1,0 +1,511 @@
+//! Typed telemetry events and their JSONL wire format.
+//!
+//! One event is one line of JSON. The writer and parser are hand-rolled
+//! (this crate has no dependencies by design); the schema is flat —
+//! string, integer and float fields only — so any JSON tool (`jq`,
+//! `serde_json`) can consume the trace too.
+//!
+//! Example lines:
+//!
+//! ```json
+//! {"v":1,"seq":0,"t_ns":1201,"type":"span_start","span":"run","id":0}
+//! {"v":1,"seq":5,"t_ns":90412,"type":"counter","name":"vector_pairs_simulated","delta":300}
+//! {"v":1,"seq":6,"t_ns":90533,"type":"gauge","name":"running_mean_mw","value":9.87}
+//! {"v":1,"seq":9,"t_ns":120985,"type":"span_end","span":"run","id":0,"elapsed_ns":119784}
+//! ```
+//!
+//! Non-finite gauge values (the relative half-width is `+∞` before
+//! `k = 2`) are encoded as JSON `null` and decoded back to
+//! [`f64::INFINITY`].
+
+use std::fmt::Write as _;
+
+/// Version stamped into every trace line; bumped on incompatible change.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// The instrumented phases of the estimation pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// One whole estimation run ([`MaxPowerEstimator::run`] and friends).
+    Run,
+    /// One hyper-sample (draw + fit + possible fallback).
+    HyperSample,
+    /// Drawing readings from the power source (simulation time).
+    Simulate,
+    /// The reversed-Weibull profile MLE.
+    Fit,
+    /// The degraded-mode fallback ladder (POT, then empirical quantile).
+    Fallback,
+    /// Persisting a checkpoint.
+    Checkpoint,
+}
+
+impl SpanKind {
+    /// All kinds, in display order.
+    pub const ALL: [SpanKind; 6] = [
+        SpanKind::Run,
+        SpanKind::HyperSample,
+        SpanKind::Simulate,
+        SpanKind::Fit,
+        SpanKind::Fallback,
+        SpanKind::Checkpoint,
+    ];
+
+    /// The stable wire label of this span kind.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Run => "run",
+            SpanKind::HyperSample => "hyper_sample",
+            SpanKind::Simulate => "simulate",
+            SpanKind::Fit => "fit",
+            SpanKind::Fallback => "fallback",
+            SpanKind::Checkpoint => "checkpoint",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label).
+    pub fn from_label(label: &str) -> Option<SpanKind> {
+        SpanKind::ALL.iter().copied().find(|k| k.label() == label)
+    }
+}
+
+/// The payload of one telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A phase began. `id` pairs it with its [`SpanEnd`](EventKind::SpanEnd).
+    SpanStart {
+        /// The phase.
+        span: SpanKind,
+        /// Unique (per run) span id.
+        id: u64,
+    },
+    /// A phase ended.
+    SpanEnd {
+        /// The phase.
+        span: SpanKind,
+        /// Id of the matching [`SpanStart`](EventKind::SpanStart).
+        id: u64,
+        /// Monotonic duration of the span in nanoseconds.
+        elapsed_ns: u64,
+    },
+    /// A monotone counter increased by `delta`.
+    Counter {
+        /// Counter name (stable, snake_case).
+        name: String,
+        /// Increment (counters never decrease).
+        delta: u64,
+    },
+    /// An instantaneous measurement.
+    Gauge {
+        /// Gauge name (stable, snake_case).
+        name: String,
+        /// The measured value.
+        value: f64,
+    },
+}
+
+/// One event as emitted to sinks: payload plus sequencing metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Monotonically increasing sequence number (0-based, per handle).
+    pub seq: u64,
+    /// Nanoseconds since the telemetry handle's epoch (monotonic clock).
+    pub t_ns: u64,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+/// Appends a JSON string literal (with escaping) to `out`.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON float: shortest round-trip form, `null` when non-finite.
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` is Rust's shortest round-trippable float form, which is
+        // also valid JSON for finite values.
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl EventRecord {
+    /// Encodes this record as one line of JSON (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"v\":{TRACE_SCHEMA_VERSION},\"seq\":{},\"t_ns\":{},",
+            self.seq, self.t_ns
+        );
+        match &self.kind {
+            EventKind::SpanStart { span, id } => {
+                let _ = write!(
+                    s,
+                    "\"type\":\"span_start\",\"span\":\"{}\",\"id\":{id}",
+                    span.label()
+                );
+            }
+            EventKind::SpanEnd {
+                span,
+                id,
+                elapsed_ns,
+            } => {
+                let _ = write!(
+                    s,
+                    "\"type\":\"span_end\",\"span\":\"{}\",\"id\":{id},\"elapsed_ns\":{elapsed_ns}",
+                    span.label()
+                );
+            }
+            EventKind::Counter { name, delta } => {
+                s.push_str("\"type\":\"counter\",\"name\":");
+                push_json_str(&mut s, name);
+                let _ = write!(s, ",\"delta\":{delta}");
+            }
+            EventKind::Gauge { name, value } => {
+                s.push_str("\"type\":\"gauge\",\"name\":");
+                push_json_str(&mut s, name);
+                s.push_str(",\"value\":");
+                push_json_f64(&mut s, *value);
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parses one trace line back into an [`EventRecord`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem: malformed
+    /// JSON, a wrong schema version, or missing/mistyped fields.
+    pub fn parse_json_line(line: &str) -> Result<EventRecord, String> {
+        let fields = parse_flat_object(line)?;
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field `{key}`"))
+        };
+        let as_u64 = |key: &str| -> Result<u64, String> {
+            match get(key)? {
+                JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as u64),
+                other => Err(format!(
+                    "field `{key}` is not a non-negative integer: {other:?}"
+                )),
+            }
+        };
+        let as_str = |key: &str| -> Result<&str, String> {
+            match get(key)? {
+                JsonValue::String(s) => Ok(s.as_str()),
+                other => Err(format!("field `{key}` is not a string: {other:?}")),
+            }
+        };
+
+        let v = as_u64("v")?;
+        if v != TRACE_SCHEMA_VERSION as u64 {
+            return Err(format!(
+                "trace schema version {v} != supported {TRACE_SCHEMA_VERSION}"
+            ));
+        }
+        let seq = as_u64("seq")?;
+        let t_ns = as_u64("t_ns")?;
+        let kind = match as_str("type")? {
+            "span_start" => {
+                let label = as_str("span")?;
+                let span = SpanKind::from_label(label)
+                    .ok_or_else(|| format!("unknown span kind `{label}`"))?;
+                EventKind::SpanStart {
+                    span,
+                    id: as_u64("id")?,
+                }
+            }
+            "span_end" => {
+                let label = as_str("span")?;
+                let span = SpanKind::from_label(label)
+                    .ok_or_else(|| format!("unknown span kind `{label}`"))?;
+                EventKind::SpanEnd {
+                    span,
+                    id: as_u64("id")?,
+                    elapsed_ns: as_u64("elapsed_ns")?,
+                }
+            }
+            "counter" => EventKind::Counter {
+                name: as_str("name")?.to_string(),
+                delta: as_u64("delta")?,
+            },
+            "gauge" => {
+                let value = match get("value")? {
+                    JsonValue::Number(n) => *n,
+                    JsonValue::Null => f64::INFINITY,
+                    other => return Err(format!("field `value` is not a number: {other:?}")),
+                };
+                EventKind::Gauge {
+                    name: as_str("name")?.to_string(),
+                    value,
+                }
+            }
+            other => return Err(format!("unknown event type `{other}`")),
+        };
+        Ok(EventRecord { seq, t_ns, kind })
+    }
+}
+
+/// A parsed flat JSON value (the trace schema never nests).
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    String(String),
+    Number(f64),
+    Null,
+}
+
+/// Parses a flat JSON object (`{"k":v,...}` with string/number/null values)
+/// into key/value pairs. Strict enough to reject garbage, simple enough to
+/// stay dependency-free.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut chars = line.trim().chars().peekable();
+    let mut out = Vec::new();
+
+    let err =
+        |what: &str| Err::<Vec<(String, JsonValue)>, String>(format!("malformed JSON: {what}"));
+    if chars.next() != Some('{') {
+        return err("expected `{`");
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some('"') => {}
+            _ => return err("expected `\"` or `}`"),
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return err("expected `:`");
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => JsonValue::String(parse_string(&mut chars)?),
+            Some('n') => {
+                for expect in "null".chars() {
+                    if chars.next() != Some(expect) {
+                        return err("expected `null`");
+                    }
+                }
+                JsonValue::Null
+            }
+            Some(c) if c.is_ascii_digit() || *c == '-' => {
+                let mut num = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                        num.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                JsonValue::Number(
+                    num.parse::<f64>()
+                        .map_err(|_| format!("malformed JSON: bad number `{num}`"))?,
+                )
+            }
+            _ => return err("expected a value"),
+        };
+        out.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => {}
+            Some('}') => break,
+            _ => return err("expected `,` or `}`"),
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return err("trailing characters after object");
+    }
+    Ok(out)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while matches!(chars.peek(), Some(c) if c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("malformed JSON: expected `\"`".to_string());
+    }
+    let mut s = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(s),
+            Some('\\') => match chars.next() {
+                Some('"') => s.push('"'),
+                Some('\\') => s.push('\\'),
+                Some('n') => s.push('\n'),
+                Some('r') => s.push('\r'),
+                Some('t') => s.push('\t'),
+                Some('u') => {
+                    let code: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let n = u32::from_str_radix(&code, 16)
+                        .map_err(|_| format!("malformed JSON: bad \\u escape `{code}`"))?;
+                    s.push(char::from_u32(n).unwrap_or('\u{fffd}'));
+                }
+                _ => return Err("malformed JSON: bad escape".to_string()),
+            },
+            Some(c) => s.push(c),
+            None => return Err("malformed JSON: unterminated string".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_labels_roundtrip() {
+        for kind in SpanKind::ALL {
+            assert_eq!(SpanKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(SpanKind::from_label("nope"), None);
+    }
+
+    #[test]
+    fn events_roundtrip_through_jsonl() {
+        let records = [
+            EventRecord {
+                seq: 0,
+                t_ns: 12,
+                kind: EventKind::SpanStart {
+                    span: SpanKind::Run,
+                    id: 0,
+                },
+            },
+            EventRecord {
+                seq: 1,
+                t_ns: 99,
+                kind: EventKind::Counter {
+                    name: "vector_pairs_simulated".to_string(),
+                    delta: 300,
+                },
+            },
+            EventRecord {
+                seq: 2,
+                t_ns: 100,
+                kind: EventKind::Gauge {
+                    name: "running_mean_mw".to_string(),
+                    value: 9.875,
+                },
+            },
+            EventRecord {
+                seq: 3,
+                t_ns: 110,
+                kind: EventKind::SpanEnd {
+                    span: SpanKind::Run,
+                    id: 0,
+                    elapsed_ns: 98,
+                },
+            },
+        ];
+        for r in &records {
+            let line = r.to_json_line();
+            assert!(line.contains("\"v\":1"), "{line}");
+            let back = EventRecord::parse_json_line(&line).expect(&line);
+            assert_eq!(&back, r);
+        }
+    }
+
+    #[test]
+    fn non_finite_gauge_encodes_as_null() {
+        let r = EventRecord {
+            seq: 7,
+            t_ns: 1,
+            kind: EventKind::Gauge {
+                name: "ci_relative_half_width".to_string(),
+                value: f64::INFINITY,
+            },
+        };
+        let line = r.to_json_line();
+        assert!(line.contains("\"value\":null"), "{line}");
+        let back = EventRecord::parse_json_line(&line).unwrap();
+        match back.kind {
+            EventKind::Gauge { value, .. } => assert_eq!(value, f64::INFINITY),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gauge_values_roundtrip_bit_exactly() {
+        for v in [0.0, -1.5, 1.0 / 3.0, 1e-300, 123_456_789.123_456] {
+            let r = EventRecord {
+                seq: 0,
+                t_ns: 0,
+                kind: EventKind::Gauge {
+                    name: "g".to_string(),
+                    value: v,
+                },
+            };
+            match EventRecord::parse_json_line(&r.to_json_line())
+                .unwrap()
+                .kind
+            {
+                EventKind::Gauge { value, .. } => assert_eq!(value.to_bits(), v.to_bits()),
+                other => panic!("wrong kind: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn string_escapes_survive() {
+        let r = EventRecord {
+            seq: 0,
+            t_ns: 0,
+            kind: EventKind::Counter {
+                name: "weird \"name\"\\with\nescapes".to_string(),
+                delta: 1,
+            },
+        };
+        let back = EventRecord::parse_json_line(&r.to_json_line()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(EventRecord::parse_json_line("not json").is_err());
+        assert!(EventRecord::parse_json_line("{}").is_err());
+        assert!(EventRecord::parse_json_line("{\"v\":1}").is_err());
+        // Wrong schema version.
+        let line =
+            "{\"v\":999,\"seq\":0,\"t_ns\":0,\"type\":\"counter\",\"name\":\"x\",\"delta\":1}";
+        let err = EventRecord::parse_json_line(line).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+        // Unknown span.
+        let line =
+            "{\"v\":1,\"seq\":0,\"t_ns\":0,\"type\":\"span_start\",\"span\":\"warp\",\"id\":0}";
+        assert!(EventRecord::parse_json_line(line).is_err());
+        // Trailing garbage.
+        assert!(EventRecord::parse_json_line("{\"v\":1} extra").is_err());
+    }
+}

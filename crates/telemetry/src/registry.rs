@@ -1,0 +1,414 @@
+//! In-memory metrics aggregation and rendering.
+//!
+//! [`MetricsRegistry`] folds the event stream into counters, gauges (last
+//! value plus the full series, so convergence trajectories stay
+//! inspectable) and per-phase span durations. It renders two ways: a
+//! Prometheus-style text exposition for machines and a fixed-width summary
+//! table for humans.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::event::{EventKind, EventRecord, SpanKind};
+
+/// Accumulated timing of one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Completed spans of this phase.
+    pub count: u64,
+    /// Total monotonic time spent in the phase, nanoseconds. Phases nest
+    /// (`fit` runs inside `hyper_sample` inside `run`), so totals of
+    /// different phases overlap and do not sum to wall-clock.
+    pub total_ns: u64,
+}
+
+impl PhaseStat {
+    /// Mean span duration in nanoseconds (0 when no spans completed).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryState {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    series: BTreeMap<String, Vec<f64>>,
+    phases: BTreeMap<String, PhaseStat>,
+}
+
+/// Thread-safe metrics accumulator.
+///
+/// Owned by every enabled [`Telemetry`](crate::Telemetry) handle; also
+/// usable standalone (e.g. to re-aggregate a replayed trace).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    state: Mutex<RegistryState>,
+}
+
+/// A point-in-time copy of everything the registry holds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter totals, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Last value of each gauge, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Full history of each gauge, in emission order.
+    pub series: Vec<(String, Vec<f64>)>,
+    /// Per-phase timing, sorted by phase label.
+    pub phases: Vec<(String, PhaseStat)>,
+}
+
+impl MetricsSnapshot {
+    /// The total of a counter (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The last value of a gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The full emission-order series of a gauge (empty if never set).
+    pub fn gauge_series(&self, name: &str) -> &[f64] {
+        self.series
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(&[], |(_, v)| v.as_slice())
+    }
+
+    /// The timing of a phase (zero when never entered).
+    pub fn phase(&self, kind: SpanKind) -> PhaseStat {
+        self.phases
+            .iter()
+            .find(|(n, _)| n == kind.label())
+            .map_or(PhaseStat::default(), |(_, s)| *s)
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Folds one event into the aggregates. `SpanStart` is a no-op here
+    /// (durations are taken from `SpanEnd`).
+    pub fn record(&self, record: &EventRecord) {
+        let mut st = self.state.lock().expect("metrics registry poisoned");
+        match &record.kind {
+            EventKind::SpanStart { .. } => {}
+            EventKind::SpanEnd {
+                span, elapsed_ns, ..
+            } => {
+                let stat = st.phases.entry(span.label().to_string()).or_default();
+                stat.count += 1;
+                stat.total_ns += elapsed_ns;
+            }
+            EventKind::Counter { name, delta } => {
+                *st.counters.entry(name.clone()).or_insert(0) += delta;
+            }
+            EventKind::Gauge { name, value } => {
+                st.gauges.insert(name.clone(), *value);
+                st.series.entry(name.clone()).or_default().push(*value);
+            }
+        }
+    }
+
+    /// Pre-loads counter totals and phase durations carried over from an
+    /// earlier (checkpointed) run segment, so post-resume summaries report
+    /// cumulative work. Gauge state is instantaneous and not restored.
+    pub fn restore_baseline<C, P>(&self, counters: C, phases: P)
+    where
+        C: IntoIterator<Item = (String, u64)>,
+        P: IntoIterator<Item = (String, PhaseStat)>,
+    {
+        let mut st = self.state.lock().expect("metrics registry poisoned");
+        for (name, value) in counters {
+            *st.counters.entry(name).or_insert(0) += value;
+        }
+        for (label, stat) in phases {
+            let slot = st.phases.entry(label).or_default();
+            slot.count += stat.count;
+            slot.total_ns += stat.total_ns;
+        }
+    }
+
+    /// Copies out the current aggregates.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let st = self.state.lock().expect("metrics registry poisoned");
+        MetricsSnapshot {
+            counters: st.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: st.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            series: st
+                .series
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            phases: st.phases.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        }
+    }
+
+    /// Renders a Prometheus-style text exposition:
+    ///
+    /// ```text
+    /// # TYPE mpe_vector_pairs_simulated_total counter
+    /// mpe_vector_pairs_simulated_total 2700
+    /// # TYPE mpe_phase_seconds_total counter
+    /// mpe_phase_seconds_total{phase="simulate"} 0.004511
+    /// ```
+    pub fn render_exposition(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "# TYPE mpe_{name}_total counter");
+            let _ = writeln!(out, "mpe_{name}_total {value}");
+        }
+        for (name, value) in &snap.gauges {
+            let _ = writeln!(out, "# TYPE mpe_{name} gauge");
+            if value.is_finite() {
+                let _ = writeln!(out, "mpe_{name} {value:?}");
+            } else if value.is_nan() {
+                let _ = writeln!(out, "mpe_{name} NaN");
+            } else if *value > 0.0 {
+                let _ = writeln!(out, "mpe_{name} +Inf");
+            } else {
+                let _ = writeln!(out, "mpe_{name} -Inf");
+            }
+        }
+        if !snap.phases.is_empty() {
+            let _ = writeln!(out, "# TYPE mpe_phase_seconds_total counter");
+            for (label, stat) in &snap.phases {
+                let _ = writeln!(
+                    out,
+                    "mpe_phase_seconds_total{{phase=\"{label}\"}} {:?}",
+                    stat.total_ns as f64 / 1e9
+                );
+            }
+            let _ = writeln!(out, "# TYPE mpe_phase_spans_total counter");
+            for (label, stat) in &snap.phases {
+                let _ = writeln!(
+                    out,
+                    "mpe_phase_spans_total{{phase=\"{label}\"}} {}",
+                    stat.count
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders a fixed-width human summary: phase timings first (in
+    /// pipeline order), then counters, then final gauge values.
+    pub fn render_summary(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        if !snap.phases.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<14} {:>8} {:>12} {:>12}",
+                "phase", "spans", "total", "mean"
+            );
+            for kind in SpanKind::ALL {
+                let stat = snap.phase(kind);
+                if stat.count == 0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "{:<14} {:>8} {:>12} {:>12}",
+                    kind.label(),
+                    stat.count,
+                    format_ns(stat.total_ns),
+                    format_ns(stat.mean_ns()),
+                );
+            }
+        }
+        if !snap.counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, value) in &snap.counters {
+                let _ = writeln!(out, "  {name:<32} {value}");
+            }
+        }
+        if !snap.gauges.is_empty() {
+            let _ = writeln!(out, "gauges (final):");
+            for (name, value) in &snap.gauges {
+                let _ = writeln!(out, "  {name:<32} {value}");
+            }
+        }
+        out
+    }
+}
+
+/// Formats a nanosecond duration with a readable unit.
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: EventKind) -> EventRecord {
+        EventRecord {
+            seq: 0,
+            t_ns: 0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let reg = MetricsRegistry::new();
+        reg.record(&rec(EventKind::Counter {
+            name: "a".to_string(),
+            delta: 3,
+        }));
+        reg.record(&rec(EventKind::Counter {
+            name: "a".to_string(),
+            delta: 4,
+        }));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a"), 7);
+        assert_eq!(snap.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_keep_last_value_and_series() {
+        let reg = MetricsRegistry::new();
+        for v in [3.0, 2.0, 1.0] {
+            reg.record(&rec(EventKind::Gauge {
+                name: "w".to_string(),
+                value: v,
+            }));
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("w"), Some(1.0));
+        assert_eq!(snap.gauge_series("w"), &[3.0, 2.0, 1.0]);
+        assert_eq!(snap.gauge("missing"), None);
+        assert!(snap.gauge_series("missing").is_empty());
+    }
+
+    #[test]
+    fn spans_accumulate_per_phase() {
+        let reg = MetricsRegistry::new();
+        for elapsed in [100, 200] {
+            reg.record(&rec(EventKind::SpanEnd {
+                span: SpanKind::Fit,
+                id: 0,
+                elapsed_ns: elapsed,
+            }));
+        }
+        let snap = reg.snapshot();
+        let stat = snap.phase(SpanKind::Fit);
+        assert_eq!(stat.count, 2);
+        assert_eq!(stat.total_ns, 300);
+        assert_eq!(stat.mean_ns(), 150);
+        assert_eq!(snap.phase(SpanKind::Run), PhaseStat::default());
+    }
+
+    #[test]
+    fn baseline_restore_adds_to_fresh_activity() {
+        let reg = MetricsRegistry::new();
+        reg.restore_baseline(
+            [("vector_pairs_simulated".to_string(), 600)],
+            [(
+                "simulate".to_string(),
+                PhaseStat {
+                    count: 2,
+                    total_ns: 5_000,
+                },
+            )],
+        );
+        reg.record(&rec(EventKind::Counter {
+            name: "vector_pairs_simulated".to_string(),
+            delta: 300,
+        }));
+        reg.record(&rec(EventKind::SpanEnd {
+            span: SpanKind::Simulate,
+            id: 9,
+            elapsed_ns: 1_000,
+        }));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("vector_pairs_simulated"), 900);
+        assert_eq!(
+            snap.phase(SpanKind::Simulate),
+            PhaseStat {
+                count: 3,
+                total_ns: 6_000
+            }
+        );
+    }
+
+    #[test]
+    fn exposition_is_prometheus_shaped() {
+        let reg = MetricsRegistry::new();
+        reg.record(&rec(EventKind::Counter {
+            name: "vector_pairs_simulated".to_string(),
+            delta: 2700,
+        }));
+        reg.record(&rec(EventKind::Gauge {
+            name: "running_mean_mw".to_string(),
+            value: 9.5,
+        }));
+        reg.record(&rec(EventKind::Gauge {
+            name: "ci_relative_half_width".to_string(),
+            value: f64::INFINITY,
+        }));
+        reg.record(&rec(EventKind::SpanEnd {
+            span: SpanKind::Simulate,
+            id: 0,
+            elapsed_ns: 4_511_000,
+        }));
+        let text = reg.render_exposition();
+        assert!(text.contains("# TYPE mpe_vector_pairs_simulated_total counter"));
+        assert!(text.contains("mpe_vector_pairs_simulated_total 2700"));
+        assert!(text.contains("mpe_running_mean_mw 9.5"));
+        assert!(text.contains("mpe_ci_relative_half_width +Inf"));
+        assert!(text.contains("mpe_phase_seconds_total{phase=\"simulate\"} 0.004511"));
+        assert!(text.contains("mpe_phase_spans_total{phase=\"simulate\"} 1"));
+    }
+
+    #[test]
+    fn summary_renders_phases_in_pipeline_order() {
+        let reg = MetricsRegistry::new();
+        for (kind, ns) in [(SpanKind::Fit, 10_000), (SpanKind::Run, 2_000_000_000)] {
+            reg.record(&rec(EventKind::SpanEnd {
+                span: kind,
+                id: 0,
+                elapsed_ns: ns,
+            }));
+        }
+        reg.record(&rec(EventKind::Counter {
+            name: "hyper_samples".to_string(),
+            delta: 5,
+        }));
+        let text = reg.render_summary();
+        let run_at = text.find("run").unwrap();
+        let fit_at = text.find("fit").unwrap();
+        assert!(run_at < fit_at, "{text}");
+        assert!(text.contains("2.000s"));
+        assert!(text.contains("10.000us"));
+        assert!(text.contains("hyper_samples"));
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(12), "12ns");
+        assert_eq!(format_ns(12_345), "12.345us");
+        assert_eq!(format_ns(12_345_678), "12.346ms");
+        assert_eq!(format_ns(1_500_000_000), "1.500s");
+    }
+}

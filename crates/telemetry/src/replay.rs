@@ -1,0 +1,271 @@
+//! Trace replay: parse a JSONL trace back into events, validate its
+//! invariants, and aggregate a per-phase time breakdown.
+//!
+//! This is the read side of [`JsonlSink`](crate::JsonlSink), used by the
+//! `trace_breakdown` bench binary (attributing a benchmark regression to a
+//! pipeline phase) and by CI (asserting every emitted line is
+//! schema-valid and spans nest correctly).
+
+use std::collections::BTreeMap;
+
+use crate::event::{EventKind, EventRecord, SpanKind};
+use crate::registry::{MetricsRegistry, MetricsSnapshot};
+
+/// A validation failure, with the 1-based line number where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// 1-based line number in the trace (0 for end-of-trace errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "trace invalid: {}", self.message)
+        } else {
+            write!(f, "trace line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// The validated, aggregated view of one trace.
+#[derive(Debug, Clone)]
+pub struct TraceSummary {
+    /// Events parsed.
+    pub events: usize,
+    /// Deepest span nesting observed.
+    pub max_depth: usize,
+    /// Everything re-aggregated into a metrics snapshot (per-phase
+    /// durations, counter totals, gauge series).
+    pub metrics: MetricsSnapshot,
+}
+
+impl TraceSummary {
+    /// Per-phase share of the `run` phase's total time, in pipeline order.
+    /// Phases nest, so shares can exceed 100 % in sum; each one answers
+    /// "how much of the run was spent inside this phase".
+    pub fn phase_shares(&self) -> Vec<(SpanKind, f64)> {
+        let run_ns = self.metrics.phase(SpanKind::Run).total_ns;
+        SpanKind::ALL
+            .iter()
+            .filter(|k| self.metrics.phase(**k).count > 0)
+            .map(|&k| {
+                let share = if run_ns == 0 {
+                    0.0
+                } else {
+                    self.metrics.phase(k).total_ns as f64 / run_ns as f64
+                };
+                (k, share)
+            })
+            .collect()
+    }
+}
+
+/// Parses and validates a whole trace.
+///
+/// Checked invariants:
+///
+/// * every line parses under the current schema version;
+/// * `seq` is strictly increasing;
+/// * every `span_end` matches an open `span_start` with the same id *and*
+///   kind, and ends are properly nested (LIFO) — the pipeline is
+///   single-threaded per run;
+/// * no span is left open at end of trace.
+///
+/// # Errors
+///
+/// The first [`TraceError`] encountered.
+pub fn replay<'a, I>(lines: I) -> Result<TraceSummary, TraceError>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let registry = MetricsRegistry::new();
+    let mut open: Vec<(SpanKind, u64)> = Vec::new();
+    let mut seen_ids: BTreeMap<u64, SpanKind> = BTreeMap::new();
+    let mut last_seq: Option<u64> = None;
+    let mut events = 0usize;
+    let mut max_depth = 0usize;
+
+    for (idx, line) in lines.into_iter().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record = EventRecord::parse_json_line(line).map_err(|message| TraceError {
+            line: lineno,
+            message,
+        })?;
+        if let Some(prev) = last_seq {
+            if record.seq <= prev {
+                return Err(TraceError {
+                    line: lineno,
+                    message: format!("seq {} not greater than previous {prev}", record.seq),
+                });
+            }
+        }
+        last_seq = Some(record.seq);
+        match &record.kind {
+            EventKind::SpanStart { span, id } => {
+                if seen_ids.insert(*id, *span).is_some() {
+                    return Err(TraceError {
+                        line: lineno,
+                        message: format!("span id {id} started twice"),
+                    });
+                }
+                open.push((*span, *id));
+                max_depth = max_depth.max(open.len());
+            }
+            EventKind::SpanEnd { span, id, .. } => match open.pop() {
+                Some((open_span, open_id)) if open_span == *span && open_id == *id => {}
+                Some((open_span, open_id)) => {
+                    return Err(TraceError {
+                        line: lineno,
+                        message: format!(
+                            "span_end {}#{id} does not match innermost open span {}#{open_id}",
+                            span.label(),
+                            open_span.label()
+                        ),
+                    });
+                }
+                None => {
+                    return Err(TraceError {
+                        line: lineno,
+                        message: format!("span_end {}#{id} with no open span", span.label()),
+                    });
+                }
+            },
+            EventKind::Counter { .. } | EventKind::Gauge { .. } => {}
+        }
+        registry.record(&record);
+        events += 1;
+    }
+    if let Some((span, id)) = open.last() {
+        return Err(TraceError {
+            line: 0,
+            message: format!("span {}#{id} never ended", span.label()),
+        });
+    }
+    Ok(TraceSummary {
+        events,
+        max_depth,
+        metrics: registry.snapshot(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TRACE_SCHEMA_VERSION;
+
+    fn line(seq: u64, body: &str) -> String {
+        format!("{{\"v\":{TRACE_SCHEMA_VERSION},\"seq\":{seq},\"t_ns\":{seq},{body}}}")
+    }
+
+    #[test]
+    fn valid_trace_replays() {
+        let lines = [
+            line(0, "\"type\":\"span_start\",\"span\":\"run\",\"id\":0"),
+            line(
+                1,
+                "\"type\":\"span_start\",\"span\":\"hyper_sample\",\"id\":1",
+            ),
+            line(
+                2,
+                "\"type\":\"counter\",\"name\":\"vector_pairs_simulated\",\"delta\":300",
+            ),
+            line(
+                3,
+                "\"type\":\"span_end\",\"span\":\"hyper_sample\",\"id\":1,\"elapsed_ns\":50",
+            ),
+            line(
+                4,
+                "\"type\":\"gauge\",\"name\":\"running_mean_mw\",\"value\":9.5",
+            ),
+            line(
+                5,
+                "\"type\":\"span_end\",\"span\":\"run\",\"id\":0,\"elapsed_ns\":100",
+            ),
+            String::new(), // blank lines tolerated
+        ];
+        let summary = replay(lines.iter().map(String::as_str)).unwrap();
+        assert_eq!(summary.events, 6);
+        assert_eq!(summary.max_depth, 2);
+        assert_eq!(summary.metrics.counter("vector_pairs_simulated"), 300);
+        assert_eq!(summary.metrics.phase(SpanKind::Run).total_ns, 100);
+        let shares = summary.phase_shares();
+        assert_eq!(shares[0].0, SpanKind::Run);
+        assert!((shares[0].1 - 1.0).abs() < 1e-12);
+        assert!((shares[1].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unmatched_end_rejected() {
+        let lines = [line(
+            0,
+            "\"type\":\"span_end\",\"span\":\"run\",\"id\":0,\"elapsed_ns\":1",
+        )];
+        let err = replay(lines.iter().map(String::as_str)).unwrap_err();
+        assert!(err.message.contains("no open span"), "{err}");
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn crossed_spans_rejected() {
+        let lines = [
+            line(0, "\"type\":\"span_start\",\"span\":\"run\",\"id\":0"),
+            line(1, "\"type\":\"span_start\",\"span\":\"fit\",\"id\":1"),
+            line(
+                2,
+                "\"type\":\"span_end\",\"span\":\"run\",\"id\":0,\"elapsed_ns\":1",
+            ),
+        ];
+        let err = replay(lines.iter().map(String::as_str)).unwrap_err();
+        assert!(err.message.contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn dangling_span_rejected() {
+        let lines = [line(0, "\"type\":\"span_start\",\"span\":\"run\",\"id\":0")];
+        let err = replay(lines.iter().map(String::as_str)).unwrap_err();
+        assert!(err.message.contains("never ended"), "{err}");
+        assert_eq!(err.line, 0);
+    }
+
+    #[test]
+    fn non_monotone_seq_rejected() {
+        let lines = [
+            line(5, "\"type\":\"counter\",\"name\":\"c\",\"delta\":1"),
+            line(5, "\"type\":\"counter\",\"name\":\"c\",\"delta\":1"),
+        ];
+        let err = replay(lines.iter().map(String::as_str)).unwrap_err();
+        assert!(err.message.contains("seq"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_span_id_rejected() {
+        let lines = [
+            line(0, "\"type\":\"span_start\",\"span\":\"run\",\"id\":0"),
+            line(
+                1,
+                "\"type\":\"span_end\",\"span\":\"run\",\"id\":0,\"elapsed_ns\":1",
+            ),
+            line(2, "\"type\":\"span_start\",\"span\":\"run\",\"id\":0"),
+        ];
+        let err = replay(lines.iter().map(String::as_str)).unwrap_err();
+        assert!(err.message.contains("started twice"), "{err}");
+    }
+
+    #[test]
+    fn malformed_line_reports_line_number() {
+        let lines = [
+            line(0, "\"type\":\"counter\",\"name\":\"c\",\"delta\":1"),
+            "garbage".to_string(),
+        ];
+        let err = replay(lines.iter().map(String::as_str)).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

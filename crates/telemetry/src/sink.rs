@@ -1,0 +1,291 @@
+//! Event sinks: where the telemetry stream goes.
+//!
+//! * [`JsonlSink`] — one JSON line per event, schema-versioned (see
+//!   [`event`](crate::event) for the wire format);
+//! * [`ProgressSink`] — a live single-line convergence readout for
+//!   interactive CLI runs;
+//! * anything else implementing [`EventSink`].
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use crate::event::{EventKind, EventRecord};
+use crate::names;
+
+/// A consumer of telemetry events.
+///
+/// Sinks are driven under the telemetry handle's lock: implementations
+/// should be fast and must not call back into the emitting
+/// [`Telemetry`](crate::Telemetry) handle.
+pub trait EventSink: Send {
+    /// Consumes one event.
+    fn emit(&mut self, record: &EventRecord);
+
+    /// Flushes buffered output (end of run, checkpoint boundaries).
+    fn flush_sink(&mut self) {}
+}
+
+/// Writes one JSON line per event to any [`Write`] target.
+pub struct JsonlSink<W: Write + Send> {
+    out: W,
+    /// First write error encountered, if any (subsequent events are
+    /// dropped; telemetry must never take down the estimation itself).
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer. Prefer a buffered writer for files.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out, error: None }
+    }
+
+    /// The first write error encountered, if any.
+    pub fn error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+}
+
+impl JsonlSink<std::io::BufWriter<std::fs::File>> {
+    /// Creates (truncates) a trace file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation error.
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::new(std::io::BufWriter::new(file)))
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn emit(&mut self, record: &EventRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = record.to_json_line();
+        if let Err(e) = self
+            .out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+        {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush_sink(&mut self) {
+        if self.error.is_none() {
+            if let Err(e) = self.out.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// A `Write` target shared behind `Arc<Mutex<…>>` — lets tests capture sink
+/// output while the telemetry handle owns the sink itself.
+#[derive(Clone, Default)]
+pub struct SharedBuffer(pub Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuffer {
+    /// Creates an empty shared buffer.
+    pub fn new() -> Self {
+        SharedBuffer::default()
+    }
+
+    /// Copies out the bytes written so far, lossily decoded as UTF-8.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().expect("shared buffer poisoned")).into_owned()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .expect("shared buffer poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Live convergence readout: rewrites one status line (`\r`-terminated)
+/// after each completed hyper-sample.
+///
+/// It watches the estimator's standard gauges and counters
+/// ([`names::RUNNING_MEAN_MW`], [`names::CI_RELATIVE_HALF_WIDTH`],
+/// [`names::HYPER_SAMPLES`], [`names::VECTOR_PAIRS_SIMULATED`]) and
+/// repaints whenever the relative half-width gauge lands — the last gauge
+/// the estimator emits per iteration.
+pub struct ProgressSink<W: Write + Send> {
+    out: W,
+    hyper_samples: u64,
+    units: u64,
+    mean: Option<f64>,
+    painted: bool,
+}
+
+impl<W: Write + Send> ProgressSink<W> {
+    /// Wraps a writer (usually stderr).
+    pub fn new(out: W) -> Self {
+        ProgressSink {
+            out,
+            hyper_samples: 0,
+            units: 0,
+            mean: None,
+            painted: false,
+        }
+    }
+}
+
+impl ProgressSink<std::io::Stderr> {
+    /// A progress line on stderr.
+    pub fn stderr() -> Self {
+        ProgressSink::new(std::io::stderr())
+    }
+}
+
+impl<W: Write + Send> EventSink for ProgressSink<W> {
+    fn emit(&mut self, record: &EventRecord) {
+        match &record.kind {
+            EventKind::Counter { name, delta } if name == names::HYPER_SAMPLES => {
+                self.hyper_samples += delta;
+            }
+            EventKind::Counter { name, delta } if name == names::VECTOR_PAIRS_SIMULATED => {
+                self.units += delta;
+            }
+            EventKind::Gauge { name, value } if name == names::RUNNING_MEAN_MW => {
+                self.mean = Some(*value);
+            }
+            EventKind::Gauge { name, value } if name == names::CI_RELATIVE_HALF_WIDTH => {
+                let mean = self
+                    .mean
+                    .map_or_else(|| "?".to_string(), |m| format!("{m:.4}"));
+                let width = if value.is_finite() {
+                    format!("{:.2}%", 100.0 * value)
+                } else {
+                    "--".to_string()
+                };
+                let _ = write!(
+                    self.out,
+                    "\rk={} mean={mean} half-width={width} units={}   ",
+                    self.hyper_samples, self.units
+                );
+                let _ = self.out.flush();
+                self.painted = true;
+            }
+            _ => {}
+        }
+    }
+
+    fn flush_sink(&mut self) {
+        if self.painted {
+            // Finish the rewritten line so later output starts clean.
+            let _ = writeln!(self.out);
+            let _ = self.out.flush();
+            self.painted = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, EventRecord, SpanKind};
+
+    fn rec(seq: u64, kind: EventKind) -> EventRecord {
+        EventRecord {
+            seq,
+            t_ns: seq,
+            kind,
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let buf = SharedBuffer::new();
+        let mut sink = JsonlSink::new(buf.clone());
+        sink.emit(&rec(
+            0,
+            EventKind::SpanStart {
+                span: SpanKind::Run,
+                id: 0,
+            },
+        ));
+        sink.emit(&rec(
+            1,
+            EventKind::Counter {
+                name: "c".to_string(),
+                delta: 1,
+            },
+        ));
+        sink.flush_sink();
+        assert!(sink.error().is_none());
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            EventRecord::parse_json_line(line).expect(line);
+        }
+    }
+
+    #[test]
+    fn progress_sink_paints_and_finishes_line() {
+        let buf = SharedBuffer::new();
+        let mut sink = ProgressSink::new(buf.clone());
+        sink.emit(&rec(
+            0,
+            EventKind::Counter {
+                name: names::HYPER_SAMPLES.to_string(),
+                delta: 1,
+            },
+        ));
+        sink.emit(&rec(
+            1,
+            EventKind::Counter {
+                name: names::VECTOR_PAIRS_SIMULATED.to_string(),
+                delta: 300,
+            },
+        ));
+        sink.emit(&rec(
+            2,
+            EventKind::Gauge {
+                name: names::RUNNING_MEAN_MW.to_string(),
+                value: 9.5,
+            },
+        ));
+        // No paint yet: the half-width gauge is the repaint trigger.
+        assert!(buf.contents().is_empty());
+        sink.emit(&rec(
+            3,
+            EventKind::Gauge {
+                name: names::CI_RELATIVE_HALF_WIDTH.to_string(),
+                value: 0.0321,
+            },
+        ));
+        let painted = buf.contents();
+        assert!(painted.contains("k=1"), "{painted}");
+        assert!(painted.contains("mean=9.5000"), "{painted}");
+        assert!(painted.contains("half-width=3.21%"), "{painted}");
+        assert!(painted.contains("units=300"), "{painted}");
+        sink.flush_sink();
+        assert!(buf.contents().ends_with('\n'));
+    }
+
+    #[test]
+    fn progress_sink_shows_placeholder_for_infinite_width() {
+        let buf = SharedBuffer::new();
+        let mut sink = ProgressSink::new(buf.clone());
+        sink.emit(&rec(
+            0,
+            EventKind::Gauge {
+                name: names::CI_RELATIVE_HALF_WIDTH.to_string(),
+                value: f64::INFINITY,
+            },
+        ));
+        assert!(buf.contents().contains("half-width=--"));
+    }
+}

@@ -132,10 +132,95 @@ fn sample_policy_flag_parses() {
     ]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("max_power_mw"), "{stdout}");
-    assert!(stdout.contains("status:"), "{stdout}");
+    // Status/health diagnostics go to stderr; stdout carries the result.
+    assert!(stderr.contains("status:"), "{stderr}");
+    assert!(!stdout.contains("status:"), "{stdout}");
     let (ok, _, stderr) = run(&["estimate", "--circuit", "C432", "--sample-policy", "bogus"]);
     assert!(!ok);
     assert!(stderr.contains("bogus"), "{stderr}");
+}
+
+#[test]
+fn trace_file_and_metrics_flags_produce_valid_observability_output() {
+    let dir = std::env::temp_dir().join("mpe_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("c432_trace.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let (ok, stdout, stderr) = run(&[
+        "estimate",
+        "--circuit",
+        "C432",
+        "--epsilon",
+        "0.15",
+        "--trace-file",
+        path.to_str().expect("utf8 path"),
+        "--metrics",
+        "--progress",
+    ]);
+    assert!(ok, "{stderr}");
+    // The live progress line repainted on stderr.
+    assert!(stderr.contains("k="), "{stderr}");
+
+    // Every trace line is schema-valid and spans nest correctly.
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let summary = maxpower::telemetry::replay(text.lines()).expect("trace replays cleanly");
+    assert!(summary.events > 0);
+    assert_eq!(
+        summary
+            .metrics
+            .phase(maxpower::telemetry::SpanKind::Run)
+            .count,
+        1
+    );
+
+    // The metrics exposition lands on stdout (no --json) and agrees with
+    // the trace on the unit cost.
+    assert!(
+        stdout.contains("mpe_vector_pairs_simulated_total"),
+        "{stdout}"
+    );
+    let exposed: u64 = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("mpe_vector_pairs_simulated_total "))
+        .expect("exposition line present")
+        .trim()
+        .parse()
+        .expect("counter value parses");
+    assert_eq!(
+        exposed,
+        summary
+            .metrics
+            .counter(maxpower::telemetry::names::VECTOR_PAIRS_SIMULATED)
+    );
+    // The human summary table goes to stderr, keeping stdout parseable.
+    assert!(stderr.contains("phase"), "{stderr}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn json_with_telemetry_keeps_stdout_machine_readable() {
+    if serde_json::from_str::<f64>("1.0").is_err() {
+        // Offline stub serde_json: JSON reports are untestable here (the
+        // real CI environment exercises this path).
+        return;
+    }
+    let (ok, stdout, stderr) = run(&[
+        "estimate",
+        "--circuit",
+        "C432",
+        "--epsilon",
+        "0.15",
+        "--json",
+        "--metrics",
+    ]);
+    assert!(ok, "{stderr}");
+    // stdout is exactly one JSON report; the exposition moved to stderr.
+    let report = maxpower::EstimateReport::from_json(&stdout).expect("valid JSON report");
+    assert_eq!(report.subject, "C432");
+    assert!(
+        stderr.contains("mpe_vector_pairs_simulated_total"),
+        "{stderr}"
+    );
 }
 
 #[test]
