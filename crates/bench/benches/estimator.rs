@@ -5,7 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use maxpower::{
-    generate_hyper_sample, EstimationConfig, MaxPowerEstimator, PopulationSource, SimulatorSource,
+    generate_hyper_sample, EstimationConfig, EstimatorBuilder, HyperSampleContext,
+    PopulationSource, RunOptions, SimulatorSource,
 };
 use mpe_netlist::{generate, Iscas85};
 use mpe_sim::{DelayModel, PowerConfig};
@@ -27,15 +28,14 @@ fn bench_estimation(c: &mut Criterion) {
     .expect("population builds");
 
     c.bench_function("full_estimate_population_c432", |b| {
+        let session = EstimatorBuilder::new(EstimationConfig::default()).build();
         let mut seed = 0u64;
         b.iter(|| {
             seed = seed.wrapping_add(1);
-            let mut source = PopulationSource::new(&population);
-            let estimator = MaxPowerEstimator::new(EstimationConfig::default());
-            let mut rng = SmallRng::seed_from_u64(seed);
+            let source = PopulationSource::new(&population);
             // Either outcome exercises the full loop; NotConverged still
             // performs all the work.
-            let _ = estimator.run(&mut source, &mut rng);
+            let _ = session.run(&source, RunOptions::default().seeded(seed));
         })
     });
 
@@ -51,7 +51,8 @@ fn bench_estimation(c: &mut Criterion) {
             );
             let config = EstimationConfig::default();
             let mut rng = SmallRng::seed_from_u64(seed);
-            generate_hyper_sample(&mut source, &config, &mut rng).expect("hyper-sample succeeds")
+            generate_hyper_sample(&mut source, &HyperSampleContext::new(&config), &mut rng)
+                .expect("hyper-sample succeeds")
         })
     });
 }

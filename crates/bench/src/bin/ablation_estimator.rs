@@ -13,7 +13,7 @@
 //!
 //! Usage: `cargo run -p mpe-bench --release --bin ablation_estimator`
 
-use maxpower::{generate_hyper_sample, EstimationConfig, PopulationSource};
+use maxpower::{generate_hyper_sample, EstimationConfig, HyperSampleContext, PopulationSource};
 use mpe_bench::{experiment_circuit, experiment_population, mean_sd, ExperimentArgs, TextTable};
 use mpe_evt::tail::finite_population_maximum;
 use mpe_mle::lsq_fit_reversed_weibull;
@@ -52,7 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut source = PopulationSource::new(&population);
         // PopulationSource reports |V|; force the raw-μ̂ path by taking the
         // fit out of the hyper-sample instead of its estimate field.
-        let hyper = generate_hyper_sample(&mut source, &config, &mut rng)?;
+        let hyper =
+            generate_hyper_sample(&mut source, &HyperSampleContext::new(&config), &mut rng)?;
         let Some(fit) = &hyper.fit else {
             // A fallback estimator carries no Weibull fit to ablate.
             continue;

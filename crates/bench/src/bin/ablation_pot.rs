@@ -10,7 +10,7 @@
 //!
 //! Usage: `cargo run -p mpe-bench --release --bin ablation_pot`
 
-use maxpower::{generate_hyper_sample, EstimationConfig, PopulationSource};
+use maxpower::{generate_hyper_sample, EstimationConfig, HyperSampleContext, PopulationSource};
 use mpe_bench::{experiment_circuit, experiment_population, mean_sd, ExperimentArgs, TextTable};
 use mpe_evt::tail::finite_population_maximum;
 use mpe_mle::pot::fit_pot;
@@ -48,7 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..REPETITIONS {
         // Block maxima (through the standard hyper-sample machinery).
         let mut source = PopulationSource::new(&population);
-        let hyper = generate_hyper_sample(&mut source, &config, &mut rng)?;
+        let hyper =
+            generate_hyper_sample(&mut source, &HyperSampleContext::new(&config), &mut rng)?;
         let Some(fit) = &hyper.fit else {
             // A fallback estimator carries no Weibull fit to compare against.
             continue;

@@ -11,8 +11,8 @@
 //! Usage: `cargo run -p mpe-bench --release --bin ablation_quantile_baseline`
 
 use maxpower::{
-    quantile_baseline_estimate, EstimationConfig, MaxPowerError, MaxPowerEstimator,
-    PopulationSource,
+    quantile_baseline_estimate, EstimationConfig, EstimatorBuilder, MaxPowerError,
+    PopulationSource, RunOptions,
 };
 use mpe_bench::{experiment_circuit, experiment_population, mean_sd, ExperimentArgs, TextTable};
 use mpe_netlist::Iscas85;
@@ -43,11 +43,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // EVT runs establish the budget per replicate.
     let mut evt_errs = Vec::new();
     let mut budgets = Vec::new();
+    let session = EstimatorBuilder::new(EstimationConfig::default()).build();
     for run in 0..REPETITIONS {
-        let mut source = PopulationSource::new(&population);
-        let estimator = MaxPowerEstimator::new(EstimationConfig::default());
-        let mut rng = SmallRng::seed_from_u64(args.seed.wrapping_add(run as u64));
-        match estimator.run(&mut source, &mut rng) {
+        let source = PopulationSource::new(&population);
+        let result = session
+            .run(
+                &source,
+                RunOptions::default().seeded(args.seed.wrapping_add(run as u64)),
+            )
+            .and_then(maxpower::MaxPowerEstimate::into_converged);
+        match result {
             Ok(r) => {
                 evt_errs.push((r.estimate_mw - actual) / actual);
                 budgets.push(r.units_used);

@@ -5,7 +5,7 @@
 //!
 //! Usage: `cargo run -p mpe-bench --release --bin ablation_sample_size`
 
-use maxpower::{generate_hyper_sample, EstimationConfig, PopulationSource};
+use maxpower::{generate_hyper_sample, EstimationConfig, HyperSampleContext, PopulationSource};
 use mpe_bench::{experiment_circuit, experiment_population, mean_sd, ExperimentArgs, TextTable};
 use mpe_netlist::Iscas85;
 use mpe_vectors::PairGenerator;
@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut failures = 0usize;
         for _ in 0..REPETITIONS {
             let mut source = PopulationSource::new(&population);
-            match generate_hyper_sample(&mut source, &config, &mut rng) {
+            match generate_hyper_sample(&mut source, &HyperSampleContext::new(&config), &mut rng) {
                 Ok(h) => estimates.push(h.estimate_mw),
                 Err(_) => failures += 1,
             }

@@ -9,7 +9,7 @@
 //!
 //! Usage: `cargo run -p mpe-bench --release --bin fig2 [--circuit C3540]`
 
-use maxpower::{generate_hyper_sample, EstimationConfig, PopulationSource};
+use maxpower::{generate_hyper_sample, EstimationConfig, HyperSampleContext, PopulationSource};
 use mpe_bench::{experiment_circuit, experiment_population, ExperimentArgs, TextTable};
 use mpe_netlist::Iscas85;
 use mpe_stats::dist::{ContinuousDistribution, Normal};
@@ -56,7 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut estimates = Vec::with_capacity(REPETITIONS);
         for _ in 0..REPETITIONS {
             let mut source = PopulationSource::new(&population);
-            let hyper = generate_hyper_sample(&mut source, &config, &mut rng)?;
+            let hyper =
+                generate_hyper_sample(&mut source, &HyperSampleContext::new(&config), &mut rng)?;
             estimates.push(hyper.estimate_mw);
         }
         let normal = Normal::fit_moments(&estimates)?;

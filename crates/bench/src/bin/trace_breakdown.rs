@@ -2,23 +2,158 @@
 //! into a per-phase time breakdown — the profiling companion to the
 //! estimator benchmarks, attributing wall time to pipeline phases.
 //!
-//! Usage: `cargo run -p mpe-bench --release --bin trace_breakdown -- trace.jsonl`
+//! Usage:
 //!
-//! Validates the trace on the way through (schema version, monotone seq,
-//! LIFO span nesting) and exits non-zero on the first violation, so it
-//! doubles as the CI trace checker.
+//! * `cargo run -p mpe-bench --release --bin trace_breakdown -- trace.jsonl`
+//! * `cargo run -p mpe-bench --release --bin trace_breakdown -- --parallel-smoke [out.json]`
+//!
+//! The first form validates the trace on the way through (schema version,
+//! monotone seq, LIFO span nesting) and exits non-zero on the first
+//! violation, so it doubles as the CI trace checker.
+//!
+//! The second form is the `cargo bench`-free parallel smoke benchmark: it
+//! times the same fixed-seed estimate sequentially and with a worker pool
+//! on the table-1 circuits, verifies the results are bit-identical, and
+//! records the sequential-vs-parallel wall clock as JSON (default path
+//! `BENCH_parallel.json`).
 
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+use maxpower::{EstimationConfig, EstimatorBuilder, MaxPowerEstimate, RunOptions, SimulatorSource};
+use mpe_netlist::{generate, Iscas85};
+use mpe_sim::{DelayModel, PowerConfig};
 use mpe_telemetry::{names, replay, SpanKind, TraceSummary};
+use mpe_vectors::PairGenerator;
+
+/// Worker count for the parallel leg of the smoke benchmark.
+const SMOKE_WORKERS: usize = 4;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [path] = args.as_slice() else {
-        return Err("usage: trace_breakdown <trace.jsonl>".into());
+    match args.as_slice() {
+        [flag] if flag == "--parallel-smoke" => run_parallel_smoke("BENCH_parallel.json"),
+        [flag, out] if flag == "--parallel-smoke" => run_parallel_smoke(out),
+        [path] if !path.starts_with("--") => {
+            let text = std::fs::read_to_string(path)?;
+            let summary = replay(text.lines())?;
+            print!("{}", render_breakdown(path, &summary));
+            Ok(())
+        }
+        _ => Err("usage: trace_breakdown <trace.jsonl> | --parallel-smoke [out.json]".into()),
+    }
+}
+
+/// One circuit's sequential-vs-parallel measurement.
+struct SmokeRow {
+    circuit: String,
+    sequential_s: f64,
+    parallel_s: f64,
+    hyper_samples: usize,
+    units_used: usize,
+    identical: bool,
+}
+
+impl SmokeRow {
+    fn speedup(&self) -> f64 {
+        self.sequential_s / self.parallel_s
+    }
+}
+
+fn run_parallel_smoke(out_path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let host = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    if host < SMOKE_WORKERS {
+        println!(
+            "note: host exposes {host} core(s); speedup at {SMOKE_WORKERS} workers \
+             is bounded by the hardware, only bit-identity is asserted"
+        );
+    }
+    // Table-1 conditions: high-activity pairs over the finite 160k space.
+    // A tighter-than-default target keeps every circuit busy long enough
+    // for the pool to matter while staying a smoke test, not a benchmark.
+    let config = EstimationConfig {
+        finite_population: Some(160_000),
+        max_hyper_samples: 500,
+        min_reading_mw: 0.0,
+        ..EstimationConfig::default()
     };
-    let text = std::fs::read_to_string(path)?;
-    let summary = replay(text.lines())?;
-    print!("{}", render_breakdown(path, &summary));
+    let circuits = [Iscas85::C432, Iscas85::C880, Iscas85::C1355];
+    let mut rows = Vec::new();
+    for which in circuits {
+        let circuit = generate(which, 7)?;
+        let source = SimulatorSource::new(
+            &circuit,
+            PairGenerator::HighActivity { min_activity: 0.3 },
+            DelayModel::Unit,
+            PowerConfig::default(),
+        );
+        let session = EstimatorBuilder::new(config).build();
+        let time_run =
+            |opts: RunOptions<'_>| -> Result<(MaxPowerEstimate, f64), maxpower::MaxPowerError> {
+                let started = Instant::now();
+                let estimate = session.run(&source, opts)?;
+                Ok((estimate, started.elapsed().as_secs_f64()))
+            };
+        let (sequential, sequential_s) = time_run(RunOptions::default().seeded(42))?;
+        let (parallel, parallel_s) = time_run(
+            RunOptions::default()
+                .seeded(42)
+                .workers(NonZeroUsize::new(SMOKE_WORKERS).expect("non-zero")),
+        )?;
+        let identical = format!("{sequential:?}") == format!("{parallel:?}");
+        let row = SmokeRow {
+            circuit: which.to_string(),
+            sequential_s,
+            parallel_s,
+            hyper_samples: sequential.hyper_samples,
+            units_used: sequential.units_used,
+            identical,
+        };
+        println!(
+            "{:<6} sequential {:.3} s, {} workers {:.3} s — {:.2}x speedup, identical: {}",
+            row.circuit,
+            row.sequential_s,
+            SMOKE_WORKERS,
+            row.parallel_s,
+            row.speedup(),
+            row.identical,
+        );
+        rows.push(row);
+    }
+    // Hand-rolled JSON: the offline build stubs serde_json out, and the
+    // schema is a handful of scalars per row.
+    std::fs::write(out_path, render_smoke_json(host, &rows))?;
+    println!("wrote {out_path}");
+    if rows.iter().any(|r| !r.identical) {
+        return Err("parallel estimate diverged from sequential".into());
+    }
     Ok(())
+}
+
+fn render_smoke_json(host: usize, rows: &[SmokeRow]) -> String {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"circuit\": \"{}\", \"workers\": {SMOKE_WORKERS}, \
+                 \"sequential_s\": {:.6}, \"parallel_s\": {:.6}, \
+                 \"speedup\": {:.3}, \"hyper_samples\": {}, \
+                 \"units_used\": {}, \"identical\": {}}}",
+                r.circuit,
+                r.sequential_s,
+                r.parallel_s,
+                r.speedup(),
+                r.hyper_samples,
+                r.units_used,
+                r.identical,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"benchmark\": \"parallel_smoke\",\n  \"host_parallelism\": {host},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    )
 }
 
 fn render_breakdown(path: &str, summary: &TraceSummary) -> String {
@@ -111,6 +246,24 @@ mod tests {
             text.contains("300 vector pairs across 1 hyper-samples"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn smoke_json_is_well_formed() {
+        let rows = [SmokeRow {
+            circuit: "C432".to_string(),
+            sequential_s: 1.0,
+            parallel_s: 0.5,
+            hyper_samples: 40,
+            units_used: 12_000,
+            identical: true,
+        }];
+        let json = render_smoke_json(8, &rows);
+        assert!(json.contains("\"benchmark\": \"parallel_smoke\""), "{json}");
+        assert!(json.contains("\"host_parallelism\": 8"), "{json}");
+        assert!(json.contains("\"circuit\": \"C432\""), "{json}");
+        assert!(json.contains("\"speedup\": 2.000"), "{json}");
+        assert!(json.contains("\"identical\": true"), "{json}");
     }
 
     #[test]

@@ -7,10 +7,11 @@
 //! * Table 3 — per-line activity 0.7, |V| = 80k;
 //! * Table 4 — per-line activity 0.3, |V| = 80k.
 
-use maxpower::{EstimationConfig, MaxPowerError, MaxPowerEstimator, PopulationSource};
+use maxpower::{
+    EstimationConfig, EstimatorBuilder, MaxPowerError, MaxPowerEstimate, PopulationSource,
+    RunOptions,
+};
 use mpe_vectors::PairGenerator;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 use crate::{experiment_circuit, experiment_population, pct, ExperimentArgs, TextTable};
 
@@ -63,13 +64,14 @@ pub fn run_efficiency(
         let mut units: Vec<usize> = Vec::with_capacity(runs);
         let mut errs: Vec<f64> = Vec::with_capacity(runs);
         let mut non_converged = 0usize;
+        let session = EstimatorBuilder::new(EstimationConfig::default()).build();
         for run in 0..runs {
-            let mut source = PopulationSource::new(&population);
-            let estimator = MaxPowerEstimator::new(EstimationConfig::default());
-            let mut rng = SmallRng::seed_from_u64(
-                args.seed.wrapping_mul(0x9e37_79b9).wrapping_add(run as u64),
-            );
-            match estimator.run(&mut source, &mut rng) {
+            let source = PopulationSource::new(&population);
+            let seed = args.seed.wrapping_mul(0x9e37_79b9).wrapping_add(run as u64);
+            let result = session
+                .run(&source, RunOptions::default().seeded(seed))
+                .and_then(MaxPowerEstimate::into_converged);
+            match result {
                 Ok(r) => {
                     units.push(r.units_used);
                     errs.push((r.estimate_mw - actual_max).abs() / actual_max);

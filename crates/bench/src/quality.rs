@@ -3,7 +3,8 @@
 //! simple random sampling with 2500 / 10k / 20k units.
 
 use maxpower::{
-    srs_max_estimate, EstimationConfig, MaxPowerError, MaxPowerEstimator, PopulationSource,
+    srs_max_estimate, EstimationConfig, EstimatorBuilder, MaxPowerError, MaxPowerEstimate,
+    PopulationSource, RunOptions,
 };
 use mpe_vectors::PairGenerator;
 use rand::rngs::SmallRng;
@@ -52,12 +53,14 @@ pub fn run_quality(
 
         // Our approach.
         let mut ours: Vec<f64> = Vec::with_capacity(runs);
+        let session = EstimatorBuilder::new(EstimationConfig::default()).build();
         for run in 0..runs {
-            let mut source = PopulationSource::new(&population);
-            let estimator = MaxPowerEstimator::new(EstimationConfig::default());
-            let mut rng =
-                SmallRng::seed_from_u64(args.seed.wrapping_mul(31).wrapping_add(run as u64));
-            match estimator.run(&mut source, &mut rng) {
+            let source = PopulationSource::new(&population);
+            let seed = args.seed.wrapping_mul(31).wrapping_add(run as u64);
+            let result = session
+                .run(&source, RunOptions::default().seeded(seed))
+                .and_then(MaxPowerEstimate::into_converged);
+            match result {
                 Ok(r) => ours.push(signed_err(r.estimate_mw)),
                 Err(MaxPowerError::NotConverged { estimate_mw, .. }) => {
                     // Table 2 scores quality; a capped run still reports its

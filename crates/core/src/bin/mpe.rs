@@ -15,12 +15,15 @@
 //! stand-in) or `--bench <file>` (a real netlist). Run `mpe help` for all
 //! flags.
 
+use std::num::NonZeroUsize;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use maxpower::telemetry::{JsonlSink, ProgressSink, Telemetry};
 use maxpower::{
     estimate_average_power, Checkpoint, DelaySource, EstimateReport, EstimationConfig,
-    MaxPowerEstimate, MaxPowerEstimator, PowerSource, RunStatus, SamplePolicy, SimulatorSource,
+    EstimatorBuilder, MaxPowerEstimate, PowerSourceFactory, RunOptions, RunStatus, SamplePolicy,
+    Session, SimulatorSource,
 };
 use mpe_netlist::{bench_format, generate, Circuit, Iscas85};
 use mpe_sim::{DelayModel, PowerConfig};
@@ -45,6 +48,8 @@ ESTIMATION (estimate / delay):
     --confidence L      confidence level (default 0.90)
     --population V      finite vector-pair space size (default 160000; 0 = infinite)
     --seed S            estimation RNG seed (default 42)
+    --workers N         worker threads for hyper-sample generation (default 1);
+                        results are bit-identical for every N
     --delay-model M     zero | unit | fanout (default unit)
     --activity A        per-line input switching activity in [0,1] (default: uniform pairs)
     --json              print the result as JSON instead of text
@@ -138,6 +143,7 @@ struct Flags {
     confidence: f64,
     population: u64,
     seed: u64,
+    workers: NonZeroUsize,
     delay_model: DelayModel,
     activity: Option<f64>,
     json: bool,
@@ -159,6 +165,7 @@ impl Flags {
             confidence: 0.90,
             population: 160_000,
             seed: 42,
+            workers: NonZeroUsize::MIN,
             delay_model: DelayModel::Unit,
             activity: None,
             json: false,
@@ -190,6 +197,12 @@ impl Flags {
                 "--confidence" => flags.confidence = parse_num(value()?, "--confidence")?,
                 "--population" => flags.population = parse_num(value()?, "--population")?,
                 "--seed" => flags.seed = parse_num(value()?, "--seed")?,
+                "--workers" => {
+                    let n: usize = parse_num(value()?, "--workers")?;
+                    flags.workers = NonZeroUsize::new(n).ok_or_else(|| {
+                        "--workers expects a positive integer, got `0`".to_string()
+                    })?;
+                }
                 "--delay-model" => {
                     flags.delay_model = match value()? {
                         "zero" => DelayModel::Zero,
@@ -307,15 +320,17 @@ fn save_checkpoint(path: &str, cp: &Checkpoint) -> std::io::Result<()> {
     std::fs::rename(&tmp, path)
 }
 
-/// Runs the estimator, with checkpoint/resume when `--checkpoint` is set.
-fn run_to_completion(
-    estimator: &MaxPowerEstimator,
-    source: &mut dyn PowerSource,
+/// Runs the session, with checkpoint/resume when `--checkpoint` is set.
+fn run_to_completion<F: PowerSourceFactory>(
+    session: &Session,
+    factory: &F,
     flags: &Flags,
 ) -> Result<MaxPowerEstimate, Box<dyn std::error::Error>> {
+    let opts = RunOptions::default()
+        .seeded(flags.seed)
+        .workers(flags.workers);
     let Some(path) = &flags.checkpoint else {
-        let mut rng = SmallRng::seed_from_u64(flags.seed);
-        return Ok(estimator.run(source, &mut rng)?);
+        return Ok(session.run(factory, opts)?);
     };
     let resume = match std::fs::read_to_string(path) {
         Ok(text) => Some(Checkpoint::from_json(&text)?),
@@ -329,12 +344,16 @@ fn run_to_completion(
         );
     }
     let mut save_err: Option<std::io::Error> = None;
-    let estimate =
-        estimator.run_with_checkpoint(source, flags.seed, resume.as_ref(), &mut |cp| {
-            if let Err(e) = save_checkpoint(path, cp) {
-                save_err = Some(e);
-            }
-        })?;
+    let mut save = |cp: &Checkpoint| {
+        if let Err(e) = save_checkpoint(path, cp) {
+            save_err = Some(e);
+        }
+    };
+    let mut opts = opts.save_with(&mut save);
+    if let Some(cp) = &resume {
+        opts = opts.resume(cp);
+    }
+    let estimate = session.run(factory, opts)?;
     if let Some(e) = save_err {
         status!("warning: failed to persist checkpoint to `{path}`: {e}");
     }
@@ -351,31 +370,46 @@ fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error:
     let generator = flags.generator()?;
     let config = flags.estimation_config(0.05);
     let telemetry = flags.telemetry()?;
-    let estimator = MaxPowerEstimator::new(config).with_telemetry(telemetry.clone());
+    let session = EstimatorBuilder::new(config)
+        .telemetry(telemetry.clone())
+        .build();
 
+    let workers = flags.workers.get();
+    if let Ok(available) = std::thread::available_parallelism() {
+        if workers > available.get() {
+            status!(
+                "warning: --workers {workers} exceeds the {} available hardware threads; \
+                 results are identical but the extra workers only add overhead",
+                available.get()
+            );
+        }
+    }
+
+    let started = Instant::now();
     let (estimate, metric_name, unit) = match metric {
         Metric::Power => {
-            let mut source = SimulatorSource::new(
+            let source = SimulatorSource::new(
                 &circuit,
                 generator,
                 flags.delay_model,
                 PowerConfig::default(),
             );
             (
-                run_to_completion(&estimator, &mut source, flags)?,
+                run_to_completion(&session, &source, flags)?,
                 "max_power_mw",
                 "mW",
             )
         }
         Metric::Delay => {
-            let mut source = DelaySource::new(&circuit, generator, flags.delay_model);
+            let source = DelaySource::new(&circuit, generator, flags.delay_model);
             (
-                run_to_completion(&estimator, &mut source, flags)?,
+                run_to_completion(&session, &source, flags)?,
                 "max_delay_units",
                 "delay units",
             )
         }
     };
+    let wall_ms = 1e3 * started.elapsed().as_secs_f64();
 
     // Make sure the trace file is complete (the run span's `span_end` is
     // emitted as the estimator returns, after its internal flush) and the
@@ -383,7 +417,8 @@ fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error:
     telemetry.flush();
 
     if flags.json {
-        let mut report = EstimateReport::new(circuit.name(), metric_name, &estimate);
+        let mut report = EstimateReport::new(circuit.name(), metric_name, &estimate)
+            .with_execution(workers, Some(wall_ms));
         if telemetry.is_enabled() {
             report = report.with_telemetry(&telemetry.snapshot());
         }
@@ -400,6 +435,11 @@ fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error:
         println!(
             "cost: {} vector pairs, {} hyper-samples; largest observation {:.4} {unit}",
             estimate.units_used, estimate.hyper_samples, estimate.observed_max_mw,
+        );
+        println!(
+            "execution: {workers} worker{} in {:.2} s wall",
+            if workers == 1 { "" } else { "s" },
+            wall_ms / 1e3,
         );
         match estimate.status {
             RunStatus::Converged => status!("status: converged"),

@@ -27,27 +27,27 @@ use crate::source::PowerSource;
 /// # Example
 ///
 /// ```
-/// use maxpower::{delay::DelaySource, EstimationConfig, MaxPowerEstimator};
+/// use maxpower::{delay::DelaySource, EstimationConfig, EstimatorBuilder, RunOptions};
 /// use mpe_netlist::{generate, Iscas85};
 /// use mpe_sim::DelayModel;
 /// use mpe_vectors::PairGenerator;
-/// use rand::SeedableRng;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let circuit = generate(Iscas85::C432, 7)?;
-/// let mut source = DelaySource::new(&circuit, PairGenerator::Uniform, DelayModel::Unit);
+/// let source = DelaySource::new(&circuit, PairGenerator::Uniform, DelayModel::Unit);
 /// let config = EstimationConfig {
 ///     finite_population: Some(100_000),
 ///     max_hyper_samples: 500,
 ///     ..EstimationConfig::default()
 /// };
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
-/// let estimate = MaxPowerEstimator::new(config).run(&mut source, &mut rng)?;
+/// let session = EstimatorBuilder::new(config).build();
+/// let estimate = session.run(&source, RunOptions::default().seeded(1))?;
 /// // Under the unit-delay model the settle time is bounded by the depth.
 /// assert!(estimate.estimate_mw <= circuit.depth() as f64 + 1.0);
 /// # Ok(())
 /// # }
 /// ```
+#[derive(Debug, Clone)]
 pub struct DelaySource<'c> {
     simulator: PowerSimulator<'c>,
     generator: PairGenerator,
@@ -97,10 +97,9 @@ impl PowerSource for DelaySource<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{EstimationConfig, MaxPowerEstimator};
+    use crate::session::{EstimatorBuilder, RunOptions};
+    use crate::EstimationConfig;
     use mpe_netlist::{generate, Iscas85};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn estimates_delay_bounded_by_depth() {
@@ -111,9 +110,9 @@ mod tests {
             max_hyper_samples: 500,
             ..EstimationConfig::default()
         };
-        let mut rng = SmallRng::seed_from_u64(3);
-        let est = MaxPowerEstimator::new(config)
-            .run(&mut source, &mut rng)
+        let session = EstimatorBuilder::new(config).build();
+        let est = session
+            .run_source(&mut source, RunOptions::default().seeded(3))
             .expect("delay estimation converges");
         // Under unit delay the settle time cannot exceed the logic depth
         // (each level adds one unit); dither adds at most 1.
@@ -129,14 +128,14 @@ mod tests {
         // (the paper's procedure), so it may sit slightly below the global
         // observed maximum — never far below it though.
         let circuit = generate(Iscas85::C432, 5).unwrap();
-        let mut source = DelaySource::new(&circuit, PairGenerator::Uniform, DelayModel::Unit);
+        let source = DelaySource::new(&circuit, PairGenerator::Uniform, DelayModel::Unit);
         let config = EstimationConfig {
             finite_population: Some(100_000),
             max_hyper_samples: 500,
             ..EstimationConfig::default()
         };
-        let mut rng = SmallRng::seed_from_u64(4);
-        if let Ok(est) = MaxPowerEstimator::new(config).run(&mut source, &mut rng) {
+        let session = EstimatorBuilder::new(config).build();
+        if let Ok(est) = session.run(&source, RunOptions::default().seeded(4)) {
             assert!(est.observed_max_mw > 0.0);
             assert!(
                 est.estimate_mw >= 0.8 * est.observed_max_mw,
@@ -151,15 +150,15 @@ mod tests {
     fn fanout_delay_yields_longer_estimates_than_unit() {
         let circuit = generate(Iscas85::C1355, 5).unwrap();
         let run = |model: DelayModel| -> f64 {
-            let mut source = DelaySource::new(&circuit, PairGenerator::Uniform, model);
+            let source = DelaySource::new(&circuit, PairGenerator::Uniform, model);
             let config = EstimationConfig {
                 finite_population: Some(50_000),
                 max_hyper_samples: 500,
                 ..EstimationConfig::default()
             };
-            let mut rng = SmallRng::seed_from_u64(5);
-            MaxPowerEstimator::new(config)
-                .run(&mut source, &mut rng)
+            let session = EstimatorBuilder::new(config).build();
+            session
+                .run(&source, RunOptions::default().seeded(5))
                 .map(|e| e.estimate_mw)
                 .unwrap_or(f64::NAN)
         };

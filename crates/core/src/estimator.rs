@@ -22,20 +22,15 @@
 //!   [`absolute_error_mw`](EstimationConfig::absolute_error_mw) and flags
 //!   [`RunHealth::zero_mean_guard`].
 
-use rand::rngs::SmallRng;
-use rand::{RngCore, SeedableRng};
+use rand::RngCore;
 
-use mpe_stats::dist::StudentT;
-use mpe_telemetry::{names, SpanKind, Telemetry};
+use mpe_telemetry::Telemetry;
 
-use crate::checkpoint::{
-    config_fingerprint, Checkpoint, CheckpointHistoryEntry, CHECKPOINT_VERSION,
-};
+use crate::checkpoint::Checkpoint;
 use crate::config::EstimationConfig;
+use crate::engine::{run_sequential, RngDriver};
 use crate::error::MaxPowerError;
 use crate::health::{EstimatorKind, RunHealth, RunStatus};
-use crate::hyper::{generate_hyper_sample_traced, HyperSample};
-use crate::report::TelemetrySummary;
 use crate::source::PowerSource;
 
 /// One row of the convergence history: the state after each hyper-sample.
@@ -110,85 +105,16 @@ impl MaxPowerEstimate {
     }
 }
 
-/// Live (deserialized) estimator state shared by fresh and resumed runs.
-struct RunState {
-    estimates: Vec<f64>,
-    estimators: Vec<EstimatorKind>,
-    history: Vec<EstimateHistoryEntry>,
-    units_used: usize,
-    observed_max: f64,
-    health: RunHealth,
-}
-
-impl RunState {
-    fn new() -> Self {
-        RunState {
-            estimates: Vec::new(),
-            estimators: Vec::new(),
-            history: Vec::new(),
-            units_used: 0,
-            observed_max: f64::NEG_INFINITY,
-            health: RunHealth::default(),
-        }
-    }
-
-    fn from_checkpoint(cp: &Checkpoint) -> Self {
-        RunState {
-            estimates: cp.hyper_estimates.clone(),
-            estimators: cp.hyper_estimators.clone(),
-            history: cp.history.iter().map(EstimateHistoryEntry::from).collect(),
-            units_used: cp.units_used,
-            observed_max: cp.observed_max_mw.unwrap_or(f64::NEG_INFINITY),
-            health: cp.health,
-        }
-    }
-
-    fn to_checkpoint(&self, fingerprint: u64, master_seed: u64) -> Checkpoint {
-        Checkpoint {
-            version: CHECKPOINT_VERSION,
-            config_fingerprint: fingerprint,
-            master_seed,
-            hyper_estimates: self.estimates.clone(),
-            hyper_estimators: self.estimators.clone(),
-            history: self
-                .history
-                .iter()
-                .map(CheckpointHistoryEntry::from)
-                .collect(),
-            units_used: self.units_used,
-            observed_max_mw: self.observed_max.is_finite().then_some(self.observed_max),
-            health: self.health,
-            telemetry: None,
-        }
-    }
-}
-
-/// The t-interval around the running mean, evaluated against both stopping
-/// criteria.
-struct IntervalStats {
-    mean: f64,
-    half: f64,
-    relative: f64,
-    met: bool,
-}
-
-/// How hyper-sample RNGs are produced: a caller-supplied stream (classic
-/// mode), or per-index streams derived from a master seed (checkpoint
-/// mode, where iteration `k` is reproducible in isolation).
-enum RngDriver<'a> {
-    Stream(&'a mut dyn RngCore),
-    Derived(u64),
-}
-
-/// Derives the seed of hyper-sample `k`'s private RNG stream from the
-/// master seed (splitmix-style odd multiplier keeps the streams distinct).
-fn derive_seed(master_seed: u64, k: usize) -> u64 {
-    master_seed ^ (k as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-}
-
-/// The iterative maximum-power estimator (paper Figure 4).
+/// The legacy entry point to the iterative maximum-power estimator (paper
+/// Figure 4), superseded by [`Session`](crate::Session).
 ///
-/// See the [crate-level documentation](crate) for a full example.
+/// All three historical entry points — [`new`](Self::new),
+/// [`run`](Self::run) and [`run_with_checkpoint`](Self::run_with_checkpoint)
+/// — are deprecated thin shims over the same execution engine the session
+/// API drives, so their results are unchanged; new code should build a
+/// [`Session`](crate::Session) via
+/// [`EstimatorBuilder`](crate::EstimatorBuilder) and pick a worker count
+/// through [`RunOptions`](crate::RunOptions).
 #[derive(Debug, Clone)]
 pub struct MaxPowerEstimator {
     config: EstimationConfig,
@@ -198,6 +124,10 @@ pub struct MaxPowerEstimator {
 impl MaxPowerEstimator {
     /// Creates an estimator with the given configuration (telemetry
     /// disabled — instrumentation costs nothing until opted into).
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a Session via EstimatorBuilder::new(config).build() instead"
+    )]
     pub fn new(config: EstimationConfig) -> Self {
         MaxPowerEstimator {
             config,
@@ -242,12 +172,23 @@ impl MaxPowerEstimator {
     /// * hyper-sample and simulation failures, as filtered by the
     ///   configured [`SamplePolicy`](crate::SamplePolicy) and
     ///   [`FallbackPolicy`](crate::FallbackPolicy).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Session::run (derived per-index RNG streams) or Session::run_source"
+    )]
     pub fn run(
         &self,
         source: &mut dyn PowerSource,
         rng: &mut dyn RngCore,
     ) -> Result<MaxPowerEstimate, MaxPowerError> {
-        self.run_inner(source, RngDriver::Stream(rng), None, &mut |_| {})
+        run_sequential(
+            &self.config,
+            &self.telemetry,
+            source,
+            RngDriver::Stream(rng),
+            None,
+            &mut |_| {},
+        )
     }
 
     /// Runs the procedure with checkpoint/resume support.
@@ -264,6 +205,10 @@ impl MaxPowerEstimator {
     /// * [`MaxPowerError::CheckpointMismatch`] — `resume` was produced
     ///   under a different configuration, seed or schema version;
     /// * everything [`run`](Self::run) can raise.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Session::run with RunOptions::seeded/resume/save_with"
+    )]
     pub fn run_with_checkpoint(
         &self,
         source: &mut dyn PowerSource,
@@ -271,180 +216,26 @@ impl MaxPowerEstimator {
         resume: Option<&Checkpoint>,
         save: &mut dyn FnMut(&Checkpoint),
     ) -> Result<MaxPowerEstimate, MaxPowerError> {
-        self.run_inner(source, RngDriver::Derived(master_seed), resume, save)
-    }
-
-    fn run_inner(
-        &self,
-        source: &mut dyn PowerSource,
-        mut driver: RngDriver<'_>,
-        resume: Option<&Checkpoint>,
-        save: &mut dyn FnMut(&Checkpoint),
-    ) -> Result<MaxPowerEstimate, MaxPowerError> {
-        self.config.validate()?;
-        let mut config = self.config;
-        if config.finite_population.is_none() {
-            config.finite_population = source.population_size();
-        }
-        let fingerprint = config_fingerprint(&config);
-        let (master_seed, checkpointing) = match driver {
-            RngDriver::Stream(_) => (0, false),
-            RngDriver::Derived(seed) => (seed, true),
-        };
-
-        let mut st = match resume {
-            Some(cp) => {
-                if !checkpointing {
-                    return Err(MaxPowerError::CheckpointMismatch {
-                        message: "resume requires the derived-RNG (master seed) mode".to_string(),
-                    });
-                }
-                cp.verify(fingerprint, master_seed)?;
-                // Carry the earlier segments' phase durations and counters
-                // forward so post-resume telemetry reports the whole run.
-                if let Some(summary) = &cp.telemetry {
-                    summary.restore_into(&self.telemetry);
-                }
-                RunState::from_checkpoint(cp)
-            }
-            None => RunState::new(),
-        };
-
-        let _run_span = self.telemetry.span(SpanKind::Run);
-        loop {
-            let k = st.estimates.len();
-            // Stopping decision on the *current* state, so a resumed run
-            // that already satisfies its target returns without drawing.
-            let stats = self.interval(&config, &st.estimates, &mut st.health)?;
-            if let Some(s) = &stats {
-                if k >= config.min_hyper_samples && s.met {
-                    self.telemetry.flush();
-                    return Ok(Self::finish(&config, st, s, true));
-                }
-                if k >= config.max_hyper_samples {
-                    self.telemetry.flush();
-                    return Ok(Self::finish(&config, st, s, false));
-                }
-            }
-
-            let hyper: HyperSample = {
-                let _hyper_span = self.telemetry.span(SpanKind::HyperSample);
-                match &mut driver {
-                    RngDriver::Stream(rng) => {
-                        generate_hyper_sample_traced(source, &config, *rng, &self.telemetry)?
-                    }
-                    RngDriver::Derived(seed) => {
-                        let mut hyper_rng = SmallRng::seed_from_u64(derive_seed(*seed, k));
-                        generate_hyper_sample_traced(
-                            source,
-                            &config,
-                            &mut hyper_rng,
-                            &self.telemetry,
-                        )?
-                    }
-                }
-            };
-            st.units_used += hyper.units_used;
-            st.observed_max = st.observed_max.max(hyper.observed_max);
-            st.health.absorb(&hyper.health, hyper.estimator);
-            st.estimates.push(hyper.estimate_mw);
-            st.estimators.push(hyper.estimator);
-            self.telemetry.counter(names::HYPER_SAMPLES, 1);
-
-            let k = st.estimates.len();
-            let stats = self.interval(&config, &st.estimates, &mut st.health)?;
-            let (mean, relative_half_width) = match &stats {
-                Some(s) => (s.mean, s.relative),
-                None => (st.estimates.iter().sum::<f64>() / k as f64, f64::INFINITY),
-            };
-            self.telemetry.gauge(names::RUNNING_MEAN_MW, mean);
-            if let Some(s) = &stats {
-                self.telemetry.gauge(names::CI_HALF_WIDTH_MW, s.half);
-            }
-            // Emitted every iteration (infinite before k = 2) — the
-            // progress sink repaints on this gauge, the last one per
-            // iteration.
-            self.telemetry
-                .gauge(names::CI_RELATIVE_HALF_WIDTH, relative_half_width);
-            st.history.push(EstimateHistoryEntry {
-                k,
-                mean_mw: mean,
-                relative_half_width,
-                units_used: st.units_used,
-            });
-            if checkpointing {
-                let _cp_span = self.telemetry.span(SpanKind::Checkpoint);
-                let mut cp = st.to_checkpoint(fingerprint, master_seed);
-                if self.telemetry.is_enabled() {
-                    cp.telemetry =
-                        Some(TelemetrySummary::from_snapshot(&self.telemetry.snapshot()));
-                }
-                save(&cp);
-                self.telemetry.counter(names::CHECKPOINT_SAVES, 1);
-            }
-        }
-    }
-
-    /// Computes the t-interval for the current estimates (`None` before
-    /// `k = 2`, where the sample variance is undefined), deciding the
-    /// stopping criterion and flagging the zero-mean guard.
-    fn interval(
-        &self,
-        config: &EstimationConfig,
-        estimates: &[f64],
-        health: &mut RunHealth,
-    ) -> Result<Option<IntervalStats>, MaxPowerError> {
-        let k = estimates.len();
-        if k < 2 {
-            return Ok(None);
-        }
-        let mean = estimates.iter().sum::<f64>() / k as f64;
-        let s2 = estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (k as f64 - 1.0);
-        let t = StudentT::new((k - 1) as f64)?.two_sided_critical(config.confidence)?;
-        let half = t * s2.sqrt() / (k as f64).sqrt();
-        let (relative, met) = if mean.abs() <= config.mean_floor_mw {
-            // Relative width is undefined at a (near-)zero mean; fall back
-            // to the absolute criterion and record that we did.
-            health.zero_mean_guard = true;
-            (f64::INFINITY, half <= config.absolute_error_mw)
-        } else {
-            let relative = half / mean.abs();
-            (relative, relative <= config.relative_error)
-        };
-        Ok(Some(IntervalStats {
-            mean,
-            half,
-            relative,
-            met,
-        }))
-    }
-
-    fn finish(
-        config: &EstimationConfig,
-        st: RunState,
-        s: &IntervalStats,
-        met_target: bool,
-    ) -> MaxPowerEstimate {
-        MaxPowerEstimate {
-            estimate_mw: s.mean,
-            confidence_interval: (s.mean - s.half, s.mean + s.half),
-            relative_error: s.relative,
-            confidence: config.confidence,
-            hyper_samples: st.estimates.len(),
-            units_used: st.units_used,
-            observed_max_mw: st.observed_max,
-            status: st.health.status(met_target),
-            health: st.health,
-            history: st.history,
-            hyper_estimates: st.estimates,
-            hyper_estimators: st.estimators,
-        }
+        run_sequential(
+            &self.config,
+            &self.telemetry,
+            source,
+            RngDriver::Derived(master_seed),
+            resume,
+            save,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // These tests are the legacy-equivalence coverage: they exercise the
+    // deprecated entry points on purpose, pinning their behaviour while the
+    // session API carries new callers.
+    #![allow(deprecated)]
+
     use super::*;
+    use crate::engine::derive_seed;
     use crate::source::FnSource;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};

@@ -292,6 +292,17 @@ impl<S: PowerSource> PowerSource for FaultInjectingSource<S> {
     fn population_size(&self) -> Option<u64> {
         self.inner.population_size()
     }
+
+    /// Reseeds the private fault RNG from the wrapper seed and the
+    /// hyper-sample index, making the fault stream a pure function of
+    /// `(seed, k)` — so a parallel run injects exactly the same faults into
+    /// hyper-sample `k` no matter which worker draws it, and a resumed run
+    /// replays the same faults the interrupted run saw.
+    fn begin_hyper_sample(&mut self, k: u64) {
+        self.rng =
+            SmallRng::seed_from_u64(crate::engine::derive_seed(self.config.seed, k as usize));
+        self.inner.begin_hyper_sample(k);
+    }
 }
 
 #[cfg(test)]

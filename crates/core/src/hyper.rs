@@ -154,24 +154,49 @@ fn draw_reading(
     }
 }
 
-/// Generates one hyper-sample from the source (paper Figure 3), degrading
-/// gracefully per the configured policies.
+/// Everything hyper-sample generation needs besides the source and the
+/// RNG: the configuration and an optional telemetry handle.
 ///
-/// # Errors
-///
-/// * propagates source/simulation failures per
-///   [`EstimationConfig::sample_policy`] (immediately under
-///   [`SamplePolicy::Fail`], after the tolerance is exhausted otherwise);
-/// * [`MaxPowerError::HyperSampleFailed`] if the MLE stays degenerate
-///   through the retry budget *and*
-///   [`FallbackPolicy::ErrorOut`] is configured — under the default
-///   [`FallbackPolicy::Degrade`] a fallback estimate is returned instead.
-pub fn generate_hyper_sample(
-    source: &mut dyn PowerSource,
-    config: &EstimationConfig,
-    rng: &mut dyn RngCore,
-) -> Result<HyperSample, MaxPowerError> {
-    generate_hyper_sample_traced(source, config, rng, &Telemetry::disabled())
+/// Collapses the former `generate_hyper_sample` /
+/// `generate_hyper_sample_traced` pair into one entry point — a context
+/// with a disabled handle (the [`HyperSampleContext::new`] default) is the
+/// untraced path, and the handle never touches the RNG either way, so
+/// enabling telemetry cannot change the estimate.
+#[derive(Debug, Clone)]
+pub struct HyperSampleContext<'a> {
+    config: &'a EstimationConfig,
+    telemetry: Telemetry,
+}
+
+impl<'a> HyperSampleContext<'a> {
+    /// A context with telemetry disabled.
+    pub fn new(config: &'a EstimationConfig) -> Self {
+        HyperSampleContext {
+            config,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle: each attempt's draw loop runs inside a
+    /// `simulate` span with exact [`names::VECTOR_PAIRS_SIMULATED`] deltas,
+    /// MLE fits run inside `fit` spans, successful fits publish the
+    /// `hyper_mu_mw`/`hyper_alpha`/`hyper_beta` gauges, and the fallback
+    /// ladder runs inside a `fallback` span.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The estimation configuration.
+    pub fn config(&self) -> &EstimationConfig {
+        self.config
+    }
+
+    /// The telemetry handle (disabled unless attached).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
 }
 
 /// Emits the telemetry deltas accumulated in `health` since the given
@@ -192,31 +217,49 @@ fn emit_health_deltas(telemetry: &Telemetry, health: &HyperHealth, baseline: &Hy
     );
 }
 
-/// [`generate_hyper_sample`] instrumented with telemetry:
-///
-/// * each attempt's `m × n` draw loop runs inside a `simulate` span, and
-///   the units it consumed are counted into
-///   [`names::VECTOR_PAIRS_SIMULATED`] as one exact delta — the counter's
-///   total always equals the run's `units_used`;
-/// * MLE fits run inside `fit` spans (with grid-probe counts) via
-///   [`fit_reversed_weibull_traced`];
-/// * a successful fit publishes the `hyper_mu_mw` / `hyper_alpha` /
-///   `hyper_beta` gauges; the fallback ladder runs inside a `fallback`
-///   span and counts which rung caught the estimate.
-///
-/// With a disabled handle this is exactly [`generate_hyper_sample`]; the
-/// handle never touches `rng`, so enabling telemetry cannot change the
-/// estimate.
+/// Deprecated spelling of the traced path: build a [`HyperSampleContext`]
+/// with [`HyperSampleContext::with_telemetry`] and call
+/// [`generate_hyper_sample`] instead.
 ///
 /// # Errors
 ///
 /// Same as [`generate_hyper_sample`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use generate_hyper_sample with a HyperSampleContext built via with_telemetry"
+)]
 pub fn generate_hyper_sample_traced(
     source: &mut dyn PowerSource,
     config: &EstimationConfig,
     rng: &mut dyn RngCore,
     telemetry: &Telemetry,
 ) -> Result<HyperSample, MaxPowerError> {
+    let ctx = HyperSampleContext::new(config).with_telemetry(telemetry.clone());
+    generate_hyper_sample(source, &ctx, rng)
+}
+
+/// Generates one hyper-sample from the source (paper Figure 3), degrading
+/// gracefully per the configured policies.
+///
+/// The context carries the configuration and (optionally) a telemetry
+/// handle — see [`HyperSampleContext`] for what a traced run emits.
+///
+/// # Errors
+///
+/// * propagates source/simulation failures per
+///   [`EstimationConfig::sample_policy`] (immediately under
+///   [`SamplePolicy::Fail`], after the tolerance is exhausted otherwise);
+/// * [`MaxPowerError::HyperSampleFailed`] if the MLE stays degenerate
+///   through the retry budget *and*
+///   [`FallbackPolicy::ErrorOut`] is configured — under the default
+///   [`FallbackPolicy::Degrade`] a fallback estimate is returned instead.
+pub fn generate_hyper_sample(
+    source: &mut dyn PowerSource,
+    ctx: &HyperSampleContext<'_>,
+    rng: &mut dyn RngCore,
+) -> Result<HyperSample, MaxPowerError> {
+    let config = ctx.config;
+    let telemetry = &ctx.telemetry;
     let n = config.sample_size;
     let m = config.samples_per_hyper;
     let mut units_used = 0usize;
@@ -475,7 +518,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let mut errs = Vec::new();
         for _ in 0..20 {
-            let h = generate_hyper_sample(&mut source, &config, &mut rng).unwrap();
+            let h = generate_hyper_sample(&mut source, &HyperSampleContext::new(&config), &mut rng)
+                .unwrap();
             assert_eq!(h.units_used, 300);
             assert_eq!(h.sample_maxima.len(), 10);
             assert_eq!(h.estimator, EstimatorKind::Mle);
@@ -501,7 +545,12 @@ mod tests {
             };
             let mut local_rng = SmallRng::seed_from_u64(77);
             let _ = &mut rng;
-            generate_hyper_sample(&mut source, &config, &mut local_rng).unwrap()
+            generate_hyper_sample(
+                &mut source,
+                &HyperSampleContext::new(&config),
+                &mut local_rng,
+            )
+            .unwrap()
         };
         let infinite = run(None);
         let finite = run(Some(10_000));
@@ -521,7 +570,7 @@ mod tests {
             ..EstimationConfig::default()
         };
         let mut rng = SmallRng::seed_from_u64(3);
-        let err = generate_hyper_sample(&mut source, &config, &mut rng);
+        let err = generate_hyper_sample(&mut source, &HyperSampleContext::new(&config), &mut rng);
         assert!(matches!(
             err,
             Err(MaxPowerError::HyperSampleFailed { attempts: 1, .. })
@@ -536,7 +585,8 @@ mod tests {
         let mut source = FnSource::new(|_: &mut dyn RngCore| 5.0);
         let config = EstimationConfig::default();
         let mut rng = SmallRng::seed_from_u64(3);
-        let h = generate_hyper_sample(&mut source, &config, &mut rng).unwrap();
+        let h = generate_hyper_sample(&mut source, &HyperSampleContext::new(&config), &mut rng)
+            .unwrap();
         assert_eq!(h.estimate_mw, 5.0);
         assert_eq!(h.estimator, EstimatorKind::Quantile);
         assert!(h.fit.is_none());
@@ -569,7 +619,8 @@ mod tests {
         });
         let config = EstimationConfig::default();
         let mut rng = SmallRng::seed_from_u64(4);
-        let h = generate_hyper_sample(&mut source, &config, &mut rng).unwrap();
+        let h = generate_hyper_sample(&mut source, &HyperSampleContext::new(&config), &mut rng)
+            .unwrap();
         assert_eq!(h.units_used, 600);
         assert_eq!(h.estimator, EstimatorKind::Mle);
         assert_eq!(h.health.mle_retries, 1);
@@ -597,7 +648,7 @@ mod tests {
                 ..EstimationConfig::default()
             };
             let mut rng = SmallRng::seed_from_u64(5);
-            generate_hyper_sample(&mut source, &config, &mut rng)
+            generate_hyper_sample(&mut source, &HyperSampleContext::new(&config), &mut rng)
         };
         match run(15) {
             Err(MaxPowerError::HyperSampleFailed { attempts, .. }) => assert_eq!(attempts, 4),
@@ -623,7 +674,7 @@ mod tests {
         });
         let config = EstimationConfig::default();
         let mut rng = SmallRng::seed_from_u64(6);
-        let err = generate_hyper_sample(&mut source, &config, &mut rng);
+        let err = generate_hyper_sample(&mut source, &HyperSampleContext::new(&config), &mut rng);
         match err {
             Err(MaxPowerError::InvalidReading { value_mw }) => assert!(value_mw.is_nan()),
             other => panic!("expected InvalidReading, got {other:?}"),
@@ -651,7 +702,8 @@ mod tests {
             ..EstimationConfig::default()
         };
         let mut rng = SmallRng::seed_from_u64(7);
-        let h = generate_hyper_sample(&mut source, &config, &mut rng).unwrap();
+        let h = generate_hyper_sample(&mut source, &HyperSampleContext::new(&config), &mut rng)
+            .unwrap();
         assert!(h.health.samples_discarded > 0);
         assert_eq!(h.units_used, 300 + h.health.samples_discarded);
         assert!(h.sample_maxima.iter().all(|x| x.is_finite()));
@@ -665,7 +717,7 @@ mod tests {
             ..EstimationConfig::default()
         };
         let mut rng = SmallRng::seed_from_u64(8);
-        let err = generate_hyper_sample(&mut source, &config, &mut rng);
+        let err = generate_hyper_sample(&mut source, &HyperSampleContext::new(&config), &mut rng);
         assert!(matches!(
             err,
             Err(MaxPowerError::SamplePolicyExhausted {
@@ -694,7 +746,8 @@ mod tests {
             ..EstimationConfig::default()
         };
         let mut rng = SmallRng::seed_from_u64(9);
-        let h = generate_hyper_sample(&mut source, &config, &mut rng).unwrap();
+        let h = generate_hyper_sample(&mut source, &HyperSampleContext::new(&config), &mut rng)
+            .unwrap();
         assert!(h.health.samples_discarded > 0);
         assert_eq!(h.health.sample_retries, h.health.samples_discarded);
         assert!(h.sample_maxima.iter().all(|&x| x >= 0.0));
@@ -718,7 +771,10 @@ mod tests {
             };
             let mut rng = SmallRng::seed_from_u64(9);
             (0..10)
-                .map(|_| generate_hyper_sample(&mut source, &config, &mut rng).unwrap())
+                .map(|_| {
+                    generate_hyper_sample(&mut source, &HyperSampleContext::new(&config), &mut rng)
+                        .unwrap()
+                })
                 .collect()
         };
         let plain = run(BiasCorrection::None);
@@ -751,7 +807,9 @@ mod tests {
         });
         let config = EstimationConfig::default();
         let mut rng = SmallRng::seed_from_u64(5);
-        if let Ok(h) = generate_hyper_sample(&mut source, &config, &mut rng) {
+        if let Ok(h) =
+            generate_hyper_sample(&mut source, &HyperSampleContext::new(&config), &mut rng)
+        {
             assert!(h.estimate_mw >= h.observed_max);
         }
     }

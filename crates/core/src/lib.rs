@@ -27,15 +27,14 @@
 //! use mpe_netlist::{generate, Iscas85};
 //! use mpe_sim::{DelayModel, PowerConfig};
 //! use mpe_vectors::PairGenerator;
-//! use maxpower::{EstimationConfig, MaxPowerEstimator, SimulatorSource};
-//! use rand::SeedableRng;
+//! use maxpower::{EstimationConfig, EstimatorBuilder, RunOptions, SimulatorSource};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // 1. The circuit under analysis (here: a generated ISCAS85 stand-in).
 //! let circuit = generate(Iscas85::C432, 7)?;
 //!
 //! // 2. A power source: fresh random vector pairs, simulated on demand.
-//! let mut source = SimulatorSource::new(
+//! let source = SimulatorSource::new(
 //!     &circuit,
 //!     PairGenerator::Uniform,
 //!     DelayModel::Unit,
@@ -52,8 +51,8 @@
 //!     finite_population: Some(160_000),
 //!     ..EstimationConfig::default()
 //! };
-//! let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
-//! let estimate = MaxPowerEstimator::new(config).run(&mut source, &mut rng)?;
+//! let session = EstimatorBuilder::new(config).build();
+//! let estimate = session.run(&source, RunOptions::default().seeded(42))?;
 //!
 //! println!(
 //!     "max power ≈ {:.3} mW ± {:.1}% ({} vector pairs simulated)",
@@ -64,11 +63,17 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Hyper-samples are i.i.d., so the session parallelizes them: add
+//! `.workers(NonZeroUsize::new(4).unwrap())` to the options and the same
+//! seed yields a *bit-identical* estimate, checkpoint sequence and
+//! convergence history — only faster. See the `session` module docs.
 
 pub mod average;
 pub mod checkpoint;
 pub mod config;
 pub mod delay;
+pub(crate) mod engine;
 pub mod error;
 pub mod estimator;
 pub mod fault;
@@ -76,6 +81,7 @@ pub mod health;
 pub mod hyper;
 pub mod quantile_baseline;
 pub mod report;
+pub mod session;
 pub mod source;
 pub mod srs;
 pub mod sweep;
@@ -88,13 +94,16 @@ pub use error::MaxPowerError;
 pub use estimator::{EstimateHistoryEntry, MaxPowerEstimate, MaxPowerEstimator};
 pub use fault::{FaultConfig, FaultInjectingSource, FaultStats};
 pub use health::{EstimatorKind, HyperHealth, RunHealth, RunStatus};
-pub use hyper::{generate_hyper_sample, generate_hyper_sample_traced, HyperSample};
+#[allow(deprecated)]
+pub use hyper::generate_hyper_sample_traced;
+pub use hyper::{generate_hyper_sample, HyperSample, HyperSampleContext};
 pub use quantile_baseline::{quantile_baseline_estimate, QuantileEstimate};
 pub use report::{CounterValue, EstimateReport, PhaseTiming, TelemetrySummary};
+pub use session::{EstimatorBuilder, RunOptions, Session};
 
 // Re-exported so downstream users can drive telemetry without naming the
 // `mpe-telemetry` crate directly.
 pub use mpe_telemetry as telemetry;
-pub use source::{FnSource, PopulationSource, PowerSource, SimulatorSource};
+pub use source::{FnSource, PopulationSource, PowerSource, PowerSourceFactory, SimulatorSource};
 pub use srs::{srs_max_estimate, srs_theoretical_units, SrsEstimate};
 pub use sweep::{sweep_activity, SweepPoint};

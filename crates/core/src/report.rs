@@ -15,9 +15,10 @@ use mpe_telemetry::{MetricsSnapshot, SpanKind};
 ///
 /// v2 added the resilience fields: `status`, `health` and
 /// `hyper_estimators`. v3 added the optional `telemetry` block (phase
-/// timings and work counters); v2 reports still parse (the block reads as
-/// absent).
-pub const REPORT_VERSION: u32 = 3;
+/// timings and work counters). v4 added the execution fields: `workers`
+/// (defaulting to 1 when absent) and the optional `wall_ms`; v2/v3 reports
+/// still parse.
+pub const REPORT_VERSION: u32 = 4;
 
 /// Wall-clock attribution for one pipeline phase.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -135,6 +136,22 @@ pub struct EstimateReport {
     /// the block absent.
     #[serde(default)]
     pub telemetry: Option<TelemetrySummary>,
+    /// Worker threads the run executed on (v4; reads as 1 from older
+    /// reports). Execution metadata only — the estimate fields above are
+    /// bit-identical for any worker count under the same seed.
+    #[serde(default = "default_workers")]
+    pub workers: usize,
+    /// Wall-clock duration of the run in milliseconds, when the producer
+    /// measured it (v4; the `mpe` CLI always does).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub wall_ms: Option<f64>,
+}
+
+// Referenced from the `#[serde(default = …)]` attribute, which the offline
+// stub derives expand to nothing — hence the allow.
+#[allow(dead_code)]
+fn default_workers() -> usize {
+    1
 }
 
 impl EstimateReport {
@@ -157,6 +174,8 @@ impl EstimateReport {
             hyper_estimates: estimate.hyper_estimates.clone(),
             hyper_estimators: estimate.hyper_estimators.clone(),
             telemetry: None,
+            workers: 1,
+            wall_ms: None,
         }
     }
 
@@ -164,6 +183,16 @@ impl EstimateReport {
     #[must_use]
     pub fn with_telemetry(mut self, snapshot: &MetricsSnapshot) -> Self {
         self.telemetry = Some(TelemetrySummary::from_snapshot(snapshot));
+        self
+    }
+
+    /// Records how the run was executed: worker count and (optionally) the
+    /// measured wall-clock time. Pure metadata — two reports differing only
+    /// in these fields describe the same estimate.
+    #[must_use]
+    pub fn with_execution(mut self, workers: usize, wall_ms: Option<f64>) -> Self {
+        self.workers = workers;
+        self.wall_ms = wall_ms;
         self
     }
 
@@ -273,6 +302,23 @@ mod tests {
         let report: EstimateReport = (&sample_estimate()).into();
         assert_eq!(report.version, REPORT_VERSION);
         assert_eq!(report.metric, "max_power_mw");
+        // Execution metadata defaults: single worker, no wall clock.
+        assert_eq!(report.workers, 1);
+        assert_eq!(report.wall_ms, None);
+    }
+
+    #[test]
+    fn with_execution_records_metadata_only() {
+        let est = sample_estimate();
+        let plain = EstimateReport::new("x", "max_power_mw", &est);
+        let parallel = EstimateReport::new("x", "max_power_mw", &est).with_execution(8, Some(12.5));
+        assert_eq!(parallel.workers, 8);
+        assert_eq!(parallel.wall_ms, Some(12.5));
+        // Every estimate-bearing field is untouched by execution metadata.
+        assert_eq!(parallel.estimate, plain.estimate);
+        assert_eq!(parallel.hyper_estimates, plain.hyper_estimates);
+        assert_eq!(parallel.units_used, plain.units_used);
+        assert_eq!(parallel.status, plain.status);
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! The session-based run API: one builder, one handle, one options
+//! struct — replacing the `run`/`run_with_checkpoint` method family on
+//! [`MaxPowerEstimator`](crate::MaxPowerEstimator).
+//!
+//! ```
+//! use maxpower::{EstimatorBuilder, EstimationConfig, FnSource, RunOptions};
+//! use std::num::NonZeroUsize;
+//!
+//! # fn main() -> Result<(), maxpower::MaxPowerError> {
+//! let source = FnSource::new(|rng: &mut dyn rand::RngCore| {
+//!     use rand::Rng;
+//!     let u: f64 = rng.gen_range(1e-12..1.0f64);
+//!     10.0 - (-u.ln()).powf(1.0 / 3.0)
+//! });
+//! let session = EstimatorBuilder::new(EstimationConfig::default()).build();
+//! // Same seed, any worker count: bit-identical results.
+//! let opts = RunOptions::default()
+//!     .seeded(42)
+//!     .workers(NonZeroUsize::new(2).unwrap());
+//! let estimate = session.run(&source, opts)?;
+//! assert!(estimate.status.met_target());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! A session always runs in derived-RNG mode: hyper-sample `k` draws from
+//! a private stream seeded from `(master seed, k)`, which is what makes
+//! checkpoint/resume and the parallel engine bit-identical to a
+//! single-threaded run. The legacy caller-owned RNG stream survives only
+//! on the deprecated [`MaxPowerEstimator::run`](crate::MaxPowerEstimator::run).
+
+use std::num::NonZeroUsize;
+
+use mpe_telemetry::Telemetry;
+
+use crate::checkpoint::Checkpoint;
+use crate::config::EstimationConfig;
+use crate::engine::{run_parallel, run_sequential, RngDriver};
+use crate::error::MaxPowerError;
+use crate::estimator::MaxPowerEstimate;
+use crate::source::{PowerSource, PowerSourceFactory};
+
+/// Builds a [`Session`].
+#[derive(Debug, Clone)]
+pub struct EstimatorBuilder {
+    config: EstimationConfig,
+    telemetry: Telemetry,
+}
+
+impl EstimatorBuilder {
+    /// Starts a builder for the given configuration (telemetry disabled —
+    /// instrumentation costs nothing until opted into).
+    pub fn new(config: EstimationConfig) -> Self {
+        EstimatorBuilder {
+            config,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle: runs emit phase spans, work counters
+    /// and convergence gauges through it (parallel runs additionally stamp
+    /// worker-lane attributes and per-worker counters). The handle never
+    /// touches the estimation RNG, so results are bit-identical with
+    /// telemetry enabled or disabled.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Session {
+        Session {
+            config: self.config,
+            telemetry: self.telemetry,
+        }
+    }
+}
+
+/// A configured estimation session: run it against any power source, any
+/// number of times, with per-run execution options.
+#[derive(Debug, Clone)]
+pub struct Session {
+    config: EstimationConfig,
+    telemetry: Telemetry,
+}
+
+/// Per-run execution options: master seed, worker count, and the
+/// checkpoint hooks. Start from [`RunOptions::default`] (seed 0, one
+/// worker, no checkpointing) and chain the builder methods.
+#[derive(Default)]
+pub struct RunOptions<'a> {
+    workers: Option<NonZeroUsize>,
+    seed: u64,
+    resume: Option<&'a Checkpoint>,
+    save: Option<&'a mut dyn FnMut(&Checkpoint)>,
+}
+
+impl<'a> RunOptions<'a> {
+    /// Sets the master seed. Hyper-sample `k` draws from a private stream
+    /// derived from `(seed, k)`; the same seed reproduces the run exactly,
+    /// for any worker count.
+    #[must_use]
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker count (default 1). With more than one worker the
+    /// source factory spawns one source per worker and hyper-samples are
+    /// generated concurrently — committed in index order, so the result is
+    /// bit-identical to a single-worker run with the same seed.
+    #[must_use]
+    pub fn workers(mut self, workers: NonZeroUsize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Resumes from a checkpoint written by an earlier run with the same
+    /// configuration and seed (any worker count).
+    #[must_use]
+    pub fn resume(mut self, checkpoint: &'a Checkpoint) -> Self {
+        self.resume = Some(checkpoint);
+        self
+    }
+
+    /// Invokes `save` with a fresh [`Checkpoint`] after every committed
+    /// hyper-sample; persist it wherever is convenient (the `mpe` CLI
+    /// writes it to the `--checkpoint` path atomically).
+    #[must_use]
+    pub fn save_with(mut self, save: &'a mut dyn FnMut(&Checkpoint)) -> Self {
+        self.save = Some(save);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn worker_count(&self) -> usize {
+        self.workers.map_or(1, NonZeroUsize::get)
+    }
+}
+
+impl Session {
+    /// The configuration.
+    pub fn config(&self) -> &EstimationConfig {
+        &self.config
+    }
+
+    /// The attached telemetry handle (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Runs the iterative procedure (paper Figure 4), spawning one source
+    /// per worker from `factory`.
+    ///
+    /// Every `Clone + Send` [`PowerSource`] is its own factory, so plain
+    /// sources can be passed by reference. Results are bit-identical for
+    /// any worker count under the same seed; a run that reaches the
+    /// hyper-sample cap returns its partial estimate with
+    /// [`RunStatus::BudgetExhausted`](crate::RunStatus::BudgetExhausted)
+    /// rather than an error (use
+    /// [`MaxPowerEstimate::into_converged`] for the strict contract).
+    ///
+    /// # Errors
+    ///
+    /// * [`MaxPowerError::InvalidConfig`] — bad configuration;
+    /// * [`MaxPowerError::CheckpointMismatch`] — a resume checkpoint from a
+    ///   different configuration, seed or schema version;
+    /// * source spawn, hyper-sample and simulation failures, as filtered
+    ///   by the configured [`SamplePolicy`](crate::SamplePolicy) and
+    ///   [`FallbackPolicy`](crate::FallbackPolicy).
+    pub fn run<F: PowerSourceFactory>(
+        &self,
+        factory: &F,
+        mut opts: RunOptions<'_>,
+    ) -> Result<MaxPowerEstimate, MaxPowerError> {
+        let workers = opts.worker_count();
+        let mut noop = |_: &Checkpoint| {};
+        let save: &mut dyn FnMut(&Checkpoint) = match opts.save.take() {
+            Some(save) => save,
+            None => &mut noop,
+        };
+        if workers == 1 {
+            let mut source = factory.spawn_source(0)?;
+            run_sequential(
+                &self.config,
+                &self.telemetry,
+                &mut source,
+                RngDriver::Derived(opts.seed),
+                opts.resume,
+                save,
+            )
+        } else {
+            run_parallel(
+                &self.config,
+                &self.telemetry,
+                factory,
+                workers,
+                opts.seed,
+                opts.resume,
+                save,
+            )
+        }
+    }
+
+    /// Runs against a caller-owned source — the adapter for sources that
+    /// cannot be spawned per worker (non-`Clone` closures, or a fault
+    /// injector whose ledger the caller wants to inspect afterwards).
+    ///
+    /// Single-threaded by construction: the derived-RNG semantics (and so
+    /// the estimate for a given seed) match [`Session::run`] with one
+    /// worker exactly.
+    ///
+    /// # Errors
+    ///
+    /// * [`MaxPowerError::InvalidConfig`] — when `opts` asks for more than
+    ///   one worker, a shared `&mut` source cannot be parallelized;
+    /// * everything [`Session::run`] can raise.
+    pub fn run_source(
+        &self,
+        source: &mut dyn PowerSource,
+        mut opts: RunOptions<'_>,
+    ) -> Result<MaxPowerEstimate, MaxPowerError> {
+        if opts.worker_count() > 1 {
+            return Err(MaxPowerError::InvalidConfig {
+                message: format!(
+                    "run_source is single-threaded (workers = {} requested); \
+                     pass a PowerSourceFactory to Session::run for parallel execution",
+                    opts.worker_count()
+                ),
+            });
+        }
+        let mut noop = |_: &Checkpoint| {};
+        let save: &mut dyn FnMut(&Checkpoint) = match opts.save.take() {
+            Some(save) => save,
+            None => &mut noop,
+        };
+        run_sequential(
+            &self.config,
+            &self.telemetry,
+            source,
+            RngDriver::Derived(opts.seed),
+            opts.resume,
+            save,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FnSource;
+    use rand::{Rng, RngCore};
+
+    fn weibull_source() -> FnSource<impl FnMut(&mut dyn RngCore) -> f64 + Clone> {
+        FnSource::new(|rng: &mut dyn RngCore| {
+            let u: f64 = rng.gen_range(1e-12..1.0f64);
+            10.0 - (-u.ln()).powf(1.0 / 3.0)
+        })
+    }
+
+    #[test]
+    fn run_source_rejects_multiple_workers() {
+        let session = EstimatorBuilder::new(EstimationConfig::default()).build();
+        let mut source = weibull_source();
+        let err = session.run_source(
+            &mut source,
+            RunOptions::default().workers(NonZeroUsize::new(4).unwrap()),
+        );
+        assert!(matches!(err, Err(MaxPowerError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn run_source_matches_single_worker_factory_run() {
+        let session = EstimatorBuilder::new(EstimationConfig::default()).build();
+        let by_factory = session
+            .run(&weibull_source(), RunOptions::default().seeded(7))
+            .unwrap();
+        let mut source = weibull_source();
+        let by_ref = session
+            .run_source(&mut source, RunOptions::default().seeded(7))
+            .unwrap();
+        assert_eq!(
+            format!("{by_factory:?}"),
+            format!("{by_ref:?}"),
+            "factory and &mut paths must share the derived-RNG schedule"
+        );
+    }
+
+    #[test]
+    fn default_options_are_seed_zero_one_worker() {
+        let opts = RunOptions::default();
+        assert_eq!(opts.worker_count(), 1);
+        assert_eq!(opts.seed, 0);
+        assert!(opts.resume.is_none());
+        assert!(opts.save.is_none());
+    }
+}

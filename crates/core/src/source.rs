@@ -39,9 +39,52 @@ pub trait PowerSource {
     fn population_size(&self) -> Option<u64> {
         None
     }
+
+    /// Called by the derived-RNG engine immediately before hyper-sample `k`
+    /// is generated — on whichever worker will generate it.
+    ///
+    /// Stateless sources ignore this (the default). Sources carrying their
+    /// own randomness (e.g. fault injectors) reseed from `k` here so their
+    /// auxiliary streams depend only on the hyper-sample index, keeping
+    /// runs bit-identical for any worker count. The legacy caller-RNG
+    /// stream mode never calls this hook.
+    fn begin_hyper_sample(&mut self, _k: u64) {}
+}
+
+/// Spawns one independent [`PowerSource`] per worker for the parallel
+/// engine.
+///
+/// Every `Clone + Send` source is automatically its own factory (each
+/// worker gets a clone), so `Session::run(&source, …)` works out of the
+/// box for [`SimulatorSource`], [`PopulationSource`] and cloneable
+/// [`FnSource`]s. Implement the trait directly when per-worker setup is
+/// heavier than a clone (opening files, connecting to an external
+/// simulator, …).
+///
+/// Sources are spawned on the coordinating thread before any worker
+/// starts, so neither the factory nor the sources need `Sync`.
+pub trait PowerSourceFactory {
+    /// The per-worker source type.
+    type Source: PowerSource + Send;
+
+    /// Creates the source for worker `worker` (0-based).
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail on resource setup.
+    fn spawn_source(&self, worker: usize) -> Result<Self::Source, MaxPowerError>;
+}
+
+impl<S: PowerSource + Clone + Send> PowerSourceFactory for S {
+    type Source = S;
+
+    fn spawn_source(&self, _worker: usize) -> Result<S, MaxPowerError> {
+        Ok(self.clone())
+    }
 }
 
 /// On-demand simulation source: generator + simulator, no pre-computation.
+#[derive(Debug, Clone)]
 pub struct SimulatorSource<'c> {
     simulator: PowerSimulator<'c>,
     generator: PairGenerator,
@@ -83,6 +126,7 @@ impl PowerSource for SimulatorSource<'_> {
 }
 
 /// Pre-simulated population source (the paper's experimental mode).
+#[derive(Debug, Clone)]
 pub struct PopulationSource<'p> {
     population: &'p Population,
 }
@@ -110,6 +154,7 @@ impl PowerSource for PopulationSource<'_> {
 }
 
 /// Closure-backed source for tests and synthetic studies.
+#[derive(Debug, Clone)]
 pub struct FnSource<F> {
     f: F,
     population_size: Option<u64>,

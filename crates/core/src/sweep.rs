@@ -7,16 +7,14 @@
 //! scales between a quiet bus (activity → 0) and a pathological one
 //! (activity → 1).
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
 use mpe_netlist::Circuit;
 use mpe_sim::{DelayModel, PowerConfig};
 use mpe_vectors::PairGenerator;
 
 use crate::config::EstimationConfig;
 use crate::error::MaxPowerError;
-use crate::estimator::{MaxPowerEstimate, MaxPowerEstimator};
+use crate::estimator::MaxPowerEstimate;
+use crate::session::{EstimatorBuilder, RunOptions};
 use crate::source::SimulatorSource;
 
 /// One point of an activity sweep.
@@ -79,19 +77,21 @@ pub fn sweep_activity(
             });
         }
     }
-    let estimator = MaxPowerEstimator::new(*config);
+    let session = EstimatorBuilder::new(*config).build();
     let mut points = Vec::with_capacity(activities.len());
     for (i, &activity) in activities.iter().enumerate() {
-        let mut source = SimulatorSource::new(
+        let source = SimulatorSource::new(
             circuit,
             PairGenerator::Activity { activity },
             delay,
             PowerConfig::default(),
         );
-        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(i as u64));
+        let opts = RunOptions::default().seeded(seed.wrapping_add(i as u64));
         points.push(SweepPoint {
             activity,
-            result: estimator.run(&mut source, &mut rng),
+            result: session
+                .run(&source, opts)
+                .and_then(MaxPowerEstimate::into_converged),
         });
     }
     Ok(points)

@@ -1,0 +1,234 @@
+//! Determinism acceptance suite for the parallel execution engine: the
+//! same `(config, seed)` must produce byte-identical estimates, checkpoint
+//! sequences and history for **every** worker count, and a run interrupted
+//! mid-parallel must resume to the identical result under a different
+//! worker count.
+
+use std::num::NonZeroUsize;
+
+use maxpower::telemetry::{names, Telemetry};
+use maxpower::{
+    Checkpoint, EstimationConfig, EstimatorBuilder, FaultConfig, FaultInjectingSource, FnSource,
+    RunOptions, SamplePolicy, SimulatorSource,
+};
+use mpe_netlist::{generate, Iscas85};
+use mpe_sim::{DelayModel, PowerConfig};
+use mpe_vectors::PairGenerator;
+use rand::{Rng, RngCore};
+
+fn weibull_source() -> FnSource<impl FnMut(&mut dyn RngCore) -> f64 + Clone + Send> {
+    FnSource::new(|rng: &mut dyn RngCore| {
+        let u: f64 = rng.gen_range(1e-12..1.0f64);
+        10.0 - (-u.ln()).powf(1.0 / 3.0)
+    })
+}
+
+fn workers(n: usize) -> NonZeroUsize {
+    NonZeroUsize::new(n).expect("non-zero worker count")
+}
+
+/// The acceptance criterion verbatim: workers 1, 2 and 8 produce
+/// byte-identical estimates (every field, compared through `Debug`, which
+/// formats the full history and health records).
+#[test]
+fn worker_counts_1_2_8_are_bit_identical() {
+    let session = EstimatorBuilder::new(EstimationConfig::default()).build();
+    let source = weibull_source();
+    let reference = format!(
+        "{:?}",
+        session
+            .run(&source, RunOptions::default().seeded(42))
+            .expect("sequential run converges")
+    );
+    for n in [2usize, 8] {
+        let parallel = format!(
+            "{:?}",
+            session
+                .run(
+                    &source,
+                    RunOptions::default().seeded(42).workers(workers(n)),
+                )
+                .expect("parallel run converges")
+        );
+        assert_eq!(reference, parallel, "workers {n} diverged from workers 1");
+    }
+}
+
+/// The same on a real gate-level simulation source: the paper's deployment
+/// flow parallelized must not change a single bit of the answer.
+#[test]
+fn circuit_run_is_bit_identical_across_worker_counts() {
+    let circuit = generate(Iscas85::C432, 7).expect("circuit generates");
+    let source = SimulatorSource::new(
+        &circuit,
+        PairGenerator::Uniform,
+        DelayModel::Zero,
+        PowerConfig::default(),
+    );
+    let config = EstimationConfig {
+        relative_error: 0.10,
+        min_reading_mw: 0.0,
+        ..EstimationConfig::default()
+    };
+    let session = EstimatorBuilder::new(config).build();
+    let sequential = session
+        .run(&source, RunOptions::default().seeded(11))
+        .expect("sequential run converges");
+    let parallel = session
+        .run(
+            &source,
+            RunOptions::default().seeded(11).workers(workers(4)),
+        )
+        .expect("parallel run converges");
+    assert_eq!(format!("{sequential:?}"), format!("{parallel:?}"));
+}
+
+/// The checkpoint *sequence* — not just the final estimate — is identical
+/// under parallel execution: speculative hyper-samples beyond the stopping
+/// point are discarded, never committed, never checkpointed.
+#[test]
+fn checkpoint_sequence_is_identical_across_worker_counts() {
+    let session = EstimatorBuilder::new(EstimationConfig::default()).build();
+    let source = weibull_source();
+    let record = |n: usize| {
+        let mut cps: Vec<Checkpoint> = Vec::new();
+        let mut save = |cp: &Checkpoint| cps.push(cp.clone());
+        session
+            .run(
+                &source,
+                RunOptions::default()
+                    .seeded(7)
+                    .workers(workers(n))
+                    .save_with(&mut save),
+            )
+            .expect("run converges");
+        cps
+    };
+    let sequential = record(1);
+    let parallel = record(4);
+    assert!(!sequential.is_empty());
+    assert_eq!(sequential, parallel, "checkpoint sequences diverged");
+}
+
+/// A run killed mid-parallel and resumed under a *different* worker count
+/// still lands on the uninterrupted run's exact result: the checkpoint
+/// carries no execution-shape state, only committed statistics.
+#[test]
+fn mid_parallel_checkpoint_resumes_under_different_worker_count() {
+    let session = EstimatorBuilder::new(EstimationConfig::default()).build();
+    let source = weibull_source();
+
+    let mut cps: Vec<Checkpoint> = Vec::new();
+    let mut save = |cp: &Checkpoint| cps.push(cp.clone());
+    let full = session
+        .run(
+            &source,
+            RunOptions::default()
+                .seeded(21)
+                .workers(workers(4))
+                .save_with(&mut save),
+        )
+        .expect("parallel reference run converges");
+    assert!(cps.len() >= 2, "need a mid-run checkpoint to resume from");
+    let mid = &cps[cps.len() / 2];
+
+    for n in [1usize, 2, 8] {
+        let resumed = session
+            .run(
+                &source,
+                RunOptions::default()
+                    .seeded(21)
+                    .workers(workers(n))
+                    .resume(mid),
+            )
+            .expect("resumed run converges");
+        assert_eq!(
+            format!("{full:?}"),
+            format!("{resumed:?}"),
+            "resume under {n} workers diverged"
+        );
+    }
+}
+
+/// The deprecated checkpoint entry point and the session API share the
+/// derived-RNG schedule: migrating a caller cannot change its numbers.
+#[test]
+#[allow(deprecated)]
+fn legacy_checkpoint_api_matches_session_run() {
+    use maxpower::MaxPowerEstimator;
+
+    let config = EstimationConfig::default();
+    let mut source = weibull_source();
+    let legacy = MaxPowerEstimator::new(config)
+        .run_with_checkpoint(&mut source, 5, None, &mut |_| {})
+        .expect("legacy run converges");
+    let session = EstimatorBuilder::new(config).build();
+    let modern = session
+        .run(&weibull_source(), RunOptions::default().seeded(5))
+        .expect("session run converges");
+    assert_eq!(format!("{legacy:?}"), format!("{modern:?}"));
+}
+
+/// Fault injection composes with parallelism: the injector reseeds its
+/// fault stream per hyper-sample index, so the fault schedule — and with
+/// it the estimate and health ledger — is identical for any worker count.
+#[test]
+fn fault_injected_parallel_run_is_deterministic() {
+    let faults = FaultConfig {
+        seed: 13,
+        error_rate: 0.05,
+        nan_rate: 0.01,
+        ..FaultConfig::default()
+    };
+    let factory = FaultInjectingSource::new(weibull_source(), faults).expect("valid fault mix");
+    let config = EstimationConfig {
+        sample_policy: SamplePolicy::Skip {
+            max_discarded: 10_000,
+        },
+        ..EstimationConfig::default()
+    };
+    let session = EstimatorBuilder::new(config).build();
+    let sequential = session
+        .run(&factory, RunOptions::default().seeded(3))
+        .expect("sequential faulted run converges");
+    let parallel = session
+        .run(
+            &factory,
+            RunOptions::default().seeded(3).workers(workers(3)),
+        )
+        .expect("parallel faulted run converges");
+    assert_eq!(format!("{sequential:?}"), format!("{parallel:?}"));
+    assert!(
+        sequential.health.source_errors > 0 || sequential.health.samples_discarded > 0,
+        "fault mix never fired — the test is vacuous"
+    );
+}
+
+/// Parallel runs attribute their work to per-worker telemetry lanes; the
+/// committed accounting stays identical while the per-worker counters sum
+/// to at least the committed hyper-samples (speculative work included).
+#[test]
+fn parallel_telemetry_attributes_work_to_worker_lanes() {
+    let telemetry = Telemetry::enabled();
+    let session = EstimatorBuilder::new(EstimationConfig::default())
+        .telemetry(telemetry.clone())
+        .build();
+    let est = session
+        .run(
+            &weibull_source(),
+            RunOptions::default().seeded(9).workers(workers(3)),
+        )
+        .expect("parallel run converges");
+    telemetry.flush();
+    let snap = telemetry.snapshot();
+    let per_worker: u64 = (0..3)
+        .map(|w| snap.counter(&names::worker_hyper_samples(w)))
+        .sum();
+    assert!(
+        per_worker >= est.hyper_samples as u64,
+        "workers generated {per_worker} hyper-samples, committed {}",
+        est.hyper_samples
+    );
+    // Committed accounting is execution-independent even with telemetry on.
+    assert_eq!(snap.counter(names::HYPER_SAMPLES), est.hyper_samples as u64);
+}

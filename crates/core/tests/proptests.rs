@@ -2,6 +2,7 @@
 
 use maxpower::{
     generate_hyper_sample, srs_max_estimate, srs_theoretical_units, EstimationConfig, FnSource,
+    HyperSampleContext,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -25,11 +26,12 @@ proptest! {
         let mut source = FnSource::new(bounded_source(mu));
         let config = EstimationConfig::default();
         let mut rng = SmallRng::seed_from_u64(seed);
-        let h = generate_hyper_sample(&mut source, &config, &mut rng).unwrap();
+        let h = generate_hyper_sample(&mut source, &HyperSampleContext::new(&config), &mut rng).unwrap();
         prop_assert!(h.estimate_mw >= h.observed_max);
         prop_assert_eq!(h.units_used, 300);
         prop_assert_eq!(h.sample_maxima.len(), 10);
-        prop_assert!(h.fit.distribution.mu() > h.fit.sample_max);
+        let fit = h.fit.as_ref().expect("clean source yields a fit");
+        prop_assert!(fit.distribution.mu() > fit.sample_max);
         // Shift equivariance of the whole pipeline: the estimate tracks mu.
         prop_assert!((h.estimate_mw - mu).abs() < 3.0);
     }
@@ -45,7 +47,7 @@ proptest! {
                 ..EstimationConfig::default()
             };
             let mut rng = SmallRng::seed_from_u64(seed);
-            generate_hyper_sample(&mut source, &config, &mut rng)
+            generate_hyper_sample(&mut source, &HyperSampleContext::new(&config), &mut rng)
                 .unwrap()
                 .estimate_mw
         };

@@ -3,14 +3,14 @@
 //! the checkpoint/resume contract under interruption.
 
 use maxpower::{
-    EstimationConfig, EstimatorKind, FaultConfig, FaultInjectingSource, FnSource, MaxPowerError,
-    MaxPowerEstimator, RunStatus, SamplePolicy, SimulatorSource,
+    Checkpoint, EstimationConfig, EstimatorBuilder, EstimatorKind, FaultConfig,
+    FaultInjectingSource, FnSource, MaxPowerError, RunOptions, RunStatus, SamplePolicy,
+    SimulatorSource,
 };
 use mpe_netlist::{generate, Iscas85};
 use mpe_sim::{DelayModel, PowerConfig};
 use mpe_vectors::PairGenerator;
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+use rand::{Rng, RngCore};
 
 fn weibull_source(alpha: f64, beta: f64, mu: f64) -> impl FnMut(&mut dyn RngCore) -> f64 {
     move |rng: &mut dyn RngCore| {
@@ -50,9 +50,9 @@ fn fault_injected_circuit_run_converges_with_exact_accounting() {
         min_reading_mw: 0.0,
         ..EstimationConfig::default()
     };
-    let mut rng = SmallRng::seed_from_u64(5);
-    let r = MaxPowerEstimator::new(config)
-        .run(&mut source, &mut rng)
+    let r = EstimatorBuilder::new(config)
+        .build()
+        .run_source(&mut source, RunOptions::default().seeded(5))
         .expect("run survives the fault mix");
 
     // Despite ~11% of calls being faulted, the run converges without
@@ -102,9 +102,9 @@ fn fault_injection_does_not_bias_the_estimate() {
             },
             ..EstimationConfig::default()
         };
-        let mut rng = SmallRng::seed_from_u64(21);
-        MaxPowerEstimator::new(config)
-            .run(&mut source, &mut rng)
+        EstimatorBuilder::new(config)
+            .build()
+            .run_source(&mut source, RunOptions::default().seeded(21))
             .unwrap()
     };
     let clean = run(false);
@@ -129,9 +129,8 @@ fn nan_source_fails_fast_under_default_policy() {
             5.0 + r.gen::<f64>()
         }
     });
-    let est = MaxPowerEstimator::new(EstimationConfig::default());
-    let mut rng = SmallRng::seed_from_u64(1);
-    match est.run(&mut source, &mut rng) {
+    let session = EstimatorBuilder::new(EstimationConfig::default()).build();
+    match session.run_source(&mut source, RunOptions::default().seeded(1)) {
         Err(MaxPowerError::InvalidReading { value_mw }) => assert!(value_mw.is_nan()),
         other => panic!("expected InvalidReading, got {other:?}"),
     }
@@ -149,9 +148,8 @@ fn infinite_reading_fails_fast_under_default_policy() {
             5.0 + r.gen::<f64>()
         }
     });
-    let est = MaxPowerEstimator::new(EstimationConfig::default());
-    let mut rng = SmallRng::seed_from_u64(2);
-    match est.run(&mut source, &mut rng) {
+    let session = EstimatorBuilder::new(EstimationConfig::default()).build();
+    match session.run_source(&mut source, RunOptions::default().seeded(2)) {
         Err(MaxPowerError::InvalidReading { value_mw }) => {
             assert_eq!(value_mw, f64::INFINITY)
         }
@@ -168,10 +166,9 @@ fn negative_readings_gated_by_min_reading_floor() {
     let make = || FnSource::new(weibull_source(3.0, 1.0, -5.0));
 
     let mut source = make();
-    let est = MaxPowerEstimator::new(EstimationConfig::default());
-    let mut rng = SmallRng::seed_from_u64(3);
-    let r = est
-        .run(&mut source, &mut rng)
+    let session = EstimatorBuilder::new(EstimationConfig::default()).build();
+    let r = session
+        .run_source(&mut source, RunOptions::default().seeded(3))
         .expect("negatives valid by default");
     assert!(r.status.met_target());
     assert!((r.estimate_mw - (-5.0)).abs() < 0.5, "{}", r.estimate_mw);
@@ -181,8 +178,8 @@ fn negative_readings_gated_by_min_reading_floor() {
         min_reading_mw: 0.0,
         ..EstimationConfig::default()
     };
-    let mut rng = SmallRng::seed_from_u64(3);
-    match MaxPowerEstimator::new(config).run(&mut source, &mut rng) {
+    let session = EstimatorBuilder::new(config).build();
+    match session.run_source(&mut source, RunOptions::default().seeded(3)) {
         Err(MaxPowerError::InvalidReading { value_mw }) => assert!(value_mw < 0.0),
         other => panic!("expected InvalidReading, got {other:?}"),
     }
@@ -201,9 +198,9 @@ fn intermittent_errors_survive_retry_policy() {
         sample_policy: SamplePolicy::Retry { max_attempts: 10 },
         ..EstimationConfig::default()
     };
-    let mut rng = SmallRng::seed_from_u64(4);
-    let r = MaxPowerEstimator::new(config)
-        .run(&mut source, &mut rng)
+    let r = EstimatorBuilder::new(config)
+        .build()
+        .run_source(&mut source, RunOptions::default().seeded(4))
         .expect("retry policy rides out a 20% error rate");
     assert_eq!(r.status, RunStatus::Converged);
     assert!(r.health.source_errors > 0);
@@ -227,9 +224,9 @@ fn dead_source_exhausts_retry_policy_with_its_own_error() {
         sample_policy: SamplePolicy::Retry { max_attempts: 3 },
         ..EstimationConfig::default()
     };
-    let mut rng = SmallRng::seed_from_u64(5);
+    let session = EstimatorBuilder::new(config).build();
     // The propagated error is the source's own, not a policy wrapper.
-    match MaxPowerEstimator::new(config).run(&mut source, &mut rng) {
+    match session.run_source(&mut source, RunOptions::default().seeded(5)) {
         Err(MaxPowerError::Source { message }) => {
             assert!(message.contains("injected"), "{message}")
         }
@@ -244,8 +241,8 @@ fn garbage_source_exhausts_skip_policy_cap() {
         sample_policy: SamplePolicy::Skip { max_discarded: 50 },
         ..EstimationConfig::default()
     };
-    let mut rng = SmallRng::seed_from_u64(6);
-    match MaxPowerEstimator::new(config).run(&mut source, &mut rng) {
+    let session = EstimatorBuilder::new(config).build();
+    match session.run_source(&mut source, RunOptions::default().seeded(6)) {
         Err(MaxPowerError::SamplePolicyExhausted {
             policy,
             count,
@@ -278,15 +275,17 @@ fn killed_and_resumed_circuit_run_matches_uninterrupted() {
         min_reading_mw: 0.0,
         ..EstimationConfig::default()
     };
-    let est = MaxPowerEstimator::new(config);
+    let session = EstimatorBuilder::new(config).build();
 
     // The uninterrupted reference run, recording every checkpoint.
     let mut checkpoints = Vec::new();
     let mut source = make_source();
-    let full = est
-        .run_with_checkpoint(&mut source, 42, None, &mut |cp| {
-            checkpoints.push(cp.clone())
-        })
+    let mut record = |cp: &Checkpoint| checkpoints.push(cp.clone());
+    let full = session
+        .run_source(
+            &mut source,
+            RunOptions::default().seeded(42).save_with(&mut record),
+        )
         .expect("reference run converges");
     assert!(full.hyper_samples >= 2);
     assert_eq!(checkpoints.len(), full.hyper_samples);
@@ -296,8 +295,8 @@ fn killed_and_resumed_circuit_run_matches_uninterrupted() {
     // final estimate is bit-identical.
     let cp = &checkpoints[0];
     let mut source = make_source();
-    let resumed = est
-        .run_with_checkpoint(&mut source, 42, Some(cp), &mut |_| {})
+    let resumed = session
+        .run_source(&mut source, RunOptions::default().seeded(42).resume(cp))
         .expect("resumed run converges");
     assert_eq!(resumed.estimate_mw, full.estimate_mw);
     assert_eq!(resumed.confidence_interval, full.confidence_interval);

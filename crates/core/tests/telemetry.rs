@@ -4,11 +4,10 @@
 //! and cumulative metrics across checkpoint/resume.
 
 use maxpower::telemetry::{names, replay, JsonlSink, SharedBuffer, SpanKind, Telemetry};
-use maxpower::{Checkpoint, EstimationConfig, FnSource, MaxPowerEstimator, RunStatus};
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+use maxpower::{Checkpoint, EstimationConfig, EstimatorBuilder, FnSource, RunOptions, RunStatus};
+use rand::{Rng, RngCore};
 
-fn weibull_source(alpha: f64, beta: f64, mu: f64) -> impl FnMut(&mut dyn RngCore) -> f64 {
+fn weibull_source(alpha: f64, beta: f64, mu: f64) -> impl FnMut(&mut dyn RngCore) -> f64 + Clone {
     move |rng: &mut dyn RngCore| {
         let u: f64 = rng.gen_range(1e-12..1.0f64);
         mu - (-u.ln() / beta).powf(1.0 / alpha)
@@ -19,11 +18,13 @@ fn traced_run(seed: u64) -> (maxpower::MaxPowerEstimate, Telemetry, SharedBuffer
     let telemetry = Telemetry::enabled();
     let buf = SharedBuffer::new();
     telemetry.add_sink(Box::new(JsonlSink::new(buf.clone())));
-    let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
-    let estimator =
-        MaxPowerEstimator::new(EstimationConfig::default()).with_telemetry(telemetry.clone());
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let estimate = estimator.run(&mut source, &mut rng).expect("run converges");
+    let source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
+    let session = EstimatorBuilder::new(EstimationConfig::default())
+        .telemetry(telemetry.clone())
+        .build();
+    let estimate = session
+        .run(&source, RunOptions::default().seeded(seed))
+        .expect("run converges");
     telemetry.flush();
     (estimate, telemetry, buf)
 }
@@ -102,11 +103,13 @@ fn ci_half_width_series_is_monotone_for_fixed_seed() {
 #[test]
 fn telemetry_does_not_perturb_the_estimate() {
     let run = |telemetry: Telemetry| {
-        let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
-        let estimator =
-            MaxPowerEstimator::new(EstimationConfig::default()).with_telemetry(telemetry);
-        let mut rng = SmallRng::seed_from_u64(42);
-        estimator.run(&mut source, &mut rng).expect("run converges")
+        let source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
+        let session = EstimatorBuilder::new(EstimationConfig::default())
+            .telemetry(telemetry)
+            .build();
+        session
+            .run(&source, RunOptions::default().seeded(42))
+            .expect("run converges")
     };
     let silent = run(Telemetry::disabled());
     let traced = run(Telemetry::enabled());
@@ -129,23 +132,31 @@ fn resumed_run_telemetry_accumulates_across_segments() {
 
     // Uninterrupted reference run.
     let full_telemetry = Telemetry::enabled();
-    let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
-    let full = MaxPowerEstimator::new(config)
-        .with_telemetry(full_telemetry.clone())
-        .run_with_checkpoint(&mut source, master_seed, None, &mut |_| {})
+    let source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
+    let full = EstimatorBuilder::new(config)
+        .telemetry(full_telemetry.clone())
+        .build()
+        .run(&source, RunOptions::default().seeded(master_seed))
         .expect("reference run converges");
 
     // Interrupted run: capture the checkpoint written after k = 2.
     let first_telemetry = Telemetry::enabled();
-    let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
+    let source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
     let mut at_two: Option<Checkpoint> = None;
-    MaxPowerEstimator::new(config)
-        .with_telemetry(first_telemetry.clone())
-        .run_with_checkpoint(&mut source, master_seed, None, &mut |cp| {
-            if cp.hyper_samples() == 2 {
-                at_two = Some(cp.clone());
-            }
-        })
+    let mut save = |cp: &Checkpoint| {
+        if cp.hyper_samples() == 2 {
+            at_two = Some(cp.clone());
+        }
+    };
+    EstimatorBuilder::new(config)
+        .telemetry(first_telemetry.clone())
+        .build()
+        .run(
+            &source,
+            RunOptions::default()
+                .seeded(master_seed)
+                .save_with(&mut save),
+        )
         .expect("first segment converges");
     let cp = at_two.expect("checkpoint at k = 2 captured");
     let summary = cp.telemetry.as_ref().expect("checkpoint carries telemetry");
@@ -153,10 +164,14 @@ fn resumed_run_telemetry_accumulates_across_segments() {
 
     // Resumed segment with a *fresh* telemetry handle.
     let resumed_telemetry = Telemetry::enabled();
-    let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
-    let resumed = MaxPowerEstimator::new(config)
-        .with_telemetry(resumed_telemetry.clone())
-        .run_with_checkpoint(&mut source, master_seed, Some(&cp), &mut |_| {})
+    let source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
+    let resumed = EstimatorBuilder::new(config)
+        .telemetry(resumed_telemetry.clone())
+        .build()
+        .run(
+            &source,
+            RunOptions::default().seeded(master_seed).resume(&cp),
+        )
         .expect("resumed run converges");
 
     // The estimate itself is bit-identical (existing contract) …

@@ -38,6 +38,11 @@ pub struct CycleReport {
 ///    **every** output transition (so reconvergent glitches contribute,
 ///    exactly the effect zero-delay techniques miss);
 /// 4. power = `½·Vdd²·f·Σ C_node · toggles_node`.
+///
+/// The simulator is `Clone` (the precomputed tables are copied, the
+/// circuit reference is shared), so parallel estimation can hand each
+/// worker its own engine.
+#[derive(Debug, Clone)]
 pub struct PowerSimulator<'c> {
     circuit: &'c Circuit,
     delay: DelayModel,

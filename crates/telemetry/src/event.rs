@@ -111,6 +111,13 @@ pub struct EventRecord {
     pub seq: u64,
     /// Nanoseconds since the telemetry handle's epoch (monotonic clock).
     pub t_ns: u64,
+    /// Worker lane that emitted the event (`None` for the coordinator /
+    /// single-threaded pipeline). Stamped by worker-scoped handles from
+    /// [`Telemetry::for_worker`](crate::Telemetry::for_worker); spans from
+    /// different lanes may interleave in the trace but each lane nests on
+    /// its own. Encoded as an optional `"worker"` field, so v1 consumers
+    /// that ignore unknown fields keep working.
+    pub worker: Option<u64>,
     /// The event payload.
     pub kind: EventKind,
 }
@@ -185,6 +192,9 @@ impl EventRecord {
                 push_json_f64(&mut s, *value);
             }
         }
+        if let Some(worker) = self.worker {
+            let _ = write!(s, ",\"worker\":{worker}");
+        }
         s.push('}');
         s
     }
@@ -227,6 +237,15 @@ impl EventRecord {
         }
         let seq = as_u64("seq")?;
         let t_ns = as_u64("t_ns")?;
+        let worker = match fields.iter().find(|(k, _)| k == "worker") {
+            None => None,
+            Some((_, JsonValue::Number(n))) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            Some((_, other)) => {
+                return Err(format!(
+                    "field `worker` is not a non-negative integer: {other:?}"
+                ))
+            }
+        };
         let kind = match as_str("type")? {
             "span_start" => {
                 let label = as_str("span")?;
@@ -264,7 +283,12 @@ impl EventRecord {
             }
             other => return Err(format!("unknown event type `{other}`")),
         };
-        Ok(EventRecord { seq, t_ns, kind })
+        Ok(EventRecord {
+            seq,
+            t_ns,
+            worker,
+            kind,
+        })
     }
 }
 
@@ -398,6 +422,7 @@ mod tests {
             EventRecord {
                 seq: 0,
                 t_ns: 12,
+                worker: None,
                 kind: EventKind::SpanStart {
                     span: SpanKind::Run,
                     id: 0,
@@ -406,6 +431,7 @@ mod tests {
             EventRecord {
                 seq: 1,
                 t_ns: 99,
+                worker: None,
                 kind: EventKind::Counter {
                     name: "vector_pairs_simulated".to_string(),
                     delta: 300,
@@ -414,6 +440,7 @@ mod tests {
             EventRecord {
                 seq: 2,
                 t_ns: 100,
+                worker: None,
                 kind: EventKind::Gauge {
                     name: "running_mean_mw".to_string(),
                     value: 9.875,
@@ -422,6 +449,7 @@ mod tests {
             EventRecord {
                 seq: 3,
                 t_ns: 110,
+                worker: None,
                 kind: EventKind::SpanEnd {
                     span: SpanKind::Run,
                     id: 0,
@@ -442,6 +470,7 @@ mod tests {
         let r = EventRecord {
             seq: 7,
             t_ns: 1,
+            worker: None,
             kind: EventKind::Gauge {
                 name: "ci_relative_half_width".to_string(),
                 value: f64::INFINITY,
@@ -462,6 +491,7 @@ mod tests {
             let r = EventRecord {
                 seq: 0,
                 t_ns: 0,
+                worker: None,
                 kind: EventKind::Gauge {
                     name: "g".to_string(),
                     value: v,
@@ -478,10 +508,34 @@ mod tests {
     }
 
     #[test]
+    fn worker_attribute_roundtrips_and_stays_optional() {
+        let r = EventRecord {
+            seq: 4,
+            t_ns: 9,
+            worker: Some(2),
+            kind: EventKind::SpanStart {
+                span: SpanKind::HyperSample,
+                id: 11,
+            },
+        };
+        let line = r.to_json_line();
+        assert!(line.contains("\"worker\":2"), "{line}");
+        assert_eq!(EventRecord::parse_json_line(&line).unwrap(), r);
+        // Untagged lines (all pre-existing traces) parse to `None`.
+        let plain =
+            "{\"v\":1,\"seq\":0,\"t_ns\":0,\"type\":\"span_start\",\"span\":\"run\",\"id\":0}";
+        assert_eq!(EventRecord::parse_json_line(plain).unwrap().worker, None);
+        // A mistyped worker field is rejected.
+        let bad = "{\"v\":1,\"seq\":0,\"t_ns\":0,\"type\":\"counter\",\"name\":\"c\",\"delta\":1,\"worker\":\"x\"}";
+        assert!(EventRecord::parse_json_line(bad).is_err());
+    }
+
+    #[test]
     fn string_escapes_survive() {
         let r = EventRecord {
             seq: 0,
             t_ns: 0,
+            worker: None,
             kind: EventKind::Counter {
                 name: "weird \"name\"\\with\nescapes".to_string(),
                 delta: 1,

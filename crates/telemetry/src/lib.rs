@@ -98,6 +98,17 @@ pub mod names {
     pub const CI_HALF_WIDTH_MW: &str = "ci_half_width_mw";
     /// Gauge: half-width relative to the running mean (stopping metric).
     pub const CI_RELATIVE_HALF_WIDTH: &str = "ci_relative_half_width";
+
+    /// Counter name for hyper-samples generated by one worker of the
+    /// parallel execution engine (e.g. `worker_2_hyper_samples`). Unlike
+    /// [`HYPER_SAMPLES`] — which counts *committed* hyper-samples in
+    /// deterministic order — per-worker counters include speculative
+    /// hyper-samples discarded at the stopping point, so their sum may
+    /// exceed [`HYPER_SAMPLES`].
+    #[must_use]
+    pub fn worker_hyper_samples(worker: usize) -> String {
+        format!("worker_{worker}_hyper_samples")
+    }
 }
 
 struct Inner {
@@ -116,6 +127,9 @@ struct Inner {
 #[derive(Clone, Default)]
 pub struct Telemetry {
     inner: Option<Arc<Inner>>,
+    /// Worker lane stamped onto every event emitted through this handle
+    /// (see [`Telemetry::for_worker`]).
+    worker: Option<u64>,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -130,7 +144,10 @@ impl Telemetry {
     /// An inert handle: every emit is a no-op.
     #[must_use]
     pub fn disabled() -> Self {
-        Telemetry { inner: None }
+        Telemetry {
+            inner: None,
+            worker: None,
+        }
     }
 
     /// A live handle with an empty sink list; events still aggregate into
@@ -145,6 +162,7 @@ impl Telemetry {
                 registry: MetricsRegistry::new(),
                 sinks: Mutex::new(Vec::new()),
             })),
+            worker: None,
         }
     }
 
@@ -152,6 +170,24 @@ impl Telemetry {
     #[must_use]
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// A handle sharing this bus whose every event carries `worker` as its
+    /// lane attribute. The parallel execution engine hands one such handle
+    /// to each worker thread, so interleaved spans in a trace can be
+    /// untangled per lane (and [`replay`] validates nesting lane by lane).
+    #[must_use]
+    pub fn for_worker(&self, worker: u64) -> Telemetry {
+        Telemetry {
+            inner: self.inner.clone(),
+            worker: Some(worker),
+        }
+    }
+
+    /// The worker lane this handle stamps onto events, if any.
+    #[must_use]
+    pub fn worker(&self) -> Option<u64> {
+        self.worker
     }
 
     /// Attaches a sink. No-op on a disabled handle.
@@ -170,6 +206,7 @@ impl Telemetry {
             let record = EventRecord {
                 seq: inner.seq.fetch_add(1, Ordering::Relaxed),
                 t_ns: inner.epoch.elapsed().as_nanos() as u64,
+                worker: self.worker,
                 kind,
             };
             inner.registry.record(&record);
@@ -396,6 +433,33 @@ mod tests {
         assert_eq!(snap.counter(names::VECTOR_PAIRS_SIMULATED), 900);
         assert_eq!(snap.phase(SpanKind::HyperSample).count, 2);
         assert_eq!(snap.phase(SpanKind::HyperSample).total_ns, 1_000);
+    }
+
+    #[test]
+    fn worker_handles_tag_events_and_share_the_bus() {
+        let t = Telemetry::enabled();
+        let buf = SharedBuffer::new();
+        t.add_sink(Box::new(JsonlSink::new(buf.clone())));
+        assert_eq!(t.worker(), None);
+        let w = t.for_worker(3);
+        assert_eq!(w.worker(), Some(3));
+        {
+            let _run = t.span(SpanKind::Run);
+            let _hyper = w.span(SpanKind::HyperSample);
+            w.counter(names::VECTOR_PAIRS_SIMULATED, 300);
+        }
+        t.flush();
+        // Shared bus: both handles' events aggregate together.
+        assert_eq!(t.snapshot().counter(names::VECTOR_PAIRS_SIMULATED), 300);
+        let text = buf.contents();
+        let records: Vec<EventRecord> = text
+            .lines()
+            .map(|l| EventRecord::parse_json_line(l).expect(l))
+            .collect();
+        assert_eq!(records.len(), 5);
+        let workers: Vec<Option<u64>> = records.iter().map(|r| r.worker).collect();
+        assert!(workers.contains(&Some(3)) && workers.contains(&None));
+        replay(text.lines()).expect("worker-tagged trace must replay");
     }
 
     #[test]

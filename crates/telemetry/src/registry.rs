@@ -265,6 +265,7 @@ mod tests {
         EventRecord {
             seq: 0,
             t_ns: 0,
+            worker: None,
             kind,
         }
     }

@@ -72,9 +72,14 @@ impl TraceSummary {
 /// * every line parses under the current schema version;
 /// * `seq` is strictly increasing;
 /// * every `span_end` matches an open `span_start` with the same id *and*
-///   kind, and ends are properly nested (LIFO) — the pipeline is
-///   single-threaded per run;
+///   kind, and ends are properly nested (LIFO) **within each worker
+///   lane** — each thread of the pipeline is sequential, but events of
+///   different lanes (the optional `worker` attribute; absent means the
+///   coordinator lane) may interleave freely in a parallel run's trace;
 /// * no span is left open at end of trace.
+///
+/// [`TraceSummary::max_depth`] is the deepest nesting observed in any
+/// single lane.
 ///
 /// # Errors
 ///
@@ -84,7 +89,8 @@ where
     I: IntoIterator<Item = &'a str>,
 {
     let registry = MetricsRegistry::new();
-    let mut open: Vec<(SpanKind, u64)> = Vec::new();
+    // One LIFO stack of open spans per lane (`None` = coordinator lane).
+    let mut open: BTreeMap<Option<u64>, Vec<(SpanKind, u64)>> = BTreeMap::new();
     let mut seen_ids: BTreeMap<u64, SpanKind> = BTreeMap::new();
     let mut last_seq: Option<u64> = None;
     let mut events = 0usize;
@@ -116,34 +122,38 @@ where
                         message: format!("span id {id} started twice"),
                     });
                 }
-                open.push((*span, *id));
-                max_depth = max_depth.max(open.len());
+                let lane = open.entry(record.worker).or_default();
+                lane.push((*span, *id));
+                max_depth = max_depth.max(lane.len());
             }
-            EventKind::SpanEnd { span, id, .. } => match open.pop() {
-                Some((open_span, open_id)) if open_span == *span && open_id == *id => {}
-                Some((open_span, open_id)) => {
-                    return Err(TraceError {
-                        line: lineno,
-                        message: format!(
-                            "span_end {}#{id} does not match innermost open span {}#{open_id}",
-                            span.label(),
-                            open_span.label()
-                        ),
-                    });
+            EventKind::SpanEnd { span, id, .. } => {
+                let lane = open.entry(record.worker).or_default();
+                match lane.pop() {
+                    Some((open_span, open_id)) if open_span == *span && open_id == *id => {}
+                    Some((open_span, open_id)) => {
+                        return Err(TraceError {
+                            line: lineno,
+                            message: format!(
+                                "span_end {}#{id} does not match innermost open span {}#{open_id}",
+                                span.label(),
+                                open_span.label()
+                            ),
+                        });
+                    }
+                    None => {
+                        return Err(TraceError {
+                            line: lineno,
+                            message: format!("span_end {}#{id} with no open span", span.label()),
+                        });
+                    }
                 }
-                None => {
-                    return Err(TraceError {
-                        line: lineno,
-                        message: format!("span_end {}#{id} with no open span", span.label()),
-                    });
-                }
-            },
+            }
             EventKind::Counter { .. } | EventKind::Gauge { .. } => {}
         }
         registry.record(&record);
         events += 1;
     }
-    if let Some((span, id)) = open.last() {
+    if let Some((span, id)) = open.values().find_map(|lane| lane.last()) {
         return Err(TraceError {
             line: 0,
             message: format!("span {}#{id} never ended", span.label()),
@@ -221,6 +231,68 @@ mod tests {
             line(
                 2,
                 "\"type\":\"span_end\",\"span\":\"run\",\"id\":0,\"elapsed_ns\":1",
+            ),
+        ];
+        let err = replay(lines.iter().map(String::as_str)).unwrap_err();
+        assert!(err.message.contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn interleaved_worker_lanes_validate() {
+        // Two workers' hyper-sample spans cross each other in trace order,
+        // but each lane nests on its own — valid for a parallel run.
+        let lines = [
+            line(0, "\"type\":\"span_start\",\"span\":\"run\",\"id\":0"),
+            line(
+                1,
+                "\"type\":\"span_start\",\"span\":\"hyper_sample\",\"id\":1,\"worker\":0",
+            ),
+            line(
+                2,
+                "\"type\":\"span_start\",\"span\":\"hyper_sample\",\"id\":2,\"worker\":1",
+            ),
+            line(
+                3,
+                "\"type\":\"span_start\",\"span\":\"fit\",\"id\":3,\"worker\":0",
+            ),
+            line(
+                4,
+                "\"type\":\"span_end\",\"span\":\"fit\",\"id\":3,\"elapsed_ns\":5,\"worker\":0",
+            ),
+            line(
+                5,
+                "\"type\":\"span_end\",\"span\":\"hyper_sample\",\"id\":1,\"elapsed_ns\":9,\"worker\":0",
+            ),
+            line(
+                6,
+                "\"type\":\"span_end\",\"span\":\"hyper_sample\",\"id\":2,\"elapsed_ns\":9,\"worker\":1",
+            ),
+            line(
+                7,
+                "\"type\":\"span_end\",\"span\":\"run\",\"id\":0,\"elapsed_ns\":20",
+            ),
+        ];
+        let summary = replay(lines.iter().map(String::as_str)).unwrap();
+        assert_eq!(summary.events, 8);
+        // Deepest single lane: worker 0's hyper_sample + fit.
+        assert_eq!(summary.max_depth, 2);
+        assert_eq!(summary.metrics.phase(SpanKind::HyperSample).count, 2);
+    }
+
+    #[test]
+    fn crossed_spans_within_one_lane_rejected() {
+        let lines = [
+            line(
+                0,
+                "\"type\":\"span_start\",\"span\":\"hyper_sample\",\"id\":0,\"worker\":3",
+            ),
+            line(
+                1,
+                "\"type\":\"span_start\",\"span\":\"fit\",\"id\":1,\"worker\":3",
+            ),
+            line(
+                2,
+                "\"type\":\"span_end\",\"span\":\"hyper_sample\",\"id\":0,\"elapsed_ns\":1,\"worker\":3",
             ),
         ];
         let err = replay(lines.iter().map(String::as_str)).unwrap_err();

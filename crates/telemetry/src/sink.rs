@@ -200,6 +200,7 @@ mod tests {
         EventRecord {
             seq,
             t_ns: seq,
+            worker: None,
             kind,
         }
     }

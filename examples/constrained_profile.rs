@@ -9,11 +9,10 @@
 //!
 //! Run with: `cargo run --release --example constrained_profile`
 
-use maxpower::{EstimationConfig, MaxPowerEstimator, SimulatorSource};
+use maxpower::{EstimationConfig, EstimatorBuilder, RunOptions, SimulatorSource};
 use mpe_netlist::{generate, Iscas85};
 use mpe_sim::{DelayModel, PowerConfig};
 use mpe_vectors::{PairGenerator, TransitionSpec};
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = generate(Iscas85::C880, 7)?; // 60 inputs: an 8-bit ALU profile
@@ -41,14 +40,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let report =
         |label: &str, generator: PairGenerator| -> Result<f64, Box<dyn std::error::Error>> {
-            let mut source = SimulatorSource::new(
+            let source = SimulatorSource::new(
                 &circuit,
                 generator,
                 DelayModel::Unit,
                 PowerConfig::default(),
             );
-            let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
-            let estimate = MaxPowerEstimator::new(config).run(&mut source, &mut rng)?;
+            let session = EstimatorBuilder::new(config).build();
+            let estimate = session.run(&source, RunOptions::default().seeded(11))?;
             println!(
                 "{label:<28} max ≈ {:>7.3} mW ±{:.1}%  ({} vector pairs)",
                 estimate.estimate_mw,

@@ -7,11 +7,10 @@
 //!
 //! Run with: `cargo run --release --example custom_circuit`
 
-use maxpower::{EstimationConfig, MaxPowerEstimator, SimulatorSource};
+use maxpower::{EstimationConfig, EstimatorBuilder, RunOptions, SimulatorSource};
 use mpe_netlist::bench_format;
 use mpe_sim::{DelayModel, PowerConfig};
 use mpe_vectors::PairGenerator;
-use rand::SeedableRng;
 
 const C17_BENCH: &str = "\
 # c17 — smallest ISCAS85 benchmark
@@ -41,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // c17 has only 2^10 = 1024 distinct vector pairs: the whole space is a
     // small finite population, which the estimator handles through its
     // finite-population quantile (§3.4).
-    let mut source = SimulatorSource::new(
+    let source = SimulatorSource::new(
         &circuit,
         PairGenerator::Uniform,
         DelayModel::Unit,
@@ -51,8 +50,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         finite_population: Some(1 << (2 * circuit.num_inputs().min(10))),
         ..EstimationConfig::default()
     };
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(17);
-    let estimate = MaxPowerEstimator::new(config).run(&mut source, &mut rng)?;
+    let session = EstimatorBuilder::new(config).build();
+    let estimate = session.run(&source, RunOptions::default().seeded(17))?;
     println!(
         "estimated maximum power: {:.4} mW ±{:.1}% ({} vector pairs)",
         estimate.estimate_mw,

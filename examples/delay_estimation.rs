@@ -12,11 +12,10 @@
 //!
 //! Run with: `cargo run --release --example delay_estimation`
 
-use maxpower::{DelaySource, EstimationConfig, MaxPowerEstimator};
+use maxpower::{DelaySource, EstimationConfig, EstimatorBuilder, RunOptions};
 use mpe_netlist::{generate, Iscas85};
 use mpe_sim::DelayModel;
 use mpe_vectors::PairGenerator;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("statistical maximum-delay estimation (unit-delay model)\n");
@@ -26,14 +25,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for which in [Iscas85::C432, Iscas85::C880, Iscas85::C1355, Iscas85::C6288] {
         let circuit = generate(which, 7)?;
-        let mut source = DelaySource::new(&circuit, PairGenerator::Uniform, DelayModel::Unit);
+        let source = DelaySource::new(&circuit, PairGenerator::Uniform, DelayModel::Unit);
         let config = EstimationConfig {
             finite_population: Some(100_000),
             max_hyper_samples: 500,
             ..EstimationConfig::default()
         };
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
-        match MaxPowerEstimator::new(config).run(&mut source, &mut rng) {
+        let session = EstimatorBuilder::new(config).build();
+        match session.run(&source, RunOptions::default().seeded(3)) {
             Ok(est) => println!(
                 "{:<8} {:>6} {:>14.2} {:>9.1}% {:>8}",
                 which.to_string(),

@@ -6,7 +6,8 @@
 //! Run with: `cargo run --release --example population_study`
 
 use maxpower::{
-    srs_max_estimate, EstimationConfig, MaxPowerError, MaxPowerEstimator, PopulationSource,
+    srs_max_estimate, EstimationConfig, EstimatorBuilder, MaxPowerError, PopulationSource,
+    RunOptions,
 };
 use mpe_netlist::{generate, Iscas85};
 use mpe_sim::{DelayModel, PowerConfig};
@@ -52,11 +53,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Run the EVT estimator once; then give SRS exactly the same budget.
-    let mut source = PopulationSource::new(&population);
-    let estimator = MaxPowerEstimator::new(EstimationConfig::default());
+    let source = PopulationSource::new(&population);
+    let session = EstimatorBuilder::new(EstimationConfig::default()).build();
     let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
     let actual = population.actual_max_power();
-    match estimator.run(&mut source, &mut rng) {
+    let result = session
+        .run(&source, RunOptions::default().seeded(3))
+        .and_then(maxpower::MaxPowerEstimate::into_converged);
+    match result {
         Ok(est) => {
             println!(
                 "\nEVT estimator : {:.3} mW ({:+.1}% error) using {} units",

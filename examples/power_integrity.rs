@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example power_integrity`
 
 use maxpower::{generate_hyper_sample, EstimationConfig, PopulationSource, SimulatorSource};
-use maxpower::{sweep_activity, MaxPowerEstimator};
+use maxpower::{sweep_activity, EstimatorBuilder, HyperSampleContext, RunOptions};
 use mpe_evt::return_level::return_level;
 use mpe_netlist::{generate, Iscas85};
 use mpe_sim::{ActivityProfile, DelayModel, PowerConfig};
@@ -31,14 +31,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         max_hyper_samples: 500,
         ..EstimationConfig::default()
     };
-    let mut source = SimulatorSource::new(
+    let source = SimulatorSource::new(
         &circuit,
         PairGenerator::Uniform,
         DelayModel::Unit,
         PowerConfig::default(),
     );
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
-    let estimate = MaxPowerEstimator::new(config).run(&mut source, &mut rng)?;
+    let session = EstimatorBuilder::new(config).build();
+    let estimate = session.run(&source, RunOptions::default().seeded(42))?;
     println!(
         "1. maximum power: {:.3} mW ±{:.1}% ({} vector pairs)",
         estimate.estimate_mw,
@@ -59,7 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         0,
     )?;
     let mut pop_source = PopulationSource::new(&population);
-    let hyper = generate_hyper_sample(&mut pop_source, &config, &mut rng)?;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+    let hyper =
+        generate_hyper_sample(&mut pop_source, &HyperSampleContext::new(&config), &mut rng)?;
     let fit = hyper
         .fit
         .as_ref()

@@ -4,11 +4,10 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use maxpower::{EstimationConfig, MaxPowerEstimator, SimulatorSource};
+use maxpower::{EstimationConfig, EstimatorBuilder, RunOptions, SimulatorSource};
 use mpe_netlist::{generate, Iscas85};
 use mpe_sim::{DelayModel, PowerConfig};
 use mpe_vectors::PairGenerator;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The circuit under analysis. `generate` synthesizes a deterministic
@@ -25,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A live power source: fresh uniform vector pairs simulated on demand
     // under a unit-delay model (glitches included).
-    let mut source = SimulatorSource::new(
+    let source = SimulatorSource::new(
         &circuit,
         PairGenerator::Uniform,
         DelayModel::Unit,
@@ -39,8 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..EstimationConfig::default()
     };
 
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
-    let estimate = MaxPowerEstimator::new(config).run(&mut source, &mut rng)?;
+    // One session can serve many runs; `RunOptions` carries the per-run
+    // master seed (and, optionally, a worker count for parallel execution).
+    let session = EstimatorBuilder::new(config).build();
+    let estimate = session.run(&source, RunOptions::default().seeded(42))?;
 
     println!(
         "maximum power ≈ {:.3} mW ± {:.1}% at {:.0}% confidence",

@@ -259,3 +259,61 @@ fn trace_emits_vcd() {
     assert!(stdout.contains("$dumpvars"));
     assert!(stderr.contains("transitions"));
 }
+
+#[test]
+fn workers_zero_rejected_and_oversubscription_warns() {
+    let (ok, _, stderr) = run(&["estimate", "--circuit", "C432", "--workers", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--workers"), "{stderr}");
+    assert!(stderr.contains("positive"), "{stderr}");
+
+    // Requesting far more workers than the host has cores still succeeds,
+    // with a warning on stderr.
+    let (ok, _, stderr) = run(&[
+        "estimate",
+        "--circuit",
+        "C432",
+        "--epsilon",
+        "0.25",
+        "--seed",
+        "42",
+        "--workers",
+        "512",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("512"), "{stderr}");
+}
+
+#[test]
+fn estimate_is_bit_identical_across_worker_counts() {
+    let result_lines = |workers: &str| -> String {
+        let (ok, stdout, stderr) = run(&[
+            "estimate",
+            "--circuit",
+            "C432",
+            "--epsilon",
+            "0.15",
+            "--seed",
+            "42",
+            "--workers",
+            workers,
+        ]);
+        assert!(ok, "{stderr}");
+        // The execution line carries wall-clock time, which legitimately
+        // varies run to run; everything else must be byte-identical.
+        stdout
+            .lines()
+            .filter(|l| !l.starts_with("execution:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let sequential = result_lines("1");
+    assert!(sequential.contains("max_power_mw"), "{sequential}");
+    for n in ["2", "8"] {
+        assert_eq!(
+            sequential,
+            result_lines(n),
+            "--workers {n} diverged from --workers 1"
+        );
+    }
+}

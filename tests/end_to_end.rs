@@ -2,9 +2,8 @@
 //! the estimator must recover the right endpoint of synthetic bounded
 //! distributions across shapes, and its machinery must degrade gracefully.
 
-use maxpower::{EstimationConfig, FnSource, MaxPowerError, MaxPowerEstimator};
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+use maxpower::{EstimationConfig, EstimatorBuilder, FnSource, MaxPowerError, RunOptions};
+use rand::{Rng, RngCore};
 
 fn weibull_closure(alpha: f64, beta: f64, mu: f64) -> impl FnMut(&mut dyn RngCore) -> f64 {
     move |rng: &mut dyn RngCore| {
@@ -23,10 +22,9 @@ fn recovers_endpoint_across_shapes() {
         let runs = 10;
         for r in 0..runs {
             let mut source = FnSource::new(weibull_closure(alpha, 1.0, 10.0));
-            let estimator = MaxPowerEstimator::new(EstimationConfig::default());
-            let mut rng = SmallRng::seed_from_u64(seed + r);
-            let est = estimator
-                .run(&mut source, &mut rng)
+            let session = EstimatorBuilder::new(EstimationConfig::default()).build();
+            let est = session
+                .run_source(&mut source, RunOptions::default().seeded(seed + r))
                 .expect("smooth bounded source converges");
             if (est.estimate_mw - 10.0).abs() / 10.0 <= 0.08 {
                 within += 1;
@@ -57,9 +55,8 @@ fn survives_spiked_distribution() {
         max_hyper_samples: 50,
         ..EstimationConfig::default()
     };
-    let estimator = MaxPowerEstimator::new(config);
-    let mut rng = SmallRng::seed_from_u64(77);
-    match estimator.run(&mut source, &mut rng) {
+    let session = EstimatorBuilder::new(config).build();
+    match session.run_source(&mut source, RunOptions::default().seeded(77)) {
         Ok(est) => {
             assert!(est.estimate_mw >= est.observed_max_mw);
             assert!(est.estimate_mw < 100.0);
@@ -81,9 +78,10 @@ fn interval_coverage_reasonable() {
     let runs = 30;
     for seed in 0..runs {
         let mut source = FnSource::new(weibull_closure(3.0, 1.0, truth));
-        let estimator = MaxPowerEstimator::new(EstimationConfig::default());
-        let mut rng = SmallRng::seed_from_u64(1000 + seed);
-        let est = estimator.run(&mut source, &mut rng).expect("converges");
+        let session = EstimatorBuilder::new(EstimationConfig::default()).build();
+        let est = session
+            .run_source(&mut source, RunOptions::default().seeded(1000 + seed))
+            .expect("converges");
         let (lo, hi) = est.confidence_interval;
         if lo <= truth && truth <= hi {
             covered += 1;
@@ -103,9 +101,10 @@ fn stopping_rule_honored() {
             max_hyper_samples: 2_000,
             ..EstimationConfig::default()
         };
-        let estimator = MaxPowerEstimator::new(config);
-        let mut rng = SmallRng::seed_from_u64(5);
-        let est = estimator.run(&mut source, &mut rng).expect("converges");
+        let session = EstimatorBuilder::new(config).build();
+        let est = session
+            .run_source(&mut source, RunOptions::default().seeded(5))
+            .expect("converges");
         assert!(
             est.relative_error <= eps,
             "eps {eps}: {}",
@@ -128,10 +127,9 @@ fn finite_population_ordering() {
                 finite_population: pop,
                 ..EstimationConfig::default()
             };
-            let estimator = MaxPowerEstimator::new(config);
-            let mut rng = SmallRng::seed_from_u64(3000 + seed);
-            estimator
-                .run(&mut source, &mut rng)
+            let session = EstimatorBuilder::new(config).build();
+            session
+                .run_source(&mut source, RunOptions::default().seeded(3000 + seed))
                 .expect("converges")
                 .estimate_mw
         };
@@ -152,10 +150,9 @@ fn config_errors_are_typed() {
         sample_size: 0,
         ..EstimationConfig::default()
     };
-    let estimator = MaxPowerEstimator::new(config);
-    let mut rng = SmallRng::seed_from_u64(1);
+    let session = EstimatorBuilder::new(config).build();
     assert!(matches!(
-        estimator.run(&mut source, &mut rng),
+        session.run_source(&mut source, RunOptions::default().seeded(1)),
         Err(MaxPowerError::InvalidConfig { .. })
     ));
 }
@@ -188,9 +185,8 @@ fn source_failure_propagates() {
     // after several successful hyper-samples.
     for budget in [5usize, 150, 900] {
         let mut source = FlakySource { remaining: budget };
-        let estimator = MaxPowerEstimator::new(EstimationConfig::default());
-        let mut rng = SmallRng::seed_from_u64(4242);
-        match estimator.run(&mut source, &mut rng) {
+        let session = EstimatorBuilder::new(EstimationConfig::default()).build();
+        match session.run_source(&mut source, RunOptions::default().seeded(4242)) {
             Err(MaxPowerError::Sim(_)) => {} // expected path
             Ok(est) => {
                 // Only possible if convergence beat the failure budget.
@@ -206,9 +202,10 @@ fn source_failure_propagates() {
 fn estimate_report_roundtrip() {
     use maxpower::EstimateReport;
     let mut source = FnSource::new(weibull_closure(3.0, 1.0, 10.0));
-    let estimator = MaxPowerEstimator::new(EstimationConfig::default());
-    let mut rng = SmallRng::seed_from_u64(4);
-    let est = estimator.run(&mut source, &mut rng).expect("converges");
+    let session = EstimatorBuilder::new(EstimationConfig::default()).build();
+    let est = session
+        .run_source(&mut source, RunOptions::default().seeded(4))
+        .expect("converges");
     let report = EstimateReport::new("synthetic", "max_power_mw", &est);
     let back = EstimateReport::from_json(&report.to_json()).expect("roundtrips");
     assert_eq!(report, back);

@@ -2,7 +2,8 @@
 //! simulation, population construction, and statistical estimation.
 
 use maxpower::{
-    srs_max_estimate, EstimationConfig, MaxPowerEstimator, PopulationSource, SimulatorSource,
+    srs_max_estimate, EstimationConfig, EstimatorBuilder, PopulationSource, RunOptions,
+    SimulatorSource,
 };
 use mpe_netlist::{bench_format, generate, CircuitBuilder, GateKind, Iscas85};
 use mpe_sim::{DelayModel, PowerConfig, PowerSimulator};
@@ -28,11 +29,10 @@ fn full_pipeline_population_estimate() {
     let actual = population.actual_max_power();
     assert!(actual > 0.0);
 
-    let mut source = PopulationSource::new(&population);
-    let estimator = MaxPowerEstimator::new(EstimationConfig::default());
-    let mut rng = SmallRng::seed_from_u64(1);
-    let estimate = estimator
-        .run(&mut source, &mut rng)
+    let source = PopulationSource::new(&population);
+    let session = EstimatorBuilder::new(EstimationConfig::default()).build();
+    let estimate = session
+        .run(&source, RunOptions::default().seeded(1))
         .expect("estimation converges on this population");
     // Converged at 5%/90%: accept a generous 25% sanity band (the CI is a
     // statistical statement, not a hard bound).
@@ -62,9 +62,9 @@ fn full_pipeline_live_simulation() {
         max_hyper_samples: 400,
         ..EstimationConfig::default()
     };
-    let mut rng = SmallRng::seed_from_u64(2);
-    let estimate = MaxPowerEstimator::new(config)
-        .run(&mut source, &mut rng)
+    let estimate = EstimatorBuilder::new(config)
+        .build()
+        .run_source(&mut source, RunOptions::default().seeded(2))
         .expect("live estimation converges");
     assert!(estimate.estimate_mw > 0.0);
     assert_eq!(estimate.units_used as u64, source.simulated());
@@ -137,8 +137,11 @@ fn srs_and_observed_max_bounds() {
     let srs = srs_max_estimate(&mut source, 2_500, &mut rng).expect("srs runs");
     assert!(srs.estimate_mw <= actual);
 
-    let estimator = MaxPowerEstimator::new(EstimationConfig::default());
-    match estimator.run(&mut source, &mut rng) {
+    let session = EstimatorBuilder::new(EstimationConfig::default()).build();
+    let result = session
+        .run_source(&mut source, RunOptions::default().seeded(8))
+        .and_then(maxpower::MaxPowerEstimate::into_converged);
+    match result {
         Ok(est) => assert!(est.observed_max_mw <= actual),
         Err(maxpower::MaxPowerError::NotConverged { .. }) => {} // acceptable
         Err(e) => panic!("unexpected failure: {e}"),
