@@ -6,6 +6,7 @@
 //!
 //! * `cargo run -p mpe-bench --release --bin trace_breakdown -- trace.jsonl`
 //! * `cargo run -p mpe-bench --release --bin trace_breakdown -- --parallel-smoke [out.json]`
+//! * `cargo run -p mpe-bench --release --bin trace_breakdown -- --kernel-smoke [out.json]`
 //!
 //! The first form validates the trace on the way through (schema version,
 //! monotone seq, LIFO span nesting) and exits non-zero on the first
@@ -16,15 +17,23 @@
 //! on the table-1 circuits, verifies the results are bit-identical, and
 //! records the sequential-vs-parallel wall clock as JSON (default path
 //! `BENCH_parallel.json`).
+//!
+//! The third form benchmarks the simulation kernel itself: scalar
+//! `cycle_report` versus the bit-parallel packed kernel on the same
+//! fixed-seed zero-delay vector pairs, asserting per-pair bit-identical
+//! power before recording pairs/second as JSON (default path
+//! `BENCH_kernel.json`).
 
 use std::num::NonZeroUsize;
 use std::time::Instant;
 
 use maxpower::{EstimationConfig, EstimatorBuilder, MaxPowerEstimate, RunOptions, SimulatorSource};
 use mpe_netlist::{generate, Iscas85};
-use mpe_sim::{DelayModel, PowerConfig};
+use mpe_sim::{DelayModel, PackedSimulator, PowerConfig, PowerSimulator};
 use mpe_telemetry::{names, replay, SpanKind, TraceSummary};
-use mpe_vectors::PairGenerator;
+use mpe_vectors::{PairGenerator, VectorPair};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 /// Worker count for the parallel leg of the smoke benchmark.
 const SMOKE_WORKERS: usize = 4;
@@ -34,13 +43,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     match args.as_slice() {
         [flag] if flag == "--parallel-smoke" => run_parallel_smoke("BENCH_parallel.json"),
         [flag, out] if flag == "--parallel-smoke" => run_parallel_smoke(out),
+        [flag] if flag == "--kernel-smoke" => run_kernel_smoke("BENCH_kernel.json"),
+        [flag, out] if flag == "--kernel-smoke" => run_kernel_smoke(out),
         [path] if !path.starts_with("--") => {
             let text = std::fs::read_to_string(path)?;
             let summary = replay(text.lines())?;
             print!("{}", render_breakdown(path, &summary));
             Ok(())
         }
-        _ => Err("usage: trace_breakdown <trace.jsonl> | --parallel-smoke [out.json]".into()),
+        _ => Err("usage: trace_breakdown <trace.jsonl> | \
+                  --parallel-smoke [out.json] | --kernel-smoke [out.json]"
+            .into()),
     }
 }
 
@@ -156,6 +169,107 @@ fn render_smoke_json(host: usize, rows: &[SmokeRow]) -> String {
     )
 }
 
+/// Vector pairs per circuit for the kernel smoke. Large enough that the
+/// per-call overhead is amortised, small enough to stay a smoke test.
+const KERNEL_PAIRS: usize = 4096;
+
+/// One circuit's scalar-vs-packed kernel measurement.
+struct KernelRow {
+    circuit: String,
+    pairs: usize,
+    scalar_pairs_per_s: f64,
+    packed_pairs_per_s: f64,
+    identical: bool,
+}
+
+impl KernelRow {
+    fn speedup(&self) -> f64 {
+        self.packed_pairs_per_s / self.scalar_pairs_per_s
+    }
+}
+
+fn run_kernel_smoke(out_path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let host = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    let circuits = [Iscas85::C432, Iscas85::C880, Iscas85::C1355];
+    let mut rows = Vec::new();
+    for which in circuits {
+        let circuit = generate(which, 7)?;
+        // The packed kernel is zero-delay only, so that is the comparison.
+        let sim = PowerSimulator::new(&circuit, DelayModel::Zero, PowerConfig::default());
+        let packed = PackedSimulator::new(&sim)?;
+        let mut rng = SmallRng::seed_from_u64(42);
+        let pairs: Vec<VectorPair> = (0..KERNEL_PAIRS)
+            .map(|_| PairGenerator::Uniform.generate(&mut rng, circuit.num_inputs()))
+            .collect();
+
+        let started = Instant::now();
+        let scalar_reports: Vec<_> = pairs
+            .iter()
+            .map(|p| sim.cycle_report(&p.v1, &p.v2))
+            .collect::<Result<_, _>>()?;
+        let scalar_s = started.elapsed().as_secs_f64();
+
+        let refs: Vec<(&[bool], &[bool])> = pairs.iter().map(VectorPair::as_slices).collect();
+        let mut packed_reports = Vec::with_capacity(pairs.len());
+        let started = Instant::now();
+        packed.cycle_reports_batch(&refs, &mut packed_reports)?;
+        let packed_s = started.elapsed().as_secs_f64();
+
+        let identical = scalar_reports.len() == packed_reports.len()
+            && scalar_reports.iter().zip(&packed_reports).all(|(s, p)| {
+                s.power_mw.to_bits() == p.power_mw.to_bits()
+                    && s.switched_cap_ff.to_bits() == p.switched_cap_ff.to_bits()
+                    && s.toggles == p.toggles
+            });
+        let row = KernelRow {
+            circuit: which.to_string(),
+            pairs: pairs.len(),
+            scalar_pairs_per_s: pairs.len() as f64 / scalar_s,
+            packed_pairs_per_s: pairs.len() as f64 / packed_s,
+            identical,
+        };
+        println!(
+            "{:<6} scalar {:>10.0} pairs/s, packed {:>10.0} pairs/s — {:.2}x, identical: {}",
+            row.circuit,
+            row.scalar_pairs_per_s,
+            row.packed_pairs_per_s,
+            row.speedup(),
+            row.identical,
+        );
+        rows.push(row);
+    }
+    std::fs::write(out_path, render_kernel_json(host, &rows))?;
+    println!("wrote {out_path}");
+    if rows.iter().any(|r| !r.identical) {
+        return Err("packed kernel diverged from the scalar kernel".into());
+    }
+    Ok(())
+}
+
+fn render_kernel_json(host: usize, rows: &[KernelRow]) -> String {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"circuit\": \"{}\", \"pairs\": {}, \
+                 \"scalar_pairs_per_s\": {:.1}, \"packed_pairs_per_s\": {:.1}, \
+                 \"speedup\": {:.3}, \"identical\": {}}}",
+                r.circuit,
+                r.pairs,
+                r.scalar_pairs_per_s,
+                r.packed_pairs_per_s,
+                r.speedup(),
+                r.identical,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"benchmark\": \"kernel_smoke\",\n  \"delay_model\": \"zero\",\n  \
+         \"host_parallelism\": {host},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    )
+}
+
 fn render_breakdown(path: &str, summary: &TraceSummary) -> String {
     let mut out = String::new();
     out.push_str(&format!(
@@ -263,6 +377,23 @@ mod tests {
         assert!(json.contains("\"host_parallelism\": 8"), "{json}");
         assert!(json.contains("\"circuit\": \"C432\""), "{json}");
         assert!(json.contains("\"speedup\": 2.000"), "{json}");
+        assert!(json.contains("\"identical\": true"), "{json}");
+    }
+
+    #[test]
+    fn kernel_json_is_well_formed() {
+        let rows = [KernelRow {
+            circuit: "C880".to_string(),
+            pairs: 4096,
+            scalar_pairs_per_s: 1000.0,
+            packed_pairs_per_s: 8000.0,
+            identical: true,
+        }];
+        let json = render_kernel_json(1, &rows);
+        assert!(json.contains("\"benchmark\": \"kernel_smoke\""), "{json}");
+        assert!(json.contains("\"delay_model\": \"zero\""), "{json}");
+        assert!(json.contains("\"circuit\": \"C880\""), "{json}");
+        assert!(json.contains("\"speedup\": 8.000"), "{json}");
         assert!(json.contains("\"identical\": true"), "{json}");
     }
 

@@ -26,7 +26,7 @@ use maxpower::{
     Session, SimulatorSource,
 };
 use mpe_netlist::{bench_format, generate, Circuit, Iscas85};
-use mpe_sim::{DelayModel, PowerConfig};
+use mpe_sim::{DelayModel, KernelMode, PowerConfig};
 use mpe_vectors::PairGenerator;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -51,6 +51,8 @@ ESTIMATION (estimate / delay):
     --workers N         worker threads for hyper-sample generation (default 1);
                         results are bit-identical for every N
     --delay-model M     zero | unit | fanout (default unit)
+    --kernel K          auto | scalar | packed simulation kernel (default auto;
+                        packed is zero-delay only and bit-identical to scalar)
     --activity A        per-line input switching activity in [0,1] (default: uniform pairs)
     --json              print the result as JSON instead of text
 
@@ -145,6 +147,7 @@ struct Flags {
     seed: u64,
     workers: NonZeroUsize,
     delay_model: DelayModel,
+    kernel: KernelMode,
     activity: Option<f64>,
     json: bool,
     sample_policy: SamplePolicy,
@@ -167,6 +170,7 @@ impl Flags {
             seed: 42,
             workers: NonZeroUsize::MIN,
             delay_model: DelayModel::Unit,
+            kernel: KernelMode::Auto,
             activity: None,
             json: false,
             sample_policy: SamplePolicy::Fail,
@@ -210,6 +214,11 @@ impl Flags {
                         "fanout" => DelayModel::fanout_default(),
                         other => return Err(format!("unknown delay model `{other}`")),
                     }
+                }
+                "--kernel" => {
+                    let name = value()?;
+                    flags.kernel = KernelMode::parse(name)
+                        .ok_or_else(|| format!("unknown kernel `{name}`"))?;
                 }
                 "--activity" => flags.activity = Some(parse_num(value()?, "--activity")?),
                 "--json" => flags.json = true,
@@ -386,26 +395,35 @@ fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error:
     }
 
     let started = Instant::now();
-    let (estimate, metric_name, unit) = match metric {
+    let (estimate, metric_name, unit, kernel) = match metric {
         Metric::Power => {
             let source = SimulatorSource::new(
                 &circuit,
                 generator,
                 flags.delay_model,
                 PowerConfig::default(),
-            );
+            )
+            .with_kernel(flags.kernel)?;
+            let kernel = source.kernel();
             (
                 run_to_completion(&session, &source, flags)?,
                 "max_power_mw",
                 "mW",
+                kernel,
             )
         }
         Metric::Delay => {
+            if flags.kernel == KernelMode::Packed {
+                return Err("the delay metric is event-driven; \
+                     --kernel packed applies to zero-delay power estimation only"
+                    .into());
+            }
             let source = DelaySource::new(&circuit, generator, flags.delay_model);
             (
                 run_to_completion(&session, &source, flags)?,
                 "max_delay_units",
                 "delay units",
+                KernelMode::Scalar,
             )
         }
     };
@@ -417,8 +435,12 @@ fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error:
     telemetry.flush();
 
     if flags.json {
+        let host_parallelism = std::thread::available_parallelism()
+            .ok()
+            .map(NonZeroUsize::get);
         let mut report = EstimateReport::new(circuit.name(), metric_name, &estimate)
-            .with_execution(workers, Some(wall_ms));
+            .with_execution(workers, Some(wall_ms))
+            .with_kernel(kernel.as_str(), host_parallelism);
         if telemetry.is_enabled() {
             report = report.with_telemetry(&telemetry.snapshot());
         }
@@ -437,7 +459,7 @@ fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error:
             estimate.units_used, estimate.hyper_samples, estimate.observed_max_mw,
         );
         println!(
-            "execution: {workers} worker{} in {:.2} s wall",
+            "execution: {workers} worker{} in {:.2} s wall ({kernel} kernel)",
             if workers == 1 { "" } else { "s" },
             wall_ms / 1e3,
         );

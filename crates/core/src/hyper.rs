@@ -74,58 +74,83 @@ pub struct HyperSample {
     pub health: HyperHealth,
 }
 
-/// Draws one *usable* reading from the source, applying the configured
-/// [`SamplePolicy`] to errors and invalid readings.
+/// Draws one sample of `n` *usable* readings from the source via the
+/// batched [`PowerSource::sample_batch`] interface, applying the configured
+/// [`SamplePolicy`] to errors and invalid readings. Valid readings are
+/// appended to `out` in draw order.
+///
+/// The fill is greedy: each round requests exactly the readings still
+/// missing, validates the returned readings in order, and repeats until the
+/// sample is full. Because [`PowerSource::sample_batch`] consumes the RNG
+/// exactly as the same number of consecutive `sample` calls would, the
+/// sequence of underlying draws — and therefore the committed results — is
+/// byte-identical to the former one-reading-at-a-time loop for every
+/// policy. (On a policy-exhaustion error a batch may have drawn a few
+/// readings past the point where the scalar loop stopped, but errors abort
+/// the whole hyper-sample, so no result depends on the RNG state there.)
 ///
 /// Accounting contract: `units_used` counts every `Ok` reading the source
 /// produced — including invalid ones a policy discards — because each cost
 /// a simulation. Errored calls consume no unit; they are tallied in
-/// `health.source_errors` when survived.
-fn draw_reading(
+/// `health.source_errors` when survived. The `consecutive` retry counter
+/// counts failures since the last valid reading, exactly as the per-draw
+/// loop did (it reset the counter at each new position, i.e. after each
+/// valid reading).
+#[allow(clippy::too_many_arguments)]
+fn draw_sample(
     source: &mut dyn PowerSource,
     config: &EstimationConfig,
     rng: &mut dyn RngCore,
     health: &mut HyperHealth,
     units_used: &mut usize,
-) -> Result<f64, MaxPowerError> {
+    n: usize,
+    out: &mut Vec<f64>,
+    batch_buf: &mut Vec<f64>,
+    batches: &mut u64,
+) -> Result<(), MaxPowerError> {
+    let mut valid = 0usize;
     let mut consecutive = 0usize;
-    loop {
-        match source.sample(rng) {
-            Ok(p) => {
-                *units_used += 1;
-                if p.is_finite() && p >= config.min_reading_mw {
-                    return Ok(p);
+    while valid < n {
+        batch_buf.clear();
+        *batches += 1;
+        let batch_result = source.sample_batch(rng, n - valid, batch_buf);
+        for &p in batch_buf.iter() {
+            *units_used += 1;
+            if p.is_finite() && p >= config.min_reading_mw {
+                out.push(p);
+                valid += 1;
+                consecutive = 0;
+                continue;
+            }
+            match config.sample_policy {
+                SamplePolicy::Fail => return Err(MaxPowerError::InvalidReading { value_mw: p }),
+                SamplePolicy::Skip { max_discarded } => {
+                    health.samples_discarded += 1;
+                    let count = health.samples_discarded + health.source_errors;
+                    if count > max_discarded {
+                        return Err(MaxPowerError::SamplePolicyExhausted {
+                            policy: "skip",
+                            count,
+                            limit: max_discarded,
+                        });
+                    }
                 }
-                match config.sample_policy {
-                    SamplePolicy::Fail => {
-                        return Err(MaxPowerError::InvalidReading { value_mw: p })
-                    }
-                    SamplePolicy::Skip { max_discarded } => {
-                        health.samples_discarded += 1;
-                        let count = health.samples_discarded + health.source_errors;
-                        if count > max_discarded {
-                            return Err(MaxPowerError::SamplePolicyExhausted {
-                                policy: "skip",
-                                count,
-                                limit: max_discarded,
-                            });
-                        }
-                    }
-                    SamplePolicy::Retry { max_attempts } => {
-                        health.samples_discarded += 1;
-                        health.sample_retries += 1;
-                        consecutive += 1;
-                        if consecutive > max_attempts {
-                            return Err(MaxPowerError::SamplePolicyExhausted {
-                                policy: "retry",
-                                count: consecutive,
-                                limit: max_attempts,
-                            });
-                        }
+                SamplePolicy::Retry { max_attempts } => {
+                    health.samples_discarded += 1;
+                    health.sample_retries += 1;
+                    consecutive += 1;
+                    if consecutive > max_attempts {
+                        return Err(MaxPowerError::SamplePolicyExhausted {
+                            policy: "retry",
+                            count: consecutive,
+                            limit: max_attempts,
+                        });
                     }
                 }
             }
-            Err(e) => match config.sample_policy {
+        }
+        if let Err(e) = batch_result {
+            match config.sample_policy {
                 SamplePolicy::Fail => return Err(e),
                 SamplePolicy::Skip { max_discarded } => {
                     health.source_errors += 1;
@@ -149,9 +174,10 @@ fn draw_reading(
                         return Err(e);
                     }
                 }
-            },
+            }
         }
     }
+    Ok(())
 }
 
 /// Everything hyper-sample generation needs besides the source and the
@@ -272,26 +298,43 @@ pub fn generate_hyper_sample(
     // 2^(k-1), so the budget is exhausted after ~log2(budget) attempts.
     let mut charged = 0usize;
 
+    let mut sample_buf: Vec<f64> = Vec::with_capacity(n);
+    let mut batch_buf: Vec<f64> = Vec::with_capacity(n);
+
     let (cause, last_maxima) = loop {
-        // Draw m samples of size n; record each sample's maximum.
+        // Draw m samples of size n (each through the batched source
+        // interface); record each sample's maximum.
         let mut maxima = Vec::with_capacity(m);
         let mut first_draw: Option<f64> = None;
         let mut constant = true;
         let units_before = units_used;
         let health_before = health;
+        let mut batches = 0u64;
         {
             let _simulate = telemetry.span(SpanKind::Simulate);
             for _ in 0..m {
+                sample_buf.clear();
+                draw_sample(
+                    source,
+                    config,
+                    rng,
+                    &mut health,
+                    &mut units_used,
+                    n,
+                    &mut sample_buf,
+                    &mut batch_buf,
+                    &mut batches,
+                )
+                .inspect_err(|_| {
+                    // Units drawn before the failure are still spent.
+                    telemetry.counter(
+                        names::VECTOR_PAIRS_SIMULATED,
+                        (units_used - units_before) as u64,
+                    );
+                    telemetry.counter(names::SAMPLE_BATCHES, batches);
+                })?;
                 let mut sample_max = f64::NEG_INFINITY;
-                for _ in 0..n {
-                    let p = draw_reading(source, config, rng, &mut health, &mut units_used)
-                        .inspect_err(|_| {
-                            // Units drawn before the failure are still spent.
-                            telemetry.counter(
-                                names::VECTOR_PAIRS_SIMULATED,
-                                (units_used - units_before) as u64,
-                            );
-                        })?;
+                for &p in sample_buf.iter() {
                     match first_draw {
                         None => first_draw = Some(p),
                         Some(f0) => {
@@ -311,6 +354,7 @@ pub fn generate_hyper_sample(
             names::VECTOR_PAIRS_SIMULATED,
             (units_used - units_before) as u64,
         );
+        telemetry.counter(names::SAMPLE_BATCHES, batches);
         emit_health_deltas(telemetry, &health, &health_before);
         attempts += 1;
         if attempts > 1 {

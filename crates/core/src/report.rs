@@ -16,9 +16,11 @@ use mpe_telemetry::{MetricsSnapshot, SpanKind};
 /// v2 added the resilience fields: `status`, `health` and
 /// `hyper_estimators`. v3 added the optional `telemetry` block (phase
 /// timings and work counters). v4 added the execution fields: `workers`
-/// (defaulting to 1 when absent) and the optional `wall_ms`; v2/v3 reports
+/// (defaulting to 1 when absent) and the optional `wall_ms`. v5 added the
+/// benchmark-provenance fields: the optional `kernel` (which simulation
+/// kernel produced the readings) and `host_parallelism`; v2–v4 reports
 /// still parse.
-pub const REPORT_VERSION: u32 = 4;
+pub const REPORT_VERSION: u32 = 5;
 
 /// Wall-clock attribution for one pipeline phase.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -145,6 +147,16 @@ pub struct EstimateReport {
     /// measured it (v4; the `mpe` CLI always does).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub wall_ms: Option<f64>,
+    /// Simulation kernel that produced the power readings (`"scalar"` or
+    /// `"packed"`, v5). Provenance only: the kernels are bit-identical, so
+    /// two reports differing in this field still describe the same
+    /// estimate. Absent for non-simulator sources and pre-v5 reports.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub kernel: Option<String>,
+    /// `std::thread::available_parallelism()` on the producing host (v5).
+    /// Benchmark provenance for interpreting `wall_ms` and `workers`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub host_parallelism: Option<usize>,
 }
 
 // Referenced from the `#[serde(default = …)]` attribute, which the offline
@@ -176,6 +188,8 @@ impl EstimateReport {
             telemetry: None,
             workers: 1,
             wall_ms: None,
+            kernel: None,
+            host_parallelism: None,
         }
     }
 
@@ -193,6 +207,16 @@ impl EstimateReport {
     pub fn with_execution(mut self, workers: usize, wall_ms: Option<f64>) -> Self {
         self.workers = workers;
         self.wall_ms = wall_ms;
+        self
+    }
+
+    /// Records benchmark provenance: the simulation kernel behind the
+    /// readings and the producing host's available parallelism. Like
+    /// [`EstimateReport::with_execution`], pure metadata.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: &str, host_parallelism: Option<usize>) -> Self {
+        self.kernel = Some(kernel.to_string());
+        self.host_parallelism = host_parallelism;
         self
     }
 
@@ -319,6 +343,21 @@ mod tests {
         assert_eq!(parallel.hyper_estimates, plain.hyper_estimates);
         assert_eq!(parallel.units_used, plain.units_used);
         assert_eq!(parallel.status, plain.status);
+    }
+
+    #[test]
+    fn with_kernel_records_provenance_only() {
+        let est = sample_estimate();
+        let plain = EstimateReport::new("x", "max_power_mw", &est);
+        let packed = EstimateReport::new("x", "max_power_mw", &est).with_kernel("packed", Some(4));
+        assert_eq!(packed.kernel.as_deref(), Some("packed"));
+        assert_eq!(packed.host_parallelism, Some(4));
+        assert_eq!(plain.kernel, None);
+        assert_eq!(plain.host_parallelism, None);
+        // The estimate itself is untouched by provenance metadata.
+        assert_eq!(packed.estimate, plain.estimate);
+        assert_eq!(packed.hyper_estimates, plain.hyper_estimates);
+        assert_eq!(packed.status, plain.status);
     }
 
     #[test]

@@ -16,8 +16,8 @@
 use rand::RngCore;
 
 use mpe_netlist::Circuit;
-use mpe_sim::{DelayModel, PowerConfig, PowerSimulator};
-use mpe_vectors::{PairGenerator, Population};
+use mpe_sim::{CycleReport, DelayModel, KernelMode, PackedSimulator, PowerConfig, PowerSimulator};
+use mpe_vectors::{PairGenerator, Population, VectorPair};
 
 use crate::error::MaxPowerError;
 
@@ -33,6 +33,31 @@ pub trait PowerSource {
     ///
     /// Implementations may fail on simulation errors.
     fn sample(&mut self, rng: &mut dyn RngCore) -> Result<f64, MaxPowerError>;
+
+    /// Draws `count` unit powers, appending them to `out`.
+    ///
+    /// The default implementation loops [`PowerSource::sample`], so every
+    /// source keeps its exact per-draw semantics (RNG consumption order,
+    /// fault-injection decisions, dithering) unless it deliberately
+    /// overrides the batch. Overrides must consume the RNG in the same
+    /// order as `count` consecutive `sample` calls would — the estimation
+    /// engine relies on this to keep batched and scalar runs bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// On failure, readings drawn before the error remain appended to
+    /// `out`; the caller accounts for them before handling the error.
+    fn sample_batch(
+        &mut self,
+        rng: &mut dyn RngCore,
+        count: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), MaxPowerError> {
+        for _ in 0..count {
+            out.push(self.sample(rng)?);
+        }
+        Ok(())
+    }
 
     /// The population size `|V|`, when the source represents a finite
     /// population (used by the finite-population estimator, paper §3.4).
@@ -84,34 +109,95 @@ impl<S: PowerSource + Clone + Send> PowerSourceFactory for S {
 }
 
 /// On-demand simulation source: generator + simulator, no pre-computation.
+///
+/// Supports two kernels (see [`KernelMode`]): the scalar per-pair engine,
+/// and — for zero-delay timing — the bit-parallel [`PackedSimulator`],
+/// which [`SimulatorSource::sample_batch`] uses to settle up to 64 pairs
+/// per word-level sweep. Both kernels accumulate capacitance in the same
+/// topological node order, so their readings are bit-identical; batching
+/// draws all the batch's vector pairs from the RNG *before* simulating
+/// (the simulator consumes no randomness), so the RNG stream is identical
+/// too. Kernel choice therefore never changes an estimate, only its cost.
 #[derive(Debug, Clone)]
 pub struct SimulatorSource<'c> {
     simulator: PowerSimulator<'c>,
     generator: PairGenerator,
     width: usize,
     simulated: u64,
+    kernel: KernelMode,
+    packed: Option<PackedSimulator>,
+    packed_pairs: u64,
+    pair_buf: Vec<VectorPair>,
+    report_buf: Vec<CycleReport>,
 }
 
 impl<'c> SimulatorSource<'c> {
     /// Creates a source that simulates fresh pairs from `generator` on the
-    /// given circuit.
+    /// given circuit, with [`KernelMode::Auto`] kernel selection (packed
+    /// under zero-delay, scalar otherwise).
     pub fn new(
         circuit: &'c Circuit,
         generator: PairGenerator,
         delay: DelayModel,
         config: PowerConfig,
     ) -> Self {
+        let simulator = PowerSimulator::new(circuit, delay, config);
+        let packed = match KernelMode::Auto.resolve(delay) {
+            KernelMode::Packed => Some(
+                PackedSimulator::new(&simulator)
+                    .expect("auto-resolved packed kernel implies zero delay"),
+            ),
+            _ => None,
+        };
         SimulatorSource {
-            simulator: PowerSimulator::new(circuit, delay, config),
+            simulator,
             width: circuit.num_inputs(),
             generator,
             simulated: 0,
+            kernel: KernelMode::Auto,
+            packed,
+            packed_pairs: 0,
+            pair_buf: Vec::new(),
+            report_buf: Vec::new(),
+        }
+    }
+
+    /// Selects the simulation kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MaxPowerError::Simulation`] wrapping
+    /// [`mpe_sim::SimError::KernelUnsupported`] when [`KernelMode::Packed`]
+    /// is requested with a non-zero delay model.
+    pub fn with_kernel(mut self, kernel: KernelMode) -> Result<Self, MaxPowerError> {
+        self.packed = match kernel.resolve(self.simulator.delay_model()) {
+            KernelMode::Packed => {
+                Some(PackedSimulator::new(&self.simulator).map_err(MaxPowerError::from)?)
+            }
+            _ => None,
+        };
+        self.kernel = kernel;
+        Ok(self)
+    }
+
+    /// The kernel the batch path actually runs (`Auto` already resolved
+    /// against the delay model).
+    pub fn kernel(&self) -> KernelMode {
+        if self.packed.is_some() {
+            KernelMode::Packed
+        } else {
+            KernelMode::Scalar
         }
     }
 
     /// Vector pairs simulated so far (the paper's cost metric).
     pub fn simulated(&self) -> u64 {
         self.simulated
+    }
+
+    /// Vector pairs that went through the bit-parallel kernel.
+    pub fn packed_pairs(&self) -> u64 {
+        self.packed_pairs
     }
 }
 
@@ -122,6 +208,37 @@ impl PowerSource for SimulatorSource<'_> {
         self.simulator
             .cycle_power(&pair.v1, &pair.v2)
             .map_err(MaxPowerError::from)
+    }
+
+    fn sample_batch(
+        &mut self,
+        rng: &mut dyn RngCore,
+        count: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), MaxPowerError> {
+        let Some(packed) = &self.packed else {
+            // Scalar kernel: the default interleaved generate/simulate loop
+            // (identical RNG order, reusing the simulator's scratch).
+            for _ in 0..count {
+                out.push(self.sample(rng)?);
+            }
+            return Ok(());
+        };
+        // Draw the whole batch's vectors first — the simulator consumes no
+        // randomness, so this is the same RNG stream as interleaving.
+        self.pair_buf.clear();
+        for _ in 0..count {
+            self.pair_buf.push(self.generator.generate(rng, self.width));
+        }
+        let refs: Vec<(&[bool], &[bool])> = self.pair_buf.iter().map(|p| p.as_slices()).collect();
+        self.report_buf.clear();
+        packed
+            .cycle_reports_batch(&refs, &mut self.report_buf)
+            .map_err(MaxPowerError::from)?;
+        self.simulated += count as u64;
+        self.packed_pairs += count as u64;
+        out.extend(self.report_buf.iter().map(|r| r.power_mw));
+        Ok(())
     }
 }
 
@@ -146,6 +263,21 @@ impl<'p> PopulationSource<'p> {
 impl PowerSource for PopulationSource<'_> {
     fn sample(&mut self, rng: &mut dyn RngCore) -> Result<f64, MaxPowerError> {
         Ok(self.population.sample_power(rng))
+    }
+
+    fn sample_batch(
+        &mut self,
+        rng: &mut dyn RngCore,
+        count: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), MaxPowerError> {
+        // Pre-simulated powers are a table lookup: batching just skips the
+        // per-draw dynamic dispatch. Draw order matches `sample` exactly.
+        out.reserve(count);
+        for _ in 0..count {
+            out.push(self.population.sample_power(rng));
+        }
+        Ok(())
     }
 
     fn population_size(&self) -> Option<u64> {

@@ -12,7 +12,7 @@ use maxpower::{
     RunOptions, SamplePolicy, SimulatorSource,
 };
 use mpe_netlist::{generate, Iscas85};
-use mpe_sim::{DelayModel, PowerConfig};
+use mpe_sim::{DelayModel, KernelMode, PowerConfig};
 use mpe_vectors::PairGenerator;
 use rand::{Rng, RngCore};
 
@@ -202,6 +202,107 @@ fn fault_injected_parallel_run_is_deterministic() {
         sequential.health.source_errors > 0 || sequential.health.samples_discarded > 0,
         "fault mix never fired — the test is vacuous"
     );
+}
+
+/// Kernel selection is pure provenance: the bit-parallel packed kernel
+/// and the scalar kernel produce byte-identical estimates, health ledgers
+/// *and checkpoint sequences* for workers 1, 2 and 8. A kernel switch can
+/// change cost, never a single committed bit.
+#[test]
+fn packed_and_scalar_kernels_are_bit_identical_across_worker_counts() {
+    let circuit = generate(Iscas85::C432, 7).expect("circuit generates");
+    let config = EstimationConfig {
+        relative_error: 0.10,
+        min_reading_mw: 0.0,
+        ..EstimationConfig::default()
+    };
+    let session = EstimatorBuilder::new(config).build();
+    let run = |kernel: KernelMode, n: usize| {
+        let source = SimulatorSource::new(
+            &circuit,
+            PairGenerator::Uniform,
+            DelayModel::Zero,
+            PowerConfig::default(),
+        )
+        .with_kernel(kernel)
+        .expect("zero delay supports every kernel");
+        let mut cps: Vec<Checkpoint> = Vec::new();
+        let mut save = |cp: &Checkpoint| cps.push(cp.clone());
+        let est = session
+            .run(
+                &source,
+                RunOptions::default()
+                    .seeded(11)
+                    .workers(workers(n))
+                    .save_with(&mut save),
+            )
+            .expect("run converges");
+        (format!("{est:?}"), cps)
+    };
+    let (reference, reference_cps) = run(KernelMode::Scalar, 1);
+    assert!(!reference_cps.is_empty());
+    for n in [1usize, 2, 8] {
+        for kernel in [KernelMode::Scalar, KernelMode::Packed] {
+            let (est, cps) = run(kernel, n);
+            assert_eq!(reference, est, "{kernel} kernel, {n} workers diverged");
+            assert_eq!(
+                reference_cps, cps,
+                "{kernel} kernel, {n} workers: checkpoint sequence diverged"
+            );
+        }
+    }
+}
+
+/// Fault injection composes with kernel selection: the injector makes its
+/// fault decision per draw, which forces the per-draw sampling path, and
+/// the inner kernel's readings are bit-identical either way — so faulted
+/// runs match across kernels and worker counts, health ledger included.
+#[test]
+fn fault_injected_runs_match_across_kernels() {
+    let circuit = generate(Iscas85::C432, 7).expect("circuit generates");
+    let faults = FaultConfig {
+        seed: 13,
+        error_rate: 0.05,
+        nan_rate: 0.01,
+        ..FaultConfig::default()
+    };
+    let config = EstimationConfig {
+        relative_error: 0.10,
+        min_reading_mw: 0.0,
+        sample_policy: SamplePolicy::Skip {
+            max_discarded: 10_000,
+        },
+        ..EstimationConfig::default()
+    };
+    let session = EstimatorBuilder::new(config).build();
+    let run = |kernel: KernelMode, n: usize| {
+        let inner = SimulatorSource::new(
+            &circuit,
+            PairGenerator::Uniform,
+            DelayModel::Zero,
+            PowerConfig::default(),
+        )
+        .with_kernel(kernel)
+        .expect("zero delay supports every kernel");
+        let factory = FaultInjectingSource::new(inner, faults).expect("valid fault mix");
+        format!(
+            "{:?}",
+            session
+                .run(
+                    &factory,
+                    RunOptions::default().seeded(3).workers(workers(n)),
+                )
+                .expect("faulted run converges")
+        )
+    };
+    let reference = run(KernelMode::Scalar, 1);
+    for n in [1usize, 2, 8] {
+        assert_eq!(
+            reference,
+            run(KernelMode::Packed, n),
+            "packed kernel, {n} workers diverged under fault injection"
+        );
+    }
 }
 
 /// Parallel runs attribute their work to per-worker telemetry lanes; the

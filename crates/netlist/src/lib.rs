@@ -38,6 +38,7 @@ pub mod circuit;
 pub mod error;
 pub mod gate;
 pub mod generator;
+pub mod packed;
 pub mod profiles;
 pub mod verilog;
 
@@ -46,4 +47,5 @@ pub use circuit::{Circuit, CircuitBuilder, CircuitStats, NodeId};
 pub use error::NetlistError;
 pub use gate::GateKind;
 pub use generator::{generate, multiplier};
+pub use packed::{PackedEvaluator, LANES};
 pub use profiles::{CircuitProfile, Iscas85};

@@ -1,7 +1,6 @@
 //! The per-vector-pair simulation engine.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::cell::RefCell;
 
 use mpe_netlist::{CapacitanceModel, Circuit, GateKind, NodeId};
 
@@ -18,17 +17,41 @@ pub struct CycleReport {
     pub switched_cap_ff: f64,
     /// Total output transitions summed over all nodes (glitches included).
     pub toggles: u64,
-    /// Events processed by the event-driven kernel (0 in zero-delay mode).
+    /// Re-evaluations processed by the event-driven kernel (0 in zero-delay
+    /// mode). Redundant same-time re-evaluations of a node are coalesced, so
+    /// this counts *distinct* `(node, time)` evaluations.
     pub events: u64,
     /// Simulated settling time of the second vector, in delay units.
     pub settle_time: u64,
 }
 
+/// Reusable per-simulator working memory.
+///
+/// Holds every buffer the scalar kernels need — steady-state value vectors,
+/// the fan-in staging buffer and the event time-wheel — so repeated
+/// [`PowerSimulator::cycle_report`] calls perform no per-pair allocation
+/// once the buffers reach their high-water mark.
+#[derive(Debug, Clone, Default)]
+struct SimScratch {
+    /// Steady-state values of `v1` (zero-delay) / live values (event-driven).
+    before: Vec<bool>,
+    /// Steady-state values of `v2` (zero-delay only).
+    after: Vec<bool>,
+    /// Fan-in staging buffer for gate re-evaluation.
+    fanin_vals: Vec<bool>,
+    /// Time-wheel buckets: pending re-evaluations keyed by `time % wheel_len`.
+    buckets: Vec<Vec<u32>>,
+    /// Per-node dedup marker: `time + 1` of the pending re-evaluation
+    /// (0 = none). Same-`(node, time)` schedules are coalesced.
+    scheduled_at: Vec<u64>,
+}
+
 /// A reusable power simulator bound to one circuit.
 ///
-/// Construction precomputes node capacitances and per-gate delays; each
-/// [`PowerSimulator::cycle_power`] call is then allocation-light, making
-/// whole-population sweeps cheap.
+/// Construction precomputes node capacitances, per-gate delays and reusable
+/// scratch buffers; each [`PowerSimulator::cycle_power`] call is then
+/// allocation-free in steady state (buffers are retained between calls
+/// behind the `&self` API), making whole-population sweeps cheap.
 ///
 /// The simulation semantics per vector pair `(v1, v2)`:
 ///
@@ -41,7 +64,7 @@ pub struct CycleReport {
 ///
 /// The simulator is `Clone` (the precomputed tables are copied, the
 /// circuit reference is shared), so parallel estimation can hand each
-/// worker its own engine.
+/// worker its own engine with its own scratch space.
 #[derive(Debug, Clone)]
 pub struct PowerSimulator<'c> {
     circuit: &'c Circuit,
@@ -49,6 +72,9 @@ pub struct PowerSimulator<'c> {
     config: PowerConfig,
     caps: Vec<f64>,
     delays: Vec<u64>,
+    /// Largest per-gate delay — bounds the event horizon, sizing the wheel.
+    max_delay: u64,
+    scratch: RefCell<SimScratch>,
 }
 
 impl<'c> PowerSimulator<'c> {
@@ -65,16 +91,19 @@ impl<'c> PowerSimulator<'c> {
         cap_model: &CapacitanceModel,
     ) -> Self {
         let caps = cap_model.node_capacitances(circuit);
-        let delays = circuit
+        let delays: Vec<u64> = circuit
             .node_ids()
             .map(|id| delay.gate_delay(circuit, id).max(1))
             .collect();
+        let max_delay = delays.iter().copied().max().unwrap_or(1);
         PowerSimulator {
             circuit,
             delay,
             config,
             caps,
             delays,
+            max_delay,
+            scratch: RefCell::new(SimScratch::default()),
         }
     }
 
@@ -91,6 +120,11 @@ impl<'c> PowerSimulator<'c> {
     /// The electrical configuration.
     pub fn config(&self) -> PowerConfig {
         self.config
+    }
+
+    /// Per-node switched capacitances (indexed by `NodeId`).
+    pub(crate) fn caps(&self) -> &[f64] {
+        &self.caps
     }
 
     /// Cycle-based power (mW) for the vector pair — the quantity the
@@ -134,13 +168,17 @@ impl<'c> PowerSimulator<'c> {
 
     /// Zero-delay: one toggle per node whose steady-state value changes.
     fn zero_delay_report(&self, v1: &[bool], v2: &[bool]) -> CycleReport {
-        let mut before = Vec::new();
-        let mut after = Vec::new();
-        self.circuit.evaluate_into(v1, &mut before);
-        self.circuit.evaluate_into(v2, &mut after);
+        let mut scratch = self.scratch.borrow_mut();
+        let SimScratch {
+            ref mut before,
+            ref mut after,
+            ..
+        } = *scratch;
+        self.circuit.evaluate_into(v1, before);
+        self.circuit.evaluate_into(v2, after);
         let mut cap = 0.0;
         let mut toggles = 0u64;
-        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+        for (i, (b, a)) in before.iter().zip(after.iter()).enumerate() {
             if b != a {
                 cap += self.caps[i];
                 toggles += 1;
@@ -161,18 +199,41 @@ impl<'c> PowerSimulator<'c> {
     /// and the gate's fanouts are scheduled after their own delays. Pulses
     /// narrower than a gate's delay are naturally filtered (inertial-like),
     /// while reconvergent glitches wider than the delay are counted.
+    ///
+    /// The pending set is a bucketed time-wheel: per-gate delays are bounded
+    /// by `max_delay`, so every pending time lies in
+    /// `(now, now + max_delay]` and `time % (max_delay + 1)` addresses a
+    /// bucket unambiguously — O(1) push/pop instead of a binary heap.
+    /// Duplicate `(node, time)` schedules (several fan-ins of one gate
+    /// changing at the same instant) are coalesced via a per-node marker;
+    /// the duplicates were guaranteed no-ops under re-evaluation semantics,
+    /// so toggles, capacitance and settle time are unchanged — only the
+    /// redundant re-evaluations disappear from [`CycleReport::events`].
     fn event_driven_report(&self, v1: &[bool], v2: &[bool]) -> Result<CycleReport, SimError> {
         let circuit = self.circuit;
         let n = circuit.num_nodes();
-        let mut values = Vec::with_capacity(n);
-        circuit.evaluate_into(v1, &mut values);
+        let wheel_len = (self.max_delay + 1) as usize;
 
-        // (Reverse(time), node) min-heap; u32 node id keeps keys small.
-        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        let mut scratch = self.scratch.borrow_mut();
+        let SimScratch {
+            before: ref mut values,
+            ref mut fanin_vals,
+            ref mut buckets,
+            ref mut scheduled_at,
+            ..
+        } = *scratch;
+        circuit.evaluate_into(v1, values);
+        if buckets.len() < wheel_len {
+            buckets.resize(wheel_len, Vec::new());
+        }
+        scheduled_at.clear();
+        scheduled_at.resize(n, 0);
+
         let mut cap = 0.0;
         let mut toggles = 0u64;
         let mut events = 0u64;
         let mut settle_time = 0u64;
+        let mut pending = 0usize;
 
         // Apply the second vector at t = 0: input flips toggle immediately
         // and schedule their fanouts.
@@ -182,7 +243,12 @@ impl<'c> PowerSimulator<'c> {
                 cap += self.caps[id.index()];
                 toggles += 1;
                 for &f in circuit.fanouts(id) {
-                    heap.push(Reverse((self.delays[f.index()], f.index() as u32)));
+                    let time = self.delays[f.index()];
+                    if scheduled_at[f.index()] != time + 1 {
+                        scheduled_at[f.index()] = time + 1;
+                        buckets[(time % wheel_len as u64) as usize].push(f.index() as u32);
+                        pending += 1;
+                    }
                 }
             }
         }
@@ -190,29 +256,60 @@ impl<'c> PowerSimulator<'c> {
         // Defensive budget: a DAG with d-bounded delays processes at most
         // O(paths) events; 10_000 × nodes is far beyond anything legal.
         let budget = 10_000usize.saturating_mul(n).max(1_000_000);
-        let mut fanin_vals: Vec<bool> = Vec::with_capacity(8);
-        while let Some(Reverse((time, node))) = heap.pop() {
-            events += 1;
-            if events as usize > budget {
-                return Err(SimError::EventBudgetExhausted { budget });
-            }
-            let id = NodeId::from_index(node as usize);
-            let kind = circuit.kind(id);
-            if kind == GateKind::Input {
+        let mut now = 0u64;
+        while pending > 0 {
+            now += 1;
+            let slot = (now % wheel_len as u64) as usize;
+            if buckets[slot].is_empty() {
                 continue;
             }
-            fanin_vals.clear();
-            fanin_vals.extend(circuit.fanin(id).iter().map(|f| values[f.index()]));
-            let new_val = kind.eval(&fanin_vals);
-            if new_val != values[id.index()] {
-                values[id.index()] = new_val;
-                cap += self.caps[id.index()];
-                toggles += 1;
-                settle_time = settle_time.max(time);
-                for &f in circuit.fanouts(id) {
-                    heap.push(Reverse((time + self.delays[f.index()], f.index() as u32)));
+            // Same-time re-evaluations must run in ascending node order:
+            // a gate evaluated at time t reads the values of *other* gates
+            // toggling at t, so the in-bucket order is observable. Sorting
+            // reproduces the old heap's (time, node) pop order exactly,
+            // keeping toggles and the f64 accumulation sequence identical.
+            buckets[slot].sort_unstable();
+            // New schedules land at `now + d` with `1 <= d <= max_delay`,
+            // which never maps back onto `slot`, so indexed iteration over a
+            // stable bucket is safe while other buckets grow.
+            let mut i = 0;
+            while i < buckets[slot].len() {
+                let node = buckets[slot][i];
+                i += 1;
+                pending -= 1;
+                scheduled_at[node as usize] = 0;
+                events += 1;
+                if events as usize > budget {
+                    buckets[slot].clear();
+                    for b in buckets.iter_mut() {
+                        b.clear();
+                    }
+                    return Err(SimError::EventBudgetExhausted { budget });
+                }
+                let id = NodeId::from_index(node as usize);
+                let kind = circuit.kind(id);
+                if kind == GateKind::Input {
+                    continue;
+                }
+                fanin_vals.clear();
+                fanin_vals.extend(circuit.fanin(id).iter().map(|f| values[f.index()]));
+                let new_val = kind.eval(fanin_vals);
+                if new_val != values[id.index()] {
+                    values[id.index()] = new_val;
+                    cap += self.caps[id.index()];
+                    toggles += 1;
+                    settle_time = settle_time.max(now);
+                    for &f in circuit.fanouts(id) {
+                        let time = now + self.delays[f.index()];
+                        if scheduled_at[f.index()] != time + 1 {
+                            scheduled_at[f.index()] = time + 1;
+                            buckets[(time % wheel_len as u64) as usize].push(f.index() as u32);
+                            pending += 1;
+                        }
+                    }
                 }
             }
+            buckets[slot].clear();
         }
 
         Ok(CycleReport {
@@ -356,5 +453,121 @@ mod tests {
         let ps = sim_s.cycle_power(&vs1, &vs2).unwrap();
         let pb = sim_b.cycle_power(&vb1, &vb2).unwrap();
         assert!(pb > ps * 3.0, "C6288 {pb} mW vs C432 {ps} mW");
+    }
+
+    #[test]
+    fn repeated_reports_are_identical() {
+        // The reusable scratch must not leak state between pairs: the same
+        // pair simulated back-to-back (and after unrelated pairs) yields
+        // byte-identical reports.
+        let c = generate(Iscas85::C432, 5).unwrap();
+        let width = c.num_inputs();
+        let v1: Vec<bool> = (0..width).map(|i| i % 3 == 0).collect();
+        let v2: Vec<bool> = (0..width).map(|i| i % 2 == 0).collect();
+        let v3: Vec<bool> = (0..width).map(|i| i % 5 == 0).collect();
+        for model in [
+            DelayModel::Zero,
+            DelayModel::Unit,
+            DelayModel::fanout_default(),
+        ] {
+            let sim = PowerSimulator::new(&c, model, PowerConfig::default());
+            let first = sim.cycle_report(&v1, &v2).unwrap();
+            let _ = sim.cycle_report(&v2, &v3).unwrap(); // perturb scratch
+            let again = sim.cycle_report(&v1, &v2).unwrap();
+            assert_eq!(first, again, "{model}");
+        }
+    }
+
+    #[test]
+    fn wheel_matches_reference_heap_kernel() {
+        // Cross-check the time-wheel against a straightforward BinaryHeap
+        // reference implementation on a mix of circuits and vector pairs:
+        // toggles, capacitance and settle time must agree exactly (events
+        // may differ — the wheel coalesces redundant same-time schedules).
+        use mpe_netlist::generator::random_dag;
+        for seed in 0..12 {
+            let c = random_dag("wh", 8, 3, 60, 8, seed).unwrap();
+            let width = c.num_inputs();
+            for model in [DelayModel::Unit, DelayModel::fanout_default()] {
+                let sim = PowerSimulator::new(&c, model, PowerConfig::default());
+                for pair_seed in 0..6u64 {
+                    let v1: Vec<bool> = (0..width)
+                        .map(|i| (seed + pair_seed + i as u64).is_multiple_of(3))
+                        .collect();
+                    let v2: Vec<bool> = (0..width)
+                        .map(|i| (seed + pair_seed + i as u64).is_multiple_of(2))
+                        .collect();
+                    let wheel = sim.cycle_report(&v1, &v2).unwrap();
+                    let heap = reference_heap_report(&sim, &v1, &v2);
+                    assert_eq!(wheel.toggles, heap.toggles, "seed {seed}");
+                    assert_eq!(wheel.settle_time, heap.settle_time, "seed {seed}");
+                    // Bit-identical: the wheel replays the heap's exact
+                    // (time, node) evaluation order, so the f64 sums match.
+                    assert_eq!(
+                        wheel.switched_cap_ff.to_bits(),
+                        heap.switched_cap_ff.to_bits(),
+                        "seed {seed}"
+                    );
+                    assert_eq!(wheel.power_mw.to_bits(), heap.power_mw.to_bits());
+                    assert!(wheel.events <= heap.events, "dedup can only shrink events");
+                }
+            }
+        }
+    }
+
+    /// The pre-time-wheel kernel, kept verbatim as a test oracle.
+    fn reference_heap_report(sim: &PowerSimulator<'_>, v1: &[bool], v2: &[bool]) -> CycleReport {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let circuit = sim.circuit();
+        let mut values = circuit.evaluate(v1);
+        let delays: Vec<u64> = circuit
+            .node_ids()
+            .map(|id| sim.delay_model().gate_delay(circuit, id).max(1))
+            .collect();
+        let caps = sim.caps();
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        let mut cap = 0.0;
+        let mut toggles = 0u64;
+        let mut events = 0u64;
+        let mut settle_time = 0u64;
+        for (&id, &bit) in circuit.inputs().iter().zip(v2) {
+            if values[id.index()] != bit {
+                values[id.index()] = bit;
+                cap += caps[id.index()];
+                toggles += 1;
+                for &f in circuit.fanouts(id) {
+                    heap.push(Reverse((delays[f.index()], f.index() as u32)));
+                }
+            }
+        }
+        let mut fanin_vals: Vec<bool> = Vec::new();
+        while let Some(Reverse((time, node))) = heap.pop() {
+            events += 1;
+            let id = NodeId::from_index(node as usize);
+            let kind = circuit.kind(id);
+            if kind == GateKind::Input {
+                continue;
+            }
+            fanin_vals.clear();
+            fanin_vals.extend(circuit.fanin(id).iter().map(|f| values[f.index()]));
+            let new_val = kind.eval(&fanin_vals);
+            if new_val != values[id.index()] {
+                values[id.index()] = new_val;
+                cap += caps[id.index()];
+                toggles += 1;
+                settle_time = settle_time.max(time);
+                for &f in circuit.fanouts(id) {
+                    heap.push(Reverse((time + delays[f.index()], f.index() as u32)));
+                }
+            }
+        }
+        CycleReport {
+            power_mw: sim.config().power_mw(cap),
+            switched_cap_ff: cap,
+            toggles,
+            events,
+            settle_time,
+        }
     }
 }

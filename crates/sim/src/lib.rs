@@ -45,6 +45,7 @@ pub mod activity;
 pub mod delay;
 pub mod engine;
 pub mod error;
+pub mod packed;
 pub mod population;
 pub mod power;
 pub mod trace;
@@ -53,6 +54,7 @@ pub use activity::ActivityProfile;
 pub use delay::DelayModel;
 pub use engine::{CycleReport, PowerSimulator};
 pub use error::SimError;
+pub use packed::{KernelMode, PackedSimulator};
 pub use population::{simulate_population, simulate_population_traced};
 pub use power::PowerConfig;
 pub use trace::{Transition, Waveform};

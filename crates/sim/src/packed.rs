@@ -1,0 +1,308 @@
+//! Bit-parallel batch simulation: 64 vector pairs per word-level sweep.
+//!
+//! [`PackedSimulator`] wraps the zero-delay kernel of a [`PowerSimulator`]
+//! with [`mpe_netlist::PackedEvaluator`]'s word-level evaluation: each node
+//! value is a `u64` whose bit `l` is the node's value for pair `l` of the
+//! batch, so one pass over the netlist settles 64 "before" states, a second
+//! pass settles 64 "after" states, and the per-pair switched capacitance is
+//! accumulated lane by lane.
+//!
+//! **Bit-identity contract:** for every lane, capacitances are accumulated
+//! over nodes in topological order — the exact `f64` addition sequence of
+//! the scalar [`PowerSimulator::cycle_report`] zero-delay path — so
+//! `power_mw`, `switched_cap_ff` and `toggles` are bit-identical to the
+//! scalar kernel's, not merely approximately equal. The estimation layers
+//! rely on this to make the packed and scalar paths interchangeable.
+
+use std::cell::RefCell;
+
+use mpe_netlist::{packed::LANES, PackedEvaluator};
+
+use crate::delay::DelayModel;
+use crate::engine::{CycleReport, PowerSimulator};
+use crate::error::SimError;
+use crate::power::PowerConfig;
+
+/// Which simulation kernel the estimation path should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Packed when the delay model permits it (zero-delay), scalar
+    /// otherwise.
+    #[default]
+    Auto,
+    /// Always the scalar per-pair kernel.
+    Scalar,
+    /// Always the bit-parallel kernel; only valid with zero-delay timing.
+    Packed,
+}
+
+impl KernelMode {
+    /// Parses a CLI-style kernel name.
+    pub fn parse(s: &str) -> Option<KernelMode> {
+        match s {
+            "auto" => Some(KernelMode::Auto),
+            "scalar" => Some(KernelMode::Scalar),
+            "packed" => Some(KernelMode::Packed),
+            _ => None,
+        }
+    }
+
+    /// The canonical name of this mode.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelMode::Auto => "auto",
+            KernelMode::Scalar => "scalar",
+            KernelMode::Packed => "packed",
+        }
+    }
+
+    /// Resolves `Auto` against a delay model: the packed kernel implements
+    /// zero-delay semantics only.
+    pub fn resolve(self, delay: DelayModel) -> KernelMode {
+        match self {
+            KernelMode::Auto => {
+                if delay == DelayModel::Zero {
+                    KernelMode::Packed
+                } else {
+                    KernelMode::Scalar
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Reusable word-level working memory.
+#[derive(Debug, Clone, Default)]
+struct PackedScratch {
+    words_before: Vec<u64>,
+    words_after: Vec<u64>,
+    vals_before: Vec<u64>,
+    vals_after: Vec<u64>,
+}
+
+/// A bit-parallel zero-delay batch simulator.
+///
+/// Built from a [`PowerSimulator`]; owns its CSR-flattened netlist and
+/// capacitance table, so it has no borrow of the source simulator. Use
+/// [`PackedSimulator::cycle_reports_batch`] to simulate any number of pairs;
+/// they are processed in chunks of [`mpe_netlist::LANES`] (64).
+#[derive(Debug, Clone)]
+pub struct PackedSimulator {
+    evaluator: PackedEvaluator,
+    caps: Vec<f64>,
+    config: PowerConfig,
+    scratch: RefCell<PackedScratch>,
+}
+
+impl PackedSimulator {
+    /// Builds the packed kernel from a scalar simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::KernelUnsupported`] unless the simulator uses
+    /// [`DelayModel::Zero`] — the packed sweep has no notion of time, so it
+    /// can only reproduce zero-delay semantics.
+    pub fn new(sim: &PowerSimulator<'_>) -> Result<PackedSimulator, SimError> {
+        if sim.delay_model() != DelayModel::Zero {
+            return Err(SimError::KernelUnsupported {
+                delay: sim.delay_model().to_string(),
+            });
+        }
+        Ok(PackedSimulator {
+            evaluator: PackedEvaluator::new(sim.circuit()),
+            caps: sim.caps().to_vec(),
+            config: sim.config(),
+            scratch: RefCell::new(PackedScratch::default()),
+        })
+    }
+
+    /// Number of primary inputs of the underlying circuit.
+    pub fn num_inputs(&self) -> usize {
+        self.evaluator.num_inputs()
+    }
+
+    /// Simulates every `(v1, v2)` pair, appending one [`CycleReport`] per
+    /// pair to `out` in order. Batches of up to 64 pairs share each
+    /// word-level sweep; a partial final chunk simply leaves the spare lanes
+    /// unused.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WidthMismatch`] if any vector's width differs
+    /// from the circuit's primary input count (reports for pairs before the
+    /// offending one are already appended).
+    pub fn cycle_reports_batch(
+        &self,
+        pairs: &[(&[bool], &[bool])],
+        out: &mut Vec<CycleReport>,
+    ) -> Result<(), SimError> {
+        let width = self.evaluator.num_inputs();
+        let n = self.evaluator.num_nodes();
+        let mut scratch = self.scratch.borrow_mut();
+        let PackedScratch {
+            ref mut words_before,
+            ref mut words_after,
+            ref mut vals_before,
+            ref mut vals_after,
+        } = *scratch;
+        words_before.resize(width, 0);
+        words_after.resize(width, 0);
+
+        for chunk in pairs.chunks(LANES) {
+            for (lane, (v1, v2)) in chunk.iter().enumerate() {
+                if v1.len() != width {
+                    return Err(SimError::WidthMismatch {
+                        expected: width,
+                        got: v1.len(),
+                    });
+                }
+                if v2.len() != width {
+                    return Err(SimError::WidthMismatch {
+                        expected: width,
+                        got: v2.len(),
+                    });
+                }
+                self.evaluator.pack_lane(words_before, lane, v1);
+                self.evaluator.pack_lane(words_after, lane, v2);
+            }
+            self.evaluator.evaluate_packed(words_before, vals_before);
+            self.evaluator.evaluate_packed(words_after, vals_after);
+
+            // Lane-wise accumulation in topological node order: for each
+            // lane the f64 additions happen in exactly the order the scalar
+            // zero-delay kernel performs them, so the sums are bit-identical.
+            let mut cap = [0.0f64; LANES];
+            let mut toggles = [0u64; LANES];
+            for i in 0..n {
+                let mut diff = vals_before[i] ^ vals_after[i];
+                while diff != 0 {
+                    let lane = diff.trailing_zeros() as usize;
+                    diff &= diff - 1;
+                    if lane < chunk.len() {
+                        cap[lane] += self.caps[i];
+                        toggles[lane] += 1;
+                    }
+                }
+            }
+            for lane in 0..chunk.len() {
+                out.push(CycleReport {
+                    power_mw: self.config.power_mw(cap[lane]),
+                    switched_cap_ff: cap[lane],
+                    toggles: toggles[lane],
+                    events: 0,
+                    settle_time: 0,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpe_netlist::{generate, Iscas85};
+
+    fn pairs_for(width: usize, count: usize, seed: u64) -> Vec<(Vec<bool>, Vec<bool>)> {
+        // Deterministic pseudo-random pairs from an LCG (no RNG dep needed).
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut bit = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) & 1 != 0
+        };
+        (0..count)
+            .map(|_| {
+                let v1: Vec<bool> = (0..width).map(|_| bit()).collect();
+                let v2: Vec<bool> = (0..width).map(|_| bit()).collect();
+                (v1, v2)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packed_matches_scalar_bitwise_on_c432() {
+        let c = generate(Iscas85::C432, 7).unwrap();
+        let sim = PowerSimulator::new(&c, DelayModel::Zero, crate::PowerConfig::default());
+        let packed = PackedSimulator::new(&sim).unwrap();
+        // 130 pairs: two full words plus a partial final word of 2 lanes.
+        let pairs = pairs_for(c.num_inputs(), 130, 42);
+        let refs: Vec<(&[bool], &[bool])> = pairs
+            .iter()
+            .map(|(a, b)| (a.as_slice(), b.as_slice()))
+            .collect();
+        let mut reports = Vec::new();
+        packed.cycle_reports_batch(&refs, &mut reports).unwrap();
+        assert_eq!(reports.len(), 130);
+        for (i, (v1, v2)) in pairs.iter().enumerate() {
+            let scalar = sim.cycle_report(v1, v2).unwrap();
+            assert_eq!(scalar, reports[i], "pair {i}");
+            assert_eq!(
+                scalar.power_mw.to_bits(),
+                reports[i].power_mw.to_bits(),
+                "pair {i} power bits"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_non_zero_delay() {
+        let c = generate(Iscas85::C432, 7).unwrap();
+        let sim = PowerSimulator::new(&c, DelayModel::Unit, crate::PowerConfig::default());
+        assert!(matches!(
+            PackedSimulator::new(&sim),
+            Err(SimError::KernelUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn width_mismatch_detected() {
+        let c = generate(Iscas85::C432, 7).unwrap();
+        let sim = PowerSimulator::new(&c, DelayModel::Zero, crate::PowerConfig::default());
+        let packed = PackedSimulator::new(&sim).unwrap();
+        let short = vec![true; c.num_inputs() - 1];
+        let full = vec![true; c.num_inputs()];
+        let mut out = Vec::new();
+        let err = packed.cycle_reports_batch(&[(&short, &full)], &mut out);
+        assert!(matches!(err, Err(SimError::WidthMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let c = generate(Iscas85::C432, 7).unwrap();
+        let sim = PowerSimulator::new(&c, DelayModel::Zero, crate::PowerConfig::default());
+        let packed = PackedSimulator::new(&sim).unwrap();
+        let mut out = Vec::new();
+        packed.cycle_reports_batch(&[], &mut out).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn kernel_mode_parse_and_resolve() {
+        assert_eq!(KernelMode::parse("auto"), Some(KernelMode::Auto));
+        assert_eq!(KernelMode::parse("scalar"), Some(KernelMode::Scalar));
+        assert_eq!(KernelMode::parse("packed"), Some(KernelMode::Packed));
+        assert_eq!(KernelMode::parse("fast"), None);
+        assert_eq!(
+            KernelMode::Auto.resolve(DelayModel::Zero),
+            KernelMode::Packed
+        );
+        assert_eq!(
+            KernelMode::Auto.resolve(DelayModel::Unit),
+            KernelMode::Scalar
+        );
+        assert_eq!(
+            KernelMode::Scalar.resolve(DelayModel::Zero),
+            KernelMode::Scalar
+        );
+        assert_eq!(KernelMode::Packed.to_string(), "packed");
+    }
+}

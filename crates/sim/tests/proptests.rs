@@ -1,7 +1,7 @@
 //! Property-based tests for the simulation engine.
 
 use mpe_netlist::generator::random_dag;
-use mpe_sim::{DelayModel, PowerConfig, PowerSimulator};
+use mpe_sim::{DelayModel, PackedSimulator, PowerConfig, PowerSimulator};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -64,6 +64,44 @@ proptest! {
         let a = sim.cycle_report(&v1, &v2).unwrap();
         let b = sim.cycle_report(&v1, &v2).unwrap();
         prop_assert_eq!(a, b);
+    }
+
+    /// The bit-parallel packed kernel is bit-identical to the scalar
+    /// zero-delay kernel for every circuit and every batch size —
+    /// including batches that are not multiples of 64, so the final
+    /// partial word's idle lanes are exercised.
+    #[test]
+    fn packed_kernel_matches_scalar(
+        seed in 0u64..200,
+        vec_seed in 0u64..500,
+        batch in 1usize..150,
+    ) {
+        let c = random_dag("p", 9, 3, 50, 9, seed).unwrap();
+        let sim = PowerSimulator::new(&c, DelayModel::Zero, PowerConfig::default());
+        let packed = PackedSimulator::new(&sim).unwrap();
+        let mut rng = SmallRng::seed_from_u64(vec_seed);
+        let pairs: Vec<(Vec<bool>, Vec<bool>)> = (0..batch)
+            .map(|_| (random_vector(&mut rng, 9), random_vector(&mut rng, 9)))
+            .collect();
+        let refs: Vec<(&[bool], &[bool])> =
+            pairs.iter().map(|(a, b)| (a.as_slice(), b.as_slice())).collect();
+        let mut reports = Vec::new();
+        packed.cycle_reports_batch(&refs, &mut reports).unwrap();
+        prop_assert_eq!(reports.len(), batch);
+        for ((v1, v2), got) in pairs.iter().zip(&reports) {
+            let want = sim.cycle_report(v1, v2).unwrap();
+            prop_assert_eq!(got.toggles, want.toggles);
+            prop_assert_eq!(
+                got.switched_cap_ff.to_bits(),
+                want.switched_cap_ff.to_bits(),
+                "cap {} vs {}", got.switched_cap_ff, want.switched_cap_ff
+            );
+            prop_assert_eq!(
+                got.power_mw.to_bits(),
+                want.power_mw.to_bits(),
+                "power {} vs {}", got.power_mw, want.power_mw
+            );
+        }
     }
 
     /// Voltage/frequency scaling acts exactly quadratically/linearly.

@@ -50,6 +50,10 @@ pub mod names {
     /// simulation drawn from the power source. Exactly equals the
     /// estimator's reported `units_used`.
     pub const VECTOR_PAIRS_SIMULATED: &str = "vector_pairs_simulated";
+    /// Counter: batched draw requests issued to the power source — one per
+    /// `sample_batch` call the hyper-sample loop makes (a full sample per
+    /// call in the common case, smaller top-up batches after discards).
+    pub const SAMPLE_BATCHES: &str = "sample_batches";
     /// Counter: completed hyper-samples (one per outer iteration `k`).
     pub const HYPER_SAMPLES: &str = "hyper_samples";
     /// Counter: vector pairs evaluated by whole-population batch
