@@ -17,13 +17,14 @@
 
 use std::num::NonZeroUsize;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use maxpower::checkpoint::{backup_path, load_with_recovery, save_atomic, CheckpointSource};
 use maxpower::telemetry::{JsonlSink, ProgressSink, Telemetry};
 use maxpower::{
     estimate_average_power, Checkpoint, DelaySource, EstimateReport, EstimationConfig,
-    EstimatorBuilder, MaxPowerEstimate, PowerSourceFactory, RunOptions, RunStatus, SamplePolicy,
-    Session, SimulatorSource,
+    EstimatorBuilder, MaxPowerEstimate, PowerSourceFactory, RunBudget, RunOptions, RunStatus,
+    SamplePolicy, Session, SimulatorSource,
 };
 use mpe_netlist::{bench_format, generate, Circuit, Iscas85};
 use mpe_sim::{DelayModel, KernelMode, PowerConfig};
@@ -59,8 +60,20 @@ ESTIMATION (estimate / delay):
 RESILIENCE (estimate / delay):
     --sample-policy P   fail | skip[:CAP] | retry[:N] — reaction to source errors and
                         invalid readings (default fail; skip cap 1000, retry cap 8)
-    --checkpoint FILE   save estimator state after every hyper-sample and resume
-                        from FILE if it exists (same seed + config required)
+    --checkpoint FILE   save estimator state after every hyper-sample (atomic
+                        write + fsync, previous generation rotated to FILE.bak,
+                        content-checksummed) and resume from FILE if it exists
+                        (same seed + config required; falls back to FILE.bak
+                        when FILE is torn or corrupt)
+
+SUPERVISION (estimate / delay):
+    --deadline SECS     wall-clock budget; on expiry the run stops gracefully with
+                        a valid partial result (status INTERRUPTED)
+    --hyper-budget N    stop gracefully after committing N more hyper-samples
+    --stall-timeout S   flag parallel workers whose heartbeat is older than S
+                        seconds (observability only; the estimate is unaffected)
+    Ctrl-C / SIGTERM    first signal stops gracefully (commits the in-flight
+                        prefix, saves the final checkpoint); a second aborts
 
 OBSERVABILITY (estimate / delay):
     --trace-file FILE   write a structured JSONL event trace (schema v1) to FILE
@@ -152,6 +165,9 @@ struct Flags {
     json: bool,
     sample_policy: SamplePolicy,
     checkpoint: Option<String>,
+    deadline: Option<f64>,
+    hyper_budget: Option<usize>,
+    stall_timeout: Option<f64>,
     trace_file: Option<String>,
     metrics: bool,
     progress: bool,
@@ -175,6 +191,9 @@ impl Flags {
             json: false,
             sample_policy: SamplePolicy::Fail,
             checkpoint: None,
+            deadline: None,
+            hyper_budget: None,
+            stall_timeout: None,
             trace_file: None,
             metrics: false,
             progress: false,
@@ -224,6 +243,15 @@ impl Flags {
                 "--json" => flags.json = true,
                 "--sample-policy" => flags.sample_policy = parse_sample_policy(value()?)?,
                 "--checkpoint" => flags.checkpoint = Some(value()?.to_string()),
+                "--deadline" => {
+                    flags.deadline = Some(parse_seconds(value()?, "--deadline")?);
+                }
+                "--hyper-budget" => {
+                    flags.hyper_budget = Some(parse_num(value()?, "--hyper-budget")?);
+                }
+                "--stall-timeout" => {
+                    flags.stall_timeout = Some(parse_seconds(value()?, "--stall-timeout")?);
+                }
                 "--trace-file" => flags.trace_file = Some(value()?.to_string()),
                 "--metrics" => flags.metrics = true,
                 "--progress" => flags.progress = true,
@@ -322,29 +350,98 @@ fn parse_sample_policy(v: &str) -> Result<SamplePolicy, String> {
     }
 }
 
-/// Atomically persists a checkpoint (write-to-temp, then rename).
-fn save_checkpoint(path: &str, cp: &Checkpoint) -> std::io::Result<()> {
-    let tmp = format!("{path}.tmp");
-    std::fs::write(&tmp, cp.to_json())?;
-    std::fs::rename(&tmp, path)
+/// First `SIGINT`/`SIGTERM` trips the run's [`CancelToken`] — the engine
+/// commits the in-flight prefix, writes a final checkpoint and reports
+/// `status: INTERRUPTED`. A second signal aborts immediately with the
+/// conventional `128 + SIGINT` exit code.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::OnceLock;
+
+    use maxpower::CancelToken;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn _exit(code: i32) -> !;
+    }
+
+    static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+    static SIGNALS_SEEN: AtomicUsize = AtomicUsize::new(0);
+
+    // Only async-signal-safe operations are allowed here: atomic stores
+    // (tripping the token) and `_exit`. No allocation, no printing.
+    extern "C" fn handle(_signum: i32) {
+        if SIGNALS_SEEN.fetch_add(1, Ordering::AcqRel) == 0 {
+            if let Some(token) = TOKEN.get() {
+                token.cancel();
+            }
+        } else {
+            unsafe { _exit(130) }
+        }
+    }
+
+    /// Installs the handlers (idempotent) and returns the shared token.
+    pub fn install() -> CancelToken {
+        let token = TOKEN.get_or_init(CancelToken::new).clone();
+        unsafe {
+            signal(SIGINT, handle as extern "C" fn(i32) as usize);
+            signal(SIGTERM, handle as extern "C" fn(i32) as usize);
+        }
+        token
+    }
 }
 
-/// Runs the session, with checkpoint/resume when `--checkpoint` is set.
+/// Signal handling is unix-only; elsewhere the token is still wired up so
+/// `--deadline` / `--hyper-budget` behave identically.
+#[cfg(not(unix))]
+mod signals {
+    use maxpower::CancelToken;
+
+    pub fn install() -> CancelToken {
+        CancelToken::new()
+    }
+}
+
+/// Runs the session under signal/deadline/budget supervision, with
+/// crash-safe checkpoint/resume when `--checkpoint` is set.
 fn run_to_completion<F: PowerSourceFactory>(
     session: &Session,
     factory: &F,
     flags: &Flags,
 ) -> Result<MaxPowerEstimate, Box<dyn std::error::Error>> {
+    let mut budget = RunBudget::none();
+    if let Some(secs) = flags.deadline {
+        budget = budget.with_deadline(Duration::from_secs_f64(secs));
+    }
+    if let Some(n) = flags.hyper_budget {
+        budget = budget.with_max_hyper_samples(n);
+    }
+    if let Some(secs) = flags.stall_timeout {
+        budget = budget.with_stall_timeout(Duration::from_secs_f64(secs));
+    }
     let opts = RunOptions::default()
         .seeded(flags.seed)
-        .workers(flags.workers);
+        .workers(flags.workers)
+        .cancel_token(signals::install())
+        .budget(budget);
     let Some(path) = &flags.checkpoint else {
         return Ok(session.run(factory, opts)?);
     };
-    let resume = match std::fs::read_to_string(path) {
-        Ok(text) => Some(Checkpoint::from_json(&text)?),
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
-        Err(e) => return Err(e.into()),
+    let resume = match load_with_recovery(path, Checkpoint::from_json)? {
+        Some((cp, CheckpointSource::Primary)) => Some(cp),
+        Some((cp, CheckpointSource::Backup)) => {
+            status!(
+                "warning: checkpoint `{path}` is missing or corrupt; \
+                 recovered from backup `{}`",
+                backup_path(path)
+            );
+            Some(cp)
+        }
+        None => None,
     };
     if let Some(cp) = &resume {
         status!(
@@ -354,7 +451,7 @@ fn run_to_completion<F: PowerSourceFactory>(
     }
     let mut save_err: Option<std::io::Error> = None;
     let mut save = |cp: &Checkpoint| {
-        if let Err(e) = save_checkpoint(path, cp) {
+        if let Err(e) = save_atomic(path, &cp.to_json()) {
             save_err = Some(e);
         }
     };
@@ -372,6 +469,18 @@ fn run_to_completion<F: PowerSourceFactory>(
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
     s.parse()
         .map_err(|_| format!("{flag} expects a number, got `{s}`"))
+}
+
+/// Parses a duration flag: a finite, non-negative number of seconds
+/// (`Duration::from_secs_f64` panics on anything else).
+fn parse_seconds(s: &str, flag: &str) -> Result<f64, String> {
+    let secs: f64 = parse_num(s, flag)?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(format!(
+            "{flag} expects a non-negative number of seconds, got `{s}`"
+        ));
+    }
+    Ok(secs)
 }
 
 fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error::Error>> {
@@ -472,13 +581,19 @@ fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error:
                 "status: degraded — deepest fallback estimator: {}",
                 fallback.label()
             ),
+            RunStatus::Interrupted { reason } => status!(
+                "status: INTERRUPTED ({reason}) — valid partial result over {} \
+                 hyper-samples; rerun with --checkpoint to continue",
+                estimate.hyper_samples
+            ),
         }
         let h = estimate.health;
         if !h.is_clean() {
             status!(
                 "health: {} source errors survived, {} readings discarded, \
                  {} sample retries, {} MLE retries, {} degenerate bailouts, \
-                 {} POT fallbacks, {} quantile fallbacks{}",
+                 {} POT fallbacks, {} quantile fallbacks, \
+                 {} worker restarts, {} worker stalls{}",
                 h.source_errors,
                 h.samples_discarded,
                 h.sample_retries,
@@ -486,6 +601,8 @@ fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error:
                 h.degenerate_bailouts,
                 h.pot_fallbacks,
                 h.quantile_fallbacks,
+                h.worker_restarts,
+                h.worker_stalls,
                 if h.zero_mean_guard {
                     "; zero-mean guard active"
                 } else {

@@ -23,8 +23,11 @@
 //! telemetry, which records work *actually performed*, does count the
 //! speculative draws on the worker lanes that performed them.
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
@@ -38,9 +41,21 @@ use crate::checkpoint::{
 use crate::config::EstimationConfig;
 use crate::error::MaxPowerError;
 use crate::estimator::{EstimateHistoryEntry, MaxPowerEstimate};
-use crate::health::{EstimatorKind, RunHealth};
+use crate::health::{EstimatorKind, RunHealth, RunStatus};
 use crate::hyper::{generate_hyper_sample, HyperSample, HyperSampleContext};
 use crate::source::{PowerSource, PowerSourceFactory};
+use crate::supervise::{panic_message, StopReason, Supervision, Supervisor};
+
+/// Deterministic panics (hyper-sample `k` is a pure function of config,
+/// seed and index) cannot be fixed by requeueing: after this many panics
+/// on the *same* index the run fails hard with
+/// [`MaxPowerError::Panicked`].
+const MAX_PANICS_PER_INDEX: usize = 3;
+
+/// Coordinator wake-up period while supervision or the stall watchdog is
+/// active: the latency bound on noticing a cancellation/deadline with no
+/// worker results arriving. Unsupervised runs never tick.
+const SUPERVISION_TICK: Duration = Duration::from_millis(100);
 
 /// Live (deserialized) estimator state shared by fresh and resumed runs.
 pub(crate) struct RunState {
@@ -76,7 +91,7 @@ impl RunState {
     }
 
     fn to_checkpoint(&self, fingerprint: u64, master_seed: u64) -> Checkpoint {
-        Checkpoint {
+        let mut cp = Checkpoint {
             version: CHECKPOINT_VERSION,
             config_fingerprint: fingerprint,
             master_seed,
@@ -91,7 +106,10 @@ impl RunState {
             observed_max_mw: self.observed_max.is_finite().then_some(self.observed_max),
             health: self.health,
             telemetry: None,
-        }
+            checksum: None,
+        };
+        cp.seal();
+        cp
     }
 }
 
@@ -156,7 +174,12 @@ fn finish(
     st: RunState,
     s: &IntervalStats,
     met_target: bool,
+    interrupted: Option<StopReason>,
 ) -> MaxPowerEstimate {
+    let status = match interrupted {
+        Some(reason) => RunStatus::Interrupted { reason },
+        None => st.health.status(met_target),
+    };
     MaxPowerEstimate {
         estimate_mw: s.mean,
         confidence_interval: (s.mean - s.half, s.mean + s.half),
@@ -165,7 +188,7 @@ fn finish(
         hyper_samples: st.estimates.len(),
         units_used: st.units_used,
         observed_max_mw: st.observed_max,
-        status: st.health.status(met_target),
+        status,
         health: st.health,
         history: st.history,
         hyper_estimates: st.estimates,
@@ -203,10 +226,45 @@ impl Committer<'_> {
             if met || k >= self.config.max_hyper_samples {
                 self.telemetry.flush();
                 let st = std::mem::replace(&mut self.state, RunState::new());
-                return Ok(Some(finish(&self.config, st, s, met)));
+                return Ok(Some(finish(&self.config, st, s, met, None)));
             }
         }
         Ok(None)
+    }
+
+    /// Ends the run early on a supervision stop: the committed prefix
+    /// becomes a valid partial estimate tagged
+    /// [`RunStatus::Interrupted`]. With fewer than two committed
+    /// hyper-samples no interval exists, so there is nothing to return and
+    /// the stop surfaces as [`MaxPowerError::Interrupted`].
+    fn finish_interrupted(
+        &mut self,
+        reason: StopReason,
+    ) -> Result<MaxPowerEstimate, MaxPowerError> {
+        let stats = interval(&self.config, &self.state.estimates, &mut self.state.health)?;
+        match stats {
+            Some(s) => {
+                self.telemetry.flush();
+                let st = std::mem::replace(&mut self.state, RunState::new());
+                Ok(finish(&self.config, st, &s, false, Some(reason)))
+            }
+            None => Err(MaxPowerError::Interrupted {
+                reason,
+                hyper_samples: self.state.estimates.len(),
+            }),
+        }
+    }
+
+    /// Records a recovered worker panic in the run's health ledger (the
+    /// affected hyper-sample is re-derived on a healthy worker, so the
+    /// estimate itself is unaffected).
+    fn record_worker_panic(&mut self) {
+        self.state.health.worker_restarts += 1;
+    }
+
+    /// Records a stall-watchdog flag in the run's health ledger.
+    fn record_worker_stall(&mut self) {
+        self.state.health.worker_stalls += 1;
     }
 
     /// Absorbs hyper-sample `k` (which must be the next index) into the
@@ -248,6 +306,8 @@ impl Committer<'_> {
                 cp.telemetry = Some(crate::report::TelemetrySummary::from_snapshot(
                     &self.telemetry.snapshot(),
                 ));
+                // The telemetry block is part of the sealed payload.
+                cp.seal();
             }
             (self.save)(&cp);
             self.telemetry.counter(names::CHECKPOINT_SAVES, 1);
@@ -318,6 +378,7 @@ pub(crate) fn run_sequential(
     mut driver: RngDriver<'_>,
     resume: Option<&Checkpoint>,
     save: &mut dyn FnMut(&Checkpoint),
+    supervision: &Supervision,
 ) -> Result<MaxPowerEstimate, MaxPowerError> {
     let (master_seed, checkpointing) = match driver {
         RngDriver::Stream(_) => (0, false),
@@ -333,27 +394,60 @@ pub(crate) fn run_sequential(
         save,
     )?;
     let config = committer.config;
+    let supervisor = Supervisor::new(supervision, committer.next_k());
 
     let _run_span = telemetry.span(SpanKind::Run);
     loop {
         if let Some(estimate) = committer.decide()? {
             return Ok(estimate);
         }
+        if supervisor.is_active() {
+            if let Some(reason) = supervisor.check(committer.next_k()) {
+                return committer.finish_interrupted(reason);
+            }
+        }
         let k = committer.next_k();
-        let hyper: HyperSample = {
+        let generated: Result<HyperSample, MaxPowerError> = {
             let _hyper_span = telemetry.span(SpanKind::HyperSample);
-            let ctx = HyperSampleContext::new(&config).with_telemetry(telemetry.clone());
+            let mut ctx = HyperSampleContext::new(&config).with_telemetry(telemetry.clone());
+            if let Some(token) = &supervision.cancel {
+                ctx = ctx.with_cancel(token.clone());
+            }
             match &mut driver {
-                RngDriver::Stream(rng) => generate_hyper_sample(source, &ctx, *rng)?,
+                RngDriver::Stream(rng) => generate_hyper_sample(source, &ctx, *rng),
                 RngDriver::Derived(seed) => {
                     source.begin_hyper_sample(k as u64);
                     let mut hyper_rng = SmallRng::seed_from_u64(derive_seed(*seed, k));
-                    generate_hyper_sample(source, &ctx, &mut hyper_rng)?
+                    generate_hyper_sample(source, &ctx, &mut hyper_rng)
                 }
             }
         };
+        let hyper = match generated {
+            Ok(hyper) => hyper,
+            // Cancellation observed mid-generation: the in-flight
+            // hyper-sample is abandoned (it will be re-derived identically
+            // on resume) and the committed prefix becomes the result.
+            Err(MaxPowerError::Interrupted { reason, .. }) => {
+                return committer.finish_interrupted(reason)
+            }
+            Err(e) => return Err(e),
+        };
         committer.commit(hyper)?;
     }
+}
+
+/// One message from a worker to the coordinator.
+enum WorkerEvent {
+    /// Hyper-sample `k` was generated (or failed with an engine error).
+    Done {
+        k: usize,
+        result: Result<HyperSample, MaxPowerError>,
+    },
+    /// The worker panicked while generating hyper-sample `k` and retired.
+    /// The coordinator requeues `k` for a healthy worker — hyper-samples
+    /// are pure functions of `(config, seed, k)`, so the re-derived result
+    /// is bit-identical to what the panicked worker would have produced.
+    Panicked { k: usize, context: String },
 }
 
 /// The deterministic parallel driver: `workers` threads generate
@@ -364,6 +458,21 @@ pub(crate) fn run_sequential(
 ///
 /// Sources are spawned from the factory on this thread before any worker
 /// starts; each worker owns its source for the whole run.
+///
+/// Robustness (all of it off the hot path unless opted into):
+///
+/// * each worker's generation step runs under `catch_unwind`; a panic
+///   retires that worker (its source may be poisoned) and the coordinator
+///   requeues the index, escalating to [`MaxPowerError::Panicked`] after
+///   [`MAX_PANICS_PER_INDEX`] panics on the same index;
+/// * with supervision active the coordinator wakes every
+///   [`SUPERVISION_TICK`] to evaluate the stop conditions; on a stop it
+///   commits the contiguous buffered prefix and returns the partial
+///   estimate via [`Committer::finish_interrupted`];
+/// * with a stall timeout configured, workers stamp a heartbeat gauge per
+///   hyper-sample and the coordinator flags workers whose heartbeat goes
+///   stale (observability only — the estimate never depends on it).
+#[allow(clippy::too_many_arguments)] // crate-private; mirrors run_sequential
 pub(crate) fn run_parallel<F: PowerSourceFactory>(
     config: &EstimationConfig,
     telemetry: &Telemetry,
@@ -372,6 +481,7 @@ pub(crate) fn run_parallel<F: PowerSourceFactory>(
     master_seed: u64,
     resume: Option<&Checkpoint>,
     save: &mut dyn FnMut(&Checkpoint),
+    supervision: &Supervision,
 ) -> Result<MaxPowerEstimate, MaxPowerError> {
     let mut sources = Vec::with_capacity(workers);
     for w in 0..workers {
@@ -388,6 +498,10 @@ pub(crate) fn run_parallel<F: PowerSourceFactory>(
         save,
     )?;
     let config = committer.config;
+    let supervisor = Supervisor::new(supervision, committer.next_k());
+    // recv_timeout ticks are only paid when something can actually use
+    // them; otherwise the coordinator blocks exactly as before.
+    let supervised = supervisor.is_active() || supervisor.stall_timeout().is_some();
 
     let _run_span = telemetry.span(SpanKind::Run);
     // A resumed run that already satisfies its target returns without
@@ -398,42 +512,74 @@ pub(crate) fn run_parallel<F: PowerSourceFactory>(
 
     let next_k = AtomicUsize::new(committer.next_k());
     let stop = AtomicBool::new(false);
-    let (tx, rx) = crossbeam::channel::bounded::<(usize, Result<HyperSample, MaxPowerError>)>(
-        workers.saturating_mul(2),
-    );
+    // Indices reclaimed from panicked workers; drained before the atomic
+    // counter so a requeued index is regenerated promptly.
+    let retry_queue: Mutex<VecDeque<usize>> = Mutex::new(VecDeque::new());
+    // Per-worker liveness stamps (ms since run start), written by workers,
+    // read by the coordinator's stall watchdog.
+    let heartbeats: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let run_started = Instant::now();
+    let (tx, rx) = crossbeam::channel::bounded::<WorkerEvent>(workers.saturating_mul(2));
 
     let outcome = crossbeam::thread::scope(|scope| {
         for (w, mut source) in sources.into_iter().enumerate() {
             let tx = tx.clone();
             let next_k = &next_k;
             let stop = &stop;
+            let retry_queue = &retry_queue;
+            let heartbeat = &heartbeats[w];
             let config = &config;
+            let cancel = supervision.cancel.clone();
             let worker_telemetry = telemetry.for_worker(w as u64);
             scope.spawn(move |_| {
-                let ctx = HyperSampleContext::new(config).with_telemetry(worker_telemetry.clone());
+                let mut ctx =
+                    HyperSampleContext::new(config).with_telemetry(worker_telemetry.clone());
+                if let Some(token) = cancel {
+                    ctx = ctx.with_cancel(token);
+                }
                 loop {
                     if stop.load(Ordering::Acquire) {
                         break;
                     }
-                    let k = next_k.fetch_add(1, Ordering::Relaxed);
-                    let result = {
+                    heartbeat.store(run_started.elapsed().as_millis() as u64, Ordering::Relaxed);
+                    let k = retry_queue
+                        .lock()
+                        .ok()
+                        .and_then(|mut queue| queue.pop_front())
+                        .unwrap_or_else(|| next_k.fetch_add(1, Ordering::Relaxed));
+                    let generated = catch_unwind(AssertUnwindSafe(|| {
                         let _hyper_span = worker_telemetry.span(SpanKind::HyperSample);
                         source.begin_hyper_sample(k as u64);
                         let mut rng = SmallRng::seed_from_u64(derive_seed(master_seed, k));
                         generate_hyper_sample(&mut source, &ctx, &mut rng)
-                    };
-                    worker_telemetry.counter(&names::worker_hyper_samples(w), 1);
-                    let failed = result.is_err();
-                    // A send fails only after the coordinator decided and
-                    // dropped the receiver — normal shutdown.
-                    if tx.send((k, result)).is_err() {
-                        break;
-                    }
-                    if failed {
-                        // This worker's error will abort the run unless the
-                        // stopping index lies before it; either way there is
-                        // no point continuing on this source.
-                        break;
+                    }));
+                    match generated {
+                        Ok(result) => {
+                            worker_telemetry.counter(&names::worker_hyper_samples(w), 1);
+                            let failed = result.is_err();
+                            // A send fails only after the coordinator decided
+                            // and dropped the receiver — normal shutdown.
+                            if tx.send(WorkerEvent::Done { k, result }).is_err() {
+                                break;
+                            }
+                            if failed {
+                                // This worker's error will abort the run unless
+                                // the stopping index lies before it; either way
+                                // there is no point continuing on this source.
+                                break;
+                            }
+                        }
+                        Err(payload) => {
+                            // The source may be mid-mutation: retire this
+                            // worker and hand the index back.
+                            let context = format!(
+                                "hyper-sample {k} panicked on worker {w}: {}",
+                                panic_message(payload.as_ref())
+                            );
+                            worker_telemetry.counter(names::WORKER_PANICS, 1);
+                            let _ = tx.send(WorkerEvent::Panicked { k, context });
+                            break;
+                        }
                     }
                 }
             });
@@ -444,26 +590,121 @@ pub(crate) fn run_parallel<F: PowerSourceFactory>(
         // strictly in index order, deciding after each commit exactly as
         // the sequential core does.
         let mut buffer: BTreeMap<usize, Result<HyperSample, MaxPowerError>> = BTreeMap::new();
+        let mut panics_by_index: HashMap<usize, usize> = HashMap::new();
+        let mut last_panic_context: Option<String> = None;
+        let mut stall_flagged = vec![false; workers];
         let mut outcome: Option<Result<MaxPowerEstimate, MaxPowerError>> = None;
         'recv: while outcome.is_none() {
-            let (k, result) = match rx.recv() {
-                Ok(pair) => pair,
-                Err(_) => {
-                    // All workers exited without a stopping decision: every
-                    // taken index was sent before its worker broke, so this
-                    // means the committed prefix ends at an error we have
-                    // already surfaced — or a bug. Fail loudly either way.
-                    outcome = Some(Err(MaxPowerError::Source {
-                        message: "parallel workers exited without reaching a stopping decision"
-                            .to_string(),
-                    }));
-                    break;
+            if supervised {
+                if let Some(reason) = supervisor.check(committer.next_k()) {
+                    // Stop requested: commit the contiguous prefix already
+                    // buffered (so the final checkpoint and the partial
+                    // estimate include it), then finish. If the drained
+                    // prefix happens to satisfy the stopping rule, the run
+                    // completes normally instead.
+                    let mut drained: Option<Result<MaxPowerEstimate, MaxPowerError>> = None;
+                    while drained.is_none() {
+                        match buffer.remove(&committer.next_k()) {
+                            Some(Ok(hyper)) => {
+                                if let Err(e) = committer.commit(hyper) {
+                                    drained = Some(Err(e));
+                                    break;
+                                }
+                                match committer.decide() {
+                                    Ok(Some(estimate)) => drained = Some(Ok(estimate)),
+                                    Ok(None) => {}
+                                    Err(e) => drained = Some(Err(e)),
+                                }
+                            }
+                            // A buffered error beyond the stop point does not
+                            // outrank the stop itself.
+                            Some(Err(_)) | None => break,
+                        }
+                    }
+                    outcome = Some(match drained {
+                        Some(result) => result,
+                        None => committer.finish_interrupted(reason),
+                    });
+                    break 'recv;
+                }
+                if let Some(timeout) = supervisor.stall_timeout() {
+                    let now_ms = run_started.elapsed().as_millis() as u64;
+                    let timeout_ms = timeout.as_millis() as u64;
+                    for (w, hb) in heartbeats.iter().enumerate() {
+                        let hb_ms = hb.load(Ordering::Relaxed);
+                        if !stall_flagged[w] && now_ms.saturating_sub(hb_ms) > timeout_ms {
+                            // Flagged once per worker: a wedged worker is an
+                            // incident, not a per-tick event.
+                            stall_flagged[w] = true;
+                            committer.record_worker_stall();
+                            telemetry.counter(names::WORKER_STALLS, 1);
+                            telemetry.gauge(&names::worker_heartbeat(w), hb_ms as f64);
+                        }
+                    }
+                }
+            }
+
+            let event = if supervised {
+                match rx.recv_timeout(SUPERVISION_TICK) {
+                    Ok(event) => event,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue 'recv,
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                        outcome = Some(Err(all_workers_exited(
+                            &panics_by_index,
+                            last_panic_context.take(),
+                        )));
+                        break 'recv;
+                    }
+                }
+            } else {
+                match rx.recv() {
+                    Ok(event) => event,
+                    Err(_) => {
+                        // All workers exited without a stopping decision:
+                        // every taken index was sent before its worker broke,
+                        // so the committed prefix ends at an error we have
+                        // already surfaced, every worker panic-retired, or a
+                        // bug. Fail loudly either way.
+                        outcome = Some(Err(all_workers_exited(
+                            &panics_by_index,
+                            last_panic_context.take(),
+                        )));
+                        break 'recv;
+                    }
+                }
+            };
+
+            let (k, result) = match event {
+                WorkerEvent::Done { k, result } => (k, result),
+                WorkerEvent::Panicked { k, context } => {
+                    let count = panics_by_index.entry(k).or_insert(0);
+                    *count += 1;
+                    if *count >= MAX_PANICS_PER_INDEX {
+                        // Deterministic panic: every retry hit it too.
+                        outcome = Some(Err(MaxPowerError::Panicked {
+                            context,
+                            panics: *count,
+                        }));
+                        break 'recv;
+                    }
+                    committer.record_worker_panic();
+                    last_panic_context = Some(context);
+                    if let Ok(mut queue) = retry_queue.lock() {
+                        queue.push_back(k);
+                    }
+                    continue 'recv;
                 }
             };
             buffer.insert(k, result);
             while let Some(result) = buffer.remove(&committer.next_k()) {
                 let hyper = match result {
                     Ok(hyper) => hyper,
+                    // A worker observed the cancellation mid-generation:
+                    // treat it as the stop it is, not a failure.
+                    Err(MaxPowerError::Interrupted { reason, .. }) => {
+                        outcome = Some(committer.finish_interrupted(reason));
+                        break 'recv;
+                    }
                     Err(e) => {
                         outcome = Some(Err(e));
                         break 'recv;
@@ -496,6 +737,28 @@ pub(crate) fn run_parallel<F: PowerSourceFactory>(
         message: "a parallel estimation worker panicked".to_string(),
     })?;
     outcome
+}
+
+/// The error for a coordinator whose workers all exited without reaching a
+/// stopping decision. When panics were seen, every worker retired through
+/// the panic path and the run had no healthy worker left to regenerate the
+/// requeued indices — report that instead of the generic source error.
+fn all_workers_exited(
+    panics_by_index: &HashMap<usize, usize>,
+    last_panic_context: Option<String>,
+) -> MaxPowerError {
+    let panics: usize = panics_by_index.values().sum();
+    if panics > 0 {
+        MaxPowerError::Panicked {
+            context: last_panic_context
+                .unwrap_or_else(|| "all parallel workers retired after panics".to_string()),
+            panics,
+        }
+    } else {
+        MaxPowerError::Source {
+            message: "parallel workers exited without reaching a stopping decision".to_string(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@ use mpe_sim::SimError;
 use mpe_stats::StatsError;
 
 use crate::estimator::EstimateHistoryEntry;
+use crate::supervise::StopReason;
 
 /// Error raised by the maximum-power estimation engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +82,27 @@ pub enum MaxPowerError {
         /// Explanation.
         message: String,
     },
+    /// Run supervision stopped the run before it had committed enough
+    /// hyper-samples (fewer than two) to form any interval — there is no
+    /// valid partial estimate to return. With two or more committed the
+    /// engine returns the partial estimate tagged
+    /// [`RunStatus::Interrupted`](crate::RunStatus::Interrupted) instead
+    /// of raising this.
+    Interrupted {
+        /// What stopped the run.
+        reason: StopReason,
+        /// Hyper-samples committed before the stop.
+        hyper_samples: usize,
+    },
+    /// A worker panicked repeatedly on the same hyper-sample index: the
+    /// panic is deterministic (hyper-samples are pure functions of config,
+    /// seed and index), so requeueing cannot help and the run fails hard.
+    Panicked {
+        /// Where the panic happened, including the panic message.
+        context: String,
+        /// Panics observed for this unit of work before escalating.
+        panics: usize,
+    },
     /// A simulation call inside a power source failed.
     Sim(SimError),
     /// A statistical routine failed.
@@ -133,6 +155,17 @@ impl fmt::Display for MaxPowerError {
             ),
             MaxPowerError::CheckpointMismatch { message } => {
                 write!(f, "checkpoint cannot be resumed: {message}")
+            }
+            MaxPowerError::Interrupted {
+                reason,
+                hyper_samples,
+            } => write!(
+                f,
+                "run interrupted ({reason}) after {hyper_samples} committed hyper-samples — \
+                 too few for a partial estimate"
+            ),
+            MaxPowerError::Panicked { context, panics } => {
+                write!(f, "estimation panicked ({panics} time(s)): {context}")
             }
             MaxPowerError::Sim(e) => write!(f, "simulation failure: {e}"),
             MaxPowerError::Stats(e) => write!(f, "statistics failure: {e}"),
@@ -202,6 +235,18 @@ mod tests {
             message: "seed differs".into(),
         };
         assert!(e.to_string().contains("seed differs"));
+        let e = MaxPowerError::Interrupted {
+            reason: StopReason::DeadlineExceeded,
+            hyper_samples: 1,
+        };
+        assert!(e.to_string().contains("deadline exceeded"));
+        assert!(e.to_string().contains("1 committed"));
+        let e = MaxPowerError::Panicked {
+            context: "hyper-sample 4: index overflow".into(),
+            panics: 3,
+        };
+        assert!(e.to_string().contains("hyper-sample 4"));
+        assert!(e.to_string().contains("3 time(s)"));
     }
 
     #[test]

@@ -188,6 +188,7 @@ impl MaxPowerEstimator {
             RngDriver::Stream(rng),
             None,
             &mut |_| {},
+            &crate::supervise::Supervision::default(),
         )
     }
 
@@ -223,6 +224,7 @@ impl MaxPowerEstimator {
             RngDriver::Derived(master_seed),
             resume,
             save,
+            &crate::supervise::Supervision::default(),
         )
     }
 }

@@ -13,6 +13,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::supervise::StopReason;
+
 /// Which estimator produced a hyper-sample estimate.
 ///
 /// The engine degrades along a fixed ladder, from the paper's estimator to
@@ -66,13 +68,25 @@ pub enum RunStatus {
         /// the ladder reached anywhere in the run).
         fallback: EstimatorKind,
     },
+    /// Run supervision stopped the run before the stopping rule fired: an
+    /// operator cancellation, an expired wall-clock deadline, or a spent
+    /// hyper-sample budget. The estimate is the valid partial result over
+    /// the committed prefix; resuming from its checkpoint continues the
+    /// run bit-identically. Schema v6.
+    Interrupted {
+        /// What stopped the run.
+        reason: StopReason,
+    },
 }
 
 impl RunStatus {
     /// Whether the stopping rule's error target was met (regardless of
     /// which estimators contributed).
     pub fn met_target(self) -> bool {
-        !matches!(self, RunStatus::BudgetExhausted)
+        !matches!(
+            self,
+            RunStatus::BudgetExhausted | RunStatus::Interrupted { .. }
+        )
     }
 }
 
@@ -118,6 +132,17 @@ pub struct RunHealth {
     /// criterion because the running mean was indistinguishable from zero
     /// (the relative half-width is undefined there).
     pub zero_mean_guard: bool,
+    /// Parallel worker panics that were recovered by re-deriving the
+    /// panicked hyper-sample on a healthy worker (schema v6; absent in
+    /// older records and defaults to 0).
+    #[serde(default)]
+    pub worker_restarts: usize,
+    /// Parallel workers flagged by the stall watchdog as having gone
+    /// longer than the configured heartbeat timeout without progress
+    /// (schema v6). Timing-dependent observability — never affects the
+    /// estimate.
+    #[serde(default)]
+    pub worker_stalls: usize,
 }
 
 impl RunHealth {
@@ -294,6 +319,29 @@ mod tests {
             fallback: EstimatorKind::Pot
         }
         .met_target());
+        assert!(!RunStatus::Interrupted {
+            reason: StopReason::Cancelled
+        }
+        .met_target());
+    }
+
+    #[test]
+    fn worker_incidents_mark_health_dirty_without_degrading_status() {
+        // A recovered panic or a flagged stall dirties the ledger but does
+        // not imply a fallback estimator: status stays Converged.
+        let run = RunHealth {
+            worker_restarts: 1,
+            ..RunHealth::default()
+        };
+        assert!(!run.is_clean());
+        assert_eq!(run.deepest_fallback(), None);
+        assert_eq!(run.status(true), RunStatus::Converged);
+        let run = RunHealth {
+            worker_stalls: 2,
+            ..RunHealth::default()
+        };
+        assert!(!run.is_clean());
+        assert_eq!(run.status(true), RunStatus::Converged);
     }
 
     #[test]

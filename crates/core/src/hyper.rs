@@ -192,6 +192,7 @@ fn draw_sample(
 pub struct HyperSampleContext<'a> {
     config: &'a EstimationConfig,
     telemetry: Telemetry,
+    cancel: Option<crate::supervise::CancelToken>,
 }
 
 impl<'a> HyperSampleContext<'a> {
@@ -200,6 +201,7 @@ impl<'a> HyperSampleContext<'a> {
         HyperSampleContext {
             config,
             telemetry: Telemetry::disabled(),
+            cancel: None,
         }
     }
 
@@ -211,6 +213,19 @@ impl<'a> HyperSampleContext<'a> {
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches a cancellation token: generation checks it between the
+    /// `m` samples of the hyper-sample and, when tripped, abandons the
+    /// hyper-sample with
+    /// [`MaxPowerError::Interrupted`](crate::MaxPowerError::Interrupted)
+    /// (which the engine turns into a graceful partial result). An
+    /// abandoned hyper-sample is re-derived bit-identically on resume, so
+    /// cancellation never perturbs determinism.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: crate::supervise::CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 
@@ -313,6 +328,24 @@ pub fn generate_hyper_sample(
         {
             let _simulate = telemetry.span(SpanKind::Simulate);
             for _ in 0..m {
+                // Cooperative cancellation point: a hyper-sample is 300
+                // simulations in the paper's setting, so checking between
+                // its m samples bounds stop latency at one sample (~n
+                // simulations) without touching the RNG stream.
+                if let Some(token) = &ctx.cancel {
+                    if token.is_cancelled() {
+                        // Units drawn before the stop are still spent.
+                        telemetry.counter(
+                            names::VECTOR_PAIRS_SIMULATED,
+                            (units_used - units_before) as u64,
+                        );
+                        telemetry.counter(names::SAMPLE_BATCHES, batches);
+                        return Err(MaxPowerError::Interrupted {
+                            reason: crate::supervise::StopReason::Cancelled,
+                            hyper_samples: 0,
+                        });
+                    }
+                }
                 sample_buf.clear();
                 draw_sample(
                     source,

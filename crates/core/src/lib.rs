@@ -84,6 +84,7 @@ pub mod report;
 pub mod session;
 pub mod source;
 pub mod srs;
+pub mod supervise;
 pub mod sweep;
 
 pub use average::{estimate_average_power, AveragePowerEstimate};
@@ -106,4 +107,5 @@ pub use session::{EstimatorBuilder, RunOptions, Session};
 pub use mpe_telemetry as telemetry;
 pub use source::{FnSource, PopulationSource, PowerSource, PowerSourceFactory, SimulatorSource};
 pub use srs::{srs_max_estimate, srs_theoretical_units, SrsEstimate};
+pub use supervise::{CancelToken, RunBudget, StopReason};
 pub use sweep::{sweep_activity, SweepPoint};

@@ -18,9 +18,12 @@ use mpe_telemetry::{MetricsSnapshot, SpanKind};
 /// timings and work counters). v4 added the execution fields: `workers`
 /// (defaulting to 1 when absent) and the optional `wall_ms`. v5 added the
 /// benchmark-provenance fields: the optional `kernel` (which simulation
-/// kernel produced the readings) and `host_parallelism`; v2–v4 reports
-/// still parse.
-pub const REPORT_VERSION: u32 = 5;
+/// kernel produced the readings) and `host_parallelism`. v6 added the
+/// run-supervision vocabulary: `status` gains the
+/// `Interrupted { reason }` variant (cancellation, deadline, hyper-sample
+/// budget) and `health` gains the `worker_restarts` / `worker_stalls`
+/// counters (defaulting to 0 when absent); v2–v5 reports still parse.
+pub const REPORT_VERSION: u32 = 6;
 
 /// Wall-clock attribution for one pipeline phase.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

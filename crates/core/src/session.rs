@@ -39,6 +39,7 @@ use crate::engine::{run_parallel, run_sequential, RngDriver};
 use crate::error::MaxPowerError;
 use crate::estimator::MaxPowerEstimate;
 use crate::source::{PowerSource, PowerSourceFactory};
+use crate::supervise::{CancelToken, RunBudget, Supervision};
 
 /// Builds a [`Session`].
 #[derive(Debug, Clone)]
@@ -85,15 +86,18 @@ pub struct Session {
     telemetry: Telemetry,
 }
 
-/// Per-run execution options: master seed, worker count, and the
-/// checkpoint hooks. Start from [`RunOptions::default`] (seed 0, one
-/// worker, no checkpointing) and chain the builder methods.
+/// Per-run execution options: master seed, worker count, the checkpoint
+/// hooks, and run supervision (cancellation and budgets). Start from
+/// [`RunOptions::default`] (seed 0, one worker, no checkpointing, no
+/// supervision) and chain the builder methods.
 #[derive(Default)]
 pub struct RunOptions<'a> {
     workers: Option<NonZeroUsize>,
     seed: u64,
     resume: Option<&'a Checkpoint>,
     save: Option<&'a mut dyn FnMut(&Checkpoint)>,
+    cancel: Option<CancelToken>,
+    budget: RunBudget,
 }
 
 impl<'a> RunOptions<'a> {
@@ -133,9 +137,41 @@ impl<'a> RunOptions<'a> {
         self
     }
 
+    /// Attaches a cancellation token: trip it (from any thread, or a
+    /// signal handler) and the run stops gracefully at the next
+    /// cancellation point, returning the committed prefix as a valid
+    /// partial estimate tagged
+    /// [`RunStatus::Interrupted`](crate::RunStatus::Interrupted). Resuming
+    /// that estimate's checkpoint reproduces the uninterrupted run
+    /// bit-identically.
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Bounds the run with a [`RunBudget`]: wall-clock deadline,
+    /// committed-hyper-sample budget, and/or the parallel stall watchdog's
+    /// heartbeat timeout. An exceeded deadline or spent budget ends the
+    /// run exactly like a cancellation, with the reason recorded in the
+    /// status.
+    #[must_use]
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// The configured worker count.
     pub fn worker_count(&self) -> usize {
         self.workers.map_or(1, NonZeroUsize::get)
+    }
+
+    /// The supervision bundle handed to the engine.
+    fn supervision(&self) -> Supervision {
+        Supervision {
+            cancel: self.cancel.clone(),
+            budget: self.budget,
+        }
     }
 }
 
@@ -180,6 +216,7 @@ impl Session {
             Some(save) => save,
             None => &mut noop,
         };
+        let supervision = opts.supervision();
         if workers == 1 {
             let mut source = factory.spawn_source(0)?;
             run_sequential(
@@ -189,6 +226,7 @@ impl Session {
                 RngDriver::Derived(opts.seed),
                 opts.resume,
                 save,
+                &supervision,
             )
         } else {
             run_parallel(
@@ -199,6 +237,7 @@ impl Session {
                 opts.seed,
                 opts.resume,
                 save,
+                &supervision,
             )
         }
     }
@@ -235,6 +274,7 @@ impl Session {
             Some(save) => save,
             None => &mut noop,
         };
+        let supervision = opts.supervision();
         run_sequential(
             &self.config,
             &self.telemetry,
@@ -242,6 +282,7 @@ impl Session {
             RngDriver::Derived(opts.seed),
             opts.resume,
             save,
+            &supervision,
         )
     }
 }
@@ -294,5 +335,7 @@ mod tests {
         assert_eq!(opts.seed, 0);
         assert!(opts.resume.is_none());
         assert!(opts.save.is_none());
+        assert!(opts.cancel.is_none());
+        assert!(opts.budget.is_unlimited());
     }
 }

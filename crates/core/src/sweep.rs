@@ -7,6 +7,8 @@
 //! scales between a quiet bus (activity → 0) and a pathological one
 //! (activity → 1).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use mpe_netlist::Circuit;
 use mpe_sim::{DelayModel, PowerConfig};
 use mpe_vectors::PairGenerator;
@@ -16,6 +18,7 @@ use crate::error::MaxPowerError;
 use crate::estimator::MaxPowerEstimate;
 use crate::session::{EstimatorBuilder, RunOptions};
 use crate::source::SimulatorSource;
+use crate::supervise;
 
 /// One point of an activity sweep.
 #[derive(Debug, Clone)]
@@ -89,12 +92,35 @@ pub fn sweep_activity(
         let opts = RunOptions::default().seeded(seed.wrapping_add(i as u64));
         points.push(SweepPoint {
             activity,
-            result: session
-                .run(&source, opts)
-                .and_then(MaxPowerEstimate::into_converged),
+            result: catch_point(activity, || {
+                session
+                    .run(&source, opts)
+                    .and_then(MaxPowerEstimate::into_converged)
+            }),
         });
     }
     Ok(points)
+}
+
+/// Runs one sweep point with panic containment: a point that panics (a
+/// pathological circuit tripping an assertion deep in the simulator)
+/// becomes a failed [`SweepPoint`] instead of unwinding through the sweep
+/// and losing every other point's work. Points are independent runs, so
+/// containment cannot affect any other point's result.
+fn catch_point(
+    activity: f64,
+    run: impl FnOnce() -> Result<MaxPowerEstimate, MaxPowerError>,
+) -> Result<MaxPowerEstimate, MaxPowerError> {
+    match catch_unwind(AssertUnwindSafe(run)) {
+        Ok(result) => result,
+        Err(payload) => Err(MaxPowerError::Panicked {
+            context: format!(
+                "sweep point at activity {activity}: {}",
+                supervise::panic_message(payload.as_ref())
+            ),
+            panics: 1,
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -116,10 +142,12 @@ mod tests {
         let circuit = generate(Iscas85::C432, 3).unwrap();
         let points =
             sweep_activity(&circuit, &[0.1, 0.9], DelayModel::Zero, &sweep_config(), 7).unwrap();
+        // A hard-failed point would make this comparison meaningless, so
+        // surface it as a test failure rather than a panic mid-closure.
         let est = |p: &SweepPoint| match &p.result {
             Ok(e) => e.estimate_mw,
             Err(MaxPowerError::NotConverged { estimate_mw, .. }) => *estimate_mw,
-            Err(e) => panic!("sweep point failed hard: {e}"),
+            Err(e) => unreachable!("sweep point at activity {} failed hard: {e}", p.activity),
         };
         assert!(
             est(&points[1]) > est(&points[0]),
@@ -145,5 +173,25 @@ mod tests {
         let circuit = generate(Iscas85::C432, 3).unwrap();
         assert!(sweep_activity(&circuit, &[], DelayModel::Zero, &sweep_config(), 1).is_err());
         assert!(sweep_activity(&circuit, &[1.5], DelayModel::Zero, &sweep_config(), 1).is_err());
+    }
+
+    #[test]
+    fn panicking_point_is_contained_as_a_failed_result() {
+        let result = catch_point(0.4, || panic!("simulator assertion tripped"));
+        match result {
+            Err(MaxPowerError::Panicked { context, panics }) => {
+                assert!(context.contains("activity 0.4"));
+                assert!(context.contains("simulator assertion tripped"));
+                assert_eq!(panics, 1);
+            }
+            other => unreachable!("expected a contained panic, got {other:?}"),
+        }
+        // Non-panicking closures pass through untouched.
+        let err = catch_point(0.5, || {
+            Err(MaxPowerError::Source {
+                message: "plain failure".into(),
+            })
+        });
+        assert!(matches!(err, Err(MaxPowerError::Source { .. })));
     }
 }

@@ -103,6 +103,13 @@ pub mod names {
     /// Gauge: half-width relative to the running mean (stopping metric).
     pub const CI_RELATIVE_HALF_WIDTH: &str = "ci_relative_half_width";
 
+    /// Counter: parallel-worker panics caught and recovered by requeueing
+    /// the affected hyper-sample on a healthy worker.
+    pub const WORKER_PANICS: &str = "worker_panics";
+    /// Counter: workers flagged by the stall watchdog (heartbeat older
+    /// than the configured timeout).
+    pub const WORKER_STALLS: &str = "worker_stalls";
+
     /// Counter name for hyper-samples generated by one worker of the
     /// parallel execution engine (e.g. `worker_2_hyper_samples`). Unlike
     /// [`HYPER_SAMPLES`] — which counts *committed* hyper-samples in
@@ -112,6 +119,15 @@ pub mod names {
     #[must_use]
     pub fn worker_hyper_samples(worker: usize) -> String {
         format!("worker_{worker}_hyper_samples")
+    }
+
+    /// Gauge name for one worker's liveness heartbeat (e.g.
+    /// `worker_2_heartbeat_ms`): milliseconds since the run started,
+    /// stamped by the worker at the top of each hyper-sample. The stall
+    /// watchdog compares it against the configured timeout.
+    #[must_use]
+    pub fn worker_heartbeat(worker: usize) -> String {
+        format!("worker_{worker}_heartbeat_ms")
     }
 }
 

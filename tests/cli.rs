@@ -120,6 +120,56 @@ fn checkpointed_estimate_resumes_to_identical_result() {
 }
 
 #[test]
+fn hyper_budget_interrupts_and_resume_completes_identically() {
+    if serde_json::from_str::<f64>("1.0").is_err() {
+        // Offline stub serde_json: checkpoint resume is untestable here
+        // (the real CI environment exercises this path).
+        return;
+    }
+    let dir = std::env::temp_dir().join("mpe_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("c432_budget.ckpt");
+    let path = path.to_str().expect("utf8 path");
+    for stale in [path.to_string(), format!("{path}.bak")] {
+        let _ = std::fs::remove_file(stale);
+    }
+    let filtered = |stdout: &str| {
+        stdout
+            .lines()
+            .filter(|l| !l.starts_with("execution:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let base = ["estimate", "--circuit", "C432", "--epsilon", "0.15"];
+
+    // The uninterrupted reference.
+    let (ok, reference, stderr) = run(&base);
+    assert!(ok, "{stderr}");
+
+    // Budget-capped run: exits cleanly with a partial result and a
+    // checksum-valid checkpoint.
+    let (ok, _, stderr) =
+        run(&[&base[..], &["--hyper-budget", "2", "--checkpoint", path]].concat());
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("INTERRUPTED"), "{stderr}");
+    assert!(stderr.contains("hyper-sample budget"), "{stderr}");
+    let cp = maxpower::Checkpoint::from_json(
+        &std::fs::read_to_string(path).expect("checkpoint written"),
+    )
+    .expect("checkpoint is checksum-valid");
+    assert!(cp.hyper_samples() >= 2);
+
+    // Resuming without the budget completes to the reference bytes.
+    let (ok, resumed, stderr) = run(&[&base[..], &["--checkpoint", path]].concat());
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("resuming from checkpoint"), "{stderr}");
+    assert_eq!(filtered(&reference), filtered(&resumed));
+    for stale in [path.to_string(), format!("{path}.bak")] {
+        let _ = std::fs::remove_file(stale);
+    }
+}
+
+#[test]
 fn sample_policy_flag_parses() {
     let (ok, stdout, stderr) = run(&[
         "estimate",
