@@ -7,6 +7,7 @@
 //! * `cargo run -p mpe-bench --release --bin trace_breakdown -- trace.jsonl`
 //! * `cargo run -p mpe-bench --release --bin trace_breakdown -- --parallel-smoke [out.json]`
 //! * `cargo run -p mpe-bench --release --bin trace_breakdown -- --kernel-smoke [out.json]`
+//! * `cargo run -p mpe-bench --release --bin trace_breakdown -- --telemetry-smoke [out.json]`
 //!
 //! The first form validates the trace on the way through (schema version,
 //! monotone seq, LIFO span nesting) and exits non-zero on the first
@@ -23,6 +24,13 @@
 //! fixed-seed zero-delay vector pairs, asserting per-pair bit-identical
 //! power before recording pairs/second as JSON (default path
 //! `BENCH_kernel.json`).
+//!
+//! The fourth form measures the cost of observability itself: the same
+//! fixed-seed estimate with telemetry disabled, with the in-process
+//! metrics registry only, and with a full JSONL trace sink. It asserts
+//! the estimate is bit-identical across all three modes (telemetry must
+//! never perturb the run) and records pairs/second per mode as JSON
+//! (default path `BENCH_telemetry.json`).
 
 use std::num::NonZeroUsize;
 use std::time::Instant;
@@ -30,7 +38,7 @@ use std::time::Instant;
 use maxpower::{EstimationConfig, EstimatorBuilder, MaxPowerEstimate, RunOptions, SimulatorSource};
 use mpe_netlist::{generate, Iscas85};
 use mpe_sim::{DelayModel, PackedSimulator, PowerConfig, PowerSimulator};
-use mpe_telemetry::{names, replay, SpanKind, TraceSummary};
+use mpe_telemetry::{names, replay, JsonlSink, SpanKind, Telemetry, TraceSummary};
 use mpe_vectors::{PairGenerator, VectorPair};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -45,6 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         [flag, out] if flag == "--parallel-smoke" => run_parallel_smoke(out),
         [flag] if flag == "--kernel-smoke" => run_kernel_smoke("BENCH_kernel.json"),
         [flag, out] if flag == "--kernel-smoke" => run_kernel_smoke(out),
+        [flag] if flag == "--telemetry-smoke" => run_telemetry_smoke("BENCH_telemetry.json"),
+        [flag, out] if flag == "--telemetry-smoke" => run_telemetry_smoke(out),
         [path] if !path.starts_with("--") => {
             let text = std::fs::read_to_string(path)?;
             let summary = replay(text.lines())?;
@@ -52,7 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Ok(())
         }
         _ => Err("usage: trace_breakdown <trace.jsonl> | \
-                  --parallel-smoke [out.json] | --kernel-smoke [out.json]"
+                  --parallel-smoke [out.json] | --kernel-smoke [out.json] | \
+                  --telemetry-smoke [out.json]"
             .into()),
     }
 }
@@ -270,6 +281,128 @@ fn render_kernel_json(host: usize, rows: &[KernelRow]) -> String {
     )
 }
 
+/// One circuit's telemetry-overhead measurement: the same fixed-seed
+/// estimate under three observability modes.
+struct TelemetryRow {
+    circuit: String,
+    pairs: usize,
+    off_pairs_per_s: f64,
+    registry_pairs_per_s: f64,
+    jsonl_pairs_per_s: f64,
+    identical: bool,
+}
+
+impl TelemetryRow {
+    /// Throughput loss of a mode relative to telemetry-off, in percent.
+    fn overhead_pct(&self, mode_pairs_per_s: f64) -> f64 {
+        100.0 * (1.0 - mode_pairs_per_s / self.off_pairs_per_s)
+    }
+}
+
+fn run_telemetry_smoke(out_path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let host = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    // Same table-1 conditions as the parallel smoke, sequentially: the
+    // observability overhead is a per-event cost, so a deterministic
+    // single-worker run gives the cleanest off/on comparison.
+    let config = EstimationConfig {
+        finite_population: Some(160_000),
+        max_hyper_samples: 500,
+        min_reading_mw: 0.0,
+        ..EstimationConfig::default()
+    };
+    let trace_path = std::env::temp_dir()
+        .join("mpe_telemetry_smoke.jsonl")
+        .to_string_lossy()
+        .into_owned();
+    let circuits = [Iscas85::C432, Iscas85::C880];
+    let mut rows = Vec::new();
+    for which in circuits {
+        let circuit = generate(which, 7)?;
+        let source = SimulatorSource::new(
+            &circuit,
+            PairGenerator::HighActivity { min_activity: 0.3 },
+            DelayModel::Unit,
+            PowerConfig::default(),
+        );
+        let time_run =
+            |telemetry: Telemetry| -> Result<(MaxPowerEstimate, f64), Box<dyn std::error::Error>> {
+                let session = EstimatorBuilder::new(config)
+                    .telemetry(telemetry.clone())
+                    .build();
+                let started = Instant::now();
+                let estimate = session.run(&source, RunOptions::default().seeded(42))?;
+                telemetry.flush();
+                Ok((estimate, started.elapsed().as_secs_f64()))
+            };
+
+        let (off, off_s) = time_run(Telemetry::disabled())?;
+        let (registry, registry_s) = time_run(Telemetry::enabled())?;
+        let jsonl_telemetry = Telemetry::enabled();
+        let sink = JsonlSink::create(&trace_path)
+            .map_err(|e| format!("cannot create {trace_path}: {e}"))?;
+        jsonl_telemetry.add_sink(Box::new(sink));
+        let (jsonl, jsonl_s) = time_run(jsonl_telemetry)?;
+
+        let identical = format!("{off:?}") == format!("{registry:?}")
+            && format!("{off:?}") == format!("{jsonl:?}");
+        let pairs = off.units_used;
+        let row = TelemetryRow {
+            circuit: which.to_string(),
+            pairs,
+            off_pairs_per_s: pairs as f64 / off_s,
+            registry_pairs_per_s: pairs as f64 / registry_s,
+            jsonl_pairs_per_s: pairs as f64 / jsonl_s,
+            identical,
+        };
+        println!(
+            "{:<6} off {:>10.0} pairs/s, registry {:>10.0} pairs/s ({:+.1}%), \
+             jsonl {:>10.0} pairs/s ({:+.1}%), identical: {}",
+            row.circuit,
+            row.off_pairs_per_s,
+            row.registry_pairs_per_s,
+            row.overhead_pct(row.registry_pairs_per_s),
+            row.jsonl_pairs_per_s,
+            row.overhead_pct(row.jsonl_pairs_per_s),
+            row.identical,
+        );
+        rows.push(row);
+    }
+    let _ = std::fs::remove_file(&trace_path);
+    std::fs::write(out_path, render_telemetry_json(host, &rows))?;
+    println!("wrote {out_path}");
+    if rows.iter().any(|r| !r.identical) {
+        return Err("telemetry perturbed the estimate: modes disagree".into());
+    }
+    Ok(())
+}
+
+fn render_telemetry_json(host: usize, rows: &[TelemetryRow]) -> String {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"circuit\": \"{}\", \"pairs\": {}, \
+                 \"off_pairs_per_s\": {:.1}, \"registry_pairs_per_s\": {:.1}, \
+                 \"jsonl_pairs_per_s\": {:.1}, \"registry_overhead_pct\": {:.2}, \
+                 \"jsonl_overhead_pct\": {:.2}, \"identical\": {}}}",
+                r.circuit,
+                r.pairs,
+                r.off_pairs_per_s,
+                r.registry_pairs_per_s,
+                r.jsonl_pairs_per_s,
+                r.overhead_pct(r.registry_pairs_per_s),
+                r.overhead_pct(r.jsonl_pairs_per_s),
+                r.identical,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"benchmark\": \"telemetry_smoke\",\n  \"host_parallelism\": {host},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    )
+}
+
 fn render_breakdown(path: &str, summary: &TraceSummary) -> String {
     let mut out = String::new();
     out.push_str(&format!(
@@ -394,6 +527,28 @@ mod tests {
         assert!(json.contains("\"delay_model\": \"zero\""), "{json}");
         assert!(json.contains("\"circuit\": \"C880\""), "{json}");
         assert!(json.contains("\"speedup\": 8.000"), "{json}");
+        assert!(json.contains("\"identical\": true"), "{json}");
+    }
+
+    #[test]
+    fn telemetry_json_is_well_formed() {
+        let rows = [TelemetryRow {
+            circuit: "C432".to_string(),
+            pairs: 12_000,
+            off_pairs_per_s: 1000.0,
+            registry_pairs_per_s: 990.0,
+            jsonl_pairs_per_s: 900.0,
+            identical: true,
+        }];
+        let json = render_telemetry_json(4, &rows);
+        assert!(
+            json.contains("\"benchmark\": \"telemetry_smoke\""),
+            "{json}"
+        );
+        assert!(json.contains("\"host_parallelism\": 4"), "{json}");
+        assert!(json.contains("\"circuit\": \"C432\""), "{json}");
+        assert!(json.contains("\"registry_overhead_pct\": 1.00"), "{json}");
+        assert!(json.contains("\"jsonl_overhead_pct\": 10.00"), "{json}");
         assert!(json.contains("\"identical\": true"), "{json}");
     }
 

@@ -8,7 +8,8 @@
 //! * `delay`    — maximum exercisable circuit delay (the paper's proposed
 //!   extension);
 //! * `info`     — circuit structure report;
-//! * `trace`    — capture one vector pair's waveform as a VCD on stdout;
+//! * `trace`    — capture one vector pair's waveform as a VCD on stdout,
+//!   or analyze a JSONL run trace (`trace summarize|diff|export-convergence`);
 //! * `generate` — emit a synthetic ISCAS85 stand-in as `.bench` text.
 //!
 //! Circuits come from `--circuit <ISCAS85 name>` (deterministic synthetic
@@ -20,7 +21,10 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use maxpower::checkpoint::{backup_path, load_with_recovery, save_atomic, CheckpointSource};
-use maxpower::telemetry::{JsonlSink, ProgressSink, Telemetry};
+use maxpower::telemetry::{
+    diff_summaries, forward, names, replay, ForwardHandle, JsonlSink, ProgressSink, SpanKind,
+    SubscriberSink, Telemetry, TraceSummary, DEFAULT_SUBSCRIBER_CAPACITY,
+};
 use maxpower::{
     estimate_average_power, Checkpoint, DelaySource, EstimateReport, EstimationConfig,
     EstimatorBuilder, MaxPowerEstimate, PowerSourceFactory, RunBudget, RunOptions, RunStatus,
@@ -76,10 +80,16 @@ SUPERVISION (estimate / delay):
                         prefix, saves the final checkpoint); a second aborts
 
 OBSERVABILITY (estimate / delay):
-    --trace-file FILE   write a structured JSONL event trace (schema v1) to FILE
-    --metrics           print Prometheus-style metrics after the run (on stdout,
+    --trace-file FILE   write a structured JSONL event trace (schema v2) to FILE
+    --metrics           print Prometheus-style metrics after the run, including
+                        per-phase latency histograms and p50/p95/p99 (on stdout,
                         or stderr when --json so stdout stays machine-readable)
-    --progress          live convergence progress line on stderr
+    --progress          live convergence progress line on stderr (fed through a
+                        bounded subscriber buffer; a slow terminal can never
+                        stall the run — overflow events are counted and dropped)
+    --live MODE         stream run events live on stdout; MODE must be `ndjson`
+                        (one schema-v2 JSON event per line). Incompatible with
+                        --json. The drop count is reported on stderr.
 
 AVERAGE (average):
     same flags; --epsilon defaults to 0.02
@@ -88,12 +98,24 @@ TRACE (trace):
     --seed S            seed for the random vector pair (default 42)
     --delay-model M     zero | unit | fanout (default unit)
 
+TRACE ANALYSIS (trace summarize|diff|export-convergence):
+    trace summarize FILE        validate a JSONL run trace (schema v1/v2) and
+                                print phase totals, latency quantiles, counters
+                                and the estimator audit trail
+    trace diff A B              compare the deterministic content of two traces
+                                (counters, span counts, gauges, audit trail);
+                                timings are ignored; exits non-zero on drift
+    trace export-convergence F  emit the convergence history as CSV on stdout
+
 EXAMPLES:
     mpe estimate --circuit C3540
     mpe estimate --bench c880.bench --activity 0.3 --epsilon 0.03 --json
     mpe estimate --circuit C7552 --checkpoint c7552.ckpt --sample-policy skip
     mpe delay --circuit C6288
     mpe estimate --circuit C432 --trace-file c432.jsonl --metrics --progress
+    mpe estimate --circuit C432 --live ndjson > events.jsonl
+    mpe trace summarize c432.jsonl
+    mpe trace diff run_a.jsonl run_b.jsonl
     mpe generate --circuit C432 > c432_standin.bench
 ";
 
@@ -113,6 +135,32 @@ fn main() -> ExitCode {
         eprintln!("{HELP}");
         return ExitCode::from(2);
     };
+    // The trace-analysis family takes positional arguments, which the flag
+    // parser would reject; dispatch on the verb before parsing. A bare
+    // `mpe trace --circuit ...` still reaches the legacy VCD capture.
+    if command == "trace" {
+        if let Some(verb @ ("summarize" | "diff" | "export-convergence")) =
+            args.get(1).map(String::as_str)
+        {
+            return match run_trace_tool(verb, &args[2..]) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    status!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        // A bare word that isn't a known verb is a typo'd subcommand; a
+        // flag (or nothing) falls through to the legacy VCD capture.
+        if let Some(got) = args.get(1).filter(|a| !a.starts_with('-')) {
+            status!(
+                "error: unknown trace subcommand `{got}` \
+                 (supported: summarize, diff, export-convergence; \
+                 `trace --circuit ...` captures a VCD waveform)"
+            );
+            return ExitCode::from(2);
+        }
+    }
     let flags = match Flags::parse(&args[1..]) {
         Ok(f) => f,
         Err(msg) => {
@@ -171,6 +219,7 @@ struct Flags {
     trace_file: Option<String>,
     metrics: bool,
     progress: bool,
+    live: bool,
 }
 
 impl Flags {
@@ -197,6 +246,7 @@ impl Flags {
             trace_file: None,
             metrics: false,
             progress: false,
+            live: false,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -255,6 +305,12 @@ impl Flags {
                 "--trace-file" => flags.trace_file = Some(value()?.to_string()),
                 "--metrics" => flags.metrics = true,
                 "--progress" => flags.progress = true,
+                "--live" => match value()? {
+                    "ndjson" => flags.live = true,
+                    other => {
+                        return Err(format!("unknown --live mode `{other}` (supported: ndjson)"))
+                    }
+                },
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -294,10 +350,16 @@ impl Flags {
 
     /// Builds the telemetry handle implied by the observability flags:
     /// disabled (zero overhead, bit-identical estimates) unless at least
-    /// one of `--trace-file`, `--metrics`, `--progress` was given.
-    fn telemetry(&self) -> Result<Telemetry, Box<dyn std::error::Error>> {
-        if self.trace_file.is_none() && !self.metrics && !self.progress {
-            return Ok(Telemetry::disabled());
+    /// one of `--trace-file`, `--metrics`, `--progress`, `--live` was
+    /// given.
+    ///
+    /// Live consumers (`--progress`, `--live ndjson`) are never wired as
+    /// direct sinks: they tail a bounded [`SubscriberSink`] ring on their
+    /// own threads, so a stalled terminal or blocked stdout pipe drops
+    /// events (counted) instead of stalling the estimation loop.
+    fn telemetry(&self) -> Result<(Telemetry, TelemetryPipes), Box<dyn std::error::Error>> {
+        if self.trace_file.is_none() && !self.metrics && !self.progress && !self.live {
+            return Ok((Telemetry::disabled(), TelemetryPipes::none()));
         }
         let telemetry = Telemetry::enabled();
         if let Some(path) = &self.trace_file {
@@ -305,10 +367,27 @@ impl Flags {
                 .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?;
             telemetry.add_sink(Box::new(sink));
         }
-        if self.progress {
-            telemetry.add_sink(Box::new(ProgressSink::stderr()));
+        let mut pipes = TelemetryPipes::none();
+        if self.progress || self.live {
+            let (sink, hub) = SubscriberSink::bounded(DEFAULT_SUBSCRIBER_CAPACITY);
+            let mut forwards = Vec::new();
+            if self.progress {
+                forwards.push(forward(hub.subscribe(), Box::new(ProgressSink::stderr())));
+            }
+            if self.live {
+                forwards.push(forward(
+                    hub.subscribe(),
+                    Box::new(JsonlSink::new(std::io::stdout())),
+                ));
+            }
+            telemetry.add_sink(Box::new(sink));
+            pipes = TelemetryPipes {
+                hub: Some(hub),
+                forwards,
+                live: self.live,
+            };
         }
-        Ok(telemetry)
+        Ok((telemetry, pipes))
     }
 
     fn estimation_config(&self, default_eps: f64) -> EstimationConfig {
@@ -326,6 +405,49 @@ impl Flags {
             // reading is always garbage here.
             min_reading_mw: 0.0,
             ..EstimationConfig::default()
+        }
+    }
+}
+
+/// The live consumers tailing the run's bounded subscriber ring (progress
+/// line, NDJSON stream) and the hub that feeds them. `finish` closes the
+/// stream, joins the forwarder threads and reports the drop accounting —
+/// the run itself never waits on a consumer.
+struct TelemetryPipes {
+    hub: Option<maxpower::telemetry::SubscriberHub>,
+    forwards: Vec<ForwardHandle>,
+    live: bool,
+}
+
+impl TelemetryPipes {
+    fn none() -> Self {
+        TelemetryPipes {
+            hub: None,
+            forwards: Vec::new(),
+            live: false,
+        }
+    }
+
+    /// Ends the live stream: closes the hub (waking any blocked
+    /// forwarder), drains what is still buffered, and reports how many
+    /// events each consumer missed to the bounded buffer.
+    fn finish(self) {
+        let Some(hub) = self.hub else { return };
+        hub.close();
+        let mut forwarded = 0u64;
+        let mut dropped = 0u64;
+        for handle in self.forwards {
+            let (f, d) = handle.join();
+            forwarded += f;
+            dropped += d;
+        }
+        if self.live {
+            status!("live stream: {forwarded} events forwarded, {dropped} dropped");
+        } else if dropped > 0 {
+            status!(
+                "note: {dropped} telemetry events dropped by the bounded \
+                 progress buffer (the run was not slowed down)"
+            );
         }
     }
 }
@@ -484,10 +606,17 @@ fn parse_seconds(s: &str, flag: &str) -> Result<f64, String> {
 }
 
 fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error::Error>> {
+    if flags.live && flags.json {
+        return Err(
+            "--live ndjson streams events on stdout and cannot be combined with --json \
+             (use --trace-file to capture events alongside a JSON report)"
+                .into(),
+        );
+    }
     let circuit = flags.load_circuit()?;
     let generator = flags.generator()?;
     let config = flags.estimation_config(0.05);
-    let telemetry = flags.telemetry()?;
+    let (telemetry, pipes) = flags.telemetry()?;
     let session = EstimatorBuilder::new(config)
         .telemetry(telemetry.clone())
         .build();
@@ -540,8 +669,10 @@ fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error:
 
     // Make sure the trace file is complete (the run span's `span_end` is
     // emitted as the estimator returns, after its internal flush) and the
-    // progress line, if any, is finished before other output.
+    // live consumers have drained before other output: `finish` closes the
+    // subscriber hub and joins the forwarder threads.
     telemetry.flush();
+    pipes.finish();
 
     if flags.json {
         let host_parallelism = std::thread::available_parallelism()
@@ -555,23 +686,32 @@ fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error:
         }
         println!("{}", report.to_json());
     } else {
-        println!(
+        // Under --live, stdout is the NDJSON stream; the headline result
+        // moves to stderr with the rest of the human-facing lines.
+        let result = |line: String| {
+            if flags.live {
+                status!("{line}");
+            } else {
+                println!("{line}");
+            }
+        };
+        result(format!(
             "{} {} ≈ {:.4} {unit} ±{:.1}% at {:.0}% confidence",
             circuit.name(),
             metric_name,
             estimate.estimate_mw,
             100.0 * estimate.relative_error,
             100.0 * estimate.confidence,
-        );
-        println!(
+        ));
+        result(format!(
             "cost: {} vector pairs, {} hyper-samples; largest observation {:.4} {unit}",
             estimate.units_used, estimate.hyper_samples, estimate.observed_max_mw,
-        );
-        println!(
+        ));
+        result(format!(
             "execution: {workers} worker{} in {:.2} s wall ({kernel} kernel)",
             if workers == 1 { "" } else { "s" },
             wall_ms / 1e3,
-        );
+        ));
         match estimate.status {
             RunStatus::Converged => status!("status: converged"),
             RunStatus::BudgetExhausted => {
@@ -610,13 +750,20 @@ fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error:
                 },
             );
         }
+        if h.irregular_fits > 0 {
+            status!(
+                "audit: {} MLE fit(s) violate Smith's α > 2 regularity condition; \
+                 the CI's asymptotic justification is weakened there",
+                h.irregular_fits
+            );
+        }
     }
 
     if flags.metrics {
         status!("{}", telemetry.render_summary());
         // The exposition is machine output: stdout normally, stderr when
-        // --json already owns stdout.
-        if flags.json {
+        // --json or --live already owns stdout.
+        if flags.json || flags.live {
             eprint!("{}", telemetry.render_exposition());
         } else {
             print!("{}", telemetry.render_exposition());
@@ -690,4 +837,143 @@ fn run_generate(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     let circuit = flags.load_circuit()?;
     print!("{}", bench_format::write(&circuit));
     Ok(())
+}
+
+/// Reads and validates a JSONL run trace (schema v1 or v2).
+fn load_trace(path: &str) -> Result<TraceSummary, Box<dyn std::error::Error>> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace `{path}`: {e}"))?;
+    replay(text.lines()).map_err(|e| format!("trace `{path}` invalid — {e}").into())
+}
+
+/// The `mpe trace summarize|diff|export-convergence` family: offline
+/// analysis of JSONL run traces, sharing the replay/validation layer with
+/// CI and the benchmark tooling.
+fn run_trace_tool(verb: &str, args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    match verb {
+        "summarize" => {
+            let [path] = args else {
+                return Err("usage: mpe trace summarize <trace.jsonl>".into());
+            };
+            let summary = load_trace(path)?;
+            print_trace_summary(path, &summary);
+            Ok(())
+        }
+        "diff" => {
+            let [a, b] = args else {
+                return Err("usage: mpe trace diff <a.jsonl> <b.jsonl>".into());
+            };
+            let sa = load_trace(a)?;
+            let sb = load_trace(b)?;
+            let drift = diff_summaries(&sa, &sb);
+            if drift.is_empty() {
+                println!("zero drift: the traces' deterministic content is identical");
+                println!(
+                    "({} vs {} events; timings and heartbeats excluded by design)",
+                    sa.events, sb.events
+                );
+                Ok(())
+            } else {
+                for line in &drift {
+                    println!("drift: {line}");
+                }
+                Err(format!("{} divergence(s) between `{a}` and `{b}`", drift.len()).into())
+            }
+        }
+        "export-convergence" => {
+            let [path] = args else {
+                return Err("usage: mpe trace export-convergence <trace.jsonl>".into());
+            };
+            let summary = load_trace(path)?;
+            let means = summary.metrics.gauge_series(names::RUNNING_MEAN_MW);
+            if means.is_empty() {
+                return Err(format!(
+                    "trace `{path}` carries no `{}` gauge — was the run traced with telemetry?",
+                    names::RUNNING_MEAN_MW
+                )
+                .into());
+            }
+            let widths = summary.metrics.gauge_series(names::CI_RELATIVE_HALF_WIDTH);
+            println!("k,mean_mw,relative_half_width");
+            for (i, mean) in means.iter().enumerate() {
+                // Infinite widths (before k = 2) print as `inf`, which
+                // spreadsheet tools tolerate better than an empty cell.
+                let width = widths.get(i).copied().unwrap_or(f64::INFINITY);
+                println!("{},{mean},{width}", i + 1);
+            }
+            Ok(())
+        }
+        _ => unreachable!("dispatch guarantees a known verb"),
+    }
+}
+
+/// Renders a trace summary: phase totals (matching the report's telemetry
+/// block), latency quantiles, counters and the estimator audit trail.
+fn print_trace_summary(path: &str, summary: &TraceSummary) {
+    println!(
+        "trace `{path}`: {} events, max span depth {}",
+        summary.events, summary.max_depth
+    );
+    println!(
+        "{:<14} {:>8} {:>14} {:>12} {:>12} {:>12}",
+        "phase", "count", "total_ns", "p50_ns", "p95_ns", "p99_ns"
+    );
+    for kind in SpanKind::ALL {
+        let stat = summary.metrics.phase(kind);
+        if stat.count == 0 {
+            continue;
+        }
+        let (p50, p95, p99) = summary
+            .metrics
+            .phase_quantiles_ns(kind)
+            .unwrap_or((0, 0, 0));
+        println!(
+            "{:<14} {:>8} {:>14} {:>12} {:>12} {:>12}",
+            kind.label(),
+            stat.count,
+            stat.total_ns,
+            p50,
+            p95,
+            p99
+        );
+    }
+    if !summary.metrics.counters.is_empty() {
+        println!("counters:");
+        for (name, value) in &summary.metrics.counters {
+            println!("  {name:<32} {value}");
+        }
+    }
+    if summary.fit_diags.is_empty() {
+        println!("audit trail: none (schema v1 trace, or telemetry-off run)");
+    } else {
+        let count_rung = |rung: &str| summary.fit_diags.iter().filter(|d| d.rung == rung).count();
+        let irregular = summary
+            .fit_diags
+            .iter()
+            .filter(|d| d.rung == "mle" && d.tail_shape.is_some_and(|a| a <= 2.0))
+            .count();
+        println!(
+            "audit trail: {} fits (mle {}, pot {}, quantile {}); {} irregular (α ≤ 2)",
+            summary.fit_diags.len(),
+            count_rung("mle"),
+            count_rung("pot"),
+            count_rung("quantile"),
+            irregular
+        );
+        for diag in &summary.fit_diags {
+            let fmt = |v: Option<f64>| match v {
+                Some(x) => format!("{x:.4}"),
+                None => "-".to_string(),
+            };
+            println!(
+                "  k={:<5} rung={:<8} reason={:<18} log_lik={:>10} ks={:>8} tail={:>8}",
+                diag.k,
+                diag.rung,
+                diag.reason,
+                fmt(diag.log_likelihood),
+                fmt(diag.ks_distance),
+                fmt(diag.tail_shape)
+            );
+        }
+    }
 }

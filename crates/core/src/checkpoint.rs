@@ -42,7 +42,7 @@ use serde::{Deserialize, Serialize};
 use crate::config::EstimationConfig;
 use crate::error::MaxPowerError;
 use crate::estimator::EstimateHistoryEntry;
-use crate::health::{EstimatorKind, RunHealth};
+use crate::health::{EstimatorKind, FitDiagnostics, RunHealth};
 use crate::report::TelemetrySummary;
 
 /// Version of the checkpoint schema; bumped on incompatible change.
@@ -53,6 +53,12 @@ use crate::report::TelemetrySummary;
 /// `checksum` (and the run-supervision counters inside `health`): every
 /// checkpoint written by this version is sealed, and resume rejects
 /// records whose payload was corrupted on disk.
+///
+/// The per-hyper-sample `fit_diagnostics` audit trail is an *additive*
+/// v3 extension: it defaults to empty on load (the engine pads missing
+/// records with [`FitDiagnostics::unknown`]) and joins the sealed payload
+/// only when present, so records written before the field existed still
+/// verify.
 pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// One serialized row of the convergence history.
@@ -111,6 +117,11 @@ pub struct Checkpoint {
     pub hyper_estimates: Vec<f64>,
     /// Which estimator produced each hyper-sample.
     pub hyper_estimators: Vec<EstimatorKind>,
+    /// Per-hyper-sample estimator audit records (parallel to
+    /// `hyper_estimates`). Empty in records written before the audit trail
+    /// existed; the engine pads with [`FitDiagnostics::unknown`] on resume.
+    #[serde(default)]
+    pub fit_diagnostics: Vec<FitDiagnostics>,
     /// Convergence history, one row per completed hyper-sample.
     pub history: Vec<CheckpointHistoryEntry>,
     /// Units consumed so far.
@@ -162,7 +173,7 @@ impl Checkpoint {
     /// FNV-1a of a canonical textual rendering, so it is independent of
     /// the serialization format (and of JSON field order / whitespace).
     pub fn payload_checksum(&self) -> u64 {
-        let canonical = format!(
+        let mut canonical = format!(
             "{}|{}|{}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{:?}",
             self.version,
             self.config_fingerprint,
@@ -175,6 +186,12 @@ impl Checkpoint {
             self.health,
             self.telemetry,
         );
+        // The audit trail joins the sealed payload only when present, so
+        // checkpoints sealed before the field existed (which deserialize
+        // with an empty vec) still match their stored checksum.
+        if !self.fit_diagnostics.is_empty() {
+            canonical.push_str(&format!("|{:?}", self.fit_diagnostics));
+        }
         fnv1a(canonical.bytes())
     }
 
@@ -240,6 +257,14 @@ impl Checkpoint {
                 "inconsistent lengths: {k} estimates, {} estimators, {} history rows",
                 self.hyper_estimators.len(),
                 self.history.len()
+            ));
+        }
+        // Empty means "written before the audit trail existed" (padded on
+        // resume); any other length mismatch is corruption.
+        if !self.fit_diagnostics.is_empty() && self.fit_diagnostics.len() != k {
+            return fail(format!(
+                "inconsistent lengths: {k} estimates, {} fit diagnostics",
+                self.fit_diagnostics.len()
             ));
         }
         if self.hyper_estimates.iter().any(|e| !e.is_finite()) {
@@ -365,6 +390,16 @@ mod tests {
             master_seed: 7,
             hyper_estimates: vec![10.1, 10.3],
             hyper_estimators: vec![EstimatorKind::Mle, EstimatorKind::Mle],
+            fit_diagnostics: vec![
+                crate::health::FitDiagnostics {
+                    rung: EstimatorKind::Mle,
+                    reason: crate::health::FitReasonCode::Converged,
+                    log_likelihood: Some(-1.25),
+                    ks_distance: Some(0.08),
+                    tail_shape: Some(3.1),
+                },
+                crate::health::FitDiagnostics::unknown(EstimatorKind::Mle),
+            ],
             history: vec![
                 CheckpointHistoryEntry {
                     k: 1,
@@ -481,6 +516,27 @@ mod tests {
     }
 
     #[test]
+    fn legacy_records_without_diagnostics_keep_their_checksum() {
+        // A record sealed before the audit trail existed deserializes with
+        // an empty `fit_diagnostics`; the checksum must be unchanged by
+        // the field's introduction, and verify() must accept the record.
+        let mut legacy = sample_checkpoint();
+        legacy.fit_diagnostics.clear();
+        legacy.seal();
+        let sealed = legacy.checksum;
+        assert!(legacy.check_integrity().is_ok());
+        assert!(legacy.verify(42, 7).is_ok());
+        // Adding diagnostics *does* change the payload...
+        let full = sample_checkpoint();
+        assert_ne!(sealed, Some(full.payload_checksum()));
+        // ...and a partial trail (wrong length) is corruption.
+        let mut bad = sample_checkpoint();
+        bad.fit_diagnostics.pop();
+        bad.seal();
+        assert!(bad.verify(42, 7).is_err());
+    }
+
+    #[test]
     fn checksum_is_format_independent_but_payload_sensitive() {
         let mut a = sample_checkpoint();
         let mut b = sample_checkpoint();
@@ -593,7 +649,7 @@ mod tests {
         assert_ne!(text, corrupted, "expected the payload to contain 600");
         std::fs::write(&path, corrupted).expect("corrupt primary");
 
-        let (recovered, source) = load_with_recovery(&path, |s| Checkpoint::from_json(s))
+        let (recovered, source) = load_with_recovery(&path, Checkpoint::from_json)
             .expect("recovered")
             .expect("present");
         assert_eq!(source, CheckpointSource::Backup);

@@ -41,7 +41,7 @@ use crate::checkpoint::{
 use crate::config::EstimationConfig;
 use crate::error::MaxPowerError;
 use crate::estimator::{EstimateHistoryEntry, MaxPowerEstimate};
-use crate::health::{EstimatorKind, RunHealth, RunStatus};
+use crate::health::{EstimatorKind, FitDiagnostics, RunHealth, RunStatus};
 use crate::hyper::{generate_hyper_sample, HyperSample, HyperSampleContext};
 use crate::source::{PowerSource, PowerSourceFactory};
 use crate::supervise::{panic_message, StopReason, Supervision, Supervisor};
@@ -61,6 +61,7 @@ const SUPERVISION_TICK: Duration = Duration::from_millis(100);
 pub(crate) struct RunState {
     estimates: Vec<f64>,
     estimators: Vec<EstimatorKind>,
+    diagnostics: Vec<FitDiagnostics>,
     history: Vec<EstimateHistoryEntry>,
     units_used: usize,
     observed_max: f64,
@@ -72,6 +73,7 @@ impl RunState {
         RunState {
             estimates: Vec::new(),
             estimators: Vec::new(),
+            diagnostics: Vec::new(),
             history: Vec::new(),
             units_used: 0,
             observed_max: f64::NEG_INFINITY,
@@ -80,9 +82,21 @@ impl RunState {
     }
 
     fn from_checkpoint(cp: &Checkpoint) -> Self {
+        // Checkpoints written before the audit trail existed carry no
+        // diagnostics; pad with Unknown placeholders (keyed to the rung we
+        // do know) so indices keep lining up with the estimates.
+        let diagnostics = if cp.fit_diagnostics.len() == cp.hyper_estimates.len() {
+            cp.fit_diagnostics.clone()
+        } else {
+            cp.hyper_estimators
+                .iter()
+                .map(|&rung| FitDiagnostics::unknown(rung))
+                .collect()
+        };
         RunState {
             estimates: cp.hyper_estimates.clone(),
             estimators: cp.hyper_estimators.clone(),
+            diagnostics,
             history: cp.history.iter().map(EstimateHistoryEntry::from).collect(),
             units_used: cp.units_used,
             observed_max: cp.observed_max_mw.unwrap_or(f64::NEG_INFINITY),
@@ -97,6 +111,7 @@ impl RunState {
             master_seed,
             hyper_estimates: self.estimates.clone(),
             hyper_estimators: self.estimators.clone(),
+            fit_diagnostics: self.diagnostics.clone(),
             history: self
                 .history
                 .iter()
@@ -193,6 +208,7 @@ fn finish(
         history: st.history,
         hyper_estimates: st.estimates,
         hyper_estimators: st.estimators,
+        fit_diagnostics: st.diagnostics,
     }
 }
 
@@ -275,8 +291,25 @@ impl Committer<'_> {
         st.units_used += hyper.units_used;
         st.observed_max = st.observed_max.max(hyper.observed_max);
         st.health.absorb(&hyper.health, hyper.estimator);
+        if hyper.diagnostics.is_irregular_mle() {
+            st.health.irregular_fits += 1;
+        }
+        // Audit-trail event for the *committed* hyper-sample, emitted on
+        // the commit path so the trace records them in index order
+        // regardless of worker count (speculative fits beyond the stopping
+        // index never appear).
+        let diag = hyper.diagnostics;
+        self.telemetry.fit_diag(
+            st.estimates.len() as u64,
+            diag.rung.label(),
+            diag.reason.label(),
+            diag.log_likelihood,
+            diag.ks_distance,
+            diag.tail_shape,
+        );
         st.estimates.push(hyper.estimate_mw);
         st.estimators.push(hyper.estimator);
+        st.diagnostics.push(diag);
         self.telemetry.counter(names::HYPER_SAMPLES, 1);
 
         let k = st.estimates.len();

@@ -77,6 +77,10 @@ pub struct MaxPowerEstimate {
     /// Which estimator produced each hyper-sample (parallel to
     /// [`hyper_estimates`](Self::hyper_estimates)).
     pub hyper_estimators: Vec<EstimatorKind>,
+    /// Per-hyper-sample estimator audit trail (parallel to
+    /// [`hyper_estimates`](Self::hyper_estimates)): rung, reason code and
+    /// goodness-of-fit summaries for every committed fit.
+    pub fit_diagnostics: Vec<crate::health::FitDiagnostics>,
 }
 
 impl MaxPowerEstimate {

@@ -49,6 +49,87 @@ impl EstimatorKind {
     }
 }
 
+/// Why a hyper-sample landed on its estimator rung — the typed half of the
+/// per-hyper-sample audit trail (report schema v7).
+///
+/// [`Converged`](FitReasonCode::Converged) is the happy path; every other
+/// code names the *final* MLE failure that pushed the hyper-sample down
+/// the fallback ladder (or cut the retry loop short).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FitReasonCode {
+    /// The reversed-Weibull profile MLE converged.
+    Converged,
+    /// The sample maxima were (near-)degenerate: zero spread, so the
+    /// likelihood has no interior maximum.
+    DegenerateMaxima,
+    /// The degeneracy pre-check proved the source constant — retrying
+    /// could never help.
+    ConstantSource,
+    /// The likelihood optimizer failed to converge.
+    NoConvergence,
+    /// Too few usable observations reached the fit.
+    InsufficientData,
+    /// The diagnostics for this hyper-sample were not recorded (resumed
+    /// from a checkpoint written before schema v7).
+    Unknown,
+}
+
+impl FitReasonCode {
+    /// Short snake_case label for reports, traces and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FitReasonCode::Converged => "converged",
+            FitReasonCode::DegenerateMaxima => "degenerate_maxima",
+            FitReasonCode::ConstantSource => "constant_source",
+            FitReasonCode::NoConvergence => "no_convergence",
+            FitReasonCode::InsufficientData => "insufficient_data",
+            FitReasonCode::Unknown => "unknown",
+        }
+    }
+}
+
+/// Per-hyper-sample estimator audit record: which rung produced the
+/// estimate, why, and how well the fit matched the batch. Computed for
+/// every hyper-sample regardless of telemetry state (it feeds the report
+/// and checkpoint, which must be bit-identical with telemetry on or off).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitDiagnostics {
+    /// The estimator rung that produced this hyper-sample's estimate.
+    pub rung: EstimatorKind,
+    /// Why the hyper-sample landed on that rung.
+    pub reason: FitReasonCode,
+    /// Mean log-likelihood at the fit optimum (`None` for the
+    /// quantile rung, which fits nothing).
+    pub log_likelihood: Option<f64>,
+    /// Kolmogorov–Smirnov distance of the batch maxima against the fitted
+    /// reversed Weibull (`None` when there is no Weibull fit).
+    pub ks_distance: Option<f64>,
+    /// Fitted tail shape: Weibull `α̂` for the MLE rung (Smith regularity
+    /// needs `α̂ > 2`), GPD `ξ̂` for the POT rung.
+    pub tail_shape: Option<f64>,
+}
+
+impl FitDiagnostics {
+    /// The placeholder record for hyper-samples whose diagnostics were
+    /// never captured (pre-v7 checkpoints).
+    pub fn unknown(rung: EstimatorKind) -> Self {
+        FitDiagnostics {
+            rung,
+            reason: FitReasonCode::Unknown,
+            log_likelihood: None,
+            ks_distance: None,
+            tail_shape: None,
+        }
+    }
+
+    /// Whether this record describes an MLE fit violating Smith's
+    /// `α > 2` regularity condition (CIs lose their asymptotic
+    /// justification there).
+    pub fn is_irregular_mle(&self) -> bool {
+        self.rung == EstimatorKind::Mle && self.tail_shape.is_some_and(|a| a <= 2.0)
+    }
+}
+
 /// How an estimation run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RunStatus {
@@ -143,6 +224,12 @@ pub struct RunHealth {
     /// estimate.
     #[serde(default)]
     pub worker_stalls: usize,
+    /// MLE fits whose fitted shape violated Smith's `α > 2` regularity
+    /// condition (schema v7). Diagnostic only: the estimate is still the
+    /// paper's MLE and the run is not considered faulty — see
+    /// [`is_clean`](Self::is_clean).
+    #[serde(default)]
+    pub irregular_fits: usize,
 }
 
 impl RunHealth {
@@ -165,8 +252,13 @@ impl RunHealth {
 
     /// Whether the run saw no faults, no fallbacks and no guard switches —
     /// i.e. it behaved exactly like the paper's idealized procedure.
+    /// Irregular (`α ≤ 2`) MLE fits are excluded: they are a property of
+    /// the circuit's power tail, not of anything going wrong in the run.
     pub fn is_clean(&self) -> bool {
-        *self == RunHealth::default()
+        RunHealth {
+            irregular_fits: 0,
+            ..*self
+        } == RunHealth::default()
     }
 
     /// The weakest (deepest-ladder) estimator that contributed, if any
@@ -367,5 +459,55 @@ mod tests {
         assert_eq!(EstimatorKind::Mle.label(), "mle");
         assert_eq!(EstimatorKind::Pot.label(), "pot");
         assert_eq!(EstimatorKind::Quantile.label(), "quantile");
+        assert_eq!(FitReasonCode::Converged.label(), "converged");
+        assert_eq!(FitReasonCode::DegenerateMaxima.label(), "degenerate_maxima");
+        assert_eq!(FitReasonCode::Unknown.label(), "unknown");
+    }
+
+    #[test]
+    fn irregular_fits_stay_clean_but_are_counted() {
+        // An α ≤ 2 fit is a property of the circuit, not a fault: the run
+        // is still "clean", but the count survives serialization.
+        let run = RunHealth {
+            irregular_fits: 3,
+            ..RunHealth::default()
+        };
+        assert!(run.is_clean());
+        assert_eq!(run.deepest_fallback(), None);
+        assert_eq!(run.status(true), RunStatus::Converged);
+        let dirty = RunHealth {
+            irregular_fits: 3,
+            mle_retries: 1,
+            ..RunHealth::default()
+        };
+        assert!(!dirty.is_clean());
+    }
+
+    #[test]
+    fn fit_diagnostics_regularity_check() {
+        let regular = FitDiagnostics {
+            rung: EstimatorKind::Mle,
+            reason: FitReasonCode::Converged,
+            log_likelihood: Some(-1.0),
+            ks_distance: Some(0.2),
+            tail_shape: Some(3.5),
+        };
+        assert!(!regular.is_irregular_mle());
+        let irregular = FitDiagnostics {
+            tail_shape: Some(1.5),
+            ..regular
+        };
+        assert!(irregular.is_irregular_mle());
+        // A POT rung with small ξ̂ is not an *MLE* regularity violation.
+        let pot = FitDiagnostics {
+            rung: EstimatorKind::Pot,
+            reason: FitReasonCode::NoConvergence,
+            tail_shape: Some(-0.4),
+            ..regular
+        };
+        assert!(!pot.is_irregular_mle());
+        let unknown = FitDiagnostics::unknown(EstimatorKind::Mle);
+        assert_eq!(unknown.reason, FitReasonCode::Unknown);
+        assert!(!unknown.is_irregular_mle());
     }
 }

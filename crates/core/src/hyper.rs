@@ -38,9 +38,12 @@ use mpe_mle::profile::{fit_reversed_weibull, fit_reversed_weibull_traced, Weibul
 use mpe_mle::MleError;
 use mpe_telemetry::{names, SpanKind, Telemetry};
 
+use mpe_stats::dist::ContinuousDistribution;
+use mpe_stats::ks::ks_statistic;
+
 use crate::config::{BiasCorrection, EstimationConfig, FallbackPolicy, SamplePolicy};
 use crate::error::MaxPowerError;
-use crate::health::{EstimatorKind, HyperHealth};
+use crate::health::{EstimatorKind, FitDiagnostics, FitReasonCode, HyperHealth};
 use crate::source::PowerSource;
 
 /// Empirical quantile above which the POT fallback fits its GPD
@@ -72,6 +75,11 @@ pub struct HyperSample {
     pub units_used: usize,
     /// Fault counters for this hyper-sample.
     pub health: HyperHealth,
+    /// Audit record for the fit that produced
+    /// [`estimate_mw`](Self::estimate_mw): rung, reason code, and
+    /// goodness-of-fit summaries. Computed whether or not telemetry is
+    /// enabled, so traced and untraced runs stay bit-identical.
+    pub diagnostics: FitDiagnostics,
 }
 
 /// Draws one sample of `n` *usable* readings from the source via the
@@ -316,7 +324,7 @@ pub fn generate_hyper_sample(
     let mut sample_buf: Vec<f64> = Vec::with_capacity(n);
     let mut batch_buf: Vec<f64> = Vec::with_capacity(n);
 
-    let (cause, last_maxima) = loop {
+    let (cause, last_maxima, fail_reason) = loop {
         // Draw m samples of size n (each through the batched source
         // interface); record each sample's maximum.
         let mut maxima = Vec::with_capacity(m);
@@ -420,6 +428,13 @@ pub fn generate_hyper_sample(
                     // The observed maximum is a hard lower bound on ω(F);
                     // the estimator never reports below what it has seen.
                     let estimate_mw = estimate_mw.max(observed_max);
+                    let diagnostics = FitDiagnostics {
+                        rung: EstimatorKind::Mle,
+                        reason: FitReasonCode::Converged,
+                        log_likelihood: Some(fit.mean_log_likelihood),
+                        ks_distance: ks_statistic(&maxima, |x| fit.distribution.cdf(x)).ok(),
+                        tail_shape: Some(fit.distribution.alpha()),
+                    };
                     return Ok(HyperSample {
                         estimate_mw,
                         estimator: EstimatorKind::Mle,
@@ -428,6 +443,7 @@ pub fn generate_hyper_sample(
                         observed_max,
                         units_used,
                         health,
+                        diagnostics,
                     });
                 }
                 Err(e) => e,
@@ -437,10 +453,11 @@ pub fn generate_hyper_sample(
             // Every raw draw identical: fresh draws cannot un-degenerate
             // the maxima, so retrying would only burn the budget.
             health.degenerate_bailout = true;
-            break (failure, maxima);
+            break (failure, maxima, FitReasonCode::ConstantSource);
         }
         if charged >= config.mle_retry_budget {
-            break (failure, maxima);
+            let reason = fit_reason(&failure);
+            break (failure, maxima, reason);
         }
     };
     health.mle_retries = attempts - 1;
@@ -455,6 +472,7 @@ pub fn generate_hyper_sample(
                 units_used,
                 health,
                 config,
+                fail_reason,
             );
             telemetry.counter(
                 match degraded.estimator {
@@ -468,9 +486,25 @@ pub fn generate_hyper_sample(
     }
 }
 
+/// Maps the final MLE failure to the audit-trail reason code recorded in
+/// [`FitDiagnostics`]. The constant-source case is decided by the caller
+/// (it is a property of the raw draws, not of the fit error).
+fn fit_reason(cause: &MleError) -> FitReasonCode {
+    match cause {
+        MleError::DegenerateSample { .. } => FitReasonCode::DegenerateMaxima,
+        MleError::InsufficientData { .. } => FitReasonCode::InsufficientData,
+        MleError::NoConvergence { .. } => FitReasonCode::NoConvergence,
+        // Numeric / distribution-construction failures have no dedicated
+        // code: they are optimizer-didn't-produce-a-usable-fit outcomes.
+        MleError::Numeric(_) | MleError::Evt(_) => FitReasonCode::NoConvergence,
+    }
+}
+
 /// Walks the fallback ladder over the pooled raw draws: POT/GPD endpoint,
 /// then the distribution-free empirical quantile. Always succeeds — the
-/// quantile rung is defined for any non-empty draw set.
+/// quantile rung is defined for any non-empty draw set. `reason` records
+/// why the MLE rung failed; it is carried verbatim into the diagnostics of
+/// whichever rung produces the estimate.
 fn degraded_hyper_sample(
     all_draws: Vec<f64>,
     sample_maxima: Vec<f64>,
@@ -478,6 +512,7 @@ fn degraded_hyper_sample(
     units_used: usize,
     health: HyperHealth,
     config: &EstimationConfig,
+    reason: FitReasonCode,
 ) -> HyperSample {
     // Rung 2: peaks-over-threshold. Tied *maxima* don't imply tied
     // excesses, so the GPD often still fits where the Weibull could not.
@@ -486,6 +521,13 @@ fn degraded_hyper_sample(
     if let Ok(pot) = fit_pot(&all_draws, POT_FALLBACK_QUANTILE) {
         if let Some(endpoint) = pot.endpoint() {
             if endpoint.is_finite() && endpoint >= observed_max {
+                let diagnostics = FitDiagnostics {
+                    rung: EstimatorKind::Pot,
+                    reason,
+                    log_likelihood: Some(pot.mean_log_likelihood),
+                    ks_distance: None,
+                    tail_shape: Some(pot.gpd.xi()),
+                };
                 return HyperSample {
                     estimate_mw: endpoint,
                     estimator: EstimatorKind::Pot,
@@ -494,6 +536,7 @@ fn degraded_hyper_sample(
                     observed_max,
                     units_used,
                     health,
+                    diagnostics,
                 };
             }
         }
@@ -514,6 +557,13 @@ fn degraded_hyper_sample(
         observed_max,
         units_used,
         health,
+        diagnostics: FitDiagnostics {
+            rung: EstimatorKind::Quantile,
+            reason,
+            log_likelihood: None,
+            ks_distance: None,
+            tail_shape: None,
+        },
     }
 }
 

@@ -8,7 +8,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::estimator::MaxPowerEstimate;
-use crate::health::{EstimatorKind, RunHealth, RunStatus};
+use crate::health::{EstimatorKind, FitDiagnostics, RunHealth, RunStatus};
 use mpe_telemetry::{MetricsSnapshot, SpanKind};
 
 /// Format version written into every report, bumped on breaking changes.
@@ -23,7 +23,11 @@ use mpe_telemetry::{MetricsSnapshot, SpanKind};
 /// `Interrupted { reason }` variant (cancellation, deadline, hyper-sample
 /// budget) and `health` gains the `worker_restarts` / `worker_stalls`
 /// counters (defaulting to 0 when absent); v2–v5 reports still parse.
-pub const REPORT_VERSION: u32 = 6;
+/// v7 added the introspection layer: the per-hyper-sample
+/// `fit_diagnostics` audit trail, per-phase latency `quantiles` inside the
+/// telemetry block, and `health.irregular_fits` — all defaulting to empty
+/// or 0, so v2–v6 reports still parse.
+pub const REPORT_VERSION: u32 = 7;
 
 /// Wall-clock attribution for one pipeline phase.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -45,6 +49,21 @@ pub struct CounterValue {
     pub value: u64,
 }
 
+/// Latency quantiles for one pipeline phase, from the log-bucketed
+/// histograms ([`mpe_telemetry::LogHistogram`]). Nanosecond integers keep
+/// the struct `Eq` and the JSON exact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseQuantiles {
+    /// Phase label (a [`SpanKind`] wire label).
+    pub phase: String,
+    /// Median span duration (ns).
+    pub p50_ns: u64,
+    /// 95th-percentile span duration (ns).
+    pub p95_ns: u64,
+    /// 99th-percentile span duration (ns).
+    pub p99_ns: u64,
+}
+
 /// The telemetry block embedded in reports (and checkpoints): where the
 /// run spent its time and how much work each stage performed. Gauges are
 /// point-in-time values and deliberately excluded — the report's own
@@ -55,6 +74,12 @@ pub struct TelemetrySummary {
     pub phases: Vec<PhaseTiming>,
     /// Counter totals, sorted by name.
     pub counters: Vec<CounterValue>,
+    /// Per-phase latency quantiles (p50/p95/p99, the
+    /// [`mpe_telemetry::DURATION_QUANTILES`] set), in pipeline order.
+    /// Empty in blocks written before schema v7 and for phases with no
+    /// completed spans.
+    #[serde(default)]
+    pub quantiles: Vec<PhaseQuantiles>,
 }
 
 impl TelemetrySummary {
@@ -77,6 +102,19 @@ impl TelemetrySummary {
                 .map(|(name, value)| CounterValue {
                     name: name.clone(),
                     value: *value,
+                })
+                .collect(),
+            quantiles: SpanKind::ALL
+                .iter()
+                .filter_map(|&kind| {
+                    snapshot
+                        .phase_quantiles_ns(kind)
+                        .map(|(p50, p95, p99)| PhaseQuantiles {
+                            phase: kind.label().to_string(),
+                            p50_ns: p50,
+                            p95_ns: p95,
+                            p99_ns: p99,
+                        })
                 })
                 .collect(),
         }
@@ -136,6 +174,11 @@ pub struct EstimateReport {
     /// Which estimator produced each hyper-sample (parallel to
     /// `hyper_estimates`).
     pub hyper_estimators: Vec<EstimatorKind>,
+    /// Per-hyper-sample estimator audit trail (parallel to
+    /// `hyper_estimates`, v7): rung, typed reason code and goodness-of-fit
+    /// summaries. Empty in pre-v7 reports.
+    #[serde(default)]
+    pub fit_diagnostics: Vec<FitDiagnostics>,
     /// Phase timings and work counters for the run, when telemetry was
     /// enabled. Absent (`null`/missing) otherwise; v2 reports parse with
     /// the block absent.
@@ -188,6 +231,7 @@ impl EstimateReport {
             health: estimate.health,
             hyper_estimates: estimate.hyper_estimates.clone(),
             hyper_estimators: estimate.hyper_estimators.clone(),
+            fit_diagnostics: estimate.fit_diagnostics.clone(),
             telemetry: None,
             workers: 1,
             wall_ms: None,
@@ -280,6 +324,22 @@ mod tests {
             }],
             hyper_estimates: vec![10.2, 10.8],
             hyper_estimators: vec![EstimatorKind::Mle, EstimatorKind::Pot],
+            fit_diagnostics: vec![
+                FitDiagnostics {
+                    rung: EstimatorKind::Mle,
+                    reason: crate::health::FitReasonCode::Converged,
+                    log_likelihood: Some(-0.8),
+                    ks_distance: Some(0.11),
+                    tail_shape: Some(2.9),
+                },
+                FitDiagnostics {
+                    rung: EstimatorKind::Pot,
+                    reason: crate::health::FitReasonCode::DegenerateMaxima,
+                    log_likelihood: Some(-1.4),
+                    ks_distance: None,
+                    tail_shape: Some(-0.2),
+                },
+            ],
         }
     }
 
@@ -311,6 +371,11 @@ mod tests {
         assert_eq!(summary.phases.len(), 1);
         assert_eq!(summary.phases[0].phase, "run");
         assert_eq!(summary.phases[0].count, 1);
+        // The completed span also lands in the duration histogram, so the
+        // block carries its quantile row.
+        assert_eq!(summary.quantiles.len(), 1);
+        assert_eq!(summary.quantiles[0].phase, "run");
+        assert!(summary.quantiles[0].p50_ns <= summary.quantiles[0].p99_ns);
 
         // Restoring into a fresh handle carries the totals forward.
         let resumed = mpe_telemetry::Telemetry::enabled();
@@ -379,6 +444,11 @@ mod tests {
         assert_eq!(report.units_used, 2400);
         assert_eq!(report.hyper_estimates.len(), 2);
         assert_eq!(report.hyper_estimators.len(), 2);
+        assert_eq!(report.fit_diagnostics.len(), 2);
+        assert_eq!(
+            report.fit_diagnostics[0].reason,
+            crate::health::FitReasonCode::Converged
+        );
         assert_eq!(
             report.status,
             RunStatus::Degraded {

@@ -3,8 +3,13 @@
 //! convergence gauges, bit-identical estimates with telemetry on or off,
 //! and cumulative metrics across checkpoint/resume.
 
-use maxpower::telemetry::{names, replay, JsonlSink, SharedBuffer, SpanKind, Telemetry};
-use maxpower::{Checkpoint, EstimationConfig, EstimatorBuilder, FnSource, RunOptions, RunStatus};
+use maxpower::telemetry::{
+    diff_summaries, names, replay, JsonlSink, SharedBuffer, SpanKind, SubscriberSink, Telemetry,
+};
+use maxpower::{
+    Checkpoint, EstimateReport, EstimationConfig, EstimatorBuilder, FnSource, RunOptions,
+    RunStatus, TelemetrySummary,
+};
 use rand::{Rng, RngCore};
 
 fn weibull_source(alpha: f64, beta: f64, mu: f64) -> impl FnMut(&mut dyn RngCore) -> f64 + Clone {
@@ -120,6 +125,116 @@ fn telemetry_does_not_perturb_the_estimate() {
         silent.relative_error.to_bits(),
         traced.relative_error.to_bits()
     );
+}
+
+/// Satellite: a consumer tailing the bounded subscriber ring that never
+/// polls must not stall the estimation loop — the producer evicts the
+/// oldest events (counted as drops) and the run completes with the exact
+/// result a silent run produces.
+#[test]
+fn stalled_subscriber_never_blocks_the_run() {
+    let run = |telemetry: Telemetry| {
+        let source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
+        let session = EstimatorBuilder::new(EstimationConfig::default())
+            .telemetry(telemetry)
+            .build();
+        session
+            .run(&source, RunOptions::default().seeded(42))
+            .expect("run converges")
+    };
+    let silent = run(Telemetry::disabled());
+
+    // A deliberately tiny ring with a subscriber that never drains it: a
+    // worst-case stalled consumer. The run must still finish promptly.
+    let (sink, hub) = SubscriberSink::bounded(8);
+    let _stalled = hub.subscribe();
+    let telemetry = Telemetry::enabled();
+    telemetry.add_sink(Box::new(sink));
+    let watched = run(telemetry);
+    hub.close();
+
+    assert_eq!(silent.estimate_mw.to_bits(), watched.estimate_mw.to_bits());
+    assert_eq!(silent.units_used, watched.units_used);
+    assert_eq!(silent.hyper_samples, watched.hyper_samples);
+    assert!(
+        hub.dropped() > 0,
+        "an 8-slot ring under a full run must have evicted events"
+    );
+}
+
+/// Tentpole acceptance: the per-hyper-sample audit trail in the trace
+/// matches the estimate's own `fit_diagnostics` — one `fit_diag` event
+/// per committed hyper-sample, in index order, same rung and reason.
+#[test]
+fn fit_diag_events_mirror_the_estimates_audit_trail() {
+    let (estimate, _telemetry, buf) = traced_run(42);
+    let text = buf.contents();
+    let summary = replay(text.lines()).expect("trace must replay cleanly");
+
+    assert_eq!(estimate.fit_diagnostics.len(), estimate.hyper_samples);
+    assert_eq!(summary.fit_diags.len(), estimate.hyper_samples);
+    for (k, (event, diag)) in summary
+        .fit_diags
+        .iter()
+        .zip(&estimate.fit_diagnostics)
+        .enumerate()
+    {
+        assert_eq!(event.k, k as u64, "audit events must be in index order");
+        assert_eq!(event.rung, diag.rung.label());
+        assert_eq!(event.reason, diag.reason.label());
+        assert_eq!(
+            event.log_likelihood.map(f64::to_bits),
+            diag.log_likelihood.map(f64::to_bits)
+        );
+        assert_eq!(
+            event.ks_distance.map(f64::to_bits),
+            diag.ks_distance.map(f64::to_bits)
+        );
+        assert_eq!(
+            event.tail_shape.map(f64::to_bits),
+            diag.tail_shape.map(f64::to_bits)
+        );
+    }
+}
+
+/// Tentpole acceptance: replaying the JSONL trace alone reproduces the
+/// report's telemetry block exactly — phase counts, totals, counters and
+/// duration quantiles — so `mpe trace summarize` is as authoritative as
+/// the report it never saw.
+#[test]
+fn trace_replay_reproduces_the_reports_telemetry_block() {
+    let (estimate, telemetry, buf) = traced_run(42);
+    let report = EstimateReport::new("weibull", "max_power_mw", &estimate)
+        .with_telemetry(&telemetry.snapshot());
+    let from_report = report.telemetry.expect("report carries telemetry");
+
+    let text = buf.contents();
+    let summary = replay(text.lines()).expect("trace must replay cleanly");
+    let from_trace = TelemetrySummary::from_snapshot(&summary.metrics);
+
+    assert_eq!(from_trace.phases, from_report.phases);
+    assert_eq!(from_trace.quantiles, from_report.quantiles);
+    for counter in &from_report.counters {
+        assert_eq!(
+            from_trace.counter(&counter.name),
+            counter.value,
+            "counter `{}` must replay from the trace alone",
+            counter.name
+        );
+    }
+}
+
+/// Tentpole acceptance: two fixed-seed runs drift-diff clean — every
+/// counter, gauge sample and audit event agrees bitwise (timings are
+/// expected to differ and are excluded by `diff_summaries`).
+#[test]
+fn same_seed_traces_diff_with_zero_drift() {
+    let (_, _, buf_a) = traced_run(42);
+    let (_, _, buf_b) = traced_run(42);
+    let a = replay(buf_a.contents().lines()).expect("trace a replays");
+    let b = replay(buf_b.contents().lines()).expect("trace b replays");
+    let drift = diff_summaries(&a, &b);
+    assert!(drift.is_empty(), "unexpected drift: {drift:?}");
 }
 
 /// Satellite: a run interrupted at a checkpoint and resumed with a fresh

@@ -17,11 +17,23 @@
 //! Non-finite gauge values (the relative half-width is `+∞` before
 //! `k = 2`) are encoded as JSON `null` and decoded back to
 //! [`f64::INFINITY`].
+//!
+//! Schema history:
+//!
+//! * **v1** — span/counter/gauge events, optional `worker` lane field.
+//! * **v2** — adds the `fit_diag` event (per-hyper-sample estimator audit
+//!   trail: rung, reason code, log-likelihood, KS distance, tail shape).
+//!   v1 traces still parse; new traces are stamped v2.
 
 use std::fmt::Write as _;
 
-/// Version stamped into every trace line; bumped on incompatible change.
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+/// Version stamped into every trace line; bumped when new event types are
+/// added. The parser accepts every version back to
+/// [`TRACE_SCHEMA_MIN_VERSION`].
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
+
+/// Oldest trace schema version the parser still accepts.
+pub const TRACE_SCHEMA_MIN_VERSION: u32 = 1;
 
 /// The instrumented phases of the estimation pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -101,6 +113,27 @@ pub enum EventKind {
         name: String,
         /// The measured value.
         value: f64,
+    },
+    /// Per-hyper-sample estimator audit record (schema v2): which rung of
+    /// the estimator ladder produced hyper-sample `k`, why, and how well
+    /// the Weibull fit matched the batch. The rung and reason are plain
+    /// strings on the wire (this crate is dependency-free and cannot know
+    /// the estimator's typed enums); the diagnostics are optional because
+    /// fallback rungs have no Weibull fit to report.
+    FitDiag {
+        /// Hyper-sample index (0-based commit order).
+        k: u64,
+        /// Estimator rung label (`mle`, `pot`, `quantile`).
+        rung: String,
+        /// Typed reason code label (e.g. `converged`, `degenerate_maxima`).
+        reason: String,
+        /// Mean log-likelihood at the fit optimum, when a fit exists.
+        log_likelihood: Option<f64>,
+        /// Kolmogorov–Smirnov distance of the batch maxima vs the fitted
+        /// distribution, when a fit exists.
+        ks_distance: Option<f64>,
+        /// Fitted tail shape (Weibull `α̂`, or GPD `ξ̂` for the POT rung).
+        tail_shape: Option<f64>,
     },
 }
 
@@ -191,6 +224,31 @@ impl EventRecord {
                 s.push_str(",\"value\":");
                 push_json_f64(&mut s, *value);
             }
+            EventKind::FitDiag {
+                k,
+                rung,
+                reason,
+                log_likelihood,
+                ks_distance,
+                tail_shape,
+            } => {
+                let _ = write!(s, "\"type\":\"fit_diag\",\"k\":{k},\"rung\":");
+                push_json_str(&mut s, rung);
+                s.push_str(",\"reason\":");
+                push_json_str(&mut s, reason);
+                // Absent diagnostics are omitted entirely (not `null`), so
+                // every field that is present carries a real number.
+                for (key, value) in [
+                    ("log_likelihood", log_likelihood),
+                    ("ks_distance", ks_distance),
+                    ("tail_shape", tail_shape),
+                ] {
+                    if let Some(v) = value {
+                        let _ = write!(s, ",\"{key}\":");
+                        push_json_f64(&mut s, *v);
+                    }
+                }
+            }
         }
         if let Some(worker) = self.worker {
             let _ = write!(s, ",\"worker\":{worker}");
@@ -230,9 +288,10 @@ impl EventRecord {
         };
 
         let v = as_u64("v")?;
-        if v != TRACE_SCHEMA_VERSION as u64 {
+        if v < TRACE_SCHEMA_MIN_VERSION as u64 || v > TRACE_SCHEMA_VERSION as u64 {
             return Err(format!(
-                "trace schema version {v} != supported {TRACE_SCHEMA_VERSION}"
+                "trace schema version {v} outside supported range \
+                 {TRACE_SCHEMA_MIN_VERSION}..={TRACE_SCHEMA_VERSION}"
             ));
         }
         let seq = as_u64("seq")?;
@@ -279,6 +338,27 @@ impl EventRecord {
                 EventKind::Gauge {
                     name: as_str("name")?.to_string(),
                     value,
+                }
+            }
+            "fit_diag" => {
+                // Optional numeric diagnostic: absent or `null` → `None`.
+                let opt_f64 = |key: &str| -> Result<Option<f64>, String> {
+                    match fields.iter().find(|(k, _)| k == key) {
+                        None => Ok(None),
+                        Some((_, JsonValue::Number(n))) => Ok(Some(*n)),
+                        Some((_, JsonValue::Null)) => Ok(None),
+                        Some((_, other)) => {
+                            Err(format!("field `{key}` is not a number: {other:?}"))
+                        }
+                    }
+                };
+                EventKind::FitDiag {
+                    k: as_u64("k")?,
+                    rung: as_str("rung")?.to_string(),
+                    reason: as_str("reason")?.to_string(),
+                    log_likelihood: opt_f64("log_likelihood")?,
+                    ks_distance: opt_f64("ks_distance")?,
+                    tail_shape: opt_f64("tail_shape")?,
                 }
             }
             other => return Err(format!("unknown event type `{other}`")),
@@ -459,10 +539,63 @@ mod tests {
         ];
         for r in &records {
             let line = r.to_json_line();
-            assert!(line.contains("\"v\":1"), "{line}");
+            assert!(line.contains("\"v\":2"), "{line}");
             let back = EventRecord::parse_json_line(&line).expect(&line);
             assert_eq!(&back, r);
         }
+    }
+
+    #[test]
+    fn fit_diag_roundtrips_with_and_without_diagnostics() {
+        let full = EventRecord {
+            seq: 8,
+            t_ns: 400,
+            worker: Some(1),
+            kind: EventKind::FitDiag {
+                k: 3,
+                rung: "mle".to_string(),
+                reason: "converged".to_string(),
+                log_likelihood: Some(-1.25),
+                ks_distance: Some(0.1875),
+                tail_shape: Some(3.5),
+            },
+        };
+        let line = full.to_json_line();
+        assert!(line.contains("\"type\":\"fit_diag\""), "{line}");
+        assert!(line.contains("\"ks_distance\":0.1875"), "{line}");
+        assert_eq!(EventRecord::parse_json_line(&line).unwrap(), full);
+
+        // A fallback rung has no fit: the optional fields are omitted.
+        let bare = EventRecord {
+            seq: 9,
+            t_ns: 500,
+            worker: None,
+            kind: EventKind::FitDiag {
+                k: 4,
+                rung: "quantile".to_string(),
+                reason: "no_convergence".to_string(),
+                log_likelihood: None,
+                ks_distance: None,
+                tail_shape: None,
+            },
+        };
+        let line = bare.to_json_line();
+        assert!(!line.contains("log_likelihood"), "{line}");
+        assert!(!line.contains("null"), "{line}");
+        assert_eq!(EventRecord::parse_json_line(&line).unwrap(), bare);
+    }
+
+    #[test]
+    fn v1_trace_lines_still_parse() {
+        let line = "{\"v\":1,\"seq\":0,\"t_ns\":0,\"type\":\"counter\",\"name\":\"c\",\"delta\":1}";
+        let back = EventRecord::parse_json_line(line).unwrap();
+        assert_eq!(
+            back.kind,
+            EventKind::Counter {
+                name: "c".to_string(),
+                delta: 1
+            }
+        );
     }
 
     #[test]

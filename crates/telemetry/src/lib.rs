@@ -30,15 +30,20 @@ pub mod event;
 pub mod registry;
 pub mod replay;
 pub mod sink;
+pub mod subscribe;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-pub use event::{EventKind, EventRecord, SpanKind, TRACE_SCHEMA_VERSION};
-pub use registry::{MetricsRegistry, MetricsSnapshot, PhaseStat};
-pub use replay::{replay, TraceError, TraceSummary};
+pub use event::{EventKind, EventRecord, SpanKind, TRACE_SCHEMA_MIN_VERSION, TRACE_SCHEMA_VERSION};
+pub use registry::{LogHistogram, MetricsRegistry, MetricsSnapshot, PhaseStat, DURATION_QUANTILES};
+pub use replay::{diff_summaries, replay, FitDiagEvent, TraceError, TraceSummary};
 pub use sink::{EventSink, JsonlSink, ProgressSink, SharedBuffer};
+pub use subscribe::{
+    forward, Batch, ForwardHandle, Subscriber, SubscriberHub, SubscriberSink,
+    DEFAULT_SUBSCRIBER_CAPACITY,
+};
 
 /// Canonical counter and gauge names emitted by the instrumented pipeline.
 ///
@@ -255,6 +260,31 @@ impl Telemetry {
             self.emit(EventKind::Gauge {
                 name: name.to_string(),
                 value,
+            });
+        }
+    }
+
+    /// Emits a per-hyper-sample estimator audit record (see
+    /// [`EventKind::FitDiag`]). The rung and reason arrive as plain labels
+    /// because this crate cannot depend on the estimator's typed enums.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_diag(
+        &self,
+        k: u64,
+        rung: &str,
+        reason: &str,
+        log_likelihood: Option<f64>,
+        ks_distance: Option<f64>,
+        tail_shape: Option<f64>,
+    ) {
+        if self.inner.is_some() {
+            self.emit(EventKind::FitDiag {
+                k,
+                rung: rung.to_string(),
+                reason: reason.to_string(),
+                log_likelihood,
+                ks_distance,
+                tail_shape,
             });
         }
     }

@@ -30,12 +30,104 @@ impl PhaseStat {
     }
 }
 
+/// The quantile points rendered everywhere durations are summarized.
+pub const DURATION_QUANTILES: [f64; 3] = [0.50, 0.95, 0.99];
+
+/// A log₂-bucketed duration histogram: bucket `i` counts observations in
+/// `[2^i, 2^{i+1})` nanoseconds (0 lands in bucket 0). 64 buckets cover
+/// the entire `u64` nanosecond range — about 584 years — in a fixed
+/// 512-byte footprint with no allocation per observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; 64],
+    total: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            counts: [0; 64],
+            total: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    fn bucket_of(value_ns: u64) -> usize {
+        if value_ns == 0 {
+            0
+        } else {
+            value_ns.ilog2() as usize
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value_ns: u64) {
+        self.counts[Self::bucket_of(value_ns)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The quantile `q ∈ [0, 1]` in nanoseconds, linearly interpolated
+    /// within the containing bucket; `None` when empty.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based; q = 0 → first.
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lower = if i == 0 { 0u64 } else { 1u64 << i };
+                let width = if i == 0 { 2u64 } else { 1u64 << i };
+                // Position of the target within this bucket, in (0, 1].
+                let frac = (rank - seen) as f64 / c as f64;
+                // The top bucket's upper edge saturates at `u64::MAX`.
+                return Some(lower.saturating_add((frac * width as f64) as u64));
+            }
+            seen += c;
+        }
+        None
+    }
+
+    /// Occupied buckets as `(upper_bound_ns_exclusive, cumulative_count)`,
+    /// in ascending order — the shape Prometheus histogram expositions use.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            let upper = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+            out.push((upper, cum));
+        }
+        out
+    }
+}
+
 #[derive(Debug, Default)]
 struct RegistryState {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     series: BTreeMap<String, Vec<f64>>,
     phases: BTreeMap<String, PhaseStat>,
+    histograms: BTreeMap<String, LogHistogram>,
 }
 
 /// Thread-safe metrics accumulator.
@@ -58,6 +150,10 @@ pub struct MetricsSnapshot {
     pub series: Vec<(String, Vec<f64>)>,
     /// Per-phase timing, sorted by phase label.
     pub phases: Vec<(String, PhaseStat)>,
+    /// Per-phase duration histograms (log₂ buckets), sorted by phase label.
+    /// Histograms cover only the current process (they are not restored
+    /// across checkpoint resume — quantiles describe this segment's work).
+    pub histograms: Vec<(String, LogHistogram)>,
 }
 
 impl MetricsSnapshot {
@@ -89,6 +185,25 @@ impl MetricsSnapshot {
             .find(|(n, _)| n == kind.label())
             .map_or(PhaseStat::default(), |(_, s)| *s)
     }
+
+    /// The duration histogram of a phase, if any spans completed.
+    pub fn histogram(&self, kind: SpanKind) -> Option<&LogHistogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == kind.label())
+            .map(|(_, h)| h)
+    }
+
+    /// `(p50, p95, p99)` span duration in nanoseconds for a phase, when
+    /// any spans completed.
+    pub fn phase_quantiles_ns(&self, kind: SpanKind) -> Option<(u64, u64, u64)> {
+        let h = self.histogram(kind)?;
+        Some((
+            h.quantile_ns(DURATION_QUANTILES[0])?,
+            h.quantile_ns(DURATION_QUANTILES[1])?,
+            h.quantile_ns(DURATION_QUANTILES[2])?,
+        ))
+    }
 }
 
 impl MetricsRegistry {
@@ -109,6 +224,10 @@ impl MetricsRegistry {
                 let stat = st.phases.entry(span.label().to_string()).or_default();
                 stat.count += 1;
                 stat.total_ns += elapsed_ns;
+                st.histograms
+                    .entry(span.label().to_string())
+                    .or_default()
+                    .observe(*elapsed_ns);
             }
             EventKind::Counter { name, delta } => {
                 *st.counters.entry(name.clone()).or_insert(0) += delta;
@@ -117,6 +236,10 @@ impl MetricsRegistry {
                 st.gauges.insert(name.clone(), *value);
                 st.series.entry(name.clone()).or_default().push(*value);
             }
+            // Audit-trail events are routed to sinks/subscribers and folded
+            // into reports by the estimator; the registry has nothing to
+            // aggregate for them.
+            EventKind::FitDiag { .. } => {}
         }
     }
 
@@ -151,6 +274,11 @@ impl MetricsRegistry {
                 .map(|(k, v)| (k.clone(), v.clone()))
                 .collect(),
             phases: st.phases.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: st
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
         }
     }
 
@@ -199,6 +327,51 @@ impl MetricsRegistry {
                 );
             }
         }
+        if !snap.histograms.is_empty() {
+            let _ = writeln!(out, "# TYPE mpe_phase_duration_seconds histogram");
+            for (label, hist) in &snap.histograms {
+                for (upper_ns, cum) in hist.cumulative_buckets() {
+                    let _ = writeln!(
+                        out,
+                        "mpe_phase_duration_seconds_bucket{{phase=\"{label}\",le=\"{:?}\"}} {cum}",
+                        upper_ns as f64 / 1e9
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "mpe_phase_duration_seconds_bucket{{phase=\"{label}\",le=\"+Inf\"}} {}",
+                    hist.count()
+                );
+                let total_ns = snap
+                    .phases
+                    .iter()
+                    .find(|(n, _)| n == label)
+                    .map_or(0, |(_, s)| s.total_ns);
+                let _ = writeln!(
+                    out,
+                    "mpe_phase_duration_seconds_sum{{phase=\"{label}\"}} {:?}",
+                    total_ns as f64 / 1e9
+                );
+                let _ = writeln!(
+                    out,
+                    "mpe_phase_duration_seconds_count{{phase=\"{label}\"}} {}",
+                    hist.count()
+                );
+            }
+            let _ = writeln!(out, "# TYPE mpe_phase_duration_quantile_seconds gauge");
+            for (label, hist) in &snap.histograms {
+                for q in DURATION_QUANTILES {
+                    if let Some(ns) = hist.quantile_ns(q) {
+                        let _ = writeln!(
+                            out,
+                            "mpe_phase_duration_quantile_seconds\
+                             {{phase=\"{label}\",quantile=\"{q}\"}} {:?}",
+                            ns as f64 / 1e9
+                        );
+                    }
+                }
+            }
+        }
         out
     }
 
@@ -210,21 +383,28 @@ impl MetricsRegistry {
         if !snap.phases.is_empty() {
             let _ = writeln!(
                 out,
-                "{:<14} {:>8} {:>12} {:>12}",
-                "phase", "spans", "total", "mean"
+                "{:<14} {:>8} {:>12} {:>12} {:>10} {:>10} {:>10}",
+                "phase", "spans", "total", "mean", "p50", "p95", "p99"
             );
             for kind in SpanKind::ALL {
                 let stat = snap.phase(kind);
                 if stat.count == 0 {
                     continue;
                 }
+                let (p50, p95, p99) = snap.phase_quantiles_ns(kind).map_or(
+                    (String::new(), String::new(), String::new()),
+                    |(a, b, c)| (format_ns(a), format_ns(b), format_ns(c)),
+                );
                 let _ = writeln!(
                     out,
-                    "{:<14} {:>8} {:>12} {:>12}",
+                    "{:<14} {:>8} {:>12} {:>12} {:>10} {:>10} {:>10}",
                     kind.label(),
                     stat.count,
                     format_ns(stat.total_ns),
                     format_ns(stat.mean_ns()),
+                    p50,
+                    p95,
+                    p99,
                 );
             }
         }
@@ -403,6 +583,75 @@ mod tests {
         assert!(text.contains("2.000s"));
         assert!(text.contains("10.000us"));
         assert!(text.contains("hyper_samples"));
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.quantile_ns(0.5), None);
+        // 90 fast observations in [1024, 2048), 10 slow in [1 Mi, 2 Mi).
+        for _ in 0..90 {
+            h.observe(1_500);
+        }
+        for _ in 0..10 {
+            h.observe(1_500_000);
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_ns(0.50).unwrap();
+        assert!((1_024..2_048).contains(&p50), "p50 = {p50}");
+        let p95 = h.quantile_ns(0.95).unwrap();
+        assert!((1_048_576..2_097_152).contains(&p95), "p95 = {p95}");
+        let p99 = h.quantile_ns(0.99).unwrap();
+        assert!(p99 >= p95, "p99 = {p99} < p95 = {p95}");
+        // Cumulative buckets: two occupied, counts 90 then 100.
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0], (2_048, 90));
+        assert_eq!(buckets[1], (2_097_152, 100));
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_extremes() {
+        let mut h = LogHistogram::new();
+        h.observe(0);
+        h.observe(1);
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert!(h.quantile_ns(0.0).unwrap() <= 2);
+        assert!(h.quantile_ns(1.0).unwrap() > 1u64 << 62);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.last().unwrap().1, 3);
+        assert_eq!(buckets.last().unwrap().0, u64::MAX);
+    }
+
+    #[test]
+    fn span_ends_feed_phase_histograms() {
+        let reg = MetricsRegistry::new();
+        for elapsed in [1_000, 2_000, 1_000_000] {
+            reg.record(&rec(EventKind::SpanEnd {
+                span: SpanKind::Simulate,
+                id: 0,
+                elapsed_ns: elapsed,
+            }));
+        }
+        let snap = reg.snapshot();
+        let (p50, p95, p99) = snap.phase_quantiles_ns(SpanKind::Simulate).unwrap();
+        assert!(p50 < p95 || p95 == p99, "p50={p50} p95={p95} p99={p99}");
+        assert!(p99 >= 1 << 19, "p99 = {p99}");
+        assert!(snap.phase_quantiles_ns(SpanKind::Fit).is_none());
+        let text = reg.render_exposition();
+        assert!(
+            text.contains("# TYPE mpe_phase_duration_seconds histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mpe_phase_duration_seconds_count{phase=\"simulate\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("quantile=\"0.5\""), "{text}");
+        let table = reg.render_summary();
+        assert!(table.contains("p50"), "{table}");
+        assert!(table.contains("p99"), "{table}");
     }
 
     #[test]

@@ -32,6 +32,23 @@ impl std::fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
+/// One `fit_diag` audit event recovered from a trace (schema v2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitDiagEvent {
+    /// Hyper-sample index.
+    pub k: u64,
+    /// Estimator rung label (`mle`, `pot`, `quantile`).
+    pub rung: String,
+    /// Typed reason code label.
+    pub reason: String,
+    /// Mean log-likelihood at the fit optimum, when a fit exists.
+    pub log_likelihood: Option<f64>,
+    /// KS distance of the batch maxima vs the fitted distribution.
+    pub ks_distance: Option<f64>,
+    /// Fitted tail shape.
+    pub tail_shape: Option<f64>,
+}
+
 /// The validated, aggregated view of one trace.
 #[derive(Debug, Clone)]
 pub struct TraceSummary {
@@ -42,6 +59,8 @@ pub struct TraceSummary {
     /// Everything re-aggregated into a metrics snapshot (per-phase
     /// durations, counter totals, gauge series).
     pub metrics: MetricsSnapshot,
+    /// The estimator audit trail, in trace order (empty for v1 traces).
+    pub fit_diags: Vec<FitDiagEvent>,
 }
 
 impl TraceSummary {
@@ -95,6 +114,7 @@ where
     let mut last_seq: Option<u64> = None;
     let mut events = 0usize;
     let mut max_depth = 0usize;
+    let mut fit_diags = Vec::new();
 
     for (idx, line) in lines.into_iter().enumerate() {
         let lineno = idx + 1;
@@ -148,6 +168,23 @@ where
                     }
                 }
             }
+            EventKind::FitDiag {
+                k,
+                rung,
+                reason,
+                log_likelihood,
+                ks_distance,
+                tail_shape,
+            } => {
+                fit_diags.push(FitDiagEvent {
+                    k: *k,
+                    rung: rung.clone(),
+                    reason: reason.clone(),
+                    log_likelihood: *log_likelihood,
+                    ks_distance: *ks_distance,
+                    tail_shape: *tail_shape,
+                });
+            }
             EventKind::Counter { .. } | EventKind::Gauge { .. } => {}
         }
         registry.record(&record);
@@ -163,7 +200,82 @@ where
         events,
         max_depth,
         metrics: registry.snapshot(),
+        fit_diags,
     })
+}
+
+/// Compares the **deterministic** content of two traces: counter totals,
+/// per-phase span counts, gauge series values and the fit-diagnostics
+/// audit trail. Wall-clock fields (`t_ns`, span durations) are expressly
+/// ignored — two fixed-seed runs of the same build must diff clean even
+/// though their timings differ, and a trace diffed against itself is
+/// always empty.
+///
+/// Returns one human-readable line per divergence (empty = zero drift).
+#[must_use]
+pub fn diff_summaries(a: &TraceSummary, b: &TraceSummary) -> Vec<String> {
+    let mut drift = Vec::new();
+
+    let counter_names: std::collections::BTreeSet<&String> = a
+        .metrics
+        .counters
+        .iter()
+        .chain(&b.metrics.counters)
+        .map(|(n, _)| n)
+        .collect();
+    for name in counter_names {
+        let (va, vb) = (a.metrics.counter(name), b.metrics.counter(name));
+        if va != vb {
+            drift.push(format!("counter {name}: {va} != {vb}"));
+        }
+    }
+
+    for kind in SpanKind::ALL {
+        let (ca, cb) = (a.metrics.phase(kind).count, b.metrics.phase(kind).count);
+        if ca != cb {
+            drift.push(format!("phase {} span count: {ca} != {cb}", kind.label()));
+        }
+    }
+
+    let gauge_names: std::collections::BTreeSet<&String> = a
+        .metrics
+        .series
+        .iter()
+        .chain(&b.metrics.series)
+        .map(|(n, _)| n)
+        .collect();
+    for name in gauge_names {
+        // Heartbeat gauges are wall-clock measurements, not estimator
+        // state; they legitimately differ between identical runs.
+        if name.contains("heartbeat") {
+            continue;
+        }
+        let (sa, sb) = (a.metrics.gauge_series(name), b.metrics.gauge_series(name));
+        if sa.len() != sb.len() {
+            drift.push(format!(
+                "gauge {name} series length: {} != {}",
+                sa.len(),
+                sb.len()
+            ));
+        } else if let Some(i) = (0..sa.len()).find(|&i| sa[i].to_bits() != sb[i].to_bits()) {
+            drift.push(format!("gauge {name}[{i}]: {:?} != {:?}", sa[i], sb[i]));
+        }
+    }
+
+    if a.fit_diags.len() != b.fit_diags.len() {
+        drift.push(format!(
+            "fit_diag count: {} != {}",
+            a.fit_diags.len(),
+            b.fit_diags.len()
+        ));
+    } else if let Some(i) = (0..a.fit_diags.len()).find(|&i| a.fit_diags[i] != b.fit_diags[i]) {
+        drift.push(format!(
+            "fit_diag[{i}]: {:?} != {:?}",
+            a.fit_diags[i], b.fit_diags[i]
+        ));
+    }
+
+    drift
 }
 
 #[cfg(test)]
@@ -329,6 +441,93 @@ mod tests {
         ];
         let err = replay(lines.iter().map(String::as_str)).unwrap_err();
         assert!(err.message.contains("started twice"), "{err}");
+    }
+
+    #[test]
+    fn fit_diag_events_collect_into_audit_trail() {
+        let lines = [
+            line(
+                0,
+                "\"type\":\"fit_diag\",\"k\":0,\"rung\":\"mle\",\"reason\":\"converged\",\
+                 \"log_likelihood\":-1.5,\"ks_distance\":0.2,\"tail_shape\":3.1",
+            ),
+            line(
+                1,
+                "\"type\":\"fit_diag\",\"k\":1,\"rung\":\"quantile\",\"reason\":\"no_convergence\"",
+            ),
+        ];
+        let summary = replay(lines.iter().map(String::as_str)).unwrap();
+        assert_eq!(summary.fit_diags.len(), 2);
+        assert_eq!(summary.fit_diags[0].rung, "mle");
+        assert_eq!(summary.fit_diags[0].tail_shape, Some(3.1));
+        assert_eq!(summary.fit_diags[1].rung, "quantile");
+        assert_eq!(summary.fit_diags[1].ks_distance, None);
+    }
+
+    #[test]
+    fn self_diff_is_zero_drift() {
+        let lines = [
+            line(0, "\"type\":\"span_start\",\"span\":\"run\",\"id\":0"),
+            line(1, "\"type\":\"counter\",\"name\":\"c\",\"delta\":7"),
+            line(
+                2,
+                "\"type\":\"gauge\",\"name\":\"running_mean_mw\",\"value\":9.5",
+            ),
+            line(
+                3,
+                "\"type\":\"fit_diag\",\"k\":0,\"rung\":\"mle\",\"reason\":\"converged\"",
+            ),
+            line(
+                4,
+                "\"type\":\"span_end\",\"span\":\"run\",\"id\":0,\"elapsed_ns\":100",
+            ),
+        ];
+        let summary = replay(lines.iter().map(String::as_str)).unwrap();
+        assert!(diff_summaries(&summary, &summary).is_empty());
+    }
+
+    #[test]
+    fn diff_ignores_timings_but_catches_value_drift() {
+        let base = [
+            line(0, "\"type\":\"span_start\",\"span\":\"run\",\"id\":0"),
+            line(1, "\"type\":\"counter\",\"name\":\"c\",\"delta\":7"),
+            line(
+                2,
+                "\"type\":\"span_end\",\"span\":\"run\",\"id\":0,\"elapsed_ns\":100",
+            ),
+        ];
+        // Same deterministic content, wildly different timings.
+        let slower = [
+            format!(
+                "{{\"v\":{TRACE_SCHEMA_VERSION},\"seq\":0,\"t_ns\":999,\
+                 \"type\":\"span_start\",\"span\":\"run\",\"id\":0}}"
+            ),
+            format!(
+                "{{\"v\":{TRACE_SCHEMA_VERSION},\"seq\":1,\"t_ns\":1999,\
+                 \"type\":\"counter\",\"name\":\"c\",\"delta\":7}}"
+            ),
+            format!(
+                "{{\"v\":{TRACE_SCHEMA_VERSION},\"seq\":2,\"t_ns\":2999,\
+                 \"type\":\"span_end\",\"span\":\"run\",\"id\":0,\"elapsed_ns\":12345}}"
+            ),
+        ];
+        let a = replay(base.iter().map(String::as_str)).unwrap();
+        let b = replay(slower.iter().map(String::as_str)).unwrap();
+        assert!(diff_summaries(&a, &b).is_empty());
+
+        // A diverging counter is caught.
+        let diverged = [
+            line(0, "\"type\":\"span_start\",\"span\":\"run\",\"id\":0"),
+            line(1, "\"type\":\"counter\",\"name\":\"c\",\"delta\":8"),
+            line(
+                2,
+                "\"type\":\"span_end\",\"span\":\"run\",\"id\":0,\"elapsed_ns\":100",
+            ),
+        ];
+        let c = replay(diverged.iter().map(String::as_str)).unwrap();
+        let drift = diff_summaries(&a, &c);
+        assert_eq!(drift.len(), 1);
+        assert!(drift[0].contains("counter c"), "{}", drift[0]);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Introspection: watch a run live through the bounded subscriber ring,
+//! then read the estimator's audit trail and per-phase latency
+//! histograms — the full observability surface of DESIGN.md §11,
+//! in-process instead of through the `mpe` CLI.
+//!
+//! Run with: `cargo run --release --example introspection`
+
+use maxpower::telemetry::{names, EventKind, SpanKind, SubscriberSink, Telemetry};
+use maxpower::{EstimationConfig, EstimatorBuilder, RunOptions, SimulatorSource};
+use mpe_netlist::{generate, Iscas85};
+use mpe_sim::{DelayModel, PowerConfig};
+use mpe_vectors::PairGenerator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = generate(Iscas85::C432, 7)?;
+    let source = SimulatorSource::new(
+        &circuit,
+        PairGenerator::HighActivity { min_activity: 0.3 },
+        DelayModel::Unit,
+        PowerConfig::default(),
+    );
+
+    // Telemetry with one live consumer: a bounded ring the run pushes
+    // into without ever blocking (a slow consumer drops events, counted
+    // on the hub) and a thread of our own tailing it.
+    let telemetry = Telemetry::enabled();
+    let (sink, hub) = SubscriberSink::bounded(4096);
+    telemetry.add_sink(Box::new(sink));
+
+    let mut live = hub.subscribe();
+    let tail = std::thread::spawn(move || {
+        // Blocks until events arrive; `None` means closed and drained.
+        while let Some(batch) = live.wait() {
+            for event in &batch.events {
+                match &event.kind {
+                    // The audit trail, as it happens: one event per
+                    // committed hyper-sample, in commit order.
+                    EventKind::FitDiag {
+                        k, rung, reason, ..
+                    } => {
+                        println!("live  k={k:<3} rung={rung:<8} reason={reason}");
+                    }
+                    // The stopping metric converging toward the target.
+                    EventKind::Gauge { name, value } if name == names::CI_RELATIVE_HALF_WIDTH => {
+                        println!("live  relative half-width {:.4}", value);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    });
+
+    let config = EstimationConfig {
+        finite_population: Some(160_000),
+        ..EstimationConfig::default()
+    };
+    let estimate = EstimatorBuilder::new(config)
+        .telemetry(telemetry.clone())
+        .build()
+        .run(&source, RunOptions::default().seeded(42))?;
+    telemetry.flush();
+    hub.close(); // end-of-stream: the tail thread drains and exits
+    tail.join().expect("tail thread panicked");
+    if hub.dropped() > 0 {
+        println!("({} live events dropped — ring was full)", hub.dropped());
+    }
+
+    println!(
+        "\n{} max power ≈ {:.3} mW over {} hyper-samples ({} vector pairs)",
+        circuit.name(),
+        estimate.estimate_mw,
+        estimate.hyper_samples,
+        estimate.units_used
+    );
+
+    // The same audit trail, durably: per-hyper-sample fit diagnostics on
+    // the estimate itself (and in the v7 JSON report and checkpoint).
+    println!("\naudit trail:");
+    for (k, diag) in estimate.fit_diagnostics.iter().enumerate() {
+        let fmt = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.4}"));
+        println!(
+            "  k={k:<3} rung={:<8} reason={:<18} loglik={:<10} ks={:<8} shape={}",
+            diag.rung.label(),
+            diag.reason.label(),
+            fmt(diag.log_likelihood),
+            fmt(diag.ks_distance),
+            fmt(diag.tail_shape),
+        );
+    }
+    if estimate.health.irregular_fits > 0 {
+        println!(
+            "  note: {} fit(s) in Smith's non-regular regime (α̂ ≤ 2) — \
+             Fisher intervals there are not asymptotically justified",
+            estimate.health.irregular_fits
+        );
+    }
+
+    // Where the time went, at quantile resolution: the registry folds
+    // every span into a per-phase log₂-bucketed histogram.
+    println!("\nphase latency quantiles:");
+    let snapshot = telemetry.snapshot();
+    for kind in SpanKind::ALL {
+        if let Some((p50, p95, p99)) = snapshot.phase_quantiles_ns(kind) {
+            println!(
+                "  {:<14} p50 {:>9.3} ms   p95 {:>9.3} ms   p99 {:>9.3} ms",
+                kind.label(),
+                p50 as f64 / 1e6,
+                p95 as f64 / 1e6,
+                p99 as f64 / 1e6,
+            );
+        }
+    }
+    Ok(())
+}
