@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Bench-regression gate over the kernel smoke benchmark.
+
+Reads the ``BENCH_kernel.json`` emitted by
+``trace_breakdown --kernel-smoke`` and fails the build if the packed
+kernels have regressed:
+
+* every row must report ``identical: true`` — the packed kernels'
+  *raison d'etre* is bit-identity with the scalar reference, so a
+  single false is an instant failure;
+* every row's speedup must clear a conservative per-delay-model floor.
+  The floors sit well below locally measured numbers (zero-delay
+  13.8x-34.9x, timing 7.3x-11.0x on a shared dev box) so that noisy CI
+  runners don't flake, while a real regression — say the packed lane
+  loop quietly falling back to per-lane evaluation — still trips them.
+
+Usage: check_kernel_bench.py BENCH_kernel.json
+"""
+
+import json
+import sys
+
+# Conservative floors per delay model (see module docstring).
+SPEEDUP_FLOORS = {
+    "zero": 10.0,
+    "unit": 4.0,
+}
+# Any unlisted delay model (e.g. a future fanout row) uses this floor.
+DEFAULT_FLOOR = 3.0
+
+EXPECTED_KERNELS = {"packed64", "packed128"}
+
+
+def main(path):
+    with open(path) as f:
+        bench = json.load(f)
+
+    rows = bench.get("rows", [])
+    if not rows:
+        print(f"FAIL: {path} has no benchmark rows")
+        return 1
+
+    kernels = {row["kernel"] for row in rows}
+    missing = EXPECTED_KERNELS - kernels
+    if missing:
+        print(f"FAIL: benchmark is missing kernel rows for: {sorted(missing)}")
+        return 1
+
+    failures = []
+    for row in rows:
+        label = f"{row['circuit']:6s} {row['kernel']:9s} {row['delay_model']:5s}"
+        floor = SPEEDUP_FLOORS.get(row["delay_model"], DEFAULT_FLOOR)
+        speedup = row["speedup"]
+        identical = row["identical"]
+        status = "ok"
+        if not identical:
+            status = "NOT BIT-IDENTICAL"
+            failures.append(f"{label}: packed readings diverged from scalar")
+        elif speedup < floor:
+            status = f"speedup {speedup:.2f}x below floor {floor:.1f}x"
+            failures.append(f"{label}: {status}")
+        print(f"{label}  speedup {speedup:7.2f}x  (floor {floor:4.1f}x)  {status}")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} kernel bench regression(s):")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+
+    print(f"\nOK: {len(rows)} rows bit-identical and above their speedup floors")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1]))

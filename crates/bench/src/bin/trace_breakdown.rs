@@ -20,10 +20,11 @@
 //! `BENCH_parallel.json`).
 //!
 //! The third form benchmarks the simulation kernel itself: scalar
-//! `cycle_report` versus the bit-parallel packed kernel on the same
-//! fixed-seed zero-delay vector pairs, asserting per-pair bit-identical
-//! power before recording pairs/second as JSON (default path
-//! `BENCH_kernel.json`).
+//! `cycle_report` versus the bit-parallel packed kernels (64- and
+//! 128-lane words) on the same fixed-seed vector pairs, under both the
+//! zero-delay and the glitch-accurate unit-delay model, asserting
+//! per-pair bit-identical reports before recording pairs/second as JSON
+//! (default path `BENCH_kernel.json`).
 //!
 //! The fourth form measures the cost of observability itself: the same
 //! fixed-seed estimate with telemetry disabled, with the in-process
@@ -37,7 +38,7 @@ use std::time::Instant;
 
 use maxpower::{EstimationConfig, EstimatorBuilder, MaxPowerEstimate, RunOptions, SimulatorSource};
 use mpe_netlist::{generate, Iscas85};
-use mpe_sim::{DelayModel, PackedSimulator, PowerConfig, PowerSimulator};
+use mpe_sim::{CycleReport, DelayModel, PackedSimulator, PowerConfig, PowerSimulator};
 use mpe_telemetry::{names, replay, JsonlSink, SpanKind, Telemetry, TraceSummary};
 use mpe_vectors::{PairGenerator, VectorPair};
 use rand::rngs::SmallRng;
@@ -184,9 +185,16 @@ fn render_smoke_json(host: usize, rows: &[SmokeRow]) -> String {
 /// per-call overhead is amortised, small enough to stay a smoke test.
 const KERNEL_PAIRS: usize = 4096;
 
-/// One circuit's scalar-vs-packed kernel measurement.
+/// The delay models the kernel smoke measures: the zero-delay fast path
+/// and the glitch-accurate timing path (unit delay).
+const KERNEL_DELAYS: [(&str, DelayModel); 2] =
+    [("zero", DelayModel::Zero), ("unit", DelayModel::Unit)];
+
+/// One (circuit, kernel, delay model) scalar-vs-packed measurement.
 struct KernelRow {
     circuit: String,
+    kernel: &'static str,
+    delay_model: &'static str,
     pairs: usize,
     scalar_pairs_per_s: f64,
     packed_pairs_per_s: f64,
@@ -199,55 +207,85 @@ impl KernelRow {
     }
 }
 
+/// Times one packed width on a prepared pair set and checks every report
+/// field (power, capacitance, toggles, events, settle time) against the
+/// scalar kernel bit-for-bit.
+fn time_packed<B: mpe_netlist::Block>(
+    sim: &PowerSimulator<'_>,
+    refs: &[(&[bool], &[bool])],
+    scalar_reports: &[CycleReport],
+) -> Result<(f64, bool), Box<dyn std::error::Error>> {
+    let packed: PackedSimulator<B> = PackedSimulator::new(sim);
+    let mut out = Vec::with_capacity(refs.len());
+    let started = Instant::now();
+    packed.cycle_reports_batch(refs, &mut out)?;
+    let elapsed = started.elapsed().as_secs_f64();
+    let identical = scalar_reports.len() == out.len()
+        && scalar_reports.iter().zip(&out).all(|(s, p)| {
+            s.power_mw.to_bits() == p.power_mw.to_bits()
+                && s.switched_cap_ff.to_bits() == p.switched_cap_ff.to_bits()
+                && s.toggles == p.toggles
+                && s.events == p.events
+                && s.settle_time == p.settle_time
+        });
+    Ok((refs.len() as f64 / elapsed, identical))
+}
+
 fn run_kernel_smoke(out_path: &str) -> Result<(), Box<dyn std::error::Error>> {
     let host = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
     let circuits = [Iscas85::C432, Iscas85::C880, Iscas85::C1355];
     let mut rows = Vec::new();
     for which in circuits {
         let circuit = generate(which, 7)?;
-        // The packed kernel is zero-delay only, so that is the comparison.
-        let sim = PowerSimulator::new(&circuit, DelayModel::Zero, PowerConfig::default());
-        let packed = PackedSimulator::new(&sim)?;
-        let mut rng = SmallRng::seed_from_u64(42);
-        let pairs: Vec<VectorPair> = (0..KERNEL_PAIRS)
-            .map(|_| PairGenerator::Uniform.generate(&mut rng, circuit.num_inputs()))
-            .collect();
+        for (delay_name, delay) in KERNEL_DELAYS {
+            let sim = PowerSimulator::new(&circuit, delay, PowerConfig::default());
+            let mut rng = SmallRng::seed_from_u64(42);
+            let pairs: Vec<VectorPair> = (0..KERNEL_PAIRS)
+                .map(|_| PairGenerator::Uniform.generate(&mut rng, circuit.num_inputs()))
+                .collect();
 
-        let started = Instant::now();
-        let scalar_reports: Vec<_> = pairs
-            .iter()
-            .map(|p| sim.cycle_report(&p.v1, &p.v2))
-            .collect::<Result<_, _>>()?;
-        let scalar_s = started.elapsed().as_secs_f64();
+            let started = Instant::now();
+            let scalar_reports: Vec<CycleReport> = pairs
+                .iter()
+                .map(|p| sim.cycle_report(&p.v1, &p.v2))
+                .collect::<Result<_, _>>()?;
+            let scalar_s = started.elapsed().as_secs_f64();
+            let scalar_pairs_per_s = pairs.len() as f64 / scalar_s;
 
-        let refs: Vec<(&[bool], &[bool])> = pairs.iter().map(VectorPair::as_slices).collect();
-        let mut packed_reports = Vec::with_capacity(pairs.len());
-        let started = Instant::now();
-        packed.cycle_reports_batch(&refs, &mut packed_reports)?;
-        let packed_s = started.elapsed().as_secs_f64();
-
-        let identical = scalar_reports.len() == packed_reports.len()
-            && scalar_reports.iter().zip(&packed_reports).all(|(s, p)| {
-                s.power_mw.to_bits() == p.power_mw.to_bits()
-                    && s.switched_cap_ff.to_bits() == p.switched_cap_ff.to_bits()
-                    && s.toggles == p.toggles
-            });
-        let row = KernelRow {
-            circuit: which.to_string(),
-            pairs: pairs.len(),
-            scalar_pairs_per_s: pairs.len() as f64 / scalar_s,
-            packed_pairs_per_s: pairs.len() as f64 / packed_s,
-            identical,
-        };
-        println!(
-            "{:<6} scalar {:>10.0} pairs/s, packed {:>10.0} pairs/s — {:.2}x, identical: {}",
-            row.circuit,
-            row.scalar_pairs_per_s,
-            row.packed_pairs_per_s,
-            row.speedup(),
-            row.identical,
-        );
-        rows.push(row);
+            let refs: Vec<(&[bool], &[bool])> = pairs.iter().map(VectorPair::as_slices).collect();
+            let measurements = [
+                (
+                    "packed64",
+                    time_packed::<u64>(&sim, &refs, &scalar_reports)?,
+                ),
+                (
+                    "packed128",
+                    time_packed::<u128>(&sim, &refs, &scalar_reports)?,
+                ),
+            ];
+            for (kernel, (packed_pairs_per_s, identical)) in measurements {
+                let row = KernelRow {
+                    circuit: which.to_string(),
+                    kernel,
+                    delay_model: delay_name,
+                    pairs: pairs.len(),
+                    scalar_pairs_per_s,
+                    packed_pairs_per_s,
+                    identical,
+                };
+                println!(
+                    "{:<6} {:<6} scalar {:>10.0} pairs/s, {:<9} {:>10.0} pairs/s — {:.2}x, identical: {}",
+                    row.circuit,
+                    row.delay_model,
+                    row.scalar_pairs_per_s,
+                    row.kernel,
+                    row.packed_pairs_per_s,
+                    row.speedup(),
+                    row.identical,
+                );
+                rows.push(row);
+            }
+        }
     }
     std::fs::write(out_path, render_kernel_json(host, &rows))?;
     println!("wrote {out_path}");
@@ -262,10 +300,13 @@ fn render_kernel_json(host: usize, rows: &[KernelRow]) -> String {
         .iter()
         .map(|r| {
             format!(
-                "    {{\"circuit\": \"{}\", \"pairs\": {}, \
+                "    {{\"circuit\": \"{}\", \"kernel\": \"{}\", \
+                 \"delay_model\": \"{}\", \"pairs\": {}, \
                  \"scalar_pairs_per_s\": {:.1}, \"packed_pairs_per_s\": {:.1}, \
                  \"speedup\": {:.3}, \"identical\": {}}}",
                 r.circuit,
+                r.kernel,
+                r.delay_model,
                 r.pairs,
                 r.scalar_pairs_per_s,
                 r.packed_pairs_per_s,
@@ -275,7 +316,7 @@ fn render_kernel_json(host: usize, rows: &[KernelRow]) -> String {
         })
         .collect();
     format!(
-        "{{\n  \"benchmark\": \"kernel_smoke\",\n  \"delay_model\": \"zero\",\n  \
+        "{{\n  \"benchmark\": \"kernel_smoke\",\n  \
          \"host_parallelism\": {host},\n  \"rows\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     )
@@ -515,16 +556,32 @@ mod tests {
 
     #[test]
     fn kernel_json_is_well_formed() {
-        let rows = [KernelRow {
-            circuit: "C880".to_string(),
-            pairs: 4096,
-            scalar_pairs_per_s: 1000.0,
-            packed_pairs_per_s: 8000.0,
-            identical: true,
-        }];
+        let rows = [
+            KernelRow {
+                circuit: "C880".to_string(),
+                kernel: "packed64",
+                delay_model: "zero",
+                pairs: 4096,
+                scalar_pairs_per_s: 1000.0,
+                packed_pairs_per_s: 8000.0,
+                identical: true,
+            },
+            KernelRow {
+                circuit: "C880".to_string(),
+                kernel: "packed128",
+                delay_model: "unit",
+                pairs: 4096,
+                scalar_pairs_per_s: 500.0,
+                packed_pairs_per_s: 4000.0,
+                identical: true,
+            },
+        ];
         let json = render_kernel_json(1, &rows);
         assert!(json.contains("\"benchmark\": \"kernel_smoke\""), "{json}");
+        assert!(json.contains("\"kernel\": \"packed64\""), "{json}");
+        assert!(json.contains("\"kernel\": \"packed128\""), "{json}");
         assert!(json.contains("\"delay_model\": \"zero\""), "{json}");
+        assert!(json.contains("\"delay_model\": \"unit\""), "{json}");
         assert!(json.contains("\"circuit\": \"C880\""), "{json}");
         assert!(json.contains("\"speedup\": 8.000"), "{json}");
         assert!(json.contains("\"identical\": true"), "{json}");

@@ -56,8 +56,10 @@ ESTIMATION (estimate / delay):
     --workers N         worker threads for hyper-sample generation (default 1);
                         results are bit-identical for every N
     --delay-model M     zero | unit | fanout (default unit)
-    --kernel K          auto | scalar | packed simulation kernel (default auto;
-                        packed is zero-delay only and bit-identical to scalar)
+    --kernel K          auto | scalar | packed | packed128 simulation kernel
+                        (default auto = packed; the packed kernels settle 64
+                        or 128 vector pairs per word-level sweep under every
+                        delay model and are bit-identical to scalar)
     --activity A        per-line input switching activity in [0,1] (default: uniform pairs)
     --json              print the result as JSON instead of text
 
@@ -168,6 +170,14 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Unsupported metric/kernel combinations are usage errors: rejected
+    // here, before any circuit is built or simulated, with their own exit
+    // code (3) — distinct from flag-parse errors (2) and runtime
+    // failures (1).
+    if let Err(msg) = validate_kernel_usage(command, &flags) {
+        status!("error: {msg}");
+        return ExitCode::from(3);
+    }
     let result = match command.as_str() {
         "estimate" => run_estimate(&flags, Metric::Power),
         "delay" => run_estimate(&flags, Metric::Delay),
@@ -194,6 +204,22 @@ fn main() -> ExitCode {
 enum Metric {
     Power,
     Delay,
+}
+
+/// Rejects kernel/metric combinations no kernel implements. The packed
+/// kernels now cover every delay model for *power*, so the only
+/// unsupported request left is forcing one for the delay metric, whose
+/// readings come from the scalar event engine's settle times.
+fn validate_kernel_usage(command: &str, flags: &Flags) -> Result<(), String> {
+    if command == "delay" && matches!(flags.kernel, KernelMode::Packed | KernelMode::Packed128) {
+        return Err(format!(
+            "the delay metric is measured on the scalar event engine; \
+             `--kernel {}` applies to power estimation only \
+             (drop the flag or use `--kernel auto`)",
+            flags.kernel
+        ));
+    }
+    Ok(())
 }
 
 #[derive(Debug)]
@@ -641,7 +667,7 @@ fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error:
                 flags.delay_model,
                 PowerConfig::default(),
             )
-            .with_kernel(flags.kernel)?;
+            .with_kernel(flags.kernel);
             let kernel = source.kernel();
             (
                 run_to_completion(&session, &source, flags)?,
@@ -651,11 +677,8 @@ fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error:
             )
         }
         Metric::Delay => {
-            if flags.kernel == KernelMode::Packed {
-                return Err("the delay metric is event-driven; \
-                     --kernel packed applies to zero-delay power estimation only"
-                    .into());
-            }
+            // Packed kernels were already rejected in main's arg
+            // validation; the delay source is always scalar.
             let source = DelaySource::new(&circuit, generator, flags.delay_model);
             (
                 run_to_completion(&session, &source, flags)?,
@@ -680,7 +703,7 @@ fn run_estimate(flags: &Flags, metric: Metric) -> Result<(), Box<dyn std::error:
             .map(NonZeroUsize::get);
         let mut report = EstimateReport::new(circuit.name(), metric_name, &estimate)
             .with_execution(workers, Some(wall_ms))
-            .with_kernel(kernel.as_str(), host_parallelism);
+            .with_kernel(kernel.as_str(), kernel.lanes(), host_parallelism);
         if telemetry.is_enabled() {
             report = report.with_telemetry(&telemetry.snapshot());
         }

@@ -27,7 +27,11 @@ use mpe_telemetry::{MetricsSnapshot, SpanKind};
 /// `fit_diagnostics` audit trail, per-phase latency `quantiles` inside the
 /// telemetry block, and `health.irregular_fits` — all defaulting to empty
 /// or 0, so v2–v6 reports still parse.
-pub const REPORT_VERSION: u32 = 7;
+/// v8 extended the kernel provenance: `kernel` may now also be
+/// `"packed128"`, and the optional `kernel_lanes` records the lane width
+/// of packed kernels (64/128; absent for scalar runs and pre-v8 reports,
+/// which still parse).
+pub const REPORT_VERSION: u32 = 8;
 
 /// Wall-clock attribution for one pipeline phase.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -193,12 +197,18 @@ pub struct EstimateReport {
     /// measured it (v4; the `mpe` CLI always does).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub wall_ms: Option<f64>,
-    /// Simulation kernel that produced the power readings (`"scalar"` or
-    /// `"packed"`, v5). Provenance only: the kernels are bit-identical, so
-    /// two reports differing in this field still describe the same
-    /// estimate. Absent for non-simulator sources and pre-v5 reports.
+    /// Simulation kernel that produced the power readings (`"scalar"`,
+    /// `"packed"` or `"packed128"`, v5/v8). Provenance only: the kernels
+    /// are bit-identical, so two reports differing in this field still
+    /// describe the same estimate. Absent for non-simulator sources and
+    /// pre-v5 reports.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub kernel: Option<String>,
+    /// Lane width of the packed kernel behind the readings (64 or 128,
+    /// v8). Absent for scalar runs, non-simulator sources and pre-v8
+    /// reports. Provenance only, like `kernel`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub kernel_lanes: Option<usize>,
     /// `std::thread::available_parallelism()` on the producing host (v5).
     /// Benchmark provenance for interpreting `wall_ms` and `workers`.
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -236,6 +246,7 @@ impl EstimateReport {
             workers: 1,
             wall_ms: None,
             kernel: None,
+            kernel_lanes: None,
             host_parallelism: None,
         }
     }
@@ -258,11 +269,18 @@ impl EstimateReport {
     }
 
     /// Records benchmark provenance: the simulation kernel behind the
-    /// readings and the producing host's available parallelism. Like
+    /// readings, its lane width (for packed kernels) and the producing
+    /// host's available parallelism. Like
     /// [`EstimateReport::with_execution`], pure metadata.
     #[must_use]
-    pub fn with_kernel(mut self, kernel: &str, host_parallelism: Option<usize>) -> Self {
+    pub fn with_kernel(
+        mut self,
+        kernel: &str,
+        kernel_lanes: Option<usize>,
+        host_parallelism: Option<usize>,
+    ) -> Self {
         self.kernel = Some(kernel.to_string());
+        self.kernel_lanes = kernel_lanes;
         self.host_parallelism = host_parallelism;
         self
     }
@@ -417,10 +435,20 @@ mod tests {
     fn with_kernel_records_provenance_only() {
         let est = sample_estimate();
         let plain = EstimateReport::new("x", "max_power_mw", &est);
-        let packed = EstimateReport::new("x", "max_power_mw", &est).with_kernel("packed", Some(4));
+        let packed =
+            EstimateReport::new("x", "max_power_mw", &est).with_kernel("packed", Some(64), Some(4));
         assert_eq!(packed.kernel.as_deref(), Some("packed"));
+        assert_eq!(packed.kernel_lanes, Some(64));
         assert_eq!(packed.host_parallelism, Some(4));
+        let wide = EstimateReport::new("x", "max_power_mw", &est).with_kernel(
+            "packed128",
+            Some(128),
+            None,
+        );
+        assert_eq!(wide.kernel.as_deref(), Some("packed128"));
+        assert_eq!(wide.kernel_lanes, Some(128));
         assert_eq!(plain.kernel, None);
+        assert_eq!(plain.kernel_lanes, None);
         assert_eq!(plain.host_parallelism, None);
         // The estimate itself is untouched by provenance metadata.
         assert_eq!(packed.estimate, plain.estimate);

@@ -108,24 +108,39 @@ impl<S: PowerSource + Clone + Send> PowerSourceFactory for S {
     }
 }
 
+/// The resolved lane-word width of a [`SimulatorSource`]'s batch path.
+///
+/// The lane width is a *type* parameter of [`PackedSimulator`], so the
+/// runtime [`KernelMode`] choice is dispatched once here instead of on
+/// every batch.
+#[derive(Debug, Clone)]
+enum PackedKernel {
+    /// Scalar per-pair simulation (no lane words).
+    Scalar,
+    /// 64 lanes per sweep.
+    Lanes64(PackedSimulator<u64>),
+    /// 128 lanes per sweep.
+    Lanes128(PackedSimulator<u128>),
+}
+
 /// On-demand simulation source: generator + simulator, no pre-computation.
 ///
-/// Supports two kernels (see [`KernelMode`]): the scalar per-pair engine,
-/// and — for zero-delay timing — the bit-parallel [`PackedSimulator`],
-/// which [`SimulatorSource::sample_batch`] uses to settle up to 64 pairs
-/// per word-level sweep. Both kernels accumulate capacitance in the same
-/// topological node order, so their readings are bit-identical; batching
-/// draws all the batch's vector pairs from the RNG *before* simulating
-/// (the simulator consumes no randomness), so the RNG stream is identical
-/// too. Kernel choice therefore never changes an estimate, only its cost.
+/// Supports the scalar per-pair engine and the bit-parallel
+/// [`PackedSimulator`] in both lane widths (see [`KernelMode`]), which
+/// [`SimulatorSource::sample_batch`] uses to settle up to 64 or 128 pairs
+/// per word-level sweep — under *every* delay model, timing included. All
+/// kernels accumulate capacitance in the same order, so their readings are
+/// bit-identical; batching draws all the batch's vector pairs from the RNG
+/// *before* simulating (the simulator consumes no randomness), so the RNG
+/// stream is identical too. Kernel choice therefore never changes an
+/// estimate, only its cost.
 #[derive(Debug, Clone)]
 pub struct SimulatorSource<'c> {
     simulator: PowerSimulator<'c>,
     generator: PairGenerator,
     width: usize,
     simulated: u64,
-    kernel: KernelMode,
-    packed: Option<PackedSimulator>,
+    packed: PackedKernel,
     packed_pairs: u64,
     pair_buf: Vec<VectorPair>,
     report_buf: Vec<CycleReport>,
@@ -133,8 +148,8 @@ pub struct SimulatorSource<'c> {
 
 impl<'c> SimulatorSource<'c> {
     /// Creates a source that simulates fresh pairs from `generator` on the
-    /// given circuit, with [`KernelMode::Auto`] kernel selection (packed
-    /// under zero-delay, scalar otherwise).
+    /// given circuit, with [`KernelMode::Auto`] kernel selection (the
+    /// 64-lane packed kernel for every delay model).
     pub fn new(
         circuit: &'c Circuit,
         generator: PairGenerator,
@@ -142,19 +157,12 @@ impl<'c> SimulatorSource<'c> {
         config: PowerConfig,
     ) -> Self {
         let simulator = PowerSimulator::new(circuit, delay, config);
-        let packed = match KernelMode::Auto.resolve(delay) {
-            KernelMode::Packed => Some(
-                PackedSimulator::new(&simulator)
-                    .expect("auto-resolved packed kernel implies zero delay"),
-            ),
-            _ => None,
-        };
+        let packed = Self::build_kernel(&simulator, KernelMode::Auto);
         SimulatorSource {
             simulator,
             width: circuit.num_inputs(),
             generator,
             simulated: 0,
-            kernel: KernelMode::Auto,
             packed,
             packed_pairs: 0,
             pair_buf: Vec::new(),
@@ -162,31 +170,29 @@ impl<'c> SimulatorSource<'c> {
         }
     }
 
-    /// Selects the simulation kernel.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`MaxPowerError::Simulation`] wrapping
-    /// [`mpe_sim::SimError::KernelUnsupported`] when [`KernelMode::Packed`]
-    /// is requested with a non-zero delay model.
-    pub fn with_kernel(mut self, kernel: KernelMode) -> Result<Self, MaxPowerError> {
-        self.packed = match kernel.resolve(self.simulator.delay_model()) {
-            KernelMode::Packed => {
-                Some(PackedSimulator::new(&self.simulator).map_err(MaxPowerError::from)?)
-            }
-            _ => None,
-        };
-        self.kernel = kernel;
-        Ok(self)
+    fn build_kernel(simulator: &PowerSimulator<'_>, kernel: KernelMode) -> PackedKernel {
+        match kernel.resolve(simulator.delay_model()) {
+            KernelMode::Packed => PackedKernel::Lanes64(PackedSimulator::new(simulator)),
+            KernelMode::Packed128 => PackedKernel::Lanes128(PackedSimulator::new(simulator)),
+            KernelMode::Auto | KernelMode::Scalar => PackedKernel::Scalar,
+        }
+    }
+
+    /// Selects the simulation kernel. Every [`KernelMode`] is valid for
+    /// every delay model.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
+        self.packed = Self::build_kernel(&self.simulator, kernel);
+        self
     }
 
     /// The kernel the batch path actually runs (`Auto` already resolved
     /// against the delay model).
     pub fn kernel(&self) -> KernelMode {
-        if self.packed.is_some() {
-            KernelMode::Packed
-        } else {
-            KernelMode::Scalar
+        match self.packed {
+            PackedKernel::Lanes64(_) => KernelMode::Packed,
+            PackedKernel::Lanes128(_) => KernelMode::Packed128,
+            PackedKernel::Scalar => KernelMode::Scalar,
         }
     }
 
@@ -216,14 +222,14 @@ impl PowerSource for SimulatorSource<'_> {
         count: usize,
         out: &mut Vec<f64>,
     ) -> Result<(), MaxPowerError> {
-        let Some(packed) = &self.packed else {
+        if matches!(self.packed, PackedKernel::Scalar) {
             // Scalar kernel: the default interleaved generate/simulate loop
             // (identical RNG order, reusing the simulator's scratch).
             for _ in 0..count {
                 out.push(self.sample(rng)?);
             }
             return Ok(());
-        };
+        }
         // Draw the whole batch's vectors first — the simulator consumes no
         // randomness, so this is the same RNG stream as interleaving.
         self.pair_buf.clear();
@@ -232,9 +238,15 @@ impl PowerSource for SimulatorSource<'_> {
         }
         let refs: Vec<(&[bool], &[bool])> = self.pair_buf.iter().map(|p| p.as_slices()).collect();
         self.report_buf.clear();
-        packed
-            .cycle_reports_batch(&refs, &mut self.report_buf)
-            .map_err(MaxPowerError::from)?;
+        match &self.packed {
+            PackedKernel::Scalar => unreachable!("scalar path returned above"),
+            PackedKernel::Lanes64(packed) => packed
+                .cycle_reports_batch(&refs, &mut self.report_buf)
+                .map_err(MaxPowerError::from)?,
+            PackedKernel::Lanes128(packed) => packed
+                .cycle_reports_batch(&refs, &mut self.report_buf)
+                .map_err(MaxPowerError::from)?,
+        }
         self.simulated += count as u64;
         self.packed_pairs += count as u64;
         out.extend(self.report_buf.iter().map(|r| r.power_mw));

@@ -204,10 +204,11 @@ fn fault_injected_parallel_run_is_deterministic() {
     );
 }
 
-/// Kernel selection is pure provenance: the bit-parallel packed kernel
-/// and the scalar kernel produce byte-identical estimates, health ledgers
-/// *and checkpoint sequences* for workers 1, 2 and 8. A kernel switch can
-/// change cost, never a single committed bit.
+/// Kernel selection is pure provenance: the bit-parallel packed kernels
+/// (both lane widths) and the scalar kernel produce byte-identical
+/// estimates, health ledgers *and checkpoint sequences* for workers 1, 2
+/// and 8 — under the zero-delay fast path *and* the glitch-accurate
+/// timing path. A kernel switch can change cost, never a committed bit.
 #[test]
 fn packed_and_scalar_kernels_are_bit_identical_across_worker_counts() {
     let circuit = generate(Iscas85::C432, 7).expect("circuit generates");
@@ -217,15 +218,14 @@ fn packed_and_scalar_kernels_are_bit_identical_across_worker_counts() {
         ..EstimationConfig::default()
     };
     let session = EstimatorBuilder::new(config).build();
-    let run = |kernel: KernelMode, n: usize| {
+    let run = |kernel: KernelMode, n: usize, delay: DelayModel| {
         let source = SimulatorSource::new(
             &circuit,
             PairGenerator::Uniform,
-            DelayModel::Zero,
+            delay,
             PowerConfig::default(),
         )
-        .with_kernel(kernel)
-        .expect("zero delay supports every kernel");
+        .with_kernel(kernel);
         let mut cps: Vec<Checkpoint> = Vec::new();
         let mut save = |cp: &Checkpoint| cps.push(cp.clone());
         let est = session
@@ -239,16 +239,25 @@ fn packed_and_scalar_kernels_are_bit_identical_across_worker_counts() {
             .expect("run converges");
         (format!("{est:?}"), cps)
     };
-    let (reference, reference_cps) = run(KernelMode::Scalar, 1);
-    assert!(!reference_cps.is_empty());
-    for n in [1usize, 2, 8] {
-        for kernel in [KernelMode::Scalar, KernelMode::Packed] {
-            let (est, cps) = run(kernel, n);
-            assert_eq!(reference, est, "{kernel} kernel, {n} workers diverged");
-            assert_eq!(
-                reference_cps, cps,
-                "{kernel} kernel, {n} workers: checkpoint sequence diverged"
-            );
+    for delay in [DelayModel::Zero, DelayModel::Unit] {
+        let (reference, reference_cps) = run(KernelMode::Scalar, 1, delay);
+        assert!(!reference_cps.is_empty());
+        for n in [1usize, 2, 8] {
+            for kernel in [
+                KernelMode::Scalar,
+                KernelMode::Packed,
+                KernelMode::Packed128,
+            ] {
+                let (est, cps) = run(kernel, n, delay);
+                assert_eq!(
+                    reference, est,
+                    "{kernel} kernel, {n} workers diverged under {delay}"
+                );
+                assert_eq!(
+                    reference_cps, cps,
+                    "{kernel} kernel, {n} workers: checkpoint sequence diverged under {delay}"
+                );
+            }
         }
     }
 }
@@ -282,8 +291,7 @@ fn fault_injected_runs_match_across_kernels() {
             DelayModel::Zero,
             PowerConfig::default(),
         )
-        .with_kernel(kernel)
-        .expect("zero delay supports every kernel");
+        .with_kernel(kernel);
         let factory = FaultInjectingSource::new(inner, faults).expect("valid fault mix");
         format!(
             "{:?}",
@@ -297,11 +305,13 @@ fn fault_injected_runs_match_across_kernels() {
     };
     let reference = run(KernelMode::Scalar, 1);
     for n in [1usize, 2, 8] {
-        assert_eq!(
-            reference,
-            run(KernelMode::Packed, n),
-            "packed kernel, {n} workers diverged under fault injection"
-        );
+        for kernel in [KernelMode::Packed, KernelMode::Packed128] {
+            assert_eq!(
+                reference,
+                run(kernel, n),
+                "{kernel} kernel, {n} workers diverged under fault injection"
+            );
+        }
     }
 }
 

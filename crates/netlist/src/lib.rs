@@ -33,6 +33,7 @@
 //! ```
 
 pub mod bench_format;
+pub mod block;
 pub mod capacitance;
 pub mod circuit;
 pub mod error;
@@ -42,6 +43,7 @@ pub mod packed;
 pub mod profiles;
 pub mod verilog;
 
+pub use block::Block;
 pub use capacitance::CapacitanceModel;
 pub use circuit::{Circuit, CircuitBuilder, CircuitStats, NodeId};
 pub use error::NetlistError;

@@ -1,20 +1,28 @@
 //! Word-level (bit-parallel) circuit evaluation.
 //!
 //! A [`PackedEvaluator`] flattens a [`Circuit`] into CSR (compressed sparse
-//! row) adjacency arrays and evaluates **64 input assignments at once**: each
-//! node's value is one `u64` whose bit `l` holds the node's boolean value
-//! under assignment (lane) `l`. Gate operations become word-wide bitwise ops,
-//! so one pass over the netlist amortises instruction and memory traffic
-//! across 64 lanes.
+//! row) adjacency arrays and evaluates **one word of input assignments at
+//! once**: each node's value is one [`Block`] whose bit `l` holds the
+//! node's boolean value under assignment (lane) `l`. Gate operations become
+//! word-wide bitwise ops, so one pass over the netlist amortises
+//! instruction and memory traffic across [`Block::LANES`] lanes — 64 for
+//! `u64`, 128 for `u128`.
+//!
+//! The CSR layout itself is width-independent (offsets and adjacency are
+//! the same arrays whatever the word), so the evaluator is a plain struct
+//! whose *evaluation methods* are generic over the [`Block`] word type;
+//! one flattening serves every lane width.
 //!
 //! The node order is the circuit's existing topological order, so a single
-//! forward sweep suffices — exactly like [`Circuit::evaluate_into`], just 64
-//! lanes wide.
+//! forward sweep suffices — exactly like [`Circuit::evaluate_into`], just
+//! `LANES` wide.
 
+use crate::block::Block;
 use crate::circuit::{Circuit, NodeId};
 use crate::gate::GateKind;
 
-/// Number of assignment lanes packed into one machine word.
+/// Number of assignment lanes packed into the default (`u64`) word —
+/// kept for callers that are not generic over [`Block`].
 pub const LANES: usize = u64::BITS as usize;
 
 /// A CSR-flattened circuit with a word-level evaluator.
@@ -95,7 +103,13 @@ impl PackedEvaluator {
         &self.fanout[lo..hi]
     }
 
-    /// Evaluates up to 64 assignments in one sweep.
+    /// Primary input node indices, in declaration order — the order the
+    /// scalar engine applies a new input vector in.
+    pub fn input_ids(&self) -> &[u32] {
+        &self.input_ids
+    }
+
+    /// Evaluates up to [`Block::LANES`] assignments in one sweep.
     ///
     /// `input_words[j]` carries the value of primary input `j` across all
     /// lanes (bit `l` = input `j` under assignment `l`). On return,
@@ -106,14 +120,14 @@ impl PackedEvaluator {
     /// # Panics
     ///
     /// Panics if `input_words.len() != num_inputs()`.
-    pub fn evaluate_packed(&self, input_words: &[u64], values: &mut Vec<u64>) {
+    pub fn evaluate_packed<B: Block>(&self, input_words: &[B], values: &mut Vec<B>) {
         assert_eq!(
             input_words.len(),
             self.num_inputs,
             "input word count must equal the number of primary inputs"
         );
         values.clear();
-        values.resize(self.kinds.len(), 0);
+        values.resize(self.kinds.len(), B::ZERO);
         for (&id, &w) in self.input_ids.iter().zip(input_words) {
             values[id as usize] = w;
         }
@@ -133,12 +147,11 @@ impl PackedEvaluator {
     ///
     /// # Panics
     ///
-    /// Panics if the widths disagree or `lane >= LANES`.
-    pub fn pack_lane(&self, input_words: &mut [u64], lane: usize, assignment: &[bool]) {
+    /// Panics if the widths disagree or `lane >= B::LANES`.
+    pub fn pack_lane<B: Block>(&self, input_words: &mut [B], lane: usize, assignment: &[bool]) {
         assert_eq!(input_words.len(), self.num_inputs);
         assert_eq!(assignment.len(), self.num_inputs);
-        assert!(lane < LANES);
-        let mask = 1u64 << lane;
+        let mask = B::lane_mask(lane);
         for (w, &bit) in input_words.iter_mut().zip(assignment) {
             if bit {
                 *w |= mask;
@@ -149,8 +162,8 @@ impl PackedEvaluator {
     }
 
     /// Extracts lane `lane` of `values` for a node index.
-    pub fn lane_bit(values: &[u64], node: usize, lane: usize) -> bool {
-        (values[node] >> lane) & 1 != 0
+    pub fn lane_bit<B: Block>(values: &[B], node: usize, lane: usize) -> bool {
+        values[node].get(lane)
     }
 }
 
@@ -164,24 +177,45 @@ impl From<&Circuit> for PackedEvaluator {
 
 /// Word-wide gate evaluation over CSR fan-in indices.
 #[inline]
-fn eval_packed(kind: GateKind, fanin: &[u32], values: &[u64]) -> u64 {
+pub(crate) fn eval_packed<B: Block>(kind: GateKind, fanin: &[u32], values: &[B]) -> B {
     match kind {
-        GateKind::Input => 0,
+        GateKind::Input => B::ZERO,
         GateKind::Buf => values[fanin[0] as usize],
         GateKind::Not => !values[fanin[0] as usize],
-        GateKind::And => fanin.iter().fold(!0u64, |acc, &f| acc & values[f as usize]),
-        GateKind::Nand => !fanin.iter().fold(!0u64, |acc, &f| acc & values[f as usize]),
-        GateKind::Or => fanin.iter().fold(0u64, |acc, &f| acc | values[f as usize]),
-        GateKind::Nor => !fanin.iter().fold(0u64, |acc, &f| acc | values[f as usize]),
-        GateKind::Xor => fanin.iter().fold(0u64, |acc, &f| acc ^ values[f as usize]),
-        GateKind::Xnor => !fanin.iter().fold(0u64, |acc, &f| acc ^ values[f as usize]),
+        GateKind::And => fanin
+            .iter()
+            .fold(B::ONES, |acc, &f| acc & values[f as usize]),
+        GateKind::Nand => !fanin
+            .iter()
+            .fold(B::ONES, |acc, &f| acc & values[f as usize]),
+        GateKind::Or => fanin
+            .iter()
+            .fold(B::ZERO, |acc, &f| acc | values[f as usize]),
+        GateKind::Nor => !fanin
+            .iter()
+            .fold(B::ZERO, |acc, &f| acc | values[f as usize]),
+        GateKind::Xor => fanin
+            .iter()
+            .fold(B::ZERO, |acc, &f| acc ^ values[f as usize]),
+        GateKind::Xnor => !fanin
+            .iter()
+            .fold(B::ZERO, |acc, &f| acc ^ values[f as usize]),
     }
+}
+
+/// Word-wide evaluation of one node of a [`PackedEvaluator`] — the packed
+/// event kernels re-evaluate single gates out of topological order, so the
+/// per-gate word op is exposed alongside the full-sweep
+/// [`PackedEvaluator::evaluate_packed`].
+#[inline]
+pub fn eval_node<B: Block>(evaluator: &PackedEvaluator, node: usize, values: &[B]) -> B {
+    eval_packed(evaluator.kind(node), evaluator.fanin_of(node), values)
 }
 
 /// Scalar reference for documentation and tests: evaluates one lane of a
 /// packed sweep exactly like [`Circuit::evaluate`].
-pub fn unpack_lane(values: &[u64], lane: usize) -> Vec<bool> {
-    values.iter().map(|&w| (w >> lane) & 1 != 0).collect()
+pub fn unpack_lane<B: Block>(values: &[B], lane: usize) -> Vec<bool> {
+    values.iter().map(|&w| w.get(lane)).collect()
 }
 
 /// Helper for engines that need the `NodeId` of a CSR index.
@@ -256,6 +290,67 @@ mod tests {
                     "seed {seed} lane {lane}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn u64_and_u128_words_agree_with_scalar() {
+        // One flattening serves both widths: the same assignments packed
+        // into `u64` and `u128` words must settle to the same lane values,
+        // and both must equal the scalar evaluation.
+        for seed in 0..8 {
+            let c = random_dag("w", 7, 3, 45, 7, seed).unwrap();
+            let pe = PackedEvaluator::new(&c);
+            let mut w64 = vec![0u64; c.num_inputs()];
+            let mut w128 = vec![0u128; c.num_inputs()];
+            let mut assignments = Vec::new();
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            for lane in 0..<u128 as Block>::LANES {
+                let a: Vec<bool> = (0..c.num_inputs())
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        (state >> 33) & 1 != 0
+                    })
+                    .collect();
+                if lane < <u64 as Block>::LANES {
+                    pe.pack_lane(&mut w64, lane, &a);
+                }
+                pe.pack_lane(&mut w128, lane, &a);
+                assignments.push(a);
+            }
+            let mut v64 = Vec::new();
+            let mut v128 = Vec::new();
+            pe.evaluate_packed(&w64, &mut v64);
+            pe.evaluate_packed(&w128, &mut v128);
+            for (lane, a) in assignments.iter().enumerate() {
+                let scalar = c.evaluate(a);
+                assert_eq!(scalar, unpack_lane(&v128, lane), "seed {seed} lane {lane}");
+                if lane < <u64 as Block>::LANES {
+                    assert_eq!(scalar, unpack_lane(&v64, lane), "seed {seed} lane {lane}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_node_matches_full_sweep() {
+        let c = xor_via_nands();
+        let pe = PackedEvaluator::new(&c);
+        let mut words = vec![0u64; 2];
+        let cases = [[false, false], [false, true], [true, false], [true, true]];
+        for (lane, assignment) in cases.iter().enumerate() {
+            pe.pack_lane(&mut words, lane, assignment);
+        }
+        let mut values = Vec::new();
+        pe.evaluate_packed(&words, &mut values);
+        for i in 0..pe.num_nodes() {
+            if pe.kind(i) == GateKind::Input {
+                continue;
+            }
+            let low = eval_node(&pe, i, &values) & 0xF;
+            assert_eq!(low, values[i] & 0xF, "node {i}");
         }
     }
 

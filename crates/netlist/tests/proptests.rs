@@ -1,8 +1,42 @@
 //! Property-based tests for circuit construction, generation and the
 //! `.bench` round trip.
 
-use mpe_netlist::{bench_format, generator::random_dag, CapacitanceModel, GateKind};
+use mpe_netlist::{
+    bench_format, generator::random_dag, packed, Block, CapacitanceModel, GateKind, PackedEvaluator,
+};
 use proptest::prelude::*;
+
+/// Packs `assignments` into lane words of width `B`, evaluates them in one
+/// word-level sweep, and checks every lane of every node against the
+/// scalar evaluator.
+fn assert_packed_matches_scalar<B: Block>(
+    c: &mpe_netlist::Circuit,
+    ev: &PackedEvaluator,
+    assignments: &[Vec<bool>],
+) {
+    prop_assert!(assignments.len() <= B::LANES);
+    let mut words = vec![B::ZERO; c.num_inputs()];
+    for (lane, a) in assignments.iter().enumerate() {
+        ev.pack_lane(&mut words, lane, a);
+    }
+    let mut values = Vec::new();
+    ev.evaluate_packed(&words, &mut values);
+    for (lane, a) in assignments.iter().enumerate() {
+        let scalar = c.evaluate(a);
+        for (node, &expected) in scalar.iter().enumerate() {
+            prop_assert_eq!(
+                PackedEvaluator::lane_bit(&values, node, lane),
+                expected,
+                "node {} lane {} of {} ({} lanes/word)",
+                node,
+                lane,
+                assignments.len(),
+                B::LANES
+            );
+        }
+        prop_assert_eq!(&packed::unpack_lane(&values, lane), &scalar);
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -71,6 +105,37 @@ proptest! {
         // De Morgan proper: NAND(x) == OR(!x)
         let negated: Vec<bool> = bits.iter().map(|b| !b).collect();
         prop_assert_eq!(GateKind::Nand.eval(&bits), GateKind::Or.eval(&negated));
+    }
+
+    /// Width equivalence of the word-level evaluator: on random DAGs, u64
+    /// and u128 lane words both reproduce the scalar evaluator on every
+    /// node and lane, for batch sizes that leave partial final words in
+    /// both widths (1..=128 covers partial u64 and partial/full u128).
+    #[test]
+    fn packed_widths_match_scalar_evaluation(
+        seed in 0u64..150,
+        pattern_seed in 0u64..u64::MAX,
+        batch in 1usize..=128,
+    ) {
+        let c = random_dag("w", 11, 3, 45, 8, seed).unwrap();
+        let ev = PackedEvaluator::new(&c);
+        // Deterministic pseudo-random assignments from an LCG.
+        let mut state = pattern_seed | 1;
+        let mut bit = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) & 1 != 0
+        };
+        let assignments: Vec<Vec<bool>> = (0..batch)
+            .map(|_| (0..c.num_inputs()).map(|_| bit()).collect())
+            .collect();
+        // u128 carries any batch up to 128 in one word; u64 takes the
+        // 64-lane prefix (the generic packing logic is identical for the
+        // remaining words, exercised by the sim-level proptests).
+        let prefix = batch.min(64);
+        assert_packed_matches_scalar::<u64>(&c, &ev, &assignments[..prefix]);
+        assert_packed_matches_scalar::<u128>(&c, &ev, &assignments);
     }
 
     /// Capacitances are positive and total capacitance matches the sum.

@@ -127,6 +127,26 @@ impl<'c> PowerSimulator<'c> {
         &self.caps
     }
 
+    /// Per-node gate delays in time units (indexed by `NodeId`), already
+    /// clamped to ≥ 1 — the table the event kernels schedule with.
+    pub(crate) fn delays(&self) -> &[u64] {
+        &self.delays
+    }
+
+    /// Largest per-gate delay; sizes the event time-wheel.
+    pub(crate) fn max_delay(&self) -> u64 {
+        self.max_delay
+    }
+
+    /// Per-pair event budget of the event-driven kernels (defensive bound
+    /// against absurd delay configurations; see
+    /// [`SimError::EventBudgetExhausted`]).
+    pub(crate) fn event_budget(&self) -> usize {
+        10_000usize
+            .saturating_mul(self.circuit.num_nodes())
+            .max(1_000_000)
+    }
+
     /// Cycle-based power (mW) for the vector pair — the quantity the
     /// estimation method samples.
     ///
@@ -255,7 +275,7 @@ impl<'c> PowerSimulator<'c> {
 
         // Defensive budget: a DAG with d-bounded delays processes at most
         // O(paths) events; 10_000 × nodes is far beyond anything legal.
-        let budget = 10_000usize.saturating_mul(n).max(1_000_000);
+        let budget = self.event_budget();
         let mut now = 0u64;
         while pending > 0 {
             now += 1;

@@ -19,12 +19,6 @@ pub enum SimError {
         /// Events processed before giving up.
         budget: usize,
     },
-    /// The requested kernel cannot implement the configured delay model
-    /// (the packed kernel is zero-delay only).
-    KernelUnsupported {
-        /// Display form of the offending delay model.
-        delay: String,
-    },
 }
 
 impl fmt::Display for SimError {
@@ -38,9 +32,6 @@ impl fmt::Display for SimError {
             }
             SimError::EventBudgetExhausted { budget } => {
                 write!(f, "event budget of {budget} exhausted")
-            }
-            SimError::KernelUnsupported { delay } => {
-                write!(f, "packed kernel supports zero-delay only, got {delay}")
             }
         }
     }

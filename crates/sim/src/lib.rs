@@ -46,6 +46,7 @@ pub mod delay;
 pub mod engine;
 pub mod error;
 pub mod packed;
+mod packed_event;
 pub mod population;
 pub mod power;
 pub mod trace;

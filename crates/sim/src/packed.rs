@@ -1,39 +1,52 @@
-//! Bit-parallel batch simulation: 64 vector pairs per word-level sweep.
+//! Bit-parallel batch simulation: a full lane word of vector pairs per
+//! word-level sweep.
 //!
-//! [`PackedSimulator`] wraps the zero-delay kernel of a [`PowerSimulator`]
-//! with [`mpe_netlist::PackedEvaluator`]'s word-level evaluation: each node
-//! value is a `u64` whose bit `l` is the node's value for pair `l` of the
-//! batch, so one pass over the netlist settles 64 "before" states, a second
-//! pass settles 64 "after" states, and the per-pair switched capacitance is
-//! accumulated lane by lane.
+//! [`PackedSimulator`] wraps a [`PowerSimulator`]'s kernel with
+//! [`mpe_netlist::PackedEvaluator`]'s word-level evaluation: each node
+//! value is a [`Block`] whose bit `l` is the node's value for pair `l` of
+//! the batch. The lane width is a type parameter — `PackedSimulator<u64>`
+//! settles 64 assignments per sweep, `PackedSimulator<u128>` 128 — and
+//! every delay model is supported:
 //!
-//! **Bit-identity contract:** for every lane, capacitances are accumulated
-//! over nodes in topological order — the exact `f64` addition sequence of
-//! the scalar [`PowerSimulator::cycle_report`] zero-delay path — so
-//! `power_mw`, `switched_cap_ff` and `toggles` are bit-identical to the
-//! scalar kernel's, not merely approximately equal. The estimation layers
-//! rely on this to make the packed and scalar paths interchangeable.
+//! * **zero-delay**: one pass settles all "before" states, a second all
+//!   "after" states, and per-pair switched capacitance is accumulated
+//!   lane by lane in topological order;
+//! * **unit / fanout delay**: the [per-lane event kernel](crate::packed_event)
+//!   replays the scalar time-wheel with a pending-lane mask per
+//!   `(time, node)`, so glitch-accurate simulation also settles a whole
+//!   word of assignments per wheel drain.
+//!
+//! **Bit-identity contract:** for every lane and every delay model, the
+//! `f64` additions happen in exactly the order the scalar
+//! [`PowerSimulator::cycle_report`] performs them, so `power_mw`,
+//! `switched_cap_ff`, `toggles`, `events` and `settle_time` are
+//! bit-identical to the scalar kernel's, not merely approximately equal.
+//! The estimation layers rely on this to make kernel choice pure
+//! provenance.
 
 use std::cell::RefCell;
 
-use mpe_netlist::{packed::LANES, PackedEvaluator};
+use mpe_netlist::{Block, PackedEvaluator};
 
 use crate::delay::DelayModel;
 use crate::engine::{CycleReport, PowerSimulator};
 use crate::error::SimError;
+use crate::packed_event::{cycle_reports_event, EventScratch, MAX_LANES};
 use crate::power::PowerConfig;
 
 /// Which simulation kernel the estimation path should use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum KernelMode {
-    /// Packed when the delay model permits it (zero-delay), scalar
-    /// otherwise.
+    /// The widest packed kernel (64 lanes today; every delay model is
+    /// supported, so `Auto` always resolves to a packed kernel).
     #[default]
     Auto,
     /// Always the scalar per-pair kernel.
     Scalar,
-    /// Always the bit-parallel kernel; only valid with zero-delay timing.
+    /// The bit-parallel kernel with 64-bit lane words.
     Packed,
+    /// The bit-parallel kernel with 128-bit lane words.
+    Packed128,
 }
 
 impl KernelMode {
@@ -43,6 +56,7 @@ impl KernelMode {
             "auto" => Some(KernelMode::Auto),
             "scalar" => Some(KernelMode::Scalar),
             "packed" => Some(KernelMode::Packed),
+            "packed128" => Some(KernelMode::Packed128),
             _ => None,
         }
     }
@@ -53,21 +67,29 @@ impl KernelMode {
             KernelMode::Auto => "auto",
             KernelMode::Scalar => "scalar",
             KernelMode::Packed => "packed",
+            KernelMode::Packed128 => "packed128",
         }
     }
 
-    /// Resolves `Auto` against a delay model: the packed kernel implements
-    /// zero-delay semantics only.
-    pub fn resolve(self, delay: DelayModel) -> KernelMode {
+    /// Resolves `Auto` against a delay model. Since the packed kernels
+    /// implement every delay model bit-identically, `Auto` always picks
+    /// the 64-lane packed kernel; the parameter remains so callers state
+    /// the configuration they resolved for (and for any future model the
+    /// packed path cannot carry).
+    pub fn resolve(self, _delay: DelayModel) -> KernelMode {
         match self {
-            KernelMode::Auto => {
-                if delay == DelayModel::Zero {
-                    KernelMode::Packed
-                } else {
-                    KernelMode::Scalar
-                }
-            }
+            KernelMode::Auto => KernelMode::Packed,
             other => other,
+        }
+    }
+
+    /// Lane count of the kernel, if it is a packed one (`None` for
+    /// `Auto`/`Scalar`).
+    pub fn lanes(self) -> Option<usize> {
+        match self {
+            KernelMode::Packed => Some(<u64 as Block>::LANES),
+            KernelMode::Packed128 => Some(<u128 as Block>::LANES),
+            KernelMode::Auto | KernelMode::Scalar => None,
         }
     }
 }
@@ -80,47 +102,47 @@ impl std::fmt::Display for KernelMode {
 
 /// Reusable word-level working memory.
 #[derive(Debug, Clone, Default)]
-struct PackedScratch {
-    words_before: Vec<u64>,
-    words_after: Vec<u64>,
-    vals_before: Vec<u64>,
-    vals_after: Vec<u64>,
+struct PackedScratch<B> {
+    words_before: Vec<B>,
+    words_after: Vec<B>,
+    vals_before: Vec<B>,
+    vals_after: Vec<B>,
+    event: EventScratch<B>,
 }
 
-/// A bit-parallel zero-delay batch simulator.
+/// A bit-parallel batch simulator over lane words of type `B`.
 ///
-/// Built from a [`PowerSimulator`]; owns its CSR-flattened netlist and
-/// capacitance table, so it has no borrow of the source simulator. Use
-/// [`PackedSimulator::cycle_reports_batch`] to simulate any number of pairs;
-/// they are processed in chunks of [`mpe_netlist::LANES`] (64).
+/// Built from a [`PowerSimulator`]; owns its CSR-flattened netlist,
+/// capacitance and delay tables, so it has no borrow of the source
+/// simulator. Use [`PackedSimulator::cycle_reports_batch`] to simulate any
+/// number of pairs; they are processed in chunks of `B::LANES` (64 for the
+/// default `u64`, 128 for `u128`).
 #[derive(Debug, Clone)]
-pub struct PackedSimulator {
+pub struct PackedSimulator<B: Block = u64> {
     evaluator: PackedEvaluator,
     caps: Vec<f64>,
     config: PowerConfig,
-    scratch: RefCell<PackedScratch>,
+    delay: DelayModel,
+    delays: Vec<u64>,
+    max_delay: u64,
+    budget: usize,
+    scratch: RefCell<PackedScratch<B>>,
 }
 
-impl PackedSimulator {
-    /// Builds the packed kernel from a scalar simulator.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::KernelUnsupported`] unless the simulator uses
-    /// [`DelayModel::Zero`] — the packed sweep has no notion of time, so it
-    /// can only reproduce zero-delay semantics.
-    pub fn new(sim: &PowerSimulator<'_>) -> Result<PackedSimulator, SimError> {
-        if sim.delay_model() != DelayModel::Zero {
-            return Err(SimError::KernelUnsupported {
-                delay: sim.delay_model().to_string(),
-            });
-        }
-        Ok(PackedSimulator {
+impl<B: Block> PackedSimulator<B> {
+    /// Builds the packed kernel from a scalar simulator, inheriting its
+    /// delay model, capacitance table and power configuration.
+    pub fn new(sim: &PowerSimulator<'_>) -> PackedSimulator<B> {
+        PackedSimulator {
             evaluator: PackedEvaluator::new(sim.circuit()),
             caps: sim.caps().to_vec(),
             config: sim.config(),
+            delay: sim.delay_model(),
+            delays: sim.delays().to_vec(),
+            max_delay: sim.max_delay(),
+            budget: sim.event_budget(),
             scratch: RefCell::new(PackedScratch::default()),
-        })
+        }
     }
 
     /// Number of primary inputs of the underlying circuit.
@@ -128,34 +150,40 @@ impl PackedSimulator {
         self.evaluator.num_inputs()
     }
 
+    /// Number of assignment lanes settled per word-level sweep.
+    pub fn lanes(&self) -> usize {
+        B::LANES
+    }
+
     /// Simulates every `(v1, v2)` pair, appending one [`CycleReport`] per
-    /// pair to `out` in order. Batches of up to 64 pairs share each
-    /// word-level sweep; a partial final chunk simply leaves the spare lanes
-    /// unused.
+    /// pair to `out` in order. Batches of up to `B::LANES` pairs share
+    /// each word-level sweep; a partial final chunk simply leaves the
+    /// spare lanes unused.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::WidthMismatch`] if any vector's width differs
-    /// from the circuit's primary input count (reports for pairs before the
-    /// offending one are already appended).
+    /// from the circuit's primary input count (reports for chunks before
+    /// the offending one are already appended), and propagates
+    /// [`SimError::EventBudgetExhausted`] from the timing kernel.
     pub fn cycle_reports_batch(
         &self,
         pairs: &[(&[bool], &[bool])],
         out: &mut Vec<CycleReport>,
     ) -> Result<(), SimError> {
         let width = self.evaluator.num_inputs();
-        let n = self.evaluator.num_nodes();
         let mut scratch = self.scratch.borrow_mut();
         let PackedScratch {
             ref mut words_before,
             ref mut words_after,
             ref mut vals_before,
             ref mut vals_after,
+            ref mut event,
         } = *scratch;
-        words_before.resize(width, 0);
-        words_after.resize(width, 0);
+        words_before.resize(width, B::ZERO);
+        words_after.resize(width, B::ZERO);
 
-        for chunk in pairs.chunks(LANES) {
+        for chunk in pairs.chunks(B::LANES) {
             for (lane, (v1, v2)) in chunk.iter().enumerate() {
                 if v1.len() != width {
                     return Err(SimError::WidthMismatch {
@@ -172,36 +200,77 @@ impl PackedSimulator {
                 self.evaluator.pack_lane(words_before, lane, v1);
                 self.evaluator.pack_lane(words_after, lane, v2);
             }
-            self.evaluator.evaluate_packed(words_before, vals_before);
-            self.evaluator.evaluate_packed(words_after, vals_after);
-
-            // Lane-wise accumulation in topological node order: for each
-            // lane the f64 additions happen in exactly the order the scalar
-            // zero-delay kernel performs them, so the sums are bit-identical.
-            let mut cap = [0.0f64; LANES];
-            let mut toggles = [0u64; LANES];
-            for i in 0..n {
-                let mut diff = vals_before[i] ^ vals_after[i];
-                while diff != 0 {
-                    let lane = diff.trailing_zeros() as usize;
-                    diff &= diff - 1;
-                    if lane < chunk.len() {
-                        cap[lane] += self.caps[i];
-                        toggles[lane] += 1;
-                    }
+            match self.delay {
+                DelayModel::Zero => {
+                    self.zero_delay_chunk(
+                        words_before,
+                        words_after,
+                        vals_before,
+                        vals_after,
+                        chunk.len(),
+                        out,
+                    );
                 }
-            }
-            for lane in 0..chunk.len() {
-                out.push(CycleReport {
-                    power_mw: self.config.power_mw(cap[lane]),
-                    switched_cap_ff: cap[lane],
-                    toggles: toggles[lane],
-                    events: 0,
-                    settle_time: 0,
-                });
+                DelayModel::Unit | DelayModel::FanoutProportional { .. } => {
+                    cycle_reports_event(
+                        &self.evaluator,
+                        &self.caps,
+                        &self.delays,
+                        self.max_delay,
+                        self.budget,
+                        self.config,
+                        event,
+                        words_before,
+                        words_after,
+                        chunk.len(),
+                        out,
+                    )?;
+                }
             }
         }
         Ok(())
+    }
+
+    /// The zero-delay fast path: two topological sweeps settle the whole
+    /// word, then capacitance is peeled lane by lane.
+    #[allow(clippy::too_many_arguments)]
+    fn zero_delay_chunk(
+        &self,
+        words_before: &[B],
+        words_after: &[B],
+        vals_before: &mut Vec<B>,
+        vals_after: &mut Vec<B>,
+        lanes: usize,
+        out: &mut Vec<CycleReport>,
+    ) {
+        let n = self.evaluator.num_nodes();
+        self.evaluator.evaluate_packed(words_before, vals_before);
+        self.evaluator.evaluate_packed(words_after, vals_after);
+
+        // Lane-wise accumulation in topological node order: for each lane
+        // the f64 additions happen in exactly the order the scalar
+        // zero-delay kernel performs them, so the sums are bit-identical.
+        let active = B::low_mask(lanes);
+        let mut cap = [0.0f64; MAX_LANES];
+        let mut toggles = [0u64; MAX_LANES];
+        for i in 0..n {
+            let mut diff = (vals_before[i] ^ vals_after[i]) & active;
+            while !diff.is_zero() {
+                let lane = diff.trailing_zeros() as usize;
+                diff = diff.clear_lowest();
+                cap[lane] += self.caps[i];
+                toggles[lane] += 1;
+            }
+        }
+        for lane in 0..lanes {
+            out.push(CycleReport {
+                power_mw: self.config.power_mw(cap[lane]),
+                switched_cap_ff: cap[lane],
+                toggles: toggles[lane],
+                events: 0,
+                settle_time: 0,
+            });
+        }
     }
 }
 
@@ -228,20 +297,18 @@ mod tests {
             .collect()
     }
 
-    #[test]
-    fn packed_matches_scalar_bitwise_on_c432() {
+    fn assert_matches_scalar<B: Block>(delay: DelayModel, count: usize, seed: u64) {
         let c = generate(Iscas85::C432, 7).unwrap();
-        let sim = PowerSimulator::new(&c, DelayModel::Zero, crate::PowerConfig::default());
-        let packed = PackedSimulator::new(&sim).unwrap();
-        // 130 pairs: two full words plus a partial final word of 2 lanes.
-        let pairs = pairs_for(c.num_inputs(), 130, 42);
+        let sim = PowerSimulator::new(&c, delay, crate::PowerConfig::default());
+        let packed: PackedSimulator<B> = PackedSimulator::new(&sim);
+        let pairs = pairs_for(c.num_inputs(), count, seed);
         let refs: Vec<(&[bool], &[bool])> = pairs
             .iter()
             .map(|(a, b)| (a.as_slice(), b.as_slice()))
             .collect();
         let mut reports = Vec::new();
         packed.cycle_reports_batch(&refs, &mut reports).unwrap();
-        assert_eq!(reports.len(), 130);
+        assert_eq!(reports.len(), count);
         for (i, (v1, v2)) in pairs.iter().enumerate() {
             let scalar = sim.cycle_report(v1, v2).unwrap();
             assert_eq!(scalar, reports[i], "pair {i}");
@@ -254,20 +321,42 @@ mod tests {
     }
 
     #[test]
-    fn rejects_non_zero_delay() {
-        let c = generate(Iscas85::C432, 7).unwrap();
-        let sim = PowerSimulator::new(&c, DelayModel::Unit, crate::PowerConfig::default());
-        assert!(matches!(
-            PackedSimulator::new(&sim),
-            Err(SimError::KernelUnsupported { .. })
-        ));
+    fn packed_matches_scalar_bitwise_on_c432() {
+        // 130 pairs: two full u64 words plus a partial final word of 2.
+        assert_matches_scalar::<u64>(DelayModel::Zero, 130, 42);
+    }
+
+    #[test]
+    fn packed128_matches_scalar_bitwise_on_c432() {
+        // 130 pairs: one full u128 word plus a partial final word of 2.
+        assert_matches_scalar::<u128>(DelayModel::Zero, 130, 42);
+    }
+
+    #[test]
+    fn packed_matches_scalar_under_unit_delay() {
+        assert_matches_scalar::<u64>(DelayModel::Unit, 130, 11);
+    }
+
+    #[test]
+    fn packed128_matches_scalar_under_unit_delay() {
+        assert_matches_scalar::<u128>(DelayModel::Unit, 130, 11);
+    }
+
+    #[test]
+    fn packed_matches_scalar_under_fanout_delay() {
+        assert_matches_scalar::<u64>(DelayModel::fanout_default(), 70, 23);
+    }
+
+    #[test]
+    fn packed128_matches_scalar_under_fanout_delay() {
+        assert_matches_scalar::<u128>(DelayModel::fanout_default(), 140, 23);
     }
 
     #[test]
     fn width_mismatch_detected() {
         let c = generate(Iscas85::C432, 7).unwrap();
         let sim = PowerSimulator::new(&c, DelayModel::Zero, crate::PowerConfig::default());
-        let packed = PackedSimulator::new(&sim).unwrap();
+        let packed: PackedSimulator = PackedSimulator::new(&sim);
         let short = vec![true; c.num_inputs() - 1];
         let full = vec![true; c.num_inputs()];
         let mut out = Vec::new();
@@ -279,10 +368,29 @@ mod tests {
     fn empty_batch_is_noop() {
         let c = generate(Iscas85::C432, 7).unwrap();
         let sim = PowerSimulator::new(&c, DelayModel::Zero, crate::PowerConfig::default());
-        let packed = PackedSimulator::new(&sim).unwrap();
+        let packed: PackedSimulator = PackedSimulator::new(&sim);
         let mut out = Vec::new();
         packed.cycle_reports_batch(&[], &mut out).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn event_scratch_reuse_is_clean_across_batches() {
+        // Two timing batches through the same simulator must not leak
+        // pending state from the first into the second.
+        let c = generate(Iscas85::C432, 7).unwrap();
+        let sim = PowerSimulator::new(&c, DelayModel::Unit, crate::PowerConfig::default());
+        let packed: PackedSimulator = PackedSimulator::new(&sim);
+        let pairs = pairs_for(c.num_inputs(), 10, 3);
+        let refs: Vec<(&[bool], &[bool])> = pairs
+            .iter()
+            .map(|(a, b)| (a.as_slice(), b.as_slice()))
+            .collect();
+        let mut first = Vec::new();
+        packed.cycle_reports_batch(&refs, &mut first).unwrap();
+        let mut second = Vec::new();
+        packed.cycle_reports_batch(&refs, &mut second).unwrap();
+        assert_eq!(first, second);
     }
 
     #[test]
@@ -290,19 +398,35 @@ mod tests {
         assert_eq!(KernelMode::parse("auto"), Some(KernelMode::Auto));
         assert_eq!(KernelMode::parse("scalar"), Some(KernelMode::Scalar));
         assert_eq!(KernelMode::parse("packed"), Some(KernelMode::Packed));
+        assert_eq!(KernelMode::parse("packed128"), Some(KernelMode::Packed128));
         assert_eq!(KernelMode::parse("fast"), None);
+        // Auto resolves to the packed kernel for every delay model now
+        // that the timing path is lane-parallel too.
         assert_eq!(
             KernelMode::Auto.resolve(DelayModel::Zero),
             KernelMode::Packed
         );
         assert_eq!(
             KernelMode::Auto.resolve(DelayModel::Unit),
-            KernelMode::Scalar
+            KernelMode::Packed
+        );
+        assert_eq!(
+            KernelMode::Auto.resolve(DelayModel::fanout_default()),
+            KernelMode::Packed
         );
         assert_eq!(
             KernelMode::Scalar.resolve(DelayModel::Zero),
             KernelMode::Scalar
         );
+        assert_eq!(
+            KernelMode::Packed128.resolve(DelayModel::Unit),
+            KernelMode::Packed128
+        );
         assert_eq!(KernelMode::Packed.to_string(), "packed");
+        assert_eq!(KernelMode::Packed128.to_string(), "packed128");
+        assert_eq!(KernelMode::Packed.lanes(), Some(64));
+        assert_eq!(KernelMode::Packed128.lanes(), Some(128));
+        assert_eq!(KernelMode::Scalar.lanes(), None);
+        assert_eq!(KernelMode::Auto.lanes(), None);
     }
 }

@@ -1,0 +1,235 @@
+//! Timing-aware bit-parallel simulation: the scalar engine's bucketed
+//! time-wheel married to **per-lane event words**.
+//!
+//! The zero-delay packed kernel settles a whole word of assignments with
+//! two topological sweeps; under a timing model the evaluation *order* is
+//! part of the semantics (glitches), so this module keeps the scalar
+//! event kernel's exact schedule — a modular time-wheel of
+//! `max_delay + 1` slots, same-time evaluations in ascending node order —
+//! but replaces the per-node "is scheduled" marker with a [`Block`] of
+//! pending lanes per `(wheel slot, node)`. One gate re-evaluation then
+//! serves every lane whose fan-in changed at that instant: the gate is
+//! evaluated word-wide once, and the lane mask picks out which lanes the
+//! result applies to.
+//!
+//! **Bit-identity contract:** for each lane, the sequence of (time, node)
+//! evaluations, the toggle decisions, and therefore the f64 capacitance
+//! additions are exactly those of [`PowerSimulator::cycle_report`] on that
+//! lane's vector pair — `power_mw`, `switched_cap_ff`, `toggles`,
+//! `events` *and* `settle_time` are all bit-identical, not approximately
+//! equal. Two facts carry the proof:
+//!
+//! 1. all schedules of a node for time `t` originate while the wheel
+//!    drains slot `t − delay(node)`, so per-lane coalescing by mask OR
+//!    deduplicates exactly the `(node, time)` pairs the scalar marker
+//!    does; and
+//! 2. lanes never interact — every update is masked by the lanes that
+//!    actually have the event, so lane `l` of the live-value words always
+//!    equals the scalar kernel's value array for pair `l`.
+//!
+//! [`PowerSimulator::cycle_report`]: crate::engine::PowerSimulator::cycle_report
+
+use mpe_netlist::{packed::eval_node, Block, GateKind, PackedEvaluator};
+
+use crate::engine::CycleReport;
+use crate::error::SimError;
+use crate::power::PowerConfig;
+
+/// Upper bound on [`Block::LANES`] across all supported widths (`u128`
+/// today); sizes the per-lane accumulator arrays.
+pub(crate) const MAX_LANES: usize = 128;
+
+/// Reusable working memory of the packed event kernel.
+///
+/// `masks` is kept all-zero between calls: every drained entry is cleared
+/// as it is processed, and the error path unwinds whatever is still
+/// pending — so the (potentially large) dense array is never re-zeroed
+/// wholesale.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EventScratch<B> {
+    /// Live node values, one lane per assignment.
+    values: Vec<B>,
+    /// Dense per-`(slot, node)` pending-lane masks: `masks[slot * n + node]`.
+    masks: Vec<B>,
+    /// Per-slot list of nodes with a non-zero pending mask in that slot.
+    slot_nodes: Vec<Vec<u32>>,
+}
+
+/// Schedules a re-evaluation of `node` at `time` for the lanes in `mask`.
+#[inline]
+fn schedule<B: Block>(
+    scratch: &mut EventScratch<B>,
+    n: usize,
+    wheel_len: usize,
+    node: u32,
+    time: u64,
+    mask: B,
+    pending: &mut usize,
+) {
+    let slot = (time % wheel_len as u64) as usize;
+    let entry = &mut scratch.masks[slot * n + node as usize];
+    if entry.is_zero() {
+        scratch.slot_nodes[slot].push(node);
+        *pending += 1;
+    }
+    *entry |= mask;
+}
+
+/// Restores the all-zero `masks` invariant after an early error.
+fn clear_pending<B: Block>(scratch: &mut EventScratch<B>, n: usize) {
+    let EventScratch {
+        ref mut masks,
+        ref mut slot_nodes,
+        ..
+    } = *scratch;
+    for (slot, nodes) in slot_nodes.iter_mut().enumerate() {
+        for &node in nodes.iter() {
+            masks[slot * n + node as usize] = B::ZERO;
+        }
+        nodes.clear();
+    }
+}
+
+/// Simulates one word of vector pairs under a timing delay model,
+/// appending one [`CycleReport`] per used lane to `out` in lane order.
+///
+/// `words_before` / `words_after` hold the packed "before" and "after"
+/// input vectors; `lanes` is the number of lanes actually packed (idle
+/// lanes of a partial final word are masked off and never produce
+/// events). `delays` is the per-node delay table (each ≥ 1), `max_delay`
+/// its maximum, and `budget` the per-lane event budget.
+///
+/// # Errors
+///
+/// Returns [`SimError::EventBudgetExhausted`] if any lane exceeds
+/// `budget` distinct `(node, time)` evaluations — same defensive bound as
+/// the scalar kernel.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn cycle_reports_event<B: Block>(
+    evaluator: &PackedEvaluator,
+    caps: &[f64],
+    delays: &[u64],
+    max_delay: u64,
+    budget: usize,
+    config: PowerConfig,
+    scratch: &mut EventScratch<B>,
+    words_before: &[B],
+    words_after: &[B],
+    lanes: usize,
+    out: &mut Vec<CycleReport>,
+) -> Result<(), SimError> {
+    let n = evaluator.num_nodes();
+    let wheel_len = (max_delay + 1) as usize;
+    if scratch.slot_nodes.len() < wheel_len {
+        scratch.slot_nodes.resize(wheel_len, Vec::new());
+    }
+    if scratch.masks.len() < wheel_len * n {
+        scratch.masks.resize(wheel_len * n, B::ZERO);
+    }
+
+    // Settle the circuit at the "before" vectors across all lanes — the
+    // same zero-delay steady state the scalar kernel starts from.
+    evaluator.evaluate_packed(words_before, &mut scratch.values);
+
+    let active = B::low_mask(lanes);
+    let mut cap = [0.0f64; MAX_LANES];
+    let mut toggles = [0u64; MAX_LANES];
+    let mut events = [0u64; MAX_LANES];
+    let mut settle = [0u64; MAX_LANES];
+    let mut pending = 0usize;
+
+    // Apply the "after" vectors at t = 0 in input-declaration order:
+    // input flips toggle immediately and schedule their fanouts.
+    for (j, &id) in evaluator.input_ids().iter().enumerate() {
+        let i = id as usize;
+        let diff = (scratch.values[i] ^ words_after[j]) & active;
+        if diff.is_zero() {
+            continue;
+        }
+        scratch.values[i] ^= diff;
+        let mut d = diff;
+        while !d.is_zero() {
+            let lane = d.trailing_zeros() as usize;
+            d = d.clear_lowest();
+            cap[lane] += caps[i];
+            toggles[lane] += 1;
+        }
+        for &f in evaluator.fanout_of(i) {
+            let time = delays[f as usize];
+            schedule(scratch, n, wheel_len, f, time, diff, &mut pending);
+        }
+    }
+
+    let mut now = 0u64;
+    while pending > 0 {
+        now += 1;
+        let slot = (now % wheel_len as u64) as usize;
+        if scratch.slot_nodes[slot].is_empty() {
+            continue;
+        }
+        // Ascending node order within a time step — observable per lane
+        // through glitch counts and the f64 addition sequence, exactly as
+        // in the scalar wheel.
+        scratch.slot_nodes[slot].sort_unstable();
+        // New schedules land at `now + d` with `1 <= d <= max_delay`,
+        // never back onto `slot`, so indexed iteration over a stable
+        // bucket is safe while other buckets grow.
+        let mut idx = 0;
+        while idx < scratch.slot_nodes[slot].len() {
+            let node = scratch.slot_nodes[slot][idx] as usize;
+            idx += 1;
+            pending -= 1;
+            let mask = scratch.masks[slot * n + node];
+            scratch.masks[slot * n + node] = B::ZERO;
+            // Per-lane event accounting mirrors the scalar kernel's
+            // coalesced count: one event per lane per (node, time).
+            let mut over_budget = false;
+            let mut m = mask;
+            while !m.is_zero() {
+                let lane = m.trailing_zeros() as usize;
+                m = m.clear_lowest();
+                events[lane] += 1;
+                over_budget |= events[lane] as usize > budget;
+            }
+            if over_budget {
+                scratch.slot_nodes[slot].truncate(idx);
+                clear_pending(scratch, n);
+                return Err(SimError::EventBudgetExhausted { budget });
+            }
+            if evaluator.kind(node) == GateKind::Input {
+                continue;
+            }
+            let new_word = eval_node(evaluator, node, &scratch.values);
+            let changed = (new_word ^ scratch.values[node]) & mask;
+            if changed.is_zero() {
+                continue;
+            }
+            scratch.values[node] ^= changed;
+            let mut c = changed;
+            while !c.is_zero() {
+                let lane = c.trailing_zeros() as usize;
+                c = c.clear_lowest();
+                cap[lane] += caps[node];
+                toggles[lane] += 1;
+                // `now` is monotone, so assignment implements `max`.
+                settle[lane] = now;
+            }
+            for &f in evaluator.fanout_of(node) {
+                let time = now + delays[f as usize];
+                schedule(scratch, n, wheel_len, f, time, changed, &mut pending);
+            }
+        }
+        scratch.slot_nodes[slot].clear();
+    }
+
+    for lane in 0..lanes {
+        out.push(CycleReport {
+            power_mw: config.power_mw(cap[lane]),
+            switched_cap_ff: cap[lane],
+            toggles: toggles[lane],
+            events: events[lane],
+            settle_time: settle[lane],
+        });
+    }
+    Ok(())
+}

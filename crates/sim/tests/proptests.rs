@@ -66,41 +66,60 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
-    /// The bit-parallel packed kernel is bit-identical to the scalar
-    /// zero-delay kernel for every circuit and every batch size —
-    /// including batches that are not multiples of 64, so the final
-    /// partial word's idle lanes are exercised.
+    /// The bit-parallel packed kernels — in both lane widths — are
+    /// bit-identical to the scalar kernel for every circuit, every delay
+    /// model (including randomly parameterised inertial fanout delays),
+    /// and every batch size. Batches of 1..150 exercise partial final
+    /// words in both widths: u64 sees full + partial words, u128 sees
+    /// purely partial words below 128 pairs.
     #[test]
-    fn packed_kernel_matches_scalar(
-        seed in 0u64..200,
+    fn packed_kernels_match_scalar_in_both_widths(
+        seed in 0u64..120,
         vec_seed in 0u64..500,
         batch in 1usize..150,
+        model_idx in 0usize..4,
+        base in 1u32..4,
+        per_fanout in 0u32..3,
     ) {
+        let model = match model_idx {
+            0 => DelayModel::Zero,
+            1 => DelayModel::Unit,
+            2 => DelayModel::fanout_default(),
+            _ => DelayModel::FanoutProportional { base, per_fanout },
+        };
         let c = random_dag("p", 9, 3, 50, 9, seed).unwrap();
-        let sim = PowerSimulator::new(&c, DelayModel::Zero, PowerConfig::default());
-        let packed = PackedSimulator::new(&sim).unwrap();
+        let sim = PowerSimulator::new(&c, model, PowerConfig::default());
+        let packed64: PackedSimulator<u64> = PackedSimulator::new(&sim);
+        let packed128: PackedSimulator<u128> = PackedSimulator::new(&sim);
         let mut rng = SmallRng::seed_from_u64(vec_seed);
         let pairs: Vec<(Vec<bool>, Vec<bool>)> = (0..batch)
             .map(|_| (random_vector(&mut rng, 9), random_vector(&mut rng, 9)))
             .collect();
         let refs: Vec<(&[bool], &[bool])> =
             pairs.iter().map(|(a, b)| (a.as_slice(), b.as_slice())).collect();
-        let mut reports = Vec::new();
-        packed.cycle_reports_batch(&refs, &mut reports).unwrap();
-        prop_assert_eq!(reports.len(), batch);
-        for ((v1, v2), got) in pairs.iter().zip(&reports) {
+        let mut reports64 = Vec::new();
+        packed64.cycle_reports_batch(&refs, &mut reports64).unwrap();
+        let mut reports128 = Vec::new();
+        packed128.cycle_reports_batch(&refs, &mut reports128).unwrap();
+        prop_assert_eq!(reports64.len(), batch);
+        prop_assert_eq!(reports128.len(), batch);
+        for (i, (v1, v2)) in pairs.iter().enumerate() {
             let want = sim.cycle_report(v1, v2).unwrap();
-            prop_assert_eq!(got.toggles, want.toggles);
-            prop_assert_eq!(
-                got.switched_cap_ff.to_bits(),
-                want.switched_cap_ff.to_bits(),
-                "cap {} vs {}", got.switched_cap_ff, want.switched_cap_ff
-            );
-            prop_assert_eq!(
-                got.power_mw.to_bits(),
-                want.power_mw.to_bits(),
-                "power {} vs {}", got.power_mw, want.power_mw
-            );
+            for got in [&reports64[i], &reports128[i]] {
+                // Full report equality: toggles, events and settle_time
+                // must match the scalar event kernel exactly.
+                prop_assert_eq!(got, &want, "pair {} under {}", i, model);
+                prop_assert_eq!(
+                    got.switched_cap_ff.to_bits(),
+                    want.switched_cap_ff.to_bits(),
+                    "cap {} vs {}", got.switched_cap_ff, want.switched_cap_ff
+                );
+                prop_assert_eq!(
+                    got.power_mw.to_bits(),
+                    want.power_mw.to_bits(),
+                    "power {} vs {}", got.power_mw, want.power_mw
+                );
+            }
         }
     }
 

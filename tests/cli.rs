@@ -311,6 +311,80 @@ fn trace_emits_vcd() {
 }
 
 #[test]
+fn unsupported_kernel_combo_fails_fast_with_distinct_exit_code() {
+    // The delay metric runs on the scalar event engine only; a packed
+    // kernel request is a usage error, rejected before any circuit is
+    // loaded, with its own exit code (3) distinct from flag-parse
+    // errors (2) and runtime failures (1).
+    for kernel in ["packed", "packed128"] {
+        let out = mpe()
+            .args(["delay", "--circuit", "C432", "--kernel", kernel])
+            .output()
+            .expect("binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(3),
+            "kernel {kernel}: expected usage-error exit code 3"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("delay metric"), "{stderr}");
+        assert!(stderr.contains(kernel), "{stderr}");
+        assert!(stderr.contains("--kernel auto"), "{stderr}");
+    }
+    // `--kernel auto` (and scalar) remain valid for the delay metric.
+    let (ok, stdout, stderr) = run(&[
+        "delay",
+        "--circuit",
+        "C432",
+        "--epsilon",
+        "0.2",
+        "--kernel",
+        "auto",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("max_delay"), "{stdout}");
+    // A bogus kernel name is a flag-parse error, not a usage error.
+    let out = mpe()
+        .args(["estimate", "--circuit", "C432", "--kernel", "frob"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("frob"));
+}
+
+#[test]
+fn packed128_kernel_estimate_matches_scalar() {
+    let result_lines = |kernel: &str| -> String {
+        let (ok, stdout, stderr) = run(&[
+            "estimate",
+            "--circuit",
+            "C432",
+            "--epsilon",
+            "0.2",
+            "--seed",
+            "7",
+            "--kernel",
+            kernel,
+        ]);
+        assert!(ok, "{stderr}");
+        stdout
+            .lines()
+            .filter(|l| !l.starts_with("execution:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let scalar = result_lines("scalar");
+    assert!(scalar.contains("max_power_mw"), "{scalar}");
+    for kernel in ["packed", "packed128"] {
+        assert_eq!(
+            scalar,
+            result_lines(kernel),
+            "--kernel {kernel} diverged from scalar"
+        );
+    }
+}
+
+#[test]
 fn workers_zero_rejected_and_oversubscription_warns() {
     let (ok, _, stderr) = run(&["estimate", "--circuit", "C432", "--workers", "0"]);
     assert!(!ok);
