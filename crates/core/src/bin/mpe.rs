@@ -10,7 +10,9 @@
 //! * `info`     — circuit structure report;
 //! * `trace`    — capture one vector pair's waveform as a VCD on stdout,
 //!   or analyze a JSONL run trace (`trace summarize|diff|export-convergence`);
-//! * `generate` — emit a synthetic ISCAS85 stand-in as `.bench` text.
+//! * `generate` — emit a synthetic ISCAS85 stand-in as `.bench` text;
+//! * `serve`    — a long-lived estimation daemon with an HTTP/JSON job API
+//!   (see `maxpower::serve`).
 //!
 //! Circuits come from `--circuit <ISCAS85 name>` (deterministic synthetic
 //! stand-in) or `--bench <file>` (a real netlist). Run `mpe help` for all
@@ -21,12 +23,13 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use maxpower::checkpoint::{backup_path, load_with_recovery, save_atomic, CheckpointSource};
+use maxpower::serve::{jobs::kernel_usage_error, Server, ServerConfig};
 use maxpower::telemetry::{
     diff_summaries, forward, names, replay, ForwardHandle, JsonlSink, ProgressSink, SpanKind,
     SubscriberSink, Telemetry, TraceSummary, DEFAULT_SUBSCRIBER_CAPACITY,
 };
 use maxpower::{
-    estimate_average_power, Checkpoint, DelaySource, EstimateReport, EstimationConfig,
+    estimate_average_power, AppError, Checkpoint, DelaySource, EstimateReport, EstimationConfig,
     EstimatorBuilder, MaxPowerEstimate, PowerSourceFactory, RunBudget, RunOptions, RunStatus,
     SamplePolicy, Session, SimulatorSource,
 };
@@ -40,7 +43,7 @@ const HELP: &str = "\
 mpe — statistical maximum power estimation (Qiu/Wu/Pedram, DAC 1998)
 
 USAGE:
-    mpe <estimate|average|delay|info|trace|generate> [flags]
+    mpe <estimate|average|delay|info|trace|generate|serve> [flags]
 
 CIRCUIT SELECTION (all subcommands):
     --circuit NAME      ISCAS85 profile (C432, C880, ..., C7552), synthetic stand-in
@@ -96,6 +99,18 @@ OBSERVABILITY (estimate / delay):
 AVERAGE (average):
     same flags; --epsilon defaults to 0.02
 
+SERVING (serve):
+    --addr A:P          bind address (default 127.0.0.1:0 = ephemeral port)
+    --addr-file FILE    write the bound address to FILE once listening
+    --runners N         estimation runner threads (default 2)
+    --http-threads N    HTTP worker threads (default 4)
+    --queue-depth N     bounded job queue; beyond it submissions get 429 (default 16)
+    --spool DIR         crash-safe job state: specs, rolling checkpoints and
+                        reports persist here; a restarted daemon re-registers
+                        finished jobs and resumes unfinished ones
+    Endpoints: POST /jobs, GET /jobs/:id[/report|/events], POST /jobs/:id/cancel,
+    GET /healthz, GET /stats, POST /shutdown. SIGTERM drains gracefully.
+
 TRACE (trace):
     --seed S            seed for the random vector pair (default 42)
     --delay-model M     zero | unit | fanout (default unit)
@@ -119,6 +134,7 @@ EXAMPLES:
     mpe trace summarize c432.jsonl
     mpe trace diff run_a.jsonl run_b.jsonl
     mpe generate --circuit C432 > c432_standin.bench
+    mpe serve --addr 127.0.0.1:8080 --spool /var/lib/mpe/spool
 ";
 
 /// Every human-facing status, warning and diagnostic line goes through
@@ -133,9 +149,26 @@ macro_rules! status {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            // `AppError`'s Display (`error[kind]: message`) and exit-code
+            // mapping are the same structured failure surface `mpe serve`
+            // renders as HTTP status + JSON body, so a failure reads the
+            // same in a terminal and in a client.
+            status!("{err}");
+            ExitCode::from(err.kind.exit_code())
+        }
+    }
+}
+
+/// Dispatches and classifies every failure as an [`AppError`]: flag-parse
+/// and spec mistakes exit 2, unsupported combinations exit 3, runtime
+/// failures exit 1 — the exact codes `FailureKind::exit_code` defines.
+fn run(args: &[String]) -> Result<(), AppError> {
     let Some(command) = args.first() else {
         eprintln!("{HELP}");
-        return ExitCode::from(2);
+        return Err(AppError::usage("a subcommand is required"));
     };
     // The trace-analysis family takes positional arguments, which the flag
     // parser would reject; dispatch on the verb before parsing. A bare
@@ -144,40 +177,31 @@ fn main() -> ExitCode {
         if let Some(verb @ ("summarize" | "diff" | "export-convergence")) =
             args.get(1).map(String::as_str)
         {
-            return match run_trace_tool(verb, &args[2..]) {
-                Ok(()) => ExitCode::SUCCESS,
-                Err(e) => {
-                    status!("error: {e}");
-                    ExitCode::FAILURE
-                }
-            };
+            return run_trace_tool(verb, &args[2..]).map_err(|e| AppError::runtime(e.to_string()));
         }
         // A bare word that isn't a known verb is a typo'd subcommand; a
         // flag (or nothing) falls through to the legacy VCD capture.
         if let Some(got) = args.get(1).filter(|a| !a.starts_with('-')) {
-            status!(
-                "error: unknown trace subcommand `{got}` \
+            return Err(AppError::usage(format!(
+                "unknown trace subcommand `{got}` \
                  (supported: summarize, diff, export-convergence; \
                  `trace --circuit ...` captures a VCD waveform)"
-            );
-            return ExitCode::from(2);
+            )));
         }
     }
-    let flags = match Flags::parse(&args[1..]) {
-        Ok(f) => f,
-        Err(msg) => {
-            status!("error: {msg}\n\n{HELP}");
-            return ExitCode::from(2);
-        }
-    };
+    // The daemon has its own flag set; dispatch before the one-shot parser.
+    if command == "serve" {
+        return run_serve(&args[1..]);
+    }
+    let flags = Flags::parse(&args[1..]).map_err(|msg| {
+        status!("{HELP}");
+        AppError::usage(msg)
+    })?;
     // Unsupported metric/kernel combinations are usage errors: rejected
     // here, before any circuit is built or simulated, with their own exit
     // code (3) — distinct from flag-parse errors (2) and runtime
     // failures (1).
-    if let Err(msg) = validate_kernel_usage(command, &flags) {
-        status!("error: {msg}");
-        return ExitCode::from(3);
-    }
+    validate_kernel_usage(command, &flags)?;
     let result = match command.as_str() {
         "estimate" => run_estimate(&flags, Metric::Power),
         "delay" => run_estimate(&flags, Metric::Delay),
@@ -189,15 +213,11 @@ fn main() -> ExitCode {
             println!("{HELP}");
             Ok(())
         }
-        other => Err(format!("unknown subcommand `{other}`").into()),
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
-            status!("error: {e}");
-            ExitCode::FAILURE
+        other => {
+            return Err(AppError::usage(format!("unknown subcommand `{other}`")));
         }
-    }
+    };
+    result.map_err(|e| AppError::runtime(e.to_string()))
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -206,18 +226,12 @@ enum Metric {
     Delay,
 }
 
-/// Rejects kernel/metric combinations no kernel implements. The packed
-/// kernels now cover every delay model for *power*, so the only
-/// unsupported request left is forcing one for the delay metric, whose
-/// readings come from the scalar event engine's settle times.
-fn validate_kernel_usage(command: &str, flags: &Flags) -> Result<(), String> {
+/// Rejects kernel/metric combinations no kernel implements. The message
+/// is [`kernel_usage_error`]'s — the same one `POST /jobs` returns as a
+/// 422, so CLI and server reject the combination identically.
+fn validate_kernel_usage(command: &str, flags: &Flags) -> Result<(), AppError> {
     if command == "delay" && matches!(flags.kernel, KernelMode::Packed | KernelMode::Packed128) {
-        return Err(format!(
-            "the delay metric is measured on the scalar event engine; \
-             `--kernel {}` applies to power estimation only \
-             (drop the flag or use `--kernel auto`)",
-            flags.kernel
-        ));
+        return Err(kernel_usage_error(flags.kernel));
     }
     Ok(())
 }
@@ -317,7 +331,10 @@ impl Flags {
                 }
                 "--activity" => flags.activity = Some(parse_num(value()?, "--activity")?),
                 "--json" => flags.json = true,
-                "--sample-policy" => flags.sample_policy = parse_sample_policy(value()?)?,
+                // `SamplePolicy::parse` is shared with the job API, so
+                // `--sample-policy` and the spec's `sample_policy` field
+                // accept the same spellings with the same diagnostics.
+                "--sample-policy" => flags.sample_policy = SamplePolicy::parse(value()?)?,
                 "--checkpoint" => flags.checkpoint = Some(value()?.to_string()),
                 "--deadline" => {
                     flags.deadline = Some(parse_seconds(value()?, "--deadline")?);
@@ -416,22 +433,20 @@ impl Flags {
         Ok((telemetry, pipes))
     }
 
+    /// Shared with the job API via [`EstimationConfig::for_deployment`]:
+    /// one definition of the deployment defaults keeps CLI and served
+    /// reports byte-identical for the same parameters.
     fn estimation_config(&self, default_eps: f64) -> EstimationConfig {
-        EstimationConfig {
-            relative_error: self.epsilon.unwrap_or(default_eps),
-            confidence: self.confidence,
-            finite_population: if self.population == 0 {
+        EstimationConfig::for_deployment(
+            self.epsilon.unwrap_or(default_eps),
+            self.confidence,
+            if self.population == 0 {
                 None
             } else {
                 Some(self.population)
             },
-            max_hyper_samples: 500,
-            sample_policy: self.sample_policy,
-            // Power and delay are physically non-negative; a negative
-            // reading is always garbage here.
-            min_reading_mw: 0.0,
-            ..EstimationConfig::default()
-        }
+            self.sample_policy,
+        )
     }
 }
 
@@ -475,26 +490,6 @@ impl TelemetryPipes {
                  progress buffer (the run was not slowed down)"
             );
         }
-    }
-}
-
-fn parse_sample_policy(v: &str) -> Result<SamplePolicy, String> {
-    match v.split_once(':') {
-        None => match v {
-            "fail" => Ok(SamplePolicy::Fail),
-            "skip" => Ok(SamplePolicy::Skip {
-                max_discarded: 1000,
-            }),
-            "retry" => Ok(SamplePolicy::Retry { max_attempts: 8 }),
-            other => Err(format!("unknown sample policy `{other}`")),
-        },
-        Some(("skip", n)) => Ok(SamplePolicy::Skip {
-            max_discarded: parse_num(n, "--sample-policy skip")?,
-        }),
-        Some(("retry", n)) => Ok(SamplePolicy::Retry {
-            max_attempts: parse_num(n, "--sample-policy retry")?,
-        }),
-        Some((other, _)) => Err(format!("unknown sample policy `{other}`")),
     }
 }
 
@@ -859,6 +854,82 @@ fn run_trace(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
 fn run_generate(flags: &Flags) -> Result<(), Box<dyn std::error::Error>> {
     let circuit = flags.load_circuit()?;
     print!("{}", bench_format::write(&circuit));
+    Ok(())
+}
+
+/// The `mpe serve` flag set (distinct from the one-shot [`Flags`]).
+struct ServeFlags {
+    config: ServerConfig,
+    addr_file: Option<String>,
+}
+
+impl ServeFlags {
+    fn parse(args: &[String]) -> Result<ServeFlags, AppError> {
+        let mut config = ServerConfig::default();
+        let mut addr_file = None;
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .map(String::as_str)
+                    .ok_or_else(|| AppError::usage(format!("missing value for {flag}")))
+            };
+            match flag.as_str() {
+                "--addr" => config.addr = value()?.to_string(),
+                "--addr-file" => addr_file = Some(value()?.to_string()),
+                "--runners" => {
+                    config.runners = parse_num(value()?, "--runners").map_err(AppError::usage)?;
+                    if config.runners == 0 {
+                        return Err(AppError::usage(
+                            "--runners expects a positive integer, got `0`",
+                        ));
+                    }
+                }
+                "--http-threads" => {
+                    config.http_threads =
+                        parse_num(value()?, "--http-threads").map_err(AppError::usage)?;
+                }
+                "--queue-depth" => {
+                    config.queue_depth =
+                        parse_num(value()?, "--queue-depth").map_err(AppError::usage)?;
+                }
+                "--spool" => config.spool = Some(value()?.into()),
+                other => {
+                    return Err(AppError::usage(format!(
+                        "unknown serve flag `{other}` (see `mpe help`)"
+                    )));
+                }
+            }
+        }
+        Ok(ServeFlags { config, addr_file })
+    }
+}
+
+/// Boots the daemon and serves until SIGTERM/SIGINT (graceful drain:
+/// running jobs stop with valid partial results and final checkpoints)
+/// or `POST /shutdown`.
+fn run_serve(args: &[String]) -> Result<(), AppError> {
+    let flags = ServeFlags::parse(args)?;
+    let runners = flags.config.runners;
+    let queue_depth = flags.config.queue_depth;
+    let spool = flags.config.spool.clone();
+    let server = Server::bind(flags.config, signals::install())?;
+    let addr = server.local_addr()?;
+    status!(
+        "mpe serve: listening on http://{addr} \
+         ({runners} runners, queue depth {queue_depth}, spool: {})",
+        spool
+            .as_deref()
+            .map_or_else(|| "disabled".to_string(), |p| p.display().to_string()),
+    );
+    if let Some(path) = &flags.addr_file {
+        // Atomic so a supervisor polling the file never reads a torn
+        // address; ephemeral ports make this the only reliable handoff.
+        save_atomic(path, &format!("{addr}\n"))
+            .map_err(|e| AppError::runtime(format!("cannot write --addr-file `{path}`: {e}")))?;
+    }
+    server.run()?;
+    status!("mpe serve: drained and stopped");
     Ok(())
 }
 

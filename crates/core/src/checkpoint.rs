@@ -10,8 +10,9 @@
 //!
 //! Determinism contract: resumed runs reproduce the uninterrupted run
 //! *exactly* when driven through
-//! [`MaxPowerEstimator::run_with_checkpoint`](crate::MaxPowerEstimator::run_with_checkpoint),
-//! because that entry point derives an independent RNG stream per
+//! [`Session::run`](crate::Session::run) with
+//! [`RunOptions::resume`](crate::RunOptions::resume),
+//! because the engine derives an independent RNG stream per
 //! hyper-sample index from the master seed (the underlying generator's
 //! internal state never needs to be serialized). The checkpoint pins the
 //! master seed and a fingerprint of the effective configuration; resuming

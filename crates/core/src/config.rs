@@ -105,6 +105,52 @@ pub enum SamplePolicy {
     },
 }
 
+impl SamplePolicy {
+    /// Parses the deployment-surface spelling shared by the CLI's
+    /// `--sample-policy` flag and the job API's `sample_policy` field:
+    /// `fail`, `skip[:CAP]` (default cap 1000) or `retry[:N]` (default 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the unrecognised policy or
+    /// cap.
+    pub fn parse(v: &str) -> Result<SamplePolicy, String> {
+        let cap = |n: &str, what: &str| -> Result<usize, String> {
+            n.parse()
+                .map_err(|_| format!("sample policy `{what}` expects a numeric cap, got `{n}`"))
+        };
+        match v.split_once(':') {
+            None => match v {
+                "fail" => Ok(SamplePolicy::Fail),
+                "skip" => Ok(SamplePolicy::Skip {
+                    max_discarded: 1000,
+                }),
+                "retry" => Ok(SamplePolicy::Retry { max_attempts: 8 }),
+                other => Err(format!("unknown sample policy `{other}`")),
+            },
+            Some(("skip", n)) => Ok(SamplePolicy::Skip {
+                max_discarded: cap(n, "skip")?,
+            }),
+            Some(("retry", n)) => Ok(SamplePolicy::Retry {
+                max_attempts: cap(n, "retry")?,
+            }),
+            Some((other, _)) => Err(format!("unknown sample policy `{other}`")),
+        }
+    }
+
+    /// The canonical spelling [`parse`](Self::parse) accepts back —
+    /// `parse(label()) == self` — used by the serve spool to persist
+    /// job specs.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            SamplePolicy::Fail => "fail".to_string(),
+            SamplePolicy::Skip { max_discarded } => format!("skip:{max_discarded}"),
+            SamplePolicy::Retry { max_attempts } => format!("retry:{max_attempts}"),
+        }
+    }
+}
+
 /// What to do when the primary reversed-Weibull MLE cannot produce a
 /// hyper-sample estimate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -160,6 +206,33 @@ impl EstimationConfig {
     /// Vector pairs consumed by one hyper-sample (`n × m`; 300 by default).
     pub fn units_per_hyper_sample(&self) -> usize {
         self.sample_size * self.samples_per_hyper
+    }
+
+    /// The configuration both deployment front ends — the `mpe` CLI and
+    /// the `mpe serve` job API — build from their user-facing knobs.
+    ///
+    /// Centralised so the two surfaces cannot drift: a served job with
+    /// the same knobs as a CLI invocation must produce a byte-identical
+    /// report, which starts with an identical configuration. Compared to
+    /// [`EstimationConfig::default`] this raises `max_hyper_samples` to
+    /// 500 (deployments prefer a late answer over none) and floors
+    /// readings at `0.0` (power and delay are physically non-negative).
+    #[must_use]
+    pub fn for_deployment(
+        relative_error: f64,
+        confidence: f64,
+        finite_population: Option<u64>,
+        sample_policy: SamplePolicy,
+    ) -> EstimationConfig {
+        EstimationConfig {
+            relative_error,
+            confidence,
+            finite_population,
+            max_hyper_samples: 500,
+            sample_policy,
+            min_reading_mw: 0.0,
+            ..EstimationConfig::default()
+        }
     }
 
     /// Validates the configuration.

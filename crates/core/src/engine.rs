@@ -1,11 +1,10 @@
-//! The execution engine behind [`Session`](crate::session::Session) and
-//! the legacy [`MaxPowerEstimator`](crate::MaxPowerEstimator) entry
-//! points: a sequential core plus a deterministic parallel driver.
+//! The execution engine behind [`Session`](crate::session::Session): a
+//! sequential core plus a deterministic parallel driver.
 //!
 //! # Determinism model
 //!
 //! Hyper-samples are i.i.d. (the paper's one statistical assumption), and
-//! in derived-RNG mode hyper-sample `k` draws from a private stream seeded
+//! hyper-sample `k` draws from a private stream seeded
 //! by `derive_seed(master_seed, k)` after the source's
 //! [`begin_hyper_sample`](crate::PowerSource::begin_hyper_sample) hook has
 //! reset any per-index source state. Generation of hyper-sample `k` is
@@ -30,7 +29,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
-use rand::{RngCore, SeedableRng};
+use rand::SeedableRng;
 
 use mpe_stats::dist::StudentT;
 use mpe_telemetry::{names, SpanKind, Telemetry};
@@ -137,14 +136,6 @@ struct IntervalStats {
     met: bool,
 }
 
-/// How hyper-sample RNGs are produced: a caller-supplied stream (classic
-/// mode), or per-index streams derived from a master seed (checkpoint and
-/// parallel mode, where iteration `k` is reproducible in isolation).
-pub(crate) enum RngDriver<'a> {
-    Stream(&'a mut dyn RngCore),
-    Derived(u64),
-}
-
 /// Derives the seed of hyper-sample `k`'s private RNG stream from the
 /// master seed (splitmix-style odd multiplier keeps the streams distinct).
 pub(crate) fn derive_seed(master_seed: u64, k: usize) -> u64 {
@@ -224,7 +215,6 @@ struct Committer<'a> {
     state: RunState,
     fingerprint: u64,
     master_seed: u64,
-    checkpointing: bool,
     save: &'a mut dyn FnMut(&Checkpoint),
 }
 
@@ -285,7 +275,7 @@ impl Committer<'_> {
 
     /// Absorbs hyper-sample `k` (which must be the next index) into the
     /// run state: accounting, health, convergence gauges, the history
-    /// entry, and — in derived-RNG mode — the checkpoint save.
+    /// entry, and the checkpoint save.
     fn commit(&mut self, hyper: HyperSample) -> Result<(), MaxPowerError> {
         let st = &mut self.state;
         st.units_used += hyper.units_used;
@@ -332,19 +322,17 @@ impl Committer<'_> {
             relative_half_width,
             units_used: st.units_used,
         });
-        if self.checkpointing {
-            let _cp_span = self.telemetry.span(SpanKind::Checkpoint);
-            let mut cp = st.to_checkpoint(self.fingerprint, self.master_seed);
-            if self.telemetry.is_enabled() {
-                cp.telemetry = Some(crate::report::TelemetrySummary::from_snapshot(
-                    &self.telemetry.snapshot(),
-                ));
-                // The telemetry block is part of the sealed payload.
-                cp.seal();
-            }
-            (self.save)(&cp);
-            self.telemetry.counter(names::CHECKPOINT_SAVES, 1);
+        let _cp_span = self.telemetry.span(SpanKind::Checkpoint);
+        let mut cp = st.to_checkpoint(self.fingerprint, self.master_seed);
+        if self.telemetry.is_enabled() {
+            cp.telemetry = Some(crate::report::TelemetrySummary::from_snapshot(
+                &self.telemetry.snapshot(),
+            ));
+            // The telemetry block is part of the sealed payload.
+            cp.seal();
         }
+        (self.save)(&cp);
+        self.telemetry.counter(names::CHECKPOINT_SAVES, 1);
         Ok(())
     }
 
@@ -362,7 +350,6 @@ fn prepare<'a>(
     telemetry: &'a Telemetry,
     source_population: Option<u64>,
     master_seed: u64,
-    checkpointing: bool,
     resume: Option<&Checkpoint>,
     save: &'a mut dyn FnMut(&Checkpoint),
 ) -> Result<Committer<'a>, MaxPowerError> {
@@ -374,11 +361,6 @@ fn prepare<'a>(
     let fingerprint = config_fingerprint(&config);
     let state = match resume {
         Some(cp) => {
-            if !checkpointing {
-                return Err(MaxPowerError::CheckpointMismatch {
-                    message: "resume requires the derived-RNG (master seed) mode".to_string(),
-                });
-            }
             cp.verify(fingerprint, master_seed)?;
             // Carry the earlier segments' phase durations and counters
             // forward so post-resume telemetry reports the whole run.
@@ -395,34 +377,27 @@ fn prepare<'a>(
         state,
         fingerprint,
         master_seed,
-        checkpointing,
         save,
     })
 }
 
 /// The sequential core: one thread, hyper-samples generated and committed
 /// in lock-step. Exactly the semantics of the original estimator loop —
-/// the legacy `run`/`run_with_checkpoint` entry points and the session's
-/// `workers = 1` path both land here.
+/// the session's `workers = 1` path lands here.
 pub(crate) fn run_sequential(
     config: &EstimationConfig,
     telemetry: &Telemetry,
     source: &mut dyn PowerSource,
-    mut driver: RngDriver<'_>,
+    master_seed: u64,
     resume: Option<&Checkpoint>,
     save: &mut dyn FnMut(&Checkpoint),
     supervision: &Supervision,
 ) -> Result<MaxPowerEstimate, MaxPowerError> {
-    let (master_seed, checkpointing) = match driver {
-        RngDriver::Stream(_) => (0, false),
-        RngDriver::Derived(seed) => (seed, true),
-    };
     let mut committer = prepare(
         config,
         telemetry,
         source.population_size(),
         master_seed,
-        checkpointing,
         resume,
         save,
     )?;
@@ -446,14 +421,9 @@ pub(crate) fn run_sequential(
             if let Some(token) = &supervision.cancel {
                 ctx = ctx.with_cancel(token.clone());
             }
-            match &mut driver {
-                RngDriver::Stream(rng) => generate_hyper_sample(source, &ctx, *rng),
-                RngDriver::Derived(seed) => {
-                    source.begin_hyper_sample(k as u64);
-                    let mut hyper_rng = SmallRng::seed_from_u64(derive_seed(*seed, k));
-                    generate_hyper_sample(source, &ctx, &mut hyper_rng)
-                }
-            }
+            source.begin_hyper_sample(k as u64);
+            let mut hyper_rng = SmallRng::seed_from_u64(derive_seed(master_seed, k));
+            generate_hyper_sample(source, &ctx, &mut hyper_rng)
         };
         let hyper = match generated {
             Ok(hyper) => hyper,
@@ -521,15 +491,7 @@ pub(crate) fn run_parallel<F: PowerSourceFactory>(
         sources.push(factory.spawn_source(w)?);
     }
     let population = sources.first().and_then(|s| s.population_size());
-    let mut committer = prepare(
-        config,
-        telemetry,
-        population,
-        master_seed,
-        true,
-        resume,
-        save,
-    )?;
+    let mut committer = prepare(config, telemetry, population, master_seed, resume, save)?;
     let config = committer.config;
     let supervisor = Supervisor::new(supervision, committer.next_k());
     // recv_timeout ticks are only paid when something can actually use

@@ -23,10 +23,10 @@ pub enum MaxPowerError {
     /// estimate but the observed maximum (a hard lower bound on the true
     /// maximum), the units spent, and the full convergence history.
     ///
-    /// Note that [`MaxPowerEstimator::run`](crate::MaxPowerEstimator::run)
-    /// no longer *raises* this for a capped run (it returns the partial
-    /// estimate with [`RunStatus::BudgetExhausted`](crate::RunStatus)); the
-    /// variant remains for callers that require convergence, e.g. the
+    /// Note that [`Session::run`](crate::Session::run) no longer *raises*
+    /// this for a capped run (it returns the partial estimate with
+    /// [`RunStatus::BudgetExhausted`](crate::RunStatus)); the variant
+    /// remains for callers that require convergence, e.g. the
     /// average-power estimator.
     NotConverged {
         /// Best estimate at the cap (mW).
@@ -196,6 +196,173 @@ impl From<StatsError> for MaxPowerError {
     }
 }
 
+/// Coarse failure classification shared by every `mpe` surface.
+///
+/// The CLI maps a kind to its process exit code and the HTTP server maps
+/// the *same* kind to a status line, so a given failure is reported
+/// consistently no matter how the engine was invoked. The exit codes are
+/// the ones the CLI has always used (2 = bad invocation, 3 = unsupported
+/// combination, 1 = everything else); `NotFound` and `Busy` only arise
+/// over HTTP but still carry a CLI mapping for completeness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The request itself was malformed: unknown flag, unparseable value,
+    /// invalid configuration. Retrying without changing the request cannot
+    /// succeed.
+    Usage,
+    /// The request was well-formed but asks for a combination this build
+    /// does not support (e.g. a packed kernel under the delay metric).
+    Unsupported,
+    /// The referenced resource (a job id) does not exist.
+    NotFound,
+    /// The server is at capacity; the request was rejected before any work
+    /// was done and may be retried later.
+    Busy,
+    /// The run was accepted but failed while executing.
+    Runtime,
+}
+
+impl FailureKind {
+    /// Process exit code the CLI uses for this kind.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            FailureKind::Usage => 2,
+            FailureKind::Unsupported => 3,
+            FailureKind::NotFound | FailureKind::Busy | FailureKind::Runtime => 1,
+        }
+    }
+
+    /// HTTP status code and reason phrase for this kind.
+    pub fn http_status(self) -> (u16, &'static str) {
+        match self {
+            FailureKind::Usage => (400, "Bad Request"),
+            FailureKind::Unsupported => (422, "Unprocessable Entity"),
+            FailureKind::NotFound => (404, "Not Found"),
+            FailureKind::Busy => (429, "Too Many Requests"),
+            FailureKind::Runtime => (500, "Internal Server Error"),
+        }
+    }
+
+    /// Stable lowercase label used in both CLI stderr and HTTP bodies.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureKind::Usage => "usage",
+            FailureKind::Unsupported => "unsupported",
+            FailureKind::NotFound => "not_found",
+            FailureKind::Busy => "busy",
+            FailureKind::Runtime => "runtime",
+        }
+    }
+}
+
+/// A classified, renderable failure: the one error shape every `mpe`
+/// surface reports. The CLI prints [`Display`](std::fmt::Display) to
+/// stderr and exits with [`FailureKind::exit_code`]; the server sends
+/// [`AppError::to_json_body`] with [`FailureKind::http_status`]. Both
+/// carry the same `kind` label and message, so a failure looks the same
+/// in a terminal and in an HTTP client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppError {
+    /// Classification driving exit code / HTTP status.
+    pub kind: FailureKind,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl AppError {
+    /// A [`FailureKind::Usage`] error.
+    pub fn usage(message: impl Into<String>) -> Self {
+        AppError {
+            kind: FailureKind::Usage,
+            message: message.into(),
+        }
+    }
+
+    /// A [`FailureKind::Unsupported`] error.
+    pub fn unsupported(message: impl Into<String>) -> Self {
+        AppError {
+            kind: FailureKind::Unsupported,
+            message: message.into(),
+        }
+    }
+
+    /// A [`FailureKind::NotFound`] error.
+    pub fn not_found(message: impl Into<String>) -> Self {
+        AppError {
+            kind: FailureKind::NotFound,
+            message: message.into(),
+        }
+    }
+
+    /// A [`FailureKind::Busy`] error.
+    pub fn busy(message: impl Into<String>) -> Self {
+        AppError {
+            kind: FailureKind::Busy,
+            message: message.into(),
+        }
+    }
+
+    /// A [`FailureKind::Runtime`] error.
+    pub fn runtime(message: impl Into<String>) -> Self {
+        AppError {
+            kind: FailureKind::Runtime,
+            message: message.into(),
+        }
+    }
+
+    /// The structured JSON body served over HTTP — hand-rolled (the
+    /// workspace builds offline without serde) and identical in content
+    /// to the CLI stderr rendering.
+    pub fn to_json_body(&self) -> String {
+        format!(
+            "{{\"error\":{{\"kind\":\"{}\",\"message\":\"{}\"}}}}\n",
+            self.kind.label(),
+            escape_json(&self.message)
+        )
+    }
+}
+
+impl fmt::Display for AppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error[{}]: {}", self.kind.label(), self.message)
+    }
+}
+
+impl std::error::Error for AppError {}
+
+impl From<MaxPowerError> for AppError {
+    fn from(e: MaxPowerError) -> Self {
+        let kind = match e {
+            MaxPowerError::InvalidConfig { .. } => FailureKind::Usage,
+            _ => FailureKind::Runtime,
+        };
+        AppError {
+            kind,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes) for
+/// the hand-rolled JSON surfaces that cannot rely on serde offline.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +414,50 @@ mod tests {
         };
         assert!(e.to_string().contains("hyper-sample 4"));
         assert!(e.to_string().contains("3 time(s)"));
+    }
+
+    #[test]
+    fn failure_kinds_map_to_stable_exit_codes_and_statuses() {
+        assert_eq!(FailureKind::Usage.exit_code(), 2);
+        assert_eq!(FailureKind::Unsupported.exit_code(), 3);
+        assert_eq!(FailureKind::Runtime.exit_code(), 1);
+        assert_eq!(FailureKind::Usage.http_status().0, 400);
+        assert_eq!(FailureKind::Unsupported.http_status().0, 422);
+        assert_eq!(FailureKind::NotFound.http_status().0, 404);
+        assert_eq!(FailureKind::Busy.http_status().0, 429);
+        assert_eq!(FailureKind::Runtime.http_status().0, 500);
+    }
+
+    #[test]
+    fn app_error_renders_identically_structured_text_and_json() {
+        let e = AppError::usage("unknown flag '--frobnicate'");
+        assert_eq!(e.to_string(), "error[usage]: unknown flag '--frobnicate'");
+        assert_eq!(
+            e.to_json_body(),
+            "{\"error\":{\"kind\":\"usage\",\"message\":\"unknown flag '--frobnicate'\"}}\n"
+        );
+    }
+
+    #[test]
+    fn app_error_json_body_escapes_quotes_and_control_bytes() {
+        let e = AppError::runtime("a \"quoted\"\nline\tand \\slash\u{1}");
+        let body = e.to_json_body();
+        assert!(body.contains("a \\\"quoted\\\"\\nline\\tand \\\\slash\\u0001"));
+    }
+
+    #[test]
+    fn engine_errors_classify_config_as_usage_and_rest_as_runtime() {
+        let e: AppError = MaxPowerError::InvalidConfig {
+            message: "n too small".into(),
+        }
+        .into();
+        assert_eq!(e.kind, FailureKind::Usage);
+        assert!(e.message.contains("n too small"));
+        let e: AppError = MaxPowerError::Source {
+            message: "boom".into(),
+        }
+        .into();
+        assert_eq!(e.kind, FailureKind::Runtime);
     }
 
     #[test]

@@ -9,6 +9,11 @@
 //! time among maximum-power estimators, *any* user-specified error and
 //! confidence level.
 //!
+//! This module owns the result vocabulary ([`MaxPowerEstimate`],
+//! [`EstimateHistoryEntry`]); runs are driven through the session API
+//! ([`EstimatorBuilder`](crate::EstimatorBuilder) →
+//! [`Session::run`](crate::Session::run)).
+//!
 //! Two robustness departures from the idealized loop:
 //!
 //! * Hitting the hyper-sample cap is **not an error**: the run returns its
@@ -16,22 +21,14 @@
 //!   that require convergence use
 //!   [`MaxPowerEstimate::into_converged`].
 //! * When the running mean is within
-//!   [`mean_floor_mw`](EstimationConfig::mean_floor_mw) of zero the
+//!   [`mean_floor_mw`](crate::EstimationConfig::mean_floor_mw) of zero the
 //!   relative criterion divides by ≈0 and can never fire; the stopping
 //!   rule switches to the absolute criterion
-//!   [`absolute_error_mw`](EstimationConfig::absolute_error_mw) and flags
-//!   [`RunHealth::zero_mean_guard`].
+//!   [`absolute_error_mw`](crate::EstimationConfig::absolute_error_mw) and
+//!   flags [`RunHealth::zero_mean_guard`].
 
-use rand::RngCore;
-
-use mpe_telemetry::Telemetry;
-
-use crate::checkpoint::Checkpoint;
-use crate::config::EstimationConfig;
-use crate::engine::{run_sequential, RngDriver};
 use crate::error::MaxPowerError;
 use crate::health::{EstimatorKind, RunHealth, RunStatus};
-use crate::source::PowerSource;
 
 /// One row of the convergence history: the state after each hyper-sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -109,157 +106,40 @@ impl MaxPowerEstimate {
     }
 }
 
-/// The legacy entry point to the iterative maximum-power estimator (paper
-/// Figure 4), superseded by [`Session`](crate::Session).
-///
-/// All three historical entry points — [`new`](Self::new),
-/// [`run`](Self::run) and [`run_with_checkpoint`](Self::run_with_checkpoint)
-/// — are deprecated thin shims over the same execution engine the session
-/// API drives, so their results are unchanged; new code should build a
-/// [`Session`](crate::Session) via
-/// [`EstimatorBuilder`](crate::EstimatorBuilder) and pick a worker count
-/// through [`RunOptions`](crate::RunOptions).
-#[derive(Debug, Clone)]
-pub struct MaxPowerEstimator {
-    config: EstimationConfig,
-    telemetry: Telemetry,
-}
-
-impl MaxPowerEstimator {
-    /// Creates an estimator with the given configuration (telemetry
-    /// disabled — instrumentation costs nothing until opted into).
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a Session via EstimatorBuilder::new(config).build() instead"
-    )]
-    pub fn new(config: EstimationConfig) -> Self {
-        MaxPowerEstimator {
-            config,
-            telemetry: Telemetry::disabled(),
-        }
-    }
-
-    /// Attaches a telemetry handle: the run emits phase spans
-    /// (`run`/`hyper_sample`/`simulate`/`fit`/`fallback`/`checkpoint`),
-    /// work counters and convergence gauges through it. The handle never
-    /// touches the estimation RNG, so a fixed-seed run's results are
-    /// bit-identical with telemetry enabled or disabled.
-    #[must_use]
-    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
-        self.telemetry = telemetry;
-        self
-    }
-
-    /// The attached telemetry handle (disabled by default).
-    pub fn telemetry(&self) -> &Telemetry {
-        &self.telemetry
-    }
-
-    /// The configuration.
-    pub fn config(&self) -> &EstimationConfig {
-        &self.config
-    }
-
-    /// Runs the iterative procedure against a power source.
-    ///
-    /// If the source exposes a finite population size and the configuration
-    /// does not override it, the finite-population estimator (§3.4) is used
-    /// automatically.
-    ///
-    /// A run that reaches the hyper-sample cap returns its partial
-    /// estimate with [`RunStatus::BudgetExhausted`] rather than an error;
-    /// use [`MaxPowerEstimate::into_converged`] for the strict contract.
-    ///
-    /// # Errors
-    ///
-    /// * [`MaxPowerError::InvalidConfig`] — bad configuration;
-    /// * hyper-sample and simulation failures, as filtered by the
-    ///   configured [`SamplePolicy`](crate::SamplePolicy) and
-    ///   [`FallbackPolicy`](crate::FallbackPolicy).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Session::run (derived per-index RNG streams) or Session::run_source"
-    )]
-    pub fn run(
-        &self,
-        source: &mut dyn PowerSource,
-        rng: &mut dyn RngCore,
-    ) -> Result<MaxPowerEstimate, MaxPowerError> {
-        run_sequential(
-            &self.config,
-            &self.telemetry,
-            source,
-            RngDriver::Stream(rng),
-            None,
-            &mut |_| {},
-            &crate::supervise::Supervision::default(),
-        )
-    }
-
-    /// Runs the procedure with checkpoint/resume support.
-    ///
-    /// Hyper-sample `k` draws from a private RNG stream derived from
-    /// `master_seed` and `k`, so a run resumed from any checkpoint
-    /// produces *bit-identical* results to the uninterrupted run with the
-    /// same seed. `save` is invoked with a fresh [`Checkpoint`] after
-    /// every completed hyper-sample; persist it wherever is convenient
-    /// (the `mpe` CLI writes it to the `--checkpoint` path atomically).
-    ///
-    /// # Errors
-    ///
-    /// * [`MaxPowerError::CheckpointMismatch`] — `resume` was produced
-    ///   under a different configuration, seed or schema version;
-    /// * everything [`run`](Self::run) can raise.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Session::run with RunOptions::seeded/resume/save_with"
-    )]
-    pub fn run_with_checkpoint(
-        &self,
-        source: &mut dyn PowerSource,
-        master_seed: u64,
-        resume: Option<&Checkpoint>,
-        save: &mut dyn FnMut(&Checkpoint),
-    ) -> Result<MaxPowerEstimate, MaxPowerError> {
-        run_sequential(
-            &self.config,
-            &self.telemetry,
-            source,
-            RngDriver::Derived(master_seed),
-            resume,
-            save,
-            &crate::supervise::Supervision::default(),
-        )
-    }
-}
-
 #[cfg(test)]
 mod tests {
-    // These tests are the legacy-equivalence coverage: they exercise the
-    // deprecated entry points on purpose, pinning their behaviour while the
-    // session API carries new callers.
-    #![allow(deprecated)]
+    // End-to-end coverage of the estimation loop through the session API:
+    // convergence, coverage, budgets, guards, and the derived-RNG
+    // checkpoint/resume contract.
 
     use super::*;
+    use crate::config::EstimationConfig;
     use crate::engine::derive_seed;
+    use crate::session::{EstimatorBuilder, RunOptions, Session};
     use crate::source::FnSource;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use rand::{Rng, RngCore};
 
-    fn weibull_source(alpha: f64, beta: f64, mu: f64) -> impl FnMut(&mut dyn RngCore) -> f64 {
-        move |rng: &mut dyn RngCore| {
-            let r = rng;
-            let u: f64 = r.gen_range(1e-12..1.0f64);
+    fn weibull_source(
+        alpha: f64,
+        beta: f64,
+        mu: f64,
+    ) -> FnSource<impl FnMut(&mut dyn RngCore) -> f64 + Clone + Send> {
+        FnSource::new(move |rng: &mut dyn RngCore| {
+            let u: f64 = rng.gen_range(1e-12..1.0f64);
             mu - (-u.ln() / beta).powf(1.0 / alpha)
-        }
+        })
+    }
+
+    fn session() -> Session {
+        EstimatorBuilder::new(EstimationConfig::default()).build()
     }
 
     #[test]
     fn converges_on_smooth_bounded_source() {
-        let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
-        let est = MaxPowerEstimator::new(EstimationConfig::default());
-        let mut rng = SmallRng::seed_from_u64(1);
-        let r = est.run(&mut source, &mut rng).unwrap();
+        let source = weibull_source(3.0, 1.0, 10.0);
+        let r = session()
+            .run(&source, RunOptions::default().seeded(1))
+            .unwrap();
         assert_eq!(r.status, RunStatus::Converged);
         assert!(r.health.is_clean());
         assert!(r.relative_error <= 0.05);
@@ -288,10 +168,10 @@ mod tests {
         let mut hits = 0;
         let runs = 40;
         for seed in 0..runs {
-            let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
-            let est = MaxPowerEstimator::new(EstimationConfig::default());
-            let mut rng = SmallRng::seed_from_u64(100 + seed);
-            let r = est.run(&mut source, &mut rng).unwrap();
+            let source = weibull_source(3.0, 1.0, 10.0);
+            let r = session()
+                .run(&source, RunOptions::default().seeded(100 + seed))
+                .unwrap();
             // Success criterion from the paper's tables: relative error of
             // the point estimate within the target band.
             if (r.estimate_mw - 10.0).abs() / 10.0 <= 0.05 {
@@ -306,10 +186,10 @@ mod tests {
 
     #[test]
     fn history_units_monotone() {
-        let mut source = FnSource::new(weibull_source(4.0, 2.0, 5.0));
-        let est = MaxPowerEstimator::new(EstimationConfig::default());
-        let mut rng = SmallRng::seed_from_u64(2);
-        let r = est.run(&mut source, &mut rng).unwrap();
+        let source = weibull_source(4.0, 2.0, 5.0);
+        let r = session()
+            .run(&source, RunOptions::default().seeded(2))
+            .unwrap();
         for w in r.history.windows(2) {
             assert!(w[1].units_used > w[0].units_used);
             assert_eq!(w[1].k, w[0].k + 1);
@@ -318,22 +198,23 @@ mod tests {
 
     #[test]
     fn respects_max_hyper_samples() {
-        // An extremely noisy source that cannot converge at 0.1% error with
-        // a tiny cap: the partial estimate comes back BudgetExhausted, and
-        // into_converged recovers the strict NotConverged contract with the
-        // full partial result attached.
-        let mut source = FnSource::new(|rng: &mut dyn RngCore| {
+        // An extremely noisy source that cannot converge at a vanishing
+        // error target with a tiny cap: the partial estimate comes back
+        // BudgetExhausted, and into_converged recovers the strict
+        // NotConverged contract with the full partial result attached.
+        let source = FnSource::new(|rng: &mut dyn RngCore| {
             let r = rng;
             r.gen::<f64>().powf(0.2) * 100.0
         });
         let config = EstimationConfig {
-            relative_error: 0.001,
+            relative_error: 1e-12,
             max_hyper_samples: 3,
             ..EstimationConfig::default()
         };
-        let est = MaxPowerEstimator::new(config);
-        let mut rng = SmallRng::seed_from_u64(3);
-        let r = est.run(&mut source, &mut rng).unwrap();
+        let session = EstimatorBuilder::new(config).build();
+        let r = session
+            .run(&source, RunOptions::default().seeded(3))
+            .unwrap();
         assert_eq!(r.status, RunStatus::BudgetExhausted);
         assert!(!r.status.met_target());
         assert_eq!(r.hyper_samples, 3);
@@ -360,11 +241,10 @@ mod tests {
             confidence: 2.0,
             ..EstimationConfig::default()
         };
-        let est = MaxPowerEstimator::new(config);
-        let mut source = FnSource::new(|_: &mut dyn RngCore| 1.0);
-        let mut rng = SmallRng::seed_from_u64(4);
+        let session = EstimatorBuilder::new(config).build();
+        let source = FnSource::new(|_: &mut dyn RngCore| 1.0);
         assert!(matches!(
-            est.run(&mut source, &mut rng),
+            session.run(&source, RunOptions::default().seeded(4)),
             Err(MaxPowerError::InvalidConfig { .. })
         ));
     }
@@ -374,13 +254,14 @@ mod tests {
         // With a declared finite population the estimator should generally
         // report slightly lower values than the raw-endpoint variant.
         let run = |pop: Option<u64>, seed: u64| {
-            let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
+            let mut source = weibull_source(3.0, 1.0, 10.0);
             if let Some(v) = pop {
                 source = source.with_population_size(v);
             }
-            let est = MaxPowerEstimator::new(EstimationConfig::default());
-            let mut rng = SmallRng::seed_from_u64(seed);
-            est.run(&mut source, &mut rng).unwrap().estimate_mw
+            session()
+                .run(&source, RunOptions::default().seeded(seed))
+                .unwrap()
+                .estimate_mw
         };
         // Average over some seeds to compare the two estimators stably.
         let mean_inf: f64 = (0..10).map(|s| run(None, 50 + s)).sum::<f64>() / 10.0;
@@ -391,15 +272,17 @@ mod tests {
     #[test]
     fn tighter_epsilon_costs_more_units() {
         let run = |eps: f64| {
-            let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
+            let source = weibull_source(3.0, 1.0, 10.0);
             let config = EstimationConfig {
                 relative_error: eps,
                 max_hyper_samples: 2_000,
                 ..EstimationConfig::default()
             };
-            let est = MaxPowerEstimator::new(config);
-            let mut rng = SmallRng::seed_from_u64(9);
-            est.run(&mut source, &mut rng).unwrap().units_used
+            EstimatorBuilder::new(config)
+                .build()
+                .run(&source, RunOptions::default().seeded(9))
+                .unwrap()
+                .units_used
         };
         let loose = run(0.10);
         let tight = run(0.005);
@@ -412,7 +295,7 @@ mod tests {
         // the relative criterion divides by ≈0 and can never fire. The
         // guard switches to the absolute criterion so the run still ends,
         // and the switch is recorded in the health record.
-        let mut source = FnSource::new(|rng: &mut dyn RngCore| {
+        let source = FnSource::new(|rng: &mut dyn RngCore| {
             let r = rng;
             r.gen::<f64>() * 2e-10 - 1e-10
         });
@@ -421,9 +304,10 @@ mod tests {
             max_hyper_samples: 50,
             ..EstimationConfig::default()
         };
-        let est = MaxPowerEstimator::new(config);
-        let mut rng = SmallRng::seed_from_u64(11);
-        let r = est.run(&mut source, &mut rng).unwrap();
+        let r = EstimatorBuilder::new(config)
+            .build()
+            .run(&source, RunOptions::default().seeded(11))
+            .unwrap();
         assert!(r.health.zero_mean_guard);
         assert!(
             r.status.met_target(),
@@ -434,13 +318,16 @@ mod tests {
     }
 
     #[test]
-    fn derived_rng_mode_matches_itself_and_derives_distinct_streams() {
+    fn seeded_runs_reproduce_and_derive_distinct_streams() {
         let run = |seed: u64| {
-            let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
-            let est = MaxPowerEstimator::new(EstimationConfig::default());
+            let source = weibull_source(3.0, 1.0, 10.0);
             let mut saves = 0usize;
-            let r = est
-                .run_with_checkpoint(&mut source, seed, None, &mut |_| saves += 1)
+            let mut save = |_: &crate::checkpoint::Checkpoint| saves += 1;
+            let r = session()
+                .run(
+                    &source,
+                    RunOptions::default().seeded(seed).save_with(&mut save),
+                )
                 .unwrap();
             (r.estimate_mw, r.hyper_samples, saves)
         };
@@ -458,22 +345,21 @@ mod tests {
 
     #[test]
     fn resume_from_any_checkpoint_matches_uninterrupted_run() {
-        let make_source = || FnSource::new(weibull_source(3.0, 1.0, 10.0));
-        let est = MaxPowerEstimator::new(EstimationConfig::default());
+        let source = weibull_source(3.0, 1.0, 10.0);
         // Uninterrupted run, recording every checkpoint.
         let mut checkpoints = Vec::new();
-        let mut source = make_source();
-        let full = est
-            .run_with_checkpoint(&mut source, 21, None, &mut |cp| {
-                checkpoints.push(cp.clone())
-            })
+        let mut record = |cp: &crate::checkpoint::Checkpoint| checkpoints.push(cp.clone());
+        let full = session()
+            .run(
+                &source,
+                RunOptions::default().seeded(21).save_with(&mut record),
+            )
             .unwrap();
         assert!(full.hyper_samples >= 2);
         // "Kill" the run after each prefix and resume: identical results.
         for cp in &checkpoints {
-            let mut source = make_source();
-            let resumed = est
-                .run_with_checkpoint(&mut source, 21, Some(cp), &mut |_| {})
+            let resumed = session()
+                .run(&source, RunOptions::default().seeded(21).resume(cp))
                 .unwrap();
             assert_eq!(resumed.estimate_mw, full.estimate_mw);
             assert_eq!(resumed.hyper_samples, full.hyper_samples);
@@ -483,10 +369,16 @@ mod tests {
         }
         // Resuming from the final checkpoint returns without new draws.
         let last = checkpoints.last().unwrap();
-        let mut source = make_source();
         let mut extra_saves = 0usize;
-        let resumed = est
-            .run_with_checkpoint(&mut source, 21, Some(last), &mut |_| extra_saves += 1)
+        let mut count = |_: &crate::checkpoint::Checkpoint| extra_saves += 1;
+        let resumed = session()
+            .run(
+                &source,
+                RunOptions::default()
+                    .seeded(21)
+                    .resume(last)
+                    .save_with(&mut count),
+            )
             .unwrap();
         assert_eq!(extra_saves, 0);
         assert_eq!(resumed.estimate_mw, full.estimate_mw);
@@ -494,16 +386,19 @@ mod tests {
 
     #[test]
     fn resume_rejects_wrong_seed_or_config() {
-        let est = MaxPowerEstimator::new(EstimationConfig::default());
-        let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
+        let source = weibull_source(3.0, 1.0, 10.0);
         let mut checkpoints = Vec::new();
-        est.run_with_checkpoint(&mut source, 5, None, &mut |cp| checkpoints.push(cp.clone()))
+        let mut record = |cp: &crate::checkpoint::Checkpoint| checkpoints.push(cp.clone());
+        session()
+            .run(
+                &source,
+                RunOptions::default().seeded(5).save_with(&mut record),
+            )
             .unwrap();
         let cp = checkpoints.first().unwrap();
         // Wrong seed.
-        let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
         assert!(matches!(
-            est.run_with_checkpoint(&mut source, 6, Some(cp), &mut |_| {}),
+            session().run(&source, RunOptions::default().seeded(6).resume(cp)),
             Err(MaxPowerError::CheckpointMismatch { .. })
         ));
         // Wrong config.
@@ -511,10 +406,9 @@ mod tests {
             relative_error: 0.01,
             ..EstimationConfig::default()
         };
-        let strict = MaxPowerEstimator::new(config);
-        let mut source = FnSource::new(weibull_source(3.0, 1.0, 10.0));
+        let strict = EstimatorBuilder::new(config).build();
         assert!(matches!(
-            strict.run_with_checkpoint(&mut source, 5, Some(cp), &mut |_| {}),
+            strict.run(&source, RunOptions::default().seeded(5).resume(cp)),
             Err(MaxPowerError::CheckpointMismatch { .. })
         ));
     }

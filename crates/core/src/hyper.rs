@@ -191,9 +191,8 @@ fn draw_sample(
 /// Everything hyper-sample generation needs besides the source and the
 /// RNG: the configuration and an optional telemetry handle.
 ///
-/// Collapses the former `generate_hyper_sample` /
-/// `generate_hyper_sample_traced` pair into one entry point — a context
-/// with a disabled handle (the [`HyperSampleContext::new`] default) is the
+/// One entry point for traced and untraced generation — a context with a
+/// disabled handle (the [`HyperSampleContext::new`] default) is the
 /// untraced path, and the handle never touches the RNG either way, so
 /// enabling telemetry cannot change the estimate.
 #[derive(Debug, Clone)]
@@ -264,27 +263,6 @@ fn emit_health_deltas(telemetry: &Telemetry, health: &HyperHealth, baseline: &Hy
         names::SAMPLE_RETRIES,
         (health.sample_retries - baseline.sample_retries) as u64,
     );
-}
-
-/// Deprecated spelling of the traced path: build a [`HyperSampleContext`]
-/// with [`HyperSampleContext::with_telemetry`] and call
-/// [`generate_hyper_sample`] instead.
-///
-/// # Errors
-///
-/// Same as [`generate_hyper_sample`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use generate_hyper_sample with a HyperSampleContext built via with_telemetry"
-)]
-pub fn generate_hyper_sample_traced(
-    source: &mut dyn PowerSource,
-    config: &EstimationConfig,
-    rng: &mut dyn RngCore,
-    telemetry: &Telemetry,
-) -> Result<HyperSample, MaxPowerError> {
-    let ctx = HyperSampleContext::new(config).with_telemetry(telemetry.clone());
-    generate_hyper_sample(source, &ctx, rng)
 }
 
 /// Generates one hyper-sample from the source (paper Figure 3), degrading

@@ -81,6 +81,7 @@ pub mod health;
 pub mod hyper;
 pub mod quantile_baseline;
 pub mod report;
+pub mod serve;
 pub mod session;
 pub mod source;
 pub mod srs;
@@ -91,15 +92,13 @@ pub use average::{estimate_average_power, AveragePowerEstimate};
 pub use checkpoint::{config_fingerprint, Checkpoint, CheckpointHistoryEntry, CHECKPOINT_VERSION};
 pub use config::{BiasCorrection, EstimationConfig, FallbackPolicy, SamplePolicy};
 pub use delay::DelaySource;
-pub use error::MaxPowerError;
-pub use estimator::{EstimateHistoryEntry, MaxPowerEstimate, MaxPowerEstimator};
+pub use error::{AppError, FailureKind, MaxPowerError};
+pub use estimator::{EstimateHistoryEntry, MaxPowerEstimate};
 pub use fault::{FaultConfig, FaultInjectingSource, FaultStats};
 pub use health::{EstimatorKind, HyperHealth, RunHealth, RunStatus};
-#[allow(deprecated)]
-pub use hyper::generate_hyper_sample_traced;
 pub use hyper::{generate_hyper_sample, HyperSample, HyperSampleContext};
 pub use quantile_baseline::{quantile_baseline_estimate, QuantileEstimate};
-pub use report::{CounterValue, EstimateReport, PhaseTiming, TelemetrySummary};
+pub use report::{CounterValue, EstimateReport, JobProvenance, PhaseTiming, TelemetrySummary};
 pub use session::{EstimatorBuilder, RunOptions, Session};
 
 // Re-exported so downstream users can drive telemetry without naming the

@@ -31,7 +31,10 @@ use mpe_telemetry::{MetricsSnapshot, SpanKind};
 /// `"packed128"`, and the optional `kernel_lanes` records the lane width
 /// of packed kernels (64/128; absent for scalar runs and pre-v8 reports,
 /// which still parse).
-pub const REPORT_VERSION: u32 = 8;
+/// v9 added the optional `job` provenance block ([`JobProvenance`]): job
+/// id, submission time and queue wait, populated by `mpe serve` and absent
+/// (`null`/missing) for CLI runs — v8 and earlier reports still parse.
+pub const REPORT_VERSION: u32 = 9;
 
 /// Wall-clock attribution for one pipeline phase.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -213,6 +216,25 @@ pub struct EstimateReport {
     /// Benchmark provenance for interpreting `wall_ms` and `workers`.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub host_parallelism: Option<usize>,
+    /// Job provenance when the estimate was produced by `mpe serve` (v9).
+    /// Absent for CLI runs and pre-v9 reports, which still parse. Pure
+    /// metadata, like `wall_ms` — two reports differing only here describe
+    /// the same estimate.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub job: Option<JobProvenance>,
+}
+
+/// Provenance of a server-produced estimate: which job it was, when it was
+/// submitted, and how long it sat in the queue before a runner picked it
+/// up (v9).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobProvenance {
+    /// Server-assigned job id (e.g. `"j000042"`).
+    pub job_id: String,
+    /// Submission wall-clock time, milliseconds since the Unix epoch.
+    pub submitted_unix_ms: u64,
+    /// Time the job spent queued before execution began, milliseconds.
+    pub queue_wait_ms: f64,
 }
 
 // Referenced from the `#[serde(default = …)]` attribute, which the offline
@@ -248,6 +270,7 @@ impl EstimateReport {
             kernel: None,
             kernel_lanes: None,
             host_parallelism: None,
+            job: None,
         }
     }
 
@@ -282,6 +305,16 @@ impl EstimateReport {
         self.kernel = Some(kernel.to_string());
         self.kernel_lanes = kernel_lanes;
         self.host_parallelism = host_parallelism;
+        self
+    }
+
+    /// Attaches server job provenance (v9). Like
+    /// [`EstimateReport::with_execution`], pure metadata: the estimate
+    /// fields are untouched, so a served report differs from the same
+    /// seed/config CLI report only in this block (and `wall_ms`).
+    #[must_use]
+    pub fn with_job(mut self, job: JobProvenance) -> Self {
+        self.job = Some(job);
         self
     }
 
@@ -454,6 +487,41 @@ mod tests {
         assert_eq!(packed.estimate, plain.estimate);
         assert_eq!(packed.hyper_estimates, plain.hyper_estimates);
         assert_eq!(packed.status, plain.status);
+    }
+
+    #[test]
+    fn with_job_records_provenance_only_and_roundtrips() {
+        let est = sample_estimate();
+        let plain = EstimateReport::new("x", "max_power_mw", &est);
+        assert_eq!(plain.job, None);
+        let served = EstimateReport::new("x", "max_power_mw", &est).with_job(JobProvenance {
+            job_id: "j000007".into(),
+            submitted_unix_ms: 1_700_000_000_123,
+            queue_wait_ms: 41.5,
+        });
+        let job = served.job.as_ref().expect("job block attached");
+        assert_eq!(job.job_id, "j000007");
+        assert_eq!(job.queue_wait_ms, 41.5);
+        // Pure metadata: the estimate fields are untouched.
+        assert_eq!(served.estimate, plain.estimate);
+        assert_eq!(served.hyper_estimates, plain.hyper_estimates);
+        assert_eq!(served.status, plain.status);
+        let json = served.to_json();
+        if let Ok(back) = EstimateReport::from_json(&json) {
+            assert_eq!(served, back);
+        }
+    }
+
+    #[test]
+    fn v8_reports_without_job_block_still_parse() {
+        // A v9 writer omits `job` for CLI runs, which is byte-wise what a
+        // v8 writer produced — so one serialization covers both readers.
+        let report = EstimateReport::new("x", "max_power_mw", &sample_estimate());
+        let json = report.to_json();
+        assert!(!json.contains("\"job\""), "CLI reports must omit the block");
+        if let Ok(back) = EstimateReport::from_json(&json) {
+            assert_eq!(back.job, None);
+        }
     }
 
     #[test]

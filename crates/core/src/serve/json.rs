@@ -1,0 +1,376 @@
+//! A minimal JSON value model for the job API.
+//!
+//! The workspace's `serde_json` dependency is stubbed out in offline
+//! builds, so the daemon cannot rely on it for *parsing* request bodies —
+//! and must not, or `mpe serve` would silently accept only empty specs in
+//! exactly the environments the offline test rig exercises. This module
+//! is a self-contained recursive-descent parser over the full JSON
+//! grammar (objects, arrays, strings with escapes, numbers, literals)
+//! plus the handful of typed accessors the job-spec layer needs.
+//!
+//! It is deliberately small: no serialisation framework (responses are
+//! assembled by string formatting against [`crate::error::escape_json`]),
+//! no number-preservation subtleties (every number is an `f64`, which
+//! covers every field the API accepts), and a depth limit instead of a
+//! clever iterative parser (a request body is human-sized).
+
+use std::collections::BTreeMap;
+
+/// Maximum nesting depth accepted by [`parse`]; beyond this the input is
+/// rejected rather than risking a stack overflow on adversarial bodies.
+const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Num(f64),
+    /// A string, with escapes resolved.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Key order is irrelevant to the API, so a sorted map
+    /// keeps lookups simple and `Debug` output stable.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member lookup on an object; `None` for absent keys, `null` members
+    /// and non-objects alike (the spec layer treats all three as
+    /// "not provided").
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key).filter(|v| !matches!(v, Json::Null)),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if it is one
+    /// exactly (rejects fractions, negatives and values beyond 2⁵³).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n >= 0.0 && n.fract() == 0.0 && n <= 9_007_199_254_740_992.0 {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The object's keys, for strict unknown-field rejection.
+    pub fn keys(&self) -> Vec<&str> {
+        match self {
+            Json::Obj(map) => map.keys().map(String::as_str).collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Parses one complete JSON document; trailing non-whitespace is an
+/// error.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax error, with
+/// its byte offset.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing characters at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}",
+                char::from(byte),
+                self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!(
+                "unexpected `{}` at byte {}",
+                char::from(other),
+                self.pos
+            )),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("invalid \\u escape `{hex}`"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are rare in specs; map lone
+                            // surrogates to the replacement character
+                            // rather than rejecting the request.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("invalid escape `\\{}`", char::from(other))),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8".to_string())?;
+                    let ch = s.chars().next().ok_or_else(|| "empty string".to_string())?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') = self.peek() {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number".to_string())?;
+        let n: f64 = text
+            .parse()
+            .map_err(|_| format!("invalid number `{text}` at byte {start}"))?;
+        if !n.is_finite() {
+            return Err(format!("non-finite number `{text}`"));
+        }
+        Ok(Json::Num(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_nested_document() {
+        let doc = parse(
+            r#"{"circuit":"C432","epsilon":0.05,"tags":["a","b"],
+                "nested":{"deep":true,"none":null},"neg":-2.5e-1}"#,
+        )
+        .expect("valid document parses");
+        assert_eq!(doc.get("circuit").and_then(Json::as_str), Some("C432"));
+        assert_eq!(doc.get("epsilon").and_then(Json::as_f64), Some(0.05));
+        assert_eq!(
+            doc.get("nested").and_then(|n| n.get("deep")),
+            Some(&Json::Bool(true))
+        );
+        // null members read as absent, like missing keys.
+        assert!(doc.get("nested").expect("nested").get("none").is_none());
+        assert_eq!(doc.get("neg").and_then(Json::as_f64), Some(-0.25));
+    }
+
+    #[test]
+    fn resolves_string_escapes() {
+        let doc = parse(r#"{"s":"a\"b\\c\ndA"}"#).expect("escapes parse");
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn integer_accessor_rejects_fractions_and_negatives() {
+        let doc = parse(r#"{"a":7,"b":7.5,"c":-7}"#).expect("parses");
+        assert_eq!(doc.get("a").and_then(Json::as_u64), Some(7));
+        assert_eq!(doc.get("b").and_then(Json::as_u64), None);
+        assert_eq!(doc.get("c").and_then(Json::as_u64), None);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            r#"{"a" 1}"#,
+            r#"{"a":1} extra"#,
+            "truthy",
+            "1e999",
+            r#""unterminated"#,
+        ] {
+            assert!(parse(bad).is_err(), "`{bad}` must not parse");
+        }
+    }
+
+    #[test]
+    fn depth_limit_rejects_pathological_nesting() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(30) + &"]".repeat(30);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn roundtrips_a_report_sized_document() {
+        // The daemon embeds `EstimateReport::to_json` output verbatim in
+        // status responses; make sure the parser handles that shape.
+        let doc = parse(
+            r#"{
+  "schema_version": 9,
+  "subject": "C432",
+  "estimate": 12.5,
+  "history": [{"k": 1, "estimate_mw": 12.0}],
+  "job": {"job_id": "j000001", "queue_wait_ms": 0.25}
+}"#,
+        )
+        .expect("report-shaped document parses");
+        assert_eq!(doc.get("schema_version").and_then(Json::as_u64), Some(9));
+        assert_eq!(
+            doc.get("job")
+                .and_then(|j| j.get("job_id"))
+                .and_then(Json::as_str),
+            Some("j000001")
+        );
+    }
+}

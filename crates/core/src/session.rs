@@ -1,6 +1,6 @@
 //! The session-based run API: one builder, one handle, one options
-//! struct — replacing the `run`/`run_with_checkpoint` method family on
-//! [`MaxPowerEstimator`](crate::MaxPowerEstimator).
+//! struct — the single way to drive the estimation engine (the pre-0.6
+//! `MaxPowerEstimator` method family is gone).
 //!
 //! ```
 //! use maxpower::{EstimatorBuilder, EstimationConfig, FnSource, RunOptions};
@@ -26,8 +26,7 @@
 //! A session always runs in derived-RNG mode: hyper-sample `k` draws from
 //! a private stream seeded from `(master seed, k)`, which is what makes
 //! checkpoint/resume and the parallel engine bit-identical to a
-//! single-threaded run. The legacy caller-owned RNG stream survives only
-//! on the deprecated [`MaxPowerEstimator::run`](crate::MaxPowerEstimator::run).
+//! single-threaded run.
 
 use std::num::NonZeroUsize;
 
@@ -35,7 +34,7 @@ use mpe_telemetry::Telemetry;
 
 use crate::checkpoint::Checkpoint;
 use crate::config::EstimationConfig;
-use crate::engine::{run_parallel, run_sequential, RngDriver};
+use crate::engine::{run_parallel, run_sequential};
 use crate::error::MaxPowerError;
 use crate::estimator::MaxPowerEstimate;
 use crate::source::{PowerSource, PowerSourceFactory};
@@ -223,7 +222,7 @@ impl Session {
                 &self.config,
                 &self.telemetry,
                 &mut source,
-                RngDriver::Derived(opts.seed),
+                opts.seed,
                 opts.resume,
                 save,
                 &supervision,
@@ -279,7 +278,7 @@ impl Session {
             &self.config,
             &self.telemetry,
             source,
-            RngDriver::Derived(opts.seed),
+            opts.seed,
             opts.resume,
             save,
             &supervision,

@@ -150,23 +150,21 @@ fn mid_parallel_checkpoint_resumes_under_different_worker_count() {
     }
 }
 
-/// The deprecated checkpoint entry point and the session API share the
-/// derived-RNG schedule: migrating a caller cannot change its numbers.
+/// The two session entry points — the factory path and the caller-owned
+/// `&mut` source path — share the derived-RNG schedule: migrating a
+/// caller between them cannot change its numbers.
 #[test]
-#[allow(deprecated)]
-fn legacy_checkpoint_api_matches_session_run() {
-    use maxpower::MaxPowerEstimator;
-
+fn run_source_matches_factory_run() {
     let config = EstimationConfig::default();
-    let mut source = weibull_source();
-    let legacy = MaxPowerEstimator::new(config)
-        .run_with_checkpoint(&mut source, 5, None, &mut |_| {})
-        .expect("legacy run converges");
     let session = EstimatorBuilder::new(config).build();
-    let modern = session
+    let mut source = weibull_source();
+    let by_ref = session
+        .run_source(&mut source, RunOptions::default().seeded(5))
+        .expect("run_source converges");
+    let by_factory = session
         .run(&weibull_source(), RunOptions::default().seeded(5))
         .expect("session run converges");
-    assert_eq!(format!("{legacy:?}"), format!("{modern:?}"));
+    assert_eq!(format!("{by_ref:?}"), format!("{by_factory:?}"));
 }
 
 /// Fault injection composes with parallelism: the injector reseeds its

@@ -51,3 +51,12 @@ pub use gate::GateKind;
 pub use generator::{generate, multiplier};
 pub use packed::{PackedEvaluator, LANES};
 pub use profiles::{CircuitProfile, Iscas85};
+
+// `Circuit` is immutable after construction and shared as one
+// `Arc<Circuit>` across the estimation daemon's runner pool (the circuit
+// cache in `maxpower::serve`); this fails to compile if an interior-mutable
+// or thread-bound field ever sneaks in.
+const _: fn() = || {
+    fn thread_safe<T: Send + Sync>() {}
+    thread_safe::<Circuit>();
+};

@@ -59,3 +59,14 @@ pub use packed::{KernelMode, PackedSimulator};
 pub use population::{simulate_population, simulate_population_traced};
 pub use power::PowerConfig;
 pub use trace::{Transition, Waveform};
+
+// Both simulators are constructed per worker thread and moved into it —
+// by the population runner and by the estimation daemon's runner pool.
+// This fails to compile if either ever grows a thread-bound field
+// (`Rc`, raw pointer, `RefCell` shared across threads, ...).
+const _: fn() = || {
+    fn send<T: Send>() {}
+    send::<PowerSimulator<'static>>();
+    send::<PackedSimulator<u64>>();
+    send::<PackedSimulator<u128>>();
+};

@@ -38,7 +38,7 @@ pub const TRACE_SCHEMA_MIN_VERSION: u32 = 1;
 /// The instrumented phases of the estimation pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SpanKind {
-    /// One whole estimation run ([`MaxPowerEstimator::run`] and friends).
+    /// One whole estimation run (one `Session::run`).
     Run,
     /// One hyper-sample (draw + fit + possible fallback).
     HyperSample,
