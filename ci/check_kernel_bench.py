@@ -1,39 +1,58 @@
 #!/usr/bin/env python3
-"""Bench-regression gate over the kernel smoke benchmark.
+"""Bench-regression gate over the packed-kernel smoke benchmarks.
 
-Reads the ``BENCH_kernel.json`` emitted by
-``trace_breakdown --kernel-smoke`` and fails the build if the packed
-kernels have regressed:
+Reads the JSON emitted by ``trace_breakdown --kernel-smoke``
+(``BENCH_kernel.json``) and/or ``trace_breakdown --population-smoke``
+(``BENCH_population.json``) and fails the build if the packed kernels
+have regressed:
 
 * every row must report ``identical: true`` — the packed kernels'
   *raison d'etre* is bit-identity with the scalar reference, so a
   single false is an instant failure;
 * every row's speedup must clear a conservative per-delay-model floor.
-  The floors sit well below locally measured numbers (zero-delay
-  13.8x-34.9x, timing 7.3x-11.0x on a shared dev box) so that noisy CI
-  runners don't flake, while a real regression — say the packed lane
-  loop quietly falling back to per-lane evaluation — still trips them.
+  The floors sit well below locally measured numbers (kernel smoke:
+  zero-delay 13.8x-34.9x, unit 7.3x-11.0x, fanout 5.5x-8.4x; population
+  sweep: zero-delay 20x-44x, unit 7.5x-12x on a shared dev box) so that
+  noisy CI runners don't flake, while a real regression — say the packed
+  lane loop quietly falling back to per-lane evaluation, or the
+  population path dropping back to per-pair dispatch — still trips them.
 
-Usage: check_kernel_bench.py BENCH_kernel.json
+The gate dispatches floors on the file's ``benchmark`` field, so the
+same script checks both artifacts.
+
+Usage: check_kernel_bench.py BENCH_kernel.json [BENCH_population.json ...]
 """
 
 import json
 import sys
 
-# Conservative floors per delay model (see module docstring).
+# Conservative per-delay-model floors, keyed by benchmark kind (see
+# module docstring for the measured headroom).
 SPEEDUP_FLOORS = {
-    "zero": 10.0,
-    "unit": 4.0,
+    "kernel_smoke": {
+        "zero": 10.0,
+        "unit": 4.0,
+        "fanout": 3.0,
+    },
+    "population_smoke": {
+        "zero": 8.0,
+        "unit": 3.0,
+        "fanout": 2.5,
+    },
 }
-# Any unlisted delay model (e.g. a future fanout row) uses this floor.
-DEFAULT_FLOOR = 3.0
+# Any unlisted delay model or benchmark kind uses this floor.
+DEFAULT_FLOOR = 2.5
 
 EXPECTED_KERNELS = {"packed64", "packed128"}
 
 
-def main(path):
+def check(path):
     with open(path) as f:
         bench = json.load(f)
+
+    benchmark = bench.get("benchmark", "kernel_smoke")
+    floors = SPEEDUP_FLOORS.get(benchmark, {})
+    print(f"== {path} ({benchmark}) ==")
 
     rows = bench.get("rows", [])
     if not rows:
@@ -48,8 +67,8 @@ def main(path):
 
     failures = []
     for row in rows:
-        label = f"{row['circuit']:6s} {row['kernel']:9s} {row['delay_model']:5s}"
-        floor = SPEEDUP_FLOORS.get(row["delay_model"], DEFAULT_FLOOR)
+        label = f"{row['circuit']:6s} {row['kernel']:9s} {row['delay_model']:6s}"
+        floor = floors.get(row["delay_model"], DEFAULT_FLOOR)
         speedup = row["speedup"]
         identical = row["identical"]
         status = "ok"
@@ -62,7 +81,7 @@ def main(path):
         print(f"{label}  speedup {speedup:7.2f}x  (floor {floor:4.1f}x)  {status}")
 
     if failures:
-        print(f"\nFAIL: {len(failures)} kernel bench regression(s):")
+        print(f"\nFAIL: {len(failures)} {benchmark} regression(s):")
         for f in failures:
             print(f"  - {f}")
         return 1
@@ -71,8 +90,15 @@ def main(path):
     return 0
 
 
+def main(paths):
+    worst = 0
+    for path in paths:
+        worst = max(worst, check(path))
+    return worst
+
+
 if __name__ == "__main__":
-    if len(sys.argv) != 2:
+    if len(sys.argv) < 2:
         print(__doc__)
         sys.exit(2)
-    sys.exit(main(sys.argv[1]))
+    sys.exit(main(sys.argv[1:]))

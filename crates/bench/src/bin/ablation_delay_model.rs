@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for which in args.circuits() {
         let circuit = experiment_circuit(which, args.seed);
         for model in models {
-            let population = Population::build(
+            let population = Population::build_with_kernel(
                 &circuit,
                 &PairGenerator::HighActivity { min_activity: 0.3 },
                 size,
@@ -41,6 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 PowerConfig::default(),
                 args.seed,
                 0,
+                args.kernel,
             )?;
             let (mean, sd) = mean_sd(population.powers());
             let max = population.actual_max_power();

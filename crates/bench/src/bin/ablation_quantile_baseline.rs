@@ -36,6 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &PairGenerator::HighActivity { min_activity: 0.3 },
         size,
         args.seed,
+        args.kernel,
     )?;
     let actual = population.actual_max_power();
     let q = 1.0 - 1.0 / population.size() as f64;

@@ -37,6 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &PairGenerator::HighActivity { min_activity: 0.3 },
         size,
         args.seed,
+        args.kernel,
     )?;
     let mut rng = SmallRng::seed_from_u64(args.seed);
 

@@ -36,6 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &PairGenerator::HighActivity { min_activity: 0.3 },
         size,
         args.seed,
+        args.kernel,
     )?;
     let actual = population.actual_max_power();
     let mut rng = SmallRng::seed_from_u64(args.seed);

@@ -7,6 +7,7 @@
 //! * `cargo run -p mpe-bench --release --bin trace_breakdown -- trace.jsonl`
 //! * `cargo run -p mpe-bench --release --bin trace_breakdown -- --parallel-smoke [out.json]`
 //! * `cargo run -p mpe-bench --release --bin trace_breakdown -- --kernel-smoke [out.json]`
+//! * `cargo run -p mpe-bench --release --bin trace_breakdown -- --population-smoke [out.json]`
 //! * `cargo run -p mpe-bench --release --bin trace_breakdown -- --telemetry-smoke [out.json]`
 //!
 //! The first form validates the trace on the way through (schema version,
@@ -26,6 +27,13 @@
 //! per-pair bit-identical reports before recording pairs/second as JSON
 //! (default path `BENCH_kernel.json`).
 //!
+//! The `--population-smoke` form benchmarks the population sweep path
+//! that the experiment binaries use at `--scale paper`: it builds the
+//! same fixed-seed 4k-pair population through `simulate_population_kernel`
+//! with the scalar kernel and with each packed kernel, asserts the power
+//! vectors are bit-identical, and records pairs/second as JSON (default
+//! path `BENCH_population.json`).
+//!
 //! The fourth form measures the cost of observability itself: the same
 //! fixed-seed estimate with telemetry disabled, with the in-process
 //! metrics registry only, and with a full JSONL trace sink. It asserts
@@ -37,8 +45,11 @@ use std::num::NonZeroUsize;
 use std::time::Instant;
 
 use maxpower::{EstimationConfig, EstimatorBuilder, MaxPowerEstimate, RunOptions, SimulatorSource};
-use mpe_netlist::{generate, Iscas85};
-use mpe_sim::{CycleReport, DelayModel, PackedSimulator, PowerConfig, PowerSimulator};
+use mpe_netlist::{generate, CapacitanceModel, Iscas85};
+use mpe_sim::{
+    simulate_population_kernel, CycleReport, DelayModel, KernelMode, PackedSimulator, PowerConfig,
+    PowerSimulator,
+};
 use mpe_telemetry::{names, replay, JsonlSink, SpanKind, Telemetry, TraceSummary};
 use mpe_vectors::{PairGenerator, VectorPair};
 use rand::rngs::SmallRng;
@@ -54,6 +65,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         [flag, out] if flag == "--parallel-smoke" => run_parallel_smoke(out),
         [flag] if flag == "--kernel-smoke" => run_kernel_smoke("BENCH_kernel.json"),
         [flag, out] if flag == "--kernel-smoke" => run_kernel_smoke(out),
+        [flag] if flag == "--population-smoke" => run_population_smoke("BENCH_population.json"),
+        [flag, out] if flag == "--population-smoke" => run_population_smoke(out),
         [flag] if flag == "--telemetry-smoke" => run_telemetry_smoke("BENCH_telemetry.json"),
         [flag, out] if flag == "--telemetry-smoke" => run_telemetry_smoke(out),
         [path] if !path.starts_with("--") => {
@@ -64,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         _ => Err("usage: trace_breakdown <trace.jsonl> | \
                   --parallel-smoke [out.json] | --kernel-smoke [out.json] | \
-                  --telemetry-smoke [out.json]"
+                  --population-smoke [out.json] | --telemetry-smoke [out.json]"
             .into()),
     }
 }
@@ -185,10 +198,20 @@ fn render_smoke_json(host: usize, rows: &[SmokeRow]) -> String {
 /// per-call overhead is amortised, small enough to stay a smoke test.
 const KERNEL_PAIRS: usize = 4096;
 
-/// The delay models the kernel smoke measures: the zero-delay fast path
-/// and the glitch-accurate timing path (unit delay).
-const KERNEL_DELAYS: [(&str, DelayModel); 2] =
-    [("zero", DelayModel::Zero), ("unit", DelayModel::Unit)];
+/// The delay models the kernel smoke measures: the zero-delay fast path,
+/// the glitch-accurate unit-delay path, and the fanout-proportional
+/// loading model (the heaviest timing wheel the packed kernel supports).
+const KERNEL_DELAYS: [(&str, DelayModel); 3] = [
+    ("zero", DelayModel::Zero),
+    ("unit", DelayModel::Unit),
+    (
+        "fanout",
+        DelayModel::FanoutProportional {
+            base: 2,
+            per_fanout: 1,
+        },
+    ),
+];
 
 /// One (circuit, kernel, delay model) scalar-vs-packed measurement.
 struct KernelRow {
@@ -296,6 +319,14 @@ fn run_kernel_smoke(out_path: &str) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn render_kernel_json(host: usize, rows: &[KernelRow]) -> String {
+    render_kernel_rows_json("kernel_smoke", host, rows)
+}
+
+fn render_population_json(host: usize, rows: &[KernelRow]) -> String {
+    render_kernel_rows_json("population_smoke", host, rows)
+}
+
+fn render_kernel_rows_json(benchmark: &str, host: usize, rows: &[KernelRow]) -> String {
     let entries: Vec<String> = rows
         .iter()
         .map(|r| {
@@ -316,10 +347,88 @@ fn render_kernel_json(host: usize, rows: &[KernelRow]) -> String {
         })
         .collect();
     format!(
-        "{{\n  \"benchmark\": \"kernel_smoke\",\n  \
+        "{{\n  \"benchmark\": \"{benchmark}\",\n  \
          \"host_parallelism\": {host},\n  \"rows\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     )
+}
+
+/// The delay models the population smoke measures. Fanout delay is
+/// covered by `--kernel-smoke`; the sweep path adds no delay-model
+/// dispatch of its own, so zero + unit bound it.
+const POPULATION_DELAYS: [(&str, DelayModel); 2] =
+    [("zero", DelayModel::Zero), ("unit", DelayModel::Unit)];
+
+/// Benchmarks `simulate_population_kernel` — the exact path the
+/// experiment binaries take via `Population::build` — with the scalar
+/// kernel against each packed kernel, on one thread so the comparison
+/// isolates the kernel and not the pool.
+fn run_population_smoke(out_path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let host = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+    let circuits = [Iscas85::C432, Iscas85::C880, Iscas85::C1355];
+    let cap_model = CapacitanceModel::default();
+    let mut rows = Vec::new();
+    for which in circuits {
+        let circuit = generate(which, 7)?;
+        for (delay_name, delay) in POPULATION_DELAYS {
+            let mut rng = SmallRng::seed_from_u64(42);
+            let pairs: Vec<VectorPair> = (0..KERNEL_PAIRS)
+                .map(|_| PairGenerator::Uniform.generate(&mut rng, circuit.num_inputs()))
+                .collect();
+            let time_build = |kernel: KernelMode| -> Result<(Vec<f64>, f64), mpe_sim::SimError> {
+                let started = Instant::now();
+                let powers = simulate_population_kernel(
+                    &circuit,
+                    &pairs,
+                    delay,
+                    PowerConfig::default(),
+                    &cap_model,
+                    1,
+                    kernel,
+                )?;
+                Ok((powers, started.elapsed().as_secs_f64()))
+            };
+            let (scalar_powers, scalar_s) = time_build(KernelMode::Scalar)?;
+            let scalar_pairs_per_s = pairs.len() as f64 / scalar_s;
+            for (kernel_name, kernel) in [
+                ("packed64", KernelMode::Packed),
+                ("packed128", KernelMode::Packed128),
+            ] {
+                let (packed_powers, packed_s) = time_build(kernel)?;
+                let identical = scalar_powers.len() == packed_powers.len()
+                    && scalar_powers
+                        .iter()
+                        .zip(&packed_powers)
+                        .all(|(s, p)| s.to_bits() == p.to_bits());
+                let row = KernelRow {
+                    circuit: which.to_string(),
+                    kernel: kernel_name,
+                    delay_model: delay_name,
+                    pairs: pairs.len(),
+                    scalar_pairs_per_s,
+                    packed_pairs_per_s: pairs.len() as f64 / packed_s,
+                    identical,
+                };
+                println!(
+                    "{:<6} {:<6} scalar {:>10.0} pairs/s, {:<9} {:>10.0} pairs/s — {:.2}x, identical: {}",
+                    row.circuit,
+                    row.delay_model,
+                    row.scalar_pairs_per_s,
+                    row.kernel,
+                    row.packed_pairs_per_s,
+                    row.speedup(),
+                    row.identical,
+                );
+                rows.push(row);
+            }
+        }
+    }
+    std::fs::write(out_path, render_population_json(host, &rows))?;
+    println!("wrote {out_path}");
+    if rows.iter().any(|r| !r.identical) {
+        return Err("packed population sweep diverged from the scalar kernel".into());
+    }
+    Ok(())
 }
 
 /// One circuit's telemetry-overhead measurement: the same fixed-seed
@@ -584,6 +693,27 @@ mod tests {
         assert!(json.contains("\"delay_model\": \"unit\""), "{json}");
         assert!(json.contains("\"circuit\": \"C880\""), "{json}");
         assert!(json.contains("\"speedup\": 8.000"), "{json}");
+        assert!(json.contains("\"identical\": true"), "{json}");
+    }
+
+    #[test]
+    fn population_json_is_well_formed() {
+        let rows = [KernelRow {
+            circuit: "C432".to_string(),
+            kernel: "packed64",
+            delay_model: "zero",
+            pairs: 4096,
+            scalar_pairs_per_s: 1000.0,
+            packed_pairs_per_s: 12_000.0,
+            identical: true,
+        }];
+        let json = render_population_json(2, &rows);
+        assert!(
+            json.contains("\"benchmark\": \"population_smoke\""),
+            "{json}"
+        );
+        assert!(json.contains("\"kernel\": \"packed64\""), "{json}");
+        assert!(json.contains("\"speedup\": 12.000"), "{json}");
         assert!(json.contains("\"identical\": true"), "{json}");
     }
 

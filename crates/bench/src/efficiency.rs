@@ -58,7 +58,8 @@ pub fn run_efficiency(
     let mut rows = Vec::new();
     for which in args.circuits() {
         let circuit = experiment_circuit(which, args.seed);
-        let population = experiment_population(&circuit, generator, population_size, args.seed)?;
+        let population =
+            experiment_population(&circuit, generator, population_size, args.seed, args.kernel)?;
         let actual_max = population.actual_max_power();
 
         let mut units: Vec<usize> = Vec::with_capacity(runs);
@@ -144,6 +145,7 @@ mod tests {
             runs: Some(3),
             seed: 7,
             circuit: Some(Iscas85::C432),
+            kernel: mpe_sim::KernelMode::Auto,
         };
         let rows = run_efficiency(&args, &PairGenerator::Uniform, 2_000).unwrap();
         assert_eq!(rows.len(), 1);

@@ -24,6 +24,7 @@
 //! --runs N                       override repetitions per circuit
 //! --seed S                       master seed (default 1998)
 //! --circuit NAME                 restrict to one ISCAS85 circuit
+//! --kernel auto|scalar|packed|packed128   population simulation kernel
 //! ```
 //!
 //! Populations are derived deterministically from the master seed, so every
@@ -35,7 +36,7 @@ pub mod quality;
 use std::fmt::Write as _;
 
 use mpe_netlist::{generate, Circuit, Iscas85};
-use mpe_sim::{DelayModel, PowerConfig};
+use mpe_sim::{DelayModel, KernelMode, PowerConfig};
 use mpe_vectors::{PairGenerator, Population, VectorsError};
 
 /// Experiment scale: trades fidelity to the paper's population sizes
@@ -90,6 +91,8 @@ pub struct ExperimentArgs {
     pub seed: u64,
     /// Optional restriction to one circuit.
     pub circuit: Option<Iscas85>,
+    /// Simulation kernel used to build populations.
+    pub kernel: KernelMode,
 }
 
 impl Default for ExperimentArgs {
@@ -99,6 +102,7 @@ impl Default for ExperimentArgs {
             runs: None,
             seed: 1998, // the paper's year
             circuit: None,
+            kernel: KernelMode::Auto,
         }
     }
 }
@@ -148,9 +152,16 @@ impl ExperimentArgs {
                         std::process::exit(2);
                     }))
                 }
+                "--kernel" => {
+                    let name = value("--kernel");
+                    out.kernel = KernelMode::parse(&name).unwrap_or_else(|| {
+                        eprintln!("unknown kernel `{name}` (auto|scalar|packed|packed128)");
+                        std::process::exit(2);
+                    })
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --scale smoke|default|paper  --runs N  --seed S  --circuit NAME"
+                        "flags: --scale smoke|default|paper  --runs N  --seed S  --circuit NAME  --kernel auto|scalar|packed|packed128"
                     );
                     std::process::exit(0);
                 }
@@ -207,8 +218,9 @@ pub fn experiment_population(
     generator: &PairGenerator,
     size: usize,
     seed: u64,
+    kernel: KernelMode,
 ) -> Result<Population, VectorsError> {
-    Population::build(
+    Population::build_with_kernel(
         circuit,
         generator,
         size,
@@ -216,6 +228,7 @@ pub fn experiment_population(
         PowerConfig::default(),
         seed,
         0,
+        kernel,
     )
 }
 
@@ -377,7 +390,15 @@ mod tests {
     #[test]
     fn circuit_population_smoke() {
         let c = experiment_circuit(Iscas85::C432, 1);
-        let p = experiment_population(&c, &PairGenerator::Uniform, 200, 1).unwrap();
+        let p =
+            experiment_population(&c, &PairGenerator::Uniform, 200, 1, KernelMode::Auto).unwrap();
         assert_eq!(p.size(), 200);
+    }
+
+    #[test]
+    fn parse_kernel_flag() {
+        let a = ExperimentArgs::parse(argv(&["--kernel", "packed128"]));
+        assert_eq!(a.kernel, KernelMode::Packed128);
+        assert_eq!(ExperimentArgs::parse(argv(&[])).kernel, KernelMode::Auto);
     }
 }

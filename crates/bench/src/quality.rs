@@ -47,7 +47,8 @@ pub fn run_quality(
     let mut rows = Vec::new();
     for which in args.circuits() {
         let circuit = experiment_circuit(which, args.seed);
-        let population = experiment_population(&circuit, generator, population_size, args.seed)?;
+        let population =
+            experiment_population(&circuit, generator, population_size, args.seed, args.kernel)?;
         let actual = population.actual_max_power();
         let signed_err = |estimate: f64| (estimate - actual) / actual;
 
@@ -160,6 +161,7 @@ mod tests {
             runs: Some(3),
             seed: 7,
             circuit: Some(Iscas85::C432),
+            kernel: mpe_sim::KernelMode::Auto,
         };
         let rows = run_quality(&args, &PairGenerator::Uniform, 2_000).unwrap();
         assert_eq!(rows.len(), 1);

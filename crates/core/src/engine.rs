@@ -42,7 +42,7 @@ use crate::error::MaxPowerError;
 use crate::estimator::{EstimateHistoryEntry, MaxPowerEstimate};
 use crate::health::{EstimatorKind, FitDiagnostics, RunHealth, RunStatus};
 use crate::hyper::{generate_hyper_sample, HyperSample, HyperSampleContext};
-use crate::source::{PowerSource, PowerSourceFactory};
+use crate::source::{LaneStats, PowerSource, PowerSourceFactory};
 use crate::supervise::{panic_message, StopReason, Supervision, Supervisor};
 
 /// Deterministic panics (hyper-sample `k` is a pure function of config,
@@ -403,6 +403,12 @@ pub(crate) fn run_sequential(
     )?;
     let config = committer.config;
     let supervisor = Supervisor::new(supervision, committer.next_k());
+    // Cross-hyper-sample lane batching: announce the next `lookahead`
+    // indices before generating each one, so the source can prefetch their
+    // pairs into the spare lanes of the current hyper-sample's sweeps.
+    let lookahead = source.plan_lookahead(config.sample_size);
+    let expected_units = config.sample_size.saturating_mul(config.samples_per_hyper);
+    let mut lane_seen = LaneStats::default();
 
     let _run_span = telemetry.span(SpanKind::Run);
     loop {
@@ -415,6 +421,10 @@ pub(crate) fn run_sequential(
             }
         }
         let k = committer.next_k();
+        if lookahead > 0 {
+            let upcoming: Vec<u64> = (1..=lookahead).map(|d| (k + d) as u64).collect();
+            source.plan_hyper_samples(master_seed, &upcoming, expected_units);
+        }
         let generated: Result<HyperSample, MaxPowerError> = {
             let _hyper_span = telemetry.span(SpanKind::HyperSample);
             let mut ctx = HyperSampleContext::new(&config).with_telemetry(telemetry.clone());
@@ -435,8 +445,31 @@ pub(crate) fn run_sequential(
             }
             Err(e) => return Err(e),
         };
+        publish_lane_stats(telemetry, source.lane_stats(), &mut lane_seen);
         committer.commit(hyper)?;
     }
+}
+
+/// Publishes the delta between the source's cumulative lane-occupancy
+/// stats and the last published snapshot as telemetry counters. No-op for
+/// sources without a batch path, or when nothing new was swept.
+fn publish_lane_stats(telemetry: &Telemetry, stats: Option<LaneStats>, seen: &mut LaneStats) {
+    let Some(stats) = stats else { return };
+    if stats.words_swept > seen.words_swept {
+        telemetry.counter(
+            names::LANE_WORDS_SWEPT,
+            stats.words_swept - seen.words_swept,
+        );
+        telemetry.counter(
+            names::LANE_SLOTS_FILLED,
+            stats.slots_filled - seen.slots_filled,
+        );
+        telemetry.counter(
+            names::LANE_SLOTS_CAPACITY,
+            stats.slots_capacity - seen.slots_capacity,
+        );
+    }
+    *seen = stats;
 }
 
 /// One message from a worker to the coordinator.
@@ -532,16 +565,45 @@ pub(crate) fn run_parallel<F: PowerSourceFactory>(
                 if let Some(token) = cancel {
                     ctx = ctx.with_cancel(token);
                 }
+                // A batching source claims a *block* of consecutive indices
+                // per atomic fetch (lookahead + 1) and announces the tail,
+                // so the spare lanes of the index being generated always
+                // have this worker's own future indices to prefetch for.
+                // Non-batching sources keep the one-index claim exactly as
+                // before.
+                let claim = source.plan_lookahead(config.sample_size).saturating_add(1);
+                let expected_units = config.sample_size.saturating_mul(config.samples_per_hyper);
+                let mut local: VecDeque<usize> = VecDeque::new();
+                let mut lane_seen = LaneStats::default();
                 loop {
                     if stop.load(Ordering::Acquire) {
                         break;
                     }
                     heartbeat.store(run_started.elapsed().as_millis() as u64, Ordering::Relaxed);
-                    let k = retry_queue
+                    let requeued = retry_queue
                         .lock()
                         .ok()
-                        .and_then(|mut queue| queue.pop_front())
-                        .unwrap_or_else(|| next_k.fetch_add(1, Ordering::Relaxed));
+                        .and_then(|mut queue| queue.pop_front());
+                    let k = match requeued {
+                        Some(k) => k,
+                        None => match local.pop_front() {
+                            Some(k) => k,
+                            None => {
+                                let base = next_k.fetch_add(claim, Ordering::Relaxed);
+                                local.extend(base + 1..base + claim);
+                                if !local.is_empty() {
+                                    let upcoming: Vec<u64> =
+                                        local.iter().map(|&i| i as u64).collect();
+                                    source.plan_hyper_samples(
+                                        master_seed,
+                                        &upcoming,
+                                        expected_units,
+                                    );
+                                }
+                                base
+                            }
+                        },
+                    };
                     let generated = catch_unwind(AssertUnwindSafe(|| {
                         let _hyper_span = worker_telemetry.span(SpanKind::HyperSample);
                         source.begin_hyper_sample(k as u64);
@@ -551,6 +613,11 @@ pub(crate) fn run_parallel<F: PowerSourceFactory>(
                     match generated {
                         Ok(result) => {
                             worker_telemetry.counter(&names::worker_hyper_samples(w), 1);
+                            publish_lane_stats(
+                                &worker_telemetry,
+                                source.lane_stats(),
+                                &mut lane_seen,
+                            );
                             let failed = result.is_err();
                             // A send fails only after the coordinator decided
                             // and dropped the receiver — normal shutdown.
@@ -566,7 +633,13 @@ pub(crate) fn run_parallel<F: PowerSourceFactory>(
                         }
                         Err(payload) => {
                             // The source may be mid-mutation: retire this
-                            // worker and hand the index back.
+                            // worker and hand the index back — along with
+                            // any indices it claimed but never generated,
+                            // which no other worker would otherwise reach
+                            // (the coordinator requeues only `k` itself).
+                            if let Ok(mut queue) = retry_queue.lock() {
+                                queue.extend(local.drain(..));
+                            }
                             let context = format!(
                                 "hyper-sample {k} panicked on worker {w}: {}",
                                 panic_message(payload.as_ref())

@@ -303,6 +303,23 @@ impl<S: PowerSource> PowerSource for FaultInjectingSource<S> {
             SmallRng::seed_from_u64(crate::engine::derive_seed(self.config.seed, k as usize));
         self.inner.begin_hyper_sample(k);
     }
+
+    // Lane batching happens below the fault layer: faults are decided per
+    // draw here, while the wrapped source banks and serves prefetched
+    // readings — the two streams never interact, so forwarding the planning
+    // hooks keeps fault-injected runs batched *and* bit-identical.
+    fn plan_lookahead(&self, sample_size: usize) -> usize {
+        self.inner.plan_lookahead(sample_size)
+    }
+
+    fn plan_hyper_samples(&mut self, master_seed: u64, upcoming: &[u64], expected_units: usize) {
+        self.inner
+            .plan_hyper_samples(master_seed, upcoming, expected_units);
+    }
+
+    fn lane_stats(&self) -> Option<crate::source::LaneStats> {
+        self.inner.lane_stats()
+    }
 }
 
 #[cfg(test)]

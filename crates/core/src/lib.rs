@@ -104,7 +104,9 @@ pub use session::{EstimatorBuilder, RunOptions, Session};
 // Re-exported so downstream users can drive telemetry without naming the
 // `mpe-telemetry` crate directly.
 pub use mpe_telemetry as telemetry;
-pub use source::{FnSource, PopulationSource, PowerSource, PowerSourceFactory, SimulatorSource};
+pub use source::{
+    FnSource, LaneStats, PopulationSource, PowerSource, PowerSourceFactory, SimulatorSource,
+};
 pub use srs::{srs_max_estimate, srs_theoretical_units, SrsEstimate};
 pub use supervise::{CancelToken, RunBudget, StopReason};
 pub use sweep::{sweep_activity, SweepPoint};

@@ -13,7 +13,10 @@
 //! * [`FnSource`] — wraps a closure; used by tests to feed analytically
 //!   known distributions through the full pipeline.
 
-use rand::RngCore;
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
 
 use mpe_netlist::Circuit;
 use mpe_sim::{CycleReport, DelayModel, KernelMode, PackedSimulator, PowerConfig, PowerSimulator};
@@ -74,6 +77,64 @@ pub trait PowerSource {
     /// runs bit-identical for any worker count. The legacy caller-RNG
     /// stream mode never calls this hook.
     fn begin_hyper_sample(&mut self, _k: u64) {}
+
+    /// How many upcoming hyper-sample indices this source wants announced
+    /// through [`PowerSource::plan_hyper_samples`] — its speculation
+    /// window, sized so pending hyper-samples can fill a whole lane word.
+    /// `0` (the default) disables cross-hyper-sample lane batching;
+    /// `sample_size` is the configured `n` per statistical sample.
+    fn plan_lookahead(&self, _sample_size: usize) -> usize {
+        0
+    }
+
+    /// Announces the hyper-sample indices this worker will generate after
+    /// the current one (ascending, each strictly greater than every index
+    /// already begun on this source), along with the master seed their
+    /// private streams derive from and the expected readings per
+    /// hyper-sample (`n × m`).
+    ///
+    /// A batching source may use the announcement to *prefetch*: draw the
+    /// upcoming indices' vector pairs from their own derived streams and
+    /// pack them into the spare lanes of the current hyper-sample's
+    /// word-level sweeps. Prefetched readings are bit-identical to the ones
+    /// the future hyper-sample would simulate itself, so estimates are
+    /// unaffected. Stateless sources ignore this (the default).
+    fn plan_hyper_samples(&mut self, _master_seed: u64, _upcoming: &[u64], _expected_units: usize) {
+    }
+
+    /// Cumulative lane-occupancy statistics of the source's batch path,
+    /// when it runs one (see [`LaneStats`]). The engine publishes deltas as
+    /// telemetry counters.
+    fn lane_stats(&self) -> Option<LaneStats> {
+        None
+    }
+}
+
+/// Cumulative lane-occupancy statistics of a packed batch path: how many
+/// word-level sweeps ran, how many lanes carried a real vector pair, and
+/// the total lane capacity of those sweeps. `slots_filled / slots_capacity`
+/// is the occupancy — ~`n/LANES` (23% at n=30 on 128 lanes) without
+/// cross-hyper-sample batching, ~100% with it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Word-level sweeps performed.
+    pub words_swept: u64,
+    /// Lanes that carried a vector pair across those sweeps.
+    pub slots_filled: u64,
+    /// Total lane capacity of those sweeps (`words_swept × LANES`).
+    pub slots_capacity: u64,
+}
+
+impl LaneStats {
+    /// Fraction of lane capacity that carried real work (0 when no sweep
+    /// has run yet).
+    pub fn occupancy(&self) -> f64 {
+        if self.slots_capacity == 0 {
+            0.0
+        } else {
+            self.slots_filled as f64 / self.slots_capacity as f64
+        }
+    }
 }
 
 /// Spawns one independent [`PowerSource`] per worker for the parallel
@@ -123,6 +184,109 @@ enum PackedKernel {
     Lanes128(PackedSimulator<u128>),
 }
 
+/// Speculative prefetch state for one announced hyper-sample `k`.
+///
+/// The plan's RNG is seeded exactly like the private stream the engine
+/// will hand `k`'s generation (`derive_seed(master_seed, k)`), and the
+/// generator is deterministic, so the i-th pair drawn here *is* the i-th
+/// pair `k` would draw itself — which is what makes serving cached
+/// readings bit-identical to simulating on demand.
+#[derive(Debug, Clone)]
+struct LanePlan {
+    k: u64,
+    /// Shadow of `k`'s derived stream, advanced one `generate` per
+    /// prefetched reading.
+    rng: SmallRng,
+    /// Prefetched readings, in draw order.
+    cache: VecDeque<f64>,
+    /// Pairs ever drawn from `rng` (capped at the expected units so a
+    /// stopped run wastes at most one hyper-sample's worth of prefetch).
+    prefetched: usize,
+}
+
+/// Cross-hyper-sample lane batching state of a [`SimulatorSource`].
+///
+/// The estimator requests at most `n` (≈30) readings per draw, filling 30
+/// of 64/128 lanes per sweep. Spare lanes cost nothing extra to settle —
+/// sweep cost is per *word*, not per lane — so the batcher pads every
+/// partial word with pairs from announced future hyper-samples and banks
+/// their readings; when those hyper-samples begin, they are served from
+/// the bank instead of sweeping again.
+#[derive(Debug, Clone)]
+struct LaneBatcher {
+    master_seed: u64,
+    /// Speculation cap per pending hyper-sample, in readings (`n × m`).
+    depth: usize,
+    /// Pending plans, ascending by `k`.
+    plans: VecDeque<LanePlan>,
+    /// Bank for the hyper-sample currently being generated.
+    active: VecDeque<f64>,
+    /// Highest index ever begun — guards against planning finished work.
+    last_begun: Option<u64>,
+    stats: LaneStats,
+}
+
+impl LaneBatcher {
+    fn new(master_seed: u64, depth: usize) -> Self {
+        LaneBatcher {
+            master_seed,
+            depth,
+            plans: VecDeque::new(),
+            active: VecDeque::new(),
+            last_begun: None,
+            stats: LaneStats::default(),
+        }
+    }
+
+    /// Registers upcoming indices (idempotent; already-begun indices are
+    /// ignored).
+    fn plan(&mut self, upcoming: &[u64], depth: usize) {
+        self.depth = depth;
+        for &k in upcoming {
+            if self.last_begun.is_some_and(|begun| k <= begun) {
+                continue;
+            }
+            if self.plans.iter().any(|p| p.k == k) {
+                continue;
+            }
+            let pos = self.plans.partition_point(|p| p.k < k);
+            self.plans.insert(
+                pos,
+                LanePlan {
+                    k,
+                    rng: SmallRng::seed_from_u64(crate::engine::derive_seed(
+                        self.master_seed,
+                        k as usize,
+                    )),
+                    cache: VecDeque::new(),
+                    prefetched: 0,
+                },
+            );
+        }
+    }
+
+    /// Switches the bank to hyper-sample `k` and prunes plans that can no
+    /// longer activate.
+    fn activate(&mut self, k: u64) {
+        self.active.clear();
+        if self.last_begun.is_some_and(|begun| k <= begun) {
+            // Going backwards: a requeued index after a worker panic, or a
+            // reused source starting a fresh run. Speculative state may not
+            // match this stream position — drop all of it (correct, merely
+            // unbatched, until planning resumes past the high-water mark).
+            self.plans.clear();
+        }
+        self.last_begun = Some(self.last_begun.map_or(k, |begun| begun.max(k)));
+        if let Some(pos) = self.plans.iter().position(|p| p.k == k) {
+            if let Some(plan) = self.plans.remove(pos) {
+                self.active = plan.cache;
+            }
+        }
+        // Plans at or below the index now beginning can never activate.
+        self.plans.retain(|p| p.k > k);
+    }
+}
+
 /// On-demand simulation source: generator + simulator, no pre-computation.
 ///
 /// Supports the scalar per-pair engine and the bit-parallel
@@ -144,6 +308,8 @@ pub struct SimulatorSource<'c> {
     packed_pairs: u64,
     pair_buf: Vec<VectorPair>,
     report_buf: Vec<CycleReport>,
+    batcher: Option<LaneBatcher>,
+    single_buf: Vec<f64>,
 }
 
 impl<'c> SimulatorSource<'c> {
@@ -167,6 +333,8 @@ impl<'c> SimulatorSource<'c> {
             packed_pairs: 0,
             pair_buf: Vec::new(),
             report_buf: Vec::new(),
+            batcher: None,
+            single_buf: Vec::new(),
         }
     }
 
@@ -183,6 +351,10 @@ impl<'c> SimulatorSource<'c> {
     #[must_use]
     pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
         self.packed = Self::build_kernel(&self.simulator, kernel);
+        // Prefetched readings belong to the old kernel's lane geometry;
+        // they are bit-identical anyway, but a scalar kernel must not
+        // serve a speculative bank at all.
+        self.batcher = None;
         self
     }
 
@@ -205,10 +377,152 @@ impl<'c> SimulatorSource<'c> {
     pub fn packed_pairs(&self) -> u64 {
         self.packed_pairs
     }
+
+    /// Lane-occupancy statistics of the cross-hyper-sample batch path —
+    /// `None` until the engine has announced upcoming hyper-samples via
+    /// [`PowerSource::plan_hyper_samples`].
+    pub fn lane_occupancy(&self) -> Option<LaneStats> {
+        self.batcher.as_ref().map(|b| b.stats)
+    }
+
+    /// The lane width of the resolved kernel (`None` for scalar).
+    fn lane_width(&self) -> Option<usize> {
+        match self.packed {
+            PackedKernel::Lanes64(_) => Some(64),
+            PackedKernel::Lanes128(_) => Some(128),
+            PackedKernel::Scalar => None,
+        }
+    }
+
+    /// The lane-batched fill: serves banked readings first (advancing the
+    /// caller's RNG exactly as fresh draws would), then settles the
+    /// remainder in word-level sweeps whose spare lanes carry prefetch for
+    /// the announced future hyper-samples.
+    fn batched_fill(
+        &mut self,
+        rng: &mut dyn RngCore,
+        count: usize,
+        out: &mut Vec<f64>,
+    ) -> Result<(), MaxPowerError> {
+        let width = self.width;
+        let lanes = self
+            .lane_width()
+            .expect("batched_fill requires a packed kernel");
+        let batcher = self
+            .batcher
+            .as_mut()
+            .expect("batched_fill requires announced hyper-samples");
+        let depth = batcher.depth;
+
+        // 1. Serve banked readings. Each replaces exactly one
+        // generate+simulate, so the caller's RNG advances by one generate
+        // per reading to stay on the canonical per-k stream.
+        let served = batcher.active.len().min(count);
+        for _ in 0..served {
+            let _ = self.generator.generate(rng, width);
+            let reading = batcher.active.pop_front().expect("length checked");
+            out.push(reading);
+        }
+        let fresh = count - served;
+        if fresh == 0 {
+            return Ok(());
+        }
+
+        // 2. The current hyper-sample's remaining pairs...
+        self.pair_buf.clear();
+        for _ in 0..fresh {
+            self.pair_buf.push(self.generator.generate(rng, width));
+        }
+        // 3. ...padded to a full final word with pairs prefetched for the
+        // pending hyper-samples, each drawn from its own shadow stream.
+        let spare = (lanes - self.pair_buf.len() % lanes) % lanes;
+        let mut filler: Vec<(usize, usize)> = Vec::new();
+        let mut padded = 0usize;
+        for (idx, plan) in batcher.plans.iter_mut().enumerate() {
+            if padded == spare {
+                break;
+            }
+            let take = depth.saturating_sub(plan.prefetched).min(spare - padded);
+            if take == 0 {
+                continue;
+            }
+            for _ in 0..take {
+                self.pair_buf
+                    .push(self.generator.generate(&mut plan.rng, width));
+            }
+            plan.prefetched += take;
+            padded += take;
+            filler.push((idx, take));
+        }
+
+        // 4. One packed sweep settles everything.
+        let refs: Vec<(&[bool], &[bool])> =
+            self.pair_buf.iter().map(VectorPair::as_slices).collect();
+        self.report_buf.clear();
+        let swept = match &self.packed {
+            PackedKernel::Lanes64(packed) => packed
+                .cycle_reports_batch(&refs, &mut self.report_buf)
+                .map_err(MaxPowerError::from),
+            PackedKernel::Lanes128(packed) => packed
+                .cycle_reports_batch(&refs, &mut self.report_buf)
+                .map_err(MaxPowerError::from),
+            PackedKernel::Scalar => unreachable!("lane_width checked above"),
+        };
+        if let Err(e) = swept {
+            // Prefetch was in flight when the sweep failed: the touched
+            // plans' shadow streams advanced past readings that were never
+            // banked, so serving them later would desynchronize. Poison
+            // those plans — a cleared bank and a capped prefetch just mean
+            // those hyper-samples simulate everything themselves.
+            for (idx, _take) in filler {
+                if let Some(plan) = batcher.plans.get_mut(idx) {
+                    plan.cache.clear();
+                    plan.prefetched = depth;
+                }
+            }
+            return Err(e);
+        }
+
+        let total = self.pair_buf.len();
+        self.simulated += total as u64;
+        self.packed_pairs += total as u64;
+        let words = total.div_ceil(lanes) as u64;
+        batcher.stats.words_swept += words;
+        batcher.stats.slots_filled += total as u64;
+        batcher.stats.slots_capacity += words * lanes as u64;
+
+        // 5. Scatter: the current hyper-sample's readings to the caller,
+        // the prefetched readings into their plans' banks.
+        out.extend(self.report_buf[..fresh].iter().map(|r| r.power_mw));
+        let mut offset = fresh;
+        for (idx, take) in filler {
+            if let Some(plan) = batcher.plans.get_mut(idx) {
+                plan.cache.extend(
+                    self.report_buf[offset..offset + take]
+                        .iter()
+                        .map(|r| r.power_mw),
+                );
+            }
+            offset += take;
+        }
+        Ok(())
+    }
 }
 
 impl PowerSource for SimulatorSource<'_> {
     fn sample(&mut self, rng: &mut dyn RngCore) -> Result<f64, MaxPowerError> {
+        if self.batcher.is_some() {
+            // Per-draw callers (e.g. a fault injector wrapping this
+            // source) go through the batcher too, so banked readings are
+            // served and spare lanes still fill with prefetch.
+            let mut one = std::mem::take(&mut self.single_buf);
+            one.clear();
+            let filled = self.batched_fill(rng, 1, &mut one);
+            let reading = one.pop();
+            self.single_buf = one;
+            filled?;
+            return Ok(reading.expect("batched_fill(1) yields exactly one reading"));
+        }
         let pair = self.generator.generate(rng, self.width);
         self.simulated += 1;
         self.simulator
@@ -229,6 +543,9 @@ impl PowerSource for SimulatorSource<'_> {
                 out.push(self.sample(rng)?);
             }
             return Ok(());
+        }
+        if self.batcher.is_some() {
+            return self.batched_fill(rng, count, out);
         }
         // Draw the whole batch's vectors first — the simulator consumes no
         // randomness, so this is the same RNG stream as interleaving.
@@ -251,6 +568,44 @@ impl PowerSource for SimulatorSource<'_> {
         self.packed_pairs += count as u64;
         out.extend(self.report_buf.iter().map(|r| r.power_mw));
         Ok(())
+    }
+
+    fn begin_hyper_sample(&mut self, k: u64) {
+        if let Some(batcher) = self.batcher.as_mut() {
+            batcher.activate(k);
+        }
+    }
+
+    fn plan_lookahead(&self, sample_size: usize) -> usize {
+        // Enough pending hyper-samples that the spare lanes of every sweep
+        // (LANES − n of them) always have prefetch to carry:
+        // lookahead × n×m ≥ (LANES − n) × m, rounded up with margin.
+        match self.lane_width() {
+            Some(lanes) if sample_size > 0 => lanes.div_ceil(sample_size),
+            _ => 0,
+        }
+    }
+
+    fn plan_hyper_samples(&mut self, master_seed: u64, upcoming: &[u64], expected_units: usize) {
+        if self.lane_width().is_none() {
+            return;
+        }
+        let batcher = self
+            .batcher
+            .get_or_insert_with(|| LaneBatcher::new(master_seed, expected_units));
+        if batcher.master_seed != master_seed {
+            // A reused source on a different run: stale speculation would
+            // serve the wrong streams. Start over (stats survive — they
+            // describe sweeps that really happened).
+            let stats = batcher.stats;
+            *batcher = LaneBatcher::new(master_seed, expected_units);
+            batcher.stats = stats;
+        }
+        batcher.plan(upcoming, expected_units);
+    }
+
+    fn lane_stats(&self) -> Option<LaneStats> {
+        self.lane_occupancy()
     }
 }
 

@@ -61,6 +61,15 @@ pub mod names {
     pub const SAMPLE_BATCHES: &str = "sample_batches";
     /// Counter: completed hyper-samples (one per outer iteration `k`).
     pub const HYPER_SAMPLES: &str = "hyper_samples";
+    /// Counter: word-level sweeps run by the estimator's packed batch
+    /// path (cross-hyper-sample lane batching).
+    pub const LANE_WORDS_SWEPT: &str = "lane_words_swept";
+    /// Counter: lanes of those sweeps that carried a real vector pair.
+    /// `lane_slots_filled / lane_slots_capacity` is the lane occupancy
+    /// (~`n/LANES` without batching, ~1.0 with it).
+    pub const LANE_SLOTS_FILLED: &str = "lane_slots_filled";
+    /// Counter: total lane capacity of those sweeps (`sweeps × LANES`).
+    pub const LANE_SLOTS_CAPACITY: &str = "lane_slots_capacity";
     /// Counter: vector pairs evaluated by whole-population batch
     /// simulation (ground-truth builds) — deliberately distinct from
     /// [`VECTOR_PAIRS_SIMULATED`], which tracks only estimation draws.

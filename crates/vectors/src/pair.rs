@@ -48,6 +48,18 @@ impl VectorPair {
     }
 }
 
+/// Populations of `VectorPair`s feed the batch simulator directly — no
+/// intermediate `(Vec<bool>, Vec<bool>)` clone of the whole population.
+impl mpe_sim::PopulationPair for VectorPair {
+    fn before(&self) -> &[bool] {
+        &self.v1
+    }
+
+    fn after(&self) -> &[bool] {
+        &self.v2
+    }
+}
+
 impl From<(Vec<bool>, Vec<bool>)> for VectorPair {
     fn from((v1, v2): (Vec<bool>, Vec<bool>)) -> Self {
         VectorPair::new(v1, v2)

@@ -3,7 +3,7 @@
 use rand::Rng;
 
 use mpe_netlist::Circuit;
-use mpe_sim::{simulate_population, DelayModel, PowerConfig};
+use mpe_sim::{simulate_population_kernel, DelayModel, KernelMode, PowerConfig};
 
 use crate::error::VectorsError;
 use crate::generate::PairGenerator;
@@ -52,6 +52,39 @@ impl Population {
         seed: u64,
         threads: usize,
     ) -> Result<Population, VectorsError> {
+        Self::build_with_kernel(
+            circuit,
+            generator,
+            size,
+            delay,
+            config,
+            seed,
+            threads,
+            KernelMode::Auto,
+        )
+    }
+
+    /// [`Population::build`] with an explicit simulation [`KernelMode`].
+    ///
+    /// Every kernel yields bit-identical powers (and therefore an identical
+    /// population); the parameter exists for A/B benchmarking and as an
+    /// escape hatch. The generated pairs are handed to the simulator by
+    /// borrow — the population is never cloned into an intermediate buffer.
+    ///
+    /// # Errors
+    ///
+    /// As [`Population::build`].
+    #[allow(clippy::too_many_arguments)] // the explicit variant behind build's defaults
+    pub fn build_with_kernel(
+        circuit: &Circuit,
+        generator: &PairGenerator,
+        size: usize,
+        delay: DelayModel,
+        config: PowerConfig,
+        seed: u64,
+        threads: usize,
+        kernel: KernelMode,
+    ) -> Result<Population, VectorsError> {
         if size == 0 {
             return Err(VectorsError::EmptyPopulation);
         }
@@ -60,9 +93,15 @@ impl Population {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
         use rand::SeedableRng;
         let pairs = generator.generate_many(&mut rng, width, size);
-        let raw: Vec<(Vec<bool>, Vec<bool>)> =
-            pairs.iter().map(|p| (p.v1.clone(), p.v2.clone())).collect();
-        let powers = simulate_population(circuit, &raw, delay, config, threads)?;
+        let powers = simulate_population_kernel(
+            circuit,
+            &pairs,
+            delay,
+            config,
+            &mpe_netlist::CapacitanceModel::default(),
+            threads,
+            kernel,
+        )?;
         let actual_max = powers.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         Ok(Population {
             circuit_name: circuit.name().to_string(),
@@ -204,6 +243,28 @@ mod tests {
         };
         assert_eq!(build(5), build(5));
         assert_ne!(build(5), build(6));
+    }
+
+    #[test]
+    fn kernels_build_identical_populations() {
+        let c = generate(Iscas85::C432, 7).unwrap();
+        let build = |kernel| {
+            Population::build_with_kernel(
+                &c,
+                &PairGenerator::Uniform,
+                150,
+                DelayModel::Unit,
+                PowerConfig::default(),
+                4,
+                2,
+                kernel,
+            )
+            .unwrap()
+        };
+        let scalar = build(KernelMode::Scalar);
+        for kernel in [KernelMode::Auto, KernelMode::Packed, KernelMode::Packed128] {
+            assert_eq!(scalar, build(kernel), "{kernel} population diverged");
+        }
     }
 
     #[test]
